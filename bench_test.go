@@ -1,0 +1,398 @@
+// Package chatvis_bench regenerates every table and figure of the paper
+// as Go benchmarks, plus ablations over the assistant's design choices
+// and micro-benchmarks of the engine substrates.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN/BenchmarkFigN logs the reproduced rows; absolute
+// timings are engine cost on this machine, not comparable to the paper's
+// workstation numbers (see EXPERIMENTS.md).
+package chatvis_bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/datagen"
+	"chatvis/internal/eval"
+	"chatvis/internal/filters"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+	"chatvis/internal/pvsim"
+	"chatvis/internal/render"
+	"chatvis/internal/scriptcmp"
+	"chatvis/internal/vmath"
+	"chatvis/internal/vtkio"
+)
+
+// benchConfig builds a small-but-real evaluation config in a temp dir.
+func benchConfig(b *testing.B) eval.Config {
+	b.Helper()
+	return eval.Config{
+		DataDir: b.TempDir(),
+		OutDir:  b.TempDir(),
+		Width:   320,
+		Height:  180,
+	}
+}
+
+// --- Figures 2-6: one bench per figure -------------------------------------
+
+func benchFigure(b *testing.B, id string) {
+	cfg := benchConfig(b)
+	scn, ok := eval.ScenarioByID(id)
+	if !ok {
+		b.Fatalf("unknown scenario %s", id)
+	}
+	var fig *eval.FigureResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = cfg.RunFigure(scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(fig.ChatVis.RMSE, "rmse-vs-gt")
+	b.ReportMetric(fig.ChatVis.SSIM, "ssim-vs-gt")
+	b.Logf("%s (%s): ChatVis %s match=%v", fig.Figure, fig.Task, fig.ChatVis, fig.ChatVisMatches)
+	if fig.GPT4 != nil {
+		b.Logf("%s: GPT-4 %s match=%v", fig.Figure, *fig.GPT4, fig.GPT4Matches)
+	} else {
+		b.Logf("%s: GPT-4 produced no image (script error)", fig.Figure)
+	}
+	if !fig.ChatVisMatches {
+		b.Errorf("%s: ChatVis image does not match ground truth", fig.Figure)
+	}
+}
+
+func BenchmarkFig2_Isosurfacing(b *testing.B)    { benchFigure(b, "iso") }
+func BenchmarkFig3_SliceContour(b *testing.B)    { benchFigure(b, "slice") }
+func BenchmarkFig4_VolumeRendering(b *testing.B) { benchFigure(b, "volume") }
+func BenchmarkFig5_Delaunay(b *testing.B)        { benchFigure(b, "delaunay") }
+func BenchmarkFig6_Streamlines(b *testing.B)     { benchFigure(b, "stream") }
+
+// --- Table I: generated scripts for streamline tracing -----------------------
+
+func BenchmarkTable1_GeneratedScripts(b *testing.B) {
+	cfg := benchConfig(b)
+	var t1 *eval.Table1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		t1, err = cfg.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("Table I reproduction:\n%s", t1.Format())
+	if !t1.ChatVisOK {
+		b.Error("ChatVis streamline script must execute cleanly")
+	}
+	if t1.GPT4Error == "" {
+		b.Error("GPT-4 streamline script should fail with AttributeError")
+	}
+}
+
+// --- Table II: the full 6-model x 5-task comparison grid ---------------------
+
+func BenchmarkTable2_LLMComparison(b *testing.B) {
+	cfg := benchConfig(b)
+	var t2 *eval.Table2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		t2, err = cfg.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("Table II reproduction:\n%s", t2.Format())
+	// Assert the paper's shape: ChatVis all-pass; every other model fails
+	// at least one criterion on every task except GPT-4's two error-free
+	// rows.
+	for _, task := range t2.Tasks {
+		cv := t2.Cells[task]["ChatVis"]
+		if !cv.ErrorFree || !cv.Screenshot {
+			b.Errorf("ChatVis on %s: %+v", task, cv)
+		}
+	}
+	okCount := 0
+	for _, task := range t2.Tasks {
+		if t2.Cells[task]["gpt-4"].ErrorFree {
+			okCount++
+		}
+	}
+	if okCount != 2 {
+		b.Errorf("gpt-4 error-free rows = %d, paper reports 2", okCount)
+	}
+}
+
+// --- Ablations over the assistant's design choices ---------------------------
+
+// BenchmarkAblation_Iterations sweeps the correction-loop budget: with
+// zero repair iterations ChatVis loses the tasks whose first drafts carry
+// property slips; the loop recovers them.
+func BenchmarkAblation_Iterations(b *testing.B) {
+	for _, maxIter := range []int{1, 2, 5} {
+		b.Run(fmt.Sprintf("maxIter=%d", maxIter), func(b *testing.B) {
+			cfg := benchConfig(b)
+			cfg.MaxIterations = maxIter
+			if err := eval.EnsureData(cfg.DataDir, cfg.DataSize); err != nil {
+				b.Fatal(err)
+			}
+			success := 0
+			totalIters := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				success = 0
+				totalIters = 0
+				for _, scn := range eval.Scenarios() {
+					cell, art, err := cfg.RunChatVis(scn)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cell.ErrorFree && cell.Screenshot {
+						success++
+					}
+					totalIters += art.NumIterations()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(success), "tasks-solved")
+			b.ReportMetric(float64(totalIters)/5, "avg-iterations")
+			b.Logf("maxIter=%d: %d/5 tasks solved, avg iterations %.1f",
+				maxIter, success, float64(totalIters)/5)
+		})
+	}
+}
+
+// BenchmarkAblation_FewShot sweeps the example library: without examples
+// the base model hallucinates (the unassisted failure mode). The repair
+// loop recovers the scripts that *error* — but not the volume-rendering
+// script that runs cleanly and renders nothing, so the "correct
+// screenshot" count drops. Examples also reduce iteration counts.
+func BenchmarkAblation_FewShot(b *testing.B) {
+	for _, shots := range []int{-1, 4, 0} { // none, partial, full library
+		name := map[int]string{-1: "none", 4: "partial", 0: "full"}[shots]
+		b.Run("examples="+name, func(b *testing.B) {
+			cfg := benchConfig(b)
+			cfg.FewShot = shots
+			clean, correct, totalIters := 0, 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clean, correct, totalIters = 0, 0, 0
+				for _, scn := range eval.Scenarios() {
+					cell, art, err := cfg.RunChatVis(scn)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cell.ErrorFree {
+						clean++
+					}
+					if cell.Screenshot {
+						correct++
+					}
+					totalIters += art.NumIterations()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(clean), "tasks-error-free")
+			b.ReportMetric(float64(correct), "tasks-correct-image")
+			b.ReportMetric(float64(totalIters)/5, "avg-iterations")
+			b.Logf("examples=%s: %d/5 error-free, %d/5 correct images, avg iterations %.1f",
+				name, clean, correct, float64(totalIters)/5)
+		})
+	}
+}
+
+// BenchmarkAblation_Grounding compares grounding channels for the base
+// model: few-shot snippets vs the full API reference (the paper's
+// future-work idea of teaching the model ParaView's real function calls)
+// vs nothing.
+func BenchmarkAblation_Grounding(b *testing.B) {
+	apiRef := pvsim.NewEngine("", "").APIReference().Format()
+	cases := []struct {
+		name    string
+		fewShot int
+		api     string
+	}{
+		{"examples", 0, ""},
+		{"apidocs", -1, apiRef},
+		{"none", -1, ""},
+	}
+	for _, tc := range cases {
+		b.Run("grounding="+tc.name, func(b *testing.B) {
+			dataDir := b.TempDir()
+			if err := eval.EnsureData(dataDir, eval.DataSmall); err != nil {
+				b.Fatal(err)
+			}
+			model, err := llm.NewModel("gpt-4")
+			if err != nil {
+				b.Fatal(err)
+			}
+			correct, iters := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				correct, iters = 0, 0
+				for _, scn := range eval.Scenarios() {
+					assistant, err := chatvis.NewAssistant(chatvis.Options{
+						Model:         model,
+						Runner:        &pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()},
+						MaxIterations: 5,
+						FewShot:       tc.fewShot,
+						RewritePrompt: true,
+						APIReference:  tc.api,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					art, err := assistant.Run(scn.UserPrompt(320, 180))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if art.Success {
+						correct++
+					}
+					iters += art.NumIterations()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(correct), "tasks-clean")
+			b.ReportMetric(float64(iters)/5, "avg-iterations")
+			b.Logf("grounding=%s: %d/5 clean, avg iterations %.1f", tc.name, correct, float64(iters)/5)
+		})
+	}
+}
+
+// BenchmarkScriptEval exercises the code-level evaluation (scriptcmp) on
+// the streamline scripts — the paper's proposed large-scale evaluation
+// path that needs no rendering.
+func BenchmarkScriptEval(b *testing.B) {
+	cfg := benchConfig(b)
+	t1, err := cfg.RunTable1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scn, _ := eval.ScenarioByID("stream")
+	ref := scn.GroundTruthScript(cfg.Width, cfg.Height)
+	b.ResetTimer()
+	var sCV, sG4 scriptcmp.Score
+	for i := 0; i < b.N; i++ {
+		sCV, _ = scriptcmp.Compare(t1.ChatVisScript, ref)
+		sG4, _ = scriptcmp.Compare(t1.GPT4Script, ref)
+	}
+	b.StopTimer()
+	b.ReportMetric(sCV.Overall, "chatvis-score")
+	b.ReportMetric(sG4.Overall, "gpt4-score")
+	b.Logf("script-level accuracy: ChatVis %s | GPT-4 %s", sCV, sG4)
+	if sCV.Overall <= sG4.Overall {
+		b.Error("ChatVis script should score above unassisted GPT-4")
+	}
+}
+
+// --- Substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkSubstrate_MarschnerLobbGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		datagen.MarschnerLobb(64)
+	}
+}
+
+func BenchmarkSubstrate_Isosurface64(b *testing.B) {
+	vol := datagen.MarschnerLobb(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := filters.Contour(vol, "var0", 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_Delaunay500(b *testing.B) {
+	cloud := datagen.CanPoints(36, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := filters.Delaunay3D(cloud); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_StreamTracer(b *testing.B) {
+	disk := datagen.DiskFlow(8, 32, 8)
+	sampler, err := filters.NewGridSampler(disk, "V")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := filters.DefaultPointCloudSeeds(disk.Bounds(), 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filters.StreamTracer(sampler, seeds, filters.StreamTracerOptions{})
+	}
+}
+
+func BenchmarkSubstrate_SurfaceRender(b *testing.B) {
+	vol := datagen.MarschnerLobb(48)
+	surf, err := filters.Contour(vol, "var0", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filters.ComputePointNormals(surf)
+	r := render.NewRenderer()
+	r.AddActor(render.NewActor(surf))
+	r.ResetCamera()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render(640, 360)
+	}
+}
+
+func BenchmarkSubstrate_VolumeRayCast(b *testing.B) {
+	vol := datagen.MarschnerLobb(48)
+	r := render.NewRenderer()
+	r.AddVolume(render.NewVolumeActor(vol, "var0"))
+	r.ResetCamera()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render(320, 180)
+	}
+}
+
+func BenchmarkSubstrate_PvPythonExec(b *testing.B) {
+	dataDir := b.TempDir()
+	if err := vtkio.SaveLegacyVTK(filepath.Join(dataDir, "ml-100.vtk"),
+		datagen.MarschnerLobb(16), "ml"); err != nil {
+		b.Fatal(err)
+	}
+	scn, _ := eval.ScenarioByID("iso")
+	script := scn.GroundTruthScript(160, 90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner := &pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()}
+		res := runner.Exec(script)
+		if !res.OK() {
+			b.Fatalf("script failed:\n%s", res.Output)
+		}
+	}
+}
+
+func BenchmarkSubstrate_ClipPolyData(b *testing.B) {
+	vol := datagen.MarschnerLobb(48)
+	surf, err := filters.Contour(vol, "var0", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filters.ClipPolyData(surf, plane)
+	}
+}

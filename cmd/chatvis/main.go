@@ -1,0 +1,107 @@
+// Command chatvis runs the iterative assistant on a natural-language
+// visualization request, producing a ParaView Python script and a
+// screenshot.
+//
+// Usage:
+//
+//	chatvis -prompt "Read in the file named ml-100.vtk. ..." \
+//	        -data ./data -out ./out -model gpt-4 -max-iter 5
+//
+// Generate the input datasets first with `datagen -dir ./data`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+)
+
+func main() {
+	var (
+		prompt    = flag.String("prompt", "", "natural-language visualization request (required)")
+		dataDir   = flag.String("data", "data", "directory containing input datasets")
+		outDir    = flag.String("out", "out", "directory for screenshots and artifacts")
+		modelName = flag.String("model", "gpt-4", "LLM to use: "+strings.Join(llm.ModelNames(), ", "))
+		maxIter   = flag.Int("max-iter", 5, "maximum error-correction iterations")
+		fewShot   = flag.Int("few-shot", 0, "number of example snippets (0 = all, negative = none)")
+		noRewrite = flag.Bool("no-rewrite", false, "skip the prompt-generation stage")
+		unassist  = flag.Bool("unassisted", false, "run the bare model without the assistant (comparison mode)")
+		verbose   = flag.Bool("v", false, "print per-iteration transcripts")
+	)
+	flag.Parse()
+	if *prompt == "" {
+		fmt.Fprintln(os.Stderr, "chatvis: -prompt is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	model, err := llm.NewModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	runner := &pvpython.Runner{DataDir: *dataDir, OutDir: *outDir}
+
+	var art *chatvis.Artifact
+	if *unassist {
+		art, err = chatvis.Unassisted(model, runner, *prompt)
+	} else {
+		var assistant *chatvis.Assistant
+		assistant, err = chatvis.NewAssistant(chatvis.Options{
+			Model:         model,
+			Runner:        runner,
+			MaxIterations: *maxIter,
+			FewShot:       *fewShot,
+			RewritePrompt: !*noRewrite,
+		})
+		if err == nil {
+			art, err = assistant.Run(*prompt)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		fmt.Printf("=== generated prompt ===\n%s\n", art.GeneratedPrompt)
+		for i, it := range art.Iterations {
+			fmt.Printf("=== iteration %d script ===\n%s\n", i+1, it.Script)
+			if it.Output != "" {
+				fmt.Printf("=== iteration %d output ===\n%s\n", i+1, it.Output)
+			}
+		}
+	}
+
+	scriptPath := filepath.Join(*outDir, "generated_script.py")
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(scriptPath, []byte(art.FinalScript), 0o644); err != nil {
+		fatal(err)
+	}
+
+	if art.Success {
+		fmt.Printf("success after %d iteration(s)\n", art.NumIterations())
+		fmt.Printf("script: %s\n", scriptPath)
+		for _, s := range art.Screenshots {
+			fmt.Printf("screenshot: %s\n", s)
+		}
+		return
+	}
+	fmt.Printf("failed after %d iteration(s); last errors:\n", art.NumIterations())
+	last := art.Iterations[len(art.Iterations)-1]
+	for _, e := range last.Errors {
+		fmt.Printf("  %s: %s\n", e.Kind, e.Message)
+	}
+	fmt.Printf("script: %s\n", scriptPath)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chatvis:", err)
+	os.Exit(1)
+}

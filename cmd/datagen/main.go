@@ -1,0 +1,35 @@
+// Command datagen writes the three input datasets the experiments use:
+// ml-100.vtk (Marschner-Lobb), can_points.ex2 (point cloud) and disk.ex2
+// (annular flow).
+//
+// Usage:
+//
+//	datagen -dir ./data [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chatvis/internal/eval"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "data", "output directory")
+		full = flag.Bool("full", false, "paper-scale datasets (ml-100 at 100^3) instead of small test sizes")
+	)
+	flag.Parse()
+	size := eval.DataSmall
+	if *full {
+		size = eval.DataFull
+	}
+	if err := eval.EnsureData(*dir, size); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	for _, f := range []string{"ml-100.vtk", "can_points.ex2", "disk.ex2"} {
+		fmt.Printf("wrote %s/%s\n", *dir, f)
+	}
+}

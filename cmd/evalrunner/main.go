@@ -1,0 +1,108 @@
+// Command evalrunner regenerates the paper's evaluation artifacts:
+// Table I (generated scripts), Table II (LLM comparison grid) and the
+// image comparisons behind Figures 2-6. Results are printed and written
+// to a markdown report.
+//
+// Usage:
+//
+//	evalrunner -data ./data -out ./out                 # everything
+//	evalrunner -task iso                               # one figure
+//	evalrunner -table2                                 # only the grid
+//	evalrunner -full -width 1920 -height 1080          # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chatvis/internal/eval"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "data", "dataset directory (populated on demand)")
+		outDir  = flag.String("out", "out", "output directory for screenshots and the report")
+		width   = flag.Int("width", 480, "render width")
+		height  = flag.Int("height", 270, "render height")
+		full    = flag.Bool("full", false, "paper-scale datasets")
+		task    = flag.String("task", "", "run a single scenario: iso, slice, volume, delaunay, stream")
+		table2  = flag.Bool("table2", false, "run only the Table II grid")
+		table1  = flag.Bool("table1", false, "run only the Table I script pair")
+	)
+	flag.Parse()
+
+	cfg := eval.Config{
+		DataDir: *dataDir,
+		OutDir:  *outDir,
+		Width:   *width,
+		Height:  *height,
+	}
+	if *full {
+		cfg.DataSize = eval.DataFull
+	}
+
+	switch {
+	case *task != "":
+		scn, ok := eval.ScenarioByID(*task)
+		if !ok {
+			fatal(fmt.Errorf("unknown task %q", *task))
+		}
+		fig, err := cfg.RunFigure(scn)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s (%s):\n", fig.Figure, fig.Task)
+		fmt.Printf("  ChatVis vs ground truth: %s (match=%v)\n", fig.ChatVis, fig.ChatVisMatches)
+		if fig.GPT4 != nil {
+			fmt.Printf("  GPT-4  vs ground truth: %s (match=%v)\n", *fig.GPT4, fig.GPT4Matches)
+		} else {
+			fmt.Println("  GPT-4: no image (script failed)")
+		}
+	case *table1:
+		t1, err := cfg.RunTable1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t1.Format())
+	case *table2:
+		t2, err := cfg.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t2.Format())
+	default:
+		fmt.Println("running Table II grid (6 models x 5 tasks)...")
+		t2, err := cfg.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t2.Format())
+		fmt.Println("running Table I script pair...")
+		t1, err := cfg.RunTable1()
+		if err != nil {
+			fatal(err)
+		}
+		var figs []*eval.FigureResult
+		for _, scn := range eval.Scenarios() {
+			fmt.Printf("running %s (%s)...\n", scn.Figure, scn.ID)
+			fig, err := cfg.RunFigure(scn)
+			if err != nil {
+				fatal(err)
+			}
+			figs = append(figs, fig)
+			fmt.Printf("  ChatVis vs GT: %s (match=%v)\n", fig.ChatVis, fig.ChatVisMatches)
+		}
+		report := filepath.Join(*outDir, "report.md")
+		if err := eval.WriteReport(report, t2, t1, figs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", report)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evalrunner:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command pvpython executes a ParaView Python script against the
+// simulated engine, mimicking `pvpython script.py`.
+//
+// Usage:
+//
+//	pvpython -data ./data -out ./out script.py
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chatvis/internal/pvpython"
+	"chatvis/internal/pvsim"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", ".", "directory for resolving input dataset paths")
+		outDir  = flag.String("out", ".", "directory for screenshots")
+		listAPI = flag.Bool("list-api", false, "print the simulated paraview.simple API reference and exit")
+	)
+	flag.Parse()
+	if *listAPI {
+		fmt.Print(pvsim.NewEngine("", "").APIReference().Format())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pvpython [flags] script.py")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pvpython:", err)
+		os.Exit(1)
+	}
+	runner := &pvpython.Runner{DataDir: *dataDir, OutDir: *outDir}
+	res := runner.Exec(string(src))
+	fmt.Print(res.Output)
+	if !res.OK() {
+		os.Exit(1)
+	}
+	for _, s := range res.Screenshots {
+		fmt.Printf("wrote %s\n", s)
+	}
+}

@@ -1,0 +1,75 @@
+// Custom pipeline: use the visualization engine directly as a Go library,
+// without any LLM in the loop — generate data, filter it, render it, and
+// also drive the simulated PvPython with a hand-written script.
+//
+//	go run ./examples/custom_pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chatvis/internal/datagen"
+	"chatvis/internal/filters"
+	"chatvis/internal/pvpython"
+	"chatvis/internal/render"
+	"chatvis/internal/vmath"
+	"chatvis/internal/vtkio"
+)
+
+func main() {
+	outDir := "example_out/custom"
+
+	// --- Path 1: the Go API directly -----------------------------------
+	// Build a Marschner-Lobb volume, isosurface it, clip half away, and
+	// render with scalar coloring.
+	vol := datagen.MarschnerLobb(48)
+	surf, err := filters.Contour(vol, "var0", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clipped := filters.ClipPolyData(surf, vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(0, -1, 0)))
+	filters.ComputePointNormals(clipped)
+
+	r := render.NewRenderer()
+	r.Background = render.White
+	actor := render.NewActor(clipped)
+	actor.ColorField = "var0"
+	lo, hi := clipped.Points.Get("var0").Range()
+	actor.LUT = render.NewCoolToWarm(lo, hi)
+	r.AddActor(actor)
+	r.Camera.Isometric(r.VisibleBounds())
+	img := r.Render(640, 360)
+	if err := render.SavePNG(outDir+"/go_api.png", img); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Go API render: %s (%d triangles)\n", outDir+"/go_api.png", clipped.NumTriangles())
+
+	// --- Path 2: the same pipeline as a PvPython script ------------------
+	if err := vtkio.SaveLegacyVTK(outDir+"/ml.vtk", vol, "ML volume"); err != nil {
+		log.Fatal(err)
+	}
+	script := `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml.vtk'])
+contour1 = Contour(Input=reader)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.5]
+clip1 = Clip(Input=contour1, ClipType='Plane')
+clip1.ClipType.Normal = [0.0, 1.0, 0.0]
+clip1.Invert = 1
+view = GetActiveViewOrCreate('RenderView')
+view.ViewSize = [640, 360]
+d = Show(clip1, view)
+ColorBy(d, ('POINTS', 'var0'))
+view.ApplyIsometricView()
+SaveScreenshot('script_api.png', view,
+    ImageResolution=[640, 360], OverrideColorPalette='WhiteBackground')
+`
+	runner := &pvpython.Runner{DataDir: outDir, OutDir: outDir}
+	res := runner.Exec(script)
+	if !res.OK() {
+		log.Fatalf("script failed:\n%s", res.Output)
+	}
+	fmt.Printf("script render: %v\n", res.Screenshots)
+	fmt.Println("both paths render the same half-isosurface; compare the PNGs")
+}

@@ -1,0 +1,59 @@
+// Flow visualization (the paper's Fig. 6 / Table I experiment):
+// streamlines + tubes + cone glyphs colored by temperature, with the
+// correction loop's per-iteration transcript printed.
+//
+//	go run ./examples/flow_visualization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+)
+
+func main() {
+	dataDir := "example_out/data"
+	outDir := "example_out/flow"
+	if err := eval.EnsureData(dataDir, eval.DataSmall); err != nil {
+		log.Fatal(err)
+	}
+	scn, _ := eval.ScenarioByID("stream")
+	prompt := scn.UserPrompt(640, 360)
+
+	model, err := llm.NewModel("gpt-4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	assistant, err := chatvis.NewAssistant(chatvis.Options{
+		Model:  model,
+		Runner: &pvpython.Runner{DataDir: dataDir, OutDir: outDir},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := assistant.Run(prompt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("correction loop ran %d iteration(s)\n\n", art.NumIterations())
+	for i, it := range art.Iterations {
+		fmt.Printf("--- iteration %d ---\n", i+1)
+		if len(it.Errors) == 0 {
+			fmt.Println("executed cleanly")
+			continue
+		}
+		for _, e := range it.Errors {
+			fmt.Printf("extracted error: %s: %s (line %d)\n", e.Kind, e.Message, e.Line)
+		}
+	}
+	fmt.Println("\n--- final script ---")
+	fmt.Println(art.FinalScript)
+	if art.Success {
+		fmt.Printf("screenshot: %v\n", art.Screenshots)
+	}
+}

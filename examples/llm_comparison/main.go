@@ -1,0 +1,49 @@
+// LLM comparison (a one-task slice of the paper's Table II): run ChatVis
+// and every unassisted model on the Delaunay task and print the grid row.
+//
+//	go run ./examples/llm_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+)
+
+func main() {
+	cfg := eval.Config{
+		DataDir: "example_out/data",
+		OutDir:  "example_out/llm_comparison",
+		Width:   480,
+		Height:  270,
+	}
+	scn, _ := eval.ScenarioByID("delaunay")
+	fmt.Printf("task: %s\n\n", scn.Row)
+	fmt.Printf("%-16s %-10s %-12s %s\n", "model", "error?", "screenshot?", "first error")
+
+	cell, _, err := cfg.RunChatVis(scn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRow("ChatVis", cell)
+
+	for _, m := range llm.PaperModels() {
+		cell, _, err := cfg.RunUnassisted(m, scn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(m, cell)
+	}
+}
+
+func printRow(name string, c eval.CellResult) {
+	yn := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Printf("%-16s %-10s %-12s %s\n", name, yn(!c.ErrorFree), yn(c.Screenshot), c.FirstError)
+}

@@ -1,0 +1,61 @@
+// Quickstart: ask ChatVis for a visualization in natural language and get
+// back a ParaView Python script plus a rendered screenshot.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+)
+
+func main() {
+	// Workspace: datasets in ./example_out/data, results next to them.
+	dataDir := "example_out/data"
+	outDir := "example_out/quickstart"
+	if err := eval.EnsureData(dataDir, eval.DataSmall); err != nil {
+		log.Fatal(err)
+	}
+
+	// The assistant needs a model and a script runner.
+	model, err := llm.NewModel("gpt-4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	assistant, err := chatvis.NewAssistant(chatvis.Options{
+		Model:         model,
+		Runner:        &pvpython.Runner{DataDir: dataDir, OutDir: outDir},
+		MaxIterations: 5,
+		RewritePrompt: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prompt := `Please generate a ParaView Python script for the following operations. ` +
+		`Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.5. ` +
+		`Save a screenshot of the result in the filename quickstart.png. ` +
+		`The rendered view and saved screenshot should be 640 x 360 pixels.`
+
+	art, err := assistant.Run(prompt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- generated step-by-step prompt ---")
+	fmt.Println(art.GeneratedPrompt)
+	fmt.Println("--- final script ---")
+	fmt.Println(art.FinalScript)
+	if !art.Success {
+		fmt.Println("the assistant could not produce a working script")
+		os.Exit(1)
+	}
+	fmt.Printf("done in %d iteration(s); screenshots: %v\n",
+		art.NumIterations(), art.Screenshots)
+}

@@ -1,0 +1,247 @@
+// Package chatvis implements the paper's contribution: an iterative
+// assistant that turns a natural-language visualization request into a
+// working ParaView Python script.
+//
+// The flow follows Fig. 1 of the paper:
+//
+//  1. Prompt generation — an LLM rewrites the user request into
+//     step-by-step instructions, guided by a crafted example pair.
+//  2. Script generation — the LLM receives the generated prompt together
+//     with example code snippets (few-shot prompting) and emits a script.
+//  3. Error detection and correction — the script runs under PvPython;
+//     error messages are extracted from the output and fed back to the
+//     LLM, which revises the script. The loop repeats until the script
+//     executes cleanly or the iteration budget is exhausted.
+package chatvis
+
+import (
+	"fmt"
+	"strings"
+
+	"chatvis/internal/errext"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+)
+
+// Options configures an Assistant.
+type Options struct {
+	// Model is the LLM backing all three stages (the paper uses GPT-4).
+	Model llm.Client
+	// Runner executes generated scripts (the simulated pvpython).
+	Runner *pvpython.Runner
+	// MaxIterations bounds the correction loop (default 5).
+	MaxIterations int
+	// FewShot truncates the example library to its first n entries;
+	// 0 means the full library and a negative value disables examples
+	// entirely. Used by the ablation bench.
+	FewShot int
+	// RewritePrompt enables the prompt-generation stage (default true via
+	// NewAssistant; the ablation bench switches it off).
+	RewritePrompt bool
+	// APIReference, when non-empty, is appended to the generation prompt
+	// as documentation-based grounding (the paper's proposed alternative
+	// to few-shot snippets: teaching the model ParaView's real function
+	// calls). Obtain it from pvsim's Engine.APIReference().Format().
+	APIReference string
+}
+
+// Iteration records one pass of the correction loop.
+type Iteration struct {
+	// Script is the candidate script executed this round.
+	Script string
+	// Output is the combined PvPython output.
+	Output string
+	// Errors are the extracted error reports (empty on success).
+	Errors []errext.ErrorReport
+}
+
+// Artifact is everything one assistant run produces.
+type Artifact struct {
+	UserPrompt      string
+	GeneratedPrompt string
+	Iterations      []Iteration
+	// FinalScript is the last executed script.
+	FinalScript string
+	// Screenshots produced by the successful run.
+	Screenshots []string
+	// Success reports whether the final script executed without error.
+	Success bool
+}
+
+// NumIterations returns how many executions the loop needed.
+func (a *Artifact) NumIterations() int { return len(a.Iterations) }
+
+// Assistant is the ChatVis agent.
+type Assistant struct {
+	opt Options
+}
+
+// NewAssistant builds an assistant with defaults filled in.
+func NewAssistant(opt Options) (*Assistant, error) {
+	if opt.Model == nil {
+		return nil, fmt.Errorf("chatvis: Options.Model is required")
+	}
+	if opt.Runner == nil {
+		return nil, fmt.Errorf("chatvis: Options.Runner is required")
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 5
+	}
+	return &Assistant{opt: opt}, nil
+}
+
+// rewriteSystem is the stage-1 instruction (its phrasing carries the
+// stage marker the simulated models dispatch on).
+const rewriteSystem = `You are an assistant that prepares prompts for a ParaView scripting model.
+Rewrite the user's visualization request as precise step-by-step instructions.
+Identify every operation the user mentions and arrange the steps in execution order.
+Follow the structure of the example below.`
+
+// generateSystem introduces the few-shot examples (stage 2).
+const generateSystem = `You are an expert in ParaView Python scripting.
+Generate a complete, runnable ParaView Python script for the user's request.
+Use only functions and properties that exist in paraview.simple.
+Example code snippets for various operations:
+
+%s`
+
+// repairSystem frames the correction request (stage 3).
+const repairSystem = `You are an expert in ParaView Python scripting.
+The previously generated script failed to execute. Use the error messages
+extracted from the PvPython output to fix the code and return the full
+corrected script.`
+
+// Run executes the full ChatVis flow for one user request.
+func (a *Assistant) Run(userPrompt string) (*Artifact, error) {
+	art := &Artifact{UserPrompt: userPrompt}
+
+	// Stage 1: prompt generation.
+	genPrompt := userPrompt
+	if a.opt.RewritePrompt {
+		resp, err := a.opt.Model.Complete(llm.Request{
+			System: rewriteSystem + "\n\n" + ExamplePromptPair,
+			User:   userPrompt,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chatvis: prompt generation: %w", err)
+		}
+		genPrompt = resp
+	}
+	art.GeneratedPrompt = genPrompt
+
+	// Stage 2: script generation with few-shot examples and/or API docs.
+	genSys := "You are an expert in ParaView Python scripting.\nGenerate a complete, runnable ParaView Python script for the user's request."
+	if block := a.exampleBlock(); block != "" {
+		genSys = fmt.Sprintf(generateSystem, block)
+	}
+	if a.opt.APIReference != "" {
+		genSys += "\n\nComplete API documentation:\n" + a.opt.APIReference
+	}
+	script, err := a.opt.Model.Complete(llm.Request{
+		System: genSys,
+		User:   genPrompt,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chatvis: script generation: %w", err)
+	}
+	script = CleanScript(script)
+
+	// Stage 3: execute, extract errors, repair.
+	for iter := 0; iter < a.opt.MaxIterations; iter++ {
+		res := a.opt.Runner.Exec(script)
+		reports := errext.Extract(res.Output)
+		art.Iterations = append(art.Iterations, Iteration{
+			Script: script,
+			Output: res.Output,
+			Errors: reports,
+		})
+		art.FinalScript = script
+		if res.OK() && len(reports) == 0 {
+			art.Success = true
+			art.Screenshots = res.Screenshots
+			return art, nil
+		}
+		resp, err := a.opt.Model.Complete(llm.Request{
+			System: repairSystem,
+			User:   llm.BuildRepairUser(script, errext.Summarize(reports)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chatvis: script repair: %w", err)
+		}
+		revised := CleanScript(resp)
+		if strings.TrimSpace(revised) == strings.TrimSpace(script) {
+			// The model cannot make progress; stop early.
+			break
+		}
+		script = revised
+	}
+	return art, nil
+}
+
+// exampleBlock renders the (possibly truncated) example library. An empty
+// string means "no examples" (FewShot < 0).
+func (a *Assistant) exampleBlock() string {
+	if a.opt.FewShot < 0 {
+		return ""
+	}
+	examples := DefaultExamples()
+	if a.opt.FewShot > 0 && a.opt.FewShot < len(examples) {
+		examples = examples[:a.opt.FewShot]
+	}
+	var b strings.Builder
+	for _, ex := range examples {
+		b.WriteString(ex.Code)
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// CleanScript strips chat artifacts (markdown fences, leading prose) from
+// a model response, keeping the Python payload.
+func CleanScript(resp string) string {
+	lines := strings.Split(resp, "\n")
+	var out []string
+	inFence := false
+	sawFence := strings.Contains(resp, "```")
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		if strings.HasPrefix(t, "```") {
+			inFence = !inFence
+			continue
+		}
+		if sawFence && !inFence {
+			// Outside fences in a fenced response: prose, drop it.
+			continue
+		}
+		out = append(out, l)
+	}
+	s := strings.Join(out, "\n")
+	if !strings.HasSuffix(s, "\n") {
+		s += "\n"
+	}
+	return s
+}
+
+// Unassisted runs a bare model on the raw user prompt with no prompt
+// rewriting, no examples and no correction loop — the paper's comparison
+// condition for GPT-4 and the other LLMs.
+func Unassisted(model llm.Client, runner *pvpython.Runner, userPrompt string) (*Artifact, error) {
+	art := &Artifact{UserPrompt: userPrompt, GeneratedPrompt: userPrompt}
+	resp, err := model.Complete(llm.Request{
+		System: "Generate a ParaView Python script for the user's request.",
+		User:   userPrompt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// No assistant post-processing: the raw response runs as-is, which is
+	// how markdown fences become syntax errors.
+	script := resp
+	res := runner.Exec(script)
+	reports := errext.Extract(res.Output)
+	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports}}
+	art.FinalScript = script
+	art.Success = res.OK() && len(reports) == 0
+	art.Screenshots = res.Screenshots
+	return art, nil
+}

@@ -1,0 +1,91 @@
+package chatvis
+
+// The few-shot example library: real paraview.simple snippets per
+// operation, the "example function calls for various operations" the
+// paper feeds the LLM alongside the generated prompt (§III-B). Examples
+// ground the model's API usage for the operations they cover — the paper
+// credits them with preventing hallucinated function calls.
+
+// Example is one named snippet.
+type Example struct {
+	// Op identifies the operation family the snippet demonstrates.
+	Op string
+	// Code is the paraview.simple snippet.
+	Code string
+}
+
+// DefaultExamples returns the complete snippet library in presentation
+// order.
+func DefaultExamples() []Example {
+	return []Example{
+		{Op: "read", Code: `# Reading a legacy VTK file
+reader = LegacyVTKReader(registrationName='data.vtk', FileNames=['data.vtk'])
+
+# Reading an Exodus II file
+reader = ExodusIIReader(FileName='data.ex2')
+reader.UpdatePipeline()`},
+		{Op: "contour", Code: `# Extracting an isosurface / contour
+contour1 = Contour(registrationName='Contour1', Input=reader)
+contour1.ContourBy = ['POINTS', 'scalars']
+contour1.Isosurfaces = [0.5]`},
+		{Op: "slice", Code: `# Slicing with a plane
+slice1 = Slice(registrationName='Slice1', Input=reader, SliceType='Plane')
+slice1.SliceType.Origin = [0.0, 0.0, 0.0]
+slice1.SliceType.Normal = [1.0, 0.0, 0.0]`},
+		{Op: "clip", Code: `# Clipping with a plane (Invert=1 keeps the half opposite the normal)
+clip1 = Clip(registrationName='Clip1', Input=reader, ClipType='Plane')
+clip1.ClipType.Origin = [0.0, 0.0, 0.0]
+clip1.ClipType.Normal = [1.0, 0.0, 0.0]
+clip1.Invert = 1`},
+		{Op: "threshold", Code: `# Keeping cells inside a scalar range
+threshold1 = Threshold(registrationName='Threshold1', Input=reader)
+threshold1.Scalars = ['POINTS', 'Temp']
+threshold1.LowerThreshold = 400.0
+threshold1.UpperThreshold = 900.0`},
+		{Op: "delaunay", Code: `# Delaunay triangulation of a point cloud
+delaunay1 = Delaunay3D(registrationName='Delaunay3D1', Input=reader)`},
+		{Op: "streamlines", Code: `# Tracing streamlines from a default point cloud of seeds
+streamTracer = StreamTracer(registrationName='StreamTracer1', Input=reader,
+                            SeedType='Point Cloud')`},
+		{Op: "tube", Code: `# Wrapping lines in tubes
+tube = Tube(registrationName='Tube1', Input=streamTracer)
+tube.Radius = 0.075`},
+		{Op: "glyph", Code: `# Adding oriented glyphs
+glyph = Glyph(registrationName='Glyph1', Input=streamTracer, GlyphType='Cone')
+glyph.OrientationArray = ['POINTS', 'V']
+glyph.ScaleArray = ['POINTS', 'V']
+glyph.ScaleFactor = 0.2`},
+		{Op: "volume", Code: `# Volume rendering with the default transfer function
+display = Show(reader, renderView1)
+display.SetRepresentationType('Volume')
+ColorBy(display, ['POINTS', 'scalars'])
+display.RescaleTransferFunctionToDataRange(True)`},
+		{Op: "view", Code: `# Render view management
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [1920, 1080]
+display = Show(contour1, renderView1)
+ColorBy(display, ('POINTS', 'Temp'))
+display.RescaleTransferFunctionToDataRange(True)
+renderView1.ResetActiveCameraToPositiveX()
+renderView1.ApplyIsometricView()
+renderView1.ResetCamera()`},
+		{Op: "screenshot", Code: `# Saving a screenshot
+SaveScreenshot('image.png', renderView1,
+    ImageResolution=[1920, 1080],
+    OverrideColorPalette='WhiteBackground')`},
+	}
+}
+
+// ExamplePromptPair is the crafted example the prompt-rewriting stage
+// shows the LLM (paper §III-A): a user request and the step-by-step
+// prompt derived from it.
+const ExamplePromptPair = `Example user request:
+Please generate a ParaView Python script for the following operations. Read in the file named example.vtk. Generate an isosurface of the variable density at value 1.0. Save a screenshot of the result in the filename example.png. The rendered view and saved screenshot should be 800 x 600 pixels.
+
+Example generated prompt:
+Generate a Python script using ParaView for performing visualization tasks based on the provided steps. Requirements step-by-step:
+- Read the file named example.vtk given the path.
+- Generate an isosurface of the variable density at value 1.0.
+- Configure the rendered view resolution to 800 x 600 pixels.
+- Save a screenshot of the rendered view to the filename example.png.
+`

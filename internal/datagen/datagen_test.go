@@ -1,0 +1,195 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+func TestMarschnerLobbValueRange(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		// Map arbitrary floats into the domain.
+		wrap := func(v float64) float64 { return math.Mod(math.Abs(v), 2) - 1 }
+		v := MarschnerLobbValue(wrap(x), wrap(y), wrap(z))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarschnerLobbSymmetry(t *testing.T) {
+	// The signal is rotationally symmetric about the z axis: value depends
+	// only on radius and z.
+	v1 := MarschnerLobbValue(0.5, 0, 0.2)
+	v2 := MarschnerLobbValue(0, 0.5, 0.2)
+	v3 := MarschnerLobbValue(0.5/math.Sqrt2, 0.5/math.Sqrt2, 0.2)
+	if math.Abs(v1-v2) > 1e-12 || math.Abs(v1-v3) > 1e-12 {
+		t.Errorf("rotational symmetry broken: %v %v %v", v1, v2, v3)
+	}
+}
+
+func TestMarschnerLobbGrid(t *testing.T) {
+	im := MarschnerLobb(21)
+	if im.Dims != [3]int{21, 21, 21} {
+		t.Fatalf("dims = %v", im.Dims)
+	}
+	b := im.Bounds()
+	if !b.Min.NearEq(vmath.V(-1, -1, -1), 1e-12) || !b.Max.NearEq(vmath.V(1, 1, 1), 1e-12) {
+		t.Errorf("bounds = %v..%v", b.Min, b.Max)
+	}
+	f := im.Points.Get("var0")
+	if f == nil {
+		t.Fatal("var0 missing")
+	}
+	if f.NumTuples() != im.NumPoints() {
+		t.Fatalf("tuples = %d", f.NumTuples())
+	}
+	lo, hi := f.Range()
+	if lo < 0 || hi > 1 || hi <= lo {
+		t.Errorf("range = %v..%v", lo, hi)
+	}
+	// The isovalue 0.5 used in the paper must actually be crossed.
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("0.5 not inside range %v..%v", lo, hi)
+	}
+	// Spot-check one sample against the analytic function.
+	idx := im.Index(10, 10, 10)
+	if got, want := f.Scalar(idx), MarschnerLobbValue(0, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("center sample = %v, want %v", got, want)
+	}
+}
+
+func TestMarschnerLobbMinSize(t *testing.T) {
+	im := MarschnerLobb(0)
+	if im.Dims[0] < 2 {
+		t.Error("degenerate grid")
+	}
+}
+
+func TestCanPoints(t *testing.T) {
+	ug := CanPoints(48, 24)
+	if ug.NumPoints() < 48*24 {
+		t.Fatalf("too few points: %d", ug.NumPoints())
+	}
+	if ug.NumCells() != ug.NumPoints() {
+		t.Fatalf("every point should be a vertex cell: %d cells vs %d points",
+			ug.NumCells(), ug.NumPoints())
+	}
+	for _, c := range ug.Cells {
+		if c.Type != data.CellVertex {
+			t.Fatal("non-vertex cell in point cloud")
+		}
+	}
+	d := ug.Points.Get("DISPL")
+	if d == nil || d.NumTuples() != ug.NumPoints() {
+		t.Fatal("DISPL field missing or wrong size")
+	}
+	b := ug.Bounds()
+	if b.Size().Z < 2 || b.Size().X < 1 {
+		t.Errorf("implausible bounds %v..%v", b.Min, b.Max)
+	}
+	// Determinism: same parameters, same cloud.
+	ug2 := CanPoints(48, 24)
+	if ug2.NumPoints() != ug.NumPoints() || !ug2.Pts[17].NearEq(ug.Pts[17], 0) {
+		t.Error("CanPoints must be deterministic")
+	}
+}
+
+func TestDiskFlowFieldProperties(t *testing.T) {
+	// Swirl is azimuthal: velocity at a point has a component orthogonal to
+	// the radius vector; the z component is positive (axial jet).
+	v, temp, pres := DiskFlowField(vmath.V(1, 0, 0.5))
+	if v.Z <= 0 {
+		t.Errorf("axial flow should be upward, got %v", v.Z)
+	}
+	if v.Y == 0 {
+		t.Error("swirl should produce tangential velocity")
+	}
+	if temp <= 0 || pres <= 0 {
+		t.Errorf("nonphysical temp=%v pres=%v", temp, pres)
+	}
+	// Temperature decreases radially outward.
+	_, tInner, _ := DiskFlowField(vmath.V(0.6, 0, 0.5))
+	_, tOuter, _ := DiskFlowField(vmath.V(1.9, 0, 0.5))
+	if tInner <= tOuter {
+		t.Errorf("Temp should fall with radius: %v vs %v", tInner, tOuter)
+	}
+}
+
+func TestDiskFlowMesh(t *testing.T) {
+	nr, nTheta, nz := 4, 12, 5
+	ug := DiskFlow(nr, nTheta, nz)
+	if ug.NumPoints() != nr*nTheta*nz {
+		t.Fatalf("points = %d", ug.NumPoints())
+	}
+	wantCells := (nr - 1) * nTheta * (nz - 1)
+	if ug.NumCells() != wantCells {
+		t.Fatalf("cells = %d, want %d", ug.NumCells(), wantCells)
+	}
+	for _, c := range ug.Cells {
+		if c.Type != data.CellHexahedron || len(c.IDs) != 8 {
+			t.Fatal("expected hexahedra")
+		}
+		for _, id := range c.IDs {
+			if id < 0 || id >= ug.NumPoints() {
+				t.Fatal("cell id out of range")
+			}
+		}
+	}
+	for _, name := range []string{"V", "Temp", "Pres"} {
+		f := ug.Points.Get(name)
+		if f == nil || f.NumTuples() != ug.NumPoints() {
+			t.Fatalf("field %s missing or wrong size", name)
+		}
+	}
+	if ug.Points.Get("V").NumComponents != 3 {
+		t.Error("V must be a vector field")
+	}
+	// All nodes must be inside the analytic bounds.
+	bounds := DiskBounds()
+	for _, p := range ug.Pts {
+		if !bounds.Expanded(1e-9).Contains(p) {
+			t.Fatalf("point %v outside disk bounds", p)
+		}
+	}
+}
+
+func TestDiskFlowSeamWraps(t *testing.T) {
+	// With theta wrapping there must be cells using both the last and the
+	// first azimuthal node column.
+	nr, nTheta, nz := 3, 8, 3
+	ug := DiskFlow(nr, nTheta, nz)
+	// Node ids with it = nTheta-1 occupy a known range; find a cell that
+	// spans the seam (contains both it=0 and it=nTheta-1 nodes).
+	itOf := func(id int) int { return (id / nr) % nTheta }
+	seam := false
+	for _, c := range ug.Cells {
+		has0, hasLast := false, false
+		for _, id := range c.IDs {
+			switch itOf(id) {
+			case 0:
+				has0 = true
+			case nTheta - 1:
+				hasLast = true
+			}
+		}
+		if has0 && hasLast {
+			seam = true
+			break
+		}
+	}
+	if !seam {
+		t.Error("no seam-spanning cell found; azimuthal wrap is broken")
+	}
+}
+
+func TestDiskFlowDegenerateParamsClamped(t *testing.T) {
+	ug := DiskFlow(0, 0, 0)
+	if ug.NumPoints() == 0 || ug.NumCells() == 0 {
+		t.Error("degenerate parameters should be clamped to a valid mesh")
+	}
+}

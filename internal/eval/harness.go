@@ -1,0 +1,408 @@
+package eval
+
+import (
+	"fmt"
+	"image"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/imgcmp"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+	"chatvis/internal/render"
+	"chatvis/internal/scriptcmp"
+)
+
+// Config drives a harness run.
+type Config struct {
+	// DataDir holds (or will receive) the input datasets.
+	DataDir string
+	// OutDir receives screenshots and reports.
+	OutDir string
+	// Width, Height of rendered views (the paper uses 1920x1080; tests
+	// and benchmarks use smaller).
+	Width, Height int
+	// DataSize selects dataset resolution.
+	DataSize DataSize
+	// MaxIterations for the ChatVis loop (default 5).
+	MaxIterations int
+	// FewShot truncates the assistant's example library (0 = full,
+	// negative = none); used by the ablation benchmarks.
+	FewShot int
+	// NoRewrite disables the prompt-generation stage (ablation).
+	NoRewrite bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width, c.Height = 480, 270
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 5
+	}
+	return c
+}
+
+// CellResult is one (model, task) evaluation outcome — one cell pair of
+// the paper's Table II.
+type CellResult struct {
+	Model string
+	Task  string
+	// ErrorFree: the script executed without syntax or runtime errors
+	// (Table II "Error" column, inverted).
+	ErrorFree bool
+	// Screenshot: a screenshot was produced AND matches ground truth
+	// (Table II "SS" column; the paper judges correctness visually, we
+	// judge by image comparison).
+	Screenshot bool
+	// Iterations the ChatVis loop used (1 for unassisted models).
+	Iterations int
+	// Metrics of the final screenshot vs ground truth (zero value when no
+	// screenshot).
+	Metrics imgcmp.Metrics
+	// ScriptScore is the structural similarity of the final script to the
+	// reference script — the paper's proposed code-level evaluation that
+	// works "even without visual output" (§V future work).
+	ScriptScore scriptcmp.Score
+	// FirstError summarizes the first extracted error, if any.
+	FirstError string
+}
+
+// groundTruthDir runs the reference script for a scenario and returns the
+// rendered image.
+func (c Config) groundTruth(scn Scenario) (image.Image, string, error) {
+	gtOut := filepath.Join(c.OutDir, "ground_truth")
+	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: gtOut}
+	res := runner.Exec(scn.GroundTruthScript(c.Width, c.Height))
+	if !res.OK() {
+		return nil, "", fmt.Errorf("eval: ground truth for %s failed:\n%s", scn.ID, res.Output)
+	}
+	if len(res.Screenshots) == 0 {
+		return nil, "", fmt.Errorf("eval: ground truth for %s produced no screenshot", scn.ID)
+	}
+	path := res.Screenshots[len(res.Screenshots)-1]
+	img := res.Engine.Rendered[path]
+	if img == nil {
+		loaded, err := render.LoadPNG(path)
+		if err != nil {
+			return nil, "", err
+		}
+		return loaded, path, nil
+	}
+	return img, path, nil
+}
+
+// judge compares a produced screenshot against ground truth.
+func judge(gt image.Image, screenshots []string, rendered map[string]*image.RGBA) (bool, imgcmp.Metrics) {
+	if len(screenshots) == 0 {
+		return false, imgcmp.Metrics{}
+	}
+	path := screenshots[len(screenshots)-1]
+	var img image.Image = rendered[path]
+	if rendered[path] == nil {
+		loaded, err := render.LoadPNG(path)
+		if err != nil {
+			return false, imgcmp.Metrics{}
+		}
+		img = loaded
+	}
+	m, err := imgcmp.Compare(gt, img)
+	if err != nil {
+		return false, imgcmp.Metrics{}
+	}
+	return imgcmp.MatchesGroundTruth(m, gt, img), m
+}
+
+// RunChatVis evaluates the assistant (base model gpt-4) on one scenario.
+func (c Config) RunChatVis(scn Scenario) (CellResult, *chatvis.Artifact, error) {
+	c = c.withDefaults()
+	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
+		return CellResult{}, nil, err
+	}
+	gt, _, err := c.groundTruth(scn)
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	model, err := llm.NewModel("gpt-4")
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	outDir := filepath.Join(c.OutDir, "chatvis", scn.ID)
+	assistant, err := chatvis.NewAssistant(chatvis.Options{
+		Model:         model,
+		Runner:        &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir},
+		MaxIterations: c.MaxIterations,
+		FewShot:       c.FewShot,
+		RewritePrompt: !c.NoRewrite,
+	})
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	art, err := assistant.Run(scn.UserPrompt(c.Width, c.Height))
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	cell := CellResult{
+		Model:      "ChatVis",
+		Task:       scn.Row,
+		ErrorFree:  art.Success,
+		Iterations: art.NumIterations(),
+	}
+	if art.Success {
+		cell.Screenshot, cell.Metrics = judge(gt, art.Screenshots, nil)
+	} else if len(art.Iterations) > 0 && len(art.Iterations[len(art.Iterations)-1].Errors) > 0 {
+		cell.FirstError = art.Iterations[len(art.Iterations)-1].Errors[0].Kind
+	}
+	if score, err := scriptcmp.Compare(art.FinalScript, scn.GroundTruthScript(c.Width, c.Height)); err == nil {
+		cell.ScriptScore = score
+	}
+	return cell, art, nil
+}
+
+// RunUnassisted evaluates a bare model on one scenario.
+func (c Config) RunUnassisted(modelName string, scn Scenario) (CellResult, *chatvis.Artifact, error) {
+	c = c.withDefaults()
+	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
+		return CellResult{}, nil, err
+	}
+	gt, _, err := c.groundTruth(scn)
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	model, err := llm.NewModel(modelName)
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	outDir := filepath.Join(c.OutDir, modelName, scn.ID)
+	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir}
+	art, err := chatvis.Unassisted(model, runner, scn.UserPrompt(c.Width, c.Height))
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	cell := CellResult{
+		Model:      modelName,
+		Task:       scn.Row,
+		ErrorFree:  art.Success,
+		Iterations: 1,
+	}
+	if len(art.Screenshots) > 0 {
+		cell.Screenshot, cell.Metrics = judge(gt, art.Screenshots, nil)
+	}
+	if !art.Success && len(art.Iterations) > 0 && len(art.Iterations[0].Errors) > 0 {
+		cell.FirstError = art.Iterations[0].Errors[0].Kind
+	}
+	if score, err := scriptcmp.Compare(art.FinalScript, scn.GroundTruthScript(c.Width, c.Height)); err == nil {
+		cell.ScriptScore = score
+	}
+	return cell, art, nil
+}
+
+// Table2 holds the full comparison grid of the paper's Table II.
+type Table2 struct {
+	// Models in column order (ChatVis first, like the paper).
+	Models []string
+	// Tasks in row order.
+	Tasks []string
+	// Cells indexed [task][model].
+	Cells map[string]map[string]CellResult
+}
+
+// RunTable2 evaluates ChatVis plus every unassisted model on every task.
+func (c Config) RunTable2() (*Table2, error) {
+	c = c.withDefaults()
+	t2 := &Table2{
+		Models: append([]string{"ChatVis"}, llm.PaperModels()...),
+		Cells:  map[string]map[string]CellResult{},
+	}
+	for _, scn := range Scenarios() {
+		t2.Tasks = append(t2.Tasks, scn.Row)
+		t2.Cells[scn.Row] = map[string]CellResult{}
+		cell, _, err := c.RunChatVis(scn)
+		if err != nil {
+			return nil, fmt.Errorf("eval: chatvis on %s: %w", scn.ID, err)
+		}
+		t2.Cells[scn.Row]["ChatVis"] = cell
+		for _, m := range llm.PaperModels() {
+			cell, _, err := c.RunUnassisted(m, scn)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s on %s: %w", m, scn.ID, err)
+			}
+			t2.Cells[scn.Row][m] = cell
+		}
+	}
+	return t2, nil
+}
+
+// Format renders the grid in the paper's layout: per model, an Error
+// column ("No" is good) and an SS column ("Yes" is good).
+func (t *Table2) Format() string {
+	var b strings.Builder
+	yn := func(v bool) string {
+		if v {
+			return "Yes"
+		}
+		return "No"
+	}
+	fmt.Fprintf(&b, "%-26s", "Visualizations")
+	for _, m := range t.Models {
+		fmt.Fprintf(&b, "| %-22s", m)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-26s", "")
+	for range t.Models {
+		fmt.Fprintf(&b, "| %-10s %-11s", "Error", "SS")
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 26+len(t.Models)*24) + "\n")
+	for _, task := range t.Tasks {
+		fmt.Fprintf(&b, "%-26s", task)
+		for _, m := range t.Models {
+			cell := t.Cells[task][m]
+			fmt.Fprintf(&b, "| %-10s %-11s", yn(!cell.ErrorFree), yn(cell.Screenshot))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table1 pairs the ChatVis and unassisted GPT-4 streamline scripts, as in
+// the paper's Table I.
+type Table1 struct {
+	ChatVisScript string
+	GPT4Script    string
+	// ChatVisOK / GPT4Error summarize the execution outcomes.
+	ChatVisOK bool
+	GPT4Error string
+}
+
+// RunTable1 regenerates Table I: both generated scripts for the
+// streamline-tracing task.
+func (c Config) RunTable1() (*Table1, error) {
+	c = c.withDefaults()
+	scn, _ := ScenarioByID("stream")
+	t1 := &Table1{}
+	cvCell, cvArt, err := c.RunChatVis(scn)
+	if err != nil {
+		return nil, err
+	}
+	t1.ChatVisScript = cvArt.FinalScript
+	t1.ChatVisOK = cvCell.ErrorFree
+	g4Cell, g4Art, err := c.RunUnassisted("gpt-4", scn)
+	if err != nil {
+		return nil, err
+	}
+	t1.GPT4Script = g4Art.FinalScript
+	if !g4Cell.ErrorFree {
+		t1.GPT4Error = g4Cell.FirstError
+		if len(g4Art.Iterations) > 0 && len(g4Art.Iterations[0].Errors) > 0 {
+			e := g4Art.Iterations[0].Errors[0]
+			t1.GPT4Error = e.Kind + ": " + e.Message
+		}
+	}
+	return t1, nil
+}
+
+// Format renders the two scripts side by side (stacked, for plain text).
+func (t *Table1) Format() string {
+	var b strings.Builder
+	b.WriteString("=== ChatVis (left column of Table I) ===\n")
+	b.WriteString(t.ChatVisScript)
+	fmt.Fprintf(&b, "\n[executes cleanly: %v]\n\n", t.ChatVisOK)
+	b.WriteString("=== GPT-4 unassisted (right column of Table I) ===\n")
+	b.WriteString(t.GPT4Script)
+	fmt.Fprintf(&b, "\n[fails with: %s]\n", t.GPT4Error)
+	return b.String()
+}
+
+// FigureResult is one reproduced figure: ground truth vs ChatVis (and for
+// Fig. 2, GPT-4's image as well).
+type FigureResult struct {
+	Figure  string
+	Task    string
+	ChatVis imgcmp.Metrics
+	// ChatVisMatches is the SS judgement vs ground truth.
+	ChatVisMatches bool
+	// GPT4 metrics are only populated for scenarios where unassisted
+	// GPT-4 produces an image (isosurfacing, volume rendering).
+	GPT4        *imgcmp.Metrics
+	GPT4Matches bool
+}
+
+// RunFigure reproduces one figure's image set.
+func (c Config) RunFigure(scn Scenario) (*FigureResult, error) {
+	c = c.withDefaults()
+	fr := &FigureResult{Figure: scn.Figure, Task: scn.Row}
+	cell, _, err := c.RunChatVis(scn)
+	if err != nil {
+		return nil, err
+	}
+	fr.ChatVis = cell.Metrics
+	fr.ChatVisMatches = cell.Screenshot
+	g4, _, err := c.RunUnassisted("gpt-4", scn)
+	if err != nil {
+		return nil, err
+	}
+	if g4.ErrorFree && g4.Metrics != (imgcmp.Metrics{}) {
+		m := g4.Metrics
+		fr.GPT4 = &m
+		fr.GPT4Matches = g4.Screenshot
+	}
+	return fr, nil
+}
+
+// WriteReport renders a Table II grid and per-figure metrics into a
+// markdown file.
+func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult) error {
+	var b strings.Builder
+	b.WriteString("# ChatVis reproduction — measured results\n\n")
+	b.WriteString("## Table II: LLM comparison (Error = syntax/runtime error, SS = correct screenshot)\n\n```\n")
+	b.WriteString(t2.Format())
+	b.WriteString("```\n\n")
+	if t1 != nil {
+		b.WriteString("## Table I: generated streamline scripts\n\n```\n")
+		b.WriteString(t1.Format())
+		b.WriteString("```\n\n")
+	}
+	if len(figs) > 0 {
+		b.WriteString("## Figures 2-6: image comparison vs ground truth\n\n")
+		b.WriteString("| Figure | Task | ChatVis vs GT | match | GPT-4 vs GT | match |\n")
+		b.WriteString("|---|---|---|---|---|---|\n")
+		for _, f := range figs {
+			gpt := "no image"
+			gptMatch := "-"
+			if f.GPT4 != nil {
+				gpt = f.GPT4.String()
+				gptMatch = fmt.Sprintf("%v", f.GPT4Matches)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %v | %s | %s |\n",
+				f.Figure, f.Task, f.ChatVis.String(), f.ChatVisMatches, gpt, gptMatch)
+		}
+	}
+	if t2 != nil {
+		b.WriteString("\n## Script-level accuracy (structural similarity to reference, no rendering)\n\n")
+		b.WriteString("| Task |")
+		for _, m := range t2.Models {
+			fmt.Fprintf(&b, " %s |", m)
+		}
+		b.WriteString("\n|---|")
+		for range t2.Models {
+			b.WriteString("---|")
+		}
+		b.WriteString("\n")
+		for _, task := range t2.Tasks {
+			fmt.Fprintf(&b, "| %s |", task)
+			for _, m := range t2.Models {
+				fmt.Fprintf(&b, " %.2f |", t2.Cells[task][m].ScriptScore.Overall)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

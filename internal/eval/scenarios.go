@@ -1,0 +1,270 @@
+// Package eval defines the paper's five evaluation scenarios and the
+// harness that regenerates its artifacts: Table I (generated scripts),
+// Table II (LLM comparison), and the image pairs behind Figures 2-6.
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chatvis/internal/datagen"
+	"chatvis/internal/vtkio"
+)
+
+// Scenario is one of the paper's five visualization tasks.
+type Scenario struct {
+	// ID is the short machine name ("iso", "slice", "volume", "delaunay",
+	// "stream").
+	ID string
+	// Row is the paper's Table II row label.
+	Row string
+	// Figure is the paper figure the scenario's images reproduce.
+	Figure string
+	// Screenshot is the output image filename the prompt requests.
+	Screenshot string
+	// prompt renders the user prompt for a given resolution.
+	prompt func(w, h int) string
+	// groundTruth renders the manually-constructed script (standing in
+	// for the paper's ParaView GUI session) for a given resolution.
+	groundTruth func(w, h int) string
+}
+
+// UserPrompt returns the natural-language request at the given
+// resolution. At 1920x1080 the text is verbatim from the paper.
+func (s Scenario) UserPrompt(w, h int) string { return s.prompt(w, h) }
+
+// GroundTruthScript returns the reference script.
+func (s Scenario) GroundTruthScript(w, h int) string { return s.groundTruth(w, h) }
+
+// Scenarios returns the five scenarios in the paper's order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			ID: "iso", Row: "Isosurfacing", Figure: "Fig. 2",
+			Screenshot: "ml-iso-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.5. Save a screenshot of the result in the filename ml-iso-screenshot.png. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+contour1 = Contour(registrationName='Contour1', Input=ml100vtk)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.5]
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+contour1Display = Show(contour1, renderView1)
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-iso-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "slice", Row: "Slicing then contouring", Figure: "Fig. 3",
+			Screenshot: "ml-slice-iso-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'ml-100.vtk'. Slice the volume in a plane parallel to the y-z plane at x=0. Take a contour through the slice at the value 0.5. Color the contour red. Rotate the view to look at the +x direction. Save a screenshot of the result in the filename 'ml-slice-iso-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+slice1 = Slice(registrationName='Slice1', Input=ml100vtk, SliceType='Plane')
+slice1.SliceType.Origin = [0.0, 0.0, 0.0]
+slice1.SliceType.Normal = [1.0, 0.0, 0.0]
+
+contour1 = Contour(registrationName='Contour1', Input=slice1)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.5]
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+contour1Display = Show(contour1, renderView1)
+ColorBy(contour1Display, None)
+contour1Display.DiffuseColor = [1.0, 0.0, 0.0]
+contour1Display.LineWidth = 2.0
+
+renderView1.ResetActiveCameraToPositiveX()
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-slice-iso-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "volume", Row: "Volume rendering", Figure: "Fig. 4",
+			Screenshot: "ml-dvr-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'ml-100.vtk'. Generate a volume rendering using the default transfer function. Rotate the view to an isometric direction. Save a screenshot of the result in the filename 'ml-dvr-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+ml100vtkDisplay = Show(ml100vtk, renderView1)
+ml100vtkDisplay.SetRepresentationType('Volume')
+ColorBy(ml100vtkDisplay, ['POINTS', 'var0'])
+ml100vtkDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ApplyIsometricView()
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-dvr-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "delaunay", Row: "Delaunay triangulation", Figure: "Fig. 5",
+			Screenshot: "points-surf-clip-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'can_points.ex2'. Generate a 3d Delaunay triangulation of the dataset. Clip the data with a y-z plane at x=0, keeping the -x half of the data and removing the +x half. Render the image as a wireframe. View the result in an isometric view. Save a screenshot of the result in the filename 'points-surf-clip-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+canpointsex2 = ExodusIIReader(registrationName='can_points.ex2', FileName='can_points.ex2')
+
+delaunay3D1 = Delaunay3D(registrationName='Delaunay3D1', Input=canpointsex2)
+
+clip1 = Clip(registrationName='Clip1', Input=delaunay3D1, ClipType='Plane')
+clip1.ClipType.Origin = [0.0, 0.0, 0.0]
+clip1.ClipType.Normal = [1.0, 0.0, 0.0]
+clip1.Invert = 1
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+clip1Display = Show(clip1, renderView1)
+clip1Display.SetRepresentationType('Wireframe')
+
+renderView1.ApplyIsometricView()
+renderView1.ResetCamera()
+
+SaveScreenshot('points-surf-clip-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "stream", Row: "Streamline tracing", Figure: "Fig. 6",
+			Screenshot: "stream-glyph-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'disk.ex2'. Trace streamlines of the V data array seeded from a default point cloud. Render the streamlines with tubes. Add cone glyphs to the streamlines. Color the streamlines and glyphs by the Temp data array. View the result in the +X direction. Save a screenshot of the result in the filename 'stream-glyph-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+reader = ExodusIIReader(FileName='disk.ex2')
+reader.UpdatePipeline()
+
+streamTracer = StreamTracer(registrationName='StreamTracer1', Input=reader,
+                            SeedType='Point Cloud')
+
+tube = Tube(registrationName='Tube1', Input=streamTracer)
+tube.Radius = 0.075
+
+glyph = Glyph(registrationName='Glyph1', Input=streamTracer, GlyphType='Cone')
+glyph.OrientationArray = ['POINTS', 'V']
+glyph.ScaleArray = ['POINTS', 'V']
+glyph.ScaleFactor = 0.2
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+tubeDisplay = Show(tube, renderView1)
+glyphDisplay = Show(glyph, renderView1)
+ColorBy(tubeDisplay, ('POINTS', 'Temp'))
+ColorBy(glyphDisplay, ('POINTS', 'Temp'))
+tubeDisplay.RescaleTransferFunctionToDataRange(True)
+glyphDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ResetActiveCameraToPositiveX()
+renderView1.ResetCamera()
+
+SaveScreenshot('stream-glyph-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+	}
+}
+
+// ScenarioByID looks a scenario up by its short name.
+func ScenarioByID(id string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// DataSize selects dataset resolution.
+type DataSize int
+
+// Dataset size presets.
+const (
+	// DataSmall keeps tests and benchmarks fast.
+	DataSmall DataSize = iota
+	// DataFull approximates the paper's dataset sizes (ml-100 is the
+	// 100^3 Marschner-Lobb volume).
+	DataFull
+)
+
+// EnsureData writes the three input datasets into dir (skipping files
+// that already exist).
+func EnsureData(dir string, size DataSize) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mlN, canT, canZ := 24, 24, 10
+	diskR, diskT, diskZ := 6, 24, 6
+	if size == DataFull {
+		mlN, canT, canZ = 100, 64, 28
+		diskR, diskT, diskZ = 10, 48, 10
+	}
+	mlPath := filepath.Join(dir, "ml-100.vtk")
+	if _, err := os.Stat(mlPath); os.IsNotExist(err) {
+		if err := vtkio.SaveLegacyVTK(mlPath, datagen.MarschnerLobb(mlN), "Marschner-Lobb benchmark"); err != nil {
+			return fmt.Errorf("eval: writing %s: %w", mlPath, err)
+		}
+	}
+	canPath := filepath.Join(dir, "can_points.ex2")
+	if _, err := os.Stat(canPath); os.IsNotExist(err) {
+		if err := vtkio.SaveExodus(canPath, datagen.CanPoints(canT, canZ), "can point cloud"); err != nil {
+			return fmt.Errorf("eval: writing %s: %w", canPath, err)
+		}
+	}
+	diskPath := filepath.Join(dir, "disk.ex2")
+	if _, err := os.Stat(diskPath); os.IsNotExist(err) {
+		if err := vtkio.SaveExodus(diskPath, datagen.DiskFlow(diskR, diskT, diskZ), "disk flow"); err != nil {
+			return fmt.Errorf("eval: writing %s: %w", diskPath, err)
+		}
+	}
+	return nil
+}

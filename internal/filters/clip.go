@@ -1,0 +1,330 @@
+package filters
+
+import (
+	"fmt"
+	"sort"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+// ClipPolyData clips a triangulated surface with a plane, keeping the side
+// the normal points to (VTK keeps the positive side; pass InsideOut
+// semantics by flipping the plane normal). Point data is interpolated on
+// cut edges. Polylines and vertices are clipped as well.
+func ClipPolyData(pd *data.PolyData, plane vmath.Plane) *data.PolyData {
+	out := data.NewPolyData()
+	var srcFields, outFields []*data.Field
+	for i := 0; i < pd.Points.Len(); i++ {
+		f := pd.Points.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		srcFields = append(srcFields, f)
+		outFields = append(outFields, nf)
+		out.Points.Add(nf)
+	}
+	// Map from source point to output point for kept vertices.
+	kept := make(map[int]int)
+	keepPoint := func(i int) int {
+		if id, ok := kept[i]; ok {
+			return id
+		}
+		id := out.AddPoint(pd.Pts[i])
+		for fi, f := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < f.NumComponents; c++ {
+				nf.Data = append(nf.Data, f.Value(i, c))
+			}
+		}
+		kept[i] = id
+		return id
+	}
+	edgeVerts := make(map[[2]int]int)
+	cutPoint := func(i, j int) int {
+		key := [2]int{i, j}
+		if j < i {
+			key = [2]int{j, i}
+		}
+		if id, ok := edgeVerts[key]; ok {
+			return id
+		}
+		di := plane.Eval(pd.Pts[key[0]])
+		dj := plane.Eval(pd.Pts[key[1]])
+		t := 0.5
+		if di != dj {
+			t = di / (di - dj)
+		}
+		id := out.AddPoint(pd.Pts[key[0]].Lerp(pd.Pts[key[1]], t))
+		for fi, f := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < f.NumComponents; c++ {
+				v0, v1 := f.Value(key[0], c), f.Value(key[1], c)
+				nf.Data = append(nf.Data, v0+t*(v1-v0))
+			}
+		}
+		edgeVerts[key] = id
+		return id
+	}
+	dist := make([]float64, len(pd.Pts))
+	for i, p := range pd.Pts {
+		dist[i] = plane.Eval(p)
+	}
+	// Triangles: Sutherland–Hodgman against a single plane yields a
+	// triangle or quad; emit a fan.
+	pd.EachTriangle(func(a, b, c int) {
+		ids := [3]int{a, b, c}
+		var poly []int
+		for e := 0; e < 3; e++ {
+			i, j := ids[e], ids[(e+1)%3]
+			if dist[i] >= 0 {
+				poly = append(poly, keepPoint(i))
+				if dist[j] < 0 {
+					poly = append(poly, cutPoint(i, j))
+				}
+			} else if dist[j] >= 0 {
+				poly = append(poly, cutPoint(i, j))
+			}
+		}
+		if len(poly) >= 3 {
+			out.AddPoly(poly...)
+		}
+	})
+	// Polylines: break at crossings.
+	for _, line := range pd.Lines {
+		var run []int
+		flush := func() {
+			if len(run) >= 2 {
+				out.AddLine(append([]int(nil), run...)...)
+			}
+			run = run[:0]
+		}
+		for i := 0; i < len(line); i++ {
+			id := line[i]
+			if dist[id] >= 0 {
+				if i > 0 && dist[line[i-1]] < 0 {
+					run = append(run, cutPoint(line[i-1], id))
+				}
+				run = append(run, keepPoint(id))
+			} else if i > 0 && dist[line[i-1]] >= 0 {
+				run = append(run, cutPoint(line[i-1], id))
+				flush()
+			}
+		}
+		flush()
+	}
+	// Vertices: keep those on the positive side.
+	for _, v := range pd.Verts {
+		if len(v) == 1 && dist[v[0]] >= 0 {
+			out.AddVert(keepPoint(v[0]))
+		}
+	}
+	return out
+}
+
+// ClipUnstructured clips a volumetric mesh with a plane, keeping the side
+// the plane normal points to. All cells are decomposed into tetrahedra and
+// each straddling tet is cut into sub-tetrahedra, as VTK's Clip does with
+// its tetrahedral path. Point data is interpolated.
+func ClipUnstructured(ug *data.UnstructuredGrid, plane vmath.Plane) (*data.UnstructuredGrid, error) {
+	tets := GridTets(ug)
+	if len(tets) == 0 && len(ug.Cells) > 0 {
+		return nil, fmt.Errorf("filters: clip: no volumetric cells to clip")
+	}
+	out := data.NewUnstructuredGrid()
+	var srcFields, outFields []*data.Field
+	for i := 0; i < ug.Points.Len(); i++ {
+		f := ug.Points.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		srcFields = append(srcFields, f)
+		outFields = append(outFields, nf)
+		out.Points.Add(nf)
+	}
+	kept := make(map[int]int)
+	keepPoint := func(i int) int {
+		if id, ok := kept[i]; ok {
+			return id
+		}
+		id := out.AddPoint(ug.Pts[i])
+		for fi, f := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < f.NumComponents; c++ {
+				nf.Data = append(nf.Data, f.Value(i, c))
+			}
+		}
+		kept[i] = id
+		return id
+	}
+	edgeVerts := make(map[[2]int]int)
+	cutPoint := func(i, j int) int {
+		key := [2]int{i, j}
+		if j < i {
+			key = [2]int{j, i}
+		}
+		if id, ok := edgeVerts[key]; ok {
+			return id
+		}
+		di := plane.Eval(ug.Pts[key[0]])
+		dj := plane.Eval(ug.Pts[key[1]])
+		t := 0.5
+		if di != dj {
+			t = di / (di - dj)
+		}
+		id := out.AddPoint(ug.Pts[key[0]].Lerp(ug.Pts[key[1]], t))
+		for fi, f := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < f.NumComponents; c++ {
+				v0, v1 := f.Value(key[0], c), f.Value(key[1], c)
+				nf.Data = append(nf.Data, v0+t*(v1-v0))
+			}
+		}
+		edgeVerts[key] = id
+		return id
+	}
+	addTet := func(a, b, c, d int) {
+		out.AddCell(data.CellTetra, a, b, c, d)
+	}
+	for _, t := range tets {
+		var in []int   // source ids on keep side
+		var outv []int // source ids on discard side
+		for _, id := range t {
+			if plane.Eval(ug.Pts[id]) >= 0 {
+				in = append(in, id)
+			} else {
+				outv = append(outv, id)
+			}
+		}
+		switch len(in) {
+		case 0:
+			// fully discarded
+		case 4:
+			addTet(keepPoint(t[0]), keepPoint(t[1]), keepPoint(t[2]), keepPoint(t[3]))
+		case 1:
+			// Tip tet: kept vertex plus three cut points.
+			a := keepPoint(in[0])
+			p0 := cutPoint(in[0], outv[0])
+			p1 := cutPoint(in[0], outv[1])
+			p2 := cutPoint(in[0], outv[2])
+			addTet(a, p0, p1, p2)
+		case 3:
+			// Frustum: prism with kept triangle (b0,b1,b2) and cut triangle
+			// (c0,c1,c2); split into three tets.
+			b0, b1, b2 := keepPoint(in[0]), keepPoint(in[1]), keepPoint(in[2])
+			c0 := cutPoint(in[0], outv[0])
+			c1 := cutPoint(in[1], outv[0])
+			c2 := cutPoint(in[2], outv[0])
+			addTet(b0, b1, b2, c0)
+			addTet(b1, b2, c0, c1)
+			addTet(b2, c0, c1, c2)
+		case 2:
+			// Wedge with two kept vertices and four cut points.
+			a0, a1 := keepPoint(in[0]), keepPoint(in[1])
+			c00 := cutPoint(in[0], outv[0])
+			c01 := cutPoint(in[0], outv[1])
+			c10 := cutPoint(in[1], outv[0])
+			c11 := cutPoint(in[1], outv[1])
+			addTet(a0, a1, c00, c01)
+			addTet(a1, c00, c01, c11)
+			addTet(a1, c00, c10, c11)
+		}
+	}
+	return out, nil
+}
+
+// ExtractSurface returns the boundary surface of a volumetric mesh: the
+// faces that belong to exactly one cell (after tetra decomposition), as a
+// triangulated PolyData with the original point data carried over. Vertex
+// cells in the input (point clouds) are preserved as vertices.
+func ExtractSurface(ug *data.UnstructuredGrid) *data.PolyData {
+	tets := GridTets(ug)
+	type face struct{ a, b, c int }
+	canon := func(a, b, c int) face {
+		v := []int{a, b, c}
+		sort.Ints(v)
+		return face{v[0], v[1], v[2]}
+	}
+	count := make(map[face]int)
+	order := make(map[face][3]int) // original winding of first occurrence
+	for _, t := range tets {
+		fs := [4][3]int{
+			{t[0], t[1], t[2]},
+			{t[0], t[1], t[3]},
+			{t[0], t[2], t[3]},
+			{t[1], t[2], t[3]},
+		}
+		for _, f := range fs {
+			k := canon(f[0], f[1], f[2])
+			if count[k] == 0 {
+				order[k] = f
+			}
+			count[k]++
+		}
+	}
+	out := data.NewPolyData()
+	var srcFields, outFields []*data.Field
+	for i := 0; i < ug.Points.Len(); i++ {
+		f := ug.Points.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		srcFields = append(srcFields, f)
+		outFields = append(outFields, nf)
+		out.Points.Add(nf)
+	}
+	remap := make(map[int]int)
+	mapPoint := func(i int) int {
+		if id, ok := remap[i]; ok {
+			return id
+		}
+		id := out.AddPoint(ug.Pts[i])
+		for fi, f := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < f.NumComponents; c++ {
+				nf.Data = append(nf.Data, f.Value(i, c))
+			}
+		}
+		remap[i] = id
+		return id
+	}
+	// Deterministic iteration: collect and sort boundary faces.
+	var boundary [][3]int
+	for k, n := range count {
+		if n == 1 {
+			boundary = append(boundary, order[k])
+		}
+	}
+	sort.Slice(boundary, func(i, j int) bool {
+		a, b := boundary[i], boundary[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	for _, f := range boundary {
+		out.AddTriangle(mapPoint(f[0]), mapPoint(f[1]), mapPoint(f[2]))
+	}
+	for _, c := range ug.Cells {
+		if c.Type == data.CellVertex && len(c.IDs) == 1 {
+			out.AddVert(mapPoint(c.IDs[0]))
+		}
+	}
+	return out
+}
+
+// ComputePointNormals adds (or replaces) a "Normals" point array on the
+// surface: the area-weighted average of incident triangle normals,
+// normalized. Rendering uses it for smooth shading.
+func ComputePointNormals(pd *data.PolyData) {
+	n := len(pd.Pts)
+	acc := make([]vmath.Vec3, n)
+	pd.EachTriangle(func(a, b, c int) {
+		fn := pd.Pts[b].Sub(pd.Pts[a]).Cross(pd.Pts[c].Sub(pd.Pts[a]))
+		acc[a] = acc[a].Add(fn)
+		acc[b] = acc[b].Add(fn)
+		acc[c] = acc[c].Add(fn)
+	})
+	f := data.NewField("Normals", 3, n)
+	for i := range acc {
+		f.SetVec3(i, acc[i].Norm())
+	}
+	pd.Points.Add(f)
+}

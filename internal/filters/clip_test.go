@@ -1,0 +1,231 @@
+package filters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chatvis/internal/data"
+	"chatvis/internal/datagen"
+	"chatvis/internal/vmath"
+)
+
+func TestClipPolyDataHalfSphere(t *testing.T) {
+	im := sphereVolume(20)
+	surf, err := Contour(im, "dist", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep -x half: plane normal -x.
+	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
+	clipped := ClipPolyData(surf, plane)
+	if clipped.NumTriangles() == 0 {
+		t.Fatal("empty clip result")
+	}
+	for _, p := range clipped.Pts {
+		if p.X > 1e-9 {
+			t.Fatalf("point on removed side: %v", p)
+		}
+	}
+	// Roughly half the area should remain.
+	area := func(pd *data.PolyData) float64 {
+		a := 0.0
+		pd.EachTriangle(func(x, y, z int) {
+			a += pd.Pts[y].Sub(pd.Pts[x]).Cross(pd.Pts[z].Sub(pd.Pts[x])).Len() / 2
+		})
+		return a
+	}
+	full, half := area(surf), area(clipped)
+	if math.Abs(half-full/2)/full > 0.05 {
+		t.Errorf("clipped area = %v of %v, want ~half", half, full)
+	}
+	// Point data interpolated on the cut.
+	f := clipped.Points.Get("dist")
+	if f == nil || f.NumTuples() != clipped.NumPoints() {
+		t.Fatal("dist field missing/mismatched after clip")
+	}
+}
+
+func TestClipPolyDataKeepsUntouchedTriangles(t *testing.T) {
+	pd := data.NewPolyData()
+	pd.AddPoint(vmath.V(1, 0, 0))
+	pd.AddPoint(vmath.V(2, 0, 0))
+	pd.AddPoint(vmath.V(1, 1, 0))
+	pd.AddTriangle(0, 1, 2)
+	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(1, 0, 0))
+	out := ClipPolyData(pd, plane)
+	if out.NumTriangles() != 1 || out.NumPoints() != 3 {
+		t.Errorf("fully-inside triangle should be kept intact: %d tris %d pts",
+			out.NumTriangles(), out.NumPoints())
+	}
+	// And fully outside vanishes.
+	plane2 := vmath.NewPlane(vmath.V(5, 0, 0), vmath.V(1, 0, 0))
+	out2 := ClipPolyData(pd, plane2)
+	if out2.NumTriangles() != 0 || out2.NumPoints() != 0 {
+		t.Error("fully-outside triangle should vanish")
+	}
+}
+
+func TestClipPolyDataLinesAndVerts(t *testing.T) {
+	pd := data.NewPolyData()
+	a := pd.AddPoint(vmath.V(-1, 0, 0))
+	b := pd.AddPoint(vmath.V(1, 0, 0))
+	c := pd.AddPoint(vmath.V(3, 0, 0))
+	pd.AddLine(a, b, c)
+	pd.AddVert(a)
+	pd.AddVert(b)
+	f := data.NewField("s", 1, 3)
+	f.Data = []float64{-1, 1, 3}
+	pd.Points.Add(f)
+	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(1, 0, 0)) // keep +x
+	out := ClipPolyData(pd, plane)
+	if len(out.Lines) != 1 {
+		t.Fatalf("lines = %d", len(out.Lines))
+	}
+	line := out.Lines[0]
+	if len(line) != 3 {
+		t.Fatalf("clipped line has %d points", len(line))
+	}
+	if out.Pts[line[0]].X != 0 {
+		t.Errorf("cut point at %v, want x=0", out.Pts[line[0]])
+	}
+	if got := out.Points.Get("s").Scalar(line[0]); math.Abs(got) > 1e-12 {
+		t.Errorf("interpolated s at cut = %v, want 0", got)
+	}
+	if len(out.Verts) != 1 {
+		t.Errorf("verts = %d, want 1 (only +x vertex kept)", len(out.Verts))
+	}
+}
+
+func TestClipUnstructuredVolumeConservation(t *testing.T) {
+	// Clip a cube mesh at x=0.5: kept tets should sum to half the volume.
+	ug := data.NewUnstructuredGrid()
+	for i := 0; i < 8; i++ {
+		corners := [][3]float64{
+			{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+			{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+		}
+		ug.AddPoint(vmath.V(corners[i][0], corners[i][1], corners[i][2]))
+	}
+	ug.AddCell(data.CellHexahedron, 0, 1, 2, 3, 4, 5, 6, 7)
+	f := data.NewField("s", 1, 8)
+	for i := 0; i < 8; i++ {
+		f.SetScalar(i, ug.Pts[i].X)
+	}
+	ug.Points.Add(f)
+
+	totalVol := func(g *data.UnstructuredGrid) float64 {
+		v := 0.0
+		for _, tt := range GridTets(g) {
+			v += math.Abs(TetVolume(g.Pts[tt[0]], g.Pts[tt[1]], g.Pts[tt[2]], g.Pts[tt[3]]))
+		}
+		return v
+	}
+	prop := func(raw float64) bool {
+		cut := 0.1 + math.Mod(math.Abs(raw), 0.8)
+		plane := vmath.NewPlane(vmath.V(cut, 0, 0), vmath.V(-1, 0, 0)) // keep x < cut
+		clipped, err := ClipUnstructured(ug, plane)
+		if err != nil {
+			return false
+		}
+		for _, p := range clipped.Pts {
+			if p.X > cut+1e-9 {
+				return false
+			}
+		}
+		return math.Abs(totalVol(clipped)-cut) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+	// Field interpolation on the cut plane: s == x everywhere, so cut
+	// points must carry s == cut value.
+	plane := vmath.NewPlane(vmath.V(0.5, 0, 0), vmath.V(-1, 0, 0))
+	clipped, err := ClipUnstructured(ug, plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := clipped.Points.Get("s")
+	for i, p := range clipped.Pts {
+		if math.Abs(sf.Scalar(i)-p.X) > 1e-9 {
+			t.Fatalf("s=%v at x=%v", sf.Scalar(i), p.X)
+		}
+	}
+}
+
+func TestClipUnstructuredRejectsNonVolumetric(t *testing.T) {
+	ug := data.NewUnstructuredGrid()
+	ug.AddPoint(vmath.V(0, 0, 0))
+	ug.AddCell(data.CellVertex, 0)
+	if _, err := ClipUnstructured(ug, vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(1, 0, 0))); err == nil {
+		t.Error("expected error for non-volumetric input")
+	}
+}
+
+func TestExtractSurfaceCube(t *testing.T) {
+	ug := data.NewUnstructuredGrid()
+	corners := [][3]float64{
+		{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+	}
+	for _, c := range corners {
+		ug.AddPoint(vmath.V(c[0], c[1], c[2]))
+	}
+	ug.AddCell(data.CellHexahedron, 0, 1, 2, 3, 4, 5, 6, 7)
+	f := data.NewField("s", 1, 8)
+	ug.Points.Add(f)
+	surf := ExtractSurface(ug)
+	// 6 cube faces, each split into 2 triangles = 12 boundary triangles.
+	if surf.NumTriangles() != 12 {
+		t.Errorf("boundary triangles = %d, want 12", surf.NumTriangles())
+	}
+	if surf.NumPoints() != 8 {
+		t.Errorf("surface points = %d, want 8", surf.NumPoints())
+	}
+	if surf.Points.Get("s") == nil {
+		t.Error("point data not carried to surface")
+	}
+	// Surface area of unit cube = 6.
+	area := 0.0
+	surf.EachTriangle(func(a, b, c int) {
+		area += surf.Pts[b].Sub(surf.Pts[a]).Cross(surf.Pts[c].Sub(surf.Pts[a])).Len() / 2
+	})
+	if math.Abs(area-6) > 1e-12 {
+		t.Errorf("surface area = %v, want 6", area)
+	}
+}
+
+func TestExtractSurfacePreservesVertices(t *testing.T) {
+	ug := datagen.CanPoints(16, 8)
+	surf := ExtractSurface(ug)
+	if len(surf.Verts) != ug.NumPoints() {
+		t.Errorf("verts = %d, want %d", len(surf.Verts), ug.NumPoints())
+	}
+}
+
+func TestComputePointNormals(t *testing.T) {
+	im := sphereVolume(16)
+	surf, err := Contour(im, "dist", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ComputePointNormals(surf)
+	nf := surf.Points.Get("Normals")
+	if nf == nil || nf.NumComponents != 3 {
+		t.Fatal("Normals missing")
+	}
+	// Sphere normals should be (anti)radial and unit length.
+	aligned := 0
+	for i, p := range surf.Pts {
+		n := nf.Vec3(i)
+		if math.Abs(n.Len()-1) > 1e-6 {
+			t.Fatalf("normal %d not unit: %v", i, n.Len())
+		}
+		if math.Abs(math.Abs(n.Dot(p.Norm()))-1) < 0.1 {
+			aligned++
+		}
+	}
+	if float64(aligned)/float64(len(surf.Pts)) < 0.9 {
+		t.Errorf("only %d/%d normals near-radial", aligned, len(surf.Pts))
+	}
+}

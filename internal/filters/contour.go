@@ -1,0 +1,274 @@
+package filters
+
+import (
+	"fmt"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+// surfaceBuilder accumulates an interpolated triangle mesh during marching
+// tetrahedra. Vertices created on the same source edge are shared, so the
+// output is watertight and point data interpolates once per edge.
+type surfaceBuilder struct {
+	src       data.Dataset
+	srcFields []*data.Field
+	out       *data.PolyData
+	outFields []*data.Field
+	edgeVerts map[[2]int]int
+}
+
+func newSurfaceBuilder(src data.Dataset) *surfaceBuilder {
+	b := &surfaceBuilder{
+		src:       src,
+		out:       data.NewPolyData(),
+		edgeVerts: make(map[[2]int]int),
+	}
+	pd := src.PointData()
+	for i := 0; i < pd.Len(); i++ {
+		f := pd.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		b.srcFields = append(b.srcFields, f)
+		b.outFields = append(b.outFields, nf)
+		b.out.Points.Add(nf)
+	}
+	return b
+}
+
+// edgeVertex returns the output vertex on edge (i,j) at parameter t from i
+// to j, creating and interpolating it on first use.
+func (b *surfaceBuilder) edgeVertex(i, j int, t float64) int {
+	key := [2]int{i, j}
+	if j < i {
+		key = [2]int{j, i}
+		t = 1 - t
+	}
+	if id, ok := b.edgeVerts[key]; ok {
+		return id
+	}
+	p := b.src.Point(key[0]).Lerp(b.src.Point(key[1]), t)
+	id := b.out.AddPoint(p)
+	for fi, f := range b.srcFields {
+		nf := b.outFields[fi]
+		for c := 0; c < f.NumComponents; c++ {
+			v0 := f.Value(key[0], c)
+			v1 := f.Value(key[1], c)
+			nf.Data = append(nf.Data, v0+t*(v1-v0))
+		}
+	}
+	b.edgeVerts[key] = id
+	return id
+}
+
+// marchTet emits the isosurface triangles of one tetrahedron. level holds
+// the per-point contouring scalar (field value for isosurfaces, signed
+// plane distance for slices); iso is the threshold.
+func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64) {
+	var inside [4]bool
+	var nIn int
+	var v [4]float64
+	for i, id := range t {
+		v[i] = level(id)
+		if v[i] >= iso {
+			inside[i] = true
+			nIn++
+		}
+	}
+	if nIn == 0 || nIn == 4 {
+		return
+	}
+	// Edge crossing parameter from vertex a to vertex b.
+	cross := func(a, vA, vB float64) float64 {
+		d := vB - vA
+		if d == 0 {
+			return 0.5
+		}
+		return (a - vA) / d
+	}
+	ev := func(i, j int) int {
+		return b.edgeVertex(t[i], t[j], cross(iso, v[i], v[j]))
+	}
+	// Orient triangles so the normal points from the >=iso side toward the
+	// <iso side (outward from the enclosed high-value region).
+	addTri := func(a, bb, c int, refInside int) {
+		pa, pb, pc := b.out.Pts[a], b.out.Pts[bb], b.out.Pts[c]
+		n := pb.Sub(pa).Cross(pc.Sub(pa))
+		toInside := b.src.Point(t[refInside]).Sub(pa)
+		if n.Dot(toInside) > 0 {
+			b.out.AddTriangle(a, c, bb)
+		} else {
+			b.out.AddTriangle(a, bb, c)
+		}
+	}
+	switch nIn {
+	case 1, 3:
+		// One vertex isolated on one side: single triangle.
+		iso1 := -1
+		want := nIn == 1 // isolated vertex is inside when nIn==1
+		for i := 0; i < 4; i++ {
+			if inside[i] == want {
+				iso1 = i
+				break
+			}
+		}
+		others := make([]int, 0, 3)
+		for i := 0; i < 4; i++ {
+			if i != iso1 {
+				others = append(others, i)
+			}
+		}
+		a := ev(iso1, others[0])
+		bb := ev(iso1, others[1])
+		c := ev(iso1, others[2])
+		ref := iso1
+		if !inside[iso1] {
+			ref = others[0]
+		}
+		addTri(a, bb, c, ref)
+	case 2:
+		// Two in, two out: quad split into two triangles.
+		var in2, out2 []int
+		for i := 0; i < 4; i++ {
+			if inside[i] {
+				in2 = append(in2, i)
+			} else {
+				out2 = append(out2, i)
+			}
+		}
+		q0 := ev(in2[0], out2[0])
+		q1 := ev(in2[0], out2[1])
+		q2 := ev(in2[1], out2[1])
+		q3 := ev(in2[1], out2[0])
+		addTri(q0, q1, q2, in2[0])
+		addTri(q0, q2, q3, in2[0])
+	}
+}
+
+// Contour extracts the isosurface of the named scalar field at the given
+// value. Supported inputs: *data.ImageData and *data.UnstructuredGrid.
+// Matches VTK's Contour filter output: a PolyData with all point-data
+// arrays interpolated onto the surface.
+func Contour(ds data.Dataset, fieldName string, value float64) (*data.PolyData, error) {
+	f := ds.PointData().Get(fieldName)
+	if f == nil {
+		return nil, fmt.Errorf("filters: contour: no point array named %q", fieldName)
+	}
+	if f.NumComponents != 1 {
+		return nil, fmt.Errorf("filters: contour: array %q is not a scalar", fieldName)
+	}
+	b := newSurfaceBuilder(ds)
+	level := func(i int) float64 { return f.Scalar(i) }
+	switch d := ds.(type) {
+	case *data.ImageData:
+		ImageTets(d, func(t [4]int) { b.marchTet(t, level, value) })
+	case *data.UnstructuredGrid:
+		for _, t := range GridTets(d) {
+			b.marchTet(t, level, value)
+		}
+	default:
+		return nil, fmt.Errorf("filters: contour: unsupported dataset type %s", ds.TypeName())
+	}
+	return b.out, nil
+}
+
+// ContourLines extracts iso-lines of a scalar field on a triangulated
+// surface (marching triangles). It is the second stage of the paper's
+// slice-then-contour pipeline.
+func ContourLines(pd *data.PolyData, fieldName string, value float64) (*data.PolyData, error) {
+	f := pd.Points.Get(fieldName)
+	if f == nil {
+		return nil, fmt.Errorf("filters: contour lines: no point array named %q", fieldName)
+	}
+	if f.NumComponents != 1 {
+		return nil, fmt.Errorf("filters: contour lines: array %q is not a scalar", fieldName)
+	}
+	out := data.NewPolyData()
+	var outFields []*data.Field
+	var srcFields []*data.Field
+	for i := 0; i < pd.Points.Len(); i++ {
+		sf := pd.Points.At(i)
+		nf := data.NewField(sf.Name, sf.NumComponents, 0)
+		srcFields = append(srcFields, sf)
+		outFields = append(outFields, nf)
+		out.Points.Add(nf)
+	}
+	edgeVerts := make(map[[2]int]int)
+	edgeVertex := func(i, j int, t float64) int {
+		key := [2]int{i, j}
+		if j < i {
+			key = [2]int{j, i}
+			t = 1 - t
+		}
+		if id, ok := edgeVerts[key]; ok {
+			return id
+		}
+		id := out.AddPoint(pd.Pts[key[0]].Lerp(pd.Pts[key[1]], t))
+		for fi, sf := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < sf.NumComponents; c++ {
+				v0, v1 := sf.Value(key[0], c), sf.Value(key[1], c)
+				nf.Data = append(nf.Data, v0+t*(v1-v0))
+			}
+		}
+		edgeVerts[key] = id
+		return id
+	}
+	pd.EachTriangle(func(a, b, c int) {
+		ids := [3]int{a, b, c}
+		var vals [3]float64
+		var in [3]bool
+		nIn := 0
+		for i, id := range ids {
+			vals[i] = f.Scalar(id)
+			if vals[i] >= value {
+				in[i] = true
+				nIn++
+			}
+		}
+		if nIn == 0 || nIn == 3 {
+			return
+		}
+		cross := func(vA, vB float64) float64 {
+			d := vB - vA
+			if d == 0 {
+				return 0.5
+			}
+			return (value - vA) / d
+		}
+		// Find the isolated vertex and connect crossings on its two edges.
+		isolated := -1
+		want := nIn == 1
+		for i := 0; i < 3; i++ {
+			if in[i] == want {
+				isolated = i
+				break
+			}
+		}
+		o1, o2 := (isolated+1)%3, (isolated+2)%3
+		p1 := edgeVertex(ids[isolated], ids[o1], cross(vals[isolated], vals[o1]))
+		p2 := edgeVertex(ids[isolated], ids[o2], cross(vals[isolated], vals[o2]))
+		if p1 != p2 {
+			out.AddLine(p1, p2)
+		}
+	})
+	return out, nil
+}
+
+// Slice cuts the dataset with a plane and returns the triangulated cross
+// section with all point data interpolated, like VTK's Slice filter with a
+// plane cut function.
+func Slice(ds data.Dataset, plane vmath.Plane) (*data.PolyData, error) {
+	b := newSurfaceBuilder(ds)
+	level := func(i int) float64 { return plane.Eval(ds.Point(i)) }
+	switch d := ds.(type) {
+	case *data.ImageData:
+		ImageTets(d, func(t [4]int) { b.marchTet(t, level, 0) })
+	case *data.UnstructuredGrid:
+		for _, t := range GridTets(d) {
+			b.marchTet(t, level, 0)
+		}
+	default:
+		return nil, fmt.Errorf("filters: slice: unsupported dataset type %s", ds.TypeName())
+	}
+	return b.out, nil
+}

@@ -1,0 +1,214 @@
+package filters
+
+import (
+	"math"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+// GlyphType selects the glyph source geometry.
+type GlyphType int
+
+// Glyph source shapes supported by the Glyph filter (the paper's
+// experiments use cones).
+const (
+	GlyphCone GlyphType = iota
+	GlyphArrow
+	GlyphSphere
+)
+
+func (g GlyphType) String() string {
+	switch g {
+	case GlyphCone:
+		return "Cone"
+	case GlyphArrow:
+		return "Arrow"
+	case GlyphSphere:
+		return "Sphere"
+	}
+	return "Unknown"
+}
+
+// GlyphOptions configures glyph placement, mirroring ParaView's Glyph
+// proxy defaults.
+type GlyphOptions struct {
+	// Type of glyph geometry (default cone).
+	Type GlyphType
+	// OrientationArray names the vector field used to orient glyphs
+	// (empty: no orientation).
+	OrientationArray string
+	// ScaleFactor multiplies the base glyph size (default: 5% of the input
+	// diagonal).
+	ScaleFactor float64
+	// Stride places a glyph every Stride-th point (default: chosen so at
+	// most MaxGlyphs glyphs are produced).
+	Stride int
+	// MaxGlyphs bounds the number of glyphs when Stride is 0 (default
+	// 500, ParaView's "Uniform Spatial Distribution" default count scale).
+	MaxGlyphs int
+	// Resolution is the facet count of cones/spheres (default 12).
+	Resolution int
+}
+
+func (o GlyphOptions) withDefaults(pd *data.PolyData) GlyphOptions {
+	if o.ScaleFactor <= 0 {
+		o.ScaleFactor = pd.Bounds().Diagonal() * 0.05
+		if o.ScaleFactor == 0 {
+			o.ScaleFactor = 0.05
+		}
+	}
+	if o.MaxGlyphs <= 0 {
+		o.MaxGlyphs = 500
+	}
+	if o.Stride <= 0 {
+		o.Stride = (pd.NumPoints() + o.MaxGlyphs - 1) / o.MaxGlyphs
+		if o.Stride < 1 {
+			o.Stride = 1
+		}
+	}
+	if o.Resolution < 3 {
+		o.Resolution = 12
+	}
+	return o
+}
+
+// Glyph instances oriented glyph geometry at (a subsample of) the input
+// points, like VTK's Glyph3D. Point data of the source point is copied to
+// every vertex of its glyph so color mapping carries over.
+func Glyph(pd *data.PolyData, opt GlyphOptions) *data.PolyData {
+	opt = opt.withDefaults(pd)
+	out := data.NewPolyData()
+	var srcFields, outFields []*data.Field
+	for i := 0; i < pd.Points.Len(); i++ {
+		f := pd.Points.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		srcFields = append(srcFields, f)
+		outFields = append(outFields, nf)
+		out.Points.Add(nf)
+	}
+	var orient *data.Field
+	if opt.OrientationArray != "" {
+		orient = pd.Points.Get(opt.OrientationArray)
+		if orient != nil && orient.NumComponents != 3 {
+			orient = nil
+		}
+	}
+	proto := glyphSource(opt.Type, opt.Resolution)
+	for i := 0; i < pd.NumPoints(); i += opt.Stride {
+		dir := vmath.V(1, 0, 0)
+		if orient != nil {
+			v := orient.Vec3(i)
+			if v.Len() > 1e-12 {
+				dir = v.Norm()
+			}
+		}
+		rot := rotationTo(dir)
+		base := len(out.Pts)
+		for _, p := range proto.Pts {
+			world := pd.Pts[i].Add(rot.MulDir(p.Mul(opt.ScaleFactor)))
+			out.AddPoint(world)
+			for fi, f := range srcFields {
+				nf := outFields[fi]
+				for c := 0; c < f.NumComponents; c++ {
+					nf.Data = append(nf.Data, f.Value(i, c))
+				}
+			}
+		}
+		for _, poly := range proto.Polys {
+			ids := make([]int, len(poly))
+			for j, id := range poly {
+				ids[j] = base + id
+			}
+			out.AddPoly(ids...)
+		}
+	}
+	return out
+}
+
+// rotationTo returns a rotation carrying +X onto dir (glyph prototypes
+// point along +X, following VTK's cone/arrow sources).
+func rotationTo(dir vmath.Vec3) vmath.Mat4 {
+	x := vmath.V(1, 0, 0)
+	d := dir.Norm()
+	axis := x.Cross(d)
+	s := axis.Len()
+	c := vmath.Clamp(x.Dot(d), -1, 1)
+	if s < 1e-12 {
+		if c > 0 {
+			return vmath.Identity()
+		}
+		// 180 degrees: rotate about any axis orthogonal to X.
+		return vmath.RotateAxis(vmath.V(0, 0, 1), math.Pi)
+	}
+	return vmath.RotateAxis(axis.Mul(1/s), math.Atan2(s, c))
+}
+
+// glyphSource builds the unit prototype geometry for a glyph type,
+// pointing along +X and centred per VTK conventions.
+func glyphSource(t GlyphType, res int) *data.PolyData {
+	pd := data.NewPolyData()
+	switch t {
+	case GlyphSphere:
+		// Latitude-longitude sphere of radius 0.5.
+		stacks := res / 2
+		if stacks < 2 {
+			stacks = 2
+		}
+		for st := 0; st <= stacks; st++ {
+			phi := math.Pi * float64(st) / float64(stacks)
+			for sl := 0; sl < res; sl++ {
+				th := 2 * math.Pi * float64(sl) / float64(res)
+				pd.AddPoint(vmath.V(
+					0.5*math.Cos(phi),
+					0.5*math.Sin(phi)*math.Cos(th),
+					0.5*math.Sin(phi)*math.Sin(th)))
+			}
+		}
+		at := func(st, sl int) int { return st*res + sl%res }
+		for st := 0; st < stacks; st++ {
+			for sl := 0; sl < res; sl++ {
+				pd.AddPoly(at(st, sl), at(st, sl+1), at(st+1, sl+1), at(st+1, sl))
+			}
+		}
+	case GlyphArrow:
+		// Shaft (thin cylinder) + head (cone), total length 1 along +X.
+		shaftR, headR := 0.03, 0.1
+		shaftLen := 0.65
+		tip := pd.AddPoint(vmath.V(1, 0, 0))
+		tail := pd.AddPoint(vmath.V(0, 0, 0))
+		headBase := make([]int, res)
+		shaft0 := make([]int, res)
+		shaft1 := make([]int, res)
+		for s := 0; s < res; s++ {
+			ang := 2 * math.Pi * float64(s) / float64(res)
+			cy, cz := math.Cos(ang), math.Sin(ang)
+			headBase[s] = pd.AddPoint(vmath.V(shaftLen, headR*cy, headR*cz))
+			shaft0[s] = pd.AddPoint(vmath.V(0, shaftR*cy, shaftR*cz))
+			shaft1[s] = pd.AddPoint(vmath.V(shaftLen, shaftR*cy, shaftR*cz))
+		}
+		for s := 0; s < res; s++ {
+			sn := (s + 1) % res
+			pd.AddTriangle(tip, headBase[s], headBase[sn])
+			pd.AddTriangle(tail, shaft0[sn], shaft0[s])
+			pd.AddPoly(shaft0[s], shaft0[sn], shaft1[sn], shaft1[s])
+			pd.AddPoly(headBase[s], headBase[sn], shaft1[sn], shaft1[s])
+		}
+	default: // GlyphCone
+		// Cone of length 1 along +X, base radius 0.3, centred like VTK's
+		// ConeSource (center at origin, so base at -0.5, tip at +0.5).
+		tip := pd.AddPoint(vmath.V(0.5, 0, 0))
+		center := pd.AddPoint(vmath.V(-0.5, 0, 0))
+		ring := make([]int, res)
+		for s := 0; s < res; s++ {
+			ang := 2 * math.Pi * float64(s) / float64(res)
+			ring[s] = pd.AddPoint(vmath.V(-0.5, 0.3*math.Cos(ang), 0.3*math.Sin(ang)))
+		}
+		for s := 0; s < res; s++ {
+			sn := (s + 1) % res
+			pd.AddTriangle(tip, ring[s], ring[sn])
+			pd.AddTriangle(center, ring[sn], ring[s])
+		}
+	}
+	return pd
+}

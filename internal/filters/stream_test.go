@@ -1,0 +1,269 @@
+package filters
+
+import (
+	"math"
+	"testing"
+
+	"chatvis/internal/data"
+	"chatvis/internal/datagen"
+	"chatvis/internal/vmath"
+)
+
+// uniformFlowImage builds a volume with constant velocity (1,0,0) and a
+// linear temperature field.
+func uniformFlowImage() *data.ImageData {
+	im := data.NewImageData(11, 11, 11, vmath.V(0, 0, 0), vmath.V(1, 1, 1))
+	v := data.NewField("V", 3, im.NumPoints())
+	temp := data.NewField("Temp", 1, im.NumPoints())
+	for i := 0; i < im.NumPoints(); i++ {
+		v.SetVec3(i, vmath.V(1, 0, 0))
+		temp.SetScalar(i, im.Point(i).X)
+	}
+	im.Points.Add(v)
+	im.Points.Add(temp)
+	return im
+}
+
+func TestImageSamplerErrors(t *testing.T) {
+	im := uniformFlowImage()
+	if _, err := NewImageSampler(im, "missing"); err == nil {
+		t.Error("missing vector should error")
+	}
+	if _, err := NewImageSampler(im, "Temp"); err == nil {
+		t.Error("scalar array should error")
+	}
+}
+
+func TestStreamTracerStraightLine(t *testing.T) {
+	im := uniformFlowImage()
+	s, err := NewImageSampler(im, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []vmath.Vec3{{X: 5, Y: 5, Z: 5}}
+	lines := StreamTracer(s, seeds, StreamTracerOptions{Both: true})
+	if len(lines.Lines) != 1 {
+		t.Fatalf("lines = %d", len(lines.Lines))
+	}
+	line := lines.Lines[0]
+	if len(line) < 10 {
+		t.Fatalf("line too short: %d points", len(line))
+	}
+	// In uniform +x flow the streamline is the horizontal line y=z=5.
+	for _, id := range line {
+		p := lines.Pts[id]
+		if math.Abs(p.Y-5) > 1e-6 || math.Abs(p.Z-5) > 1e-6 {
+			t.Fatalf("streamline deviates: %v", p)
+		}
+	}
+	// Integrating both directions should span most of the domain in x.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, id := range line {
+		minX = math.Min(minX, lines.Pts[id].X)
+		maxX = math.Max(maxX, lines.Pts[id].X)
+	}
+	if minX > 1 || maxX < 9 {
+		t.Errorf("streamline spans [%v, %v], want most of [0,10]", minX, maxX)
+	}
+	// Temp = x must be interpolated along the line.
+	f := lines.Points.Get("Temp")
+	if f == nil {
+		t.Fatal("Temp not interpolated")
+	}
+	for _, id := range line {
+		if math.Abs(f.Scalar(id)-lines.Pts[id].X) > 1e-6 {
+			t.Fatalf("Temp=%v at x=%v", f.Scalar(id), lines.Pts[id].X)
+		}
+	}
+	// IntegrationTime exists and is monotone along the line.
+	tf := lines.Points.Get("IntegrationTime")
+	if tf == nil {
+		t.Fatal("IntegrationTime missing")
+	}
+	for i := 1; i < len(line); i++ {
+		if tf.Scalar(line[i]) < tf.Scalar(line[i-1]) {
+			t.Fatal("IntegrationTime not monotone along joined line")
+		}
+	}
+}
+
+func TestStreamTracerCircularField(t *testing.T) {
+	// Rotational field v = (-y, x, 0) around the center: streamlines are
+	// circles; check radius conservation.
+	im := data.NewImageData(21, 21, 3, vmath.V(-1, -1, -0.1), vmath.V(0.1, 0.1, 0.1))
+	v := data.NewField("V", 3, im.NumPoints())
+	for i := 0; i < im.NumPoints(); i++ {
+		p := im.Point(i)
+		v.SetVec3(i, vmath.V(-p.Y, p.X, 0))
+	}
+	im.Points.Add(v)
+	s, err := NewImageSampler(im, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := vmath.V(0.5, 0, 0)
+	lines := StreamTracer(s, []vmath.Vec3{seed}, StreamTracerOptions{
+		Both: false, MaxSteps: 400, StepFraction: 1.0 / 1000, MaxLength: 1.2,
+	})
+	if len(lines.Lines) != 1 {
+		t.Fatalf("lines = %d", len(lines.Lines))
+	}
+	for _, id := range lines.Lines[0] {
+		p := lines.Pts[id]
+		r := math.Hypot(p.X, p.Y)
+		if math.Abs(r-0.5) > 0.01 {
+			t.Fatalf("radius drift: %v at %v", r, p)
+		}
+	}
+}
+
+func TestStreamTracerStopsAtBoundary(t *testing.T) {
+	im := uniformFlowImage()
+	s, _ := NewImageSampler(im, "V")
+	lines := StreamTracer(s, []vmath.Vec3{{X: 9.5, Y: 5, Z: 5}},
+		StreamTracerOptions{Both: false, MaxSteps: 100000, MaxLength: 100})
+	if len(lines.Lines) != 1 {
+		t.Fatalf("lines = %d", len(lines.Lines))
+	}
+	for _, id := range lines.Lines[0] {
+		if lines.Pts[id].X > 10+1e-9 {
+			t.Fatal("integration escaped the domain")
+		}
+	}
+}
+
+func TestStreamTracerSeedOutsideDomain(t *testing.T) {
+	im := uniformFlowImage()
+	s, _ := NewImageSampler(im, "V")
+	lines := StreamTracer(s, []vmath.Vec3{{X: -5, Y: -5, Z: -5}}, StreamTracerOptions{})
+	if len(lines.Lines) != 0 {
+		t.Error("outside seed should produce no line")
+	}
+}
+
+func TestGridSamplerDiskFlow(t *testing.T) {
+	ug := datagen.DiskFlow(8, 32, 8)
+	s, err := NewGridSampler(ug, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample at a node-adjacent location and compare against the analytic
+	// field; barycentric interpolation over a fine mesh should be close.
+	p := vmath.V(1.2, 0.3, 1.0)
+	got, ok := s.Velocity(p)
+	if !ok {
+		t.Fatal("point should be inside the annulus")
+	}
+	want, _, _ := datagen.DiskFlowField(p)
+	if got.Sub(want).Len() > 0.15*want.Len() {
+		t.Errorf("velocity = %v, want ~%v", got, want)
+	}
+	// A point in the annulus hole must report outside.
+	if _, ok := s.Velocity(vmath.V(0, 0, 1)); ok {
+		t.Error("hub hole should be outside the mesh")
+	}
+	if _, ok := s.Velocity(vmath.V(50, 0, 0)); ok {
+		t.Error("far point should be outside")
+	}
+	// Fields interpolation returns all arrays.
+	dst := map[string][]float64{}
+	if !s.Fields(p, dst) {
+		t.Fatal("Fields failed inside mesh")
+	}
+	for _, name := range []string{"V", "Temp", "Pres"} {
+		if len(dst[name]) == 0 {
+			t.Errorf("field %s not interpolated", name)
+		}
+	}
+	_, wantTemp, _ := datagen.DiskFlowField(p)
+	if math.Abs(dst["Temp"][0]-wantTemp) > 20 {
+		t.Errorf("Temp = %v, want ~%v", dst["Temp"][0], wantTemp)
+	}
+}
+
+func TestGridSamplerErrors(t *testing.T) {
+	ug := datagen.DiskFlow(4, 8, 4)
+	if _, err := NewGridSampler(ug, "nope"); err == nil {
+		t.Error("missing array should error")
+	}
+	if _, err := NewGridSampler(ug, "Temp"); err == nil {
+		t.Error("scalar array should error")
+	}
+	cloud := datagen.CanPoints(8, 4)
+	vec := data.NewField("V", 3, cloud.NumPoints())
+	cloud.Points.Add(vec)
+	if _, err := NewGridSampler(cloud, "V"); err == nil {
+		t.Error("point cloud (no volume cells) should error")
+	}
+}
+
+func TestStreamTracerOnDisk(t *testing.T) {
+	ug := datagen.DiskFlow(8, 32, 8)
+	s, err := NewGridSampler(ug, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := DefaultPointCloudSeeds(ug.Bounds(), 50)
+	lines := StreamTracer(s, seeds, StreamTracerOptions{})
+	// The default seed ball is centred on the annulus hole, so most seeds
+	// fall outside the mesh — exactly like ParaView's default point cloud
+	// on disk_out_ref. A handful of lines is the expected outcome.
+	if len(lines.Lines) < 5 {
+		t.Fatalf("only %d streamlines from 50 seeds", len(lines.Lines))
+	}
+	// Swirling flow: lines should wind around the axis — check that some
+	// line covers a decent azimuthal range.
+	best := 0.0
+	for _, line := range lines.Lines {
+		if len(line) < 2 {
+			continue
+		}
+		total := 0.0
+		prev := math.Atan2(lines.Pts[line[0]].Y, lines.Pts[line[0]].X)
+		for _, id := range line[1:] {
+			cur := math.Atan2(lines.Pts[id].Y, lines.Pts[id].X)
+			d := cur - prev
+			for d > math.Pi {
+				d -= 2 * math.Pi
+			}
+			for d < -math.Pi {
+				d += 2 * math.Pi
+			}
+			total += d
+			prev = cur
+		}
+		best = math.Max(best, math.Abs(total))
+	}
+	if best < math.Pi/2 {
+		t.Errorf("no streamline winds more than %v rad", best)
+	}
+	// Temp must be present for downstream color mapping.
+	if lines.Points.Get("Temp") == nil {
+		t.Error("Temp missing on streamlines")
+	}
+}
+
+func TestDefaultPointCloudSeeds(t *testing.T) {
+	b := vmath.AABB{Min: vmath.V(-1, -1, -1), Max: vmath.V(1, 1, 1)}
+	seeds := DefaultPointCloudSeeds(b, 100)
+	if len(seeds) != 100 {
+		t.Fatalf("seeds = %d", len(seeds))
+	}
+	radius := b.Diagonal() * 0.1
+	c := b.Center()
+	for _, s := range seeds {
+		if s.Sub(c).Len() > radius+1e-9 {
+			t.Fatalf("seed %v outside the default sphere", s)
+		}
+	}
+	// Deterministic.
+	again := DefaultPointCloudSeeds(b, 100)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("seeds must be deterministic")
+		}
+	}
+	if got := DefaultPointCloudSeeds(b, 0); len(got) != 100 {
+		t.Errorf("default count = %d, want 100", len(got))
+	}
+}

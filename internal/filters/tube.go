@@ -1,0 +1,139 @@
+package filters
+
+import (
+	"math"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+// TubeOptions configures the tube filter.
+type TubeOptions struct {
+	// Radius of the tube (default: 1% of the input diagonal).
+	Radius float64
+	// NumSides of the tube cross-section polygon (default 8, >= 3).
+	NumSides int
+	// Capped closes the tube ends with polygons.
+	Capped bool
+}
+
+func (o TubeOptions) withDefaults(pd *data.PolyData) TubeOptions {
+	if o.Radius <= 0 {
+		o.Radius = pd.Bounds().Diagonal() * 0.01
+		if o.Radius == 0 {
+			o.Radius = 0.01
+		}
+	}
+	if o.NumSides < 3 {
+		o.NumSides = 8
+	}
+	return o
+}
+
+// Tube sweeps a circular cross-section along every polyline of the input,
+// producing a surface like VTK's Tube filter. Point data is copied from
+// the generating line point to the ring it produces, so color mapping along
+// the line is preserved.
+func Tube(pd *data.PolyData, opt TubeOptions) *data.PolyData {
+	opt = opt.withDefaults(pd)
+	out := data.NewPolyData()
+	var srcFields, outFields []*data.Field
+	for i := 0; i < pd.Points.Len(); i++ {
+		f := pd.Points.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		srcFields = append(srcFields, f)
+		outFields = append(outFields, nf)
+		out.Points.Add(nf)
+	}
+	copyData := func(src int) {
+		for fi, f := range srcFields {
+			nf := outFields[fi]
+			for c := 0; c < f.NumComponents; c++ {
+				nf.Data = append(nf.Data, f.Value(src, c))
+			}
+		}
+	}
+	ns := opt.NumSides
+	for _, line := range pd.Lines {
+		if len(line) < 2 {
+			continue
+		}
+		// Tangents per line point.
+		tangents := make([]vmath.Vec3, len(line))
+		for i := range line {
+			var t vmath.Vec3
+			if i == 0 {
+				t = pd.Pts[line[1]].Sub(pd.Pts[line[0]])
+			} else if i == len(line)-1 {
+				t = pd.Pts[line[i]].Sub(pd.Pts[line[i-1]])
+			} else {
+				t = pd.Pts[line[i+1]].Sub(pd.Pts[line[i-1]])
+			}
+			tangents[i] = t.Norm()
+		}
+		// Parallel-transport frames: start with any normal orthogonal to
+		// the first tangent, then rotate minimally between segments.
+		normal := arbitraryNormal(tangents[0])
+		ringStart := make([]int, len(line))
+		for i, srcID := range line {
+			t := tangents[i]
+			if i > 0 {
+				normal = transportNormal(normal, tangents[i-1], t)
+			}
+			binormal := t.Cross(normal).Norm()
+			ringStart[i] = len(out.Pts)
+			center := pd.Pts[srcID]
+			for s := 0; s < ns; s++ {
+				ang := 2 * math.Pi * float64(s) / float64(ns)
+				offset := normal.Mul(math.Cos(ang)).Add(binormal.Mul(math.Sin(ang)))
+				out.AddPoint(center.Add(offset.Mul(opt.Radius)))
+				copyData(srcID)
+			}
+		}
+		// Stitch consecutive rings with quads.
+		for i := 0; i+1 < len(line); i++ {
+			r0, r1 := ringStart[i], ringStart[i+1]
+			for s := 0; s < ns; s++ {
+				sn := (s + 1) % ns
+				out.AddPoly(r0+s, r0+sn, r1+sn, r1+s)
+			}
+		}
+		if opt.Capped {
+			first := make([]int, ns)
+			last := make([]int, ns)
+			for s := 0; s < ns; s++ {
+				first[s] = ringStart[0] + ns - 1 - s // reversed for outward normal
+				last[s] = ringStart[len(line)-1] + s
+			}
+			out.AddPoly(first...)
+			out.AddPoly(last...)
+		}
+	}
+	return out
+}
+
+// arbitraryNormal returns a unit vector orthogonal to t.
+func arbitraryNormal(t vmath.Vec3) vmath.Vec3 {
+	ref := vmath.V(0, 0, 1)
+	if math.Abs(t.Z) > 0.9 {
+		ref = vmath.V(1, 0, 0)
+	}
+	return t.Cross(ref).Norm()
+}
+
+// transportNormal rotates the frame normal by the rotation carrying the
+// previous tangent onto the current one (parallel transport), keeping the
+// tube free of torsion artifacts.
+func transportNormal(normal, prevT, curT vmath.Vec3) vmath.Vec3 {
+	axis := prevT.Cross(curT)
+	s := axis.Len()
+	if s < 1e-12 {
+		return normal
+	}
+	c := vmath.Clamp(prevT.Dot(curT), -1, 1)
+	rot := vmath.RotateAxis(axis.Mul(1/s), math.Atan2(s, c))
+	n := rot.MulDir(normal)
+	// Re-orthogonalize against accumulated drift.
+	n = n.Sub(curT.Mul(n.Dot(curT)))
+	return n.Norm()
+}

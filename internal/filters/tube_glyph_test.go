@@ -1,0 +1,217 @@
+package filters
+
+import (
+	"math"
+	"testing"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+func straightLinePD(n int) *data.PolyData {
+	pd := data.NewPolyData()
+	ids := make([]int, n)
+	f := data.NewField("Temp", 1, n)
+	for i := 0; i < n; i++ {
+		ids[i] = pd.AddPoint(vmath.V(float64(i), 0, 0))
+		f.SetScalar(i, float64(i))
+	}
+	pd.Points.Add(f)
+	pd.AddLine(ids...)
+	return pd
+}
+
+func TestTubeStraightLine(t *testing.T) {
+	pd := straightLinePD(5)
+	tube := Tube(pd, TubeOptions{Radius: 0.25, NumSides: 8})
+	if tube.NumPoints() != 5*8 {
+		t.Fatalf("tube points = %d, want 40", tube.NumPoints())
+	}
+	if len(tube.Polys) != 4*8 {
+		t.Fatalf("tube quads = %d, want 32", len(tube.Polys))
+	}
+	// Every tube point is at distance Radius from the axis (y-z distance).
+	for _, p := range tube.Pts {
+		r := math.Hypot(p.Y, p.Z)
+		if math.Abs(r-0.25) > 1e-9 {
+			t.Fatalf("tube radius %v at %v", r, p)
+		}
+	}
+	// Point data copied onto rings: Temp equals ring index (the x value).
+	f := tube.Points.Get("Temp")
+	for i, p := range tube.Pts {
+		if math.Abs(f.Scalar(i)-p.X) > 1e-9 {
+			t.Fatalf("Temp %v at x=%v", f.Scalar(i), p.X)
+		}
+	}
+}
+
+func TestTubeCapped(t *testing.T) {
+	pd := straightLinePD(3)
+	tube := Tube(pd, TubeOptions{Radius: 0.1, NumSides: 6, Capped: true})
+	// 2*6 side quads + 2 caps.
+	if len(tube.Polys) != 12+2 {
+		t.Errorf("polys = %d, want 14", len(tube.Polys))
+	}
+}
+
+func TestTubeCurvedNoPinch(t *testing.T) {
+	// Quarter circle: parallel-transport frames must not pinch the tube;
+	// all ring radii stay constant around the local center.
+	pd := data.NewPolyData()
+	n := 30
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := math.Pi / 2 * float64(i) / float64(n-1)
+		ids[i] = pd.AddPoint(vmath.V(math.Cos(a), math.Sin(a), 0))
+	}
+	pd.AddLine(ids...)
+	tube := Tube(pd, TubeOptions{Radius: 0.05, NumSides: 10})
+	for i := 0; i < n; i++ {
+		center := pd.Pts[ids[i]]
+		for s := 0; s < 10; s++ {
+			p := tube.Pts[i*10+s]
+			d := p.Sub(center).Len()
+			if math.Abs(d-0.05) > 1e-9 {
+				t.Fatalf("ring %d radius %v", i, d)
+			}
+		}
+	}
+}
+
+func TestTubeSkipsDegenerateLines(t *testing.T) {
+	pd := data.NewPolyData()
+	pd.AddPoint(vmath.V(0, 0, 0))
+	pd.AddLine(0) // single point line
+	tube := Tube(pd, TubeOptions{Radius: 0.1})
+	if tube.NumPoints() != 0 {
+		t.Error("degenerate line should produce nothing")
+	}
+}
+
+func TestTubeDefaults(t *testing.T) {
+	pd := straightLinePD(3)
+	tube := Tube(pd, TubeOptions{})
+	if tube.NumPoints() == 0 {
+		t.Fatal("defaults should produce a tube")
+	}
+}
+
+func TestGlyphConeOrientation(t *testing.T) {
+	pd := data.NewPolyData()
+	pd.AddPoint(vmath.V(0, 0, 0))
+	v := data.NewField("V", 3, 1)
+	v.SetVec3(0, vmath.V(0, 0, 3)) // point up
+	pd.Points.Add(v)
+	out := Glyph(pd, GlyphOptions{
+		Type: GlyphCone, OrientationArray: "V", ScaleFactor: 1, Stride: 1, Resolution: 8,
+	})
+	if out.NumPoints() == 0 {
+		t.Fatal("no glyph produced")
+	}
+	// Cone prototype points along +X with tip at +0.5; oriented to +Z the
+	// tip must be the point with max Z.
+	maxZ := math.Inf(-1)
+	for _, p := range out.Pts {
+		maxZ = math.Max(maxZ, p.Z)
+	}
+	if math.Abs(maxZ-0.5) > 1e-9 {
+		t.Errorf("cone tip z = %v, want 0.5", maxZ)
+	}
+}
+
+func TestGlyphStrideAndData(t *testing.T) {
+	pd := data.NewPolyData()
+	temp := data.NewField("Temp", 1, 10)
+	for i := 0; i < 10; i++ {
+		pd.AddPoint(vmath.V(float64(i), 0, 0))
+		temp.SetScalar(i, float64(i)*10)
+	}
+	pd.Points.Add(temp)
+	out := Glyph(pd, GlyphOptions{Type: GlyphCone, ScaleFactor: 0.5, Stride: 2, Resolution: 6})
+	// 5 glyphs, each 2+6=8 points.
+	if out.NumPoints() != 5*8 {
+		t.Fatalf("glyph points = %d", out.NumPoints())
+	}
+	f := out.Points.Get("Temp")
+	// First glyph at source point 0 (Temp 0), second at point 2 (Temp 20).
+	if f.Scalar(0) != 0 || f.Scalar(8) != 20 {
+		t.Errorf("glyph Temp copy wrong: %v %v", f.Scalar(0), f.Scalar(8))
+	}
+}
+
+func TestGlyphMaxGlyphsDefaultStride(t *testing.T) {
+	pd := data.NewPolyData()
+	for i := 0; i < 1000; i++ {
+		pd.AddPoint(vmath.V(float64(i), 0, 0))
+	}
+	out := Glyph(pd, GlyphOptions{Type: GlyphSphere, MaxGlyphs: 10, Resolution: 6})
+	// Stride should become 100 -> exactly 10 glyphs.
+	sphere := glyphSource(GlyphSphere, 6)
+	if out.NumPoints() != 10*sphere.NumPoints() {
+		t.Errorf("points = %d, want %d", out.NumPoints(), 10*sphere.NumPoints())
+	}
+}
+
+func TestGlyphZeroVectorFallsBack(t *testing.T) {
+	pd := data.NewPolyData()
+	pd.AddPoint(vmath.V(0, 0, 0))
+	v := data.NewField("V", 3, 1) // zero vector
+	pd.Points.Add(v)
+	out := Glyph(pd, GlyphOptions{Type: GlyphCone, OrientationArray: "V", ScaleFactor: 1, Stride: 1})
+	if out.NumPoints() == 0 {
+		t.Fatal("zero vector should still emit an unoriented glyph")
+	}
+}
+
+func TestGlyphAntiparallelOrientation(t *testing.T) {
+	pd := data.NewPolyData()
+	pd.AddPoint(vmath.V(0, 0, 0))
+	v := data.NewField("V", 3, 1)
+	v.SetVec3(0, vmath.V(-1, 0, 0)) // exactly -X: the rotation edge case
+	pd.Points.Add(v)
+	out := Glyph(pd, GlyphOptions{Type: GlyphCone, OrientationArray: "V", ScaleFactor: 1, Stride: 1})
+	minX := math.Inf(1)
+	for _, p := range out.Pts {
+		minX = math.Min(minX, p.X)
+	}
+	if math.Abs(minX+0.5) > 1e-9 {
+		t.Errorf("tip should point to -X: minX = %v", minX)
+	}
+}
+
+func TestGlyphSourcesAreClosed(t *testing.T) {
+	for _, gt := range []GlyphType{GlyphCone, GlyphArrow, GlyphSphere} {
+		src := glyphSource(gt, 8)
+		if src.NumTriangles() == 0 {
+			t.Errorf("%v: empty source", gt)
+		}
+		// Closed surfaces: each edge shared by exactly 2 triangles (sphere
+		// poles create degenerate quads, allow those to deviate) — check
+		// cone and arrow strictly.
+		if gt == GlyphSphere {
+			continue
+		}
+		edges := map[[2]int]int{}
+		src.EachTriangle(func(a, b, c int) {
+			for _, e := range [][2]int{{a, b}, {b, c}, {c, a}} {
+				if e[0] > e[1] {
+					e[0], e[1] = e[1], e[0]
+				}
+				edges[e]++
+			}
+		})
+		for e, n := range edges {
+			if n != 2 {
+				t.Errorf("%v: edge %v used %d times", gt, e, n)
+			}
+		}
+	}
+}
+
+func TestGlyphTypeString(t *testing.T) {
+	if GlyphCone.String() != "Cone" || GlyphArrow.String() != "Arrow" ||
+		GlyphSphere.String() != "Sphere" || GlyphType(99).String() != "Unknown" {
+		t.Error("GlyphType.String misbehaves")
+	}
+}

@@ -1,0 +1,166 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chatvis/internal/errext"
+)
+
+// Request is one chat completion request: a system prompt (instructions
+// plus any example snippets) and the user content.
+type Request struct {
+	System string
+	User   string
+}
+
+// Client is the LLM interface the assistant talks to — shaped like a
+// chat-completion API so a network-backed implementation could be dropped
+// in where the paper used the OpenAI Python API.
+type Client interface {
+	// Name identifies the model (e.g. "gpt-4").
+	Name() string
+	// Complete returns the model's text response.
+	Complete(req Request) (string, error)
+}
+
+// Mode markers the simulated models key their behaviour on. The assistant
+// embeds these phrases in its prompts; they match how the paper describes
+// each stage.
+const (
+	// rewriteMarker appears in the prompt-generation stage.
+	rewriteMarker = "step-by-step"
+	// exampleMarker introduces few-shot snippets in the system prompt.
+	exampleMarker = "Example code snippets"
+	// repairMarker appears in the correction-loop prompt.
+	repairMarker = "fix the code"
+	// scriptOpen/scriptClose delimit the previous script in repair
+	// prompts.
+	scriptOpen  = "--- SCRIPT ---"
+	scriptClose = "--- END SCRIPT ---"
+	// errorsOpen/errorsClose delimit the extracted error messages.
+	errorsOpen  = "--- ERRORS ---"
+	errorsClose = "--- END ERRORS ---"
+)
+
+// BuildRepairUser formats the correction-loop user prompt the assistant
+// sends: the failing script plus the extracted error messages.
+func BuildRepairUser(script, errors string) string {
+	return fmt.Sprintf("The following ParaView Python script failed. Please fix the code so it runs correctly and regenerate the full script.\n%s\n%s\n%s\n%s\n%s\n%s\n",
+		scriptOpen, script, scriptClose, errorsOpen, errors, errorsClose)
+}
+
+// SimModel is a deterministic simulated LLM with a competence profile.
+type SimModel struct {
+	P Profile
+}
+
+// Name implements Client.
+func (m *SimModel) Name() string { return m.P.Name }
+
+// Complete implements Client, dispatching on the request's stage.
+func (m *SimModel) Complete(req Request) (string, error) {
+	sys := req.System
+	user := req.User
+	switch {
+	case strings.Contains(user, scriptOpen) || strings.Contains(sys+user, repairMarker):
+		script := between(user, scriptOpen, scriptClose)
+		errText := between(user, errorsOpen, errorsClose)
+		reports := errext.Extract(errText)
+		fixed := Repair(strings.TrimSpace(script)+"\n", reports, m.P.RepairSkill)
+		return fixed, nil
+	case strings.Contains(sys, rewriteMarker) && !strings.Contains(sys, exampleMarker):
+		// Prompt-generation stage: rewrite the request into steps.
+		spec := ParseIntent(user)
+		return RenderStepPrompt(spec), nil
+	default:
+		// Script generation. Grounding is op-granular: only the
+		// operations the example snippets (or a full API reference)
+		// demonstrate are generated with the canonical API.
+		spec := ParseIntent(user)
+		g := GroundingFromText(sys)
+		return WriteScript(spec, m.P, g), nil
+	}
+}
+
+func between(s, open, close string) string {
+	i := strings.Index(s, open)
+	if i < 0 {
+		return ""
+	}
+	s = s[i+len(open):]
+	j := strings.Index(s, close)
+	if j < 0 {
+		return s
+	}
+	return s[:j]
+}
+
+// Profiles of the models the paper evaluates, plus an "oracle" used for
+// testing and ablations. Competence parameters are calibrated to Table II
+// and the per-task failure descriptions in §IV.
+var profiles = map[string]Profile{
+	"gpt-4": {
+		Name:                    "gpt-4",
+		Hallucinates:            true, // when not grounded by examples
+		DetailSlips:             true, // exercised under ChatVis grounding
+		SetsExplicitCamera:      true,
+		OmitsBackgroundOverride: true,
+		RepairSkill:             2,
+	},
+	"gpt-3.5-turbo": {
+		Name:         "gpt-3.5-turbo",
+		SyntaxDefect: "paren",
+		Hallucinates: true,
+		RepairSkill:  1,
+	},
+	"llama3-8b": {
+		Name:         "llama3-8b",
+		SyntaxDefect: "fence",
+		Hallucinates: true,
+		RepairSkill:  0,
+	},
+	"codellama-7b": {
+		Name:         "codellama-7b",
+		SyntaxDefect: "indent",
+		Hallucinates: true,
+		RepairSkill:  0,
+	},
+	"codegemma": {
+		Name:         "codegemma",
+		SyntaxDefect: "string",
+		Hallucinates: true,
+		RepairSkill:  0,
+	},
+	"oracle": {
+		Name:        "oracle",
+		RepairSkill: 2,
+	},
+}
+
+// NewModel returns the simulated model with the given name.
+func NewModel(name string) (Client, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("llm: unknown model %q (have %s)",
+			name, strings.Join(ModelNames(), ", "))
+	}
+	return &SimModel{P: p}, nil
+}
+
+// ModelNames lists the available simulated models, sorted.
+func ModelNames() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperModels lists the unassisted comparison models in the order of the
+// paper's Table II columns.
+func PaperModels() []string {
+	return []string{"gpt-4", "gpt-3.5-turbo", "llama3-8b", "codellama-7b", "codegemma"}
+}

@@ -1,0 +1,303 @@
+package llm
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"chatvis/internal/errext"
+)
+
+// attrErrRe parses our engine's AttributeError messages:
+// 'Class' object has no attribute 'Name'.
+var attrErrRe = regexp.MustCompile(`'([\w ]+)' object has no attribute '(\w+)'`)
+
+// attrFixes maps (class, attribute) to the correct replacement attribute
+// or method name — the "knowledge" a competent model applies when shown
+// an error message.
+var attrFixes = map[[2]string]string{
+	{"Clip", "InsideOut"}:                           "Invert",
+	{"RenderView", "ViewUp"}:                        "CameraViewUp",
+	{"Tube", "NumberOfSides"}:                       "NumberofSides",
+	{"GeometryRepresentation", "SetRepresentation"}: "SetRepresentationType",
+	{"RenderView", "ResetActiveCameraToIsometric"}:  "ApplyIsometricView",
+	{"RenderView", "SetIsometricView"}:              "ApplyIsometricView",
+	{"Glyph", "ScaleMode"}:                          "GlyphMode",
+}
+
+// attrDeletes lists invented attributes whose assignments a competent
+// model simply removes (no equivalent exists on the proxy).
+var attrDeletes = map[[2]string]bool{
+	{"Glyph", "Scalars"}: true,
+	{"Glyph", "Vectors"}: true,
+}
+
+// Repair revises a script given extracted error reports, at the given
+// skill level: 0 returns the script unchanged, 1 deletes offending lines,
+// 2 applies the correct targeted fixes (falling back to deletion).
+func Repair(script string, reports []errext.ErrorReport, skill int) string {
+	if skill <= 0 || len(reports) == 0 {
+		return script
+	}
+	lines := strings.Split(script, "\n")
+	for _, r := range reports {
+		switch r.Kind {
+		case "AttributeError":
+			lines = repairAttribute(lines, r, skill)
+		case "SyntaxError":
+			lines = repairSyntax(lines, r, skill)
+		case "TypeError":
+			lines = repairType(lines, r, skill)
+		case "NameError":
+			lines = repairName(lines, r, skill)
+		default:
+			// Unknown failure: drop the offending line if located.
+			if r.Line >= 1 && r.Line <= len(lines) && skill >= 1 {
+				lines = deleteLine(lines, r.Line)
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func deleteLine(lines []string, n int) []string {
+	if n < 1 || n > len(lines) {
+		return lines
+	}
+	out := append([]string{}, lines[:n-1]...)
+	return append(out, lines[n:]...)
+}
+
+func repairAttribute(lines []string, r errext.ErrorReport, skill int) []string {
+	m := attrErrRe.FindStringSubmatch(r.Message)
+	if m == nil {
+		if r.Line >= 1 {
+			return deleteLine(lines, r.Line)
+		}
+		return lines
+	}
+	class, attr := m[1], m[2]
+	key := [2]string{class, attr}
+	if skill >= 2 {
+		if class == "Threshold" && attr == "ThresholdRange" {
+			// The pre-5.10 range property split into two scalars; rewrite
+			// `x.ThresholdRange = [lo, hi]` into the modern pair.
+			re := regexp.MustCompile(`^(\s*)(\w+)\.ThresholdRange\s*=\s*\[([^,\]]+),\s*([^\]]+)\]`)
+			var out []string
+			for _, l := range lines {
+				if mm := re.FindStringSubmatch(l); mm != nil {
+					out = append(out,
+						fmt.Sprintf("%s%s.LowerThreshold = %s", mm[1], mm[2], strings.TrimSpace(mm[3])),
+						fmt.Sprintf("%s%s.UpperThreshold = %s", mm[1], mm[2], strings.TrimSpace(mm[4])))
+					continue
+				}
+				out = append(out, l)
+			}
+			return out
+		}
+		if fix, ok := attrFixes[key]; ok {
+			// Rename the attribute wherever it appears.
+			for i, l := range lines {
+				if strings.Contains(l, "."+attr) {
+					lines[i] = strings.ReplaceAll(l, "."+attr, "."+fix)
+				}
+			}
+			return lines
+		}
+		if attrDeletes[key] {
+			return deleteLinesContaining(lines, "."+attr)
+		}
+		if attr == "UseSeparateColorMap" {
+			// ColorBy was called on a pipeline proxy instead of its
+			// representation: retarget to the Show() result.
+			return retargetColorBy(lines)
+		}
+	}
+	// Skill 1 (or unknown attribute at skill 2): delete the offending
+	// assignment(s).
+	return deleteLinesContaining(lines, "."+attr)
+}
+
+func deleteLinesContaining(lines []string, needle string) []string {
+	out := lines[:0:0]
+	for _, l := range lines {
+		if strings.Contains(l, needle) {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+var colorByCallRe = regexp.MustCompile(`ColorBy\((\w+)\s*,`)
+var showAssignRe = regexp.MustCompile(`(\w+)\s*=\s*Show\((\w+)`)
+
+// retargetColorBy rewrites ColorBy(filter, ...) to ColorBy(display, ...)
+// using the display variable assigned from Show(filter, ...).
+func retargetColorBy(lines []string) []string {
+	displayOf := map[string]string{}
+	for _, l := range lines {
+		if m := showAssignRe.FindStringSubmatch(l); m != nil {
+			displayOf[m[2]] = m[1]
+		}
+	}
+	for i, l := range lines {
+		m := colorByCallRe.FindStringSubmatch(l)
+		if m == nil {
+			continue
+		}
+		arg := m[1]
+		if strings.Contains(arg, "Display") {
+			continue
+		}
+		if disp, ok := displayOf[arg]; ok {
+			lines[i] = strings.Replace(l, "ColorBy("+arg, "ColorBy("+disp, 1)
+		}
+	}
+	return lines
+}
+
+func repairSyntax(lines []string, r errext.ErrorReport, skill int) []string {
+	// Markdown fences are the most common weak-model artifact.
+	var out []string
+	stripped := false
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			stripped = true
+			continue
+		}
+		out = append(out, l)
+	}
+	if stripped {
+		return out
+	}
+	lines = out
+	switch {
+	case strings.Contains(r.Message, "was never closed"):
+		// CPython reports the opening line; rebalance it, or — if the
+		// report is off — the nearest unbalanced line above.
+		fixed := false
+		if r.Line >= 1 && r.Line <= len(lines) {
+			if bracketDepth(lines[r.Line-1]) > 0 {
+				lines[r.Line-1] = rebalance(lines[r.Line-1])
+				fixed = true
+			}
+		}
+		if !fixed {
+			start := len(lines)
+			if r.Line >= 1 && r.Line <= len(lines) {
+				start = r.Line
+			}
+			for i := start - 1; i >= 0; i-- {
+				if bracketDepth(lines[i]) > 0 {
+					lines[i] = rebalance(lines[i])
+					break
+				}
+			}
+		}
+	case strings.Contains(r.Message, "unterminated string"):
+		if r.Line >= 1 && r.Line <= len(lines) {
+			lines[r.Line-1] = closeString(lines[r.Line-1])
+		}
+	default:
+		if r.Line >= 1 && r.Line <= len(lines) && skill >= 1 {
+			// Unexpected indent or similar: normalize leading whitespace.
+			trimmed := strings.TrimLeft(lines[r.Line-1], " \t")
+			if trimmed != lines[r.Line-1] {
+				lines[r.Line-1] = trimmed
+			} else {
+				lines = deleteLine(lines, r.Line)
+			}
+		}
+	}
+	return lines
+}
+
+// bracketDepth counts unclosed round/square brackets on a line.
+func bracketDepth(line string) int {
+	depth := 0
+	for _, c := range line {
+		switch c {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		}
+	}
+	return depth
+}
+
+// rebalance appends missing closing brackets to a line.
+func rebalance(line string) string {
+	for depth := bracketDepth(line); depth > 0; depth-- {
+		line += ")"
+	}
+	return line
+}
+
+// closeString restores a missing quote by re-quoting the first
+// unterminated literal segment.
+func closeString(line string) string {
+	count := strings.Count(line, "'")
+	if count%2 == 1 {
+		// Re-insert the quote before the first comma after the opening
+		// quote, or at end of line.
+		i := strings.Index(line, "'")
+		j := strings.Index(line[i+1:], ",")
+		if j >= 0 {
+			pos := i + 1 + j
+			return line[:pos] + "'" + line[pos:]
+		}
+		return line + "'"
+	}
+	return line
+}
+
+func repairType(lines []string, r errext.ErrorReport, skill int) []string {
+	if strings.Contains(r.Message, "render view proxy") ||
+		strings.Contains(r.Message, "view proxy") {
+		// A view was referenced by name string before creation: create a
+		// view first and pass the variable.
+		var out []string
+		created := false
+		for _, l := range lines {
+			if strings.Contains(l, "'RenderView1'") && strings.Contains(l, "Show(") {
+				if !created {
+					out = append(out, "renderView1 = GetActiveViewOrCreate('RenderView')")
+					created = true
+				}
+				l = strings.ReplaceAll(l, "'RenderView1'", "renderView1")
+			}
+			out = append(out, l)
+		}
+		return out
+	}
+	if r.Line >= 1 && skill >= 1 {
+		return deleteLine(lines, r.Line)
+	}
+	return lines
+}
+
+func repairName(lines []string, r errext.ErrorReport, skill int) []string {
+	// name 'renderView1' is not defined -> insert a view creation before
+	// first use; other undefined names: delete the line.
+	m := regexp.MustCompile(`name '(\w+)' is not defined`).FindStringSubmatch(r.Message)
+	if m == nil {
+		return lines
+	}
+	name := m[1]
+	if strings.HasPrefix(strings.ToLower(name), "renderview") && skill >= 2 {
+		decl := fmt.Sprintf("%s = GetActiveViewOrCreate('RenderView')", name)
+		for i, l := range lines {
+			if strings.Contains(l, name) {
+				out := append([]string{}, lines[:i]...)
+				out = append(out, decl)
+				return append(out, lines[i:]...)
+			}
+		}
+	}
+	if r.Line >= 1 && skill >= 1 {
+		return deleteLine(lines, r.Line)
+	}
+	return lines
+}

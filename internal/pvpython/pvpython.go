@@ -1,0 +1,91 @@
+// Package pvpython simulates the `pvpython` batch interpreter: it executes
+// ParaView Python script text against the simulated engine and returns
+// what a subprocess invocation would produce — combined stdout/stderr text
+// (including CPython-style tracebacks on failure) plus the screenshots the
+// script saved. The ChatVis loop treats this output exactly as the paper
+// treats PvPython subprocess output.
+package pvpython
+
+import (
+	"bytes"
+	"fmt"
+
+	"chatvis/internal/pvsim"
+	"chatvis/internal/pypy"
+)
+
+// Result is the outcome of one script execution.
+type Result struct {
+	// Output is the combined stdout/stderr text, traceback included.
+	Output string
+	// Err is the structured error (nil on success): *pypy.SyntaxError or
+	// *pypy.PyError.
+	Err error
+	// Screenshots lists the image files the script wrote, in order.
+	Screenshots []string
+	// Engine exposes the session for callers that inspect state (tests,
+	// the evaluation harness reading rendered pixels).
+	Engine *pvsim.Engine
+}
+
+// OK reports whether the run completed without error.
+func (r *Result) OK() bool { return r.Err == nil }
+
+// Runner executes scripts with a fixed data directory and output
+// directory, like a pvpython binary invoked from a working directory.
+type Runner struct {
+	// DataDir resolves relative input dataset paths.
+	DataDir string
+	// OutDir resolves relative screenshot paths.
+	OutDir string
+	// MaxSteps bounds interpreter execution (default 5M).
+	MaxSteps int
+}
+
+// Exec runs one script in a fresh simulated ParaView session.
+func (r *Runner) Exec(script string) *Result {
+	var out bytes.Buffer
+	engine := pvsim.NewEngine(r.DataDir, r.OutDir)
+	interp := pypy.NewInterp(&out)
+	if r.MaxSteps > 0 {
+		interp.MaxSteps = r.MaxSteps
+	}
+	simple := engine.BuildSimpleModule()
+	interp.RegisterModule(simple)
+	interp.RegisterModule(buildParaviewRootExtras())
+	// Real paraview.simple contains `import paraview` at module top, so a
+	// star-import also binds the package name — scripts rely on it for
+	// `paraview.simple._DisableFirstRenderCameraReset()`.
+	if root, ok := interp.Modules["paraview"]; ok {
+		simple.Attrs["paraview"] = root
+	}
+
+	err := interp.Run(script)
+	res := &Result{Engine: engine}
+	if err != nil {
+		switch e := err.(type) {
+		case *pypy.SyntaxError:
+			fmt.Fprintln(&out, e.Error())
+		case *pypy.PyError:
+			fmt.Fprintln(&out, e.Traceback(interp.File, interp.SourceLine(e.Line)))
+		default:
+			fmt.Fprintf(&out, "Error: %v\n", err)
+		}
+		res.Err = err
+	}
+	res.Output = out.String()
+	res.Screenshots = engine.Screenshots
+	return res
+}
+
+// buildParaviewRootExtras adds the handful of attributes scripts reference
+// on the `paraview` package itself (paraview.simple._DisableFirst... is
+// reached through the simple module; this covers e.g. print_warning).
+func buildParaviewRootExtras() *pypy.ModuleVal {
+	return &pypy.ModuleVal{
+		Name: "paraview.servermanager",
+		Attrs: map[string]pypy.Value{
+			"vtkSMProxyManager": pypy.Str("<proxy manager>"),
+		},
+	}
+}

@@ -1,0 +1,530 @@
+package pvpython
+
+import (
+	"image"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chatvis/internal/datagen"
+	"chatvis/internal/pypy"
+	"chatvis/internal/vtkio"
+)
+
+// testData writes small versions of the three experiment datasets into a
+// temp dir and returns (dataDir, outDir).
+func testData(t *testing.T) (string, string) {
+	t.Helper()
+	dataDir := t.TempDir()
+	outDir := t.TempDir()
+	ml := datagen.MarschnerLobb(24)
+	if err := vtkio.SaveLegacyVTK(filepath.Join(dataDir, "ml-100.vtk"), ml, "Marschner-Lobb"); err != nil {
+		t.Fatal(err)
+	}
+	can := datagen.CanPoints(24, 10)
+	if err := vtkio.SaveExodus(filepath.Join(dataDir, "can_points.ex2"), can, "can points"); err != nil {
+		t.Fatal(err)
+	}
+	disk := datagen.DiskFlow(6, 24, 6)
+	if err := vtkio.SaveExodus(filepath.Join(dataDir, "disk.ex2"), disk, "disk flow"); err != nil {
+		t.Fatal(err)
+	}
+	return dataDir, outDir
+}
+
+func runScript(t *testing.T, script string) *Result {
+	t.Helper()
+	dataDir, outDir := testData(t)
+	r := &Runner{DataDir: dataDir, OutDir: outDir}
+	return r.Exec(script)
+}
+
+// checkScreenshot verifies a screenshot exists on disk and is a sane PNG.
+func checkScreenshot(t *testing.T, res *Result, name string, wantW int) image.Image {
+	t.Helper()
+	var path string
+	for _, s := range res.Screenshots {
+		if strings.HasSuffix(s, name) {
+			path = s
+		}
+	}
+	if path == "" {
+		t.Fatalf("screenshot %s not produced; have %v", name, res.Screenshots)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, _, err := image.Decode(f)
+	if err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	if wantW > 0 && img.Bounds().Dx() != wantW {
+		t.Errorf("width = %d, want %d", img.Bounds().Dx(), wantW)
+	}
+	return img
+}
+
+// nonBackgroundFraction estimates how much of the image differs from its
+// corner color (treated as background).
+func nonBackgroundFraction(img image.Image) float64 {
+	b := img.Bounds()
+	bg := img.At(b.Min.X, b.Min.Y)
+	n, diff := 0, 0
+	for y := b.Min.Y; y < b.Max.Y; y += 2 {
+		for x := b.Min.X; x < b.Max.X; x += 2 {
+			n++
+			if img.At(x, y) != bg {
+				diff++
+			}
+		}
+	}
+	return float64(diff) / float64(n)
+}
+
+const isoScript = `from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+# read the input dataset
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+# create an isosurface of var0 at value 0.5
+contour1 = Contour(registrationName='Contour1', Input=ml100vtk)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.5]
+
+# set up the render view
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [480, 270]
+
+contour1Display = Show(contour1, renderView1)
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-iso-screenshot.png', renderView1,
+    ImageResolution=[480, 270],
+    OverrideColorPalette='WhiteBackground')
+`
+
+func TestIsosurfacePipeline(t *testing.T) {
+	res := runScript(t, isoScript)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	img := checkScreenshot(t, res, "ml-iso-screenshot.png", 480)
+	if f := nonBackgroundFraction(img); f < 0.05 {
+		t.Errorf("isosurface covers only %.1f%% of the image", f*100)
+	}
+}
+
+const sliceContourScript = `from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+# slice parallel to the y-z plane at x=0
+slice1 = Slice(registrationName='Slice1', Input=ml100vtk, SliceType='Plane')
+slice1.SliceType.Origin = [0.0, 0.0, 0.0]
+slice1.SliceType.Normal = [1.0, 0.0, 0.0]
+
+# contour through the slice at 0.5
+contour1 = Contour(registrationName='Contour1', Input=slice1)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.5]
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [480, 270]
+
+contour1Display = Show(contour1, renderView1)
+ColorBy(contour1Display, None)
+contour1Display.DiffuseColor = [1.0, 0.0, 0.0]
+contour1Display.LineWidth = 2.0
+
+renderView1.ResetActiveCameraToPositiveX()
+
+SaveScreenshot('ml-slice-iso-screenshot.png', renderView1,
+    ImageResolution=[480, 270],
+    OverrideColorPalette='WhiteBackground')
+`
+
+func TestSliceContourPipeline(t *testing.T) {
+	res := runScript(t, sliceContourScript)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	img := checkScreenshot(t, res, "ml-slice-iso-screenshot.png", 480)
+	// Red contour lines on white: look for red-dominant pixels.
+	b := img.Bounds()
+	red := 0
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g, bb, _ := img.At(x, y).RGBA()
+			if r > 2*g && r > 2*bb && r > 0x7fff {
+				red++
+			}
+		}
+	}
+	if red < 50 {
+		t.Errorf("expected red contour lines, found %d red pixels", red)
+	}
+}
+
+const volumeScript = `from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [320, 180]
+
+ml100vtkDisplay = Show(ml100vtk, renderView1)
+ml100vtkDisplay.SetRepresentationType('Volume')
+ColorBy(ml100vtkDisplay, ['POINTS', 'var0'])
+ml100vtkDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ApplyIsometricView()
+
+SaveScreenshot('ml-dvr-screenshot.png', renderView1,
+    ImageResolution=[320, 180],
+    OverrideColorPalette='WhiteBackground')
+`
+
+func TestVolumeRenderingPipeline(t *testing.T) {
+	res := runScript(t, volumeScript)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	img := checkScreenshot(t, res, "ml-dvr-screenshot.png", 320)
+	if f := nonBackgroundFraction(img); f < 0.1 {
+		t.Errorf("volume rendering covers only %.1f%% of the image", f*100)
+	}
+}
+
+// volumeScriptMissingRepresentation mimics the GPT-4 failure the paper
+// reports: no error, but the script never switches to volume rendering so
+// the screenshot shows no volume (just the dataset outline).
+const volumeScriptMissingRep = `from paraview.simple import *
+ml100vtk = LegacyVTKReader(FileNames=['ml-100.vtk'])
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [320, 180]
+ml100vtkDisplay = Show(ml100vtk, renderView1)
+SaveScreenshot('ml-dvr-screenshot.png', renderView1,
+    ImageResolution=[320, 180])
+`
+
+func TestVolumeWithoutVolumeRepIsNearBlank(t *testing.T) {
+	res := runScript(t, volumeScriptMissingRep)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	img := checkScreenshot(t, res, "ml-dvr-screenshot.png", 320)
+	if f := nonBackgroundFraction(img); f > 0.05 {
+		t.Errorf("outline-only image should be near blank, got %.1f%%", f*100)
+	}
+}
+
+const delaunayScript = `from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+canpointsex2 = ExodusIIReader(registrationName='can_points.ex2', FileName='can_points.ex2')
+
+delaunay3D1 = Delaunay3D(registrationName='Delaunay3D1', Input=canpointsex2)
+
+# clip with a y-z plane at x=0, keeping the -x half
+clip1 = Clip(registrationName='Clip1', Input=delaunay3D1, ClipType='Plane')
+clip1.ClipType.Origin = [0.0, 0.0, 0.0]
+clip1.ClipType.Normal = [1.0, 0.0, 0.0]
+clip1.Invert = 1
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [480, 270]
+
+clip1Display = Show(clip1, renderView1)
+clip1Display.SetRepresentationType('Wireframe')
+
+renderView1.ApplyIsometricView()
+
+SaveScreenshot('points-surf-clip-screenshot.png', renderView1,
+    ImageResolution=[480, 270],
+    OverrideColorPalette='WhiteBackground')
+`
+
+func TestDelaunayClipPipeline(t *testing.T) {
+	res := runScript(t, delaunayScript)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	img := checkScreenshot(t, res, "points-surf-clip-screenshot.png", 480)
+	if f := nonBackgroundFraction(img); f < 0.02 {
+		t.Errorf("wireframe covers only %.2f%% of the image", f*100)
+	}
+}
+
+// streamScript is the paper's Table I (left) ChatVis script, adjusted only
+// for resolution.
+const streamScript = `from paraview.simple import *
+
+# Reading the disk.ex2 file
+reader = ExodusIIReader(FileName='disk.ex2')
+reader.UpdatePipeline()
+
+# Tracing streamlines of the V data array seeded from a default point cloud
+streamTracer = StreamTracer(registrationName='StreamTracer1', Input=reader,
+                            SeedType='Point Cloud')
+
+# Rendering the streamlines with tubes for better visibility
+tube = Tube(registrationName='Tube1', Input=streamTracer)
+tube.Radius = 0.075
+
+# Adding cone glyphs to the streamlines to indicate direction
+glyph = Glyph(registrationName='Glyph1', Input=streamTracer, GlyphType='Cone')
+glyph.OrientationArray = ['POINTS', 'V']
+glyph.ScaleArray = ['POINTS', 'V']
+glyph.ScaleFactor = 0.2
+
+# Create a new view and set its properties
+renderView = CreateView('RenderView')
+renderView.ViewSize = [480, 270]
+
+# Create a new layout object
+layout = CreateLayout(name='Layout')
+layout.AssignView(0, renderView)
+
+# Coloring both the streamlines and glyphs using the Temp data array
+tubeDisplay = Show(tube, renderView)
+glyphDisplay = Show(glyph, renderView)
+ColorBy(tubeDisplay, ('POINTS', 'Temp'))
+ColorBy(glyphDisplay, ('POINTS', 'Temp'))
+tubeDisplay.RescaleTransferFunctionToDataRange(True)
+glyphDisplay.RescaleTransferFunctionToDataRange(True)
+
+# Orienting the view to look from the +X direction
+renderView.ResetActiveCameraToPositiveX()
+renderView.ResetCamera()
+
+# Save a screenshot of the render view
+SaveScreenshot('stream-glyph-screenshot.png', renderView,
+    ImageResolution=[480, 270],
+    OverrideColorPalette='WhiteBackground')
+`
+
+func TestStreamlinePipeline(t *testing.T) {
+	res := runScript(t, streamScript)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	img := checkScreenshot(t, res, "stream-glyph-screenshot.png", 480)
+	if f := nonBackgroundFraction(img); f < 0.01 {
+		t.Errorf("streamlines cover only %.2f%% of the image", f*100)
+	}
+}
+
+// --- failure-mode fidelity: the errors the paper documents -----------------
+
+func TestGlyphScalarsAttributeError(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = ExodusIIReader(FileName='disk.ex2')
+streamTracer = StreamTracer(Input=reader, SeedType='Point Cloud')
+coneGlyph = Glyph(Input=streamTracer, GlyphType='Cone')
+coneGlyph.Scalars = ['POINTS', 'Temp']
+`)
+	if res.OK() {
+		t.Fatal("Glyph.Scalars should raise")
+	}
+	pe, ok := res.Err.(*pypy.PyError)
+	if !ok || pe.Kind != "AttributeError" {
+		t.Fatalf("error = %v", res.Err)
+	}
+	if !strings.Contains(pe.Msg, "'Glyph'") || !strings.Contains(pe.Msg, "'Scalars'") {
+		t.Errorf("msg = %q", pe.Msg)
+	}
+	if !strings.Contains(res.Output, "Traceback (most recent call last):") {
+		t.Errorf("output missing traceback:\n%s", res.Output)
+	}
+}
+
+func TestClipInsideOutAttributeError(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = ExodusIIReader(FileName='can_points.ex2')
+d = Delaunay3D(Input=reader)
+clipFilter = Clip(Input=d, ClipType='Plane')
+clipFilter.InsideOut = 1
+`)
+	if res.OK() {
+		t.Fatal("Clip.InsideOut should raise")
+	}
+	pe, ok := res.Err.(*pypy.PyError)
+	if !ok || pe.Kind != "AttributeError" || !strings.Contains(pe.Msg, "InsideOut") {
+		t.Fatalf("error = %v", res.Err)
+	}
+}
+
+func TestViewUpAttributeError(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+view = GetActiveViewOrCreate('RenderView')
+view.ViewUp = [0.0, 1.0, 0.0]
+`)
+	pe, ok := res.Err.(*pypy.PyError)
+	if !ok || pe.Kind != "AttributeError" || !strings.Contains(pe.Msg, "ViewUp") {
+		t.Fatalf("error = %v", res.Err)
+	}
+}
+
+func TestColorByOnFilterProxyRaisesUseSeparateColorMap(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+contour = Contour(Input=reader)
+contour.Isosurfaces = [0.5]
+ColorBy(contour, None)
+`)
+	pe, ok := res.Err.(*pypy.PyError)
+	if !ok || pe.Kind != "AttributeError" {
+		t.Fatalf("error = %v", res.Err)
+	}
+	if !strings.Contains(pe.Msg, "UseSeparateColorMap") || !strings.Contains(pe.Msg, "'Contour'") {
+		t.Errorf("msg = %q", pe.Msg)
+	}
+}
+
+func TestShowWithStringViewRaises(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+rep = Show(reader, 'RenderView1')
+`)
+	if res.OK() {
+		t.Fatal("Show with string view should raise")
+	}
+	pe, ok := res.Err.(*pypy.PyError)
+	if !ok || pe.Kind != "TypeError" {
+		t.Fatalf("error = %v", res.Err)
+	}
+}
+
+func TestMissingDataFileRaises(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['no-such-file.vtk'])
+reader.UpdatePipeline()
+`)
+	if res.OK() {
+		t.Fatal("missing file should raise")
+	}
+	if !strings.Contains(res.Output, "RuntimeError") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestSyntaxErrorSurfacesInOutput(t *testing.T) {
+	res := runScript(t, "from paraview.simple import *\nx = (1 +\n")
+	if res.OK() {
+		t.Fatal("syntax error expected")
+	}
+	if !strings.Contains(res.Output, "SyntaxError") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestCameraMethodsWork(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+view = GetActiveViewOrCreate('RenderView')
+d = Show(reader, view)
+view.ResetCamera()
+cam = view.GetActiveCamera()
+cam.Azimuth(30)
+cam.Elevation(-15)
+cam.SetPosition(1.0, 2.0, 10.0)
+cam.SetFocalPoint(0.0, 0.0, 0.0)
+cam.SetViewUp(0.0, 1.0, 0.0)
+print(view.CameraPosition)
+`)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "[1.0, 2.0, 10.0]") {
+		t.Errorf("camera position not applied: %s", res.Output)
+	}
+}
+
+func TestTransferFunctionAccess(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+lut = GetColorTransferFunction('Temp')
+lut.ApplyPreset('Cool to Warm', True)
+lut.RescaleTransferFunction(0.0, 100.0)
+pwf = GetOpacityTransferFunction('Temp')
+pwf.Points = [0.0, 0.0, 0.5, 0.0, 100.0, 1.0, 0.5, 0.0]
+print('ok')
+`)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+}
+
+func TestHideAndActiveSource(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+view = GetActiveViewOrCreate('RenderView')
+d = Show(reader, view)
+Hide(reader, view)
+print(GetActiveSource() is None)
+SetActiveSource(reader)
+c = Contour()
+c.Isosurfaces = [0.5]
+print(str(c))
+Delete(c)
+`)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	if !strings.Contains(res.Output, "Contour") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestThresholdAndTransformScript(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = ExodusIIReader(FileName='disk.ex2')
+
+# keep the hot region only
+threshold1 = Threshold(registrationName='Threshold1', Input=reader)
+threshold1.Scalars = ['POINTS', 'Temp']
+threshold1.LowerThreshold = 500.0
+threshold1.UpperThreshold = 1000.0
+
+# move it up and shrink it
+transform1 = Transform(registrationName='Transform1', Input=threshold1)
+transform1.Transform.Translate = [0.0, 0.0, 3.0]
+transform1.Transform.Scale = [0.5, 0.5, 0.5]
+
+view = GetActiveViewOrCreate('RenderView')
+view.ViewSize = [200, 120]
+d = Show(transform1, view)
+ColorBy(d, ('POINTS', 'Temp'))
+view.ResetCamera()
+SaveScreenshot('thresh.png', view, ImageResolution=[200, 120],
+    OverrideColorPalette='WhiteBackground')
+print('points:', transform1.GetDataInformation()['NumberOfPoints'])
+`)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	checkScreenshot(t, res, "thresh.png", 200)
+	if !strings.Contains(res.Output, "points:") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestThresholdWrongArrayRaises(t *testing.T) {
+	res := runScript(t, `from paraview.simple import *
+reader = ExodusIIReader(FileName='disk.ex2')
+threshold1 = Threshold(Input=reader)
+threshold1.Scalars = ['POINTS', 'NoSuchArray']
+threshold1.UpdatePipeline()
+`)
+	if res.OK() {
+		t.Fatal("missing array should raise")
+	}
+	if !strings.Contains(res.Output, "RuntimeError") {
+		t.Errorf("output = %q", res.Output)
+	}
+}

@@ -1,0 +1,152 @@
+package pvsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chatvis/internal/pypy"
+)
+
+// The paper's future-work plan includes grounding the model with
+// "function calls from ParaView's source code". This file is the
+// reproduction's analog: the engine can enumerate its own API surface —
+// every proxy class with its properties and methods, and every
+// paraview.simple function — as a structured reference that can be fed to
+// a model as an alternative (or complement) to few-shot snippets.
+
+// PropRef documents one proxy property.
+type PropRef struct {
+	Name    string
+	Default string // repr of the default value ("" when none)
+}
+
+// ClassRef documents one proxy class.
+type ClassRef struct {
+	Name    string
+	Kind    string // "source", "filter", "view", "representation", ...
+	Props   []PropRef
+	Methods []string
+}
+
+// APIReference is the full simulated paraview.simple surface.
+type APIReference struct {
+	Classes   []ClassRef
+	Functions []string
+}
+
+func kindName(k proxyKind) string {
+	switch k {
+	case kindSource:
+		return "source"
+	case kindFilter:
+		return "filter"
+	case kindView:
+		return "view"
+	case kindRepresentation:
+		return "representation"
+	case kindHelper:
+		return "helper"
+	case kindLayout:
+		return "layout"
+	case kindTransferFunction:
+		return "transfer-function"
+	}
+	return "unknown"
+}
+
+// APIReference enumerates the engine's classes, properties, methods and
+// module functions, sorted deterministically.
+func (e *Engine) APIReference() *APIReference {
+	ref := &APIReference{}
+	var classNames []string
+	for name := range e.schemas {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+	for _, name := range classNames {
+		s := e.schemas[name]
+		cr := ClassRef{Name: name, Kind: kindName(s.kind)}
+		var propNames []string
+		for p := range s.props {
+			propNames = append(propNames, p)
+		}
+		sort.Strings(propNames)
+		for _, p := range propNames {
+			pr := PropRef{Name: p}
+			if d := s.props[p].Default; d != nil {
+				pr.Default = d().Repr()
+			}
+			cr.Props = append(cr.Props, pr)
+		}
+		for m := range s.methods {
+			cr.Methods = append(cr.Methods, m)
+		}
+		sort.Strings(cr.Methods)
+		ref.Classes = append(ref.Classes, cr)
+	}
+	mod := e.BuildSimpleModule()
+	for name, v := range mod.Attrs {
+		if _, ok := v.(*pypy.NativeFunc); ok && !strings.HasPrefix(name, "_") {
+			ref.Functions = append(ref.Functions, name)
+		}
+	}
+	sort.Strings(ref.Functions)
+	return ref
+}
+
+// Format renders the reference as the plain-text listing a prompt can
+// embed (one class per block, pydoc-like).
+func (r *APIReference) Format() string {
+	var b strings.Builder
+	b.WriteString("paraview.simple API reference (simulated)\n\n")
+	b.WriteString("Module functions:\n")
+	for _, f := range r.Functions {
+		fmt.Fprintf(&b, "  %s(...)\n", f)
+	}
+	b.WriteString("\nProxy classes:\n")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "\n%s (%s)\n", c.Name, c.Kind)
+		for _, p := range c.Props {
+			if p.Default != "" {
+				fmt.Fprintf(&b, "  .%s = %s\n", p.Name, p.Default)
+			} else {
+				fmt.Fprintf(&b, "  .%s\n", p.Name)
+			}
+		}
+		for _, m := range c.Methods {
+			fmt.Fprintf(&b, "  .%s(...)\n", m)
+		}
+	}
+	return b.String()
+}
+
+// Lookup returns the class reference by name.
+func (r *APIReference) Lookup(class string) (ClassRef, bool) {
+	for _, c := range r.Classes {
+		if c.Name == class {
+			return c, true
+		}
+	}
+	return ClassRef{}, false
+}
+
+// HasProperty reports whether class.property exists — the check a
+// documentation-grounded model performs before emitting an assignment.
+func (r *APIReference) HasProperty(class, prop string) bool {
+	c, ok := r.Lookup(class)
+	if !ok {
+		return false
+	}
+	for _, p := range c.Props {
+		if p.Name == prop {
+			return true
+		}
+	}
+	for _, m := range c.Methods {
+		if m == prop {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package pvsim
+
+import (
+	"image"
+
+	"chatvis/internal/data"
+	"chatvis/internal/filters"
+	"chatvis/internal/pypy"
+	"chatvis/internal/render"
+	"chatvis/internal/vmath"
+)
+
+// viewCamera is retained for interface symmetry; camera state lives in the
+// view proxy's Camera* properties so scripts can read and write it.
+type viewCamera struct{}
+
+// cameraFromView builds a render camera from the view proxy's properties.
+func (e *Engine) cameraFromView(view *Proxy) *render.Camera {
+	c := render.NewCamera()
+	if v := propFloats(view, "CameraPosition"); len(v) >= 3 {
+		c.Position = vmath.FromSlice(v)
+	}
+	if v := propFloats(view, "CameraFocalPoint"); len(v) >= 3 {
+		c.FocalPoint = vmath.FromSlice(v)
+	}
+	if v := propFloats(view, "CameraViewUp"); len(v) >= 3 {
+		c.ViewUp = vmath.FromSlice(v)
+	}
+	c.ViewAngle = propFloat(view, "CameraViewAngle", 30)
+	c.ParallelProjection = propBool(view, "CameraParallelProjection", false)
+	c.ParallelScale = propFloat(view, "CameraParallelScale", 1)
+	return c
+}
+
+// cameraToView stores a render camera back into view properties.
+func (e *Engine) cameraToView(c *render.Camera, view *Proxy) {
+	view.Props["CameraPosition"] = listOf(c.Position.X, c.Position.Y, c.Position.Z)
+	view.Props["CameraFocalPoint"] = listOf(c.FocalPoint.X, c.FocalPoint.Y, c.FocalPoint.Z)
+	view.Props["CameraViewUp"] = listOf(c.ViewUp.X, c.ViewUp.Y, c.ViewUp.Z)
+	view.Props["CameraParallelScale"] = pypy.Float(c.ParallelScale)
+}
+
+// viewBounds unions the bounds of everything visible in the view.
+func (e *Engine) viewBounds(view *Proxy) vmath.AABB {
+	b := vmath.EmptyAABB()
+	for key, rep := range e.Reps {
+		if key.view != view || !propBool(rep, "Visibility", true) {
+			continue
+		}
+		if ds, err := e.Dataset(key.src); err == nil {
+			b.Union(ds.Bounds())
+		}
+	}
+	return b
+}
+
+// resetCamera implements ParaView's ResetCamera for a view.
+func (e *Engine) resetCamera(view *Proxy) {
+	b := e.viewBounds(view)
+	if b.IsEmpty() {
+		return
+	}
+	c := e.cameraFromView(view)
+	c.ResetToBounds(b)
+	e.cameraToView(c, view)
+}
+
+// lookFrom points the view's camera at the visible bounds from the given
+// direction (the ResetActiveCameraTo* family and isometric view).
+func (e *Engine) lookFrom(view *Proxy, dir vmath.Vec3) {
+	b := e.viewBounds(view)
+	if b.IsEmpty() {
+		b = vmath.AABB{Min: vmath.V(-1, -1, -1), Max: vmath.V(1, 1, 1)}
+	}
+	c := e.cameraFromView(view)
+	up := vmath.V(0, 0, 1)
+	if dir.Norm().NearEq(vmath.V(0, 0, 1), 1e-9) || dir.Norm().NearEq(vmath.V(0, 0, -1), 1e-9) {
+		up = vmath.V(0, 1, 0)
+	}
+	c.LookFrom(dir, up, b)
+	e.cameraToView(c, view)
+}
+
+// rescaleRepTF rescales the transfer function of a representation's color
+// array to the current data range.
+func (e *Engine) rescaleRepTF(rep *Proxy) {
+	if rep.repOf == nil {
+		return
+	}
+	_, array := propAssoc(rep, "ColorArrayName")
+	if array == "" {
+		return
+	}
+	ds, err := e.Dataset(rep.repOf)
+	if err != nil {
+		return
+	}
+	lo, hi := data.FieldRange(ds, array)
+	e.tfRanges[array] = &tfRange{lo: lo, hi: hi, initialized: true}
+}
+
+// tfRangeFor returns the transfer-function range for an array, falling
+// back to the dataset's own range on first use (ParaView initializes the
+// LUT from the first dataset colored by the array).
+func (e *Engine) tfRangeFor(array string, ds data.Dataset) (float64, float64) {
+	if r, ok := e.tfRanges[array]; ok && r.initialized {
+		return r.lo, r.hi
+	}
+	lo, hi := data.FieldRange(ds, array)
+	e.tfRanges[array] = &tfRange{lo: lo, hi: hi, initialized: true}
+	return lo, hi
+}
+
+// lutFor builds a renderable lookup table for an array: explicit RGBPoints
+// when the script configured them, the default cool-to-warm otherwise.
+func (e *Engine) lutFor(array string, ds data.Dataset) *render.LookupTable {
+	if tf, ok := e.colorTFs[array]; ok {
+		pts := propFloats(tf, "RGBPoints")
+		if len(pts) >= 8 {
+			lut := &render.LookupTable{NaNColor: render.Color{R: 1, G: 1, B: 0}}
+			for i := 0; i+3 < len(pts); i += 4 {
+				lut.AddPoint(pts[i], render.Color{R: pts[i+1], G: pts[i+2], B: pts[i+3]})
+			}
+			return lut
+		}
+	}
+	lo, hi := e.tfRangeFor(array, ds)
+	return render.NewCoolToWarm(lo, hi)
+}
+
+// otfFor builds the volume opacity function for an array.
+func (e *Engine) otfFor(array string, ds data.Dataset) *render.OpacityFunction {
+	if tf, ok := e.opacityTFs[array]; ok {
+		pts := propFloats(tf, "Points")
+		// ParaView PiecewiseFunction points come as (x, alpha, mid, sharp).
+		if len(pts) >= 8 {
+			otf := &render.OpacityFunction{}
+			for i := 0; i+3 < len(pts); i += 4 {
+				otf.AddPoint(pts[i], pts[i+1])
+			}
+			return otf
+		}
+	}
+	lo, hi := e.tfRangeFor(array, ds)
+	return render.NewDefaultOpacity(lo, hi)
+}
+
+// outlineOf builds the 12-edge outline polydata of a dataset's bounds —
+// ParaView's default representation for raw image data.
+func outlineOf(b vmath.AABB) *data.PolyData {
+	pd := data.NewPolyData()
+	var ids [8]int
+	for i := 0; i < 8; i++ {
+		p := vmath.Vec3{
+			X: pick(i&1 == 0, b.Min.X, b.Max.X),
+			Y: pick(i&2 == 0, b.Min.Y, b.Max.Y),
+			Z: pick(i&4 == 0, b.Min.Z, b.Max.Z),
+		}
+		ids[i] = pd.AddPoint(p)
+	}
+	edges := [12][2]int{
+		{0, 1}, {2, 3}, {4, 5}, {6, 7},
+		{0, 2}, {1, 3}, {4, 6}, {5, 7},
+		{0, 4}, {1, 5}, {2, 6}, {3, 7},
+	}
+	for _, e2 := range edges {
+		pd.AddLine(ids[e2[0]], ids[e2[1]])
+	}
+	return pd
+}
+
+func pick(cond bool, a, b float64) float64 {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// RenderViewImage renders a view at the given resolution.
+// overridePalette handles SaveScreenshot's OverrideColorPalette option
+// ("WhiteBackground", "BlackBackground" or empty).
+func (e *Engine) RenderViewImage(view *Proxy, w, h int, overridePalette string) (*image.RGBA, error) {
+	r := render.NewRenderer()
+	r.Camera = e.cameraFromView(view)
+	if bg := propFloats(view, "Background"); len(bg) >= 3 && !propBool(view, "UseColorPaletteForBackground", true) {
+		r.Background = render.Color{R: bg[0], G: bg[1], B: bg[2]}
+	}
+	switch overridePalette {
+	case "WhiteBackground":
+		r.Background = render.White
+	case "BlackBackground":
+		r.Background = render.Black
+	}
+	for key, rep := range e.Reps {
+		if key.view != view || !propBool(rep, "Visibility", true) {
+			continue
+		}
+		ds, err := e.Dataset(key.src)
+		if err != nil {
+			return nil, err
+		}
+		repType := propStr(rep, "Representation")
+		_, colorArray := propAssoc(rep, "ColorArrayName")
+
+		if repType == "Volume" {
+			im, ok := ds.(*data.ImageData)
+			if !ok {
+				// Volume rendering of non-image data is unsupported, as in
+				// ParaView without a resampling step.
+				return nil, raiseRT("volume rendering requires uniform grid data")
+			}
+			field := colorArray
+			if field == "" {
+				if f := im.Points.FirstScalar(); f != nil {
+					field = f.Name
+				}
+			}
+			va := &render.VolumeActor{
+				Image: im, Field: field,
+				CTF: e.lutFor(field, im), OTF: e.otfFor(field, im),
+				Visible: true,
+			}
+			r.AddVolume(va)
+			continue
+		}
+
+		var mesh *data.PolyData
+		switch t := ds.(type) {
+		case *data.PolyData:
+			mesh = t
+		case *data.UnstructuredGrid:
+			mesh = filters.ExtractSurface(t)
+		case *data.ImageData:
+			// ParaView shows raw volumes as an outline unless volume
+			// rendered — the source of the paper's "blank" GPT-4 image.
+			mesh = outlineOf(t.Bounds())
+		default:
+			continue
+		}
+		a := render.NewActor(mesh)
+		a.Rep = render.ParseRepresentation(repType)
+		if dc := propFloats(rep, "DiffuseColor"); len(dc) >= 3 {
+			a.SolidColor = render.Color{R: dc[0], G: dc[1], B: dc[2]}
+		}
+		a.Opacity = propFloat(rep, "Opacity", 1)
+		a.LineWidth = propFloat(rep, "LineWidth", 1)
+		a.PointSize = propFloat(rep, "PointSize", 2)
+		if colorArray != "" {
+			a.ColorField = colorArray
+			a.LUT = e.lutFor(colorArray, ds)
+		}
+		r.AddActor(a)
+	}
+	if w <= 0 || h <= 0 {
+		size := propFloats(view, "ViewSize")
+		if len(size) >= 2 {
+			w, h = int(size[0]), int(size[1])
+		}
+	}
+	if w <= 0 {
+		w = 844
+	}
+	if h <= 0 {
+		h = 539
+	}
+	return r.Render(w, h), nil
+}

@@ -1,0 +1,208 @@
+package pypy
+
+// Node is the common interface of AST nodes; Line reports the 1-based
+// source line for traceback rendering.
+type Node interface{ Line() int }
+
+type base struct{ line int }
+
+// Line implements Node.
+func (b base) Line() int { return b.line }
+
+// Statements.
+
+// Module is a parsed script: a list of top-level statements.
+type Module struct {
+	Body []Stmt
+}
+
+// Stmt is any statement node.
+type Stmt interface{ Node }
+
+// ExprStmt is a bare expression evaluated for its side effects.
+type ExprStmt struct {
+	base
+	X Expr
+}
+
+// Assign is `target = value` (single or chained `a = b = v`).
+type Assign struct {
+	base
+	Targets []Expr // Name, Attribute, Subscript or Tuple nodes
+	Value   Expr
+}
+
+// AugAssign is `target op= value`.
+type AugAssign struct {
+	base
+	Target Expr
+	Op     string // "+", "-", "*", "/"
+	Value  Expr
+}
+
+// If is a conditional with optional elif chain (nested) and else.
+type If struct {
+	base
+	Cond Expr
+	Body []Stmt
+	Else []Stmt
+}
+
+// For is `for target in iterable:`.
+type For struct {
+	base
+	Target Expr
+	Iter   Expr
+	Body   []Stmt
+}
+
+// While is a while loop.
+type While struct {
+	base
+	Cond Expr
+	Body []Stmt
+}
+
+// FuncDef is `def name(params):`.
+type FuncDef struct {
+	base
+	Name     string
+	Params   []string
+	Defaults []Expr // aligned to the tail of Params
+	Body     []Stmt
+}
+
+// Return is a return statement (Value may be nil).
+type Return struct {
+	base
+	Value Expr
+}
+
+// Pass, Break and Continue statements.
+type Pass struct{ base }
+
+// Break exits the innermost loop.
+type Break struct{ base }
+
+// Continue resumes the innermost loop.
+type Continue struct{ base }
+
+// Import is `import a.b` or `import a.b as c`.
+type Import struct {
+	base
+	Module string
+	Alias  string
+}
+
+// FromImport is `from a.b import x, y` or `from a.b import *`.
+type FromImport struct {
+	base
+	Module string
+	Names  []string // nil means *
+	Star   bool
+}
+
+// Expressions.
+
+// Expr is any expression node.
+type Expr interface{ Node }
+
+// Name references a variable.
+type Name struct {
+	base
+	ID string
+}
+
+// NumLit is an integer or float literal.
+type NumLit struct {
+	base
+	IsInt bool
+	Int   int64
+	Float float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	base
+	Value string
+}
+
+// BoolLit is True/False.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+// NoneLit is None.
+type NoneLit struct{ base }
+
+// ListLit is [a, b, ...].
+type ListLit struct {
+	base
+	Elts []Expr
+}
+
+// TupleLit is (a, b) or a bare comma expression.
+type TupleLit struct {
+	base
+	Elts []Expr
+}
+
+// DictLit is {k: v, ...}.
+type DictLit struct {
+	base
+	Keys   []Expr
+	Values []Expr
+}
+
+// Attribute is value.attr.
+type Attribute struct {
+	base
+	Value Expr
+	Attr  string
+}
+
+// Subscript is value[index].
+type Subscript struct {
+	base
+	Value Expr
+	Index Expr
+}
+
+// Call is func(args, kw=...).
+type Call struct {
+	base
+	Func     Expr
+	Args     []Expr
+	KwNames  []string
+	KwValues []Expr
+}
+
+// BinOp is a binary arithmetic expression.
+type BinOp struct {
+	base
+	Op   string // + - * / // % **
+	L, R Expr
+}
+
+// UnaryOp is -x, +x or `not x`.
+type UnaryOp struct {
+	base
+	Op string // "-", "+", "not"
+	X  Expr
+}
+
+// Compare is a (possibly chained) comparison a < b <= c.
+type Compare struct {
+	base
+	First Expr
+	Ops   []string // == != < <= > >= in not-in is
+	Rest  []Expr
+}
+
+// BoolOp is `and`/`or` with short-circuit semantics.
+type BoolOp struct {
+	base
+	Op     string // "and" | "or"
+	Values []Expr
+}

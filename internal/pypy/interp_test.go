@@ -1,0 +1,454 @@
+package pypy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// run executes src and returns stdout plus any error.
+func run(t *testing.T, src string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	in := NewInterp(&out)
+	err := in.Run(src)
+	return out.String(), err
+}
+
+// mustRun executes src and fails the test on error.
+func mustRun(t *testing.T, src string) string {
+	t.Helper()
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("script failed: %v", err)
+	}
+	return out
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	out := mustRun(t, `
+x = 2 + 3 * 4
+y = (2 + 3) * 4
+print(x, y)
+print(7 / 2, 7 // 2, 7 % 3, 2 ** 10)
+print(-x + 1)
+`)
+	want := "14 20\n3.5 3 1 1024\n-13\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestStringsAndFormatting(t *testing.T) {
+	out := mustRun(t, `
+name = 'world'
+print('hello ' + name)
+print("a" 'b' "c")
+print('x=%d y=%.1f s=%s' % (3, 2.5, 'hi'))
+print('tab\tnewline\nquote\'')
+print('repeat' * 2)
+`)
+	if !strings.Contains(out, "hello world") ||
+		!strings.Contains(out, "abc") ||
+		!strings.Contains(out, "x=3") ||
+		!strings.Contains(out, "repeatrepeat") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "tab\tnewline\nquote'") {
+		t.Errorf("escapes wrong: %q", out)
+	}
+}
+
+func TestListsTuplesDicts(t *testing.T) {
+	out := mustRun(t, `
+l = [1, 2, 3]
+l.append(4)
+l[0] = 10
+t = ('POINTS', 'V')
+d = {'a': 1, 'b': 2}
+d['c'] = 3
+print(l[0], l[-1], len(l))
+print(t[0], t[1])
+print(d['c'], d.get('zzz', 99))
+print(len(d))
+`)
+	want := "10 4 4\nPOINTS V\n3 99\n3\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := mustRun(t, `
+total = 0
+for i in range(10):
+    if i % 2 == 0:
+        continue
+    if i > 7:
+        break
+    total += i
+while total < 20:
+    total = total + 1
+if total == 20:
+    print('twenty')
+elif total > 20:
+    print('big')
+else:
+    print('small')
+`)
+	if out != "twenty\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	out := mustRun(t, `
+def add(a, b=10):
+    return a + b
+
+def fact(n):
+    if n <= 1:
+        return 1
+    return n * fact(n - 1)
+
+print(add(1), add(1, 2), add(a=5, b=6))
+print(fact(5))
+`)
+	if out != "11 3 11\n120\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestTupleUnpacking(t *testing.T) {
+	out := mustRun(t, `
+a, b = 1, 2
+a, b = b, a
+for i, v in enumerate(['x', 'y']):
+    print(i, v)
+print(a, b)
+`)
+	if out != "0 x\n1 y\n2 1\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBooleansAndComparisons(t *testing.T) {
+	out := mustRun(t, `
+print(1 < 2 < 3, 1 < 2 > 5)
+print(True and False, True or False, not True)
+print('a' in 'abc', 'z' in 'abc', 2 in [1, 2], 5 not in [1, 2])
+print(None is None, None is not None)
+print('b' in {'a': 1, 'b': 2})
+`)
+	want := "True False\nFalse True False\nTrue False True True\nTrue False\nTrue\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	out := mustRun(t, `
+print(abs(-3), abs(2.5))
+print(min(3, 1, 2), max([4, 9, 2]))
+print(int('42'), float('2.5'), str(17))
+print(round(2.7), round(3.14159, 2))
+print(sorted([3, 1, 2]))
+print(len('hello'))
+`)
+	want := "3 2.5\n1 9\n42 2.5 17\n3 3.14\n[1, 2, 3]\n5\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestNameErrorTraceback(t *testing.T) {
+	_, err := run(t, "x = 1\ny = undefined_thing\n")
+	pe, ok := err.(*PyError)
+	if !ok {
+		t.Fatalf("error = %v (%T)", err, err)
+	}
+	if pe.Kind != "NameError" || pe.Line != 2 {
+		t.Errorf("error = %+v", pe)
+	}
+	tb := pe.Traceback("script.py", "y = undefined_thing")
+	if !strings.Contains(tb, "Traceback (most recent call last):") ||
+		!strings.Contains(tb, `File "script.py", line 2, in <module>`) ||
+		!strings.Contains(tb, "NameError: name 'undefined_thing' is not defined") {
+		t.Errorf("traceback = %q", tb)
+	}
+}
+
+func TestAttributeErrorOnPlainValue(t *testing.T) {
+	_, err := run(t, "x = 5\nx.foo = 3\n")
+	pe, ok := err.(*PyError)
+	if !ok || pe.Kind != "AttributeError" {
+		t.Fatalf("error = %v", err)
+	}
+	_, err = run(t, "y = [1].bogus\n")
+	pe, ok = err.(*PyError)
+	if !ok || pe.Kind != "AttributeError" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []string{
+		"x = 'a' + 1\n",
+		"x = 5\nx()\n",
+		"x = None\nfor i in x:\n    pass\n",
+		"x = 1 < 'a'\n",
+	}
+	for _, src := range cases {
+		_, err := run(t, src)
+		pe, ok := err.(*PyError)
+		if !ok || pe.Kind != "TypeError" {
+			t.Errorf("script %q: error = %v, want TypeError", src, err)
+		}
+	}
+}
+
+func TestZeroDivision(t *testing.T) {
+	_, err := run(t, "x = 1 / 0\n")
+	pe, ok := err.(*PyError)
+	if !ok || pe.Kind != "ZeroDivisionError" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestIndexAndKeyErrors(t *testing.T) {
+	_, err := run(t, "x = [1, 2][5]\n")
+	if pe, ok := err.(*PyError); !ok || pe.Kind != "IndexError" {
+		t.Errorf("error = %v, want IndexError", err)
+	}
+	_, err = run(t, "x = {'a': 1}['b']\n")
+	if pe, ok := err.(*PyError); !ok || pe.Kind != "KeyError" {
+		t.Errorf("error = %v, want KeyError", err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"x = (1 + 2\n",
+		"def f(:\n    pass\n",
+		"x = 'unterminated\n",
+		"for in range(3):\n    pass\n",
+		"x = $bad\n",
+		"if True:\nprint(1)\n",
+		"import\n",
+	}
+	for _, src := range cases {
+		_, err := run(t, src)
+		if err == nil {
+			t.Errorf("script %q should fail to parse", src)
+			continue
+		}
+		if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("script %q: error type %T, want *SyntaxError (%v)", src, err, err)
+		}
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	_, err := run(t, "x = 1\ny = (3 +\n")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error = %v (%T)", err, err)
+	}
+	msg := se.Error()
+	if !strings.Contains(msg, `File "script.py", line`) ||
+		!strings.Contains(msg, "SyntaxError:") {
+		t.Errorf("format = %q", msg)
+	}
+}
+
+func TestModuleImport(t *testing.T) {
+	var out bytes.Buffer
+	in := NewInterp(&out)
+	mod := &ModuleVal{Name: "paraview.simple", Attrs: map[string]Value{
+		"Magic": Int(42),
+		"Hello": &NativeFunc{Name: "Hello", Fn: func(_ *Interp, args []Value, _ map[string]Value) (Value, error) {
+			return Str("hi"), nil
+		}},
+		"_private": Int(0),
+	}}
+	in.RegisterModule(mod)
+
+	if err := in.Run("from paraview.simple import *\nprint(Magic, Hello())\n"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "42 hi\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	// Star import must skip private names.
+	if err := in.Run("print(_private)\n"); err == nil {
+		t.Error("_private should not be star-imported")
+	}
+
+	out.Reset()
+	if err := in.Run("import paraview.simple\nprint(paraview.simple.Magic)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "42\n" {
+		t.Errorf("output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := in.Run("from paraview.simple import Hello as H\nprint(H())\n"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hi\n" {
+		t.Errorf("output = %q", out.String())
+	}
+
+	if err := in.Run("import numpy\n"); err == nil {
+		t.Error("unknown module should raise")
+	} else if pe, ok := err.(*PyError); !ok || pe.Kind != "ModuleNotFoundError" {
+		t.Errorf("error = %v", err)
+	}
+	if err := in.Run("from paraview.simple import NotThere\n"); err == nil {
+		t.Error("missing name should raise ImportError")
+	}
+}
+
+// fakeObject exercises the host-object bridge.
+type fakeObject struct {
+	attrs map[string]Value
+}
+
+func (f *fakeObject) Type() string { return "FakeProxy" }
+func (f *fakeObject) Repr() string { return "<FakeProxy>" }
+func (f *fakeObject) GetAttr(name string) (Value, error) {
+	if v, ok := f.attrs[name]; ok {
+		return v, nil
+	}
+	return nil, &PyError{Kind: "AttributeError", Msg: "'FakeProxy' object has no attribute '" + name + "'"}
+}
+func (f *fakeObject) SetAttr(name string, v Value) error {
+	if name == "Locked" {
+		return &PyError{Kind: "AttributeError", Msg: "attribute 'Locked' is read-only"}
+	}
+	f.attrs[name] = v
+	return nil
+}
+
+func TestHostObjectBridge(t *testing.T) {
+	var out bytes.Buffer
+	in := NewInterp(&out)
+	obj := &fakeObject{attrs: map[string]Value{"Radius": Float(1.5)}}
+	in.Globals.Set("proxy", obj)
+
+	if err := in.Run("proxy.Radius = proxy.Radius * 2\nprint(proxy.Radius)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "3.0\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	// Unknown attribute read raises AttributeError with the host message
+	// and the script line attached.
+	err := in.Run("x = proxy.Bogus\n")
+	pe, ok := err.(*PyError)
+	if !ok || pe.Kind != "AttributeError" || pe.Line != 1 {
+		t.Fatalf("error = %v", err)
+	}
+	if !strings.Contains(pe.Msg, "no attribute 'Bogus'") {
+		t.Errorf("msg = %q", pe.Msg)
+	}
+	// Host SetAttr errors propagate too.
+	err = in.Run("proxy.Locked = 1\n")
+	if pe, ok := err.(*PyError); !ok || pe.Kind != "AttributeError" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestRunawayLoopStops(t *testing.T) {
+	var out bytes.Buffer
+	in := NewInterp(&out)
+	in.MaxSteps = 10000
+	err := in.Run("while True:\n    pass\n")
+	pe, ok := err.(*PyError)
+	if !ok || pe.Kind != "RuntimeError" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	out := mustRun(t, `
+# leading comment
+x = 1  # trailing comment
+
+
+# indented comment does not break blocks
+if x == 1:
+    # comment in block
+    print('ok')
+`)
+	if out != "ok\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMultilineCallsAndLists(t *testing.T) {
+	out := mustRun(t, `
+def f(a, b, c):
+    return a + b + c
+x = f(1,
+      2,
+      3)
+l = [
+    1,
+    2,
+]
+print(x, len(l))
+`)
+	if out != "6 2\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestChainedAssignment(t *testing.T) {
+	out := mustRun(t, "a = b = 5\nprint(a, b)\n")
+	if out != "5 5\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	out := mustRun(t, `
+s = ' Hello World '
+print(s.strip())
+print(s.upper().strip())
+print('a,b,c'.split(','))
+`)
+	if !strings.Contains(out, "Hello World\n") ||
+		!strings.Contains(out, "HELLO WORLD") ||
+		!strings.Contains(out, "['a', 'b', 'c']") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReprFormats(t *testing.T) {
+	out := mustRun(t, `
+print([1, 2.5, 'x', True, None])
+print((1,))
+print({'k': [1, 2]})
+`)
+	want := "[1, 2.5, 'x', True, None]\n(1,)\n{'k': [1, 2]}\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestFloatIntSemantics(t *testing.T) {
+	out := mustRun(t, `
+print(1 + 2)
+print(1.0 + 2)
+print(10 / 4)
+print(10 // 4)
+print(10.0 // 4)
+print(-7 % 3)
+`)
+	want := "3\n3.0\n2.5\n2\n2.0\n2\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}

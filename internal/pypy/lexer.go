@@ -1,0 +1,403 @@
+// Package pypy implements a small tree-walking Python interpreter — the
+// subset of the language that ParaView batch scripts use: imports,
+// assignments (including attribute and subscript targets), calls with
+// keyword arguments, lists/tuples/dicts, arithmetic/comparison/boolean
+// expressions, and the if/for/while/def statement forms.
+//
+// It exists so the ChatVis loop can actually execute the Python text an
+// LLM produces and observe genuine Python failure modes: SyntaxError at
+// parse time; NameError, AttributeError and TypeError at run time — each
+// formatted as a CPython-style traceback that the error-extraction tool
+// parses, exactly as the paper's pipeline does with PvPython output.
+package pypy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token categories.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokName
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokNewline:
+		return "NEWLINE"
+	case tokIndent:
+		return "INDENT"
+	case tokDedent:
+		return "DEDENT"
+	case tokName:
+		return "NAME"
+	case tokKeyword:
+		return "KEYWORD"
+	case tokNumber:
+		return "NUMBER"
+	case tokString:
+		return "STRING"
+	case tokOp:
+		return "OP"
+	}
+	return "?"
+}
+
+// token is one lexical token with its source line (1-based).
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var pyKeywords = map[string]bool{
+	"import": true, "from": true, "as": true, "def": true, "return": true,
+	"if": true, "elif": true, "else": true, "for": true, "while": true,
+	"in": true, "not": true, "and": true, "or": true, "pass": true,
+	"break": true, "continue": true, "True": true, "False": true,
+	"None": true, "del": true, "lambda": true, "class": true, "try": true,
+	"except": true, "finally": true, "raise": true, "with": true,
+	"global": true, "is": true,
+}
+
+// SyntaxError is reported when the script cannot be tokenized or parsed.
+// It formats like CPython's parse-time error.
+type SyntaxError struct {
+	File    string
+	Line    int
+	SrcLine string
+	Msg     string
+}
+
+// Error implements the error interface with CPython-style formatting.
+func (e *SyntaxError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  File \"%s\", line %d\n", e.File, e.Line)
+	src := strings.TrimRight(e.SrcLine, "\r\n")
+	fmt.Fprintf(&b, "    %s\n", strings.TrimLeft(src, " \t"))
+	b.WriteString("    ^\n")
+	fmt.Fprintf(&b, "SyntaxError: %s", e.Msg)
+	return b.String()
+}
+
+// lexer converts source text into a token stream with INDENT/DEDENT
+// bookkeeping.
+type lexer struct {
+	file    string
+	lines   []string
+	src     string
+	pos     int
+	line    int
+	col     int
+	indents []int
+	toks    []token
+	parens  int // bracket nesting suppresses NEWLINE
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{
+		file:    file,
+		src:     src,
+		lines:   strings.Split(src, "\n"),
+		line:    1,
+		indents: []int{0},
+	}
+}
+
+func (lx *lexer) srcLine(n int) string {
+	if n-1 >= 0 && n-1 < len(lx.lines) {
+		return lx.lines[n-1]
+	}
+	return ""
+}
+
+func (lx *lexer) errf(line int, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{
+		File:    lx.file,
+		Line:    line,
+		SrcLine: lx.srcLine(line),
+		Msg:     fmt.Sprintf(format, args...),
+	}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) at(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 0
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool { return isNameStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// tokenize runs the full lexer pass.
+func (lx *lexer) tokenize() ([]token, error) {
+	atLineStart := true
+	for lx.pos < len(lx.src) {
+		if atLineStart && lx.parens == 0 {
+			if err := lx.handleIndent(); err != nil {
+				return nil, err
+			}
+			atLineStart = false
+			// handleIndent may have consumed a blank/comment line.
+			if lx.pos >= len(lx.src) {
+				break
+			}
+			if lx.peekByte() == '\n' {
+				lx.advance()
+				atLineStart = true
+				continue
+			}
+		}
+		c := lx.peekByte()
+		switch {
+		case c == '\n':
+			lx.advance()
+			if lx.parens == 0 {
+				lx.emit(tokNewline, "\n", lx.line-1)
+				atLineStart = true
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '\\' && lx.at(1) == '\n':
+			lx.advance()
+			lx.advance()
+		case isNameStart(c):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isNameChar(lx.peekByte()) {
+				lx.advance()
+			}
+			word := lx.src[start:lx.pos]
+			if pyKeywords[word] {
+				lx.emit(tokKeyword, word, lx.line)
+			} else {
+				lx.emit(tokName, word, lx.line)
+			}
+		case isDigit(c) || (c == '.' && isDigit(lx.at(1))):
+			if err := lx.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'' || c == '"':
+			if err := lx.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := lx.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Final NEWLINE and outstanding DEDENTs.
+	if n := len(lx.toks); n > 0 && lx.toks[n-1].kind != tokNewline {
+		lx.emit(tokNewline, "\n", lx.line)
+	}
+	for len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		lx.emit(tokDedent, "", lx.line)
+	}
+	lx.emit(tokEOF, "", lx.line)
+	return lx.toks, nil
+}
+
+func (lx *lexer) emit(kind tokKind, text string, line int) {
+	lx.toks = append(lx.toks, token{kind: kind, text: text, line: line})
+}
+
+// handleIndent measures leading whitespace and emits INDENT/DEDENT tokens.
+// Blank lines and comment-only lines produce nothing.
+func (lx *lexer) handleIndent() error {
+	width := 0
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c == ' ' {
+			width++
+			lx.advance()
+		} else if c == '\t' {
+			width += 8 - width%8
+			lx.advance()
+		} else {
+			break
+		}
+	}
+	if lx.pos >= len(lx.src) {
+		return nil
+	}
+	c := lx.peekByte()
+	if c == '\n' || c == '#' || c == '\r' {
+		// Blank or comment line: no indent bookkeeping. Consume comment.
+		if c == '#' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		}
+		return nil
+	}
+	cur := lx.indents[len(lx.indents)-1]
+	switch {
+	case width > cur:
+		lx.indents = append(lx.indents, width)
+		lx.emit(tokIndent, "", lx.line)
+	case width < cur:
+		for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > width {
+			lx.indents = lx.indents[:len(lx.indents)-1]
+			lx.emit(tokDedent, "", lx.line)
+		}
+		if lx.indents[len(lx.indents)-1] != width {
+			return lx.errf(lx.line, "unindent does not match any outer indentation level")
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) lexNumber() error {
+	start := lx.pos
+	line := lx.line
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if isDigit(c) {
+			lx.advance()
+		} else if c == '.' && !seenDot && !seenExp {
+			seenDot = true
+			lx.advance()
+		} else if (c == 'e' || c == 'E') && !seenExp && lx.pos > start {
+			next := lx.at(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(lx.at(2))) {
+				seenExp = true
+				lx.advance()
+				lx.advance()
+			} else {
+				break
+			}
+		} else {
+			break
+		}
+	}
+	lx.emit(tokNumber, lx.src[start:lx.pos], line)
+	return nil
+}
+
+func (lx *lexer) lexString() error {
+	quote := lx.advance()
+	line := lx.line
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return lx.errf(line, "unterminated string literal (detected at line %d)", lx.line)
+		}
+		c := lx.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return lx.errf(line, "unterminated string literal (detected at line %d)", line)
+		}
+		if c == '\\' {
+			if lx.pos >= len(lx.src) {
+				return lx.errf(line, "unterminated string literal (detected at line %d)", lx.line)
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case '\n':
+				// line continuation inside string
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	lx.emit(tokString, b.String(), line)
+	return nil
+}
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "//": true, "**": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "->": true,
+}
+
+func (lx *lexer) lexOp() error {
+	line := lx.line
+	c := lx.peekByte()
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	if twoCharOps[two] {
+		lx.advance()
+		lx.advance()
+		lx.emit(tokOp, two, line)
+		return nil
+	}
+	switch c {
+	case '(', '[', '{':
+		lx.parens++
+		lx.advance()
+		lx.emit(tokOp, string(c), line)
+	case ')', ']', '}':
+		if lx.parens > 0 {
+			lx.parens--
+		}
+		lx.advance()
+		lx.emit(tokOp, string(c), line)
+	case '+', '-', '*', '/', '%', '<', '>', '=', ',', ':', '.', ';', '@', '&', '|', '^', '~':
+		lx.advance()
+		lx.emit(tokOp, string(c), line)
+	default:
+		return lx.errf(line, "invalid syntax")
+	}
+	return nil
+}

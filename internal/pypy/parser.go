@@ -1,0 +1,802 @@
+package pypy
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parser builds the AST from the token stream.
+type parser struct {
+	lx   *lexer
+	toks []token
+	pos  int
+}
+
+// Parse tokenizes and parses a script. file is used in error messages
+// (PvPython scripts conventionally report as "script.py").
+func Parse(file, src string) (*Module, error) {
+	lx := newLexer(file, src)
+	toks, err := lx.tokenize()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lx: lx, toks: toks}
+	mod := &Module{}
+	for !p.at(tokEOF) {
+		if p.skipNoise() {
+			continue
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			mod.Body = append(mod.Body, st)
+		}
+	}
+	return mod, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atOp(text string) bool {
+	return p.cur().kind == tokOp && p.cur().text == text
+}
+
+func (p *parser) atKw(text string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == text
+}
+
+func (p *parser) eatOp(text string) bool {
+	if p.atOp(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKw(text string) bool {
+	if p.atKw(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(line int, format string, args ...interface{}) error {
+	return p.lx.errf(line, format, args...)
+}
+
+// skipNoise consumes stray newlines at statement level.
+func (p *parser) skipNoise() bool {
+	if p.at(tokNewline) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectNewline() error {
+	if p.at(tokNewline) {
+		p.pos++
+		return nil
+	}
+	if p.at(tokEOF) {
+		return nil
+	}
+	return p.errf(p.cur().line, "invalid syntax")
+}
+
+// statement parses one statement (possibly compound).
+func (p *parser) statement() (Stmt, error) {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "import":
+			return p.importStmt()
+		case "from":
+			return p.fromImportStmt()
+		case "if":
+			return p.ifStmt()
+		case "for":
+			return p.forStmt()
+		case "while":
+			return p.whileStmt()
+		case "def":
+			return p.funcDef()
+		case "return":
+			p.pos++
+			ret := &Return{base: base{t.line}}
+			if !p.at(tokNewline) && !p.at(tokEOF) {
+				v, err := p.exprList()
+				if err != nil {
+					return nil, err
+				}
+				ret.Value = v
+			}
+			return ret, p.expectNewline()
+		case "pass":
+			p.pos++
+			return &Pass{base{t.line}}, p.expectNewline()
+		case "break":
+			p.pos++
+			return &Break{base{t.line}}, p.expectNewline()
+		case "continue":
+			p.pos++
+			return &Continue{base{t.line}}, p.expectNewline()
+		case "True", "False", "None", "not":
+			// Expression statement beginning with a keyword literal.
+			return p.exprOrAssign()
+		default:
+			return nil, p.errf(t.line, "invalid syntax")
+		}
+	}
+	return p.exprOrAssign()
+}
+
+func (p *parser) importStmt() (Stmt, error) {
+	line := p.next().line // import
+	mod, err := p.dottedName()
+	if err != nil {
+		return nil, err
+	}
+	im := &Import{base: base{line}, Module: mod}
+	if p.eatKw("as") {
+		if !p.at(tokName) {
+			return nil, p.errf(p.cur().line, "invalid syntax")
+		}
+		im.Alias = p.next().text
+	}
+	return im, p.expectNewline()
+}
+
+func (p *parser) fromImportStmt() (Stmt, error) {
+	line := p.next().line // from
+	mod, err := p.dottedName()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatKw("import") {
+		return nil, p.errf(p.cur().line, "invalid syntax")
+	}
+	fi := &FromImport{base: base{line}, Module: mod}
+	if p.eatOp("*") {
+		fi.Star = true
+		return fi, p.expectNewline()
+	}
+	for {
+		if !p.at(tokName) {
+			return nil, p.errf(p.cur().line, "invalid syntax")
+		}
+		fi.Names = append(fi.Names, p.next().text)
+		if p.eatKw("as") {
+			if !p.at(tokName) {
+				return nil, p.errf(p.cur().line, "invalid syntax")
+			}
+			p.next() // alias ignored: bound under alias name
+			fi.Names[len(fi.Names)-1] += " as " + p.toks[p.pos-1].text
+		}
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	return fi, p.expectNewline()
+}
+
+func (p *parser) dottedName() (string, error) {
+	if !p.at(tokName) {
+		return "", p.errf(p.cur().line, "invalid syntax")
+	}
+	var parts []string
+	parts = append(parts, p.next().text)
+	for p.atOp(".") {
+		p.pos++
+		if !p.at(tokName) {
+			return "", p.errf(p.cur().line, "invalid syntax")
+		}
+		parts = append(parts, p.next().text)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+// suite parses `: NEWLINE INDENT stmts DEDENT` or a one-line suite.
+func (p *parser) suite() ([]Stmt, error) {
+	if !p.eatOp(":") {
+		return nil, p.errf(p.cur().line, "expected ':'")
+	}
+	if !p.at(tokNewline) {
+		// One-line suite: single simple statement.
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{st}, nil
+	}
+	p.pos++ // newline
+	if !p.at(tokIndent) {
+		return nil, p.errf(p.cur().line, "expected an indented block")
+	}
+	p.pos++
+	var body []Stmt
+	for !p.at(tokDedent) && !p.at(tokEOF) {
+		if p.skipNoise() {
+			continue
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+	}
+	if p.at(tokDedent) {
+		p.pos++
+	}
+	return body, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	line := p.next().line // if / elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{base: base{line}, Cond: cond, Body: body}
+	for p.skipNoise() {
+	}
+	if p.atKw("elif") {
+		sub, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{sub}
+	} else if p.atKw("else") {
+		p.pos++
+		els, err := p.suite()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	line := p.next().line
+	target, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eatKw("in") {
+		return nil, p.errf(p.cur().line, "invalid syntax")
+	}
+	iter, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &For{base: base{line}, Target: target, Iter: iter, Body: body}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	line := p.next().line
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	return &While{base: base{line}, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) funcDef() (Stmt, error) {
+	line := p.next().line
+	if !p.at(tokName) {
+		return nil, p.errf(p.cur().line, "invalid syntax")
+	}
+	name := p.next().text
+	if !p.eatOp("(") {
+		return nil, p.errf(p.cur().line, "invalid syntax")
+	}
+	fd := &FuncDef{base: base{line}, Name: name}
+	for !p.atOp(")") {
+		if !p.at(tokName) {
+			return nil, p.errf(p.cur().line, "invalid syntax")
+		}
+		fd.Params = append(fd.Params, p.next().text)
+		if p.eatOp("=") {
+			def, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			fd.Defaults = append(fd.Defaults, def)
+		} else if len(fd.Defaults) > 0 {
+			return nil, p.errf(p.cur().line, "non-default argument follows default argument")
+		}
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if !p.eatOp(")") {
+		return nil, p.errf(p.cur().line, "invalid syntax")
+	}
+	body, err := p.suite()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// targetList parses assignment/for targets: name, attr, subscript, tuples.
+func (p *parser) targetList() (Expr, error) {
+	first, err := p.primaryTarget()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp(",") {
+		return first, nil
+	}
+	tl := &TupleLit{base: base{first.Line()}, Elts: []Expr{first}}
+	for p.eatOp(",") {
+		if p.atKw("in") || p.atOp("=") {
+			break
+		}
+		e, err := p.primaryTarget()
+		if err != nil {
+			return nil, err
+		}
+		tl.Elts = append(tl.Elts, e)
+	}
+	return tl, nil
+}
+
+func (p *parser) primaryTarget() (Expr, error) {
+	e, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	switch e.(type) {
+	case *Name, *Attribute, *Subscript, *TupleLit:
+		return e, nil
+	}
+	return nil, p.errf(e.Line(), "cannot assign to expression")
+}
+
+// exprOrAssign handles `expr`, `target = value`, and `target op= value`.
+func (p *parser) exprOrAssign() (Stmt, error) {
+	line := p.cur().line
+	first, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("+=") || p.atOp("-=") || p.atOp("*=") || p.atOp("/=") {
+		op := p.next().text[:1]
+		if !assignable(first) {
+			return nil, p.errf(line, "cannot assign to expression")
+		}
+		val, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return &AugAssign{base: base{line}, Target: first, Op: op, Value: val}, p.expectNewline()
+	}
+	if !p.atOp("=") {
+		return &ExprStmt{base: base{line}, X: first}, p.expectNewline()
+	}
+	targets := []Expr{first}
+	var value Expr
+	for p.eatOp("=") {
+		e, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		value = e
+		if p.atOp("=") {
+			targets = append(targets, e)
+		}
+	}
+	for _, tgt := range targets {
+		if !assignable(tgt) {
+			return nil, p.errf(line, "cannot assign to expression here")
+		}
+	}
+	return &Assign{base: base{line}, Targets: targets, Value: value}, p.expectNewline()
+}
+
+func assignable(e Expr) bool {
+	switch t := e.(type) {
+	case *Name, *Attribute, *Subscript:
+		return true
+	case *TupleLit:
+		for _, el := range t.Elts {
+			if !assignable(el) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// exprList parses `expr (, expr)*`, producing a TupleLit when there are
+// commas (Python's bare tuple).
+func (p *parser) exprList() (Expr, error) {
+	first, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp(",") {
+		return first, nil
+	}
+	tl := &TupleLit{base: base{first.Line()}, Elts: []Expr{first}}
+	for p.eatOp(",") {
+		if p.at(tokNewline) || p.at(tokEOF) || p.atOp("=") || p.atOp(")") || p.atOp("]") || p.atOp("}") {
+			break
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		tl.Elts = append(tl.Elts, e)
+	}
+	return tl, nil
+}
+
+// Expression precedence (low to high): or, and, not, comparison,
+// +/-, */ // %, unary, **, postfix (call/attr/index), atom.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKw("or") {
+		return left, nil
+	}
+	node := &BoolOp{base: base{left.Line()}, Op: "or", Values: []Expr{left}}
+	for p.eatKw("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Values = append(node.Values, r)
+	}
+	return node, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKw("and") {
+		return left, nil
+	}
+	node := &BoolOp{base: base{left.Line()}, Op: "and", Values: []Expr{left}}
+	for p.eatKw("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Values = append(node.Values, r)
+	}
+	return node, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atKw("not") {
+		line := p.next().line
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{base: base{line}, Op: "not", X: x}, nil
+	}
+	return p.comparison()
+}
+
+var compareOps = map[string]bool{
+	"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	var ops []string
+	var rest []Expr
+	for {
+		var op string
+		if p.cur().kind == tokOp && compareOps[p.cur().text] {
+			op = p.next().text
+		} else if p.atKw("in") {
+			p.pos++
+			op = "in"
+		} else if p.atKw("is") {
+			p.pos++
+			if p.eatKw("not") {
+				op = "is not"
+			} else {
+				op = "is"
+			}
+		} else if p.atKw("not") && p.pos+1 < len(p.toks) &&
+			p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "in" {
+			p.pos += 2
+			op = "not in"
+		} else {
+			break
+		}
+		r, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		rest = append(rest, r)
+	}
+	if len(ops) == 0 {
+		return left, nil
+	}
+	return &Compare{base: base{left.Line()}, First: left, Ops: ops, Rest: rest}, nil
+}
+
+func (p *parser) arith() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.next().text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{base: base{left.Line()}, Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("//") || p.atOp("%") {
+		op := p.next().text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{base: base{left.Line()}, Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.atOp("-") || p.atOp("+") {
+		t := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{base: base{t.line}, Op: t.text, X: x}, nil
+	}
+	return p.power()
+}
+
+func (p *parser) power() (Expr, error) {
+	left, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("**") {
+		p.pos++
+		r, err := p.unary() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{base: base{left.Line()}, Op: "**", L: left, R: r}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atOp("."):
+			p.pos++
+			if !p.at(tokName) && !p.at(tokKeyword) {
+				return nil, p.errf(p.cur().line, "invalid syntax")
+			}
+			attr := p.next().text
+			e = &Attribute{base: base{e.Line()}, Value: e, Attr: attr}
+		case p.atOp("("):
+			line := p.cur().line
+			p.pos++
+			call := &Call{base: base{line}, Func: e}
+			for !p.atOp(")") {
+				// keyword argument?
+				if p.at(tokName) && p.pos+1 < len(p.toks) &&
+					p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "=" {
+					kw := p.next().text
+					p.pos++ // =
+					v, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.KwNames = append(call.KwNames, kw)
+					call.KwValues = append(call.KwValues, v)
+				} else {
+					v, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, v)
+				}
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if !p.eatOp(")") {
+				return nil, p.errf(line, "'(' was never closed")
+			}
+			e = call
+		case p.atOp("["):
+			openLine := p.cur().line
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eatOp("]") {
+				return nil, p.errf(openLine, "'[' was never closed")
+			}
+			e = &Subscript{base: base{e.Line()}, Value: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokName:
+		p.pos++
+		return &Name{base: base{t.line}, ID: t.text}, nil
+	case tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf(t.line, "invalid number literal")
+			}
+			return &NumLit{base: base{t.line}, Float: f}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errf(t.line, "invalid number literal")
+			}
+			return &NumLit{base: base{t.line}, Float: f}, nil
+		}
+		return &NumLit{base: base{t.line}, IsInt: true, Int: i}, nil
+	case tokString:
+		p.pos++
+		// Adjacent string literal concatenation.
+		val := t.text
+		for p.at(tokString) {
+			val += p.next().text
+		}
+		return &StrLit{base: base{t.line}, Value: val}, nil
+	case tokKeyword:
+		switch t.text {
+		case "True":
+			p.pos++
+			return &BoolLit{base: base{t.line}, Value: true}, nil
+		case "False":
+			p.pos++
+			return &BoolLit{base: base{t.line}, Value: false}, nil
+		case "None":
+			p.pos++
+			return &NoneLit{base{t.line}}, nil
+		}
+		return nil, p.errf(t.line, "invalid syntax")
+	case tokOp:
+		switch t.text {
+		case "(":
+			p.pos++
+			if p.atOp(")") { // empty tuple
+				p.pos++
+				return &TupleLit{base: base{t.line}}, nil
+			}
+			inner, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if p.atOp(",") { // tuple
+				tl := &TupleLit{base: base{t.line}, Elts: []Expr{inner}}
+				for p.eatOp(",") {
+					if p.atOp(")") {
+						break
+					}
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					tl.Elts = append(tl.Elts, e)
+				}
+				if !p.eatOp(")") {
+					return nil, p.errf(t.line, "'(' was never closed")
+				}
+				return tl, nil
+			}
+			if !p.eatOp(")") {
+				return nil, p.errf(t.line, "'(' was never closed")
+			}
+			return inner, nil
+		case "[":
+			p.pos++
+			lst := &ListLit{base: base{t.line}}
+			for !p.atOp("]") {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lst.Elts = append(lst.Elts, e)
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if !p.eatOp("]") {
+				return nil, p.errf(t.line, "'[' was never closed")
+			}
+			return lst, nil
+		case "{":
+			p.pos++
+			d := &DictLit{base: base{t.line}}
+			for !p.atOp("}") {
+				k, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if !p.eatOp(":") {
+					return nil, p.errf(p.cur().line, "invalid syntax")
+				}
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				d.Keys = append(d.Keys, k)
+				d.Values = append(d.Values, v)
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if !p.eatOp("}") {
+				return nil, p.errf(t.line, "'{' was never closed")
+			}
+			return d, nil
+		}
+	}
+	return nil, p.errf(t.line, "invalid syntax")
+}

@@ -1,0 +1,169 @@
+package pypy
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestNoPanicOnArbitraryInput: the interpreter must return errors, never
+// panic, for arbitrary byte soup (the assistant executes whatever text a
+// model emits).
+func TestNoPanicOnArbitraryInput(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		var out bytes.Buffer
+		in := NewInterp(&out)
+		in.MaxSteps = 50_000
+		_ = in.Run(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoPanicOnMangledScripts: mutate a valid script at random positions
+// (the realistic corruption mode for LLM output) and require error-or-ok,
+// never panic.
+func TestNoPanicOnMangledScripts(t *testing.T) {
+	base := `from paraview.simple import *
+x = [1, 2, 3]
+total = 0
+for v in x:
+    if v % 2 == 0:
+        total += v
+    else:
+        total -= v
+def f(a, b=2):
+    return a * b
+print(f(total), 'done %d' % total)
+`
+	rng := rand.New(rand.NewSource(11))
+	chars := []byte("()[]{}:=+-*/'\"#\n\t .,")
+	for i := 0; i < 500; i++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0: // replace
+				b[pos] = chars[rng.Intn(len(chars))]
+			case 1: // delete
+				b = append(b[:pos], b[pos+1:]...)
+			case 2: // insert
+				c := chars[rng.Intn(len(chars))]
+				b = append(b[:pos], append([]byte{c}, b[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d:\n%s\npanic: %v", i, b, r)
+				}
+			}()
+			var out bytes.Buffer
+			in := NewInterp(&out)
+			in.MaxSteps = 100_000
+			_ = in.Run(string(b))
+		}()
+	}
+}
+
+// TestDeepNestingDoesNotOverflow guards the recursive-descent parser
+// against pathological nesting.
+func TestDeepNestingDoesNotOverflow(t *testing.T) {
+	depth := 500
+	src := "x = " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + "\n"
+	var out bytes.Buffer
+	in := NewInterp(&out)
+	if err := in.Run(src); err != nil {
+		// An error is acceptable; a crash is not (reaching here means no
+		// crash).
+		t.Logf("deep nesting returned error (acceptable): %v", err)
+	}
+}
+
+// TestErrorLineAccuracy: the reported traceback line must point at the
+// failing statement for repair to edit the right place.
+func TestErrorLineAccuracy(t *testing.T) {
+	src := `x = 1
+y = 2
+z = x + y
+boom = undefined_name
+w = 5
+`
+	var out bytes.Buffer
+	in := NewInterp(&out)
+	err := in.Run(src)
+	pe, ok := err.(*PyError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+	if got := in.SourceLine(4); !strings.Contains(got, "undefined_name") {
+		t.Errorf("SourceLine(4) = %q", got)
+	}
+}
+
+// TestInterpreterArithmeticMatchesGo cross-checks integer arithmetic
+// against Go's semantics on random operands.
+func TestInterpreterArithmeticMatchesGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		if b == 0 {
+			return true
+		}
+		var out bytes.Buffer
+		in := NewInterp(&out)
+		src := "print(" +
+			itoa(int64(a)) + " + " + itoa(int64(b)) + ", " +
+			itoa(int64(a)) + " * " + itoa(int64(b)) + ")\n"
+		if err := in.Run(src); err != nil {
+			return false
+		}
+		want := Int(int64(a)+int64(b)).Repr() + " " + Int(int64(a)*int64(b)).Repr() + "\n"
+		return out.String() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "(-" + Int(-v).Repr() + ")"
+	}
+	return Int(v).Repr()
+}
+
+// TestStringRoundTripThroughRepr: list reprs of strings re-parse to the
+// same value (the writer and repair path rely on stable rendering).
+func TestStringReprParsesBack(t *testing.T) {
+	f := func(raw string) bool {
+		// Restrict to printable single-quote-free ASCII; the repr quoting
+		// covers quotes but the property here targets typical API strings.
+		var sb strings.Builder
+		for _, r := range raw {
+			if r >= ' ' && r < 127 && r != '\'' && r != '\\' {
+				sb.WriteRune(r)
+			}
+		}
+		s := sb.String()
+		var out bytes.Buffer
+		in := NewInterp(&out)
+		if err := in.Run("x = " + Str(s).Repr() + "\nprint(x)\n"); err != nil {
+			return false
+		}
+		return out.String() == s+"\n"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,475 @@
+package render
+
+import (
+	"image"
+	"math"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+// Representation selects how geometry is drawn, mirroring ParaView's
+// representation property.
+type Representation int
+
+// Geometry representations.
+const (
+	RepSurface Representation = iota
+	RepWireframe
+	RepPoints
+	RepSurfaceWithEdges
+)
+
+// String returns the ParaView name of the representation.
+func (r Representation) String() string {
+	switch r {
+	case RepSurface:
+		return "Surface"
+	case RepWireframe:
+		return "Wireframe"
+	case RepPoints:
+		return "Points"
+	case RepSurfaceWithEdges:
+		return "Surface With Edges"
+	}
+	return "Unknown"
+}
+
+// ParseRepresentation maps a ParaView representation name to the enum; it
+// falls back to Surface for unknown names (as the GUI does).
+func ParseRepresentation(s string) Representation {
+	switch s {
+	case "Wireframe":
+		return RepWireframe
+	case "Points":
+		return RepPoints
+	case "Surface With Edges":
+		return RepSurfaceWithEdges
+	default:
+		return RepSurface
+	}
+}
+
+// Actor is one piece of renderable geometry with its display properties.
+type Actor struct {
+	Mesh    *data.PolyData
+	Rep     Representation
+	Visible bool
+	// SolidColor is used when ColorField is empty.
+	SolidColor Color
+	// ColorField selects a point array for scalar coloring through LUT.
+	ColorField string
+	LUT        *LookupTable
+	Opacity    float64
+	LineWidth  float64
+	PointSize  float64
+	// EdgeColor is used by SurfaceWithEdges.
+	EdgeColor Color
+}
+
+// NewActor returns an actor with ParaView-like display defaults.
+func NewActor(mesh *data.PolyData) *Actor {
+	return &Actor{
+		Mesh:       mesh,
+		Rep:        RepSurface,
+		Visible:    true,
+		SolidColor: DefaultSurface,
+		Opacity:    1,
+		LineWidth:  1,
+		PointSize:  2,
+		EdgeColor:  Black,
+	}
+}
+
+// VolumeActor renders an ImageData scalar field by ray casting.
+type VolumeActor struct {
+	Image   *data.ImageData
+	Field   string
+	CTF     *LookupTable
+	OTF     *OpacityFunction
+	Visible bool
+	// SampleDistance is the ray-march step as a fraction of the volume
+	// diagonal (default 1/300).
+	SampleDistance float64
+}
+
+// NewVolumeActor builds a volume actor with default transfer functions
+// spanning the field's data range (what ParaView does when a volume
+// representation is first shown).
+func NewVolumeActor(im *data.ImageData, field string) *VolumeActor {
+	lo, hi := data.FieldRange(im, field)
+	return &VolumeActor{
+		Image:   im,
+		Field:   field,
+		CTF:     NewCoolToWarm(lo, hi),
+		OTF:     NewDefaultOpacity(lo, hi),
+		Visible: true,
+	}
+}
+
+// Renderer is a scene: actors, volumes, a camera and a background.
+type Renderer struct {
+	Camera     *Camera
+	Background Color
+	Actors     []*Actor
+	Volumes    []*VolumeActor
+}
+
+// NewRenderer returns a renderer with the default camera and ParaView's
+// default background.
+func NewRenderer() *Renderer {
+	return &Renderer{Camera: NewCamera(), Background: DefaultBackground}
+}
+
+// AddActor appends geometry to the scene and returns its actor.
+func (r *Renderer) AddActor(a *Actor) *Actor {
+	r.Actors = append(r.Actors, a)
+	return a
+}
+
+// AddVolume appends a volume to the scene.
+func (r *Renderer) AddVolume(v *VolumeActor) *VolumeActor {
+	r.Volumes = append(r.Volumes, v)
+	return v
+}
+
+// VisibleBounds returns the union of the bounds of all visible props.
+func (r *Renderer) VisibleBounds() vmath.AABB {
+	b := vmath.EmptyAABB()
+	for _, a := range r.Actors {
+		if a.Visible && a.Mesh != nil && a.Mesh.NumPoints() > 0 {
+			b.Union(a.Mesh.Bounds())
+		}
+	}
+	for _, v := range r.Volumes {
+		if v.Visible && v.Image != nil {
+			b.Union(v.Image.Bounds())
+		}
+	}
+	return b
+}
+
+// ResetCamera fits the camera to the visible bounds, as ParaView's
+// ResetCamera does.
+func (r *Renderer) ResetCamera() {
+	b := r.VisibleBounds()
+	if !b.IsEmpty() {
+		r.Camera.ResetToBounds(b)
+	}
+}
+
+// Render draws the scene into a w x h image.
+func (r *Renderer) Render(w, h int) *image.RGBA {
+	fb := r.RenderFB(w, h)
+	return fb.Image()
+}
+
+// RenderFB draws the scene and returns the raw framebuffer (tests inspect
+// depth and float colors through it).
+func (r *Renderer) RenderFB(w, h int) *Framebuffer {
+	if w <= 0 {
+		w = 300
+	}
+	if h <= 0 {
+		h = 300
+	}
+	fb := NewFramebuffer(w, h, r.Background)
+	bounds := r.VisibleBounds()
+	if bounds.IsEmpty() {
+		return fb
+	}
+	near, far := r.Camera.clippingRange(bounds)
+	view := r.Camera.ViewMatrix()
+	proj := r.Camera.ProjMatrix(float64(w)/float64(h), near, far)
+	for _, a := range r.Actors {
+		if a.Visible && a.Mesh != nil {
+			r.drawActor(fb, a, view, proj, near)
+		}
+	}
+	for _, v := range r.Volumes {
+		if v.Visible && v.Image != nil {
+			r.castVolume(fb, v, view, proj, near, far)
+		}
+	}
+	return fb
+}
+
+// pipeline holds per-actor projection state.
+type pipeline struct {
+	fb         *Framebuffer
+	view, proj vmath.Mat4
+	near       float64
+	camPos     vmath.Vec3
+	viewDir    vmath.Vec3
+}
+
+// project maps a camera-space point to a screen vertex; ok is false when
+// the point is on or behind the near plane (caller must clip first for
+// primitives that straddle it).
+func (pl *pipeline) project(cam vmath.Vec3, c Color) (vert, bool) {
+	if cam.Z > -pl.near {
+		return vert{}, false
+	}
+	ndc, wclip := pl.proj.MulPointW(cam)
+	if wclip == 0 {
+		return vert{}, false
+	}
+	ndc = ndc.Mul(1 / wclip)
+	return vert{
+		x: (ndc.X + 1) / 2 * float64(pl.fb.W),
+		y: (1 - ndc.Y) / 2 * float64(pl.fb.H),
+		z: ndc.Z,
+		c: c,
+	}, true
+}
+
+func (r *Renderer) drawActor(fb *Framebuffer, a *Actor, view, proj vmath.Mat4, near float64) {
+	mesh := a.Mesh
+	n := mesh.NumPoints()
+	if n == 0 {
+		return
+	}
+	pl := &pipeline{
+		fb: fb, view: view, proj: proj, near: near,
+		camPos:  r.Camera.Position,
+		viewDir: r.Camera.Direction(),
+	}
+	// Camera-space positions.
+	cam := make([]vmath.Vec3, n)
+	for i := 0; i < n; i++ {
+		cam[i] = view.MulPoint(mesh.Pts[i])
+	}
+	// Base (unshaded) per-vertex colors.
+	base := make([]Color, n)
+	if a.ColorField != "" && a.LUT != nil {
+		f := mesh.Points.Get(a.ColorField)
+		if f != nil {
+			for i := 0; i < n; i++ {
+				if f.NumComponents == 1 {
+					base[i] = a.LUT.Map(f.Scalar(i))
+				} else {
+					// Vector fields color by magnitude, ParaView's default.
+					base[i] = a.LUT.Map(f.Vec3(i).Len())
+				}
+			}
+		} else {
+			for i := range base {
+				base[i] = a.SolidColor
+			}
+		}
+	} else {
+		for i := range base {
+			base[i] = a.SolidColor
+		}
+	}
+	normals := mesh.Points.Get("Normals")
+
+	shade := func(i int, flat vmath.Vec3) Color {
+		var nrm vmath.Vec3
+		if normals != nil {
+			nrm = normals.Vec3(i)
+		} else {
+			nrm = flat
+		}
+		// Headlight diffuse: full intensity facing the camera.
+		d := math.Abs(nrm.Norm().Dot(pl.viewDir))
+		return base[i].Scale(0.25 + 0.75*d)
+	}
+
+	drawTriangles := a.Rep == RepSurface || a.Rep == RepSurfaceWithEdges
+	drawEdges := a.Rep == RepWireframe || a.Rep == RepSurfaceWithEdges
+	drawAsPoints := a.Rep == RepPoints
+
+	if drawTriangles {
+		mesh.EachTriangle(func(ia, ib, ic int) {
+			flat := mesh.Pts[ib].Sub(mesh.Pts[ia]).Cross(mesh.Pts[ic].Sub(mesh.Pts[ia]))
+			tri := [3]int{ia, ib, ic}
+			var cs [3]Color
+			for k, idx := range tri {
+				cs[k] = shade(idx, flat)
+			}
+			r.clipAndRasterTriangle(pl, [3]vmath.Vec3{cam[ia], cam[ib], cam[ic]}, cs, a.Opacity)
+		})
+	}
+	if drawEdges {
+		edgeColor := func(i int, flat vmath.Vec3) Color {
+			if a.Rep == RepSurfaceWithEdges {
+				return a.EdgeColor
+			}
+			return shade(i, flat)
+		}
+		seen := make(map[[2]int]bool)
+		for _, poly := range mesh.Polys {
+			for i := range poly {
+				p0, p1 := poly[i], poly[(i+1)%len(poly)]
+				key := [2]int{p0, p1}
+				if p1 < p0 {
+					key = [2]int{p1, p0}
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				flat := vmath.Vec3{}
+				r.clipAndDrawLine(pl, cam[p0], cam[p1],
+					edgeColor(p0, flat), edgeColor(p1, flat), a.LineWidth)
+			}
+		}
+	}
+	if drawAsPoints {
+		for i := 0; i < n; i++ {
+			if v, ok := pl.project(cam[i], base[i]); ok {
+				fb.Point(v, a.PointSize)
+			}
+		}
+	}
+	// Polylines and vertex cells always draw in every representation
+	// (they have no surface to show).
+	for _, line := range mesh.Lines {
+		for i := 0; i+1 < len(line); i++ {
+			r.clipAndDrawLine(pl, cam[line[i]], cam[line[i+1]],
+				base[line[i]], base[line[i+1]], a.LineWidth)
+		}
+	}
+	for _, vc := range mesh.Verts {
+		if len(vc) == 1 {
+			if v, ok := pl.project(cam[vc[0]], base[vc[0]]); ok {
+				fb.Point(v, a.PointSize)
+			}
+		}
+	}
+}
+
+// clipAndRasterTriangle clips a camera-space triangle against the near
+// plane and rasterizes the result.
+func (r *Renderer) clipAndRasterTriangle(pl *pipeline, p [3]vmath.Vec3, c [3]Color, opacity float64) {
+	zlim := -pl.near
+	inside := func(v vmath.Vec3) bool { return v.Z <= zlim }
+	// Fast path: fully visible.
+	if inside(p[0]) && inside(p[1]) && inside(p[2]) {
+		v0, ok0 := pl.project(p[0], c[0])
+		v1, ok1 := pl.project(p[1], c[1])
+		v2, ok2 := pl.project(p[2], c[2])
+		if ok0 && ok1 && ok2 {
+			rasterTri(pl.fb, v0, v1, v2, opacity)
+		}
+		return
+	}
+	// Sutherland–Hodgman against the near plane.
+	type cv struct {
+		p vmath.Vec3
+		c Color
+	}
+	in := []cv{{p[0], c[0]}, {p[1], c[1]}, {p[2], c[2]}}
+	var out []cv
+	for i := range in {
+		cur, nxt := in[i], in[(i+1)%len(in)]
+		ci, ni := inside(cur.p), inside(nxt.p)
+		lerp := func() cv {
+			t := (zlim - cur.p.Z) / (nxt.p.Z - cur.p.Z)
+			return cv{cur.p.Lerp(nxt.p, t), cur.c.Lerp(nxt.c, t)}
+		}
+		if ci {
+			out = append(out, cur)
+			if !ni {
+				out = append(out, lerp())
+			}
+		} else if ni {
+			out = append(out, lerp())
+		}
+	}
+	if len(out) < 3 {
+		return
+	}
+	verts := make([]vert, len(out))
+	for i, o := range out {
+		v, ok := pl.project(o.p, o.c)
+		if !ok {
+			return
+		}
+		verts[i] = v
+	}
+	for i := 2; i < len(verts); i++ {
+		rasterTri(pl.fb, verts[0], verts[i-1], verts[i], opacity)
+	}
+}
+
+func rasterTri(fb *Framebuffer, v0, v1, v2 vert, opacity float64) {
+	if opacity >= 1 {
+		fb.Triangle(v0, v1, v2)
+		return
+	}
+	if opacity <= 0 {
+		return
+	}
+	// Translucent: blend at full-coverage pixels without writing depth.
+	blendTriangle(fb, v0, v1, v2, opacity)
+}
+
+// blendTriangle is the translucent variant of Framebuffer.Triangle.
+func blendTriangle(fb *Framebuffer, v0, v1, v2 vert, alpha float64) {
+	minX := int(math.Floor(min3(v0.x, v1.x, v2.x)))
+	maxX := int(math.Ceil(max3(v0.x, v1.x, v2.x)))
+	minY := int(math.Floor(min3(v0.y, v1.y, v2.y)))
+	maxY := int(math.Ceil(max3(v0.y, v1.y, v2.y)))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX >= fb.W {
+		maxX = fb.W - 1
+	}
+	if maxY >= fb.H {
+		maxY = fb.H - 1
+	}
+	area := edge(v0, v1, v2.x, v2.y)
+	if area == 0 {
+		return
+	}
+	inv := 1 / area
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			px, py := float64(x)+0.5, float64(y)+0.5
+			w0 := edge(v1, v2, px, py) * inv
+			w1 := edge(v2, v0, px, py) * inv
+			w2 := edge(v0, v1, px, py) * inv
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := w0*v0.z + w1*v1.z + w2*v2.z
+			c := Color{
+				R: w0*v0.c.R + w1*v1.c.R + w2*v2.c.R,
+				G: w0*v0.c.G + w1*v1.c.G + w2*v2.c.G,
+				B: w0*v0.c.B + w1*v1.c.B + w2*v2.c.B,
+			}
+			fb.blend(x, y, z, c, alpha)
+		}
+	}
+}
+
+// clipAndDrawLine clips a camera-space segment at the near plane and draws
+// it.
+func (r *Renderer) clipAndDrawLine(pl *pipeline, p0, p1 vmath.Vec3, c0, c1 Color, width float64) {
+	zlim := -pl.near
+	i0, i1 := p0.Z <= zlim, p1.Z <= zlim
+	if !i0 && !i1 {
+		return
+	}
+	if !i0 || !i1 {
+		t := (zlim - p0.Z) / (p1.Z - p0.Z)
+		cut := p0.Lerp(p1, t)
+		cc := c0.Lerp(c1, t)
+		if i0 {
+			p1, c1 = cut, cc
+		} else {
+			p0, c0 = cut, cc
+		}
+	}
+	v0, ok0 := pl.project(p0, c0)
+	v1, ok1 := pl.project(p1, c1)
+	if ok0 && ok1 {
+		pl.fb.Line(v0, v1, width)
+	}
+}

@@ -1,0 +1,455 @@
+// Package scriptcmp implements the paper's proposed future extension
+// (§V): automated evaluation of generated scripts "even without visual
+// output, by systematically analyzing how closely the code matches
+// expected outputs".
+//
+// A script is parsed (with the same Python front end the engine uses) and
+// reduced to normalized facts: which pipeline objects are constructed and
+// chained, which properties are set to which values, and which control
+// calls (Show, ColorBy, SaveScreenshot, camera operations) are made.
+// Scripts are then scored by precision/recall over the fact sets plus a
+// sequence similarity over the operation order — so a script that calls
+// the right filters in the wrong order, or with wrong parameters, scores
+// below one that matches the reference exactly, all without rendering a
+// single pixel.
+package scriptcmp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chatvis/internal/pypy"
+)
+
+// Facts is the normalized structural content of a script.
+type Facts struct {
+	// Constructors lists pipeline objects built, as "Class" entries in
+	// order of construction.
+	Constructors []string
+	// Pipeline lists dataflow edges "UpstreamClass->DownstreamClass".
+	Pipeline []string
+	// Props lists property assignments "Class.Prop=value" (normalized
+	// value rendering), including constructor keyword arguments.
+	Props []string
+	// Calls lists control calls "Func(arg-kinds)" such as Show, ColorBy,
+	// SaveScreenshot and camera methods.
+	Calls []string
+	// Sequence is the full ordered operation stream used for order
+	// similarity.
+	Sequence []string
+}
+
+// Extract parses a script and collects its facts. A syntactically
+// invalid script returns an error (it scores zero against anything).
+func Extract(script string) (*Facts, error) {
+	mod, err := pypy.Parse("script.py", script)
+	if err != nil {
+		return nil, fmt.Errorf("scriptcmp: %w", err)
+	}
+	x := &extractor{
+		facts:    &Facts{},
+		varClass: map[string]string{},
+	}
+	for _, st := range mod.Body {
+		x.stmt(st)
+	}
+	return x.facts, nil
+}
+
+type extractor struct {
+	facts *Facts
+	// varClass maps script variables to the proxy class they hold.
+	varClass map[string]string
+}
+
+// constructorNames are the pipeline object constructors we track.
+var constructorNames = map[string]bool{
+	"LegacyVTKReader": true, "ExodusIIReader": true, "OpenDataFile": true,
+	"Contour": true, "Slice": true, "Clip": true, "Delaunay3D": true,
+	"StreamTracer": true, "Tube": true, "Glyph": true, "ExtractSurface": true,
+	"Threshold": true, "Transform": true,
+}
+
+// controlNames are the module-level calls we track with their salient
+// argument renderings.
+var controlNames = map[string]bool{
+	"Show": true, "Hide": true, "Render": true, "ResetCamera": true,
+	"ColorBy": true, "SaveScreenshot": true, "GetActiveViewOrCreate": true,
+	"CreateView": true, "CreateLayout": true, "GetColorTransferFunction": true,
+	"GetOpacityTransferFunction": true,
+}
+
+func (x *extractor) addProp(fact string) {
+	x.facts.Props = append(x.facts.Props, fact)
+	x.facts.Sequence = append(x.facts.Sequence, fact)
+}
+
+func (x *extractor) addCall(fact string) {
+	x.facts.Calls = append(x.facts.Calls, fact)
+	x.facts.Sequence = append(x.facts.Sequence, fact)
+}
+
+func (x *extractor) stmt(st pypy.Stmt) {
+	switch s := st.(type) {
+	case *pypy.Assign:
+		if call, ok := s.Value.(*pypy.Call); ok {
+			x.call(call, targets(s.Targets))
+			return
+		}
+		// Attribute assignment: obj.Attr = value or obj.Sub.Attr = value.
+		for _, tgt := range s.Targets {
+			if attr, ok := tgt.(*pypy.Attribute); ok {
+				path := x.attrPath(attr)
+				if path != "" {
+					x.addProp(path + "=" + renderValue(s.Value))
+				}
+			}
+		}
+	case *pypy.ExprStmt:
+		if call, ok := s.X.(*pypy.Call); ok {
+			x.call(call, nil)
+		}
+	case *pypy.If:
+		for _, sub := range s.Body {
+			x.stmt(sub)
+		}
+		for _, sub := range s.Else {
+			x.stmt(sub)
+		}
+	case *pypy.For:
+		for _, sub := range s.Body {
+			x.stmt(sub)
+		}
+	case *pypy.While:
+		for _, sub := range s.Body {
+			x.stmt(sub)
+		}
+	}
+}
+
+func targets(ts []pypy.Expr) []string {
+	var out []string
+	for _, t := range ts {
+		if n, ok := t.(*pypy.Name); ok {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// attrPath renders obj.attr chains as "Class.attr[.attr]", resolving the
+// base variable to its proxy class.
+func (x *extractor) attrPath(a *pypy.Attribute) string {
+	var parts []string
+	cur := pypy.Expr(a)
+	for {
+		if at, ok := cur.(*pypy.Attribute); ok {
+			parts = append([]string{at.Attr}, parts...)
+			cur = at.Value
+			continue
+		}
+		break
+	}
+	base, ok := cur.(*pypy.Name)
+	if !ok {
+		return ""
+	}
+	cls, ok := x.varClass[base.ID]
+	if !ok {
+		cls = guessClass(base.ID)
+	}
+	if cls == "" {
+		return ""
+	}
+	return cls + "." + strings.Join(parts, ".")
+}
+
+// guessClass recognizes conventional variable names when the constructor
+// was not seen (e.g. scripts using GetActiveViewOrCreate results).
+func guessClass(varName string) string {
+	lower := strings.ToLower(varName)
+	switch {
+	case strings.Contains(lower, "renderview") || strings.Contains(lower, "view"):
+		return "RenderView"
+	case strings.Contains(lower, "display") || strings.Contains(lower, "representation"):
+		return "Display"
+	}
+	return ""
+}
+
+func (x *extractor) call(c *pypy.Call, assignedTo []string) {
+	name := ""
+	recvClass := ""
+	switch f := c.Func.(type) {
+	case *pypy.Name:
+		name = f.ID
+	case *pypy.Attribute:
+		// Method call obj.Method(...).
+		if base, ok := f.Value.(*pypy.Name); ok {
+			recvClass = x.varClass[base.ID]
+			if recvClass == "" {
+				recvClass = guessClass(base.ID)
+			}
+		} else if attr, ok := f.Value.(*pypy.Attribute); ok {
+			recvClass = x.attrPath(attr)
+		}
+		name = f.Attr
+	default:
+		return
+	}
+
+	switch {
+	case constructorNames[name]:
+		x.facts.Constructors = append(x.facts.Constructors, name)
+		x.facts.Sequence = append(x.facts.Sequence, "new:"+name)
+		for _, v := range assignedTo {
+			x.varClass[v] = name
+		}
+		for i, kw := range c.KwNames {
+			switch kw {
+			case "registrationName":
+				continue
+			case "Input":
+				if in, ok := c.KwValues[i].(*pypy.Name); ok {
+					if upCls, ok := x.varClass[in.ID]; ok {
+						x.facts.Pipeline = append(x.facts.Pipeline, upCls+"->"+name)
+					}
+				}
+				continue
+			}
+			x.addProp(name + "." + kw + "=" + renderValue(c.KwValues[i]))
+		}
+	case name == "GetActiveViewOrCreate" || name == "CreateView" || name == "CreateRenderView":
+		for _, v := range assignedTo {
+			x.varClass[v] = "RenderView"
+		}
+		x.addCall(name + "()")
+	case name == "Show":
+		for _, v := range assignedTo {
+			x.varClass[v] = "Display"
+		}
+		shown := ""
+		if len(c.Args) > 0 {
+			if n, ok := c.Args[0].(*pypy.Name); ok {
+				shown = x.varClass[n.ID]
+			}
+		}
+		x.addCall("Show(" + shown + ")")
+	case recvClass != "":
+		// Proxy method call (takes precedence over module functions with
+		// the same name, e.g. view.ResetCamera() vs ResetCamera()).
+		var args []string
+		for _, a := range c.Args {
+			args = append(args, renderValue(a))
+		}
+		x.addCall(recvClass + "." + name + "(" + strings.Join(args, ", ") + ")")
+	case controlNames[name]:
+		var args []string
+		for _, a := range c.Args {
+			args = append(args, renderArgKind(a, x))
+		}
+		for i, kw := range c.KwNames {
+			args = append(args, kw+"="+renderValue(c.KwValues[i]))
+		}
+		x.addCall(name + "(" + strings.Join(args, ", ") + ")")
+	}
+}
+
+// renderArgKind renders ColorBy-style arguments: variables by class,
+// literals by value.
+func renderArgKind(e pypy.Expr, x *extractor) string {
+	if n, ok := e.(*pypy.Name); ok {
+		if cls, ok := x.varClass[n.ID]; ok {
+			return cls
+		}
+		if g := guessClass(n.ID); g != "" {
+			return g
+		}
+		return "?"
+	}
+	return renderValue(e)
+}
+
+// renderValue renders literal expressions canonically.
+func renderValue(e pypy.Expr) string {
+	switch v := e.(type) {
+	case *pypy.NumLit:
+		if v.IsInt {
+			return fmt.Sprintf("%d", v.Int)
+		}
+		return trimFloat(v.Float)
+	case *pypy.StrLit:
+		return "'" + v.Value + "'"
+	case *pypy.BoolLit:
+		if v.Value {
+			return "True"
+		}
+		return "False"
+	case *pypy.NoneLit:
+		return "None"
+	case *pypy.ListLit:
+		return "[" + renderSeq(v.Elts) + "]"
+	case *pypy.TupleLit:
+		return "[" + renderSeq(v.Elts) + "]" // tuples normalize to lists
+	case *pypy.UnaryOp:
+		if v.Op == "-" {
+			return "-" + renderValue(v.X)
+		}
+	}
+	return "<expr>"
+}
+
+func renderSeq(elts []pypy.Expr) string {
+	parts := make([]string, len(elts))
+	for i, e := range elts {
+		parts[i] = renderValue(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Score is the structural-similarity result.
+type Score struct {
+	// ConstructorF1 compares the multiset of pipeline objects built.
+	ConstructorF1 float64
+	// PipelineF1 compares dataflow edges.
+	PipelineF1 float64
+	// PropF1 compares property assignments (name and value).
+	PropF1 float64
+	// CallF1 compares control calls.
+	CallF1 float64
+	// SeqSim is the normalized longest-common-subsequence similarity of
+	// the full operation streams.
+	SeqSim float64
+	// Overall is the weighted combination used for ranking.
+	Overall float64
+}
+
+// String renders the score compactly.
+func (s Score) String() string {
+	return fmt.Sprintf("ctor=%.2f pipe=%.2f prop=%.2f call=%.2f seq=%.2f overall=%.2f",
+		s.ConstructorF1, s.PipelineF1, s.PropF1, s.CallF1, s.SeqSim, s.Overall)
+}
+
+// CompareFacts scores extracted facts against a reference.
+func CompareFacts(got, want *Facts) Score {
+	var s Score
+	s.ConstructorF1 = multisetF1(got.Constructors, want.Constructors)
+	s.PipelineF1 = multisetF1(got.Pipeline, want.Pipeline)
+	s.PropF1 = multisetF1(got.Props, want.Props)
+	s.CallF1 = multisetF1(got.Calls, want.Calls)
+	s.SeqSim = lcsSimilarity(got.Sequence, want.Sequence)
+	s.Overall = 0.25*s.ConstructorF1 + 0.15*s.PipelineF1 +
+		0.25*s.PropF1 + 0.2*s.CallF1 + 0.15*s.SeqSim
+	return s
+}
+
+// Compare parses both scripts and scores got against want. A got-script
+// that fails to parse scores zero; a want-script that fails to parse is
+// an error (the reference must be valid).
+func Compare(got, want string) (Score, error) {
+	wantFacts, err := Extract(want)
+	if err != nil {
+		return Score{}, fmt.Errorf("scriptcmp: reference script invalid: %w", err)
+	}
+	gotFacts, err := Extract(got)
+	if err != nil {
+		return Score{}, nil // unparsable candidate scores zero
+	}
+	return CompareFacts(gotFacts, wantFacts), nil
+}
+
+// multisetF1 computes the F1 overlap of two string multisets.
+func multisetF1(got, want []string) float64 {
+	if len(got) == 0 && len(want) == 0 {
+		return 1
+	}
+	if len(got) == 0 || len(want) == 0 {
+		return 0
+	}
+	count := map[string]int{}
+	for _, w := range want {
+		count[w]++
+	}
+	match := 0
+	for _, g := range got {
+		if count[g] > 0 {
+			count[g]--
+			match++
+		}
+	}
+	precision := float64(match) / float64(len(got))
+	recall := float64(match) / float64(len(want))
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// lcsSimilarity is 2*LCS/(len(a)+len(b)).
+func lcsSimilarity(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	lcs := prev[len(b)]
+	return 2 * float64(lcs) / float64(len(a)+len(b))
+}
+
+// Diff reports the facts present in want but missing from got, and vice
+// versa — the "systematic analysis" output for inspecting near-misses.
+func Diff(got, want *Facts) (missing, extra []string) {
+	missing = multisetDiff(want.all(), got.all())
+	extra = multisetDiff(got.all(), want.all())
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return missing, extra
+}
+
+func (f *Facts) all() []string {
+	var out []string
+	for _, c := range f.Constructors {
+		out = append(out, "new:"+c)
+	}
+	out = append(out, f.Pipeline...)
+	out = append(out, f.Props...)
+	out = append(out, f.Calls...)
+	return out
+}
+
+func multisetDiff(a, b []string) []string {
+	count := map[string]int{}
+	for _, s := range b {
+		count[s]++
+	}
+	var out []string
+	for _, s := range a {
+		if count[s] > 0 {
+			count[s]--
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

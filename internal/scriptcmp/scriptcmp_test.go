@@ -1,0 +1,234 @@
+package scriptcmp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const refScript = `from paraview.simple import *
+reader = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+contour1 = Contour(registrationName='Contour1', Input=reader)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.5]
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [1920, 1080]
+contour1Display = Show(contour1, renderView1)
+renderView1.ResetCamera()
+SaveScreenshot('ml-iso.png', renderView1,
+    ImageResolution=[1920, 1080],
+    OverrideColorPalette='WhiteBackground')
+`
+
+func TestExtractFacts(t *testing.T) {
+	f, err := Extract(refScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Constructors) != 2 || f.Constructors[0] != "LegacyVTKReader" || f.Constructors[1] != "Contour" {
+		t.Errorf("constructors = %v", f.Constructors)
+	}
+	if len(f.Pipeline) != 1 || f.Pipeline[0] != "LegacyVTKReader->Contour" {
+		t.Errorf("pipeline = %v", f.Pipeline)
+	}
+	joined := strings.Join(f.Props, "\n")
+	for _, want := range []string{
+		"Contour.ContourBy=['POINTS', 'var0']",
+		"Contour.Isosurfaces=[0.5]",
+		"RenderView.ViewSize=[1920, 1080]",
+		"LegacyVTKReader.FileNames=['ml-100.vtk']",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("props missing %q in:\n%s", want, joined)
+		}
+	}
+	calls := strings.Join(f.Calls, "\n")
+	for _, want := range []string{
+		"Show(Contour)",
+		"RenderView.ResetCamera()",
+		"SaveScreenshot(",
+		"OverrideColorPalette='WhiteBackground'",
+	} {
+		if !strings.Contains(calls, want) {
+			t.Errorf("calls missing %q in:\n%s", want, calls)
+		}
+	}
+}
+
+func TestIdenticalScriptsScoreOne(t *testing.T) {
+	s, err := Compare(refScript, refScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Overall < 0.999 || s.PropF1 < 0.999 || s.SeqSim < 0.999 {
+		t.Errorf("score = %s", s)
+	}
+}
+
+func TestWrongParameterLowersPropScore(t *testing.T) {
+	wrongValue := strings.Replace(refScript, "Isosurfaces = [0.5]", "Isosurfaces = [0.7]", 1)
+	s, err := Compare(wrongValue, refScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PropF1 >= 1 {
+		t.Errorf("wrong isovalue should lower PropF1: %s", s)
+	}
+	if s.ConstructorF1 != 1 {
+		t.Errorf("constructors unchanged, F1 = %v", s.ConstructorF1)
+	}
+	if s.Overall >= 0.999 {
+		t.Errorf("overall should drop: %s", s)
+	}
+}
+
+func TestMissingFilterLowersScore(t *testing.T) {
+	noContour := `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+renderView1 = GetActiveViewOrCreate('RenderView')
+d = Show(reader, renderView1)
+SaveScreenshot('ml-iso.png', renderView1, ImageResolution=[1920, 1080])
+`
+	s, err := Compare(noContour, refScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ConstructorF1 >= 1 || s.Overall > 0.8 {
+		t.Errorf("missing Contour should hurt: %s", s)
+	}
+}
+
+func TestOrderMattersForSeqSim(t *testing.T) {
+	// Same facts, camera reset before Show instead of after.
+	reordered := `from paraview.simple import *
+reader = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+contour1 = Contour(registrationName='Contour1', Input=reader)
+contour1.Isosurfaces = [0.5]
+contour1.ContourBy = ['POINTS', 'var0']
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ResetCamera()
+renderView1.ViewSize = [1920, 1080]
+contour1Display = Show(contour1, renderView1)
+SaveScreenshot('ml-iso.png', renderView1,
+    ImageResolution=[1920, 1080],
+    OverrideColorPalette='WhiteBackground')
+`
+	s, err := Compare(reordered, refScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PropF1 < 0.99 || s.CallF1 < 0.99 {
+		t.Errorf("fact sets should match: %s", s)
+	}
+	if s.SeqSim >= 1 {
+		t.Errorf("sequence similarity should notice reordering: %s", s)
+	}
+}
+
+func TestUnparsableCandidateScoresZero(t *testing.T) {
+	s, err := Compare("x = (1 +\n", refScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Overall != 0 {
+		t.Errorf("unparsable candidate = %s", s)
+	}
+	// Invalid reference is an error.
+	if _, err := Compare(refScript, "x = (1 +\n"); err == nil {
+		t.Error("invalid reference should error")
+	}
+}
+
+func TestHallucinatedAttributesShowInDiff(t *testing.T) {
+	halluc := strings.Replace(refScript,
+		"contour1.ContourBy = ['POINTS', 'var0']",
+		"contour1.ContourScalars = ['POINTS', 'var0']", 1)
+	got, err := Extract(halluc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Extract(refScript)
+	missing, extra := Diff(got, want)
+	if len(missing) == 0 || len(extra) == 0 {
+		t.Fatalf("diff should flag the renamed property: missing=%v extra=%v", missing, extra)
+	}
+	foundMissing, foundExtra := false, false
+	for _, m := range missing {
+		if strings.Contains(m, "ContourBy") {
+			foundMissing = true
+		}
+	}
+	for _, e := range extra {
+		if strings.Contains(e, "ContourScalars") {
+			foundExtra = true
+		}
+	}
+	if !foundMissing || !foundExtra {
+		t.Errorf("diff misses the rename: missing=%v extra=%v", missing, extra)
+	}
+}
+
+func TestAttributeChainPaths(t *testing.T) {
+	src := `from paraview.simple import *
+slice1 = Slice(registrationName='S', SliceType='Plane')
+slice1.SliceType.Origin = [0.0, 0.0, 0.0]
+slice1.SliceType.Normal = [1.0, 0.0, 0.0]
+`
+	f, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(f.Props, "\n")
+	if !strings.Contains(joined, "Slice.SliceType.Origin=[0, 0, 0]") {
+		t.Errorf("nested property path missing:\n%s", joined)
+	}
+}
+
+func TestMultisetF1Properties(t *testing.T) {
+	if multisetF1(nil, nil) != 1 {
+		t.Error("empty vs empty should be 1")
+	}
+	if multisetF1([]string{"a"}, nil) != 0 || multisetF1(nil, []string{"a"}) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+	// Symmetry property.
+	f := func(a, b []string) bool {
+		// Constrain to a tiny alphabet so collisions happen.
+		norm := func(in []string) []string {
+			out := make([]string, 0, len(in))
+			for _, s := range in {
+				if len(s) > 0 {
+					out = append(out, string(s[0]%4+'a'))
+				}
+			}
+			return out
+		}
+		na, nb := norm(a), norm(b)
+		d1 := multisetF1(na, nb)
+		d2 := multisetF1(nb, na)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCSSimilarityProperties(t *testing.T) {
+	f := func(raw []string) bool {
+		norm := make([]string, 0, len(raw))
+		for _, s := range raw {
+			if len(s) > 0 {
+				norm = append(norm, string(s[0]%3+'x'))
+			}
+		}
+		// Identity and bounds.
+		if lcsSimilarity(norm, norm) != 1 && len(norm) > 0 {
+			return false
+		}
+		v := lcsSimilarity(norm, append([]string{"q"}, norm...))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package vtkio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chatvis/internal/data"
+	"chatvis/internal/vmath"
+)
+
+func TestLegacyStructuredPointsRoundTrip(t *testing.T) {
+	im := data.NewImageData(3, 4, 2, vmath.V(-1, 0, 2), vmath.V(0.5, 1, 2))
+	f := data.NewField("var0", 1, im.NumPoints())
+	for i := range f.Data {
+		f.Data[i] = float64(i) * 0.25
+	}
+	im.Points.Add(f)
+
+	var buf bytes.Buffer
+	if err := WriteLegacyVTK(&buf, im, "test volume"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLegacyVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, ok := got.(*data.ImageData)
+	if !ok {
+		t.Fatalf("round trip type = %T", got)
+	}
+	if im2.Dims != im.Dims || im2.Origin != im.Origin || im2.Spacing != im.Spacing {
+		t.Errorf("geometry mismatch: %+v", im2)
+	}
+	f2 := im2.Points.Get("var0")
+	if f2 == nil {
+		t.Fatal("var0 missing after round trip")
+	}
+	for i := range f.Data {
+		if math.Abs(f.Data[i]-f2.Data[i]) > 1e-12 {
+			t.Fatalf("data[%d] = %v, want %v", i, f2.Data[i], f.Data[i])
+		}
+	}
+}
+
+func TestLegacyPolyDataRoundTrip(t *testing.T) {
+	pd := data.NewPolyData()
+	pd.AddPoint(vmath.V(0, 0, 0))
+	pd.AddPoint(vmath.V(1, 0, 0))
+	pd.AddPoint(vmath.V(0, 1, 0))
+	pd.AddPoint(vmath.V(0, 0, 1))
+	pd.AddTriangle(0, 1, 2)
+	pd.AddPoly(0, 1, 2, 3)
+	pd.AddLine(0, 3)
+	pd.AddVert(2)
+	sc := data.NewField("Temp", 1, 4)
+	sc.Data = []float64{1, 2, 3, 4}
+	pd.Points.Add(sc)
+	vec := data.NewField("V", 3, 4)
+	for i := 0; i < 4; i++ {
+		vec.SetVec3(i, vmath.V(float64(i), 0, -1))
+	}
+	pd.Points.Add(vec)
+
+	var buf bytes.Buffer
+	if err := WriteLegacyVTK(&buf, pd, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLegacyVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd2, ok := got.(*data.PolyData)
+	if !ok {
+		t.Fatalf("round trip type = %T", got)
+	}
+	if len(pd2.Pts) != 4 || len(pd2.Polys) != 2 || len(pd2.Lines) != 1 || len(pd2.Verts) != 1 {
+		t.Fatalf("counts: %d pts %d polys %d lines %d verts",
+			len(pd2.Pts), len(pd2.Polys), len(pd2.Lines), len(pd2.Verts))
+	}
+	if pd2.Polys[1][3] != 3 {
+		t.Errorf("poly connectivity = %v", pd2.Polys[1])
+	}
+	if pd2.Points.Get("Temp") == nil || pd2.Points.Get("V") == nil {
+		t.Fatal("point data missing")
+	}
+	if got := pd2.Points.Get("V").Vec3(2); !got.NearEq(vmath.V(2, 0, -1), 1e-12) {
+		t.Errorf("V[2] = %v", got)
+	}
+}
+
+func TestLegacyUnstructuredRoundTrip(t *testing.T) {
+	ug := data.NewUnstructuredGrid()
+	for i := 0; i < 8; i++ {
+		ug.AddPoint(vmath.V(float64(i&1), float64(i>>1&1), float64(i>>2&1)))
+	}
+	ug.AddCell(data.CellHexahedron, 0, 1, 3, 2, 4, 5, 7, 6)
+	ug.AddCell(data.CellTetra, 0, 1, 2, 4)
+	f := data.NewField("Temp", 1, 8)
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	ug.Points.Add(f)
+
+	var buf bytes.Buffer
+	if err := WriteLegacyVTK(&buf, ug, "grid"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLegacyVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ug2, ok := got.(*data.UnstructuredGrid)
+	if !ok {
+		t.Fatalf("round trip type = %T", got)
+	}
+	if ug2.NumCells() != 2 || ug2.Cells[0].Type != data.CellHexahedron || ug2.Cells[1].Type != data.CellTetra {
+		t.Fatalf("cells = %+v", ug2.Cells)
+	}
+	if len(ug2.Cells[0].IDs) != 8 || ug2.Cells[0].IDs[7] != 6 {
+		t.Errorf("hex ids = %v", ug2.Cells[0].IDs)
+	}
+	if ug2.Points.Get("Temp").Scalar(7) != 7 {
+		t.Error("Temp mismatch")
+	}
+}
+
+func TestReadLegacyRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a vtk file\n",
+		"# vtk DataFile Version 3.0\ntitle\nBINARY\nDATASET POLYDATA\n",
+		"# vtk DataFile Version 3.0\ntitle\nASCII\nDATASET TETRIS\n",
+		"# vtk DataFile Version 3.0\ntitle\nASCII\nNOTADATASET POLYDATA\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadLegacyVTK(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestReadLegacyPointDataCountMismatch(t *testing.T) {
+	src := `# vtk DataFile Version 3.0
+t
+ASCII
+DATASET STRUCTURED_POINTS
+DIMENSIONS 2 2 2
+ORIGIN 0 0 0
+SPACING 1 1 1
+POINT_DATA 7
+`
+	if _, err := ReadLegacyVTK(strings.NewReader(src)); err == nil {
+		t.Error("expected count mismatch error")
+	}
+}
+
+func TestReadLegacyScalarsWithoutComponentCount(t *testing.T) {
+	src := `# vtk DataFile Version 3.0
+t
+ASCII
+DATASET STRUCTURED_POINTS
+DIMENSIONS 2 1 1
+ORIGIN 0 0 0
+SPACING 1 1 1
+POINT_DATA 2
+SCALARS var0 float
+LOOKUP_TABLE default
+0.5 1.5
+`
+	ds, err := ReadLegacyVTK(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ds.PointData().Get("var0")
+	if f == nil || f.Scalar(1) != 1.5 {
+		t.Fatalf("var0 = %+v", f)
+	}
+}
+
+func TestExodusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ug := data.NewUnstructuredGrid()
+	for i := 0; i < 50; i++ {
+		ug.AddPoint(vmath.V(rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	for i := 0; i+7 < 50; i += 8 {
+		ug.AddCell(data.CellHexahedron, i, i+1, i+2, i+3, i+4, i+5, i+6, i+7)
+	}
+	temp := data.NewField("Temp", 1, 50)
+	vel := data.NewField("V", 3, 50)
+	for i := 0; i < 50; i++ {
+		temp.SetScalar(i, rng.Float64()*100)
+		vel.SetVec3(i, vmath.V(rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	ug.Points.Add(temp)
+	ug.Points.Add(vel)
+
+	var buf bytes.Buffer
+	if err := WriteExodus(&buf, ug, "disk sample"); err != nil {
+		t.Fatal(err)
+	}
+	got, title, err := ReadExodus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title != "disk sample" {
+		t.Errorf("title = %q", title)
+	}
+	if got.NumPoints() != 50 || got.NumCells() != ug.NumCells() {
+		t.Fatalf("counts: %d pts %d cells", got.NumPoints(), got.NumCells())
+	}
+	for i := 0; i < 50; i++ {
+		if !got.Pts[i].NearEq(ug.Pts[i], 0) {
+			t.Fatalf("point %d mismatch", i)
+		}
+		if got.Points.Get("Temp").Scalar(i) != temp.Scalar(i) {
+			t.Fatalf("Temp %d mismatch", i)
+		}
+		if got.Points.Get("V").Vec3(i) != vel.Vec3(i) {
+			t.Fatalf("V %d mismatch", i)
+		}
+	}
+	if got.Cells[0].Type != data.CellHexahedron {
+		t.Error("cell type mismatch")
+	}
+}
+
+func TestExodusRejectsBadMagic(t *testing.T) {
+	if _, _, err := ReadExodus(bytes.NewReader([]byte("NOPE0123456789"))); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+func TestExodusRejectsOutOfRangeCellRef(t *testing.T) {
+	ug := data.NewUnstructuredGrid()
+	ug.AddPoint(vmath.V(0, 0, 0))
+	ug.AddCell(data.CellLine, 0, 5) // invalid reference
+	var buf bytes.Buffer
+	if err := WriteExodus(&buf, ug, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadExodus(&buf); err == nil {
+		t.Error("expected out-of-range cell reference error")
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	im := data.NewImageData(2, 2, 2, vmath.V(0, 0, 0), vmath.V(1, 1, 1))
+	f := data.NewField("var0", 1, 8)
+	im.Points.Add(f)
+	vtkPath := dir + "/a.vtk"
+	if err := SaveLegacyVTK(vtkPath, im, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLegacyVTK(vtkPath); err != nil {
+		t.Fatal(err)
+	}
+	ug := data.NewUnstructuredGrid()
+	ug.AddPoint(vmath.V(1, 2, 3))
+	exPath := dir + "/b.ex2"
+	if err := SaveExodus(exPath, ug, "t"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadExodus(exPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPoints() != 1 {
+		t.Error("load mismatch")
+	}
+	if _, err := LoadLegacyVTK(dir + "/missing.vtk"); err == nil {
+		t.Error("expected missing file error")
+	}
+	if _, _, err := LoadExodus(dir + "/missing.ex2"); err == nil {
+		t.Error("expected missing file error")
+	}
+}
