@@ -1,0 +1,35 @@
+# CI entry points. `make ci` is the gate: formatting, vet, and the full
+# test suite under the race detector (the eval grid runner and the llm
+# cache/registry are exercised concurrently in their tests).
+
+GO ?= go
+
+.PHONY: ci fmt vet test test-race bench bench-grid build
+
+ci: fmt vet test-race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# All paper-reproduction benchmarks (tables, figures, ablations).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Just the serial-vs-concurrent grid sweep comparison.
+bench-grid:
+	$(GO) test -run xxx -bench BenchmarkGridThroughput -benchtime 3x .

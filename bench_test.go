@@ -12,8 +12,10 @@
 package chatvis_bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"chatvis/internal/chatvis"
@@ -52,7 +54,7 @@ func benchFigure(b *testing.B, id string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		fig, err = cfg.RunFigure(scn)
+		fig, err = cfg.RunFigure(context.Background(), scn)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +87,7 @@ func BenchmarkTable1_GeneratedScripts(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		t1, err = cfg.RunTable1()
+		t1, err = cfg.RunTable1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +110,7 @@ func BenchmarkTable2_LLMComparison(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		t2, err = cfg.RunTable2()
+		t2, err = cfg.RunTable2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +157,7 @@ func BenchmarkAblation_Iterations(b *testing.B) {
 				success = 0
 				totalIters = 0
 				for _, scn := range eval.Scenarios() {
-					cell, art, err := cfg.RunChatVis(scn)
+					cell, art, err := cfg.RunChatVis(context.Background(), scn)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -190,7 +192,7 @@ func BenchmarkAblation_FewShot(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				clean, correct, totalIters = 0, 0, 0
 				for _, scn := range eval.Scenarios() {
-					cell, art, err := cfg.RunChatVis(scn)
+					cell, art, err := cfg.RunChatVis(context.Background(), scn)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -243,18 +245,15 @@ func BenchmarkAblation_Grounding(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				correct, iters = 0, 0
 				for _, scn := range eval.Scenarios() {
-					assistant, err := chatvis.NewAssistant(chatvis.Options{
-						Model:         model,
-						Runner:        &pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()},
-						MaxIterations: 5,
-						FewShot:       tc.fewShot,
-						RewritePrompt: true,
-						APIReference:  tc.api,
-					})
+					assistant, err := chatvis.NewAssistant(model,
+						&pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()},
+						chatvis.WithMaxIterations(5),
+						chatvis.WithFewShot(tc.fewShot),
+						chatvis.WithAPIReference(tc.api))
 					if err != nil {
 						b.Fatal(err)
 					}
-					art, err := assistant.Run(scn.UserPrompt(320, 180))
+					art, err := assistant.Run(context.Background(), scn.UserPrompt(320, 180))
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -277,7 +276,7 @@ func BenchmarkAblation_Grounding(b *testing.B) {
 // path that needs no rendering.
 func BenchmarkScriptEval(b *testing.B) {
 	cfg := benchConfig(b)
-	t1, err := cfg.RunTable1()
+	t1, err := cfg.RunTable1(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -296,6 +295,45 @@ func BenchmarkScriptEval(b *testing.B) {
 	if sCV.Overall <= sG4.Overall {
 		b.Error("ChatVis script should score above unassisted GPT-4")
 	}
+}
+
+// --- Grid throughput: serial sweep vs concurrent grid runner -----------------
+
+// BenchmarkGridThroughput compares the paper-style serial Table II sweep
+// (one cell at a time, ground truth re-rendered for every cell) against
+// the concurrent grid runner (worker pool + shared ground-truth cache)
+// on the full 5-scenario x 5-model (+ChatVis) grid. The grid runner
+// renders each reference image once instead of once per cell and overlaps
+// cells across workers, so it should finish the sweep at least ~2x faster
+// even on a single core; multi-core machines gain more from the pool.
+func BenchmarkGridThroughput(b *testing.B) {
+	run := func(b *testing.B, sweep func(cfg eval.Config) (*eval.Table2, error)) {
+		cfg := benchConfig(b)
+		if err := eval.EnsureData(cfg.DataDir, cfg.DataSize); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t2, err := sweep(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(t2.Tasks) != 5 || len(t2.Models) != 6 {
+				b.Fatalf("grid = %d tasks x %d models", len(t2.Tasks), len(t2.Models))
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, func(cfg eval.Config) (*eval.Table2, error) {
+			return cfg.RunTable2(context.Background())
+		})
+	})
+	b.Run("grid", func(b *testing.B) {
+		workers := 2 * runtime.NumCPU()
+		run(b, func(cfg eval.Config) (*eval.Table2, error) {
+			return cfg.RunGrid(context.Background(), workers)
+		})
+	})
 }
 
 // --- Substrate micro-benchmarks ----------------------------------------------

@@ -1,6 +1,6 @@
 // Command chatvis runs the iterative assistant on a natural-language
 // visualization request, producing a ParaView Python script and a
-// screenshot.
+// screenshot. Ctrl-C cancels the session cleanly mid-loop.
 //
 // Usage:
 //
@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -32,6 +34,9 @@ func main() {
 		fewShot   = flag.Int("few-shot", 0, "number of example snippets (0 = all, negative = none)")
 		noRewrite = flag.Bool("no-rewrite", false, "skip the prompt-generation stage")
 		unassist  = flag.Bool("unassisted", false, "run the bare model without the assistant (comparison mode)")
+		retries   = flag.Int("retries", 1, "LLM call attempts (middleware retry budget)")
+		noCache   = flag.Bool("no-cache", false, "disable the LLM response cache")
+		trace     = flag.Bool("trace", false, "print the per-stage session trace")
 		verbose   = flag.Bool("v", false, "print per-iteration transcripts")
 	)
 	flag.Parse()
@@ -40,26 +45,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	model, err := llm.NewModel(*modelName)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	base, err := llm.NewModel(*modelName)
 	if err != nil {
 		fatal(err)
 	}
+	// Production-shaped client stack: metrics around retry around cache.
+	var metrics llm.Metrics
+	mws := []llm.Middleware{llm.WithMetrics(&metrics), llm.WithRetry(*retries, 0)}
+	if !*noCache {
+		mws = append(mws, llm.WithCache())
+	}
+	model := llm.Chain(base, mws...)
 	runner := &pvpython.Runner{DataDir: *dataDir, OutDir: *outDir}
 
 	var art *chatvis.Artifact
 	if *unassist {
-		art, err = chatvis.Unassisted(model, runner, *prompt)
+		art, err = chatvis.Unassisted(ctx, model, runner, *prompt)
 	} else {
 		var assistant *chatvis.Assistant
-		assistant, err = chatvis.NewAssistant(chatvis.Options{
-			Model:         model,
-			Runner:        runner,
-			MaxIterations: *maxIter,
-			FewShot:       *fewShot,
-			RewritePrompt: !*noRewrite,
-		})
+		assistant, err = chatvis.NewAssistant(model, runner,
+			chatvis.WithMaxIterations(*maxIter),
+			chatvis.WithFewShot(*fewShot),
+			chatvis.WithRewrite(!*noRewrite))
 		if err == nil {
-			art, err = assistant.Run(*prompt)
+			art, err = assistant.Run(ctx, *prompt)
 		}
 	}
 	if err != nil {
@@ -75,6 +87,12 @@ func main() {
 			}
 		}
 	}
+	if *trace {
+		fmt.Printf("=== session trace ===\n%s", art.Trace.Format())
+		s := metrics.Snapshot()
+		fmt.Printf("client metrics: %d calls, %d errors, %d cache hits, %v total latency\n",
+			s.Calls, s.Errors, s.CacheHits, s.TotalLatency)
+	}
 
 	scriptPath := filepath.Join(*outDir, "generated_script.py")
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -85,7 +103,9 @@ func main() {
 	}
 
 	if art.Success {
-		fmt.Printf("success after %d iteration(s)\n", art.NumIterations())
+		fmt.Printf("success after %d iteration(s) in %v (%d tokens)\n",
+			art.NumIterations(), art.Trace.TotalDuration().Round(1e6),
+			art.Trace.TotalUsage().TotalTokens())
 		fmt.Printf("script: %s\n", scriptPath)
 		for _, s := range art.Screenshots {
 			fmt.Printf("screenshot: %s\n", s)

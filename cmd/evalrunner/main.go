@@ -1,23 +1,31 @@
 // Command evalrunner regenerates the paper's evaluation artifacts:
 // Table I (generated scripts), Table II (LLM comparison grid) and the
-// image comparisons behind Figures 2-6. Results are printed and written
-// to a markdown report.
+// image comparisons behind Figures 2-6. The grid sweeps scenarios ×
+// models concurrently with a shared ground-truth cache; results are
+// printed (with per-cell session traces) and written to a markdown
+// report. Ctrl-C cancels the sweep.
 //
 // Usage:
 //
 //	evalrunner -data ./data -out ./out                 # everything
 //	evalrunner -task iso                               # one figure
-//	evalrunner -table2                                 # only the grid
+//	evalrunner -table2 -workers 8                      # only the grid
+//	evalrunner -table2 -serial                         # paper-style serial sweep
 //	evalrunner -full -width 1920 -height 1080          # paper scale
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"chatvis/internal/eval"
+	"chatvis/internal/imgcmp"
 )
 
 func main() {
@@ -30,8 +38,16 @@ func main() {
 		task    = flag.String("task", "", "run a single scenario: iso, slice, volume, delaunay, stream")
 		table2  = flag.Bool("table2", false, "run only the Table II grid")
 		table1  = flag.Bool("table1", false, "run only the Table I script pair")
+		workers = flag.Int("workers", 2*runtime.NumCPU(), "grid worker pool size")
+		serial  = flag.Bool("serial", false, "paper-style serial sweep (no worker pool, no shared ground truth)")
+		stats   = flag.Bool("stats", true, "print per-cell session traces (duration, LLM calls, tokens)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := eval.Config{
 		DataDir: *dataDir,
@@ -42,6 +58,25 @@ func main() {
 	if *full {
 		cfg.DataSize = eval.DataFull
 	}
+	runGrid := func() (*eval.Table2, error) {
+		start := time.Now()
+		var t2 *eval.Table2
+		var err error
+		if *serial {
+			t2, err = cfg.RunTable2(ctx)
+		} else {
+			t2, err = cfg.RunGrid(ctx, *workers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		mode := fmt.Sprintf("%d workers, shared ground truth", *workers)
+		if *serial {
+			mode = "serial sweep"
+		}
+		fmt.Printf("grid completed in %v (%s)\n\n", time.Since(start).Round(time.Millisecond), mode)
+		return t2, nil
+	}
 
 	switch {
 	case *task != "":
@@ -49,45 +84,57 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown task %q", *task))
 		}
-		fig, err := cfg.RunFigure(scn)
+		cell, art, err := cfg.RunChatVis(ctx, scn)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s (%s):\n", fig.Figure, fig.Task)
-		fmt.Printf("  ChatVis vs ground truth: %s (match=%v)\n", fig.ChatVis, fig.ChatVisMatches)
-		if fig.GPT4 != nil {
-			fmt.Printf("  GPT-4  vs ground truth: %s (match=%v)\n", *fig.GPT4, fig.GPT4Matches)
+		fmt.Printf("%s (%s): error-free=%v screenshot=%v\n",
+			scn.Figure, scn.Row, cell.ErrorFree, cell.Screenshot)
+		fmt.Printf("  vs ground truth: %s\n", cell.Metrics)
+		fmt.Printf("\nsession trace:\n%s", art.Trace.Format())
+		g4, _, err := cfg.RunUnassisted(ctx, "gpt-4", scn)
+		if err != nil {
+			fatal(err)
+		}
+		if g4.ErrorFree && g4.Metrics != (imgcmp.Metrics{}) {
+			fmt.Printf("\nGPT-4 vs ground truth: %s (match=%v)\n", g4.Metrics, g4.Screenshot)
 		} else {
-			fmt.Println("  GPT-4: no image (script failed)")
+			fmt.Println("\nGPT-4: no image (script failed)")
 		}
 	case *table1:
-		t1, err := cfg.RunTable1()
+		t1, err := cfg.RunTable1(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(t1.Format())
 	case *table2:
-		t2, err := cfg.RunTable2()
+		t2, err := runGrid()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(t2.Format())
+		if *stats {
+			fmt.Printf("\nper-cell session traces:\n%s", t2.FormatStats())
+		}
 	default:
-		fmt.Println("running Table II grid (6 models x 5 tasks)...")
-		t2, err := cfg.RunTable2()
+		fmt.Printf("running Table II grid (6 models x 5 tasks, %d workers)...\n", *workers)
+		t2, err := runGrid()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(t2.Format())
+		if *stats {
+			fmt.Printf("\nper-cell session traces:\n%s\n", t2.FormatStats())
+		}
 		fmt.Println("running Table I script pair...")
-		t1, err := cfg.RunTable1()
+		t1, err := cfg.RunTable1(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		var figs []*eval.FigureResult
 		for _, scn := range eval.Scenarios() {
 			fmt.Printf("running %s (%s)...\n", scn.Figure, scn.ID)
-			fig, err := cfg.RunFigure(scn)
+			fig, err := cfg.RunFigure(ctx, scn)
 			if err != nil {
 				fatal(err)
 			}

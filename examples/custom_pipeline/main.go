@@ -1,16 +1,23 @@
 // Custom pipeline: use the visualization engine directly as a Go library,
 // without any LLM in the loop — generate data, filter it, render it, and
-// also drive the simulated PvPython with a hand-written script.
+// also drive the simulated PvPython with a hand-written script. A third
+// path registers a custom LLM backend (a canned-script replayer wrapped
+// in the stock middleware stack) to show how non-simulated clients plug
+// into the assistant.
 //
 //	go run ./examples/custom_pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"chatvis/internal/chatvis"
 	"chatvis/internal/datagen"
 	"chatvis/internal/filters"
+	"chatvis/internal/llm"
 	"chatvis/internal/pvpython"
 	"chatvis/internal/render"
 	"chatvis/internal/vmath"
@@ -72,4 +79,38 @@ SaveScreenshot('script_api.png', view,
 	}
 	fmt.Printf("script render: %v\n", res.Screenshots)
 	fmt.Println("both paths render the same half-isosurface; compare the PNGs")
+
+	// --- Path 3: a custom backend through the assistant -------------------
+	// Register a replay client that always answers with the script above —
+	// the hook a recorded-transcript or network-backed model would use —
+	// and run it through the assistant with caching and metrics attached.
+	llm.DefaultRegistry.Register("replay", func() (llm.Client, error) {
+		return &llm.ClientFunc{
+			ModelName: "replay",
+			Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+				start := time.Now()
+				return llm.NewResponse("replay", req, script, start), nil
+			},
+		}, nil
+	})
+	base, err := llm.NewModel("replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metrics llm.Metrics
+	model := llm.Chain(base, llm.WithMetrics(&metrics), llm.WithCache())
+	assistant, err := chatvis.NewAssistant(model,
+		&pvpython.Runner{DataDir: outDir, OutDir: outDir + "/replay"},
+		chatvis.WithRewrite(false), // replay ignores the prompt anyway
+		chatvis.WithFewShot(-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := assistant.Run(context.Background(), "replay the clipped isosurface script")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := metrics.Snapshot()
+	fmt.Printf("replay backend: success=%v in %d iteration(s); %d LLM calls, %d cache hits\n",
+		art.Success, art.NumIterations(), s.Calls, s.CacheHits)
 }

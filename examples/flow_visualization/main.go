@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/eval"
@@ -28,19 +30,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	assistant, err := chatvis.NewAssistant(chatvis.Options{
-		Model:  model,
-		Runner: &pvpython.Runner{DataDir: dataDir, OutDir: outDir},
-	})
+	assistant, err := chatvis.NewAssistant(model,
+		&pvpython.Runner{DataDir: dataDir, OutDir: outDir})
 	if err != nil {
 		log.Fatal(err)
 	}
-	art, err := assistant.Run(prompt)
+	art, err := assistant.Run(context.Background(), prompt)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("correction loop ran %d iteration(s)\n\n", art.NumIterations())
+	fmt.Printf("correction loop ran %d iteration(s) in %v (%d LLM calls, %d tokens)\n\n",
+		art.NumIterations(), art.Trace.TotalDuration().Round(time.Microsecond),
+		art.Trace.LLMCalls(), art.Trace.TotalUsage().TotalTokens())
 	for i, it := range art.Iterations {
 		fmt.Printf("--- iteration %d ---\n", i+1)
 		if len(it.Errors) == 0 {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	fmt.Println("user prompt:")
 	fmt.Println(" ", scn.UserPrompt(cfg.Width, cfg.Height))
 
-	fig, err := cfg.RunFigure(scn)
+	fig, err := cfg.RunFigure(context.Background(), scn)
 	if err != nil {
 		log.Fatal(err)
 	}

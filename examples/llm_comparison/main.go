@@ -1,15 +1,18 @@
-// LLM comparison (a one-task slice of the paper's Table II): run ChatVis
-// and every unassisted model on the Delaunay task and print the grid row.
+// LLM comparison (a one-task slice of the paper's Table II): sweep
+// ChatVis and every unassisted model over the Delaunay task with the
+// concurrent grid runner and print the row plus per-session stats.
 //
 //	go run ./examples/llm_comparison
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"chatvis/internal/eval"
-	"chatvis/internal/llm"
 )
 
 func main() {
@@ -21,21 +24,24 @@ func main() {
 	}
 	scn, _ := eval.ScenarioByID("delaunay")
 	fmt.Printf("task: %s\n\n", scn.Row)
-	fmt.Printf("%-16s %-10s %-12s %s\n", "model", "error?", "screenshot?", "first error")
 
-	cell, _, err := cfg.RunChatVis(scn)
+	// One grid row: scenarios × models in a worker pool, reference image
+	// rendered once and shared.
+	start := time.Now()
+	t2, err := cfg.RunGridOpts(context.Background(), eval.GridOptions{
+		Workers:          2 * runtime.NumCPU(),
+		ShareGroundTruth: true,
+		Scenarios:        []eval.Scenario{scn},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	printRow("ChatVis", cell)
-
-	for _, m := range llm.PaperModels() {
-		cell, _, err := cfg.RunUnassisted(m, scn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		printRow(m, cell)
+	fmt.Printf("%-16s %-10s %-12s %-12s %-8s %s\n",
+		"model", "error?", "screenshot?", "duration", "tokens", "first error")
+	for _, m := range t2.Models {
+		printRow(m, t2.Cells[scn.Row][m])
 	}
+	fmt.Printf("\nswept %d models in %v\n", len(t2.Models), time.Since(start).Round(time.Millisecond))
 }
 
 func printRow(name string, c eval.CellResult) {
@@ -45,5 +51,7 @@ func printRow(name string, c eval.CellResult) {
 		}
 		return "no"
 	}
-	fmt.Printf("%-16s %-10s %-12s %s\n", name, yn(!c.ErrorFree), yn(c.Screenshot), c.FirstError)
+	fmt.Printf("%-16s %-10s %-12s %-12s %-8d %s\n",
+		name, yn(!c.ErrorFree), yn(c.Screenshot),
+		c.Duration.Round(time.Microsecond), c.Usage.TotalTokens(), c.FirstError)
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Workspace: datasets in ./example_out/data, results next to them.
 	dataDir := "example_out/data"
 	outDir := "example_out/quickstart"
@@ -28,12 +30,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	assistant, err := chatvis.NewAssistant(chatvis.Options{
-		Model:         model,
-		Runner:        &pvpython.Runner{DataDir: dataDir, OutDir: outDir},
-		MaxIterations: 5,
-		RewritePrompt: true,
-	})
+	assistant, err := chatvis.NewAssistant(model,
+		&pvpython.Runner{DataDir: dataDir, OutDir: outDir},
+		chatvis.WithMaxIterations(5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +42,7 @@ func main() {
 		`Save a screenshot of the result in the filename quickstart.png. ` +
 		`The rendered view and saved screenshot should be 640 x 360 pixels.`
 
-	art, err := assistant.Run(prompt)
+	art, err := assistant.Run(ctx, prompt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,4 +57,6 @@ func main() {
 	}
 	fmt.Printf("done in %d iteration(s); screenshots: %v\n",
 		art.NumIterations(), art.Screenshots)
+	fmt.Println("--- session trace ---")
+	fmt.Print(art.Trace.Format())
 }

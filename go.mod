@@ -1,0 +1,3 @@
+module chatvis
+
+go 1.22

@@ -12,38 +12,22 @@
 //     error messages are extracted from the output and fed back to the
 //     LLM, which revises the script. The loop repeats until the script
 //     executes cleanly or the iteration budget is exhausted.
+//
+// Every session is traced: the Artifact records each stage's duration,
+// token usage and cache provenance (see Trace), and the whole run is
+// cancellable through its context.
 package chatvis
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"chatvis/internal/errext"
 	"chatvis/internal/llm"
 	"chatvis/internal/pvpython"
 )
-
-// Options configures an Assistant.
-type Options struct {
-	// Model is the LLM backing all three stages (the paper uses GPT-4).
-	Model llm.Client
-	// Runner executes generated scripts (the simulated pvpython).
-	Runner *pvpython.Runner
-	// MaxIterations bounds the correction loop (default 5).
-	MaxIterations int
-	// FewShot truncates the example library to its first n entries;
-	// 0 means the full library and a negative value disables examples
-	// entirely. Used by the ablation bench.
-	FewShot int
-	// RewritePrompt enables the prompt-generation stage (default true via
-	// NewAssistant; the ablation bench switches it off).
-	RewritePrompt bool
-	// APIReference, when non-empty, is appended to the generation prompt
-	// as documentation-based grounding (the paper's proposed alternative
-	// to few-shot snippets: teaching the model ParaView's real function
-	// calls). Obtain it from pvsim's Engine.APIReference().Format().
-	APIReference string
-}
 
 // Iteration records one pass of the correction loop.
 type Iteration struct {
@@ -66,6 +50,9 @@ type Artifact struct {
 	Screenshots []string
 	// Success reports whether the final script executed without error.
 	Success bool
+	// Trace records every stage of the session (LLM calls and script
+	// executions) with durations, usage and cache provenance.
+	Trace Trace
 }
 
 // NumIterations returns how many executions the loop needed.
@@ -73,21 +60,26 @@ func (a *Artifact) NumIterations() int { return len(a.Iterations) }
 
 // Assistant is the ChatVis agent.
 type Assistant struct {
-	opt Options
+	model  llm.Client
+	runner *pvpython.Runner
+	opt    options
 }
 
-// NewAssistant builds an assistant with defaults filled in.
-func NewAssistant(opt Options) (*Assistant, error) {
-	if opt.Model == nil {
-		return nil, fmt.Errorf("chatvis: Options.Model is required")
+// NewAssistant builds an assistant over a model and a script runner.
+// Behaviour is tuned with functional options: WithMaxIterations,
+// WithFewShot, WithRewrite, WithAPIReference.
+func NewAssistant(model llm.Client, runner *pvpython.Runner, opts ...Option) (*Assistant, error) {
+	if model == nil {
+		return nil, fmt.Errorf("chatvis: model is required")
 	}
-	if opt.Runner == nil {
-		return nil, fmt.Errorf("chatvis: Options.Runner is required")
+	if runner == nil {
+		return nil, fmt.Errorf("chatvis: runner is required")
 	}
-	if opt.MaxIterations <= 0 {
-		opt.MaxIterations = 5
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return &Assistant{opt: opt}, nil
+	return &Assistant{model: model, runner: runner, opt: o}, nil
 }
 
 // rewriteSystem is the stage-1 instruction (its phrasing carries the
@@ -111,14 +103,37 @@ The previously generated script failed to execute. Use the error messages
 extracted from the PvPython output to fix the code and return the full
 corrected script.`
 
-// Run executes the full ChatVis flow for one user request.
-func (a *Assistant) Run(userPrompt string) (*Artifact, error) {
+// complete performs one traced LLM call.
+func (a *Assistant) complete(ctx context.Context, trace *Trace, stage string, req llm.Request) (string, error) {
+	start := time.Now()
+	resp, err := a.model.Complete(ctx, req)
+	if err != nil {
+		return "", err
+	}
+	trace.addLLM(stage, resp, time.Since(start))
+	return resp.Text, nil
+}
+
+// exec performs one traced script execution.
+func (a *Assistant) exec(trace *Trace, round int, script string) *pvpython.Result {
+	start := time.Now()
+	res := a.runner.Exec(script)
+	trace.add(StageTrace{
+		Stage:    fmt.Sprintf("%s-%d", StageExec, round),
+		Duration: time.Since(start),
+	})
+	return res
+}
+
+// Run executes the full ChatVis flow for one user request. The context
+// cancels the session between stages and inside the model's calls.
+func (a *Assistant) Run(ctx context.Context, userPrompt string) (*Artifact, error) {
 	art := &Artifact{UserPrompt: userPrompt}
 
 	// Stage 1: prompt generation.
 	genPrompt := userPrompt
-	if a.opt.RewritePrompt {
-		resp, err := a.opt.Model.Complete(llm.Request{
+	if a.opt.rewritePrompt {
+		resp, err := a.complete(ctx, &art.Trace, StageRewrite, llm.Request{
 			System: rewriteSystem + "\n\n" + ExamplePromptPair,
 			User:   userPrompt,
 		})
@@ -134,21 +149,24 @@ func (a *Assistant) Run(userPrompt string) (*Artifact, error) {
 	if block := a.exampleBlock(); block != "" {
 		genSys = fmt.Sprintf(generateSystem, block)
 	}
-	if a.opt.APIReference != "" {
-		genSys += "\n\nComplete API documentation:\n" + a.opt.APIReference
+	if a.opt.apiReference != "" {
+		genSys += "\n\nComplete API documentation:\n" + a.opt.apiReference
 	}
-	script, err := a.opt.Model.Complete(llm.Request{
+	resp, err := a.complete(ctx, &art.Trace, StageGenerate, llm.Request{
 		System: genSys,
 		User:   genPrompt,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chatvis: script generation: %w", err)
 	}
-	script = CleanScript(script)
+	script := CleanScript(resp)
 
 	// Stage 3: execute, extract errors, repair.
-	for iter := 0; iter < a.opt.MaxIterations; iter++ {
-		res := a.opt.Runner.Exec(script)
+	for iter := 0; iter < a.opt.maxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("chatvis: correction loop: %w", err)
+		}
+		res := a.exec(&art.Trace, iter+1, script)
 		reports := errext.Extract(res.Output)
 		art.Iterations = append(art.Iterations, Iteration{
 			Script: script,
@@ -161,10 +179,11 @@ func (a *Assistant) Run(userPrompt string) (*Artifact, error) {
 			art.Screenshots = res.Screenshots
 			return art, nil
 		}
-		resp, err := a.opt.Model.Complete(llm.Request{
-			System: repairSystem,
-			User:   llm.BuildRepairUser(script, errext.Summarize(reports)),
-		})
+		resp, err := a.complete(ctx, &art.Trace,
+			fmt.Sprintf("%s-%d", StageRepair, iter+1), llm.Request{
+				System: repairSystem,
+				User:   llm.BuildRepairUser(script, errext.Summarize(reports)),
+			})
 		if err != nil {
 			return nil, fmt.Errorf("chatvis: script repair: %w", err)
 		}
@@ -179,14 +198,14 @@ func (a *Assistant) Run(userPrompt string) (*Artifact, error) {
 }
 
 // exampleBlock renders the (possibly truncated) example library. An empty
-// string means "no examples" (FewShot < 0).
+// string means "no examples" (fewShot < 0).
 func (a *Assistant) exampleBlock() string {
-	if a.opt.FewShot < 0 {
+	if a.opt.fewShot < 0 {
 		return ""
 	}
 	examples := DefaultExamples()
-	if a.opt.FewShot > 0 && a.opt.FewShot < len(examples) {
-		examples = examples[:a.opt.FewShot]
+	if a.opt.fewShot > 0 && a.opt.fewShot < len(examples) {
+		examples = examples[:a.opt.fewShot]
 	}
 	var b strings.Builder
 	for _, ex := range examples {
@@ -198,24 +217,59 @@ func (a *Assistant) exampleBlock() string {
 
 // CleanScript strips chat artifacts (markdown fences, leading prose) from
 // a model response, keeping the Python payload.
+//
+// Balanced fences keep exactly the fenced content. An unterminated final
+// fence (models often drop the closer when truncated) keeps everything
+// after it; a response whose fences delimit no content at all (e.g. a
+// stray lone closer after the payload) falls back to dropping just the
+// fence lines so the payload survives.
 func CleanScript(resp string) string {
 	lines := strings.Split(resp, "\n")
+	if !strings.Contains(resp, "```") {
+		return ensureTrailingNewline(resp)
+	}
 	var out []string
 	inFence := false
-	sawFence := strings.Contains(resp, "```")
+	fencesLeft := 0
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "```") {
+			fencesLeft++
+		}
+	}
 	for _, l := range lines {
 		t := strings.TrimSpace(l)
 		if strings.HasPrefix(t, "```") {
+			fencesLeft--
+			if !inFence && fencesLeft == 0 {
+				// Final fence with no closer to come: treat it as an
+				// unterminated opener and keep the rest of the response.
+				inFence = true
+				continue
+			}
 			inFence = !inFence
 			continue
 		}
-		if sawFence && !inFence {
+		if !inFence {
 			// Outside fences in a fenced response: prose, drop it.
 			continue
 		}
 		out = append(out, l)
 	}
-	s := strings.Join(out, "\n")
+	if len(strings.TrimSpace(strings.Join(out, "\n"))) == 0 {
+		// The fences delimited nothing (e.g. a lone trailing closer after
+		// the payload): keep everything except the fence lines.
+		out = out[:0]
+		for _, l := range lines {
+			if strings.HasPrefix(strings.TrimSpace(l), "```") {
+				continue
+			}
+			out = append(out, l)
+		}
+	}
+	return ensureTrailingNewline(strings.Join(out, "\n"))
+}
+
+func ensureTrailingNewline(s string) string {
 	if !strings.HasSuffix(s, "\n") {
 		s += "\n"
 	}
@@ -224,20 +278,25 @@ func CleanScript(resp string) string {
 
 // Unassisted runs a bare model on the raw user prompt with no prompt
 // rewriting, no examples and no correction loop — the paper's comparison
-// condition for GPT-4 and the other LLMs.
-func Unassisted(model llm.Client, runner *pvpython.Runner, userPrompt string) (*Artifact, error) {
+// condition for GPT-4 and the other LLMs. The artifact's trace records
+// the single generate and exec stages.
+func Unassisted(ctx context.Context, model llm.Client, runner *pvpython.Runner, userPrompt string) (*Artifact, error) {
 	art := &Artifact{UserPrompt: userPrompt, GeneratedPrompt: userPrompt}
-	resp, err := model.Complete(llm.Request{
+	start := time.Now()
+	resp, err := model.Complete(ctx, llm.Request{
 		System: "Generate a ParaView Python script for the user's request.",
 		User:   userPrompt,
 	})
 	if err != nil {
 		return nil, err
 	}
+	art.Trace.addLLM(StageGenerate, resp, time.Since(start))
 	// No assistant post-processing: the raw response runs as-is, which is
 	// how markdown fences become syntax errors.
-	script := resp
+	script := resp.Text
+	execStart := time.Now()
 	res := runner.Exec(script)
+	art.Trace.add(StageTrace{Stage: StageExec + "-1", Duration: time.Since(execStart)})
 	reports := errext.Extract(res.Output)
 	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports}}
 	art.FinalScript = script

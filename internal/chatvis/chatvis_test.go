@@ -1,6 +1,7 @@
 package chatvis
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -46,12 +47,7 @@ func newAssistant(t *testing.T, modelName string) *Assistant {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := NewAssistant(Options{
-		Model:         model,
-		Runner:        testRunner(t),
-		MaxIterations: 5,
-		RewritePrompt: true,
-	})
+	a, err := NewAssistant(model, testRunner(t), WithMaxIterations(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +60,7 @@ func TestChatVisSucceedsOnAllFiveTasks(t *testing.T) {
 	for task, prompt := range testPrompts() {
 		t.Run(task, func(t *testing.T) {
 			a := newAssistant(t, "gpt-4")
-			art, err := a.Run(prompt)
+			art, err := a.Run(context.Background(), prompt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,7 +88,7 @@ func TestChatVisLoopDoesRealWork(t *testing.T) {
 	multi := 0
 	for task, prompt := range testPrompts() {
 		a := newAssistant(t, "gpt-4")
-		art, err := a.Run(prompt)
+		art, err := a.Run(context.Background(), prompt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +126,7 @@ func TestUnassistedGPT4MatchesPaper(t *testing.T) {
 	}
 	for task, prompt := range testPrompts() {
 		runner := testRunner(t)
-		art, err := Unassisted(model, runner, prompt)
+		art, err := Unassisted(context.Background(), model, runner, prompt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +145,7 @@ func TestUnassistedWeakModelsAllSyntaxError(t *testing.T) {
 		model, _ := llm.NewModel(name)
 		for task, prompt := range testPrompts() {
 			runner := testRunner(t)
-			art, err := Unassisted(model, runner, prompt)
+			art, err := Unassisted(context.Background(), model, runner, prompt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,7 +175,7 @@ func TestUnassistedWeakModelsAllSyntaxError(t *testing.T) {
 func TestUnassistedGPT4StreamlineMatchesTableI(t *testing.T) {
 	model, _ := llm.NewModel("gpt-4")
 	runner := testRunner(t)
-	art, err := Unassisted(model, runner, testPrompts()["streamlines"])
+	art, err := Unassisted(context.Background(), model, runner, testPrompts()["streamlines"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +201,7 @@ func TestUnassistedGPT4StreamlineMatchesTableI(t *testing.T) {
 // models too — but models with no repair skill stall.
 func TestChatVisAssistsWeakerModels(t *testing.T) {
 	a := newAssistant(t, "gpt-3.5-turbo")
-	art, err := a.Run(testPrompts()["isosurface"])
+	art, err := a.Run(context.Background(), testPrompts()["isosurface"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +211,7 @@ func TestChatVisAssistsWeakerModels(t *testing.T) {
 	// llama3 (repair skill 0) cannot progress: loop stops early without
 	// success.
 	b := newAssistant(t, "llama3-8b")
-	art2, err := b.Run(testPrompts()["isosurface"])
+	art2, err := b.Run(context.Background(), testPrompts()["isosurface"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,32 +226,162 @@ func TestChatVisAssistsWeakerModels(t *testing.T) {
 	}
 }
 
-func TestMaxIterationsZeroValueDefaults(t *testing.T) {
+func TestAssistantDefaults(t *testing.T) {
 	model, _ := llm.NewModel("oracle")
-	a, err := NewAssistant(Options{Model: model, Runner: testRunner(t)})
+	a, err := NewAssistant(model, testRunner(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.opt.MaxIterations != 5 {
-		t.Errorf("default MaxIterations = %d", a.opt.MaxIterations)
+	if a.opt.maxIterations != 5 {
+		t.Errorf("default maxIterations = %d", a.opt.maxIterations)
 	}
-	if _, err := NewAssistant(Options{Runner: testRunner(t)}); err == nil {
+	if !a.opt.rewritePrompt {
+		t.Error("rewrite should default on")
+	}
+	if _, err := NewAssistant(nil, testRunner(t)); err == nil {
 		t.Error("missing model should error")
 	}
-	if _, err := NewAssistant(Options{Model: model}); err == nil {
+	if _, err := NewAssistant(model, nil); err == nil {
 		t.Error("missing runner should error")
+	}
+	// Options apply and clamp.
+	b, err := NewAssistant(model, testRunner(t),
+		WithMaxIterations(0), WithFewShot(-1), WithRewrite(false), WithAPIReference("docs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.opt.maxIterations != 1 {
+		t.Errorf("WithMaxIterations(0) should clamp to 1, got %d", b.opt.maxIterations)
+	}
+	if b.opt.fewShot != -1 || b.opt.rewritePrompt || b.opt.apiReference != "docs" {
+		t.Errorf("options not applied: %+v", b.opt)
 	}
 }
 
 func TestCleanScript(t *testing.T) {
-	in := "Here is your script:\n```python\nx = 1\n```\nHope this helps!\n"
-	out := CleanScript(in)
-	if out != "x = 1\n" {
-		t.Errorf("CleanScript = %q", out)
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			name: "fenced with surrounding prose",
+			in:   "Here is your script:\n```python\nx = 1\n```\nHope this helps!\n",
+			want: "x = 1\n",
+		},
+		{
+			name: "plain script passes through",
+			in:   "x = 1\n",
+			want: "x = 1\n",
+		},
+		{
+			name: "plain script gains trailing newline",
+			in:   "x = 1",
+			want: "x = 1\n",
+		},
+		{
+			name: "unterminated opening fence keeps the payload",
+			in:   "Sure, here you go:\n```python\nx = 1\ny = 2\n",
+			want: "x = 1\ny = 2\n",
+		},
+		{
+			name: "stray lone closing fence keeps the payload",
+			in:   "x = 1\ny = 2\n```\n",
+			want: "x = 1\ny = 2\n",
+		},
+		{
+			name: "two blocks keep both payloads",
+			in:   "First:\n```\nx = 1\n```\nthen:\n```\ny = 2\n```\ndone\n",
+			want: "x = 1\ny = 2\n",
+		},
+		{
+			name: "balanced pair plus unterminated trailer",
+			in:   "```\nx = 1\n```\nand also:\n```python\ny = 2\n",
+			want: "x = 1\ny = 2\n",
+		},
+		{
+			name: "empty response",
+			in:   "",
+			want: "\n",
+		},
 	}
-	plain := "x = 1\n"
-	if CleanScript(plain) != plain {
-		t.Error("plain scripts must pass through")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CleanScript(tc.in); got != tc.want {
+				t.Errorf("CleanScript(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestArtifactTraceRecordsStages: every session carries a per-stage trace
+// with durations and usage — the substrate the eval grid and the CLIs
+// surface.
+func TestArtifactTraceRecordsStages(t *testing.T) {
+	a := newAssistant(t, "gpt-4")
+	art, err := a.Run(context.Background(), testPrompts()["streamlines"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Trace.Stages) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if art.Trace.Stages[0].Stage != StageRewrite {
+		t.Errorf("first stage = %q, want rewrite", art.Trace.Stages[0].Stage)
+	}
+	if art.Trace.Stages[1].Stage != StageGenerate {
+		t.Errorf("second stage = %q, want generate", art.Trace.Stages[1].Stage)
+	}
+	execs, repairs := 0, 0
+	for _, s := range art.Trace.Stages {
+		if strings.HasPrefix(s.Stage, StageExec) {
+			execs++
+			if s.Model != "" || s.Usage.TotalTokens() != 0 {
+				t.Errorf("exec stage carries LLM fields: %+v", s)
+			}
+		}
+		if strings.HasPrefix(s.Stage, StageRepair+"-") {
+			repairs++
+		}
+		if s.Model != "" {
+			if s.Model != "gpt-4" {
+				t.Errorf("stage model = %q", s.Model)
+			}
+			if s.Usage.CompletionTokens == 0 {
+				t.Errorf("LLM stage %s has no completion usage", s.Stage)
+			}
+		}
+	}
+	if execs != art.NumIterations() {
+		t.Errorf("exec stages = %d, iterations = %d", execs, art.NumIterations())
+	}
+	if repairs != art.NumIterations()-1 {
+		t.Errorf("repair stages = %d for %d iterations", repairs, art.NumIterations())
+	}
+	if art.Trace.TotalUsage().TotalTokens() == 0 {
+		t.Error("total usage empty")
+	}
+	if art.Trace.LLMCalls() != 2+repairs {
+		t.Errorf("LLM calls = %d, want %d", art.Trace.LLMCalls(), 2+repairs)
+	}
+	text := art.Trace.Format()
+	for _, want := range []string{"rewrite", "generate", "exec-1", "total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunHonoursCancelledContext: a cancelled context aborts the session.
+func TestRunHonoursCancelledContext(t *testing.T) {
+	a := newAssistant(t, "gpt-4")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Run(ctx, testPrompts()["isosurface"]); err == nil {
+		t.Error("cancelled context should abort Run")
+	}
+	if _, err := Unassisted(ctx, a.model, a.runner, "prompt"); err == nil {
+		t.Error("cancelled context should abort Unassisted")
 	}
 }
 
@@ -275,7 +401,7 @@ func TestExampleLibraryCoversAllOps(t *testing.T) {
 func TestOracleOneShotsEverything(t *testing.T) {
 	for task, prompt := range testPrompts() {
 		a := newAssistant(t, "oracle")
-		art, err := a.Run(prompt)
+		art, err := a.Run(context.Background(), prompt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,18 +419,14 @@ func TestAPIReferenceGroundsWithoutExamples(t *testing.T) {
 	model, _ := llm.NewModel("gpt-4")
 	runner := testRunner(t)
 	apiRef := pvsim.NewEngine("", "").APIReference().Format()
-	a, err := NewAssistant(Options{
-		Model:         model,
-		Runner:        runner,
-		MaxIterations: 5,
-		FewShot:       -1, // no examples at all
-		RewritePrompt: true,
-		APIReference:  apiRef,
-	})
+	a, err := NewAssistant(model, runner,
+		WithMaxIterations(5),
+		WithFewShot(-1), // no examples at all
+		WithAPIReference(apiRef))
 	if err != nil {
 		t.Fatal(err)
 	}
-	art, err := a.Run(testPrompts()["streamlines"])
+	art, err := a.Run(context.Background(), testPrompts()["streamlines"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +447,7 @@ func TestChatVisHandlesThresholdTask(t *testing.T) {
 		`View the result in an isometric view. Save a screenshot of the result in the ` +
 		`filename 'disk-threshold.png'. The rendered view and saved screenshot should be 320 x 180 pixels.`
 	a := newAssistant(t, "gpt-4")
-	art, err := a.Run(prompt)
+	art, err := a.Run(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +474,7 @@ func TestUnassistedThresholdRepair(t *testing.T) {
 		`filename 'disk-threshold.png'. The rendered view and saved screenshot should be 320 x 180 pixels.`
 	model, _ := llm.NewModel("gpt-4")
 	runner := testRunner(t)
-	art, err := Unassisted(model, runner, prompt)
+	art, err := Unassisted(context.Background(), model, runner, prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,17 +485,13 @@ func TestUnassistedThresholdRepair(t *testing.T) {
 		t.Fatalf("expected the deprecated-property hallucination:\n%s", art.FinalScript)
 	}
 	// Now with the loop: the repair must translate the deprecated call.
-	a, err := NewAssistant(Options{
-		Model:         model,
-		Runner:        testRunner(t),
-		MaxIterations: 5,
-		FewShot:       -1, // no examples: force the hallucination path
-		RewritePrompt: true,
-	})
+	a, err := NewAssistant(model, testRunner(t),
+		WithMaxIterations(5),
+		WithFewShot(-1)) // no examples: force the hallucination path
 	if err != nil {
 		t.Fatal(err)
 	}
-	art2, err := a.Run(prompt)
+	art2, err := a.Run(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,60 @@
+package chatvis
+
+// options is the resolved assistant configuration; callers set it through
+// functional Options so defaults can evolve without breaking call sites.
+type options struct {
+	// maxIterations bounds the correction loop.
+	maxIterations int
+	// fewShot truncates the example library to its first n entries;
+	// 0 means the full library and a negative value disables examples
+	// entirely (the ablation bench's knob).
+	fewShot int
+	// rewritePrompt enables the prompt-generation stage.
+	rewritePrompt bool
+	// apiReference, when non-empty, is appended to the generation prompt
+	// as documentation-based grounding.
+	apiReference string
+}
+
+func defaultOptions() options {
+	return options{
+		maxIterations: 5,
+		fewShot:       0,
+		rewritePrompt: true,
+	}
+}
+
+// Option configures an Assistant.
+type Option func(*options)
+
+// WithMaxIterations bounds the error-correction loop (default 5; values
+// < 1 are coerced to 1 so the script always executes at least once).
+func WithMaxIterations(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			n = 1
+		}
+		o.maxIterations = n
+	}
+}
+
+// WithFewShot truncates the example library to its first n snippets.
+// 0 keeps the full library; a negative value disables examples entirely
+// (the ablation setting).
+func WithFewShot(n int) Option {
+	return func(o *options) { o.fewShot = n }
+}
+
+// WithRewrite toggles the prompt-generation stage (default on; the
+// ablation bench switches it off).
+func WithRewrite(enabled bool) Option {
+	return func(o *options) { o.rewritePrompt = enabled }
+}
+
+// WithAPIReference appends full API documentation to the generation
+// prompt — the paper's proposed alternative to few-shot snippets
+// (teaching the model ParaView's real function calls). Obtain it from
+// pvsim's Engine.APIReference().Format().
+func WithAPIReference(ref string) Option {
+	return func(o *options) { o.apiReference = ref }
+}

@@ -1,0 +1,112 @@
+package chatvis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"chatvis/internal/llm"
+)
+
+// Stage names recorded in a Trace. Repair and exec stages carry a 1-based
+// round suffix ("repair-2", "exec-2").
+const (
+	StageRewrite  = "rewrite"
+	StageGenerate = "generate"
+	StageRepair   = "repair"
+	StageExec     = "exec"
+)
+
+// StageTrace is one timed step of an assistant session: an LLM call
+// (rewrite / generate / repair-N, with usage and cache provenance) or a
+// script execution (exec-N, duration only).
+type StageTrace struct {
+	// Stage names the step ("rewrite", "generate", "repair-1", "exec-1").
+	Stage string
+	// Model is the client that served an LLM stage (empty for exec).
+	Model string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+	// Usage is the LLM usage (zero for exec stages).
+	Usage llm.Usage
+	// CacheHit marks LLM stages served from a response cache.
+	CacheHit bool
+	// Attempts counts retries the stage's LLM call consumed (0 for exec).
+	Attempts int
+}
+
+// Trace is the per-stage record of one assistant session, in execution
+// order.
+type Trace struct {
+	Stages []StageTrace
+}
+
+func (t *Trace) add(s StageTrace) { t.Stages = append(t.Stages, s) }
+
+// addLLM records a completed LLM stage from its response.
+func (t *Trace) addLLM(stage string, resp llm.Response, elapsed time.Duration) {
+	t.add(StageTrace{
+		Stage:    stage,
+		Model:    resp.Model,
+		Duration: elapsed,
+		Usage:    resp.Usage,
+		CacheHit: resp.CacheHit,
+		Attempts: resp.Attempts,
+	})
+}
+
+// TotalDuration sums all stage durations.
+func (t *Trace) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, s := range t.Stages {
+		d += s.Duration
+	}
+	return d
+}
+
+// TotalUsage sums LLM usage across stages.
+func (t *Trace) TotalUsage() llm.Usage {
+	var u llm.Usage
+	for _, s := range t.Stages {
+		u = u.Add(s.Usage)
+	}
+	return u
+}
+
+// LLMCalls counts the stages that reached (or were served for) the model.
+func (t *Trace) LLMCalls() int {
+	n := 0
+	for _, s := range t.Stages {
+		if s.Model != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders the trace as an aligned per-stage table.
+func (t *Trace) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %12s %8s %8s %s\n",
+		"stage", "model", "duration", "tokens", "chars", "notes")
+	for _, s := range t.Stages {
+		notes := ""
+		if s.CacheHit {
+			notes = "cache-hit"
+		}
+		if s.Attempts > 1 {
+			if notes != "" {
+				notes += " "
+			}
+			notes += fmt.Sprintf("attempts=%d", s.Attempts)
+		}
+		fmt.Fprintf(&b, "%-12s %-14s %12s %8d %8d %s\n",
+			s.Stage, s.Model, s.Duration.Round(time.Microsecond),
+			s.Usage.TotalTokens(), s.Usage.PromptChars+s.Usage.CompletionChars, notes)
+	}
+	u := t.TotalUsage()
+	fmt.Fprintf(&b, "%-12s %-14s %12s %8d %8d\n",
+		"total", "", t.TotalDuration().Round(time.Microsecond),
+		u.TotalTokens(), u.PromptChars+u.CompletionChars)
+	return b.String()
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,7 +78,7 @@ func TestEnsureDataWritesOnceAndSkips(t *testing.T) {
 func TestRunChatVisOnIso(t *testing.T) {
 	c := testConfig(t)
 	scn, _ := ScenarioByID("iso")
-	cell, art, err := c.RunChatVis(scn)
+	cell, art, err := c.RunChatVis(context.Background(), scn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestRunChatVisOnIso(t *testing.T) {
 func TestRunUnassistedGPT4VolumeIsBlank(t *testing.T) {
 	c := testConfig(t)
 	scn, _ := ScenarioByID("volume")
-	cell, _, err := c.RunUnassisted("gpt-4", scn)
+	cell, _, err := c.RunUnassisted(context.Background(), "gpt-4", scn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestRunTable2ShapeMatchesPaper(t *testing.T) {
 		t.Skip("full grid is slow")
 	}
 	c := testConfig(t)
-	t2, err := c.RunTable2()
+	t2, err := c.RunTable2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestRunTable2ShapeMatchesPaper(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	c := testConfig(t)
-	t1, err := c.RunTable1()
+	t1, err := c.RunTable1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestRunTable1(t *testing.T) {
 func TestRunFigureIso(t *testing.T) {
 	c := testConfig(t)
 	scn, _ := ScenarioByID("iso")
-	fr, err := c.RunFigure(scn)
+	fr, err := c.RunFigure(context.Background(), scn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,16 +216,16 @@ func TestWriteReport(t *testing.T) {
 		t.Skip("slow")
 	}
 	c := testConfig(t)
-	t2, err := c.RunTable2()
+	t2, err := c.RunTable2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t1, err := c.RunTable1()
+	t1, err := c.RunTable1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	scn, _ := ScenarioByID("iso")
-	fig, err := c.RunFigure(scn)
+	fig, err := c.RunFigure(context.Background(), scn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,15 +248,15 @@ func TestWriteReport(t *testing.T) {
 func TestScriptScoreRanksModels(t *testing.T) {
 	c := testConfig(t)
 	scn, _ := ScenarioByID("stream")
-	cv, _, err := c.RunChatVis(scn)
+	cv, _, err := c.RunChatVis(context.Background(), scn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g4, _, err := c.RunUnassisted("gpt-4", scn)
+	g4, _, err := c.RunUnassisted(context.Background(), "gpt-4", scn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	weak, _, err := c.RunUnassisted("llama3-8b", scn)
+	weak, _, err := c.RunUnassisted(context.Background(), "llama3-8b", scn)
 	if err != nil {
 		t.Fatal(err)
 	}

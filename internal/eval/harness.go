@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"image"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/imgcmp"
@@ -14,6 +16,10 @@ import (
 	"chatvis/internal/render"
 	"chatvis/internal/scriptcmp"
 )
+
+// ChatVisModel is the grid column name for the assisted condition (the
+// paper's own system, backed by gpt-4).
+const ChatVisModel = "ChatVis"
 
 // Config drives a harness run.
 type Config struct {
@@ -68,30 +74,34 @@ type CellResult struct {
 	ScriptScore scriptcmp.Score
 	// FirstError summarizes the first extracted error, if any.
 	FirstError string
+	// Duration is the session's summed stage wall-clock time, from the
+	// artifact trace.
+	Duration time.Duration
+	// Usage is the session's summed LLM usage, from the artifact trace.
+	Usage llm.Usage
+	// LLMCalls counts model invocations the session consumed.
+	LLMCalls int
 }
 
-// groundTruthDir runs the reference script for a scenario and returns the
-// rendered image.
-func (c Config) groundTruth(scn Scenario) (image.Image, string, error) {
-	gtOut := filepath.Join(c.OutDir, "ground_truth")
+// groundTruth runs the reference script for a scenario and returns the
+// rendered image. Output goes to a per-scenario directory so concurrent
+// renders of different scenarios never share a working dir.
+func (c Config) groundTruth(scn Scenario) (image.Image, error) {
+	gtOut := filepath.Join(c.OutDir, "ground_truth", scn.ID)
 	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: gtOut}
 	res := runner.Exec(scn.GroundTruthScript(c.Width, c.Height))
 	if !res.OK() {
-		return nil, "", fmt.Errorf("eval: ground truth for %s failed:\n%s", scn.ID, res.Output)
+		return nil, fmt.Errorf("eval: ground truth for %s failed:\n%s", scn.ID, res.Output)
 	}
 	if len(res.Screenshots) == 0 {
-		return nil, "", fmt.Errorf("eval: ground truth for %s produced no screenshot", scn.ID)
+		return nil, fmt.Errorf("eval: ground truth for %s produced no screenshot", scn.ID)
 	}
 	path := res.Screenshots[len(res.Screenshots)-1]
 	img := res.Engine.Rendered[path]
 	if img == nil {
-		loaded, err := render.LoadPNG(path)
-		if err != nil {
-			return nil, "", err
-		}
-		return loaded, path, nil
+		return render.LoadPNG(path)
 	}
-	return img, path, nil
+	return img, nil
 }
 
 // judge compares a produced screenshot against ground truth.
@@ -115,88 +125,87 @@ func judge(gt image.Image, screenshots []string, rendered map[string]*image.RGBA
 	return imgcmp.MatchesGroundTruth(m, gt, img), m
 }
 
-// RunChatVis evaluates the assistant (base model gpt-4) on one scenario.
-func (c Config) RunChatVis(scn Scenario) (CellResult, *chatvis.Artifact, error) {
-	c = c.withDefaults()
-	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
-		return CellResult{}, nil, err
-	}
-	gt, _, err := c.groundTruth(scn)
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	model, err := llm.NewModel("gpt-4")
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	outDir := filepath.Join(c.OutDir, "chatvis", scn.ID)
-	assistant, err := chatvis.NewAssistant(chatvis.Options{
-		Model:         model,
-		Runner:        &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir},
-		MaxIterations: c.MaxIterations,
-		FewShot:       c.FewShot,
-		RewritePrompt: !c.NoRewrite,
-	})
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	art, err := assistant.Run(scn.UserPrompt(c.Width, c.Height))
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	cell := CellResult{
-		Model:      "ChatVis",
-		Task:       scn.Row,
-		ErrorFree:  art.Success,
-		Iterations: art.NumIterations(),
-	}
-	if art.Success {
-		cell.Screenshot, cell.Metrics = judge(gt, art.Screenshots, nil)
-	} else if len(art.Iterations) > 0 && len(art.Iterations[len(art.Iterations)-1].Errors) > 0 {
-		cell.FirstError = art.Iterations[len(art.Iterations)-1].Errors[0].Kind
-	}
-	if score, err := scriptcmp.Compare(art.FinalScript, scn.GroundTruthScript(c.Width, c.Height)); err == nil {
-		cell.ScriptScore = score
-	}
-	return cell, art, nil
-}
-
-// RunUnassisted evaluates a bare model on one scenario.
-func (c Config) RunUnassisted(modelName string, scn Scenario) (CellResult, *chatvis.Artifact, error) {
-	c = c.withDefaults()
-	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
-		return CellResult{}, nil, err
-	}
-	gt, _, err := c.groundTruth(scn)
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	model, err := llm.NewModel(modelName)
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	outDir := filepath.Join(c.OutDir, modelName, scn.ID)
-	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir}
-	art, err := chatvis.Unassisted(model, runner, scn.UserPrompt(c.Width, c.Height))
-	if err != nil {
-		return CellResult{}, nil, err
-	}
-	cell := CellResult{
-		Model:      modelName,
-		Task:       scn.Row,
-		ErrorFree:  art.Success,
-		Iterations: 1,
-	}
+// fillFromArtifact copies the outcome and trace totals of one session
+// into a cell.
+func (cell *CellResult) fillFromArtifact(c Config, scn Scenario, gt image.Image, art *chatvis.Artifact) {
+	cell.ErrorFree = art.Success
+	cell.Iterations = art.NumIterations()
+	cell.Duration = art.Trace.TotalDuration()
+	cell.Usage = art.Trace.TotalUsage()
+	cell.LLMCalls = art.Trace.LLMCalls()
 	if len(art.Screenshots) > 0 {
 		cell.Screenshot, cell.Metrics = judge(gt, art.Screenshots, nil)
 	}
-	if !art.Success && len(art.Iterations) > 0 && len(art.Iterations[0].Errors) > 0 {
-		cell.FirstError = art.Iterations[0].Errors[0].Kind
+	if !art.Success && len(art.Iterations) > 0 {
+		last := art.Iterations[len(art.Iterations)-1]
+		if len(last.Errors) > 0 {
+			cell.FirstError = last.Errors[0].Kind
+		}
 	}
 	if score, err := scriptcmp.Compare(art.FinalScript, scn.GroundTruthScript(c.Width, c.Height)); err == nil {
 		cell.ScriptScore = score
 	}
+}
+
+// runCell evaluates one (model, scenario) grid cell: ChatVisModel runs
+// the assistant, any other name runs the bare model. The ground truth
+// comes from the shared cache; outDir isolates the cell's screenshots.
+func (c Config) runCell(ctx context.Context, scn Scenario, modelName string, gts *groundTruthCache, outDir string) (CellResult, *chatvis.Artifact, error) {
+	gt, err := gts.get(c, scn)
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	cell := CellResult{Model: modelName, Task: scn.Row}
+	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir}
+	var art *chatvis.Artifact
+	if modelName == ChatVisModel {
+		model, err := llm.NewModel("gpt-4")
+		if err != nil {
+			return CellResult{}, nil, err
+		}
+		assistant, err := chatvis.NewAssistant(model, runner,
+			chatvis.WithMaxIterations(c.MaxIterations),
+			chatvis.WithFewShot(c.FewShot),
+			chatvis.WithRewrite(!c.NoRewrite))
+		if err != nil {
+			return CellResult{}, nil, err
+		}
+		art, err = assistant.Run(ctx, scn.UserPrompt(c.Width, c.Height))
+		if err != nil {
+			return CellResult{}, nil, err
+		}
+	} else {
+		model, err := llm.NewModel(modelName)
+		if err != nil {
+			return CellResult{}, nil, err
+		}
+		art, err = chatvis.Unassisted(ctx, model, runner, scn.UserPrompt(c.Width, c.Height))
+		if err != nil {
+			return CellResult{}, nil, err
+		}
+	}
+	cell.fillFromArtifact(c, scn, gt, art)
 	return cell, art, nil
+}
+
+// RunChatVis evaluates the assistant (base model gpt-4) on one scenario.
+func (c Config) RunChatVis(ctx context.Context, scn Scenario) (CellResult, *chatvis.Artifact, error) {
+	c = c.withDefaults()
+	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
+		return CellResult{}, nil, err
+	}
+	return c.runCell(ctx, scn, ChatVisModel, newGroundTruthCache(),
+		filepath.Join(c.OutDir, "chatvis", scn.ID))
+}
+
+// RunUnassisted evaluates a bare model on one scenario.
+func (c Config) RunUnassisted(ctx context.Context, modelName string, scn Scenario) (CellResult, *chatvis.Artifact, error) {
+	c = c.withDefaults()
+	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
+		return CellResult{}, nil, err
+	}
+	return c.runCell(ctx, scn, modelName, newGroundTruthCache(),
+		filepath.Join(c.OutDir, modelName, scn.ID))
 }
 
 // Table2 holds the full comparison grid of the paper's Table II.
@@ -209,30 +218,12 @@ type Table2 struct {
 	Cells map[string]map[string]CellResult
 }
 
-// RunTable2 evaluates ChatVis plus every unassisted model on every task.
-func (c Config) RunTable2() (*Table2, error) {
-	c = c.withDefaults()
-	t2 := &Table2{
-		Models: append([]string{"ChatVis"}, llm.PaperModels()...),
-		Cells:  map[string]map[string]CellResult{},
-	}
-	for _, scn := range Scenarios() {
-		t2.Tasks = append(t2.Tasks, scn.Row)
-		t2.Cells[scn.Row] = map[string]CellResult{}
-		cell, _, err := c.RunChatVis(scn)
-		if err != nil {
-			return nil, fmt.Errorf("eval: chatvis on %s: %w", scn.ID, err)
-		}
-		t2.Cells[scn.Row]["ChatVis"] = cell
-		for _, m := range llm.PaperModels() {
-			cell, _, err := c.RunUnassisted(m, scn)
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s on %s: %w", m, scn.ID, err)
-			}
-			t2.Cells[scn.Row][m] = cell
-		}
-	}
-	return t2, nil
+// RunTable2 evaluates ChatVis plus every unassisted model on every task
+// with the paper's original serial sweep: one cell at a time, ground
+// truth re-rendered per cell. It is the baseline the concurrent grid
+// runner (RunGrid) is benchmarked against.
+func (c Config) RunTable2(ctx context.Context) (*Table2, error) {
+	return c.RunGridOpts(ctx, GridOptions{Workers: 1, ShareGroundTruth: false})
 }
 
 // Format renders the grid in the paper's layout: per model, an Error
@@ -267,6 +258,23 @@ func (t *Table2) Format() string {
 	return b.String()
 }
 
+// FormatStats renders the per-cell session traces: duration, LLM calls
+// and token usage for every grid cell.
+func (t *Table2) FormatStats() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-14s %12s %6s %8s %6s\n",
+		"task", "model", "duration", "calls", "tokens", "iters")
+	for _, task := range t.Tasks {
+		for _, m := range t.Models {
+			cell := t.Cells[task][m]
+			fmt.Fprintf(&b, "%-26s %-14s %12s %6d %8d %6d\n",
+				task, m, cell.Duration.Round(time.Microsecond),
+				cell.LLMCalls, cell.Usage.TotalTokens(), cell.Iterations)
+		}
+	}
+	return b.String()
+}
+
 // Table1 pairs the ChatVis and unassisted GPT-4 streamline scripts, as in
 // the paper's Table I.
 type Table1 struct {
@@ -279,17 +287,17 @@ type Table1 struct {
 
 // RunTable1 regenerates Table I: both generated scripts for the
 // streamline-tracing task.
-func (c Config) RunTable1() (*Table1, error) {
+func (c Config) RunTable1(ctx context.Context) (*Table1, error) {
 	c = c.withDefaults()
 	scn, _ := ScenarioByID("stream")
 	t1 := &Table1{}
-	cvCell, cvArt, err := c.RunChatVis(scn)
+	cvCell, cvArt, err := c.RunChatVis(ctx, scn)
 	if err != nil {
 		return nil, err
 	}
 	t1.ChatVisScript = cvArt.FinalScript
 	t1.ChatVisOK = cvCell.ErrorFree
-	g4Cell, g4Art, err := c.RunUnassisted("gpt-4", scn)
+	g4Cell, g4Art, err := c.RunUnassisted(ctx, "gpt-4", scn)
 	if err != nil {
 		return nil, err
 	}
@@ -330,17 +338,24 @@ type FigureResult struct {
 	GPT4Matches bool
 }
 
-// RunFigure reproduces one figure's image set.
-func (c Config) RunFigure(scn Scenario) (*FigureResult, error) {
+// RunFigure reproduces one figure's image set. Both conditions share one
+// ground-truth render.
+func (c Config) RunFigure(ctx context.Context, scn Scenario) (*FigureResult, error) {
 	c = c.withDefaults()
+	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
+		return nil, err
+	}
+	gts := newGroundTruthCache()
 	fr := &FigureResult{Figure: scn.Figure, Task: scn.Row}
-	cell, _, err := c.RunChatVis(scn)
+	cell, _, err := c.runCell(ctx, scn, ChatVisModel, gts,
+		filepath.Join(c.OutDir, "chatvis", scn.ID))
 	if err != nil {
 		return nil, err
 	}
 	fr.ChatVis = cell.Metrics
 	fr.ChatVisMatches = cell.Screenshot
-	g4, _, err := c.RunUnassisted("gpt-4", scn)
+	g4, _, err := c.runCell(ctx, scn, "gpt-4", gts,
+		filepath.Join(c.OutDir, "gpt-4", scn.ID))
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +374,9 @@ func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult) erro
 	b.WriteString("# ChatVis reproduction — measured results\n\n")
 	b.WriteString("## Table II: LLM comparison (Error = syntax/runtime error, SS = correct screenshot)\n\n```\n")
 	b.WriteString(t2.Format())
+	b.WriteString("```\n\n")
+	b.WriteString("## Session traces (duration, LLM calls, token usage per cell)\n\n```\n")
+	b.WriteString(t2.FormatStats())
 	b.WriteString("```\n\n")
 	if t1 != nil {
 		b.WriteString("## Table I: generated streamline scripts\n\n```\n")

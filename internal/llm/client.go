@@ -1,0 +1,117 @@
+package llm
+
+import (
+	"context"
+	"time"
+)
+
+// Usage accounts for the size of one completion exchange. The simulated
+// models report character counts directly and estimate tokens from them;
+// a network-backed Client would fill the token fields from the provider's
+// usage block.
+type Usage struct {
+	// PromptChars / CompletionChars are raw text sizes.
+	PromptChars     int
+	CompletionChars int
+	// PromptTokens / CompletionTokens are token counts (estimated for
+	// simulated models).
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// Add returns the element-wise sum of two usages.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{
+		PromptChars:      u.PromptChars + v.PromptChars,
+		CompletionChars:  u.CompletionChars + v.CompletionChars,
+		PromptTokens:     u.PromptTokens + v.PromptTokens,
+		CompletionTokens: u.CompletionTokens + v.CompletionTokens,
+	}
+}
+
+// TotalTokens is the prompt + completion token count.
+func (u Usage) TotalTokens() int { return u.PromptTokens + u.CompletionTokens }
+
+// EstimateTokens approximates a token count from text length (~4 chars
+// per token, the usual English-code average). Non-empty text is at least
+// one token.
+func EstimateTokens(s string) int {
+	if len(s) == 0 {
+		return 0
+	}
+	n := (len(s) + 3) / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Response is one completed LLM call with its observability metadata.
+type Response struct {
+	// Text is the model's completion.
+	Text string
+	// Model is the name of the client that produced the text.
+	Model string
+	// Usage sizes the exchange.
+	Usage Usage
+	// Latency is the wall-clock duration of the call (as observed by the
+	// caller-facing layer; cache hits report the lookup cost, not the
+	// original call's).
+	Latency time.Duration
+	// CacheHit marks responses served by WithCache without reaching the
+	// underlying model.
+	CacheHit bool
+	// Attempts counts how many tries the call took (1 without retries;
+	// WithRetry increments it on each failure).
+	Attempts int
+}
+
+// NewResponse fills the bookkeeping fields of a completed call: usage
+// sizes, latency since start, and a first-attempt count.
+func NewResponse(model string, req Request, text string, start time.Time) Response {
+	prompt := req.System + req.User
+	return Response{
+		Text:  text,
+		Model: model,
+		Usage: Usage{
+			PromptChars:      len(prompt),
+			CompletionChars:  len(text),
+			PromptTokens:     EstimateTokens(prompt),
+			CompletionTokens: EstimateTokens(text),
+		},
+		Latency:  time.Since(start),
+		Attempts: 1,
+	}
+}
+
+// Middleware wraps a Client with cross-cutting behaviour (caching,
+// retries, metrics, rate limiting). Middlewares compose: the first one
+// passed to Chain becomes the outermost layer.
+type Middleware func(Client) Client
+
+// Chain applies middlewares around base so that mws[0] sees the request
+// first: Chain(c, m1, m2) == m1(m2(c)).
+func Chain(base Client, mws ...Middleware) Client {
+	c := base
+	for i := len(mws) - 1; i >= 0; i-- {
+		c = mws[i](c)
+	}
+	return c
+}
+
+// ClientFunc adapts a function to the Client interface, for tests and
+// one-off backends.
+type ClientFunc struct {
+	// ModelName is returned by Name().
+	ModelName string
+	// Fn handles Complete.
+	Fn func(ctx context.Context, req Request) (Response, error)
+}
+
+// Name implements Client.
+func (c *ClientFunc) Name() string { return c.ModelName }
+
+// Complete implements Client.
+func (c *ClientFunc) Complete(ctx context.Context, req Request) (Response, error) {
+	return c.Fn(ctx, req)
+}

@@ -1,9 +1,10 @@
 package llm
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"strings"
+	"time"
 
 	"chatvis/internal/errext"
 )
@@ -17,12 +18,16 @@ type Request struct {
 
 // Client is the LLM interface the assistant talks to — shaped like a
 // chat-completion API so a network-backed implementation could be dropped
-// in where the paper used the OpenAI Python API.
+// in where the paper used the OpenAI Python API. Complete honours the
+// context (cancellation, deadlines) and returns a Response carrying
+// usage, latency and cache provenance alongside the text, so middlewares
+// (WithCache, WithRetry, WithMetrics, WithRateLimit) and the traced
+// assistant sessions have something to hang observability on.
 type Client interface {
 	// Name identifies the model (e.g. "gpt-4").
 	Name() string
-	// Complete returns the model's text response.
-	Complete(req Request) (string, error)
+	// Complete returns the model's response to one chat exchange.
+	Complete(ctx context.Context, req Request) (Response, error)
 }
 
 // Mode markers the simulated models key their behaviour on. The assistant
@@ -60,28 +65,33 @@ type SimModel struct {
 func (m *SimModel) Name() string { return m.P.Name }
 
 // Complete implements Client, dispatching on the request's stage.
-func (m *SimModel) Complete(req Request) (string, error) {
+func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	sys := req.System
 	user := req.User
+	var text string
 	switch {
 	case strings.Contains(user, scriptOpen) || strings.Contains(sys+user, repairMarker):
 		script := between(user, scriptOpen, scriptClose)
 		errText := between(user, errorsOpen, errorsClose)
 		reports := errext.Extract(errText)
-		fixed := Repair(strings.TrimSpace(script)+"\n", reports, m.P.RepairSkill)
-		return fixed, nil
+		text = Repair(strings.TrimSpace(script)+"\n", reports, m.P.RepairSkill)
 	case strings.Contains(sys, rewriteMarker) && !strings.Contains(sys, exampleMarker):
 		// Prompt-generation stage: rewrite the request into steps.
 		spec := ParseIntent(user)
-		return RenderStepPrompt(spec), nil
+		text = RenderStepPrompt(spec)
 	default:
 		// Script generation. Grounding is op-granular: only the
 		// operations the example snippets (or a full API reference)
 		// demonstrate are generated with the canonical API.
 		spec := ParseIntent(user)
 		g := GroundingFromText(sys)
-		return WriteScript(spec, m.P, g), nil
+		text = WriteScript(spec, m.P, g)
 	}
+	return NewResponse(m.P.Name, req, text, start), nil
 }
 
 func between(s, open, close string) string {
@@ -97,10 +107,11 @@ func between(s, open, close string) string {
 	return s[:j]
 }
 
-// Profiles of the models the paper evaluates, plus an "oracle" used for
-// testing and ablations. Competence parameters are calibrated to Table II
-// and the per-task failure descriptions in §IV.
-var profiles = map[string]Profile{
+// simProfiles describes the models the paper evaluates, plus an "oracle"
+// used for testing and ablations. Competence parameters are calibrated to
+// Table II and the per-task failure descriptions in §IV. Each profile is
+// registered as a backend in DefaultRegistry.
+var simProfiles = map[string]Profile{
 	"gpt-4": {
 		Name:                    "gpt-4",
 		Hallucinates:            true, // when not grounded by examples
@@ -137,26 +148,6 @@ var profiles = map[string]Profile{
 		Name:        "oracle",
 		RepairSkill: 2,
 	},
-}
-
-// NewModel returns the simulated model with the given name.
-func NewModel(name string) (Client, error) {
-	p, ok := profiles[name]
-	if !ok {
-		return nil, fmt.Errorf("llm: unknown model %q (have %s)",
-			name, strings.Join(ModelNames(), ", "))
-	}
-	return &SimModel{P: p}, nil
-}
-
-// ModelNames lists the available simulated models, sorted.
-func ModelNames() []string {
-	names := make([]string, 0, len(profiles))
-	for n := range profiles {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }
 
 // PaperModels lists the unassisted comparison models in the order of the

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -162,7 +163,7 @@ func TestModelRegistry(t *testing.T) {
 
 func TestWriterCanonicalIsGrounded(t *testing.T) {
 	spec := ParseIntent(PromptStream)
-	p := profiles["gpt-4"]
+	p := simProfiles["gpt-4"]
 	grounded := WriteScript(spec, p, FullGrounding())
 	if strings.Contains(grounded, "glyph.Scalars") {
 		t.Error("grounded generation must not hallucinate Glyph.Scalars")
@@ -192,7 +193,7 @@ func TestWriterSyntaxDefects(t *testing.T) {
 		"codegemma":     "string",
 	}
 	for model, defect := range cases {
-		s := WriteScript(spec, profiles[model], nil)
+		s := WriteScript(spec, simProfiles[model], nil)
 		switch defect {
 		case "fence":
 			if !strings.HasPrefix(s, "```") {
@@ -203,11 +204,11 @@ func TestWriterSyntaxDefects(t *testing.T) {
 				!strings.Contains(s, "Show(reader, renderView1\n") {
 				// the closing paren must be gone somewhere
 			}
-			if s == WriteScript(spec, profiles["oracle"], nil) {
+			if s == WriteScript(spec, simProfiles["oracle"], nil) {
 				t.Errorf("%s: no defect injected", model)
 			}
 		default:
-			if s == WriteScript(spec, profiles["oracle"], nil) {
+			if s == WriteScript(spec, simProfiles["oracle"], nil) {
 				t.Errorf("%s: no defect injected", model)
 			}
 		}
@@ -304,44 +305,67 @@ func TestRepairShowStringView(t *testing.T) {
 }
 
 func TestSimModelStageDispatch(t *testing.T) {
+	ctx := context.Background()
 	m, _ := NewModel("gpt-4")
 	// Rewrite stage.
-	resp, err := m.Complete(Request{
+	resp, err := m.Complete(ctx, Request{
 		System: "Rewrite the request as step-by-step instructions.",
 		User:   PromptIso,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(resp, "Requirements step-by-step") ||
-		!strings.Contains(resp, "ml-100.vtk") {
-		t.Errorf("rewrite response = %q", resp)
+	if !strings.Contains(resp.Text, "Requirements step-by-step") ||
+		!strings.Contains(resp.Text, "ml-100.vtk") {
+		t.Errorf("rewrite response = %q", resp.Text)
 	}
 	// Generation stage (ungrounded).
-	resp, err = m.Complete(Request{System: "Generate a script.", User: PromptIso})
+	resp, err = m.Complete(ctx, Request{System: "Generate a script.", User: PromptIso})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(resp, "from paraview.simple import *") {
-		t.Errorf("generation response = %q", resp)
+	if !strings.Contains(resp.Text, "from paraview.simple import *") {
+		t.Errorf("generation response = %q", resp.Text)
+	}
+	if resp.Model != "gpt-4" {
+		t.Errorf("response model = %q", resp.Model)
+	}
+	if resp.Usage.CompletionChars != len(resp.Text) || resp.Usage.CompletionTokens == 0 {
+		t.Errorf("response usage = %+v", resp.Usage)
+	}
+	if resp.Usage.PromptChars == 0 || resp.Usage.PromptTokens == 0 {
+		t.Errorf("prompt usage not recorded: %+v", resp.Usage)
+	}
+	if resp.Attempts != 1 || resp.CacheHit {
+		t.Errorf("fresh call provenance = attempts %d cacheHit %v", resp.Attempts, resp.CacheHit)
 	}
 	// Repair stage.
 	user := BuildRepairUser("x = (1\n", "  File \"script.py\", line 1\n    x = (1\n    ^\nSyntaxError: '(' was never closed")
-	resp, err = m.Complete(Request{System: "Please fix the code.", User: user})
+	resp, err = m.Complete(ctx, Request{System: "Please fix the code.", User: user})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(resp, "x = (1)") {
-		t.Errorf("repair response = %q", resp)
+	if !strings.Contains(resp.Text, "x = (1)") {
+		t.Errorf("repair response = %q", resp.Text)
 	}
 }
 
 func TestDeterminism(t *testing.T) {
+	ctx := context.Background()
 	m, _ := NewModel("gpt-3.5-turbo")
-	a, _ := m.Complete(Request{System: "gen", User: PromptStream})
-	b, _ := m.Complete(Request{System: "gen", User: PromptStream})
-	if a != b {
+	a, _ := m.Complete(ctx, Request{System: "gen", User: PromptStream})
+	b, _ := m.Complete(ctx, Request{System: "gen", User: PromptStream})
+	if a.Text != b.Text {
 		t.Error("simulated models must be deterministic")
+	}
+}
+
+func TestSimModelHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, _ := NewModel("gpt-4")
+	if _, err := m.Complete(ctx, Request{System: "gen", User: PromptIso}); err == nil {
+		t.Error("cancelled context should abort the call")
 	}
 }
 

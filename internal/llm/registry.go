@@ -1,0 +1,91 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory constructs a Client for a registered backend name.
+type Factory func() (Client, error)
+
+// Registry maps model names to client factories. It replaces the old
+// package-level profiles map: callers can register custom backends (a
+// network client, a recorded-transcript replayer, an instrumented stub)
+// next to the built-in simulated models. A Registry is safe for
+// concurrent use; the name listing is computed once per mutation, not on
+// every read.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+	// names caches the sorted name list; rebuilt on Register so Names()
+	// is an allocation-free read under RLock.
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: map[string]Factory{}}
+}
+
+// Register adds (or replaces) a backend under name.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.factories[name]; !exists {
+		// Rebuild into a fresh slice: readers may still be iterating the
+		// previously returned listing, so never mutate it in place.
+		names := make([]string, 0, len(r.names)+1)
+		names = append(names, r.names...)
+		names = append(names, name)
+		sort.Strings(names)
+		r.names = names
+	}
+	r.factories[name] = f
+}
+
+// New builds a client for the named backend.
+func (r *Registry) New(name string) (Client, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("llm: unknown model %q (have %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return f()
+}
+
+// Names lists the registered backends, sorted. The returned slice is the
+// registry's cached listing — treat it as read-only.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.names
+}
+
+// DefaultRegistry holds the built-in simulated models (the paper's five
+// evaluation LLMs plus the testing oracle). Custom backends registered
+// here become visible to NewModel and the CLIs.
+var DefaultRegistry = func() *Registry {
+	r := NewRegistry()
+	for name, p := range simProfiles {
+		p := p
+		r.Register(name, func() (Client, error) {
+			return &SimModel{P: p}, nil
+		})
+	}
+	return r
+}()
+
+// NewModel returns a client for the named backend from DefaultRegistry.
+func NewModel(name string) (Client, error) {
+	return DefaultRegistry.New(name)
+}
+
+// ModelNames lists the backends in DefaultRegistry, sorted. The listing
+// is cached by the registry — no per-call sort.
+func ModelNames() []string {
+	return DefaultRegistry.Names()
+}

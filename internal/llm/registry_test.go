@@ -1,0 +1,100 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRegisterAndNew(t *testing.T) {
+	r := NewRegistry()
+	r.Register("custom", func() (Client, error) {
+		return &ClientFunc{ModelName: "custom", Fn: func(ctx context.Context, req Request) (Response, error) {
+			return Response{Text: "hi", Model: "custom", Attempts: 1}, nil
+		}}, nil
+	})
+	c, err := r.New("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Complete(context.Background(), Request{User: "u"})
+	if err != nil || resp.Text != "hi" {
+		t.Fatalf("resp = %+v err = %v", resp, err)
+	}
+	if _, err := r.New("missing"); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
+func TestRegistryNamesCachedAndSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Register(n, func() (Client, error) { return nil, nil })
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+	// Re-registering an existing name must not duplicate the listing.
+	r.Register("alpha", func() (Client, error) { return nil, nil })
+	if got := r.Names(); len(got) != 3 {
+		t.Errorf("names after re-register = %v", got)
+	}
+	// The cached slice is stable across reads (no per-call re-sort
+	// allocation).
+	a, b := r.Names(), r.Names()
+	if &a[0] != &b[0] {
+		t.Error("Names should return the cached listing, not a fresh sort")
+	}
+}
+
+func TestRegistryConcurrentReadersAndWriters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			r.Register(fmt.Sprintf("model-%d", i), func() (Client, error) {
+				return &SimModel{P: Profile{Name: "x"}}, nil
+			})
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			// Iterate the returned listing: Register must never mutate a
+			// slice a reader already holds.
+			for _, n := range r.Names() {
+				if n == "" {
+					t.Error("empty name in listing")
+				}
+			}
+			_, _ = r.New(fmt.Sprintf("model-%d", i))
+		}(i)
+	}
+	wg.Wait()
+	if got := len(r.Names()); got != 8 {
+		t.Errorf("registered = %d, want 8", got)
+	}
+}
+
+func TestDefaultRegistryHasSimModels(t *testing.T) {
+	for _, name := range PaperModels() {
+		c, err := DefaultRegistry.New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("name = %q, want %q", c.Name(), name)
+		}
+	}
+	names := ModelNames()
+	if len(names) < 6 {
+		t.Errorf("ModelNames = %v", names)
+	}
+	// Cached listing: two calls return the identical backing array.
+	a, b := ModelNames(), ModelNames()
+	if &a[0] != &b[0] {
+		t.Error("ModelNames should be served from the registry cache")
+	}
+}
