@@ -1,12 +1,13 @@
-# CI entry points. `make ci` is the gate: formatting, vet, and the full
-# test suite under the race detector (the eval grid runner and the llm
-# cache/registry are exercised concurrently in their tests).
+# CI entry points. `make ci` is the gate: formatting, vet, the full test
+# suite under the race detector (the eval grid runner, the llm
+# cache/registry and the chatvisd queue/coalescing paths are exercised
+# concurrently in their tests), and the daemon smoke step.
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race bench bench-grid build
+.PHONY: ci fmt vet test test-race test-race-service bench bench-grid bench-serve build serve smoke
 
-ci: fmt vet test-race
+ci: fmt vet test-race smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,21 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Focused race pass over the serving subsystem (queue, coalescing,
+# store, handlers, daemon wiring) — a faster loop than the full suite.
+test-race-service:
+	$(GO) test -race -count=1 ./internal/service ./cmd/chatvisd
+
+# Run the chatvisd HTTP daemon locally.
+serve:
+	$(GO) run ./cmd/chatvisd -addr :8080 -data data -out out
+
+# CI smoke: start the daemon wiring on a real listener, submit a job
+# against the stub LLM profile, poll it to completion, fetch artifacts
+# by hash, and drain the queue.
+smoke:
+	$(GO) test -run 'TestDaemonSmoke|TestDaemonConcurrentIdenticalSubmissions' -count=1 ./cmd/chatvisd
+
 # All paper-reproduction benchmarks (tables, figures, ablations).
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -33,3 +49,7 @@ bench:
 # Just the serial-vs-concurrent grid sweep comparison.
 bench-grid:
 	$(GO) test -run xxx -bench BenchmarkGridThroughput -benchtime 3x .
+
+# The serving-layer throughput benchmark (coalescing + store hits).
+bench-serve:
+	$(GO) test -run xxx -bench BenchmarkServiceThroughput -benchtime 20x .

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/datagen"
@@ -27,6 +29,7 @@ import (
 	"chatvis/internal/pvsim"
 	"chatvis/internal/render"
 	"chatvis/internal/scriptcmp"
+	"chatvis/internal/service"
 	"chatvis/internal/vmath"
 	"chatvis/internal/vtkio"
 )
@@ -156,7 +159,7 @@ func BenchmarkAblation_Iterations(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				success = 0
 				totalIters = 0
-				for _, scn := range eval.Scenarios() {
+				for _, scn := range eval.PaperScenarios() {
 					cell, art, err := cfg.RunChatVis(context.Background(), scn)
 					if err != nil {
 						b.Fatal(err)
@@ -191,7 +194,7 @@ func BenchmarkAblation_FewShot(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				clean, correct, totalIters = 0, 0, 0
-				for _, scn := range eval.Scenarios() {
+				for _, scn := range eval.PaperScenarios() {
 					cell, art, err := cfg.RunChatVis(context.Background(), scn)
 					if err != nil {
 						b.Fatal(err)
@@ -244,7 +247,7 @@ func BenchmarkAblation_Grounding(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				correct, iters = 0, 0
-				for _, scn := range eval.Scenarios() {
+				for _, scn := range eval.PaperScenarios() {
 					assistant, err := chatvis.NewAssistant(model,
 						&pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()},
 						chatvis.WithMaxIterations(5),
@@ -433,4 +436,135 @@ func BenchmarkSubstrate_ClipPolyData(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		filters.ClipPolyData(surf, plane)
 	}
+}
+
+// --- Serving-layer benchmark -------------------------------------------------
+
+// BenchmarkServiceThroughput measures the chatvisd serving path through
+// service.Queue with the real ChatVis pipeline on the stub profile, and
+// demonstrates the two dedup layers:
+//
+//   - unique: every request is distinct — each one costs a pipeline
+//     execution (the raw serving floor).
+//   - coalesced: bursts of 32 identical concurrent requests — the whole
+//     burst shares ONE pipeline execution (singleflight).
+//   - store-hit: the same request repeated — after the first execution
+//     every submission is answered from the content-addressed store
+//     with zero pipeline (and zero LLM) work.
+func BenchmarkServiceThroughput(b *testing.B) {
+	prompt := func(i int) string {
+		// Distinct isovalues produce distinct prompts, keys and scripts.
+		return fmt.Sprintf("Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value %.4f. Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 320 x 180 pixels.", 0.30+0.001*float64(i%400))
+	}
+	newQueue := func(b *testing.B) *service.Queue {
+		b.Helper()
+		store, err := service.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipeline := service.NewChatVisPipeline(service.PipelineConfig{
+			DataDir: b.TempDir(),
+			OutDir:  b.TempDir(),
+		})
+		q, err := service.NewQueue(service.QueueOptions{
+			Workers:  runtime.NumCPU(),
+			Capacity: 4096,
+			Pipeline: pipeline,
+			Store:    store,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = q.Shutdown(ctx)
+		})
+		return q
+	}
+	submitAndWait := func(b *testing.B, q *service.Queue, req service.JobRequest) *service.Job {
+		b.Helper()
+		job, _, err := q.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if job.Status() != service.StatusSucceeded {
+			b.Fatalf("job %s: %s (%s)", job.ID, job.Status(), job.Err())
+		}
+		return job
+	}
+
+	b.Run("unique", func(b *testing.B) {
+		q := newQueue(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submitAndWait(b, q, service.JobRequest{
+				Prompt: prompt(i), Model: "oracle", Width: 320, Height: 180,
+			})
+		}
+		b.StopTimer()
+		// Prompts repeat after 400 iterations (store hits take over);
+		// below that, every request costs exactly one execution.
+		if int64(b.N) <= 400 {
+			if got := q.Snapshot().Executed; got != int64(b.N) {
+				b.Fatalf("executed = %d for %d unique requests", got, b.N)
+			}
+		}
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		const burst = 32
+		q := newQueue(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := service.JobRequest{
+				Prompt: prompt(i), Model: "oracle", Width: 320, Height: 180,
+			}
+			var wg sync.WaitGroup
+			jobs := make([]*service.Job, burst)
+			for j := 0; j < burst; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					job, _, err := q.Submit(req)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					jobs[j] = job
+				}(j)
+			}
+			wg.Wait()
+			for _, job := range jobs {
+				if job == nil {
+					b.Fatal("submission failed")
+				}
+				<-job.Done()
+			}
+		}
+		b.StopTimer()
+		snap := q.Snapshot()
+		if b.N <= 400 && snap.Executed != int64(b.N) {
+			b.Fatalf("coalescing broken: %d executions for %d bursts of %d identical requests",
+				snap.Executed, b.N, burst)
+		}
+		b.ReportMetric(float64(snap.Submitted)/float64(snap.Executed), "requests/execution")
+	})
+
+	b.Run("store-hit", func(b *testing.B) {
+		q := newQueue(b)
+		req := service.JobRequest{
+			Prompt: prompt(0), Model: "oracle", Width: 320, Height: 180,
+		}
+		submitAndWait(b, q, req) // prime the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submitAndWait(b, q, req)
+		}
+		b.StopTimer()
+		if got := q.Snapshot().Executed; got != 1 {
+			b.Fatalf("store path executed %d pipelines, want 1", got)
+		}
+	})
 }

@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/llm"
@@ -45,8 +46,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		// First signal cancels the session context so in-flight pipeline
+		// stages unwind cleanly; unregistering the handler then lets a
+		// second Ctrl-C kill the process immediately instead of being
+		// swallowed while the drain finishes.
+		<-ctx.Done()
+		stop()
+	}()
 
 	base, err := llm.NewModel(*modelName)
 	if err != nil {

@@ -1,0 +1,145 @@
+// Command chatvisd serves the ChatVis pipeline over HTTP: an async job
+// queue with a worker pool, request coalescing (identical concurrent
+// submissions share one pipeline execution; repeats are answered from
+// the artifact store), and a content-addressed store for generated
+// scripts, screenshots and session traces.
+//
+// Usage:
+//
+//	chatvisd -addr :8080 -data ./data -out ./out -workers 4
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/artifacts/{hash},
+// GET /v1/scenarios, GET /healthz, GET /metrics. See the README for curl
+// examples. SIGINT/SIGTERM drain in-flight jobs before exiting; a second
+// signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/service"
+)
+
+// daemonConfig collects the daemon's tunables.
+type daemonConfig struct {
+	dataDir  string
+	outDir   string
+	storeDir string
+	workers  int
+	queueCap int
+	retries  int
+	full     bool
+	noCache  bool
+}
+
+// buildDaemon wires store → pipeline → queue → server, shared by main
+// and the smoke test.
+func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metrics, error) {
+	if cfg.storeDir == "" {
+		cfg.storeDir = filepath.Join(cfg.outDir, "store")
+	}
+	store, err := service.NewStore(cfg.storeDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	metrics := &llm.Metrics{}
+	size := eval.DataSmall
+	if cfg.full {
+		size = eval.DataFull
+	}
+	pipeline := service.NewChatVisPipeline(service.PipelineConfig{
+		DataDir:      cfg.dataDir,
+		OutDir:       filepath.Join(cfg.outDir, "jobs"),
+		DataSize:     size,
+		Retries:      cfg.retries,
+		Metrics:      metrics,
+		DisableCache: cfg.noCache,
+	})
+	queue, err := service.NewQueue(service.QueueOptions{
+		Workers:  cfg.workers,
+		Capacity: cfg.queueCap,
+		Pipeline: pipeline,
+		Store:    store,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return queue, service.NewServer(queue, store, metrics), metrics, nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		dataDir  = flag.String("data", "data", "directory for input datasets (generated on demand)")
+		outDir   = flag.String("out", "out", "root directory for job outputs and the artifact store")
+		storeDir = flag.String("store", "", "artifact store directory (default <out>/store)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "pipeline worker pool size")
+		queueCap = flag.Int("queue-cap", 256, "max queued (not yet running) jobs")
+		retries  = flag.Int("retries", 1, "LLM call attempts per stage")
+		full     = flag.Bool("full", false, "paper-scale datasets")
+		noCache  = flag.Bool("no-cache", false, "disable the shared LLM response cache")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before in-flight jobs are canceled")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal starts the drain, unregister the
+		// handler so a second Ctrl-C kills the process immediately.
+		<-ctx.Done()
+		stop()
+	}()
+
+	queue, server, _, err := buildDaemon(daemonConfig{
+		dataDir:  *dataDir,
+		outDir:   *outDir,
+		storeDir: *storeDir,
+		workers:  *workers,
+		queueCap: *queueCap,
+		retries:  *retries,
+		full:     *full,
+		noCache:  *noCache,
+	})
+	if err != nil {
+		log.Fatalf("chatvisd: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("chatvisd: listening on %s (%d workers, models: %v)",
+			*addr, *workers, llm.ModelNames())
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("chatvisd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("chatvisd: shutting down, draining in-flight jobs (budget %v)", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("chatvisd: http shutdown: %v", err)
+	}
+	if err := queue.Shutdown(shutdownCtx); err != nil {
+		log.Printf("chatvisd: queue drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("chatvisd: drained cleanly")
+}

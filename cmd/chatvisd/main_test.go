@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chatvis/internal/service"
+)
+
+// TestDaemonSmoke is the CI smoke step (`make smoke`): it starts the
+// daemon wiring on a real listener, lists scenarios, submits a job
+// against the stub "oracle" LLM profile, polls it to completion, fetches
+// the script and screenshot artifacts by hash, and drains the queue.
+func TestDaemonSmoke(t *testing.T) {
+	queue, server, _, err := buildDaemon(daemonConfig{
+		dataDir: t.TempDir(),
+		outDir:  t.TempDir(),
+		workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	// Health first: the daemon must be alive before anything else.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Pick a scenario prompt off the daemon's own listing.
+	resp, err = http.Get(srv.URL + "/v1/scenarios?width=320&height=180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scns struct {
+		Scenarios []struct {
+			ID     string `json:"id"`
+			Prompt string `json:"prompt"`
+		} `json:"scenarios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scns); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var prompt string
+	for _, s := range scns.Scenarios {
+		if s.ID == "iso" {
+			prompt = s.Prompt
+		}
+	}
+	if prompt == "" {
+		t.Fatal("scenario listing missing iso")
+	}
+
+	// Submit against the stub profile and poll to completion.
+	body, _ := json.Marshal(service.JobRequest{
+		Prompt: prompt, Model: "oracle", Width: 320, Height: 180,
+	})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("POST /v1/jobs = %d %+v", resp.StatusCode, sub)
+	}
+
+	var view service.View
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", sub.ID, view.Status)
+		}
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.Status != service.StatusSucceeded || view.Result == nil {
+		t.Fatalf("job finished %s (%s)", view.Status, view.Error)
+	}
+	if !view.Result.Success {
+		t.Fatal("oracle pipeline should produce a working script")
+	}
+	if len(view.Result.Trace.Stages) == 0 {
+		t.Error("job result carries no session trace")
+	}
+
+	// Artifacts are retrievable by hash with the right content types.
+	fetch := func(hash, wantType string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/artifacts/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET artifact %s = %d", hash, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wantType {
+			t.Errorf("artifact %s content type = %q, want %q", hash, ct, wantType)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+	script := fetch(view.Result.ScriptHash, "text/x-python")
+	if !strings.Contains(string(script), "from paraview.simple import *") {
+		t.Errorf("stored script looks wrong: %.80q", script)
+	}
+	if len(view.Result.ScreenshotHashes) == 0 {
+		t.Fatal("no screenshot artifacts stored")
+	}
+	png := fetch(view.Result.ScreenshotHashes[0], "image/png")
+	if len(png) < 8 || !bytes.HasPrefix(png, []byte("\x89PNG")) {
+		t.Error("stored screenshot is not a PNG")
+	}
+
+	// An identical resubmission is answered from the store (HTTP 200,
+	// no new execution).
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again struct {
+		Submission string `json:"submission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || again.Submission != "store" {
+		t.Errorf("resubmit: %d %+v", resp.StatusCode, again)
+	}
+
+	// Metrics reflect the run and the daemon drains cleanly.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"chatvis_jobs_executed_total 1",
+		"chatvis_jobs_store_hits_total 1",
+		"chatvis_llm_calls_total",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := queue.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDaemonConcurrentIdenticalSubmissions verifies the acceptance
+// criterion end-to-end: N identical concurrent POSTs against the stub
+// profile yield exactly one pipeline execution.
+func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
+	queue, server, _, err := buildDaemon(daemonConfig{
+		dataDir: t.TempDir(),
+		outDir:  t.TempDir(),
+		workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(service.JobRequest{
+		Prompt: "Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.5. Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 320 x 180 pixels.",
+		Model:  "oracle", Width: 320, Height: 180,
+	})
+	const n = 10
+	errs := make(chan error, n)
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var sub struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				errs <- err
+				return
+			}
+			ids <- sub.ID
+			errs <- nil
+		}()
+	}
+	idSet := map[string]bool{}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(ids)
+	for id := range ids {
+		idSet[id] = true
+	}
+	// A submission that lands after the (fast) first execution finishes
+	// is legitimately answered from the store under a fresh job id, so
+	// the id set is not asserted to be exactly 1 — the acceptance
+	// criterion is that the burst costs ONE pipeline execution, checked
+	// below. (Strict same-id coalescing is pinned deterministically with
+	// a gated stub in internal/service.)
+	for id := range idSet {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v service.View
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Status.Terminal() {
+				if v.Status != service.StatusSucceeded {
+					t.Fatalf("job %s = %s (%s)", id, v.Status, v.Error)
+				}
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if snap := queue.Snapshot(); snap.Executed != 1 {
+		t.Errorf("executed = %d, want 1 (n=%d identical submissions)", snap.Executed, n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := queue.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

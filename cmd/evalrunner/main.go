@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"chatvis/internal/eval"
@@ -35,7 +36,7 @@ func main() {
 		width   = flag.Int("width", 480, "render width")
 		height  = flag.Int("height", 270, "render height")
 		full    = flag.Bool("full", false, "paper-scale datasets")
-		task    = flag.String("task", "", "run a single scenario: iso, slice, volume, delaunay, stream")
+		task    = flag.String("task", "", "run a single scenario: iso, slice, volume, delaunay, stream, clip, threshold, glyph")
 		table2  = flag.Bool("table2", false, "run only the Table II grid")
 		table1  = flag.Bool("table1", false, "run only the Table I script pair")
 		workers = flag.Int("workers", 2*runtime.NumCPU(), "grid worker pool size")
@@ -46,8 +47,15 @@ func main() {
 	if *workers < 1 {
 		*workers = 1
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		// First signal cancels the sweep; unregistering the handler then
+		// lets a second Ctrl-C kill the process immediately instead of
+		// being swallowed while workers drain.
+		<-ctx.Done()
+		stop()
+	}()
 
 	cfg := eval.Config{
 		DataDir: *dataDir,

@@ -32,27 +32,29 @@ import (
 // Iteration records one pass of the correction loop.
 type Iteration struct {
 	// Script is the candidate script executed this round.
-	Script string
+	Script string `json:"script"`
 	// Output is the combined PvPython output.
-	Output string
+	Output string `json:"output,omitempty"`
 	// Errors are the extracted error reports (empty on success).
-	Errors []errext.ErrorReport
+	Errors []errext.ErrorReport `json:"errors,omitempty"`
 }
 
-// Artifact is everything one assistant run produces.
+// Artifact is everything one assistant run produces. The JSON tags fix
+// the wire format EncodeArtifact/DecodeArtifact persist in chatvisd's
+// artifact store.
 type Artifact struct {
-	UserPrompt      string
-	GeneratedPrompt string
-	Iterations      []Iteration
+	UserPrompt      string      `json:"user_prompt"`
+	GeneratedPrompt string      `json:"generated_prompt"`
+	Iterations      []Iteration `json:"iterations"`
 	// FinalScript is the last executed script.
-	FinalScript string
+	FinalScript string `json:"final_script"`
 	// Screenshots produced by the successful run.
-	Screenshots []string
+	Screenshots []string `json:"screenshots,omitempty"`
 	// Success reports whether the final script executed without error.
-	Success bool
+	Success bool `json:"success"`
 	// Trace records every stage of the session (LLM calls and script
 	// executions) with durations, usage and cache provenance.
-	Trace Trace
+	Trace Trace `json:"trace"`
 }
 
 // NumIterations returns how many executions the loop needed.

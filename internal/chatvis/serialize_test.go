@@ -1,0 +1,74 @@
+package chatvis
+
+import (
+	"testing"
+	"time"
+
+	"chatvis/internal/errext"
+	"chatvis/internal/llm"
+)
+
+func TestArtifactEncodeDecodeRoundTrip(t *testing.T) {
+	art := &Artifact{
+		UserPrompt:      "make an isosurface",
+		GeneratedPrompt: "step-by-step prompt",
+		Iterations: []Iteration{
+			{
+				Script: "bad script",
+				Output: "AttributeError: nope",
+				Errors: []errext.ErrorReport{{Kind: "AttributeError", Message: "nope", Line: 3}},
+			},
+			{Script: "good script", Output: ""},
+		},
+		FinalScript: "good script",
+		Screenshots: []string{"/tmp/out/iso.png"},
+		Success:     true,
+		Trace: Trace{Stages: []StageTrace{
+			{Stage: StageRewrite, Model: "gpt-4", Duration: 3 * time.Millisecond,
+				Usage: llm.Usage{PromptTokens: 10, CompletionTokens: 20}, Attempts: 1},
+			{Stage: StageGenerate, Model: "gpt-4", Duration: 5 * time.Millisecond, CacheHit: true},
+			{Stage: StageExec + "-1", Duration: time.Millisecond},
+		}},
+	}
+	b, err := EncodeArtifact(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeArtifact(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UserPrompt != art.UserPrompt || got.FinalScript != art.FinalScript ||
+		!got.Success || len(got.Iterations) != 2 || len(got.Screenshots) != 1 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if len(got.Trace.Stages) != 3 {
+		t.Fatalf("trace stages = %d", len(got.Trace.Stages))
+	}
+	s0 := got.Trace.Stages[0]
+	if s0.Stage != StageRewrite || s0.Model != "gpt-4" ||
+		s0.Duration != 3*time.Millisecond || s0.Usage.PromptTokens != 10 {
+		t.Errorf("stage 0 mangled: %+v", s0)
+	}
+	if !got.Trace.Stages[1].CacheHit {
+		t.Error("cache provenance lost")
+	}
+	if got.Iterations[0].Errors[0].Kind != "AttributeError" {
+		t.Error("iteration error reports lost")
+	}
+}
+
+func TestDecodeArtifactRejectsBadInput(t *testing.T) {
+	if _, err := DecodeArtifact([]byte("not json")); err == nil {
+		t.Error("garbage must not decode")
+	}
+	if _, err := DecodeArtifact([]byte(`{"version": 99, "artifact": {}}`)); err == nil {
+		t.Error("unknown version must not decode")
+	}
+	if _, err := DecodeArtifact([]byte(`{"version": 1}`)); err == nil {
+		t.Error("empty envelope must not decode")
+	}
+	if _, err := EncodeArtifact(nil); err == nil {
+		t.Error("nil artifact must not encode")
+	}
+}

@@ -22,23 +22,23 @@ const (
 // script execution (exec-N, duration only).
 type StageTrace struct {
 	// Stage names the step ("rewrite", "generate", "repair-1", "exec-1").
-	Stage string
+	Stage string `json:"stage"`
 	// Model is the client that served an LLM stage (empty for exec).
-	Model string
-	// Duration is the stage's wall-clock time.
-	Duration time.Duration
+	Model string `json:"model,omitempty"`
+	// Duration is the stage's wall-clock time (nanoseconds in JSON).
+	Duration time.Duration `json:"duration_ns"`
 	// Usage is the LLM usage (zero for exec stages).
-	Usage llm.Usage
+	Usage llm.Usage `json:"usage"`
 	// CacheHit marks LLM stages served from a response cache.
-	CacheHit bool
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Attempts counts retries the stage's LLM call consumed (0 for exec).
-	Attempts int
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Trace is the per-stage record of one assistant session, in execution
 // order.
 type Trace struct {
-	Stages []StageTrace
+	Stages []StageTrace `json:"stages"`
 }
 
 func (t *Trace) add(s StageTrace) { t.Stages = append(t.Stages, s) }

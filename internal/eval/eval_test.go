@@ -21,7 +21,7 @@ func testConfig(t *testing.T) Config {
 
 func TestScenariosComplete(t *testing.T) {
 	scns := Scenarios()
-	if len(scns) != 5 {
+	if len(scns) != 8 {
 		t.Fatalf("scenarios = %d", len(scns))
 	}
 	ids := map[string]bool{}
@@ -42,7 +42,8 @@ func TestScenariosComplete(t *testing.T) {
 			t.Errorf("%s: ground truth ignores resolution", s.ID)
 		}
 	}
-	for _, want := range []string{"iso", "slice", "volume", "delaunay", "stream"} {
+	for _, want := range []string{"iso", "slice", "volume", "delaunay", "stream",
+		"clip", "threshold", "glyph"} {
 		if !ids[want] {
 			t.Errorf("missing scenario %q", want)
 		}
@@ -52,6 +53,42 @@ func TestScenariosComplete(t *testing.T) {
 	}
 	if _, ok := ScenarioByID("nope"); ok {
 		t.Error("unknown id should fail")
+	}
+	// The paper subset keeps Table II's shape and ordering.
+	paper := PaperScenarios()
+	if len(paper) != 5 {
+		t.Fatalf("paper scenarios = %d", len(paper))
+	}
+	for i, want := range []string{"iso", "slice", "volume", "delaunay", "stream"} {
+		if paper[i].ID != want {
+			t.Errorf("paper scenario %d = %q, want %q", i, paper[i].ID, want)
+		}
+	}
+}
+
+// TestExtendedScenariosRunChatVis drives the assistant end-to-end on the
+// three extended scenarios: each must execute cleanly and reproduce its
+// ground-truth image, like the paper five.
+func TestExtendedScenariosRunChatVis(t *testing.T) {
+	for _, id := range []string{"clip", "threshold", "glyph"} {
+		t.Run(id, func(t *testing.T) {
+			c := testConfig(t)
+			scn, ok := ScenarioByID(id)
+			if !ok {
+				t.Fatalf("scenario %q not registered", id)
+			}
+			cell, art, err := c.RunChatVis(context.Background(), scn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cell.ErrorFree {
+				t.Fatalf("ChatVis failed on %s: first error %q\nscript:\n%s",
+					id, cell.FirstError, art.FinalScript)
+			}
+			if !cell.Screenshot {
+				t.Errorf("%s screenshot should match ground truth: %s", id, cell.Metrics)
+			}
+		})
 	}
 }
 

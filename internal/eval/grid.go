@@ -58,7 +58,8 @@ type GridOptions struct {
 	// paper's five (llm.PaperModels). The assisted ChatVis column always
 	// runs first.
 	Models []string
-	// Scenarios are the grid rows; nil means the paper's five.
+	// Scenarios are the grid rows; nil means the paper's five
+	// (PaperScenarios — the extended scenarios are opt-in rows).
 	Scenarios []Scenario
 }
 
@@ -70,7 +71,7 @@ func (o GridOptions) withDefaults() GridOptions {
 		o.Models = llm.PaperModels()
 	}
 	if o.Scenarios == nil {
-		o.Scenarios = Scenarios()
+		o.Scenarios = PaperScenarios()
 	}
 	return o
 }

@@ -12,10 +12,12 @@ import (
 	"chatvis/internal/vtkio"
 )
 
-// Scenario is one of the paper's five visualization tasks.
+// Scenario is one evaluation task: the paper's five plus the extended
+// set ("clip", "threshold", "glyph") built on the same datasets and
+// filters.
 type Scenario struct {
 	// ID is the short machine name ("iso", "slice", "volume", "delaunay",
-	// "stream").
+	// "stream", "clip", "threshold", "glyph").
 	ID string
 	// Row is the paper's Table II row label.
 	Row string
@@ -37,7 +39,15 @@ func (s Scenario) UserPrompt(w, h int) string { return s.prompt(w, h) }
 // GroundTruthScript returns the reference script.
 func (s Scenario) GroundTruthScript(w, h int) string { return s.groundTruth(w, h) }
 
-// Scenarios returns the five scenarios in the paper's order.
+// PaperScenarios returns the paper's five scenarios in Table II order.
+// Grid sweeps that reproduce the paper default to this set.
+func PaperScenarios() []Scenario {
+	return Scenarios()[:5]
+}
+
+// Scenarios returns every registered scenario: the paper's five first
+// (in Table II order), then the extended set served by chatvisd's
+// GET /v1/scenarios ("clip", "threshold", "glyph").
 func Scenarios() []Scenario {
 	return []Scenario{
 		{
@@ -206,6 +216,110 @@ renderView1.ResetActiveCameraToPositiveX()
 renderView1.ResetCamera()
 
 SaveScreenshot('stream-glyph-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "clip", Row: "Plane clipping", Figure: "extended",
+			Screenshot: "ml-clip-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'ml-100.vtk'. Clip the data with a y-z plane at x=0, keeping the -x half of the data and removing the +x half. Color the result by the var0 data array. Rotate the view to an isometric direction. Save a screenshot of the result in the filename 'ml-clip-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+clip1 = Clip(registrationName='Clip1', Input=ml100vtk, ClipType='Plane')
+clip1.ClipType.Origin = [0.0, 0.0, 0.0]
+clip1.ClipType.Normal = [1.0, 0.0, 0.0]
+clip1.Invert = 1
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+clip1Display = Show(clip1, renderView1)
+ColorBy(clip1Display, ('POINTS', 'var0'))
+clip1Display.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ApplyIsometricView()
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-clip-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "threshold", Row: "Scalar thresholding", Figure: "extended",
+			Screenshot: "disk-threshold-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'disk.ex2'. Threshold the data by the Temp array between 500 and 900. Color the result by the Temp data array. View the result in the +X direction. Save a screenshot of the result in the filename 'disk-threshold-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+reader = ExodusIIReader(FileName='disk.ex2')
+reader.UpdatePipeline()
+
+threshold1 = Threshold(registrationName='Threshold1', Input=reader)
+threshold1.Scalars = ['POINTS', 'Temp']
+threshold1.LowerThreshold = 500
+threshold1.UpperThreshold = 900
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+threshold1Display = Show(threshold1, renderView1)
+ColorBy(threshold1Display, ('POINTS', 'Temp'))
+threshold1Display.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ResetActiveCameraToPositiveX()
+renderView1.ResetCamera()
+
+SaveScreenshot('disk-threshold-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "glyph", Row: "Oriented glyphs", Figure: "extended",
+			Screenshot: "disk-glyph-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'disk.ex2'. Add arrow glyphs oriented along the V data array to the dataset. Color the result by the Temp data array. Rotate the view to an isometric direction. Save a screenshot of the result in the filename 'disk-glyph-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+reader = ExodusIIReader(FileName='disk.ex2')
+reader.UpdatePipeline()
+
+glyph = Glyph(registrationName='Glyph1', Input=reader, GlyphType='Arrow')
+glyph.OrientationArray = ['POINTS', 'V']
+glyph.ScaleArray = ['POINTS', 'V']
+glyph.ScaleFactor = 0.2
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+readerDisplay = Show(reader, renderView1)
+glyphDisplay = Show(glyph, renderView1)
+ColorBy(readerDisplay, ('POINTS', 'Temp'))
+ColorBy(glyphDisplay, ('POINTS', 'Temp'))
+readerDisplay.RescaleTransferFunctionToDataRange(True)
+glyphDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ApplyIsometricView()
+renderView1.ResetCamera()
+
+SaveScreenshot('disk-glyph-screenshot.png', renderView1,
     ImageResolution=[%d, %d],
     OverrideColorPalette='WhiteBackground')
 `, w, h, w, h)

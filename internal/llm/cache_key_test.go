@@ -1,0 +1,135 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRequestKeyDistinctInputs proves the cache key separates every
+// dimension a completion can vary on: model, system prompt, user prompt
+// — including the option and resolution text embedded in the prompts
+// the assistant builds.
+func TestRequestKeyDistinctInputs(t *testing.T) {
+	type in struct {
+		name  string
+		model string
+		req   Request
+	}
+	cases := []in{
+		{"base", "gpt-4", Request{System: "sys", User: "user"}},
+		{"other model", "gpt-3.5-turbo", Request{System: "sys", User: "user"}},
+		{"oracle model", "oracle", Request{System: "sys", User: "user"}},
+		{"system differs", "gpt-4", Request{System: "sys2", User: "user"}},
+		{"user differs", "gpt-4", Request{System: "sys", User: "user2"}},
+		{"resolution 480", "gpt-4", Request{System: "generate", User: "iso at 480 x 270 pixels"}},
+		{"resolution 1920", "gpt-4", Request{System: "generate", User: "iso at 1920 x 1080 pixels"}},
+		{"few-shot on", "gpt-4", Request{System: "generate\n\nExample code snippets:\nContour(", User: "iso"}},
+		{"few-shot off", "gpt-4", Request{System: "generate", User: "iso"}},
+		{"empty system", "gpt-4", Request{User: "user"}},
+		{"empty user", "gpt-4", Request{System: "sys"}},
+		{"empty both", "gpt-4", Request{}},
+	}
+	seen := map[uint64]string{}
+	for _, c := range cases {
+		k := requestKey(c.model, c.req)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%q collides with %q (key %d)", c.name, prev, k)
+		}
+		seen[k] = c.name
+	}
+}
+
+// TestRequestKeyFieldBoundaries proves the separator framing: shifting
+// bytes between adjacent fields must never produce the same key, even
+// though the plain concatenation is identical.
+func TestRequestKeyFieldBoundaries(t *testing.T) {
+	pairs := [][2]struct {
+		model string
+		req   Request
+	}{
+		// model / system boundary
+		{{"ab", Request{System: "c", User: "u"}}, {"a", Request{System: "bc", User: "u"}}},
+		// system / user boundary
+		{{"m", Request{System: "ab", User: "c"}}, {"m", Request{System: "a", User: "bc"}}},
+		// whole-field migration
+		{{"m", Request{System: "xy", User: ""}}, {"m", Request{System: "", User: "xy"}}},
+		{{"mxy", Request{}}, {"m", Request{System: "xy"}}},
+	}
+	for i, p := range pairs {
+		a := requestKey(p[0].model, p[0].req)
+		b := requestKey(p[1].model, p[1].req)
+		if a == b {
+			t.Errorf("pair %d: boundary shift collides (%+v vs %+v)", i, p[0], p[1])
+		}
+	}
+}
+
+// TestRequestKeySweepNoCollisions hashes a broad grid of
+// (model, options, resolution) combinations — every pair distinct.
+func TestRequestKeySweepNoCollisions(t *testing.T) {
+	models := []string{"gpt-4", "gpt-3.5-turbo", "llama3-8b", "codellama-7b", "codegemma", "oracle"}
+	resolutions := []string{"480 x 270", "640 x 360", "1920 x 1080"}
+	options := []string{"", "\nfew-shot", "\napi-reference"}
+	seen := map[uint64]string{}
+	for _, m := range models {
+		for _, res := range resolutions {
+			for _, opt := range options {
+				req := Request{
+					System: "Generate a ParaView script." + opt,
+					User:   "isosurface of var0, screenshot at " + res + " pixels",
+				}
+				id := fmt.Sprintf("%s/%s/%q", m, res, opt)
+				k := requestKey(m, req)
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("%s collides with %s", id, prev)
+				}
+				seen[k] = id
+			}
+		}
+	}
+	if len(seen) != len(models)*len(resolutions)*len(options) {
+		t.Fatalf("sweep lost keys: %d", len(seen))
+	}
+}
+
+// TestWithCacheKeysIsolateModels drives the middleware itself: the same
+// request through caches over two different models must not share
+// entries, while the same model+request must.
+func TestWithCacheKeysIsolateModels(t *testing.T) {
+	calls := map[string]int{}
+	var mu sync.Mutex
+	mk := func(name string) Client {
+		return WithCache()(&ClientFunc{
+			ModelName: name,
+			Fn: func(ctx context.Context, req Request) (Response, error) {
+				mu.Lock()
+				calls[name]++
+				mu.Unlock()
+				return Response{Text: name + ":" + req.User, Model: name}, nil
+			},
+		})
+	}
+	a, b := mk("model-a"), mk("model-b")
+	req := Request{System: "s", User: "u"}
+	for i := 0; i < 3; i++ {
+		ra, err := a.Complete(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Text != "model-a:u" {
+			t.Fatalf("cache leaked across models: %q", ra.Text)
+		}
+		rb, err := b.Complete(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Text != "model-b:u" {
+			t.Fatalf("cache leaked across models: %q", rb.Text)
+		}
+	}
+	if calls["model-a"] != 1 || calls["model-b"] != 1 {
+		t.Errorf("each model should be called exactly once: %v", calls)
+	}
+}

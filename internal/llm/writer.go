@@ -503,14 +503,27 @@ func RenderStepPrompt(spec TaskSpec) string {
 		case OpTube:
 			b.WriteString("- Render the streamlines with tubes.\n")
 		case OpGlyph:
-			fmt.Fprintf(&b, "- Add %s glyphs to the streamlines.\n", strings.ToLower(op.GlyphType))
+			// Only mention streamlines when the spec has them: the rendered
+			// prompt round-trips through ParseIntent, and the word
+			// "streamlines" would otherwise conjure a StreamTracer op the
+			// user never asked for.
+			target := "the dataset"
+			if spec.HasOp(OpStreamlines) {
+				target = "the streamlines"
+			}
+			fmt.Fprintf(&b, "- Add %s glyphs to %s.\n", strings.ToLower(op.GlyphType), target)
 		}
 	}
 	if spec.SolidColor != "" {
 		fmt.Fprintf(&b, "- Color the contour %s.\n", spec.SolidColor)
 	}
 	if spec.ColorArray != "" {
-		fmt.Fprintf(&b, "- Color the streamlines and glyphs by the %s data array.\n", spec.ColorArray)
+		if spec.HasOp(OpStreamlines) {
+			fmt.Fprintf(&b, "- Color the streamlines and glyphs by the %s data array.\n", spec.ColorArray)
+		} else {
+			// Same round-trip concern as the glyph step above.
+			fmt.Fprintf(&b, "- Color the result by the %s data array.\n", spec.ColorArray)
+		}
 	}
 	if spec.Wireframe {
 		b.WriteString("- Render the image as a wireframe.\n")

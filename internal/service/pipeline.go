@@ -1,0 +1,101 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+)
+
+// PipelineConfig wires the real ChatVis pipeline for the daemon.
+type PipelineConfig struct {
+	// DataDir holds (or receives, on first job) the input datasets.
+	DataDir string
+	// OutDir is the root under which each job gets a private working
+	// directory for screenshots.
+	OutDir string
+	// DataSize selects dataset resolution (DataSmall keeps the stub
+	// profile fast; chatvisd -full switches to paper scale).
+	DataSize eval.DataSize
+	// Retries is the LLM middleware retry budget (default 1 = no retry).
+	Retries int
+	// Metrics receives every LLM call across all jobs and models; the
+	// server surfaces its snapshot at /metrics.
+	Metrics *llm.Metrics
+	// DisableCache turns off the shared LLM response cache.
+	DisableCache bool
+}
+
+// NewChatVisPipeline builds the production PipelineFunc: per-model
+// client stacks (metrics → retry → cache, shared across jobs so
+// repeated stages hit the response cache underneath job-level
+// coalescing), datasets generated on first use, and one isolated
+// output directory per job.
+func NewChatVisPipeline(cfg PipelineConfig) PipelineFunc {
+	if cfg.Retries < 1 {
+		cfg.Retries = 1
+	}
+	var (
+		dataOnce sync.Once
+		dataErr  error
+
+		mu      sync.Mutex
+		clients = map[string]llm.Client{}
+	)
+	clientFor := func(model string) (llm.Client, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := clients[model]; ok {
+			return c, nil
+		}
+		base, err := llm.NewModel(model)
+		if err != nil {
+			return nil, err
+		}
+		mws := []llm.Middleware{}
+		if cfg.Metrics != nil {
+			mws = append(mws, llm.WithMetrics(cfg.Metrics))
+		}
+		mws = append(mws, llm.WithRetry(cfg.Retries, 50*time.Millisecond))
+		if !cfg.DisableCache {
+			mws = append(mws, llm.WithCache())
+		}
+		c := llm.Chain(base, mws...)
+		clients[model] = c
+		return c, nil
+	}
+
+	return func(ctx context.Context, req JobRequest, jobID string) (*chatvis.Artifact, error) {
+		dataOnce.Do(func() {
+			dataErr = eval.EnsureData(cfg.DataDir, cfg.DataSize)
+		})
+		if dataErr != nil {
+			return nil, fmt.Errorf("service: preparing datasets: %w", dataErr)
+		}
+		model, err := clientFor(req.Model)
+		if err != nil {
+			return nil, err
+		}
+		runner := &pvpython.Runner{
+			DataDir: cfg.DataDir,
+			OutDir:  filepath.Join(cfg.OutDir, jobID),
+		}
+		if req.Unassisted {
+			return chatvis.Unassisted(ctx, model, runner, req.Prompt)
+		}
+		assistant, err := chatvis.NewAssistant(model, runner,
+			chatvis.WithMaxIterations(req.MaxIterations),
+			chatvis.WithFewShot(req.FewShot),
+			chatvis.WithRewrite(!req.NoRewrite))
+		if err != nil {
+			return nil, err
+		}
+		return assistant.Run(ctx, req.Prompt)
+	}
+}

@@ -1,0 +1,450 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chatvis/internal/chatvis"
+)
+
+// PipelineFunc runs one ChatVis pipeline for a request and returns the
+// session artifact. The context carries per-job cancellation (client
+// cancel, daemon shutdown); jobID names a private working directory for
+// the job's screenshots.
+type PipelineFunc func(ctx context.Context, req JobRequest, jobID string) (*chatvis.Artifact, error)
+
+// QueueOptions configures a Queue.
+type QueueOptions struct {
+	// Workers is the pipeline concurrency (default 2).
+	Workers int
+	// Capacity bounds the backlog of queued jobs; Submit returns
+	// ErrQueueFull beyond it (default 256).
+	Capacity int
+	// Pipeline executes jobs (required).
+	Pipeline PipelineFunc
+	// Store receives finished results and serves repeat submissions
+	// (required).
+	Store *Store
+	// RetainJobs bounds the in-memory job records (default 4096):
+	// beyond it, the oldest terminal jobs are evicted so daemon memory
+	// stays flat under sustained traffic. Evicted job IDs 404 on
+	// GET /v1/jobs/{id}; their results remain addressable through the
+	// store by resubmitting the request.
+	RetainJobs int
+}
+
+// ErrQueueFull is returned by Submit when the backlog is at capacity.
+var ErrQueueFull = fmt.Errorf("service: job queue is full")
+
+// ErrQueueClosed is returned by Submit after Shutdown begins.
+var ErrQueueClosed = fmt.Errorf("service: queue is shut down")
+
+// Submission classifies what a Submit call did.
+type Submission string
+
+// Submission outcomes.
+const (
+	// SubmissionNew enqueued a fresh execution.
+	SubmissionNew Submission = "new"
+	// SubmissionCoalesced attached to an identical in-flight job.
+	SubmissionCoalesced Submission = "coalesced"
+	// SubmissionStoreHit was answered from the artifact store without
+	// executing anything.
+	SubmissionStoreHit Submission = "store"
+)
+
+// Queue runs ChatVis pipelines asynchronously on a worker pool with
+// request coalescing: identical concurrent submissions (same content
+// key) share one execution, and keys already in the store never execute
+// at all. Shutdown drains in-flight work before returning.
+type Queue struct {
+	opts  QueueOptions
+	store *Store
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job // by ID
+	byKey  map[string]*Job // latest job per content key
+	order  []string        // job IDs in submission order, for listing
+	seq    int64
+
+	work chan *Job
+	wg   sync.WaitGroup
+
+	m queueMetrics
+}
+
+// queueMetrics are the queue's atomically-updated counters.
+type queueMetrics struct {
+	submitted atomic.Int64
+	coalesced atomic.Int64
+	storeHits atomic.Int64
+	executed  atomic.Int64
+	succeeded atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	running   atomic.Int64
+
+	latencyNanos atomic.Int64
+	latencyCount atomic.Int64
+	buckets      [numLatencyBuckets + 1]atomic.Int64
+}
+
+// latencyBuckets are the job-duration histogram upper bounds (seconds);
+// the histogram has one extra +Inf overflow slot.
+const numLatencyBuckets = 7
+
+var latencyBuckets = [numLatencyBuckets]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// QueueSnapshot is a point-in-time copy of the queue counters.
+type QueueSnapshot struct {
+	Submitted int64
+	Coalesced int64
+	StoreHits int64
+	Executed  int64
+	Succeeded int64
+	Failed    int64
+	Canceled  int64
+	Running   int64
+	Depth     int64
+	// LatencyTotal / LatencyCount summarize executed-job durations.
+	LatencyTotal time.Duration
+	LatencyCount int64
+	// BucketCounts[i] counts jobs whose duration fell in the interval
+	// (latencyBuckets[i-1], latencyBuckets[i]] — per-interval, NOT
+	// cumulative; the final slot is the +Inf overflow. The /metrics
+	// handler re-accumulates these into Prometheus cumulative buckets.
+	BucketCounts []int64
+}
+
+// NewQueue builds a queue and starts its workers.
+func NewQueue(opts QueueOptions) (*Queue, error) {
+	if opts.Pipeline == nil {
+		return nil, fmt.Errorf("service: queue needs a pipeline")
+	}
+	if opts.Store == nil {
+		return nil, fmt.Errorf("service: queue needs a store")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 2
+	}
+	if opts.Capacity < 1 {
+		opts.Capacity = 256
+	}
+	if opts.RetainJobs < 1 {
+		opts.RetainJobs = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		opts:       opts,
+		store:      opts.Store,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		byKey:      map[string]*Job{},
+		work:       make(chan *Job, opts.Capacity),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// Submit registers a request: it either coalesces onto an identical
+// in-flight job, answers from the store, or enqueues a new execution.
+func (q *Queue) Submit(req JobRequest) (*Job, Submission, error) {
+	if err := req.Validate(); err != nil {
+		return nil, "", err
+	}
+	req = req.withDefaults()
+	key := Key(req)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, "", ErrQueueClosed
+	}
+	q.m.submitted.Add(1)
+
+	// Singleflight: an identical job still in flight is shared. A
+	// finished job is not — successes are answered from the store below
+	// (the worker persists the result before marking the job terminal),
+	// and failures/cancellations must not block a retry.
+	if existing := q.byKey[key]; existing != nil {
+		st := existing.Status()
+		if st == StatusQueued || st == StatusRunning {
+			existing.mu.Lock()
+			existing.coalesced++
+			existing.mu.Unlock()
+			q.m.coalesced.Add(1)
+			return existing, SubmissionCoalesced, nil
+		}
+	}
+
+	// Store lookup: a previously executed identical request is answered
+	// without touching the queue (or an LLM).
+	if res, ok := q.store.GetResult(key); ok {
+		job := q.newJobLocked(key, req)
+		job.mu.Lock()
+		job.fromStore = true
+		job.result = res
+		job.finishTerminalLocked(StatusSucceeded, "")
+		job.mu.Unlock()
+		q.m.storeHits.Add(1)
+		return job, SubmissionStoreHit, nil
+	}
+
+	job := q.newJobLocked(key, req)
+	select {
+	case q.work <- job:
+	default:
+		// Backlog full: unregister the stillborn job.
+		delete(q.jobs, job.ID)
+		delete(q.byKey, key)
+		q.order = q.order[:len(q.order)-1]
+		return nil, "", ErrQueueFull
+	}
+	return job, SubmissionNew, nil
+}
+
+// newJobLocked allocates and registers a job. Callers hold q.mu.
+func (q *Queue) newJobLocked(key string, req JobRequest) *Job {
+	q.seq++
+	job := &Job{
+		ID:          fmt.Sprintf("job-%d", q.seq),
+		Key:         key,
+		Req:         req,
+		status:      StatusQueued,
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
+	}
+	q.jobs[job.ID] = job
+	q.byKey[key] = job
+	q.order = append(q.order, job.ID)
+	q.evictLocked()
+	return job
+}
+
+// evictLocked drops the oldest terminal jobs once the record count
+// exceeds RetainJobs, keeping daemon memory flat under sustained
+// traffic. Live (queued/running) jobs are never evicted. Callers hold
+// q.mu; the q.mu → job.mu lock order matches Submit's.
+func (q *Queue) evictLocked() {
+	excess := len(q.order) - q.opts.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := q.order[:0]
+	for _, id := range q.order {
+		job := q.jobs[id]
+		if excess > 0 && job.Status().Terminal() {
+			delete(q.jobs, id)
+			if q.byKey[job.Key] == job {
+				delete(q.byKey, job.Key)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+}
+
+// Get returns a job by ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all tracked jobs in submission order.
+func (q *Queue) Jobs() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id])
+	}
+	return out
+}
+
+// worker drains the work channel until Shutdown closes it.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for job := range q.work {
+		q.run(job)
+	}
+}
+
+// run executes one job through the pipeline and stores its artifacts.
+func (q *Queue) run(job *Job) {
+	job.mu.Lock()
+	if job.status.Terminal() { // canceled while queued
+		job.mu.Unlock()
+		q.m.canceled.Add(1)
+		return
+	}
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	job.cancelFn = cancel
+	job.status = StatusRunning
+	job.startedAt = time.Now()
+	job.mu.Unlock()
+	defer cancel()
+
+	q.m.running.Add(1)
+	q.m.executed.Add(1)
+	start := time.Now()
+	art, err := q.opts.Pipeline(ctx, job.Req, job.ID)
+	q.recordLatency(time.Since(start))
+	q.m.running.Add(-1)
+
+	if err != nil {
+		job.mu.Lock()
+		if ctx.Err() != nil {
+			job.finishTerminalLocked(StatusCanceled, err.Error())
+			job.mu.Unlock()
+			q.m.canceled.Add(1)
+			return
+		}
+		job.finishTerminalLocked(StatusFailed, err.Error())
+		job.mu.Unlock()
+		q.m.failed.Add(1)
+		return
+	}
+
+	res, err := q.storeArtifact(job, art)
+	job.mu.Lock()
+	if err != nil {
+		job.finishTerminalLocked(StatusFailed, err.Error())
+		job.mu.Unlock()
+		q.m.failed.Add(1)
+		return
+	}
+	job.result = res
+	job.finishTerminalLocked(StatusSucceeded, "")
+	job.mu.Unlock()
+	q.m.succeeded.Add(1)
+}
+
+// storeArtifact persists a finished session into the content-addressed
+// store and builds the job's Result.
+func (q *Queue) storeArtifact(job *Job, art *chatvis.Artifact) (*Result, error) {
+	scriptHash, err := q.store.Put([]byte(art.FinalScript), "text/x-python")
+	if err != nil {
+		return nil, err
+	}
+	var shots []string
+	for _, path := range art.Screenshots {
+		png, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("service: reading screenshot %s: %w", path, err)
+		}
+		h, err := q.store.Put(png, "image/png")
+		if err != nil {
+			return nil, err
+		}
+		shots = append(shots, h)
+	}
+	encoded, err := chatvis.EncodeArtifact(art)
+	if err != nil {
+		return nil, err
+	}
+	artHash, err := q.store.Put(encoded, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Key:              job.Key,
+		Model:            job.Req.Model,
+		Success:          art.Success,
+		Iterations:       art.NumIterations(),
+		ScriptHash:       scriptHash,
+		ScreenshotHashes: shots,
+		ArtifactHash:     artHash,
+		Trace:            art.Trace,
+		CreatedAt:        time.Now(),
+	}
+	if err := q.store.PutResult(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// recordLatency updates the duration histogram.
+func (q *Queue) recordLatency(d time.Duration) {
+	q.m.latencyNanos.Add(int64(d))
+	q.m.latencyCount.Add(1)
+	secs := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			q.m.buckets[i].Add(1)
+			return
+		}
+	}
+	q.m.buckets[len(latencyBuckets)].Add(1)
+}
+
+// Depth is the current backlog (queued, not yet picked up).
+func (q *Queue) Depth() int { return len(q.work) }
+
+// Snapshot returns the queue counters.
+func (q *Queue) Snapshot() QueueSnapshot {
+	s := QueueSnapshot{
+		Submitted:    q.m.submitted.Load(),
+		Coalesced:    q.m.coalesced.Load(),
+		StoreHits:    q.m.storeHits.Load(),
+		Executed:     q.m.executed.Load(),
+		Succeeded:    q.m.succeeded.Load(),
+		Failed:       q.m.failed.Load(),
+		Canceled:     q.m.canceled.Load(),
+		Running:      q.m.running.Load(),
+		Depth:        int64(len(q.work)),
+		LatencyTotal: time.Duration(q.m.latencyNanos.Load()),
+		LatencyCount: q.m.latencyCount.Load(),
+	}
+	s.BucketCounts = make([]int64, len(q.m.buckets))
+	for i := range q.m.buckets {
+		s.BucketCounts[i] = q.m.buckets[i].Load()
+	}
+	return s
+}
+
+// Shutdown stops accepting submissions and drains the queue: workers
+// finish queued and in-flight jobs. If ctx expires first, in-flight
+// pipelines are canceled and Shutdown returns ctx.Err after they
+// unwind.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.work)
+	q.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		// Force: cancel every in-flight pipeline, then wait for workers
+		// to unwind (pipelines honour their contexts).
+		q.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+)
+
+// Server is the chatvisd HTTP API over a Queue and Store.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a request (async; coalesced/cached)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status, result hashes and trace
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/artifacts/{hash} raw stored object (script / png / artifact)
+//	GET    /v1/scenarios        registered evaluation scenarios
+//	GET    /healthz             liveness + queue depth
+//	GET    /metrics             Prometheus-style counters and histograms
+type Server struct {
+	queue *Queue
+	store *Store
+	// llmMetrics is the shared middleware metrics the pipeline records
+	// into; may be nil.
+	llmMetrics *llm.Metrics
+	started    time.Time
+}
+
+// NewServer builds a server over its subsystems.
+func NewServer(q *Queue, s *Store, m *llm.Metrics) *Server {
+	return &Server{queue: q, store: s, llmMetrics: m, started: time.Now()}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the POST /v1/jobs body: the job view plus how the
+// submission was satisfied.
+type submitResponse struct {
+	View
+	// Submission is "new", "coalesced" or "store".
+	Submission Submission `json:"submission"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Reject unknown models before queueing so the client hears about a
+	// typo now, not from a failed job later.
+	if model := req.withDefaults().Model; model != "" {
+		if _, err := llm.NewModel(model); err != nil {
+			writeError(w, http.StatusBadRequest, "unknown model %q (have %s)",
+				model, strings.Join(llm.ModelNames(), ", "))
+			return
+		}
+	}
+	job, outcome, err := s.queue.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if outcome == SubmissionStoreHit {
+		code = http.StatusOK // already complete
+	}
+	writeJSON(w, code, submitResponse{View: job.Snapshot(), Submission: outcome})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.Jobs()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	content, info, err := s.store.Get(hash)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown artifact %q", hash)
+		return
+	}
+	w.Header().Set("Content-Type", info.ContentType)
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+	// Content-addressed objects never change: cache forever.
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	w.Header().Set("ETag", `"`+info.Hash+`"`)
+	_, _ = w.Write(content)
+}
+
+// scenarioView is one GET /v1/scenarios entry.
+type scenarioView struct {
+	ID         string `json:"id"`
+	Row        string `json:"row"`
+	Figure     string `json:"figure"`
+	Screenshot string `json:"screenshot"`
+	// Prompt is the scenario's user prompt at the requested resolution
+	// (?width=&height=, default 480x270) — ready to POST to /v1/jobs.
+	Prompt string `json:"prompt"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	width, height := 480, 270
+	if v, err := strconv.Atoi(r.URL.Query().Get("width")); err == nil && v > 0 {
+		width = v
+	}
+	if v, err := strconv.Atoi(r.URL.Query().Get("height")); err == nil && v > 0 {
+		height = v
+	}
+	scns := eval.Scenarios()
+	views := make([]scenarioView, 0, len(scns))
+	for _, scn := range scns {
+		views = append(views, scenarioView{
+			ID:         scn.ID,
+			Row:        scn.Row,
+			Figure:     scn.Figure,
+			Screenshot: scn.Screenshot,
+			Prompt:     scn.UserPrompt(width, height),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": views})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.queue.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"queue_depth":    snap.Depth,
+		"running":        snap.Running,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	emit := func(name, help string, value any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			name, help, name, metricType(name), name, value)
+	}
+	q := s.queue.Snapshot()
+	emit("chatvis_jobs_submitted_total", "Job submissions received.", q.Submitted)
+	emit("chatvis_jobs_coalesced_total", "Submissions coalesced onto an in-flight job.", q.Coalesced)
+	emit("chatvis_jobs_store_hits_total", "Submissions answered from the artifact store.", q.StoreHits)
+	emit("chatvis_jobs_executed_total", "Pipeline executions started.", q.Executed)
+	emit("chatvis_jobs_succeeded_total", "Jobs that finished successfully.", q.Succeeded)
+	emit("chatvis_jobs_failed_total", "Jobs that failed.", q.Failed)
+	emit("chatvis_jobs_canceled_total", "Jobs canceled before or during execution.", q.Canceled)
+	emit("chatvis_queue_depth", "Jobs queued and not yet picked up.", q.Depth)
+	emit("chatvis_jobs_running", "Pipelines executing right now.", q.Running)
+
+	// Job duration histogram (Prometheus cumulative buckets).
+	fmt.Fprintf(&b, "# HELP chatvis_job_duration_seconds Pipeline execution latency.\n")
+	fmt.Fprintf(&b, "# TYPE chatvis_job_duration_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += q.BucketCounts[i]
+		fmt.Fprintf(&b, "chatvis_job_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += q.BucketCounts[len(latencyBuckets)]
+	fmt.Fprintf(&b, "chatvis_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "chatvis_job_duration_seconds_sum %g\n", q.LatencyTotal.Seconds())
+	fmt.Fprintf(&b, "chatvis_job_duration_seconds_count %d\n", q.LatencyCount)
+
+	st := s.store.Stats()
+	emit("chatvis_store_objects", "Objects in the content-addressed store.", st.Objects)
+	emit("chatvis_store_bytes", "Bytes stored across all objects.", st.Bytes)
+	emit("chatvis_store_results", "Job results indexed by key.", st.Results)
+
+	if s.llmMetrics != nil {
+		m := s.llmMetrics.Snapshot()
+		emit("chatvis_llm_calls_total", "LLM completions attempted.", m.Calls)
+		emit("chatvis_llm_errors_total", "LLM completions that errored.", m.Errors)
+		emit("chatvis_llm_cache_hits_total", "Completions served from the response cache.", m.CacheHits)
+		emit("chatvis_llm_prompt_tokens_total", "Prompt tokens consumed.", m.PromptTokens)
+		emit("chatvis_llm_completion_tokens_total", "Completion tokens produced.", m.CompletionTokens)
+		emit("chatvis_llm_latency_seconds_total", "Cumulative LLM call latency.", m.TotalLatency.Seconds())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// metricType classifies a metric name for the TYPE line.
+func metricType(name string) string {
+	if strings.HasSuffix(name, "_total") {
+		return "counter"
+	}
+	return "gauge"
+}

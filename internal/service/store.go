@@ -1,0 +1,273 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is the content-addressed artifact store: opaque objects
+// (scripts, screenshots, serialized artifacts) keyed by the SHA-256 of
+// their bytes, plus a result index keyed by job key. Objects live on
+// the filesystem (two-level fan-out directories, written atomically via
+// rename); an in-memory index makes lookups and existence checks cheap.
+// The store is safe for concurrent use and survives daemon restarts:
+// NewStore reloads both indexes from disk.
+type Store struct {
+	dir string
+
+	mu      sync.RWMutex
+	objects map[string]ObjectInfo
+	results map[string]*Result
+	bytes   int64
+}
+
+// ObjectInfo describes one stored object.
+type ObjectInfo struct {
+	// Hash is the hex SHA-256 of the content.
+	Hash string `json:"hash"`
+	// Size in bytes.
+	Size int64 `json:"size"`
+	// ContentType is the MIME type recorded at Put time.
+	ContentType string `json:"content_type"`
+}
+
+// objectsSubdir and resultsSubdir are the on-disk layout roots.
+const (
+	objectsSubdir = "objects"
+	resultsSubdir = "results"
+)
+
+// NewStore opens (creating if needed) a store rooted at dir and loads
+// the indexes of any objects and results already on disk.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		objects: map[string]ObjectInfo{},
+		results: map[string]*Result{},
+	}
+	for _, sub := range []string{objectsSubdir, resultsSubdir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating store: %w", err)
+		}
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load rebuilds the in-memory indexes from the filesystem.
+func (s *Store) load() error {
+	objRoot := filepath.Join(s.dir, objectsSubdir)
+	err := filepath.Walk(objRoot, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		// Layout: objects/<hh>/<hash>.<type-tag>
+		base := filepath.Base(path)
+		hash, tag, _ := strings.Cut(base, ".")
+		if !validHash(hash) {
+			return nil
+		}
+		s.objects[hash] = ObjectInfo{
+			Hash:        hash,
+			Size:        info.Size(),
+			ContentType: typeForTag(tag),
+		}
+		s.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("service: loading object index: %w", err)
+	}
+	resRoot := filepath.Join(s.dir, resultsSubdir)
+	entries, err := os.ReadDir(resRoot)
+	if err != nil {
+		return fmt.Errorf("service: loading result index: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(resRoot, e.Name()))
+		if err != nil {
+			continue // a torn write from a crashed daemon; skip it
+		}
+		var r Result
+		if json.Unmarshal(b, &r) != nil || r.Key == "" {
+			continue
+		}
+		s.results[r.Key] = &r
+	}
+	return nil
+}
+
+func validHash(h string) bool {
+	if len(h) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(h)
+	return err == nil
+}
+
+// typeTags maps content types to the file-extension tag objects carry on
+// disk, so the index can be rebuilt without a sidecar metadata file.
+var typeTags = map[string]string{
+	"text/x-python":    "py",
+	"image/png":        "png",
+	"application/json": "json",
+}
+
+func tagForType(ct string) string {
+	if t, ok := typeTags[ct]; ok {
+		return t
+	}
+	return "bin"
+}
+
+func typeForTag(tag string) string {
+	for ct, t := range typeTags {
+		if t == tag {
+			return ct
+		}
+	}
+	return "application/octet-stream"
+}
+
+// HashBytes returns the store's content address for a byte string.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) objectPath(hash, ct string) string {
+	return filepath.Join(s.dir, objectsSubdir, hash[:2], hash+"."+tagForType(ct))
+}
+
+// Put stores content under its SHA-256 address and returns the hash.
+// Storing the same bytes twice is a no-op (that is the point of content
+// addressing): the existing object is reused whatever its content type.
+func (s *Store) Put(content []byte, contentType string) (string, error) {
+	hash := HashBytes(content)
+	s.mu.RLock()
+	_, exists := s.objects[hash]
+	s.mu.RUnlock()
+	if exists {
+		return hash, nil
+	}
+	path := s.objectPath(hash, contentType)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("service: storing object: %w", err)
+	}
+	// Write-then-rename keeps concurrent writers of the same content
+	// from observing torn objects.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("service: storing object: %w", err)
+	}
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("service: storing object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("service: storing object: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("service: storing object: %w", err)
+	}
+	s.mu.Lock()
+	if _, dup := s.objects[hash]; !dup {
+		s.objects[hash] = ObjectInfo{Hash: hash, Size: int64(len(content)), ContentType: contentType}
+		s.bytes += int64(len(content))
+	}
+	s.mu.Unlock()
+	return hash, nil
+}
+
+// Get returns the content and metadata for a hash.
+func (s *Store) Get(hash string) ([]byte, ObjectInfo, error) {
+	s.mu.RLock()
+	info, ok := s.objects[hash]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ObjectInfo{}, fmt.Errorf("service: unknown object %s", hash)
+	}
+	b, err := os.ReadFile(s.objectPath(hash, info.ContentType))
+	if err != nil {
+		return nil, ObjectInfo{}, fmt.Errorf("service: reading object %s: %w", hash, err)
+	}
+	return b, info, nil
+}
+
+// Has reports whether the hash is stored.
+func (s *Store) Has(hash string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[hash]
+	return ok
+}
+
+// PutResult indexes a finished pipeline's result under its job key and
+// persists it so restarts keep serving it.
+func (s *Store) PutResult(r *Result) error {
+	if r == nil || r.Key == "" {
+		return fmt.Errorf("service: result must carry a job key")
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding result: %w", err)
+	}
+	path := filepath.Join(s.dir, resultsSubdir, r.Key+".json")
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: storing result: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: storing result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: storing result: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: storing result: %w", err)
+	}
+	s.mu.Lock()
+	s.results[r.Key] = r
+	s.mu.Unlock()
+	return nil
+}
+
+// GetResult returns the stored result for a job key, if any.
+func (s *Store) GetResult(key string) (*Result, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.results[key]
+	return r, ok
+}
+
+// Stats is a point-in-time store size summary for /metrics.
+type Stats struct {
+	Objects int
+	Bytes   int64
+	Results int
+}
+
+// Stats returns the current store sizes.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Objects: len(s.objects), Bytes: s.bytes, Results: len(s.results)}
+}
