@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race test-race-service bench bench-grid bench-serve build serve smoke
+.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-grid bench-serve build serve smoke
 
 ci: fmt vet test-race smoke
 
@@ -45,6 +45,13 @@ smoke:
 # All paper-reproduction benchmarks (tables, figures, ablations).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable perf trajectory of the compute substrate: runs the
+# BenchmarkSubstrate_* kernels serial vs parallel and rewrites
+# BENCH_substrate.json (ns/op, allocs, GOMAXPROCS, speedup) so future
+# PRs can diff hot-path performance.
+bench-core:
+	$(GO) run ./cmd/benchcore -out BENCH_substrate.json
 
 # Just the serial-vs-concurrent grid sweep comparison.
 bench-grid:

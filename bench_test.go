@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"chatvis/internal/benchkernels"
 	"chatvis/internal/chatvis"
 	"chatvis/internal/datagen"
 	"chatvis/internal/eval"
@@ -27,10 +28,8 @@ import (
 	"chatvis/internal/llm"
 	"chatvis/internal/pvpython"
 	"chatvis/internal/pvsim"
-	"chatvis/internal/render"
 	"chatvis/internal/scriptcmp"
 	"chatvis/internal/service"
-	"chatvis/internal/vmath"
 	"chatvis/internal/vtkio"
 )
 
@@ -347,14 +346,12 @@ func BenchmarkSubstrate_MarschnerLobbGen(b *testing.B) {
 	}
 }
 
+// The five substrate kernels benchcore also measures live in
+// internal/benchkernels — one definition, so BENCH_substrate.json and
+// `go test -bench BenchmarkSubstrate_` always agree on the workload.
+
 func BenchmarkSubstrate_Isosurface64(b *testing.B) {
-	vol := datagen.MarschnerLobb(64)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := filters.Contour(vol, "var0", 0.5); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchkernels.Substrate["Substrate_Isosurface64"](b)
 }
 
 func BenchmarkSubstrate_Delaunay500(b *testing.B) {
@@ -368,43 +365,15 @@ func BenchmarkSubstrate_Delaunay500(b *testing.B) {
 }
 
 func BenchmarkSubstrate_StreamTracer(b *testing.B) {
-	disk := datagen.DiskFlow(8, 32, 8)
-	sampler, err := filters.NewGridSampler(disk, "V")
-	if err != nil {
-		b.Fatal(err)
-	}
-	seeds := filters.DefaultPointCloudSeeds(disk.Bounds(), 50)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		filters.StreamTracer(sampler, seeds, filters.StreamTracerOptions{})
-	}
+	benchkernels.Substrate["Substrate_StreamTracer"](b)
 }
 
 func BenchmarkSubstrate_SurfaceRender(b *testing.B) {
-	vol := datagen.MarschnerLobb(48)
-	surf, err := filters.Contour(vol, "var0", 0.5)
-	if err != nil {
-		b.Fatal(err)
-	}
-	filters.ComputePointNormals(surf)
-	r := render.NewRenderer()
-	r.AddActor(render.NewActor(surf))
-	r.ResetCamera()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Render(640, 360)
-	}
+	benchkernels.Substrate["Substrate_SurfaceRender"](b)
 }
 
 func BenchmarkSubstrate_VolumeRayCast(b *testing.B) {
-	vol := datagen.MarschnerLobb(48)
-	r := render.NewRenderer()
-	r.AddVolume(render.NewVolumeActor(vol, "var0"))
-	r.ResetCamera()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Render(320, 180)
-	}
+	benchkernels.Substrate["Substrate_VolumeRayCast"](b)
 }
 
 func BenchmarkSubstrate_PvPythonExec(b *testing.B) {
@@ -426,16 +395,7 @@ func BenchmarkSubstrate_PvPythonExec(b *testing.B) {
 }
 
 func BenchmarkSubstrate_ClipPolyData(b *testing.B) {
-	vol := datagen.MarschnerLobb(48)
-	surf, err := filters.Contour(vol, "var0", 0.5)
-	if err != nil {
-		b.Fatal(err)
-	}
-	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		filters.ClipPolyData(surf, plane)
-	}
+	benchkernels.Substrate["Substrate_ClipPolyData"](b)
 }
 
 // --- Serving-layer benchmark -------------------------------------------------

@@ -1,0 +1,105 @@
+// Command benchcore runs the substrate micro-benchmarks (the
+// BenchmarkSubstrate_* suite: isosurfacing, streamline tracing, surface
+// rendering, volume ray casting and plane clipping) at serial and
+// parallel worker counts and writes a machine-readable perf record,
+// BENCH_substrate.json, so future PRs can diff the perf trajectory of
+// the hot path instead of eyeballing benchmark logs.
+//
+// Usage:
+//
+//	go run ./cmd/benchcore -out BENCH_substrate.json [-workers N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"chatvis/internal/benchkernels"
+	"chatvis/internal/par"
+)
+
+// benchResult is one (benchmark, worker-count) measurement.
+type benchResult struct {
+	Name        string `json:"name"`
+	Workers     int    `json:"workers"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// SpeedupVsSerial is ns/op(workers=1) / ns/op(this run); 0 for the
+	// serial run itself.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// benchFile is the BENCH_substrate.json schema.
+type benchFile struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoVersion     string        `json:"go_version"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	NumCPU        int           `json:"num_cpu"`
+	Benchmarks    []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_substrate.json", "output JSON path")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel worker count to compare against the serial (workers=1) baseline")
+	flag.Parse()
+
+	kernels := benchkernels.Substrate
+	file := benchFile{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+	}
+	counts := []int{1}
+	if *workers > 1 {
+		counts = append(counts, *workers)
+	}
+	for _, name := range benchkernels.Order {
+		fn := kernels[name]
+		serialNs := int64(0)
+		for _, w := range counts {
+			par.SetWorkers(w)
+			res := testing.Benchmark(fn)
+			r := benchResult{
+				Name:        name,
+				Workers:     w,
+				Iterations:  res.N,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			if w == 1 {
+				serialNs = res.NsPerOp()
+			} else if serialNs > 0 && res.NsPerOp() > 0 {
+				r.SpeedupVsSerial = float64(serialNs) / float64(res.NsPerOp())
+			}
+			file.Benchmarks = append(file.Benchmarks, r)
+			fmt.Printf("%-26s workers=%-2d %12d ns/op %10d B/op %8d allocs/op",
+				name, w, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+			if r.SpeedupVsSerial > 0 {
+				fmt.Printf("  %.2fx vs serial", r.SpeedupVsSerial)
+			}
+			fmt.Println()
+		}
+	}
+	par.SetWorkers(0)
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatalf("benchcore: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatalf("benchcore: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	chatvisd -addr :8080 -data ./data -out ./out -workers 4
+//	chatvisd -addr :8080 -data ./data -out ./out -workers 4 \
+//	         -compute-workers 8 -dataset-cache-mb 256
+//
+// -workers sizes the job queue's worker pool; -compute-workers sizes the
+// parallel compute substrate each job executes on (filters, rasterizer,
+// pipeline DAG); -dataset-cache-mb bounds the process-wide content-hash
+// dataset cache shared across jobs. All three surface in /metrics.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/artifacts/{hash},
 // GET /v1/scenarios, GET /healthz, GET /metrics. See the README for curl
@@ -27,8 +33,10 @@ import (
 	"syscall"
 	"time"
 
+	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
+	"chatvis/internal/par"
 	"chatvis/internal/service"
 )
 
@@ -42,6 +50,12 @@ type daemonConfig struct {
 	retries  int
 	full     bool
 	noCache  bool
+	// computeWorkers sizes the parallel compute substrate (filters,
+	// rasterizer, pipeline DAG); 0 follows GOMAXPROCS.
+	computeWorkers int
+	// datasetCacheMB bounds the shared in-memory dataset cache; 0
+	// disables it.
+	datasetCacheMB int
 }
 
 // buildDaemon wires store → pipeline → queue → server, shared by main
@@ -49,6 +63,11 @@ type daemonConfig struct {
 func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metrics, error) {
 	if cfg.storeDir == "" {
 		cfg.storeDir = filepath.Join(cfg.outDir, "store")
+	}
+	par.SetWorkers(cfg.computeWorkers)
+	var dsCache *data.Cache
+	if cfg.datasetCacheMB > 0 {
+		dsCache = data.NewCache(int64(cfg.datasetCacheMB) << 20)
 	}
 	store, err := service.NewStore(cfg.storeDir)
 	if err != nil {
@@ -66,6 +85,7 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metric
 		Retries:      cfg.retries,
 		Metrics:      metrics,
 		DisableCache: cfg.noCache,
+		DatasetCache: dsCache,
 	})
 	queue, err := service.NewQueue(service.QueueOptions{
 		Workers:  cfg.workers,
@@ -76,7 +96,8 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metric
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return queue, service.NewServer(queue, store, metrics), metrics, nil
+	server := service.NewServer(queue, store, metrics).WithDatasetCache(dsCache)
+	return queue, server, metrics, nil
 }
 
 func main() {
@@ -91,6 +112,11 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale datasets")
 		noCache  = flag.Bool("no-cache", false, "disable the shared LLM response cache")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before in-flight jobs are canceled")
+
+		computeWorkers = flag.Int("compute-workers", 0,
+			"worker-pool size for filters/rasterizer/pipeline execution (0 = GOMAXPROCS)")
+		datasetCacheMB = flag.Int("dataset-cache-mb", 256,
+			"in-memory dataset cache shared across jobs, in MiB (0 disables)")
 	)
 	flag.Parse()
 
@@ -104,14 +130,16 @@ func main() {
 	}()
 
 	queue, server, _, err := buildDaemon(daemonConfig{
-		dataDir:  *dataDir,
-		outDir:   *outDir,
-		storeDir: *storeDir,
-		workers:  *workers,
-		queueCap: *queueCap,
-		retries:  *retries,
-		full:     *full,
-		noCache:  *noCache,
+		dataDir:        *dataDir,
+		outDir:         *outDir,
+		storeDir:       *storeDir,
+		workers:        *workers,
+		queueCap:       *queueCap,
+		retries:        *retries,
+		full:           *full,
+		noCache:        *noCache,
+		computeWorkers: *computeWorkers,
+		datasetCacheMB: *datasetCacheMB,
 	})
 	if err != nil {
 		log.Fatalf("chatvisd: %v", err)
@@ -120,8 +148,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("chatvisd: listening on %s (%d workers, models: %v)",
-			*addr, *workers, llm.ModelNames())
+		log.Printf("chatvisd: listening on %s (%d job workers, %d compute workers, %d MiB dataset cache, models: %v)",
+			*addr, *workers, par.Workers(), *datasetCacheMB, llm.ModelNames())
 		errCh <- srv.ListenAndServe()
 	}()
 

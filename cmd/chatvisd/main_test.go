@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"chatvis/internal/par"
 	"chatvis/internal/service"
 )
 
@@ -269,6 +270,106 @@ func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
 	if snap := queue.Snapshot(); snap.Executed != 1 {
 		t.Errorf("executed = %d, want 1 (n=%d identical submissions)", snap.Executed, n)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := queue.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDaemonComputeFlagsAndDatasetCache covers the -compute-workers /
+// -dataset-cache-mb plumbing: the worker count lands in the par pool and
+// /metrics, and two different jobs over the same input dataset share the
+// content-hash dataset cache (the second job's reader is a cache hit).
+func TestDaemonComputeFlagsAndDatasetCache(t *testing.T) {
+	queue, server, _, err := buildDaemon(daemonConfig{
+		dataDir:        t.TempDir(),
+		outDir:         t.TempDir(),
+		workers:        2,
+		computeWorkers: 3,
+		datasetCacheMB: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.SetWorkers(0)
+	if got := par.Workers(); got != 3 {
+		t.Fatalf("par.Workers() = %d, want 3 (from -compute-workers)", got)
+	}
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	submit := func(iso string) {
+		t.Helper()
+		body, _ := json.Marshal(service.JobRequest{
+			Prompt: "Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value " + iso + ". Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 320 x 180 pixels.",
+			Model:  "oracle", Width: 320, Height: 180,
+		})
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", sub.ID)
+			}
+			resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v service.View
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Status.Terminal() {
+				if v.Status != service.StatusSucceeded {
+					t.Fatalf("job %s = %s (%s)", sub.ID, v.Status, v.Error)
+				}
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// Two distinct prompts (no store/coalescing dedup) over one dataset.
+	submit("0.4000")
+	submit("0.6000")
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"chatvis_compute_workers 3",
+		"chatvis_dataset_cache_entries",
+		"chatvis_dataset_cache_capacity_bytes 67108864",
+		"chatvis_dataset_cache_hits_total",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The second job re-read the same file: the shared dataset cache must
+	// report at least one hit.
+	for _, line := range strings.Split(string(metricsBody), "\n") {
+		if strings.HasPrefix(line, "chatvis_dataset_cache_hits_total ") {
+			if strings.TrimSpace(strings.TrimPrefix(line, "chatvis_dataset_cache_hits_total ")) == "0" {
+				t.Errorf("dataset cache saw no hits across two jobs on one input: %s", line)
+			}
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := queue.Shutdown(ctx); err != nil {

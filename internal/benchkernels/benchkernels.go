@@ -1,0 +1,87 @@
+// Package benchkernels holds the substrate micro-benchmark kernels —
+// the single definition shared by the root BenchmarkSubstrate_* suite
+// (bench_test.go) and cmd/benchcore, so the BENCH_substrate.json perf
+// trajectory always measures exactly the workload `go test -bench
+// BenchmarkSubstrate_` runs. Tune a kernel here and both stay in sync.
+package benchkernels
+
+import (
+	"testing"
+
+	"chatvis/internal/datagen"
+	"chatvis/internal/filters"
+	"chatvis/internal/render"
+	"chatvis/internal/vmath"
+)
+
+// Order fixes the reporting order of the shared kernels.
+var Order = []string{
+	"Substrate_Isosurface64",
+	"Substrate_StreamTracer",
+	"Substrate_SurfaceRender",
+	"Substrate_VolumeRayCast",
+	"Substrate_ClipPolyData",
+}
+
+// Substrate maps kernel name to benchmark body. Bodies do their setup
+// before b.ResetTimer so only the kernel under test is measured.
+var Substrate = map[string]func(b *testing.B){
+	"Substrate_Isosurface64": func(b *testing.B) {
+		vol := datagen.MarschnerLobb(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := filters.Contour(vol, "var0", 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	},
+	"Substrate_StreamTracer": func(b *testing.B) {
+		disk := datagen.DiskFlow(8, 32, 8)
+		sampler, err := filters.NewGridSampler(disk, "V")
+		if err != nil {
+			b.Fatal(err)
+		}
+		seeds := filters.DefaultPointCloudSeeds(disk.Bounds(), 50)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			filters.StreamTracer(sampler, seeds, filters.StreamTracerOptions{})
+		}
+	},
+	"Substrate_SurfaceRender": func(b *testing.B) {
+		vol := datagen.MarschnerLobb(48)
+		surf, err := filters.Contour(vol, "var0", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		filters.ComputePointNormals(surf)
+		r := render.NewRenderer()
+		r.AddActor(render.NewActor(surf))
+		r.ResetCamera()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Render(640, 360)
+		}
+	},
+	"Substrate_VolumeRayCast": func(b *testing.B) {
+		vol := datagen.MarschnerLobb(48)
+		r := render.NewRenderer()
+		r.AddVolume(render.NewVolumeActor(vol, "var0"))
+		r.ResetCamera()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Render(320, 180)
+		}
+	},
+	"Substrate_ClipPolyData": func(b *testing.B) {
+		vol := datagen.MarschnerLobb(48)
+		surf, err := filters.Contour(vol, "var0", 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			filters.ClipPolyData(surf, plane)
+		}
+	},
+}

@@ -117,9 +117,9 @@ func (a *Assistant) complete(ctx context.Context, trace *Trace, stage string, re
 }
 
 // exec performs one traced script execution.
-func (a *Assistant) exec(trace *Trace, round int, script string) *pvpython.Result {
+func (a *Assistant) exec(ctx context.Context, trace *Trace, round int, script string) *pvpython.Result {
 	start := time.Now()
-	res := a.runner.Exec(script)
+	res := a.runner.ExecContext(ctx, script)
 	trace.add(StageTrace{
 		Stage:    fmt.Sprintf("%s-%d", StageExec, round),
 		Duration: time.Since(start),
@@ -168,7 +168,7 @@ func (a *Assistant) Run(ctx context.Context, userPrompt string) (*Artifact, erro
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("chatvis: correction loop: %w", err)
 		}
-		res := a.exec(&art.Trace, iter+1, script)
+		res := a.exec(ctx, &art.Trace, iter+1, script)
 		reports := errext.Extract(res.Output)
 		art.Iterations = append(art.Iterations, Iteration{
 			Script: script,
@@ -297,7 +297,7 @@ func Unassisted(ctx context.Context, model llm.Client, runner *pvpython.Runner, 
 	// how markdown fences become syntax errors.
 	script := resp.Text
 	execStart := time.Now()
-	res := runner.Exec(script)
+	res := runner.ExecContext(ctx, script)
 	art.Trace.add(StageTrace{Stage: StageExec + "-1", Duration: time.Since(execStart)})
 	reports := errext.Extract(res.Output)
 	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports}}

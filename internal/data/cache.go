@@ -1,0 +1,239 @@
+package data
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a process-wide, size-bounded, content-keyed dataset cache.
+// Concurrent lookups of the same key are singleflight-guarded: one
+// caller computes, the rest wait and share the result — the same
+// discipline the chatvisd request coalescer applies one layer up, so
+// N jobs reading the same VTK file cost one parse and share one
+// in-memory Dataset.
+//
+// Cached datasets are shared across goroutines and MUST be treated as
+// immutable by every consumer (the filters all allocate fresh outputs;
+// nothing in the execution path mutates its input dataset).
+type Cache struct {
+	maxBytes int64
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	bytes    int64
+	inflight map[string]*cacheCall
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	ds   Dataset
+	size int64
+}
+
+type cacheCall struct {
+	done chan struct{}
+	ds   Dataset
+	err  error
+}
+
+// NewCache builds a cache bounded to maxBytes of (approximate) dataset
+// memory. maxBytes <= 0 disables bounding (cache grows without limit).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*cacheCall{},
+	}
+}
+
+// Get returns the cached dataset for key, marking it recently used.
+func (c *Cache) Get(key string) (Dataset, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).ds, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// GetOrCompute returns the dataset for key, computing it with fn on a
+// miss. Concurrent calls for the same key share one fn execution.
+// Non-cancellation errors are returned to every waiter and never
+// cached; if the computing caller fails with a context cancellation
+// (its OWN job being canceled says nothing about the waiters'), each
+// waiter retries the computation instead of failing spuriously. A
+// waiter blocked on a shared in-flight computation honors its own ctx.
+// The hit result reports whether the value came from the cache (or a
+// shared in-flight computation) rather than this caller's own fn run.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func() (Dataset, error)) (ds Dataset, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return el.Value.(*cacheEntry).ds, true, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case <-call.done:
+			}
+			if call.err != nil {
+				if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+					continue // leader's job was canceled, not ours: retry
+				}
+				return nil, false, call.err
+			}
+			c.hits.Add(1)
+			return call.ds, true, nil
+		}
+		call := &cacheCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		call.ds, call.err = fn()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.addLocked(key, call.ds)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		return call.ds, false, call.err
+	}
+}
+
+// Add inserts a dataset under key, evicting least-recently-used entries
+// to stay under the byte bound.
+func (c *Cache) Add(key string, ds Dataset) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(key, ds)
+}
+
+func (c *Cache) addLocked(key string, ds Dataset) {
+	if ds == nil {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	size := ApproxSize(ds)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		// Larger than the whole cache: inserting it would pin bytes
+		// above the bound forever (the eviction loop never evicts the
+		// sole survivor) and flush every useful smaller entry on the
+		// way. Serve it to the caller uncached instead.
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, ds: ds, size: size})
+	c.entries[key] = el
+	c.bytes += size
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+		c.evictions.Add(1)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache behaviour (surfaced
+// at chatvisd's /metrics endpoint).
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// ApproxSize estimates the in-memory footprint of a dataset in bytes:
+// geometry plus attribute arrays plus connectivity. It is the unit the
+// cache's byte bound is enforced in.
+func ApproxSize(ds Dataset) int64 {
+	if ds == nil {
+		return 0
+	}
+	const vecBytes = 24 // three float64s
+	var n int64
+	fieldBytes := func(fs *FieldSet) int64 {
+		if fs == nil {
+			return 0
+		}
+		var b int64
+		for i := 0; i < fs.Len(); i++ {
+			b += int64(len(fs.At(i).Data)) * 8
+		}
+		return b
+	}
+	connBytes := func(conn [][]int) int64 {
+		var b int64
+		for _, c := range conn {
+			b += int64(len(c)) * 8
+		}
+		return b
+	}
+	switch t := ds.(type) {
+	case *ImageData:
+		n = fieldBytes(t.Points)
+	case *PolyData:
+		n = int64(len(t.Pts))*vecBytes +
+			fieldBytes(t.Points) + fieldBytes(t.CellD) +
+			connBytes(t.Verts) + connBytes(t.Lines) + connBytes(t.Polys)
+	case *UnstructuredGrid:
+		n = int64(len(t.Pts)) * vecBytes
+		for _, c := range t.Cells {
+			n += int64(len(c.IDs))*8 + 16
+		}
+		n += fieldBytes(t.Points) + fieldBytes(t.CellD)
+	default:
+		n = int64(ds.NumPoints()) * vecBytes
+	}
+	// Floor so zero-sized datasets still occupy an accounting slot.
+	if n < 64 {
+		n = 64
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package data
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"chatvis/internal/vmath"
+)
+
+func cachePoly(n int) *PolyData {
+	pd := NewPolyData()
+	for i := 0; i < n; i++ {
+		pd.AddPoint(vmath.V(float64(i), 0, 0))
+	}
+	return pd
+}
+
+func TestCacheGetOrComputeSingleflight(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 16
+	results := make([]Dataset, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			ds, _, err := c.GetOrCompute(context.Background(), "k", func() (Dataset, error) {
+				computes.Add(1)
+				return cachePoly(10), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = ds
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers should share one dataset instance")
+		}
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Hits < n-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(0)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(context.Background(), "k", func() (Dataset, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	ds, hit, err := c.GetOrCompute(context.Background(), "k", func() (Dataset, error) { return cachePoly(3), nil })
+	if err != nil || hit || ds == nil {
+		t.Fatalf("retry after error: ds=%v hit=%v err=%v", ds, hit, err)
+	}
+}
+
+// TestCacheLeaderCancellationDoesNotPoisonWaiters is the regression
+// test for cross-job cancellation poisoning: job A wins the inflight
+// slot for a content key and is then canceled; job B, waiting on the
+// shared computation with a live context, must retry (and succeed)
+// rather than inherit A's context.Canceled.
+func TestCacheLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
+	c := NewCache(0)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.GetOrCompute(context.Background(), "k", func() (Dataset, error) {
+			close(leaderIn)
+			<-leaderGo
+			return nil, context.Canceled // the leader's own job was canceled
+		})
+	}()
+	<-leaderIn // waiter joins only once the leader holds the inflight slot
+	waiterDone := make(chan struct{})
+	var waiterDS Dataset
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterDS, _, waiterErr = c.GetOrCompute(context.Background(), "k", func() (Dataset, error) {
+			return cachePoly(5), nil
+		})
+	}()
+	close(leaderGo)
+	wg.Wait()
+	<-waiterDone
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", leaderErr)
+	}
+	if waiterErr != nil || waiterDS == nil {
+		t.Fatalf("waiter must retry past the leader's cancellation: ds=%v err=%v", waiterDS, waiterErr)
+	}
+}
+
+// TestCacheWaiterHonorsOwnCancellation: a waiter blocked on someone
+// else's in-flight computation must return when its own ctx dies.
+func TestCacheWaiterHonorsOwnCancellation(t *testing.T) {
+	c := NewCache(0)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	defer close(leaderGo)
+	go func() {
+		c.GetOrCompute(context.Background(), "k", func() (Dataset, error) {
+			close(leaderIn)
+			<-leaderGo
+			return cachePoly(2), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrCompute(ctx, "k", func() (Dataset, error) { return cachePoly(2), nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCacheEvictsLRUUnderByteBound(t *testing.T) {
+	one := ApproxSize(cachePoly(100))
+	c := NewCache(3 * one)
+	for i := 0; i < 5; i++ {
+		c.Add(fmt.Sprintf("k%d", i), cachePoly(100))
+	}
+	st := c.Stats()
+	if st.Bytes > 3*one {
+		t.Fatalf("bytes = %d over bound %d", st.Bytes, 3*one)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	// Oldest keys evicted, newest retained.
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 should be evicted")
+	}
+	if _, ok := c.Get("k4"); !ok {
+		t.Error("k4 should be retained")
+	}
+}
+
+// TestCacheRefusesOversizedEntry: a dataset larger than the whole
+// cache must not be inserted — it could never be evicted (the loop
+// keeps one survivor) and would pin bytes above the configured bound
+// for the process lifetime while flushing every smaller entry.
+func TestCacheRefusesOversizedEntry(t *testing.T) {
+	small := ApproxSize(cachePoly(10))
+	c := NewCache(2 * small)
+	c.Add("small", cachePoly(10))
+	c.Add("huge", cachePoly(10_000)) // far over the whole bound
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes = %d exceeds bound %d", st.Bytes, st.MaxBytes)
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized dataset must not be cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversized insert must not flush smaller entries")
+	}
+}
+
+func TestCacheGetMovesToFront(t *testing.T) {
+	one := ApproxSize(cachePoly(100))
+	c := NewCache(2 * one)
+	c.Add("a", cachePoly(100))
+	c.Add("b", cachePoly(100))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("c", cachePoly(100)) // evicts b, not the freshly-touched a
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should be evicted")
+	}
+}
+
+func TestApproxSizeCoversTypes(t *testing.T) {
+	im := NewImageData(4, 4, 4, vmath.V(0, 0, 0), vmath.V(1, 1, 1))
+	im.Points.Add(NewField("s", 1, 64))
+	if ApproxSize(im) < 64*8 {
+		t.Error("image size underestimates field data")
+	}
+	ug := NewUnstructuredGrid()
+	for i := 0; i < 4; i++ {
+		ug.AddPoint(vmath.V(float64(i), 0, 0))
+	}
+	ug.AddCell(CellTetra, 0, 1, 2, 3)
+	if ApproxSize(ug) <= 0 {
+		t.Error("grid size must be positive")
+	}
+	if ApproxSize(nil) != 0 {
+		t.Error("nil dataset has zero size")
+	}
+}

@@ -21,7 +21,7 @@ func testConfig(t *testing.T) Config {
 
 func TestScenariosComplete(t *testing.T) {
 	scns := Scenarios()
-	if len(scns) != 8 {
+	if len(scns) != 10 {
 		t.Fatalf("scenarios = %d", len(scns))
 	}
 	ids := map[string]bool{}
@@ -43,7 +43,7 @@ func TestScenariosComplete(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"iso", "slice", "volume", "delaunay", "stream",
-		"clip", "threshold", "glyph"} {
+		"clip", "threshold", "glyph", "sliceclip", "isovalues"} {
 		if !ids[want] {
 			t.Errorf("missing scenario %q", want)
 		}
@@ -70,7 +70,7 @@ func TestScenariosComplete(t *testing.T) {
 // three extended scenarios: each must execute cleanly and reproduce its
 // ground-truth image, like the paper five.
 func TestExtendedScenariosRunChatVis(t *testing.T) {
-	for _, id := range []string{"clip", "threshold", "glyph"} {
+	for _, id := range []string{"clip", "threshold", "glyph", "sliceclip", "isovalues"} {
 		t.Run(id, func(t *testing.T) {
 			c := testConfig(t)
 			scn, ok := ScenarioByID(id)

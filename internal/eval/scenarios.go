@@ -13,11 +13,11 @@ import (
 )
 
 // Scenario is one evaluation task: the paper's five plus the extended
-// set ("clip", "threshold", "glyph") built on the same datasets and
-// filters.
+// set ("clip", "threshold", "glyph", "sliceclip", "isovalues") built on
+// the same datasets and filters.
 type Scenario struct {
 	// ID is the short machine name ("iso", "slice", "volume", "delaunay",
-	// "stream", "clip", "threshold", "glyph").
+	// "stream", "clip", "threshold", "glyph", "sliceclip", "isovalues").
 	ID string
 	// Row is the paper's Table II row label.
 	Row string
@@ -47,7 +47,8 @@ func PaperScenarios() []Scenario {
 
 // Scenarios returns every registered scenario: the paper's five first
 // (in Table II order), then the extended set served by chatvisd's
-// GET /v1/scenarios ("clip", "threshold", "glyph").
+// GET /v1/scenarios ("clip", "threshold", "glyph", "sliceclip",
+// "isovalues").
 func Scenarios() []Scenario {
 	return []Scenario{
 		{
@@ -320,6 +321,75 @@ renderView1.ApplyIsometricView()
 renderView1.ResetCamera()
 
 SaveScreenshot('disk-glyph-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "sliceclip", Row: "Slice of clip composition", Figure: "extended",
+			Screenshot: "ml-clip-slice-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'ml-100.vtk'. Clip the data with a y-z plane at x=0, keeping the -x half of the data and removing the +x half. Slice the clipped data in a plane parallel to the x-y plane at z=0. Color the result by the var0 data array. View the result in the +z direction. Save a screenshot of the result in the filename 'ml-clip-slice-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+clip1 = Clip(registrationName='Clip1', Input=ml100vtk, ClipType='Plane')
+clip1.ClipType.Origin = [0.0, 0.0, 0.0]
+clip1.ClipType.Normal = [1.0, 0.0, 0.0]
+clip1.Invert = 1
+
+slice1 = Slice(registrationName='Slice1', Input=clip1, SliceType='Plane')
+slice1.SliceType.Origin = [0.0, 0.0, 0.0]
+slice1.SliceType.Normal = [0.0, 0.0, 1.0]
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+slice1Display = Show(slice1, renderView1)
+ColorBy(slice1Display, ('POINTS', 'var0'))
+slice1Display.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ResetActiveCameraToPositiveZ()
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-clip-slice-screenshot.png', renderView1,
+    ImageResolution=[%d, %d],
+    OverrideColorPalette='WhiteBackground')
+`, w, h, w, h)
+			},
+		},
+		{
+			ID: "isovalues", Row: "Multi-value contour", Figure: "extended",
+			Screenshot: "ml-multi-iso-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'ml-100.vtk'. Generate isosurfaces of the variable var0 at the values 0.3 and 0.7. Color the result by the var0 data array. Rotate the view to an isometric direction. Save a screenshot of the result in the filename 'ml-multi-iso-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			groundTruth: func(w, h int) string {
+				return fmt.Sprintf(`from paraview.simple import *
+paraview.simple._DisableFirstRenderCameraReset()
+
+ml100vtk = LegacyVTKReader(registrationName='ml-100.vtk', FileNames=['ml-100.vtk'])
+
+contour1 = Contour(registrationName='Contour1', Input=ml100vtk)
+contour1.ContourBy = ['POINTS', 'var0']
+contour1.Isosurfaces = [0.3, 0.7]
+
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [%d, %d]
+
+contour1Display = Show(contour1, renderView1)
+ColorBy(contour1Display, ('POINTS', 'var0'))
+contour1Display.RescaleTransferFunctionToDataRange(True)
+
+renderView1.ApplyIsometricView()
+renderView1.ResetCamera()
+
+SaveScreenshot('ml-multi-iso-screenshot.png', renderView1,
     ImageResolution=[%d, %d],
     OverrideColorPalette='WhiteBackground')
 `, w, h, w, h)

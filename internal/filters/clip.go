@@ -1,94 +1,195 @@
 package filters
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"chatvis/internal/data"
+	"chatvis/internal/par"
 	"chatvis/internal/vmath"
 )
+
+// clipPointSet accumulates clip output points identified by canonical
+// keys: a kept source point i is {i,i}; a cut edge (i,j) is {min,max}.
+// Values are always computed from the canonical edge orientation, so
+// chunk-local sets merge into exactly the numbering a serial sweep
+// produces.
+type clipPointSet struct {
+	srcPts    []vmath.Vec3
+	srcFields []*data.Field
+	plane     vmath.Plane
+
+	pts    []vmath.Vec3
+	keys   [][2]int
+	fields []*data.Field // output data, parallel to srcFields
+	index  map[[2]int]int
+}
+
+func newClipPointSet(srcPts []vmath.Vec3, fs *data.FieldSet, plane vmath.Plane) *clipPointSet {
+	cp := &clipPointSet{srcPts: srcPts, plane: plane, index: make(map[[2]int]int)}
+	for i := 0; i < fs.Len(); i++ {
+		f := fs.At(i)
+		cp.srcFields = append(cp.srcFields, f)
+		cp.fields = append(cp.fields, data.NewField(f.Name, f.NumComponents, 0))
+	}
+	return cp
+}
+
+// keep returns the output id of source point i, copying it on first use.
+func (cp *clipPointSet) keep(i int) int {
+	key := [2]int{i, i}
+	if id, ok := cp.index[key]; ok {
+		return id
+	}
+	id := len(cp.pts)
+	cp.pts = append(cp.pts, cp.srcPts[i])
+	for fi, f := range cp.srcFields {
+		nf := cp.fields[fi]
+		for c := 0; c < f.NumComponents; c++ {
+			nf.Data = append(nf.Data, f.Value(i, c))
+		}
+	}
+	cp.index[key] = id
+	cp.keys = append(cp.keys, key)
+	return id
+}
+
+// cut returns the output id of the plane crossing on edge (i,j),
+// interpolating it on first use.
+func (cp *clipPointSet) cut(i, j int) int {
+	key := [2]int{i, j}
+	if j < i {
+		key = [2]int{j, i}
+	}
+	if id, ok := cp.index[key]; ok {
+		return id
+	}
+	di := cp.plane.Eval(cp.srcPts[key[0]])
+	dj := cp.plane.Eval(cp.srcPts[key[1]])
+	t := 0.5
+	if di != dj {
+		t = di / (di - dj)
+	}
+	id := len(cp.pts)
+	cp.pts = append(cp.pts, cp.srcPts[key[0]].Lerp(cp.srcPts[key[1]], t))
+	for fi, f := range cp.srcFields {
+		nf := cp.fields[fi]
+		for c := 0; c < f.NumComponents; c++ {
+			v0, v1 := f.Value(key[0], c), f.Value(key[1], c)
+			nf.Data = append(nf.Data, v0+t*(v1-v0))
+		}
+	}
+	cp.index[key] = id
+	cp.keys = append(cp.keys, key)
+	return id
+}
+
+// absorb merges a chunk-local point set into cp (in the chunk's creation
+// order) and returns the local→global id remap. First use wins, exactly
+// as in a serial sweep.
+func (cp *clipPointSet) absorb(ch *clipPointSet) []int {
+	remap := make([]int, len(ch.pts))
+	for li, key := range ch.keys {
+		if gid, ok := cp.index[key]; ok {
+			remap[li] = gid
+			continue
+		}
+		gid := len(cp.pts)
+		cp.pts = append(cp.pts, ch.pts[li])
+		for fi, gf := range cp.fields {
+			cf := ch.fields[fi]
+			nc := cf.NumComponents
+			gf.Data = append(gf.Data, cf.Data[li*nc:(li+1)*nc]...)
+		}
+		cp.index[key] = gid
+		cp.keys = append(cp.keys, key)
+		remap[li] = gid
+	}
+	return remap
+}
+
+// planeDistances evaluates the plane at every point, in parallel.
+func planeDistances(ctx context.Context, pts []vmath.Vec3, plane vmath.Plane) ([]float64, error) {
+	dist := make([]float64, len(pts))
+	err := par.For(ctx, len(pts), func(start, end int) {
+		for i := start; i < end; i++ {
+			dist[i] = plane.Eval(pts[i])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dist, nil
+}
 
 // ClipPolyData clips a triangulated surface with a plane, keeping the side
 // the normal points to (VTK keeps the positive side; pass InsideOut
 // semantics by flipping the plane normal). Point data is interpolated on
 // cut edges. Polylines and vertices are clipped as well.
 func ClipPolyData(pd *data.PolyData, plane vmath.Plane) *data.PolyData {
-	out := data.NewPolyData()
-	var srcFields, outFields []*data.Field
-	for i := 0; i < pd.Points.Len(); i++ {
-		f := pd.Points.At(i)
-		nf := data.NewField(f.Name, f.NumComponents, 0)
-		srcFields = append(srcFields, f)
-		outFields = append(outFields, nf)
-		out.Points.Add(nf)
+	out, _ := ClipPolyDataContext(context.Background(), pd, plane)
+	return out
+}
+
+// ClipPolyDataContext is ClipPolyData with cancellation; the triangle
+// sweep runs in parallel chunks with a deterministic merge.
+func ClipPolyDataContext(ctx context.Context, pd *data.PolyData, plane vmath.Plane) (*data.PolyData, error) {
+	dist, err := planeDistances(ctx, pd.Pts, plane)
+	if err != nil {
+		return nil, err
 	}
-	// Map from source point to output point for kept vertices.
-	kept := make(map[int]int)
-	keepPoint := func(i int) int {
-		if id, ok := kept[i]; ok {
-			return id
-		}
-		id := out.AddPoint(pd.Pts[i])
-		for fi, f := range srcFields {
-			nf := outFields[fi]
-			for c := 0; c < f.NumComponents; c++ {
-				nf.Data = append(nf.Data, f.Value(i, c))
-			}
-		}
-		kept[i] = id
-		return id
-	}
-	edgeVerts := make(map[[2]int]int)
-	cutPoint := func(i, j int) int {
-		key := [2]int{i, j}
-		if j < i {
-			key = [2]int{j, i}
-		}
-		if id, ok := edgeVerts[key]; ok {
-			return id
-		}
-		di := plane.Eval(pd.Pts[key[0]])
-		dj := plane.Eval(pd.Pts[key[1]])
-		t := 0.5
-		if di != dj {
-			t = di / (di - dj)
-		}
-		id := out.AddPoint(pd.Pts[key[0]].Lerp(pd.Pts[key[1]], t))
-		for fi, f := range srcFields {
-			nf := outFields[fi]
-			for c := 0; c < f.NumComponents; c++ {
-				v0, v1 := f.Value(key[0], c), f.Value(key[1], c)
-				nf.Data = append(nf.Data, v0+t*(v1-v0))
-			}
-		}
-		edgeVerts[key] = id
-		return id
-	}
-	dist := make([]float64, len(pd.Pts))
-	for i, p := range pd.Pts {
-		dist[i] = plane.Eval(p)
-	}
+	tris := make([][3]int, 0, pd.NumTriangles())
+	pd.EachTriangle(func(a, b, c int) { tris = append(tris, [3]int{a, b, c}) })
+
 	// Triangles: Sutherland–Hodgman against a single plane yields a
-	// triangle or quad; emit a fan.
-	pd.EachTriangle(func(a, b, c int) {
-		ids := [3]int{a, b, c}
-		var poly []int
-		for e := 0; e < 3; e++ {
-			i, j := ids[e], ids[(e+1)%3]
-			if dist[i] >= 0 {
-				poly = append(poly, keepPoint(i))
-				if dist[j] < 0 {
-					poly = append(poly, cutPoint(i, j))
+	// triangle or quad. Chunks clip disjoint triangle ranges into local
+	// point sets, merged below in sweep order.
+	type clipChunk struct {
+		set   *clipPointSet
+		polys [][]int
+	}
+	chunks, err := par.MapChunks(ctx, len(tris), func(start, end int) clipChunk {
+		set := newClipPointSet(pd.Pts, pd.Points, plane)
+		var polys [][]int
+		for _, tri := range tris[start:end] {
+			var poly []int
+			for e := 0; e < 3; e++ {
+				i, j := tri[e], tri[(e+1)%3]
+				if dist[i] >= 0 {
+					poly = append(poly, set.keep(i))
+					if dist[j] < 0 {
+						poly = append(poly, set.cut(i, j))
+					}
+				} else if dist[j] >= 0 {
+					poly = append(poly, set.cut(i, j))
 				}
-			} else if dist[j] >= 0 {
-				poly = append(poly, cutPoint(i, j))
+			}
+			if len(poly) >= 3 {
+				polys = append(polys, poly)
 			}
 		}
-		if len(poly) >= 3 {
-			out.AddPoly(poly...)
-		}
+		return clipChunk{set: set, polys: polys}
 	})
-	// Polylines: break at crossings.
+	if err != nil {
+		return nil, err
+	}
+
+	global := newClipPointSet(pd.Pts, pd.Points, plane)
+	out := data.NewPolyData()
+	for _, ch := range chunks {
+		remap := global.absorb(ch.set)
+		for _, poly := range ch.polys {
+			ids := make([]int, len(poly))
+			for i, id := range poly {
+				ids[i] = remap[id]
+			}
+			out.AddPoly(ids...)
+		}
+	}
+
+	// Polylines: break at crossings (serial — line work is negligible and
+	// shares the global point set with the triangle phase).
 	for _, line := range pd.Lines {
 		var run []int
 		flush := func() {
@@ -101,11 +202,11 @@ func ClipPolyData(pd *data.PolyData, plane vmath.Plane) *data.PolyData {
 			id := line[i]
 			if dist[id] >= 0 {
 				if i > 0 && dist[line[i-1]] < 0 {
-					run = append(run, cutPoint(line[i-1], id))
+					run = append(run, global.cut(line[i-1], id))
 				}
-				run = append(run, keepPoint(id))
+				run = append(run, global.keep(id))
 			} else if i > 0 && dist[line[i-1]] >= 0 {
-				run = append(run, cutPoint(line[i-1], id))
+				run = append(run, global.cut(line[i-1], id))
 				flush()
 			}
 		}
@@ -114,10 +215,14 @@ func ClipPolyData(pd *data.PolyData, plane vmath.Plane) *data.PolyData {
 	// Vertices: keep those on the positive side.
 	for _, v := range pd.Verts {
 		if len(v) == 1 && dist[v[0]] >= 0 {
-			out.AddVert(keepPoint(v[0]))
+			out.AddVert(global.keep(v[0]))
 		}
 	}
-	return out
+	out.Pts = global.pts
+	for _, f := range global.fields {
+		out.Points.Add(f)
+	}
+	return out, nil
 }
 
 // ClipUnstructured clips a volumetric mesh with a plane, keeping the side
@@ -125,106 +230,89 @@ func ClipPolyData(pd *data.PolyData, plane vmath.Plane) *data.PolyData {
 // each straddling tet is cut into sub-tetrahedra, as VTK's Clip does with
 // its tetrahedral path. Point data is interpolated.
 func ClipUnstructured(ug *data.UnstructuredGrid, plane vmath.Plane) (*data.UnstructuredGrid, error) {
+	return ClipUnstructuredContext(context.Background(), ug, plane)
+}
+
+// ClipUnstructuredContext is ClipUnstructured with cancellation; the tet
+// sweep runs in parallel chunks with a deterministic merge.
+func ClipUnstructuredContext(ctx context.Context, ug *data.UnstructuredGrid, plane vmath.Plane) (*data.UnstructuredGrid, error) {
 	tets := GridTets(ug)
 	if len(tets) == 0 && len(ug.Cells) > 0 {
 		return nil, fmt.Errorf("filters: clip: no volumetric cells to clip")
 	}
+	dist, err := planeDistances(ctx, ug.Pts, plane)
+	if err != nil {
+		return nil, err
+	}
+	type clipChunk struct {
+		set   *clipPointSet
+		cells [][4]int
+	}
+	chunks, err := par.MapChunks(ctx, len(tets), func(start, end int) clipChunk {
+		set := newClipPointSet(ug.Pts, ug.Points, plane)
+		var cells [][4]int
+		addTet := func(a, b, c, d int) { cells = append(cells, [4]int{a, b, c, d}) }
+		for _, t := range tets[start:end] {
+			var in []int   // source ids on keep side
+			var outv []int // source ids on discard side
+			for _, id := range t {
+				if dist[id] >= 0 {
+					in = append(in, id)
+				} else {
+					outv = append(outv, id)
+				}
+			}
+			switch len(in) {
+			case 0:
+				// fully discarded
+			case 4:
+				addTet(set.keep(t[0]), set.keep(t[1]), set.keep(t[2]), set.keep(t[3]))
+			case 1:
+				// Tip tet: kept vertex plus three cut points.
+				a := set.keep(in[0])
+				p0 := set.cut(in[0], outv[0])
+				p1 := set.cut(in[0], outv[1])
+				p2 := set.cut(in[0], outv[2])
+				addTet(a, p0, p1, p2)
+			case 3:
+				// Frustum: prism with kept triangle (b0,b1,b2) and cut triangle
+				// (c0,c1,c2); split into three tets.
+				b0, b1, b2 := set.keep(in[0]), set.keep(in[1]), set.keep(in[2])
+				c0 := set.cut(in[0], outv[0])
+				c1 := set.cut(in[1], outv[0])
+				c2 := set.cut(in[2], outv[0])
+				addTet(b0, b1, b2, c0)
+				addTet(b1, b2, c0, c1)
+				addTet(b2, c0, c1, c2)
+			case 2:
+				// Wedge with two kept vertices and four cut points.
+				a0, a1 := set.keep(in[0]), set.keep(in[1])
+				c00 := set.cut(in[0], outv[0])
+				c01 := set.cut(in[0], outv[1])
+				c10 := set.cut(in[1], outv[0])
+				c11 := set.cut(in[1], outv[1])
+				addTet(a0, a1, c00, c01)
+				addTet(a1, c00, c01, c11)
+				addTet(a1, c00, c10, c11)
+			}
+		}
+		return clipChunk{set: set, cells: cells}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	global := newClipPointSet(ug.Pts, ug.Points, plane)
 	out := data.NewUnstructuredGrid()
-	var srcFields, outFields []*data.Field
-	for i := 0; i < ug.Points.Len(); i++ {
-		f := ug.Points.At(i)
-		nf := data.NewField(f.Name, f.NumComponents, 0)
-		srcFields = append(srcFields, f)
-		outFields = append(outFields, nf)
-		out.Points.Add(nf)
+	for _, ch := range chunks {
+		remap := global.absorb(ch.set)
+		for _, c := range ch.cells {
+			out.AddCell(data.CellTetra, remap[c[0]], remap[c[1]], remap[c[2]], remap[c[3]])
+		}
 	}
-	kept := make(map[int]int)
-	keepPoint := func(i int) int {
-		if id, ok := kept[i]; ok {
-			return id
-		}
-		id := out.AddPoint(ug.Pts[i])
-		for fi, f := range srcFields {
-			nf := outFields[fi]
-			for c := 0; c < f.NumComponents; c++ {
-				nf.Data = append(nf.Data, f.Value(i, c))
-			}
-		}
-		kept[i] = id
-		return id
-	}
-	edgeVerts := make(map[[2]int]int)
-	cutPoint := func(i, j int) int {
-		key := [2]int{i, j}
-		if j < i {
-			key = [2]int{j, i}
-		}
-		if id, ok := edgeVerts[key]; ok {
-			return id
-		}
-		di := plane.Eval(ug.Pts[key[0]])
-		dj := plane.Eval(ug.Pts[key[1]])
-		t := 0.5
-		if di != dj {
-			t = di / (di - dj)
-		}
-		id := out.AddPoint(ug.Pts[key[0]].Lerp(ug.Pts[key[1]], t))
-		for fi, f := range srcFields {
-			nf := outFields[fi]
-			for c := 0; c < f.NumComponents; c++ {
-				v0, v1 := f.Value(key[0], c), f.Value(key[1], c)
-				nf.Data = append(nf.Data, v0+t*(v1-v0))
-			}
-		}
-		edgeVerts[key] = id
-		return id
-	}
-	addTet := func(a, b, c, d int) {
-		out.AddCell(data.CellTetra, a, b, c, d)
-	}
-	for _, t := range tets {
-		var in []int   // source ids on keep side
-		var outv []int // source ids on discard side
-		for _, id := range t {
-			if plane.Eval(ug.Pts[id]) >= 0 {
-				in = append(in, id)
-			} else {
-				outv = append(outv, id)
-			}
-		}
-		switch len(in) {
-		case 0:
-			// fully discarded
-		case 4:
-			addTet(keepPoint(t[0]), keepPoint(t[1]), keepPoint(t[2]), keepPoint(t[3]))
-		case 1:
-			// Tip tet: kept vertex plus three cut points.
-			a := keepPoint(in[0])
-			p0 := cutPoint(in[0], outv[0])
-			p1 := cutPoint(in[0], outv[1])
-			p2 := cutPoint(in[0], outv[2])
-			addTet(a, p0, p1, p2)
-		case 3:
-			// Frustum: prism with kept triangle (b0,b1,b2) and cut triangle
-			// (c0,c1,c2); split into three tets.
-			b0, b1, b2 := keepPoint(in[0]), keepPoint(in[1]), keepPoint(in[2])
-			c0 := cutPoint(in[0], outv[0])
-			c1 := cutPoint(in[1], outv[0])
-			c2 := cutPoint(in[2], outv[0])
-			addTet(b0, b1, b2, c0)
-			addTet(b1, b2, c0, c1)
-			addTet(b2, c0, c1, c2)
-		case 2:
-			// Wedge with two kept vertices and four cut points.
-			a0, a1 := keepPoint(in[0]), keepPoint(in[1])
-			c00 := cutPoint(in[0], outv[0])
-			c01 := cutPoint(in[0], outv[1])
-			c10 := cutPoint(in[1], outv[0])
-			c11 := cutPoint(in[1], outv[1])
-			addTet(a0, a1, c00, c01)
-			addTet(a1, c00, c01, c11)
-			addTet(a1, c00, c10, c11)
-		}
+	out.Pts = global.pts
+	for _, f := range global.fields {
+		out.Points.Add(f)
 	}
 	return out, nil
 }

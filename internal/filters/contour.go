@@ -1,21 +1,26 @@
 package filters
 
 import (
+	"context"
 	"fmt"
 
 	"chatvis/internal/data"
+	"chatvis/internal/par"
 	"chatvis/internal/vmath"
 )
 
 // surfaceBuilder accumulates an interpolated triangle mesh during marching
 // tetrahedra. Vertices created on the same source edge are shared, so the
-// output is watertight and point data interpolates once per edge.
+// output is watertight and point data interpolates once per edge. Each
+// vertex remembers its canonical edge key so chunk-local builders can be
+// merged into the exact point numbering a serial sweep would produce.
 type surfaceBuilder struct {
 	src       data.Dataset
 	srcFields []*data.Field
 	out       *data.PolyData
 	outFields []*data.Field
 	edgeVerts map[[2]int]int
+	keys      [][2]int // canonical edge key of each output vertex, in creation order
 }
 
 func newSurfaceBuilder(src data.Dataset) *surfaceBuilder {
@@ -35,28 +40,36 @@ func newSurfaceBuilder(src data.Dataset) *surfaceBuilder {
 	return b
 }
 
-// edgeVertex returns the output vertex on edge (i,j) at parameter t from i
-// to j, creating and interpolating it on first use.
-func (b *surfaceBuilder) edgeVertex(i, j int, t float64) int {
+// edgeVertex returns the output vertex on edge (i,j), creating and
+// interpolating it on first use. The crossing parameter is computed from
+// the canonical (low-id first) edge orientation, so the stored position
+// and attributes are bit-identical no matter which tetrahedron — or which
+// parallel chunk — touches the edge first.
+func (b *surfaceBuilder) edgeVertex(i, j int, level func(int) float64, iso float64) int {
 	key := [2]int{i, j}
 	if j < i {
 		key = [2]int{j, i}
-		t = 1 - t
 	}
 	if id, ok := b.edgeVerts[key]; ok {
 		return id
+	}
+	v0, v1 := level(key[0]), level(key[1])
+	t := 0.5
+	if v0 != v1 {
+		t = (iso - v0) / (v1 - v0)
 	}
 	p := b.src.Point(key[0]).Lerp(b.src.Point(key[1]), t)
 	id := b.out.AddPoint(p)
 	for fi, f := range b.srcFields {
 		nf := b.outFields[fi]
 		for c := 0; c < f.NumComponents; c++ {
-			v0 := f.Value(key[0], c)
-			v1 := f.Value(key[1], c)
-			nf.Data = append(nf.Data, v0+t*(v1-v0))
+			f0 := f.Value(key[0], c)
+			f1 := f.Value(key[1], c)
+			nf.Data = append(nf.Data, f0+t*(f1-f0))
 		}
 	}
 	b.edgeVerts[key] = id
+	b.keys = append(b.keys, key)
 	return id
 }
 
@@ -77,16 +90,8 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 	if nIn == 0 || nIn == 4 {
 		return
 	}
-	// Edge crossing parameter from vertex a to vertex b.
-	cross := func(a, vA, vB float64) float64 {
-		d := vB - vA
-		if d == 0 {
-			return 0.5
-		}
-		return (a - vA) / d
-	}
 	ev := func(i, j int) int {
-		return b.edgeVertex(t[i], t[j], cross(iso, v[i], v[j]))
+		return b.edgeVertex(t[i], t[j], level, iso)
 	}
 	// Orient triangles so the normal points from the >=iso side toward the
 	// <iso side (outward from the enclosed high-value region).
@@ -144,11 +149,92 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 	}
 }
 
+// mergeSurfaceChunks concatenates chunk-local marching results in chunk
+// order, deduplicating edge vertices across chunk boundaries by their
+// canonical keys. Because chunks cover the tetrahedron sweep in order and
+// each vertex keeps the value computed from its canonical edge
+// orientation, the merged point numbering, positions, attributes and
+// triangle list are byte-identical to a serial sweep — for ANY chunking.
+func mergeSurfaceChunks(src data.Dataset, chunks []*surfaceBuilder) *data.PolyData {
+	if len(chunks) == 1 {
+		return chunks[0].out
+	}
+	global := newSurfaceBuilder(src)
+	out := global.out
+	nTris := 0
+	for _, b := range chunks {
+		nTris += len(b.out.Polys)
+	}
+	out.Polys = make([][]int, 0, nTris)
+	for _, b := range chunks {
+		remap := make([]int, len(b.out.Pts))
+		for li, key := range b.keys {
+			if gid, ok := global.edgeVerts[key]; ok {
+				remap[li] = gid
+				continue
+			}
+			gid := out.AddPoint(b.out.Pts[li])
+			for fi, nf := range global.outFields {
+				bf := b.outFields[fi]
+				nc := bf.NumComponents
+				nf.Data = append(nf.Data, bf.Data[li*nc:(li+1)*nc]...)
+			}
+			global.edgeVerts[key] = gid
+			remap[li] = gid
+		}
+		for _, tri := range b.out.Polys {
+			out.AddTriangle(remap[tri[0]], remap[tri[1]], remap[tri[2]])
+		}
+	}
+	return out
+}
+
+// marchSurface runs the marching-tetrahedra sweep over the dataset in
+// parallel chunks and merges the results deterministically.
+func marchSurface(ctx context.Context, ds data.Dataset, level func(int) float64, iso float64) (*data.PolyData, error) {
+	var chunks []*surfaceBuilder
+	var err error
+	switch d := ds.(type) {
+	case *data.ImageData:
+		nCubes := imageCubeCount(d)
+		chunks, err = par.MapChunks(ctx, nCubes, func(start, end int) *surfaceBuilder {
+			b := newSurfaceBuilder(ds)
+			imageTetsRange(d, start, end, func(t [4]int) { b.marchTet(t, level, iso) })
+			return b
+		})
+	case *data.UnstructuredGrid:
+		tets := GridTets(d)
+		chunks, err = par.MapChunks(ctx, len(tets), func(start, end int) *surfaceBuilder {
+			b := newSurfaceBuilder(ds)
+			for _, t := range tets[start:end] {
+				b.marchTet(t, level, iso)
+			}
+			return b
+		})
+	default:
+		return nil, fmt.Errorf("filters: marching tetrahedra: unsupported dataset type %s", ds.TypeName())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(chunks) == 0 {
+		return newSurfaceBuilder(ds).out, nil
+	}
+	return mergeSurfaceChunks(ds, chunks), nil
+}
+
 // Contour extracts the isosurface of the named scalar field at the given
 // value. Supported inputs: *data.ImageData and *data.UnstructuredGrid.
 // Matches VTK's Contour filter output: a PolyData with all point-data
 // arrays interpolated onto the surface.
 func Contour(ds data.Dataset, fieldName string, value float64) (*data.PolyData, error) {
+	return ContourContext(context.Background(), ds, fieldName, value)
+}
+
+// ContourContext is Contour with cancellation: the marching sweep runs in
+// parallel chunks on the par worker pool and aborts early when ctx is
+// canceled.
+func ContourContext(ctx context.Context, ds data.Dataset, fieldName string, value float64) (*data.PolyData, error) {
 	f := ds.PointData().Get(fieldName)
 	if f == nil {
 		return nil, fmt.Errorf("filters: contour: no point array named %q", fieldName)
@@ -156,19 +242,19 @@ func Contour(ds data.Dataset, fieldName string, value float64) (*data.PolyData, 
 	if f.NumComponents != 1 {
 		return nil, fmt.Errorf("filters: contour: array %q is not a scalar", fieldName)
 	}
-	b := newSurfaceBuilder(ds)
-	level := func(i int) float64 { return f.Scalar(i) }
-	switch d := ds.(type) {
-	case *data.ImageData:
-		ImageTets(d, func(t [4]int) { b.marchTet(t, level, value) })
-	case *data.UnstructuredGrid:
-		for _, t := range GridTets(d) {
-			b.marchTet(t, level, value)
-		}
-	default:
+	if !marchable(ds) {
 		return nil, fmt.Errorf("filters: contour: unsupported dataset type %s", ds.TypeName())
 	}
-	return b.out, nil
+	return marchSurface(ctx, ds, func(i int) float64 { return f.Scalar(i) }, value)
+}
+
+// marchable reports whether the dataset type has a tetrahedral sweep.
+func marchable(ds data.Dataset) bool {
+	switch ds.(type) {
+	case *data.ImageData, *data.UnstructuredGrid:
+		return true
+	}
+	return false
 }
 
 // ContourLines extracts iso-lines of a scalar field on a triangulated
@@ -258,17 +344,14 @@ func ContourLines(pd *data.PolyData, fieldName string, value float64) (*data.Pol
 // section with all point data interpolated, like VTK's Slice filter with a
 // plane cut function.
 func Slice(ds data.Dataset, plane vmath.Plane) (*data.PolyData, error) {
-	b := newSurfaceBuilder(ds)
-	level := func(i int) float64 { return plane.Eval(ds.Point(i)) }
-	switch d := ds.(type) {
-	case *data.ImageData:
-		ImageTets(d, func(t [4]int) { b.marchTet(t, level, 0) })
-	case *data.UnstructuredGrid:
-		for _, t := range GridTets(d) {
-			b.marchTet(t, level, 0)
-		}
-	default:
+	return SliceContext(context.Background(), ds, plane)
+}
+
+// SliceContext is Slice with cancellation; the marching sweep runs in
+// parallel chunks on the par worker pool.
+func SliceContext(ctx context.Context, ds data.Dataset, plane vmath.Plane) (*data.PolyData, error) {
+	if !marchable(ds) {
 		return nil, fmt.Errorf("filters: slice: unsupported dataset type %s", ds.TypeName())
 	}
-	return b.out, nil
+	return marchSurface(ctx, ds, func(i int) float64 { return plane.Eval(ds.Point(i)) }, 0)
 }

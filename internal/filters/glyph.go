@@ -1,9 +1,11 @@
 package filters
 
 import (
+	"context"
 	"math"
 
 	"chatvis/internal/data"
+	"chatvis/internal/par"
 	"chatvis/internal/vmath"
 )
 
@@ -77,15 +79,21 @@ func (o GlyphOptions) withDefaults(pd *data.PolyData) GlyphOptions {
 // points, like VTK's Glyph3D. Point data of the source point is copied to
 // every vertex of its glyph so color mapping carries over.
 func Glyph(pd *data.PolyData, opt GlyphOptions) *data.PolyData {
+	out, _ := GlyphContext(context.Background(), pd, opt)
+	return out
+}
+
+// GlyphContext is Glyph with cancellation. Instances are independent and
+// their output slots are preallocated, so instancing parallelizes over
+// the par worker pool with byte-identical output for any worker count.
+func GlyphContext(ctx context.Context, pd *data.PolyData, opt GlyphOptions) (*data.PolyData, error) {
 	opt = opt.withDefaults(pd)
 	out := data.NewPolyData()
 	var srcFields, outFields []*data.Field
 	for i := 0; i < pd.Points.Len(); i++ {
 		f := pd.Points.At(i)
-		nf := data.NewField(f.Name, f.NumComponents, 0)
 		srcFields = append(srcFields, f)
-		outFields = append(outFields, nf)
-		out.Points.Add(nf)
+		outFields = append(outFields, data.NewField(f.Name, f.NumComponents, 0))
 	}
 	var orient *data.Field
 	if opt.OrientationArray != "" {
@@ -95,35 +103,52 @@ func Glyph(pd *data.PolyData, opt GlyphOptions) *data.PolyData {
 		}
 	}
 	proto := glyphSource(opt.Type, opt.Resolution)
-	for i := 0; i < pd.NumPoints(); i += opt.Stride {
-		dir := vmath.V(1, 0, 0)
-		if orient != nil {
-			v := orient.Vec3(i)
-			if v.Len() > 1e-12 {
-				dir = v.Norm()
-			}
-		}
-		rot := rotationTo(dir)
-		base := len(out.Pts)
-		for _, p := range proto.Pts {
-			world := pd.Pts[i].Add(rot.MulDir(p.Mul(opt.ScaleFactor)))
-			out.AddPoint(world)
-			for fi, f := range srcFields {
-				nf := outFields[fi]
-				for c := 0; c < f.NumComponents; c++ {
-					nf.Data = append(nf.Data, f.Value(i, c))
+	numGlyphs := (pd.NumPoints() + opt.Stride - 1) / opt.Stride
+	protoPts, protoPolys := len(proto.Pts), len(proto.Polys)
+
+	// Every glyph owns a fixed slot in the output arrays.
+	out.Pts = make([]vmath.Vec3, numGlyphs*protoPts)
+	out.Polys = make([][]int, numGlyphs*protoPolys)
+	for fi, f := range srcFields {
+		outFields[fi].Data = make([]float64, numGlyphs*protoPts*f.NumComponents)
+	}
+
+	err := par.For(ctx, numGlyphs, func(start, end int) {
+		for g := start; g < end; g++ {
+			i := g * opt.Stride
+			dir := vmath.V(1, 0, 0)
+			if orient != nil {
+				v := orient.Vec3(i)
+				if v.Len() > 1e-12 {
+					dir = v.Norm()
 				}
 			}
-		}
-		for _, poly := range proto.Polys {
-			ids := make([]int, len(poly))
-			for j, id := range poly {
-				ids[j] = base + id
+			rot := rotationTo(dir)
+			base := g * protoPts
+			for pi, p := range proto.Pts {
+				out.Pts[base+pi] = pd.Pts[i].Add(rot.MulDir(p.Mul(opt.ScaleFactor)))
+				for fi, f := range srcFields {
+					nf := outFields[fi]
+					nc := f.NumComponents
+					copy(nf.Data[(base+pi)*nc:(base+pi+1)*nc], f.Data[i*nc:(i+1)*nc])
+				}
 			}
-			out.AddPoly(ids...)
+			for pi, poly := range proto.Polys {
+				ids := make([]int, len(poly))
+				for j, id := range poly {
+					ids[j] = base + id
+				}
+				out.Polys[g*protoPolys+pi] = ids
+			}
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	for _, nf := range outFields {
+		out.Points.Add(nf)
+	}
+	return out, nil
 }
 
 // rotationTo returns a rotation carrying +X onto dir (glyph prototypes

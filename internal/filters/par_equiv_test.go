@@ -1,0 +1,182 @@
+package filters
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"chatvis/internal/data"
+	"chatvis/internal/datagen"
+	"chatvis/internal/par"
+	"chatvis/internal/vmath"
+)
+
+// withWorkers pins the par worker count for one test and restores the
+// default afterwards.
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	par.SetWorkers(n)
+	t.Cleanup(func() { par.SetWorkers(0) })
+}
+
+// equivalentWorkerCounts runs build under worker counts {1, 4, 8} and
+// asserts the outputs are byte-identical to the single-worker run —
+// the determinism contract of the chunked merge.
+func equivalentWorkerCounts(t *testing.T, name string, build func() *data.PolyData) {
+	t.Helper()
+	par.SetWorkers(1)
+	defer par.SetWorkers(0)
+	ref := build()
+	for _, w := range []int{4, 8} {
+		par.SetWorkers(w)
+		got := build()
+		comparePolyData(t, name, w, ref, got)
+	}
+}
+
+func comparePolyData(t *testing.T, name string, workers int, ref, got *data.PolyData) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Pts, got.Pts) {
+		t.Fatalf("%s workers=%d: points differ (%d vs %d)", name, workers, len(ref.Pts), len(got.Pts))
+	}
+	if !reflect.DeepEqual(ref.Polys, got.Polys) {
+		t.Fatalf("%s workers=%d: polygons differ (%d vs %d)", name, workers, len(ref.Polys), len(got.Polys))
+	}
+	if !reflect.DeepEqual(ref.Lines, got.Lines) {
+		t.Fatalf("%s workers=%d: lines differ (%d vs %d)", name, workers, len(ref.Lines), len(got.Lines))
+	}
+	if !reflect.DeepEqual(ref.Verts, got.Verts) {
+		t.Fatalf("%s workers=%d: vertices differ", name, workers)
+	}
+	if rn, gn := ref.Points.Names(), got.Points.Names(); !reflect.DeepEqual(rn, gn) {
+		t.Fatalf("%s workers=%d: field names differ: %v vs %v", name, workers, rn, gn)
+	}
+	for i := 0; i < ref.Points.Len(); i++ {
+		rf, gf := ref.Points.At(i), got.Points.At(i)
+		if !reflect.DeepEqual(rf.Data, gf.Data) {
+			t.Fatalf("%s workers=%d: field %q data differs", name, workers, rf.Name)
+		}
+	}
+}
+
+func TestContourParallelEquivalence(t *testing.T) {
+	vol := datagen.MarschnerLobb(24)
+	equivalentWorkerCounts(t, "contour-image", func() *data.PolyData {
+		out, err := Contour(vol, "var0", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+	disk := datagen.DiskFlow(5, 16, 5)
+	equivalentWorkerCounts(t, "contour-grid", func() *data.PolyData {
+		out, err := Contour(disk, "Temp", 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+}
+
+func TestSliceParallelEquivalence(t *testing.T) {
+	vol := datagen.MarschnerLobb(24)
+	plane := vmath.NewPlane(vmath.V(0.1, 0, 0), vmath.V(1, 0.2, 0))
+	equivalentWorkerCounts(t, "slice", func() *data.PolyData {
+		out, err := Slice(vol, plane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+}
+
+func TestClipPolyDataParallelEquivalence(t *testing.T) {
+	vol := datagen.MarschnerLobb(24)
+	surf, err := Contour(vol, "var0", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := vmath.NewPlane(vmath.V(0.05, 0, 0), vmath.V(-1, 0, 0.3))
+	equivalentWorkerCounts(t, "clip-poly", func() *data.PolyData {
+		return ClipPolyData(surf, plane)
+	})
+}
+
+func TestClipUnstructuredParallelEquivalence(t *testing.T) {
+	disk := datagen.DiskFlow(5, 16, 5)
+	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(1, 0, 0))
+	par.SetWorkers(1)
+	defer par.SetWorkers(0)
+	ref, err := ClipUnstructured(disk, plane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, 8} {
+		par.SetWorkers(w)
+		got, err := ClipUnstructured(disk, plane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Pts, got.Pts) {
+			t.Fatalf("workers=%d: points differ", w)
+		}
+		if !reflect.DeepEqual(ref.Cells, got.Cells) {
+			t.Fatalf("workers=%d: cells differ", w)
+		}
+		for i := 0; i < ref.Points.Len(); i++ {
+			if !reflect.DeepEqual(ref.Points.At(i).Data, got.Points.At(i).Data) {
+				t.Fatalf("workers=%d: field %q differs", w, ref.Points.At(i).Name)
+			}
+		}
+	}
+}
+
+func TestGlyphParallelEquivalence(t *testing.T) {
+	disk := datagen.DiskFlow(5, 16, 5)
+	pts := ExtractSurface(disk)
+	equivalentWorkerCounts(t, "glyph", func() *data.PolyData {
+		return Glyph(pts, GlyphOptions{Type: GlyphCone, OrientationArray: "V"})
+	})
+}
+
+func TestStreamTracerParallelEquivalence(t *testing.T) {
+	disk := datagen.DiskFlow(5, 16, 5)
+	sampler, err := NewGridSampler(disk, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := DefaultPointCloudSeeds(disk.Bounds(), 40)
+	equivalentWorkerCounts(t, "stream", func() *data.PolyData {
+		return StreamTracer(sampler, seeds, StreamTracerOptions{})
+	})
+}
+
+// TestContourCancellation pins the context contract: a canceled sweep
+// returns an error instead of partial geometry.
+func TestContourCancellation(t *testing.T) {
+	withWorkers(t, 4)
+	vol := datagen.MarschnerLobb(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ContourContext(ctx, vol, "var0", 0.5); err == nil {
+		t.Fatal("canceled contour should error")
+	}
+	if _, err := StreamTracerContext(ctx, mustSampler(t, vol), []vmath.Vec3{{}}, StreamTracerOptions{}); err == nil {
+		t.Fatal("canceled stream trace should error")
+	}
+}
+
+func mustSampler(t *testing.T, vol *data.ImageData) VectorSampler {
+	t.Helper()
+	n := vol.NumPoints()
+	v := data.NewField("vel", 3, n)
+	for i := 0; i < n; i++ {
+		v.SetVec3(i, vmath.V(1, 0, 0))
+	}
+	vol.Points.Add(v)
+	s, err := NewImageSampler(vol, "vel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,10 +1,12 @@
 package filters
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"chatvis/internal/data"
+	"chatvis/internal/par"
 	"chatvis/internal/vmath"
 )
 
@@ -279,36 +281,35 @@ func (o StreamTracerOptions) withDefaults() StreamTracerOptions {
 	return o
 }
 
-// StreamTracer integrates streamlines from the given seed points through
-// the sampled vector field using fourth-order Runge–Kutta, producing a
-// PolyData of polylines with every point field interpolated along the
-// lines plus an "IntegrationTime" array, like VTK's stream tracer.
-func StreamTracer(s VectorSampler, seeds []vmath.Vec3, opt StreamTracerOptions) *data.PolyData {
-	opt = opt.withDefaults()
-	out := data.NewPolyData()
-	infos := s.FieldInfo()
-	outFields := make([]*data.Field, len(infos))
-	for i, info := range infos {
-		outFields[i] = data.NewField(info.Name, info.Components, 0)
-		out.Points.Add(outFields[i])
-	}
-	timeField := data.NewField("IntegrationTime", 1, 0)
-	out.Points.Add(timeField)
+// streamSeg is the output of integrating one seed: its points, per-field
+// attribute data, integration times and polyline connectivity in
+// seed-local ids. Segments concatenate in seed order, reproducing the
+// serial output exactly.
+type streamSeg struct {
+	pts    []vmath.Vec3
+	fields [][]float64 // indexed like FieldInfo
+	times  []float64
+	lines  [][]int
+}
 
-	h := s.Bounds().Diagonal() * opt.StepFraction
-	maxLen := s.Bounds().Diagonal() * opt.MaxLength
+// traceSeed integrates one seed in both (or one) direction(s) with the
+// same stepping logic as the serial tracer, into a seed-local segment.
+// Each call owns its scratch buffer, so seeds integrate concurrently
+// against the (read-only) sampler.
+func traceSeed(s VectorSampler, seed vmath.Vec3, opt StreamTracerOptions, infos []FieldInfo, h, maxLen float64) *streamSeg {
+	seg := &streamSeg{fields: make([][]float64, len(infos))}
 	scratch := make(map[string][]float64, len(infos))
 
 	appendPoint := func(p vmath.Vec3, tm float64) (int, bool) {
 		if !s.Fields(p, scratch) {
 			return 0, false
 		}
-		id := out.AddPoint(p)
+		id := len(seg.pts)
+		seg.pts = append(seg.pts, p)
 		for i, info := range infos {
-			vals := scratch[info.Name]
-			outFields[i].Data = append(outFields[i].Data, vals...)
+			seg.fields[i] = append(seg.fields[i], scratch[info.Name]...)
 		}
-		timeField.Data = append(timeField.Data, tm)
+		seg.times = append(seg.times, tm)
 		return id, true
 	}
 
@@ -338,7 +339,7 @@ func StreamTracer(s VectorSampler, seeds []vmath.Vec3, opt StreamTracerOptions) 
 		return p.Add(d.Norm().Mul(dir * h)), true
 	}
 
-	trace := func(seed vmath.Vec3, dir float64) []int {
+	trace := func(dir float64) []int {
 		var ids []int
 		p := seed
 		tm := 0.0
@@ -376,28 +377,78 @@ func StreamTracer(s VectorSampler, seeds []vmath.Vec3, opt StreamTracerOptions) 
 		return ids
 	}
 
-	for _, seed := range seeds {
-		fwd := trace(seed, +1)
-		if opt.Both {
-			bwd := trace(seed, -1)
-			// Join: reverse(backward) + forward (dropping duplicate seed).
-			if len(bwd) > 1 {
-				joined := make([]int, 0, len(bwd)+len(fwd))
-				for i := len(bwd) - 1; i >= 1; i-- {
-					joined = append(joined, bwd[i])
-				}
-				joined = append(joined, fwd...)
-				if len(joined) >= 2 {
-					out.AddLine(joined...)
-				}
-				continue
+	fwd := trace(+1)
+	if opt.Both {
+		bwd := trace(-1)
+		// Join: reverse(backward) + forward (dropping duplicate seed).
+		if len(bwd) > 1 {
+			joined := make([]int, 0, len(bwd)+len(fwd))
+			for i := len(bwd) - 1; i >= 1; i-- {
+				joined = append(joined, bwd[i])
 			}
-		}
-		if len(fwd) >= 2 {
-			out.AddLine(fwd...)
+			joined = append(joined, fwd...)
+			if len(joined) >= 2 {
+				seg.lines = append(seg.lines, joined)
+			}
+			return seg
 		}
 	}
+	if len(fwd) >= 2 {
+		seg.lines = append(seg.lines, fwd)
+	}
+	return seg
+}
+
+// StreamTracer integrates streamlines from the given seed points through
+// the sampled vector field using fourth-order Runge–Kutta, producing a
+// PolyData of polylines with every point field interpolated along the
+// lines plus an "IntegrationTime" array, like VTK's stream tracer.
+func StreamTracer(s VectorSampler, seeds []vmath.Vec3, opt StreamTracerOptions) *data.PolyData {
+	out, _ := StreamTracerContext(context.Background(), s, seeds, opt)
 	return out
+}
+
+// StreamTracerContext is StreamTracer with cancellation. Seeds integrate
+// independently on the par worker pool (samplers are read-only after
+// construction); segments concatenate in seed order, so the output is
+// byte-identical to a serial trace for any worker count.
+func StreamTracerContext(ctx context.Context, s VectorSampler, seeds []vmath.Vec3, opt StreamTracerOptions) (*data.PolyData, error) {
+	opt = opt.withDefaults()
+	out := data.NewPolyData()
+	infos := s.FieldInfo()
+	outFields := make([]*data.Field, len(infos))
+	for i, info := range infos {
+		outFields[i] = data.NewField(info.Name, info.Components, 0)
+		out.Points.Add(outFields[i])
+	}
+	timeField := data.NewField("IntegrationTime", 1, 0)
+	out.Points.Add(timeField)
+
+	h := s.Bounds().Diagonal() * opt.StepFraction
+	maxLen := s.Bounds().Diagonal() * opt.MaxLength
+
+	segs, err := par.MapN(ctx, len(seeds), func(i int) *streamSeg {
+		return traceSeed(s, seeds[i], opt, infos, h, maxLen)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range segs {
+		base := len(out.Pts)
+		out.Pts = append(out.Pts, seg.pts...)
+		for i := range infos {
+			outFields[i].Data = append(outFields[i].Data, seg.fields[i]...)
+		}
+		timeField.Data = append(timeField.Data, seg.times...)
+		for _, line := range seg.lines {
+			ids := make([]int, len(line))
+			for j, id := range line {
+				ids[j] = base + id
+			}
+			out.AddLine(ids...)
+		}
+	}
+	return out, nil
 }
 
 // DefaultPointCloudSeeds reproduces ParaView's "Point Cloud" seed type:

@@ -72,6 +72,9 @@ type Op struct {
 	Array string
 	// Value is the scalar parameter (isovalue, threshold).
 	Value float64
+	// Values holds multi-value parameters (a multi-value contour's
+	// isovalue list); when set it supersedes Value.
+	Values []float64
 	// Axis is "x", "y" or "z" for slices/clips.
 	Axis string
 	// Offset is the plane position along Axis.
@@ -104,18 +107,20 @@ type TaskSpec struct {
 const numPat = `(-?\d+(?:\.\d+)?)`
 
 var (
-	fileRe   = regexp.MustCompile(`(?i)file(?:\s+named)?\s+['"]?([\w\-.]+?\.(?:vtk|ex2|exo|e))['"]?`)
-	shotRe   = regexp.MustCompile(`(?i)(?:filename|file name)\s+['"]?([\w\-.]+?\.png)['"]?`)
-	resRe    = regexp.MustCompile(`(?i)(\d{3,5})\s*[xX×]\s*(\d{3,5})\s*pixels?`)
-	isoRe    = regexp.MustCompile(`(?i)isosurface(?:s)?\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:value\s+)?` + numPat)
-	valueRe  = regexp.MustCompile(`(?i)at\s+(?:the\s+)?value\s+` + numPat)
-	sliceRe  = regexp.MustCompile(`(?i)plane\s+parallel\s+to\s+the\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
-	clipRe   = regexp.MustCompile(`(?i)clip\s+the\s+data\s+with\s+an?\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
-	keepRe   = regexp.MustCompile(`(?i)keeping\s+the\s+([+-])([xyz])\s+half`)
-	streamRe = regexp.MustCompile(`(?i)streamlines?\s+of\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
-	threshRe = regexp.MustCompile(`(?i)threshold\s+(?:the\s+)?[\w\s]*?(?:by|on)\s+(?:the\s+)?['"]?(\w+)['"]?[\w\s]*?between\s+` + numPat + `\s+and\s+` + numPat)
-	colorRe  = regexp.MustCompile(`(?i)color\s+(?:the\s+)?[\w\s,]*?by\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
-	solidRe  = regexp.MustCompile(`(?i)color\s+the\s+\w+\s+(red|green|blue|white|black|yellow|orange|purple)`)
+	fileRe     = regexp.MustCompile(`(?i)file(?:\s+named)?\s+['"]?([\w\-.]+?\.(?:vtk|ex2|exo|e))['"]?`)
+	shotRe     = regexp.MustCompile(`(?i)(?:filename|file name)\s+['"]?([\w\-.]+?\.png)['"]?`)
+	resRe      = regexp.MustCompile(`(?i)(\d{3,5})\s*[xX×]\s*(\d{3,5})\s*pixels?`)
+	isoRe      = regexp.MustCompile(`(?i)isosurface(?:s)?\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:value\s+)?` + numPat)
+	isoMultiRe = regexp.MustCompile(`(?i)isosurfaces\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:the\s+)?values\s+(` + numPat + `(?:(?:\s*,\s*|\s+and\s+)` + numPat + `)*)`)
+	numsRe     = regexp.MustCompile(numPat)
+	valueRe    = regexp.MustCompile(`(?i)at\s+(?:the\s+)?value\s+` + numPat)
+	sliceRe    = regexp.MustCompile(`(?i)plane\s+parallel\s+to\s+the\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
+	clipRe     = regexp.MustCompile(`(?i)clip\s+the\s+data\s+with\s+an?\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
+	keepRe     = regexp.MustCompile(`(?i)keeping\s+the\s+([+-])([xyz])\s+half`)
+	streamRe   = regexp.MustCompile(`(?i)streamlines?\s+of\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
+	threshRe   = regexp.MustCompile(`(?i)threshold\s+(?:the\s+)?[\w\s]*?(?:by|on)\s+(?:the\s+)?['"]?(\w+)['"]?[\w\s]*?between\s+` + numPat + `\s+and\s+` + numPat)
+	colorRe    = regexp.MustCompile(`(?i)color\s+(?:the\s+)?[\w\s,]*?by\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
+	solidRe    = regexp.MustCompile(`(?i)color\s+the\s+\w+\s+(red|green|blue|white|black|yellow|orange|purple)`)
 )
 
 // ParseIntent extracts a TaskSpec from natural-language text (a raw user
@@ -151,7 +156,20 @@ func ParseIntent(text string) TaskSpec {
 	switch {
 	case strings.Contains(lower, "isosurface"):
 		op := Op{Kind: OpIsosurface, Value: 0.5}
-		if m := isoRe.FindStringSubmatch(text); m != nil {
+		if m := isoMultiRe.FindStringSubmatch(text); m != nil {
+			// Multi-value contour: "isosurfaces of var0 at the values
+			// 0.3 and 0.7".
+			op.Array = m[1]
+			for _, n := range numsRe.FindAllString(m[2], -1) {
+				v, err := strconv.ParseFloat(n, 64)
+				if err == nil {
+					op.Values = append(op.Values, v)
+				}
+			}
+			if len(op.Values) > 0 {
+				op.Value = op.Values[0]
+			}
+		} else if m := isoRe.FindStringSubmatch(text); m != nil {
 			op.Array = m[1]
 			op.Value, _ = strconv.ParseFloat(m[2], 64)
 		}
@@ -221,6 +239,13 @@ func ParseIntent(text string) TaskSpec {
 		spec.Ops = append(spec.Ops, op)
 	}
 
+	// Composition order: "slice the clipped data" means the clip runs
+	// first even though the parser collected the slice earlier. Move the
+	// clip op ahead of the first slice op.
+	if strings.Contains(lower, "clipped") && spec.HasOp(OpClip) && spec.HasOp(OpSlice) {
+		spec.Ops = clipBeforeSlice(spec.Ops)
+	}
+
 	if m := colorRe.FindStringSubmatch(text); m != nil {
 		spec.ColorArray = m[1]
 	}
@@ -247,6 +272,35 @@ func ParseIntent(text string) TaskSpec {
 		spec.ViewDirection = "-Z"
 	}
 	return spec
+}
+
+// clipBeforeSlice reorders ops so the (first) clip precedes the (first)
+// slice, preserving the relative order of everything else.
+func clipBeforeSlice(ops []Op) []Op {
+	clipAt, sliceAt := -1, -1
+	for i, op := range ops {
+		if op.Kind == OpClip && clipAt < 0 {
+			clipAt = i
+		}
+		if op.Kind == OpSlice && sliceAt < 0 {
+			sliceAt = i
+		}
+	}
+	if clipAt < 0 || sliceAt < 0 || clipAt < sliceAt {
+		return ops
+	}
+	clip := ops[clipAt]
+	out := make([]Op, 0, len(ops))
+	for i, op := range ops {
+		if i == clipAt {
+			continue
+		}
+		if i == sliceAt {
+			out = append(out, clip)
+		}
+		out = append(out, op)
+	}
+	return out
 }
 
 // HasOp reports whether the spec contains an operation of the given kind.

@@ -1,0 +1,77 @@
+package llm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseIntentMultiValueContour pins the multi-isovalue grammar and
+// its round trip through the rendered step prompt.
+func TestParseIntentMultiValueContour(t *testing.T) {
+	prompt := "Read in the file named ml-100.vtk. Generate isosurfaces of the variable var0 at the values 0.3 and 0.7. Save a screenshot of the result in the filename multi.png."
+	spec := ParseIntent(prompt)
+	op, ok := spec.FindOp(OpIsosurface)
+	if !ok {
+		t.Fatal("no isosurface op parsed")
+	}
+	if op.Array != "var0" || !reflect.DeepEqual(op.Values, []float64{0.3, 0.7}) {
+		t.Fatalf("op = %+v", op)
+	}
+	// Round trip: the rendered step prompt re-parses to the same values.
+	again := ParseIntent(RenderStepPrompt(spec))
+	op2, ok := again.FindOp(OpIsosurface)
+	if !ok || !reflect.DeepEqual(op2.Values, op.Values) {
+		t.Fatalf("round trip lost values: %+v", op2)
+	}
+	// The generated script configures the full isovalue list.
+	script := WriteScript(spec, Profile{Name: "test"}, FullGrounding())
+	if !strings.Contains(script, "contour1.Isosurfaces = [0.3, 0.7]") {
+		t.Fatalf("script missing multi-value isosurfaces:\n%s", script)
+	}
+}
+
+// TestParseIntentClipThenSlice pins the composition grammar: "slice the
+// clipped data" orders the clip before the slice, in both the raw
+// prompt and the rendered step prompt.
+func TestParseIntentClipThenSlice(t *testing.T) {
+	prompt := "Read in the file named ml-100.vtk. Clip the data with a y-z plane at x=0, keeping the -x half of the data and removing the +x half. Slice the clipped data in a plane parallel to the x-y plane at z=0. Save a screenshot of the result in the filename s.png."
+	check := func(t *testing.T, spec TaskSpec) {
+		t.Helper()
+		clipAt, sliceAt := -1, -1
+		for i, op := range spec.Ops {
+			if op.Kind == OpClip {
+				clipAt = i
+			}
+			if op.Kind == OpSlice {
+				sliceAt = i
+			}
+		}
+		if clipAt < 0 || sliceAt < 0 {
+			t.Fatalf("missing ops: %+v", spec.Ops)
+		}
+		if clipAt > sliceAt {
+			t.Fatalf("clip (#%d) must precede slice (#%d): %+v", clipAt, sliceAt, spec.Ops)
+		}
+	}
+	spec := ParseIntent(prompt)
+	check(t, spec)
+	if op, _ := spec.FindOp(OpClip); !op.KeepNegative {
+		t.Error("clip should keep the -x half")
+	}
+	if op, _ := spec.FindOp(OpSlice); op.Axis != "z" {
+		t.Errorf("slice axis = %q, want z", op.Axis)
+	}
+	// Round trip through the rewritten prompt.
+	check(t, ParseIntent(RenderStepPrompt(spec)))
+	// The generated script feeds the slice from the clip.
+	script := WriteScript(spec, Profile{Name: "test"}, FullGrounding())
+	if !strings.Contains(script, "slice1 = Slice(registrationName='Slice1', Input=clip1") {
+		t.Fatalf("slice should consume the clip output:\n%s", script)
+	}
+	// A plain slice prompt is unaffected by the reorder rule.
+	plain := ParseIntent("Slice the volume in a plane parallel to the y-z plane at x=0. Take a contour through the slice at the value 0.5.")
+	if plain.HasOp(OpClip) {
+		t.Error("plain slice prompt grew a clip op")
+	}
+}

@@ -181,10 +181,18 @@ func WriteScript(spec TaskSpec, p Profile, g Grounding) string {
 			if array == "" {
 				array = "var0"
 			}
-			b.add("# Generate an isosurface of %s at value %g", array, op.Value)
+			values := op.Values
+			if len(values) == 0 {
+				values = []float64{op.Value}
+			}
+			if len(values) > 1 {
+				b.add("# Generate isosurfaces of %s at values %s", array, joinFloats(values, ", "))
+			} else {
+				b.add("# Generate an isosurface of %s at value %g", array, values[0])
+			}
 			b.add("contour1 = Contour(registrationName='Contour1', Input=%s)", current)
 			b.add("contour1.ContourBy = ['POINTS', '%s']", array)
-			b.add("contour1.Isosurfaces = [%g]", op.Value)
+			b.add("contour1.Isosurfaces = [%s]", joinFloats(values, ", "))
 			b.blank()
 			current = "contour1"
 		case OpSlice:
@@ -419,6 +427,15 @@ func orDefault(s, def string) string {
 	return s
 }
 
+// joinFloats renders a value list with %g formatting.
+func joinFloats(vals []float64, sep string) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, sep)
+}
+
 // injectSyntaxDefect corrupts a script the way weaker models do,
 // deterministically.
 func injectSyntaxDefect(script, defect string) string {
@@ -471,15 +488,28 @@ func RenderStepPrompt(spec TaskSpec) string {
 	if spec.InputFile != "" {
 		fmt.Fprintf(&b, "- Read the file named %s given the path.\n", spec.InputFile)
 	}
+	seenClip := false
 	for _, op := range spec.Ops {
 		switch op.Kind {
 		case OpIsosurface:
-			fmt.Fprintf(&b, "- Generate an isosurface of the variable %s at value %g.\n",
-				orDefault(op.Array, "var0"), op.Value)
+			if len(op.Values) > 1 {
+				fmt.Fprintf(&b, "- Generate isosurfaces of the variable %s at the values %s.\n",
+					orDefault(op.Array, "var0"), joinFloats(op.Values, " and "))
+			} else {
+				fmt.Fprintf(&b, "- Generate an isosurface of the variable %s at value %g.\n",
+					orDefault(op.Array, "var0"), op.Value)
+			}
 		case OpSlice:
 			pair := map[string]string{"x": "y-z", "y": "x-z", "z": "x-y"}[op.Axis]
-			fmt.Fprintf(&b, "- Slice the volume in a plane parallel to the %s plane at %s=%g.\n",
-				pair, op.Axis, op.Offset)
+			// After a clip, phrase the slice over "the clipped data" so
+			// re-parsing the rendered prompt preserves the composition
+			// order (clipBeforeSlice keys on that wording).
+			target := "the volume"
+			if seenClip {
+				target = "the clipped data"
+			}
+			fmt.Fprintf(&b, "- Slice %s in a plane parallel to the %s plane at %s=%g.\n",
+				target, pair, op.Axis, op.Offset)
 		case OpContourLines:
 			fmt.Fprintf(&b, "- Take a contour through the slice at the value %g.\n", op.Value)
 		case OpThreshold:
@@ -497,6 +527,7 @@ func RenderStepPrompt(spec TaskSpec) string {
 			pair := map[string]string{"x": "y-z", "y": "x-z", "z": "x-y"}[op.Axis]
 			fmt.Fprintf(&b, "- Clip the data with a %s plane at %s=%g, keeping the %s%s half.\n",
 				pair, op.Axis, op.Offset, sign, op.Axis)
+			seenClip = true
 		case OpStreamlines:
 			fmt.Fprintf(&b, "- Trace streamlines of the %s data array seeded from a default point cloud.\n",
 				orDefault(op.Array, "V"))

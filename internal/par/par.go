@@ -1,0 +1,245 @@
+// Package par is the parallel compute substrate shared by the filters,
+// the renderer and the pipeline engine: a bounded worker pool plus
+// deterministic chunked map/reduce helpers.
+//
+// Determinism contract: every helper in this package assigns work by
+// index and collects results by index, so the *values* produced are
+// independent of the worker count and of scheduling order. Callers that
+// merge chunk results in index order therefore produce byte-identical
+// output for any worker count — the property the serial/parallel
+// equivalence tests in filters and render pin down.
+//
+// Concurrency model: each call runs chunks on the calling goroutine plus
+// up to Workers()-1 helper goroutines drawn from a process-wide token
+// pool. Helpers are acquired opportunistically (never blocking), so
+// nested parallel sections — a parallel filter inside a parallel render
+// inside a chatvisd job — cannot deadlock and total compute goroutines
+// stay bounded near the configured worker count.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the configured worker count; 0 means "follow
+// runtime.GOMAXPROCS(0)".
+var defaultWorkers atomic.Int64
+
+// helperTokens bounds the number of helper goroutines alive across all
+// concurrent par calls in the process. It is sized lazily from the
+// worker count.
+var (
+	tokenMu      sync.Mutex
+	helperTokens chan struct{}
+	tokenCap     int
+)
+
+// Workers returns the effective worker count: the value set with
+// SetWorkers, or runtime.GOMAXPROCS(0) when unset.
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers fixes the process-wide worker count (the chatvisd
+// -compute-workers flag lands here). n <= 0 restores the default of
+// runtime.GOMAXPROCS(0).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// acquireHelpers grabs up to want helper tokens without blocking and
+// returns how many it got plus a release function.
+func acquireHelpers(want int) (int, func()) {
+	if want <= 0 {
+		return 0, func() {}
+	}
+	tokenMu.Lock()
+	need := Workers() - 1
+	if need < 0 {
+		need = 0
+	}
+	if helperTokens == nil || tokenCap < need {
+		// Grow the pool to the current worker count. Outstanding tokens
+		// from the old channel release into the old channel (captured by
+		// their release closures), so growth never corrupts accounting.
+		if need < 1 {
+			need = 1
+		}
+		helperTokens = make(chan struct{}, need)
+		for i := 0; i < need; i++ {
+			helperTokens <- struct{}{}
+		}
+		tokenCap = need
+	}
+	tokens := helperTokens
+	tokenMu.Unlock()
+
+	got := 0
+	for got < want {
+		select {
+		case <-tokens:
+			got++
+		default:
+			return got, releaseFn(tokens, got)
+		}
+	}
+	return got, releaseFn(tokens, got)
+}
+
+func releaseFn(tokens chan struct{}, n int) func() {
+	return func() {
+		for i := 0; i < n; i++ {
+			tokens <- struct{}{}
+		}
+	}
+}
+
+// runChunks executes process(chunk) for chunk in [0, chunks) across the
+// caller plus opportunistically-acquired helpers. It returns ctx.Err()
+// if the context was canceled before every chunk ran; chunks already
+// started always finish (callers rely on partial results never being
+// observed — the error return is the only signal).
+func runChunks(ctx context.Context, chunks int, process func(chunk int)) error {
+	if chunks <= 0 {
+		return nil // an empty sweep is trivially complete
+	}
+	if chunks == 1 || Workers() <= 1 {
+		for c := 0; c < chunks; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			process(c)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	canceled := ctx.Done()
+	loop := func() {
+		for {
+			if canceled != nil {
+				select {
+				case <-canceled:
+					return
+				default:
+				}
+			}
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			process(c)
+		}
+	}
+	nHelpers, release := acquireHelpers(min(chunks-1, Workers()-1))
+	defer release()
+	var wg sync.WaitGroup
+	for i := 0; i < nHelpers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loop()
+		}()
+	}
+	loop()
+	wg.Wait()
+	if int(next.Load()) < chunks {
+		// Cancellation stopped the sweep before every chunk was claimed.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	// Every chunk was claimed, and a claimed chunk always runs to
+	// completion — the sweep finished, even if ctx was canceled after
+	// the last claim. Completed work is never reported as failed.
+	return nil
+}
+
+// NumChunks picks a chunk count for n items: enough to balance load
+// across workers (4 chunks per worker) without degenerating into
+// per-item scheduling.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := Workers() * 4
+	if c > n {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// chunkRange returns the half-open item range of chunk c when n items
+// are split into chunks nearly-equal contiguous ranges.
+func chunkRange(c, chunks, n int) (start, end int) {
+	q, r := n/chunks, n%chunks
+	start = c*q + min(c, r)
+	end = start + q
+	if c < r {
+		end++
+	}
+	return start, end
+}
+
+// For runs fn over every contiguous sub-range of [0, n) in parallel.
+// fn(start, end) must only touch state owned by its range (or its own
+// locals); ranges are disjoint and cover [0, n) exactly once. Returns
+// ctx.Err() if canceled early.
+func For(ctx context.Context, n int, fn func(start, end int)) error {
+	chunks := NumChunks(n)
+	return runChunks(ctx, chunks, func(c int) {
+		s, e := chunkRange(c, chunks, n)
+		fn(s, e)
+	})
+}
+
+// MapChunks splits [0, n) into contiguous chunks, computes
+// fn(start, end) for each, and returns the results in chunk order
+// (deterministic regardless of worker count or scheduling). A nil error
+// guarantees every chunk ran.
+func MapChunks[T any](ctx context.Context, n int, fn func(start, end int) T) ([]T, error) {
+	chunks := NumChunks(n)
+	out := make([]T, chunks)
+	err := runChunks(ctx, chunks, func(c int) {
+		s, e := chunkRange(c, chunks, n)
+		out[c] = fn(s, e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapN computes out[i] = fn(i) for every i in [0, n), scheduling
+// contiguous index chunks across workers. Results are positionally
+// deterministic.
+func MapN[T any](ctx context.Context, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := For(ctx, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = fn(i)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package pvpython
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"chatvis/internal/data"
+	"chatvis/internal/datagen"
+	"chatvis/internal/vtkio"
+)
+
+// cacheIsoScript is a minimal read→contour→screenshot pipeline at the
+// given isovalue.
+func cacheIsoScript(iso float64) string {
+	return fmt.Sprintf(`from paraview.simple import *
+ml = LegacyVTKReader(FileNames=['ml.vtk'])
+c = Contour(Input=ml)
+c.Isosurfaces = [%g]
+view = GetActiveViewOrCreate('RenderView')
+Show(c, view)
+view.ResetCamera()
+SaveScreenshot('iso.png', view, ImageResolution=[64, 48])
+`, iso)
+}
+
+// TestRunnerSharedCacheAcrossRepairIterations pins the acceptance
+// criterion end-to-end: a runner with a shared dataset cache re-executes
+// a script (the repair-iteration scenario — each Exec is a fresh engine,
+// exactly like a correction-loop round) and unchanged stages hit the
+// content-hash cache instead of recomputing.
+func TestRunnerSharedCacheAcrossRepairIterations(t *testing.T) {
+	dataDir := t.TempDir()
+	if err := vtkio.SaveLegacyVTK(filepath.Join(dataDir, "ml.vtk"),
+		datagen.MarschnerLobb(12), "ml"); err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{DataDir: dataDir, OutDir: t.TempDir(), Cache: data.NewCache(64 << 20)}
+
+	// Round 1: everything executes (reader + contour).
+	res := r.Exec(cacheIsoScript(0.5))
+	if !res.OK() {
+		t.Fatalf("round 1 failed:\n%s", res.Output)
+	}
+	if got := res.Engine.Executions(); got != 2 {
+		t.Fatalf("round 1 executed %d stages, want 2", got)
+	}
+
+	// Round 2 ("repair" with a tweaked parameter): only the contour
+	// recomputes — the reader's dataset comes from the shared cache.
+	res = r.Exec(cacheIsoScript(0.6))
+	if !res.OK() {
+		t.Fatalf("round 2 failed:\n%s", res.Output)
+	}
+	if got := res.Engine.Executions(); got != 1 {
+		t.Fatalf("round 2 executed %d stages, want 1 (reader cached)", got)
+	}
+
+	// Round 3 (identical re-run): the whole pipeline is answered from
+	// the cache; nothing executes.
+	res = r.Exec(cacheIsoScript(0.5))
+	if !res.OK() {
+		t.Fatalf("round 3 failed:\n%s", res.Output)
+	}
+	if got := res.Engine.Executions(); got != 0 {
+		t.Fatalf("round 3 executed %d stages, want 0 (full cache hit)", got)
+	}
+	st := r.Cache.Stats()
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats show no reuse: %+v", st)
+	}
+
+	// Without a cache every round pays full price (the seed behaviour).
+	bare := &Runner{DataDir: dataDir, OutDir: t.TempDir()}
+	res = bare.Exec(cacheIsoScript(0.5))
+	res2 := bare.Exec(cacheIsoScript(0.5))
+	if res.Engine.Executions() != 2 || res2.Engine.Executions() != 2 {
+		t.Fatalf("cacheless runner should recompute everything: %d, %d",
+			res.Engine.Executions(), res2.Engine.Executions())
+	}
+}

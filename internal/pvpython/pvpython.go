@@ -8,8 +8,10 @@ package pvpython
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
+	"chatvis/internal/data"
 	"chatvis/internal/pvsim"
 	"chatvis/internal/pypy"
 )
@@ -40,12 +42,26 @@ type Runner struct {
 	OutDir string
 	// MaxSteps bounds interpreter execution (default 5M).
 	MaxSteps int
+	// Cache, when set, is shared with every engine this runner creates:
+	// repeated executions of unchanged pipeline stages (repair
+	// iterations, concurrent jobs on the same inputs) are answered from
+	// the content-hash dataset cache instead of recomputed.
+	Cache *data.Cache
 }
 
 // Exec runs one script in a fresh simulated ParaView session.
 func (r *Runner) Exec(script string) *Result {
+	return r.ExecContext(context.Background(), script)
+}
+
+// ExecContext is Exec with cancellation: ctx is threaded into the
+// engine's filter execution and rendering, so canceling a chatvisd job
+// aborts the compute-heavy stages mid-script.
+func (r *Runner) ExecContext(ctx context.Context, script string) *Result {
 	var out bytes.Buffer
 	engine := pvsim.NewEngine(r.DataDir, r.OutDir)
+	engine.DataCache = r.Cache
+	engine.ExecCtx = ctx
 	interp := pypy.NewInterp(&out)
 	if r.MaxSteps > 0 {
 		interp.MaxSteps = r.MaxSteps

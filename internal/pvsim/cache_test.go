@@ -1,0 +1,160 @@
+package pvsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"chatvis/internal/data"
+	"chatvis/internal/par"
+	"chatvis/internal/pypy"
+)
+
+// cacheEngine builds a test engine with a content-hash dataset cache.
+func cacheEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := testEngine(t)
+	e.DataCache = data.NewCache(64 << 20)
+	return e
+}
+
+// TestContentHashCacheAcrossPropertyTweak pins the repair-iteration
+// contract inside one engine: tweaking a filter property recomputes only
+// that filter (the reader stays cached), and tweaking it back costs
+// nothing at all — the content hash recognizes the earlier computation
+// even though the dirty flag was set.
+func TestContentHashCacheAcrossPropertyTweak(t *testing.T) {
+	e := cacheEngine(t)
+	reader := mustConstruct(t, e, "LegacyVTKReader", map[string]pypy.Value{
+		"FileNames": &pypy.List{Items: []pypy.Value{pypy.Str("ml-100.vtk")}},
+	})
+	contour := mustConstruct(t, e, "Contour", map[string]pypy.Value{"Input": reader})
+	if err := contour.SetAttr("Isosurfaces", listOf(0.5)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.Dataset(contour); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Executions(); got != 2 { // reader + contour
+		t.Fatalf("first run executed %d stages, want 2", got)
+	}
+
+	// Tweak: only the contour recomputes; the reader is clean AND cached.
+	if err := contour.SetAttr("Isosurfaces", listOf(0.6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dataset(contour); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Executions(); got != 3 {
+		t.Fatalf("after tweak executed %d stages total, want 3", got)
+	}
+
+	// Tweak back: the content hash matches the first run — zero work.
+	if err := contour.SetAttr("Isosurfaces", listOf(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := e.Dataset(contour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Executions(); got != 3 {
+		t.Fatalf("revert executed %d stages total, want 3 (cache hit)", got)
+	}
+	if ds.NumPoints() == 0 {
+		t.Fatal("cached contour is empty")
+	}
+}
+
+// TestRequireDatasetExecutesBranchesConcurrentlyOnce pins the parallel
+// dirty-DAG walk: two filters sharing one upstream source compute
+// concurrently while the shared stage executes exactly once.
+func TestRequireDatasetExecutesBranchesConcurrentlyOnce(t *testing.T) {
+	par.SetWorkers(4)
+	defer par.SetWorkers(0)
+	e := testEngine(t)
+	reader := mustConstruct(t, e, "ExodusIIReader", map[string]pypy.Value{
+		"FileName": pypy.Str("disk.ex2"),
+	})
+	stream := mustConstruct(t, e, "StreamTracer", map[string]pypy.Value{"Input": reader})
+	tube := mustConstruct(t, e, "Tube", map[string]pypy.Value{"Input": stream})
+	glyph := mustConstruct(t, e, "Glyph", map[string]pypy.Value{"Input": stream})
+
+	if err := e.requireDataset([]*Proxy{tube, glyph}); err != nil {
+		t.Fatal(err)
+	}
+	// reader + stream computed once, tube and glyph once each.
+	if got := e.Executions(); got != 4 {
+		t.Fatalf("executed %d stages, want 4 (shared upstream must run once)", got)
+	}
+	// A second walk over the clean DAG costs nothing.
+	if err := e.requireDataset([]*Proxy{tube, glyph}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Executions(); got != 4 {
+		t.Fatalf("clean re-walk executed %d stages, want 4", got)
+	}
+}
+
+// TestCanceledFilterErrorStaysDetectable: a context cancellation inside
+// a filter surfaces through the raiseRT RuntimeError wrapper with its
+// identity intact — the dataset cache's singleflight relies on
+// errors.Is(err, context.Canceled) to retry waiters instead of failing
+// them with the canceled leader's error.
+func TestCanceledFilterErrorStaysDetectable(t *testing.T) {
+	e := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.ExecCtx = ctx
+	reader := mustConstruct(t, e, "LegacyVTKReader", map[string]pypy.Value{
+		"FileNames": &pypy.List{Items: []pypy.Value{pypy.Str("ml-100.vtk")}},
+	})
+	contour := mustConstruct(t, e, "Contour", map[string]pypy.Value{"Input": reader})
+	if err := contour.SetAttr("Isosurfaces", listOf(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Dataset(contour)
+	if err == nil {
+		t.Fatal("canceled context must abort the contour")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; context.Canceled must survive the RuntimeError wrap", err)
+	}
+}
+
+// TestContentKeyStability: same configuration, same key; different
+// parameter, different key; registration names don't matter.
+func TestContentKeyStability(t *testing.T) {
+	e := testEngine(t)
+	mk := func(iso float64, regName string) *Proxy {
+		reader := mustConstruct(t, e, "LegacyVTKReader", map[string]pypy.Value{
+			"FileNames": &pypy.List{Items: []pypy.Value{pypy.Str("ml-100.vtk")}},
+		})
+		c := mustConstruct(t, e, "Contour", map[string]pypy.Value{
+			"Input": reader, "registrationName": pypy.Str(regName),
+		})
+		if err := c.SetAttr("Isosurfaces", listOf(iso)); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	k1, err := e.contentKey(mk(0.5, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := e.contentKey(mk(0.5, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := e.contentKey(mk(0.7, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("identical pipelines must share a content key (regName is cosmetic)")
+	}
+	if k1 == k3 {
+		t.Error("different isovalues must produce different content keys")
+	}
+}

@@ -1,15 +1,18 @@
 package pvsim
 
 import (
+	"context"
 	"fmt"
 	"image"
 	"math"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"chatvis/internal/data"
 	"chatvis/internal/datagen"
 	"chatvis/internal/filters"
+	"chatvis/internal/par"
 	"chatvis/internal/pypy"
 	"chatvis/internal/render"
 	"chatvis/internal/vmath"
@@ -23,6 +26,24 @@ type Engine struct {
 	DataDir string
 	// OutDir is prepended to relative screenshot file names.
 	OutDir string
+
+	// DataCache, when set, is the process-wide content-keyed dataset
+	// cache: proxies whose content hash (class + properties + input
+	// chain + source file identity) matches a cached entry reuse the
+	// cached dataset instead of recomputing. Shared across engines —
+	// and therefore across chatvisd jobs and repair iterations.
+	// Cached datasets are immutable by contract.
+	DataCache *data.Cache
+
+	// ExecCtx carries cancellation into filter execution and rendering;
+	// nil means context.Background(). pvpython.Runner threads the job
+	// context here.
+	ExecCtx context.Context
+
+	// executions counts filter/reader computations actually performed
+	// (cache hits do not count) — the observable the repair-iteration
+	// cache tests pin.
+	executions atomic.Int64
 
 	Pipeline []*Proxy // sources and filters, in creation order
 	Views    []*Proxy
@@ -81,9 +102,19 @@ func (e *Engine) schema(name string) *classSchema { return e.schemas[name] }
 
 func (e *Engine) addSchema(s *classSchema) { e.schemas[s.name] = s }
 
-// raiseRT reports a ParaView-side runtime failure into the script.
+// raiseRT reports a ParaView-side runtime failure into the script. Any
+// error among the format args becomes the exception's wrapped cause, so
+// a context cancellation inside a filter stays visible to errors.Is
+// through the Python-shaped wrapper.
 func raiseRT(format string, args ...interface{}) error {
-	return &pypy.PyError{Kind: "RuntimeError", Msg: fmt.Sprintf(format, args...)}
+	pe := &pypy.PyError{Kind: "RuntimeError", Msg: fmt.Sprintf(format, args...)}
+	for _, a := range args {
+		if err, ok := a.(error); ok {
+			pe.Cause = err
+			break
+		}
+	}
+	return pe
 }
 
 // registerSchemas declares every proxy class the simulation supports. The
@@ -482,21 +513,88 @@ func viewLookFrom(dir vmath.Vec3) methodFn {
 	}
 }
 
+// execCtx returns the engine's execution context.
+func (e *Engine) execCtx() context.Context {
+	if e.ExecCtx != nil {
+		return e.ExecCtx
+	}
+	return context.Background()
+}
+
+// Executions returns how many proxy computations (filters and readers)
+// this engine has actually executed; content-hash cache hits do not
+// count.
+func (e *Engine) Executions() int64 { return e.executions.Load() }
+
 // Dataset computes (lazily) the output dataset of a pipeline proxy.
+//
+// Each proxy is guarded by its own mutex, so independent branches of
+// the pipeline DAG may be computed concurrently (see requireDataset)
+// while a shared upstream stage still executes exactly once. With a
+// DataCache configured, clean recomputations — the same stage re-run in
+// a later repair iteration, or by a concurrent job — are answered from
+// the content-hash cache without executing the filter.
 func (e *Engine) Dataset(p *Proxy) (data.Dataset, error) {
 	if p == nil {
 		return nil, raiseRT("null pipeline proxy")
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if !p.dirty && p.dataset != nil {
 		return p.dataset, nil
 	}
-	ds, err := e.compute(p)
+	var ds data.Dataset
+	var err error
+	if cache := e.DataCache; cache != nil {
+		if key, keyErr := e.contentKey(p); keyErr == nil {
+			ds, _, err = cache.GetOrCompute(e.execCtx(), key, func() (data.Dataset, error) {
+				return e.computeCounted(p)
+			})
+		} else {
+			ds, err = e.computeCounted(p)
+		}
+	} else {
+		ds, err = e.computeCounted(p)
+	}
 	if err != nil {
 		return nil, err
 	}
 	p.dataset = ds
 	p.dirty = false
 	return ds, nil
+}
+
+func (e *Engine) computeCounted(p *Proxy) (data.Dataset, error) {
+	e.executions.Add(1)
+	return e.compute(p)
+}
+
+// requireDataset walks the dirty pipeline DAG feeding the given
+// proxies and executes independent branches concurrently on the par
+// worker pool; shared upstream stages are computed once (per-proxy
+// locking). The first error in srcs order is returned, so failures are
+// deterministic regardless of scheduling.
+func (e *Engine) requireDataset(srcs []*Proxy) error {
+	if len(srcs) == 0 {
+		return nil
+	}
+	if len(srcs) == 1 {
+		_, err := e.Dataset(srcs[0])
+		return err
+	}
+	errs, perr := par.MapN(e.execCtx(), len(srcs), func(i int) error {
+		_, err := e.Dataset(srcs[i])
+		return err
+	})
+	if perr != nil {
+		return perr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *Engine) inputDataset(p *Proxy) (data.Dataset, error) {
@@ -509,18 +607,7 @@ func (e *Engine) inputDataset(p *Proxy) (data.Dataset, error) {
 func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 	switch p.Class.name {
 	case "LegacyVTKReader":
-		names := p.Props["FileNames"]
-		var file string
-		switch t := names.(type) {
-		case *pypy.List:
-			if len(t.Items) > 0 {
-				if s, ok := t.Items[0].(pypy.Str); ok {
-					file = string(s)
-				}
-			}
-		case pypy.Str:
-			file = string(t)
-		}
+		file := readerFileName(p)
 		if file == "" {
 			return nil, raiseRT("LegacyVTKReader: no file name specified")
 		}
@@ -531,14 +618,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		return ds, nil
 
 	case "ExodusIIReader":
-		file := propStr(p, "FileName")
-		if file == "" {
-			if v, ok := p.Props["FileName"].(*pypy.List); ok && len(v.Items) > 0 {
-				if s, ok := v.Items[0].(pypy.Str); ok {
-					file = string(s)
-				}
-			}
-		}
+		file := readerFileName(p)
 		if file == "" {
 			return nil, raiseRT("ExodusIIReader: no file name specified")
 		}
@@ -572,7 +652,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 				// Contouring a surface (e.g. a slice) yields iso-lines.
 				part, err = filters.ContourLines(pdIn, array, v)
 			} else {
-				part, err = filters.Contour(in, array, v)
+				part, err = filters.ContourContext(e.execCtx(), in, array, v)
 			}
 			if err != nil {
 				return nil, raiseRT("Contour: %v", err)
@@ -593,7 +673,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := filters.Slice(in, plane)
+		out, err := filters.SliceContext(e.execCtx(), in, plane)
 		if err != nil {
 			return nil, raiseRT("Slice: %v", err)
 		}
@@ -615,16 +695,20 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		}
 		switch t := in.(type) {
 		case *data.PolyData:
-			return filters.ClipPolyData(t, plane), nil
+			out, err := filters.ClipPolyDataContext(e.execCtx(), t, plane)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
 		case *data.UnstructuredGrid:
-			out, err := filters.ClipUnstructured(t, plane)
+			out, err := filters.ClipUnstructuredContext(e.execCtx(), t, plane)
 			if err != nil {
 				return nil, raiseRT("Clip: %v", err)
 			}
 			return out, nil
 		case *data.ImageData:
 			ug := imageToUGrid(t)
-			out, err := filters.ClipUnstructured(ug, plane)
+			out, err := filters.ClipUnstructuredContext(e.execCtx(), ug, plane)
 			if err != nil {
 				return nil, raiseRT("Clip: %v", err)
 			}
@@ -682,7 +766,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		if ml := propFloat(p, "MaximumStreamlineLength", 0); ml > 0 {
 			opt.MaxLength = ml / in.Bounds().Diagonal()
 		}
-		return filters.StreamTracer(sampler, seeds, opt), nil
+		return filters.StreamTracerContext(e.execCtx(), sampler, seeds, opt)
 
 	case "Tube":
 		in, err := e.inputDataset(p)
@@ -720,12 +804,12 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		if orient == "No orientation array" {
 			orient = ""
 		}
-		return filters.Glyph(pd, filters.GlyphOptions{
+		return filters.GlyphContext(e.execCtx(), pd, filters.GlyphOptions{
 			Type:             gt,
 			OrientationArray: orient,
 			ScaleFactor:      propFloat(p, "ScaleFactor", 0),
 			MaxGlyphs:        int(propInt(p, "MaximumNumberOfSamplePoints", 500)),
-		}), nil
+		})
 
 	case "ExtractSurface":
 		in, err := e.inputDataset(p)

@@ -13,6 +13,7 @@ package pvsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"chatvis/internal/data"
 	"chatvis/internal/pypy"
@@ -56,8 +57,12 @@ type Proxy struct {
 	Props   map[string]pypy.Value
 	Engine  *Engine
 
-	// Pipeline state for sources/filters.
+	// Pipeline state for sources/filters. mu serializes computation of
+	// this proxy's dataset so independent DAG branches can execute
+	// concurrently while a shared upstream stage runs exactly once
+	// (lock order follows Input edges, which form a DAG — no cycles).
 	Input   *Proxy
+	mu      sync.Mutex
 	dataset data.Dataset
 	dirty   bool
 

@@ -471,12 +471,18 @@ func (e *Engine) colorBy(args []pypy.Value) (pypy.Value, error) {
 // the script like a failed Render) and applies the first-render camera
 // reset.
 func (e *Engine) renderPass(view *Proxy) error {
+	// Execute the dirty DAG of everything shown in the view; independent
+	// branches run concurrently. Hidden representations still execute
+	// (as before): a Show()n-then-Hidden filter keeps failing a Render
+	// the way real ParaView surfaces execution errors.
+	var srcs []*Proxy
 	for key := range e.Reps {
 		if key.view == view {
-			if _, err := e.Dataset(key.src); err != nil {
-				return err
-			}
+			srcs = append(srcs, key.src)
 		}
+	}
+	if err := e.requireDataset(sortByPipelineOrder(e, srcs)); err != nil {
+		return err
 	}
 	if !e.firstRenderResetDisabled && !e.renderedOnce[view] {
 		e.resetCamera(view)

@@ -2,6 +2,7 @@ package pvsim
 
 import (
 	"image"
+	"sort"
 
 	"chatvis/internal/data"
 	"chatvis/internal/filters"
@@ -9,6 +10,36 @@ import (
 	"chatvis/internal/render"
 	"chatvis/internal/vmath"
 )
+
+// visibleSources lists the pipeline proxies shown in a view, in
+// pipeline-creation order (deterministic, unlike map iteration).
+func (e *Engine) visibleSources(view *Proxy) []*Proxy {
+	var srcs []*Proxy
+	for key, rep := range e.Reps {
+		if key.view == view && propBool(rep, "Visibility", true) {
+			srcs = append(srcs, key.src)
+		}
+	}
+	return sortByPipelineOrder(e, srcs)
+}
+
+// sortByPipelineOrder orders proxies by creation order so concurrent
+// DAG execution reports errors deterministically; proxies deleted from
+// the pipeline sort last.
+func sortByPipelineOrder(e *Engine, srcs []*Proxy) []*Proxy {
+	order := make(map[*Proxy]int, len(e.Pipeline))
+	for i, p := range e.Pipeline {
+		order[p] = i
+	}
+	at := func(p *Proxy) int {
+		if i, ok := order[p]; ok {
+			return i
+		}
+		return len(order)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return at(srcs[i]) < at(srcs[j]) })
+	return srcs
+}
 
 // viewCamera is retained for interface symmetry; camera state lives in the
 // view proxy's Camera* properties so scripts can read and write it.
@@ -179,7 +210,14 @@ func pick(cond bool, a, b float64) float64 {
 // RenderViewImage renders a view at the given resolution.
 // overridePalette handles SaveScreenshot's OverrideColorPalette option
 // ("WhiteBackground", "BlackBackground" or empty).
+//
+// The dirty upstream DAG is executed first, with independent branches
+// in parallel (requireDataset); the serial actor-assembly loop below
+// then finds every dataset already computed.
 func (e *Engine) RenderViewImage(view *Proxy, w, h int, overridePalette string) (*image.RGBA, error) {
+	if err := e.requireDataset(e.visibleSources(view)); err != nil {
+		return nil, err
+	}
 	r := render.NewRenderer()
 	r.Camera = e.cameraFromView(view)
 	if bg := propFloats(view, "Background"); len(bg) >= 3 && !propBool(view, "UseColorPaletteForBackground", true) {
@@ -263,5 +301,9 @@ func (e *Engine) RenderViewImage(view *Proxy, w, h int, overridePalette string) 
 	if h <= 0 {
 		h = 539
 	}
-	return r.Render(w, h), nil
+	fb, err := r.RenderFBContext(e.execCtx(), w, h)
+	if err != nil {
+		return nil, err
+	}
+	return fb.Image(), nil
 }

@@ -15,10 +15,18 @@ type PyError struct {
 	Kind string
 	Msg  string
 	Line int
+	// Cause is the underlying Go error the exception wraps (a filter
+	// failure, a context cancellation, ...). Keeping the chain intact
+	// lets callers — notably the dataset cache's singleflight retry —
+	// see through the Python-shaped wrapper with errors.Is.
+	Cause error
 }
 
 // Error implements the error interface.
 func (e *PyError) Error() string { return e.Kind + ": " + e.Msg }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *PyError) Unwrap() error { return e.Cause }
 
 // Traceback renders the CPython-style traceback text that PvPython prints
 // to stderr, which the paper's extraction tool parses.

@@ -71,6 +71,12 @@ func (c *Camera) ResetToBounds(b vmath.AABB) {
 	}
 	center := b.Center()
 	radius := b.Diagonal() / 2
+	// Non-finite bounds (a half-empty box, or NaN geometry) would place
+	// the camera at NaN; leave it where it is instead.
+	if math.IsNaN(center.X) || math.IsNaN(center.Y) || math.IsNaN(center.Z) ||
+		math.IsInf(radius, 0) || math.IsNaN(radius) {
+		return
+	}
 	if radius == 0 {
 		radius = 1
 	}
@@ -98,6 +104,11 @@ func (c *Camera) ResetToBounds(b vmath.AABB) {
 // up; pass the zero vector for an automatic choice. This backs the
 // ParaView "ResetActiveCameraToPositiveX/NegativeY/…" helpers.
 func (c *Camera) LookFrom(dir vmath.Vec3, up vmath.Vec3, b vmath.AABB) {
+	if b.IsEmpty() {
+		// An empty scene has no centre to aim at; fall back to the unit
+		// box so the orientation still applies without NaN positions.
+		b = vmath.AABB{Min: vmath.V(-1, -1, -1), Max: vmath.V(1, 1, 1)}
+	}
 	d := dir.Norm()
 	if d.Len() == 0 {
 		d = vmath.V(0, 0, 1)

@@ -1,10 +1,12 @@
 package render
 
 import (
+	"context"
 	"image"
 	"math"
 
 	"chatvis/internal/data"
+	"chatvis/internal/par"
 	"chatvis/internal/vmath"
 )
 
@@ -108,6 +110,14 @@ func NewVolumeActor(im *data.ImageData, field string) *VolumeActor {
 }
 
 // Renderer is a scene: actors, volumes, a camera and a background.
+//
+// RenderFB executes in two phases: a geometry phase that transforms,
+// shades and clips every visible actor into an ordered list of raster
+// commands (parallel over vertices and triangles, deterministic command
+// order), and a rasterization phase that replays the command list over
+// disjoint framebuffer row bands in parallel. Each pixel is owned by
+// exactly one band and commands replay in emission order, so the frame
+// is byte-identical for any worker count.
 type Renderer struct {
 	Camera     *Camera
 	Background Color
@@ -134,26 +144,43 @@ func (r *Renderer) AddVolume(v *VolumeActor) *VolumeActor {
 }
 
 // VisibleBounds returns the union of the bounds of all visible props.
+// Degenerate (empty or non-finite) prop bounds are skipped so an actor
+// holding no geometry can never poison the camera with NaNs.
 func (r *Renderer) VisibleBounds() vmath.AABB {
 	b := vmath.EmptyAABB()
 	for _, a := range r.Actors {
 		if a.Visible && a.Mesh != nil && a.Mesh.NumPoints() > 0 {
-			b.Union(a.Mesh.Bounds())
+			if mb := a.Mesh.Bounds(); finiteAABB(mb) {
+				b.Union(mb)
+			}
 		}
 	}
 	for _, v := range r.Volumes {
-		if v.Visible && v.Image != nil {
-			b.Union(v.Image.Bounds())
+		if v.Visible && v.Image != nil && v.Image.NumPoints() > 0 {
+			if vb := v.Image.Bounds(); finiteAABB(vb) {
+				b.Union(vb)
+			}
 		}
 	}
 	return b
 }
 
+// finiteAABB reports whether every bound component is a finite number.
+func finiteAABB(b vmath.AABB) bool {
+	finite := func(v vmath.Vec3) bool {
+		return !math.IsInf(v.X, 0) && !math.IsNaN(v.X) &&
+			!math.IsInf(v.Y, 0) && !math.IsNaN(v.Y) &&
+			!math.IsInf(v.Z, 0) && !math.IsNaN(v.Z)
+	}
+	return finite(b.Min) && finite(b.Max)
+}
+
 // ResetCamera fits the camera to the visible bounds, as ParaView's
-// ResetCamera does.
+// ResetCamera does. With no visible geometry (an empty scene) the camera
+// is left untouched — it can never become NaN.
 func (r *Renderer) ResetCamera() {
 	b := r.VisibleBounds()
-	if !b.IsEmpty() {
+	if !b.IsEmpty() && finiteAABB(b) {
 		r.Camera.ResetToBounds(b)
 	}
 }
@@ -167,6 +194,14 @@ func (r *Renderer) Render(w, h int) *image.RGBA {
 // RenderFB draws the scene and returns the raw framebuffer (tests inspect
 // depth and float colors through it).
 func (r *Renderer) RenderFB(w, h int) *Framebuffer {
+	fb, _ := r.RenderFBContext(context.Background(), w, h)
+	return fb
+}
+
+// RenderFBContext is RenderFB with cancellation: geometry and raster
+// phases run on the par worker pool and abort early (returning the
+// partial framebuffer and ctx's error) when the context is canceled.
+func (r *Renderer) RenderFBContext(ctx context.Context, w, h int) (*Framebuffer, error) {
 	if w <= 0 {
 		w = 300
 	}
@@ -176,22 +211,105 @@ func (r *Renderer) RenderFB(w, h int) *Framebuffer {
 	fb := NewFramebuffer(w, h, r.Background)
 	bounds := r.VisibleBounds()
 	if bounds.IsEmpty() {
-		return fb
+		return fb, nil
 	}
 	near, far := r.Camera.clippingRange(bounds)
 	view := r.Camera.ViewMatrix()
 	proj := r.Camera.ProjMatrix(float64(w)/float64(h), near, far)
+
+	// Geometry phase: every visible actor is transformed, shaded and
+	// near-clipped into raster commands, in actor order.
+	var cmds []rasterCmd
 	for _, a := range r.Actors {
 		if a.Visible && a.Mesh != nil {
-			r.drawActor(fb, a, view, proj, near)
+			actorCmds, err := r.emitActor(ctx, fb, a, view, proj, near)
+			if err != nil {
+				return fb, err
+			}
+			cmds = append(cmds, actorCmds...)
 		}
 	}
+
+	// Raster phase: replay the command list over disjoint row bands.
+	err := par.For(ctx, h, func(y0, y1 int) {
+		for i := range cmds {
+			c := &cmds[i]
+			if c.yMax < y0 || c.yMin >= y1 {
+				continue
+			}
+			c.exec(fb, y0, y1)
+		}
+	})
+	if err != nil {
+		return fb, err
+	}
+
+	// Volumes composite over (and depth-test against) the rasterized
+	// geometry, so they run as a third phase.
 	for _, v := range r.Volumes {
 		if v.Visible && v.Image != nil {
-			r.castVolume(fb, v, view, proj, near, far)
+			if err := r.castVolume(ctx, fb, v, view, proj, near, far); err != nil {
+				return fb, err
+			}
 		}
 	}
-	return fb
+	return fb, nil
+}
+
+// cmdKind discriminates raster commands.
+type cmdKind uint8
+
+const (
+	cmdTriangle cmdKind = iota
+	cmdBlendTriangle
+	cmdLine
+	cmdPoint
+)
+
+// rasterCmd is one band-replayable draw: a projected primitive with its
+// parameter (opacity, line width or point size) and the conservative
+// inclusive row span it can touch.
+type rasterCmd struct {
+	kind       cmdKind
+	v0, v1, v2 vert
+	param      float64
+	yMin, yMax int
+}
+
+// exec replays the command restricted to rows [y0, y1).
+func (c *rasterCmd) exec(fb *Framebuffer, y0, y1 int) {
+	switch c.kind {
+	case cmdTriangle:
+		fb.triangleBand(c.v0, c.v1, c.v2, y0, y1)
+	case cmdBlendTriangle:
+		fb.blendTriangleBand(c.v0, c.v1, c.v2, c.param, y0, y1)
+	case cmdLine:
+		fb.lineBand(c.v0, c.v1, c.param, y0, y1)
+	case cmdPoint:
+		fb.pointBand(c.v0, c.param, y0, y1)
+	}
+}
+
+func triCmd(v0, v1, v2 vert, opacity float64) rasterCmd {
+	kind := cmdTriangle
+	if opacity < 1 {
+		kind = cmdBlendTriangle
+	}
+	lo := int(math.Floor(min3(v0.y, v1.y, v2.y)))
+	hi := int(math.Ceil(max3(v0.y, v1.y, v2.y)))
+	return rasterCmd{kind: kind, v0: v0, v1: v1, v2: v2, param: opacity, yMin: lo, yMax: hi}
+}
+
+func lineCmd(v0, v1 vert, width float64) rasterCmd {
+	r := int(width/2) + 1
+	lo := int(math.Floor(math.Min(v0.y, v1.y))) - r
+	hi := int(math.Ceil(math.Max(v0.y, v1.y))) + r
+	return rasterCmd{kind: cmdLine, v0: v0, v1: v1, param: width, yMin: lo, yMax: hi}
+}
+
+func pointCmd(v vert, size float64) rasterCmd {
+	r := int(size/2) + 1
+	return rasterCmd{kind: cmdPoint, v0: v, param: size, yMin: int(v.y) - r, yMax: int(v.y) + r}
 }
 
 // pipeline holds per-actor projection state.
@@ -223,11 +341,15 @@ func (pl *pipeline) project(cam vmath.Vec3, c Color) (vert, bool) {
 	}, true
 }
 
-func (r *Renderer) drawActor(fb *Framebuffer, a *Actor, view, proj vmath.Mat4, near float64) {
+// emitActor runs the geometry phase for one actor: camera-space
+// transform and vertex shading parallel over points, triangle clipping
+// parallel over triangle chunks, command list assembled in deterministic
+// (mesh) order.
+func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, view, proj vmath.Mat4, near float64) ([]rasterCmd, error) {
 	mesh := a.Mesh
 	n := mesh.NumPoints()
 	if n == 0 {
-		return
+		return nil, nil
 	}
 	pl := &pipeline{
 		fb: fb, view: view, proj: proj, near: near,
@@ -236,31 +358,33 @@ func (r *Renderer) drawActor(fb *Framebuffer, a *Actor, view, proj vmath.Mat4, n
 	}
 	// Camera-space positions.
 	cam := make([]vmath.Vec3, n)
-	for i := 0; i < n; i++ {
-		cam[i] = view.MulPoint(mesh.Pts[i])
+	if err := par.For(ctx, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			cam[i] = view.MulPoint(mesh.Pts[i])
+		}
+	}); err != nil {
+		return nil, err
 	}
 	// Base (unshaded) per-vertex colors.
 	base := make([]Color, n)
+	var colorField *data.Field
 	if a.ColorField != "" && a.LUT != nil {
-		f := mesh.Points.Get(a.ColorField)
-		if f != nil {
-			for i := 0; i < n; i++ {
-				if f.NumComponents == 1 {
-					base[i] = a.LUT.Map(f.Scalar(i))
-				} else {
-					// Vector fields color by magnitude, ParaView's default.
-					base[i] = a.LUT.Map(f.Vec3(i).Len())
-				}
-			}
-		} else {
-			for i := range base {
+		colorField = mesh.Points.Get(a.ColorField)
+	}
+	if err := par.For(ctx, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			switch {
+			case colorField == nil:
 				base[i] = a.SolidColor
+			case colorField.NumComponents == 1:
+				base[i] = a.LUT.Map(colorField.Scalar(i))
+			default:
+				// Vector fields color by magnitude, ParaView's default.
+				base[i] = a.LUT.Map(colorField.Vec3(i).Len())
 			}
 		}
-	} else {
-		for i := range base {
-			base[i] = a.SolidColor
-		}
+	}); err != nil {
+		return nil, err
 	}
 	normals := mesh.Points.Get("Normals")
 
@@ -280,16 +404,31 @@ func (r *Renderer) drawActor(fb *Framebuffer, a *Actor, view, proj vmath.Mat4, n
 	drawEdges := a.Rep == RepWireframe || a.Rep == RepSurfaceWithEdges
 	drawAsPoints := a.Rep == RepPoints
 
+	var cmds []rasterCmd
 	if drawTriangles {
+		tris := make([][3]int, 0, mesh.NumTriangles())
 		mesh.EachTriangle(func(ia, ib, ic int) {
-			flat := mesh.Pts[ib].Sub(mesh.Pts[ia]).Cross(mesh.Pts[ic].Sub(mesh.Pts[ia]))
-			tri := [3]int{ia, ib, ic}
-			var cs [3]Color
-			for k, idx := range tri {
-				cs[k] = shade(idx, flat)
-			}
-			r.clipAndRasterTriangle(pl, [3]vmath.Vec3{cam[ia], cam[ib], cam[ic]}, cs, a.Opacity)
+			tris = append(tris, [3]int{ia, ib, ic})
 		})
+		chunks, err := par.MapChunks(ctx, len(tris), func(start, end int) []rasterCmd {
+			var out []rasterCmd
+			for _, tri := range tris[start:end] {
+				ia, ib, ic := tri[0], tri[1], tri[2]
+				flat := mesh.Pts[ib].Sub(mesh.Pts[ia]).Cross(mesh.Pts[ic].Sub(mesh.Pts[ia]))
+				var cs [3]Color
+				for k, idx := range tri {
+					cs[k] = shade(idx, flat)
+				}
+				out = clipTriangleCmds(pl, [3]vmath.Vec3{cam[ia], cam[ib], cam[ic]}, cs, a.Opacity, out)
+			}
+			return out
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, ch := range chunks {
+			cmds = append(cmds, ch...)
+		}
 	}
 	if drawEdges {
 		edgeColor := func(i int, flat vmath.Vec3) Color {
@@ -311,15 +450,15 @@ func (r *Renderer) drawActor(fb *Framebuffer, a *Actor, view, proj vmath.Mat4, n
 				}
 				seen[key] = true
 				flat := vmath.Vec3{}
-				r.clipAndDrawLine(pl, cam[p0], cam[p1],
-					edgeColor(p0, flat), edgeColor(p1, flat), a.LineWidth)
+				cmds = clipLineCmds(pl, cam[p0], cam[p1],
+					edgeColor(p0, flat), edgeColor(p1, flat), a.LineWidth, cmds)
 			}
 		}
 	}
 	if drawAsPoints {
 		for i := 0; i < n; i++ {
 			if v, ok := pl.project(cam[i], base[i]); ok {
-				fb.Point(v, a.PointSize)
+				cmds = append(cmds, pointCmd(v, a.PointSize))
 			}
 		}
 	}
@@ -327,22 +466,26 @@ func (r *Renderer) drawActor(fb *Framebuffer, a *Actor, view, proj vmath.Mat4, n
 	// (they have no surface to show).
 	for _, line := range mesh.Lines {
 		for i := 0; i+1 < len(line); i++ {
-			r.clipAndDrawLine(pl, cam[line[i]], cam[line[i+1]],
-				base[line[i]], base[line[i+1]], a.LineWidth)
+			cmds = clipLineCmds(pl, cam[line[i]], cam[line[i+1]],
+				base[line[i]], base[line[i+1]], a.LineWidth, cmds)
 		}
 	}
 	for _, vc := range mesh.Verts {
 		if len(vc) == 1 {
 			if v, ok := pl.project(cam[vc[0]], base[vc[0]]); ok {
-				fb.Point(v, a.PointSize)
+				cmds = append(cmds, pointCmd(v, a.PointSize))
 			}
 		}
 	}
+	return cmds, nil
 }
 
-// clipAndRasterTriangle clips a camera-space triangle against the near
-// plane and rasterizes the result.
-func (r *Renderer) clipAndRasterTriangle(pl *pipeline, p [3]vmath.Vec3, c [3]Color, opacity float64) {
+// clipTriangleCmds clips a camera-space triangle against the near plane
+// and appends the resulting raster commands.
+func clipTriangleCmds(pl *pipeline, p [3]vmath.Vec3, c [3]Color, opacity float64, cmds []rasterCmd) []rasterCmd {
+	if opacity <= 0 {
+		return cmds
+	}
 	zlim := -pl.near
 	inside := func(v vmath.Vec3) bool { return v.Z <= zlim }
 	// Fast path: fully visible.
@@ -351,9 +494,9 @@ func (r *Renderer) clipAndRasterTriangle(pl *pipeline, p [3]vmath.Vec3, c [3]Col
 		v1, ok1 := pl.project(p[1], c[1])
 		v2, ok2 := pl.project(p[2], c[2])
 		if ok0 && ok1 && ok2 {
-			rasterTri(pl.fb, v0, v1, v2, opacity)
+			cmds = append(cmds, triCmd(v0, v1, v2, opacity))
 		}
-		return
+		return cmds
 	}
 	// Sutherland–Hodgman against the near plane.
 	type cv struct {
@@ -379,83 +522,29 @@ func (r *Renderer) clipAndRasterTriangle(pl *pipeline, p [3]vmath.Vec3, c [3]Col
 		}
 	}
 	if len(out) < 3 {
-		return
+		return cmds
 	}
 	verts := make([]vert, len(out))
 	for i, o := range out {
 		v, ok := pl.project(o.p, o.c)
 		if !ok {
-			return
+			return cmds
 		}
 		verts[i] = v
 	}
 	for i := 2; i < len(verts); i++ {
-		rasterTri(pl.fb, verts[0], verts[i-1], verts[i], opacity)
+		cmds = append(cmds, triCmd(verts[0], verts[i-1], verts[i], opacity))
 	}
+	return cmds
 }
 
-func rasterTri(fb *Framebuffer, v0, v1, v2 vert, opacity float64) {
-	if opacity >= 1 {
-		fb.Triangle(v0, v1, v2)
-		return
-	}
-	if opacity <= 0 {
-		return
-	}
-	// Translucent: blend at full-coverage pixels without writing depth.
-	blendTriangle(fb, v0, v1, v2, opacity)
-}
-
-// blendTriangle is the translucent variant of Framebuffer.Triangle.
-func blendTriangle(fb *Framebuffer, v0, v1, v2 vert, alpha float64) {
-	minX := int(math.Floor(min3(v0.x, v1.x, v2.x)))
-	maxX := int(math.Ceil(max3(v0.x, v1.x, v2.x)))
-	minY := int(math.Floor(min3(v0.y, v1.y, v2.y)))
-	maxY := int(math.Ceil(max3(v0.y, v1.y, v2.y)))
-	if minX < 0 {
-		minX = 0
-	}
-	if minY < 0 {
-		minY = 0
-	}
-	if maxX >= fb.W {
-		maxX = fb.W - 1
-	}
-	if maxY >= fb.H {
-		maxY = fb.H - 1
-	}
-	area := edge(v0, v1, v2.x, v2.y)
-	if area == 0 {
-		return
-	}
-	inv := 1 / area
-	for y := minY; y <= maxY; y++ {
-		for x := minX; x <= maxX; x++ {
-			px, py := float64(x)+0.5, float64(y)+0.5
-			w0 := edge(v1, v2, px, py) * inv
-			w1 := edge(v2, v0, px, py) * inv
-			w2 := edge(v0, v1, px, py) * inv
-			if w0 < 0 || w1 < 0 || w2 < 0 {
-				continue
-			}
-			z := w0*v0.z + w1*v1.z + w2*v2.z
-			c := Color{
-				R: w0*v0.c.R + w1*v1.c.R + w2*v2.c.R,
-				G: w0*v0.c.G + w1*v1.c.G + w2*v2.c.G,
-				B: w0*v0.c.B + w1*v1.c.B + w2*v2.c.B,
-			}
-			fb.blend(x, y, z, c, alpha)
-		}
-	}
-}
-
-// clipAndDrawLine clips a camera-space segment at the near plane and draws
-// it.
-func (r *Renderer) clipAndDrawLine(pl *pipeline, p0, p1 vmath.Vec3, c0, c1 Color, width float64) {
+// clipLineCmds clips a camera-space segment at the near plane and
+// appends its raster command.
+func clipLineCmds(pl *pipeline, p0, p1 vmath.Vec3, c0, c1 Color, width float64, cmds []rasterCmd) []rasterCmd {
 	zlim := -pl.near
 	i0, i1 := p0.Z <= zlim, p1.Z <= zlim
 	if !i0 && !i1 {
-		return
+		return cmds
 	}
 	if !i0 || !i1 {
 		t := (zlim - p0.Z) / (p1.Z - p0.Z)
@@ -470,6 +559,7 @@ func (r *Renderer) clipAndDrawLine(pl *pipeline, p0, p1 vmath.Vec3, c0, c1 Color
 	v0, ok0 := pl.project(p0, c0)
 	v1, ok1 := pl.project(p1, c1)
 	if ok0 && ok1 {
-		pl.fb.Line(v0, v1, width)
+		cmds = append(cmds, lineCmd(v0, v1, width))
 	}
+	return cmds
 }

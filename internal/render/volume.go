@@ -1,26 +1,28 @@
 package render
 
 import (
+	"context"
 	"math"
-	"runtime"
-	"sync"
 
+	"chatvis/internal/par"
 	"chatvis/internal/vmath"
 )
 
 // castVolume ray-casts a volume actor into the framebuffer with
 // front-to-back alpha compositing, depth-tested against already-rendered
-// geometry. Rows are processed in parallel.
-func (r *Renderer) castVolume(fb *Framebuffer, v *VolumeActor, view, proj vmath.Mat4, near, far float64) {
+// geometry. Row bands are processed in parallel on the par worker pool;
+// each ray owns its pixel, so output is byte-identical for any worker
+// count.
+func (r *Renderer) castVolume(ctx context.Context, fb *Framebuffer, v *VolumeActor, view, proj vmath.Mat4, near, far float64) error {
 	im := v.Image
 	field := im.Points.Get(v.Field)
 	if field == nil || field.NumComponents != 1 {
-		return
+		return nil
 	}
 	bounds := im.Bounds()
 	diag := bounds.Diagonal()
 	if diag == 0 {
-		return
+		return nil
 	}
 	sample := v.SampleDistance
 	if sample <= 0 {
@@ -47,42 +49,27 @@ func (r *Renderer) castVolume(fb *Framebuffer, v *VolumeActor, view, proj vmath.
 		pscale = 1
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	rows := make(chan int, fb.H)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for y := range rows {
-				for x := 0; x < fb.W; x++ {
-					ndcX := (float64(x)+0.5)/float64(fb.W)*2 - 1
-					ndcY := 1 - (float64(y)+0.5)/float64(fb.H)*2
-					var origin, dir vmath.Vec3
-					if parallel {
-						origin = camPos.
-							Add(right.Mul(ndcX * pscale * invAspect)).
-							Add(up.Mul(ndcY * pscale))
-						dir = viewDir
-					} else {
-						origin = camPos
-						dir = viewDir.
-							Add(right.Mul(ndcX * tanHalf * invAspect)).
-							Add(up.Mul(ndcY * tanHalf)).Norm()
-					}
-					r.castRay(fb, v, field, origin, dir, bounds, step, mvp, x, y)
+	return par.For(ctx, fb.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < fb.W; x++ {
+				ndcX := (float64(x)+0.5)/float64(fb.W)*2 - 1
+				ndcY := 1 - (float64(y)+0.5)/float64(fb.H)*2
+				var origin, dir vmath.Vec3
+				if parallel {
+					origin = camPos.
+						Add(right.Mul(ndcX * pscale * invAspect)).
+						Add(up.Mul(ndcY * pscale))
+					dir = viewDir
+				} else {
+					origin = camPos
+					dir = viewDir.
+						Add(right.Mul(ndcX * tanHalf * invAspect)).
+						Add(up.Mul(ndcY * tanHalf)).Norm()
 				}
+				r.castRay(fb, v, field, origin, dir, bounds, step, mvp, x, y)
 			}
-		}()
-	}
-	for y := 0; y < fb.H; y++ {
-		rows <- y
-	}
-	close(rows)
-	wg.Wait()
+		}
+	})
 }
 
 // castRay composites one ray through the volume.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"chatvis/internal/chatvis"
+	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
 	"chatvis/internal/pvpython"
@@ -30,6 +31,11 @@ type PipelineConfig struct {
 	Metrics *llm.Metrics
 	// DisableCache turns off the shared LLM response cache.
 	DisableCache bool
+	// DatasetCache, when set, is shared by every job's script
+	// executions: concurrent jobs reading the same input file share one
+	// in-memory dataset, and repair iterations only recompute the
+	// pipeline stages whose content hash actually changed.
+	DatasetCache *data.Cache
 }
 
 // NewChatVisPipeline builds the production PipelineFunc: per-model
@@ -85,6 +91,7 @@ func NewChatVisPipeline(cfg PipelineConfig) PipelineFunc {
 		runner := &pvpython.Runner{
 			DataDir: cfg.DataDir,
 			OutDir:  filepath.Join(cfg.OutDir, jobID),
+			Cache:   cfg.DatasetCache,
 		}
 		if req.Unassisted {
 			return chatvis.Unassisted(ctx, model, runner, req.Prompt)

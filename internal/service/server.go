@@ -9,8 +9,10 @@ import (
 	"strings"
 	"time"
 
+	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
+	"chatvis/internal/par"
 )
 
 // Server is the chatvisd HTTP API over a Queue and Store.
@@ -31,12 +33,22 @@ type Server struct {
 	// llmMetrics is the shared middleware metrics the pipeline records
 	// into; may be nil.
 	llmMetrics *llm.Metrics
-	started    time.Time
+	// datasetCache is the shared compute-substrate cache surfaced at
+	// /metrics; may be nil.
+	datasetCache *data.Cache
+	started      time.Time
 }
 
 // NewServer builds a server over its subsystems.
 func NewServer(q *Queue, s *Store, m *llm.Metrics) *Server {
 	return &Server{queue: q, store: s, llmMetrics: m, started: time.Now()}
+}
+
+// WithDatasetCache attaches the shared dataset cache so /metrics can
+// report its gauges; returns the server for chaining.
+func (s *Server) WithDatasetCache(c *data.Cache) *Server {
+	s.datasetCache = c
+	return s
 }
 
 // Handler returns the routed HTTP handler.
@@ -238,6 +250,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("chatvis_store_objects", "Objects in the content-addressed store.", st.Objects)
 	emit("chatvis_store_bytes", "Bytes stored across all objects.", st.Bytes)
 	emit("chatvis_store_results", "Job results indexed by key.", st.Results)
+
+	// Parallel compute substrate.
+	emit("chatvis_compute_workers", "Worker-pool size of the parallel compute substrate.", par.Workers())
+	if s.datasetCache != nil {
+		cs := s.datasetCache.Stats()
+		emit("chatvis_dataset_cache_entries", "Datasets held in the shared content-hash cache.", cs.Entries)
+		emit("chatvis_dataset_cache_bytes", "Approximate bytes of cached datasets.", cs.Bytes)
+		emit("chatvis_dataset_cache_capacity_bytes", "Configured dataset cache capacity.", cs.MaxBytes)
+		emit("chatvis_dataset_cache_hits_total", "Pipeline stages answered from the dataset cache.", cs.Hits)
+		emit("chatvis_dataset_cache_misses_total", "Pipeline stages computed on a cache miss.", cs.Misses)
+		emit("chatvis_dataset_cache_evictions_total", "Datasets evicted to stay under the byte bound.", cs.Evictions)
+	}
 
 	if s.llmMetrics != nil {
 		m := s.llmMetrics.Snapshot()
