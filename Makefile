@@ -1,13 +1,20 @@
-# CI entry points. `make ci` is the gate: formatting, vet, the full test
-# suite under the race detector (the eval grid runner, the llm
-# cache/registry and the chatvisd queue/coalescing paths are exercised
-# concurrently in their tests), and the daemon smoke step.
+# CI entry points. `make ci` is the gate: formatting, vet, the plan
+# validation of every example pipeline, the full test suite under the
+# race detector (the eval grid runner, the llm cache/registry and the
+# chatvisd queue/coalescing paths are exercised concurrently in their
+# tests), and the daemon smoke step.
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-grid bench-serve build serve smoke
+.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve build serve smoke plan-validate
 
-ci: fmt vet test-race smoke
+ci: fmt vet plan-validate test-race smoke
+
+# Compile + schema-validate every example pipeline (scenario ground
+# truths, plan-native IRs, writer/intent agreement) — fails fast on any
+# schema or IR drift, before the test suite renders anything.
+plan-validate:
+	$(GO) run ./cmd/planlint
 
 build:
 	$(GO) build ./...
@@ -52,6 +59,13 @@ bench:
 # PRs can diff hot-path performance.
 bench-core:
 	$(GO) run ./cmd/benchcore -out BENCH_substrate.json
+
+# Perf regression gate: re-run the substrate kernels and fail when any
+# (kernel, worker-count) pair is >25% slower ns/op than the committed
+# BENCH_substrate.json baseline. Run on a quiet machine comparable to
+# the one that recorded the baseline.
+bench-diff:
+	$(GO) run ./cmd/benchcore -diff BENCH_substrate.json
 
 # Just the serial-vs-concurrent grid sweep comparison.
 bench-grid:

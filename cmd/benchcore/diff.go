@@ -1,0 +1,33 @@
+package main
+
+import "fmt"
+
+// compareBench diffs a fresh benchmark run against a committed baseline
+// and reports every kernel whose ns/op regressed beyond the tolerance
+// (e.g. 0.25 = 25% slower). Kernels are matched by (name, workers);
+// entries present on only one side are skipped — adding a kernel must
+// not fail the gate, and a retired kernel cannot regress. matched
+// counts the pairs actually compared: the caller must treat zero as a
+// gate failure, or a kernel rename would turn the diff green forever.
+func compareBench(baseline, current benchFile, tolerance float64) (regressions []string, matched int) {
+	base := map[string]int64{}
+	for _, b := range baseline.Benchmarks {
+		base[fmt.Sprintf("%s@%d", b.Name, b.Workers)] = b.NsPerOp
+	}
+	for _, c := range current.Benchmarks {
+		key := fmt.Sprintf("%s@%d", c.Name, c.Workers)
+		old, ok := base[key]
+		if !ok || old <= 0 || c.NsPerOp <= 0 {
+			fmt.Printf("skipping %s: no comparable baseline entry\n", key)
+			continue
+		}
+		matched++
+		ratio := float64(c.NsPerOp) / float64(old)
+		if ratio > 1+tolerance {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s (workers=%d): %d -> %d ns/op (%.0f%% slower, tolerance %.0f%%)",
+				c.Name, c.Workers, old, c.NsPerOp, (ratio-1)*100, tolerance*100))
+		}
+	}
+	return regressions, matched
+}

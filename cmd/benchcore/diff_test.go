@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bf(entries ...benchResult) benchFile { return benchFile{Benchmarks: entries} }
+
+func TestCompareBench(t *testing.T) {
+	baseline := bf(
+		benchResult{Name: "Contour", Workers: 1, NsPerOp: 1000},
+		benchResult{Name: "Contour", Workers: 4, NsPerOp: 400},
+		benchResult{Name: "Retired", Workers: 1, NsPerOp: 10},
+	)
+	current := bf(
+		benchResult{Name: "Contour", Workers: 1, NsPerOp: 1200},  // +20%: within 25%
+		benchResult{Name: "Contour", Workers: 4, NsPerOp: 600},   // +50%: regression
+		benchResult{Name: "NewKernel", Workers: 1, NsPerOp: 999}, // no baseline: skipped
+	)
+	got, matched := compareBench(baseline, current, 0.25)
+	if len(got) != 1 || matched != 2 {
+		t.Fatalf("regressions = %v matched = %d", got, matched)
+	}
+	if !strings.Contains(got[0], "Contour (workers=4)") || !strings.Contains(got[0], "50% slower") {
+		t.Errorf("unexpected report: %s", got[0])
+	}
+	// Improvements and equal timings never flag.
+	if got, _ := compareBench(baseline, baseline, 0.25); len(got) != 0 {
+		t.Errorf("identical runs flagged: %v", got)
+	}
+	faster := bf(benchResult{Name: "Contour", Workers: 1, NsPerOp: 500})
+	if got, _ := compareBench(baseline, faster, 0.25); len(got) != 0 {
+		t.Errorf("speedup flagged: %v", got)
+	}
+	// Zero/corrupt timings are skipped rather than dividing by zero.
+	zero := bf(benchResult{Name: "Contour", Workers: 1, NsPerOp: 0})
+	if got, _ := compareBench(zero, current, 0.25); len(got) != 0 {
+		t.Errorf("zero baseline flagged: %v", got)
+	}
+	// A disjoint baseline compares nothing — the caller must fail the
+	// gate on matched == 0 instead of passing vacuously.
+	renamed := bf(benchResult{Name: "ContourV2", Workers: 1, NsPerOp: 1})
+	if _, matched := compareBench(baseline, renamed, 0.25); matched != 0 {
+		t.Errorf("disjoint kernels reported %d matches", matched)
+	}
+}

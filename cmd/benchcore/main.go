@@ -50,8 +50,56 @@ func main() {
 	out := flag.String("out", "BENCH_substrate.json", "output JSON path")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel worker count to compare against the serial (workers=1) baseline")
+	diff := flag.String("diff", "",
+		"baseline JSON to diff against instead of writing: re-run the kernels and fail on >tolerance ns/op regressions")
+	tolerance := flag.Float64("tolerance", 0.25,
+		"allowed fractional ns/op regression per kernel in -diff mode")
 	flag.Parse()
 
+	// Validate the baseline before spending minutes on kernels.
+	var baseline benchFile
+	if *diff != "" {
+		blob, err := os.ReadFile(*diff)
+		if err != nil {
+			log.Fatalf("benchcore: reading baseline: %v", err)
+		}
+		if err := json.Unmarshal(blob, &baseline); err != nil {
+			log.Fatalf("benchcore: decoding baseline: %v", err)
+		}
+	}
+
+	file := runBenchmarks(*workers)
+
+	if *diff != "" {
+		regressions, matched := compareBench(baseline, file, *tolerance)
+		if matched == 0 {
+			log.Fatalf("benchcore: no (kernel, workers) pair of %s matches this run — the gate compared nothing", *diff)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Println("REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no kernel regressed beyond %.0f%% across %d matched entries vs %s\n",
+			*tolerance*100, matched, *diff)
+		return
+	}
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatalf("benchcore: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatalf("benchcore: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// runBenchmarks measures every substrate kernel at the serial and
+// parallel worker counts.
+func runBenchmarks(workers int) benchFile {
 	kernels := benchkernels.Substrate
 	file := benchFile{
 		GeneratedUnix: time.Now().Unix(),
@@ -60,8 +108,8 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 	}
 	counts := []int{1}
-	if *workers > 1 {
-		counts = append(counts, *workers)
+	if workers > 1 {
+		counts = append(counts, workers)
 	}
 	for _, name := range benchkernels.Order {
 		fn := kernels[name]
@@ -92,14 +140,5 @@ func main() {
 		}
 	}
 	par.SetWorkers(0)
-
-	blob, err := json.MarshalIndent(file, "", "  ")
-	if err != nil {
-		log.Fatalf("benchcore: %v", err)
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		log.Fatalf("benchcore: %v", err)
-	}
-	fmt.Printf("wrote %s\n", *out)
+	return file
 }

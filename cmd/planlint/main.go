@@ -1,0 +1,90 @@
+// Command planlint is the CI plan-validation pass: it compiles every
+// registered example pipeline — the ground-truth script of each eval
+// scenario — to the plan IR, validates it against the engine-derived
+// schema, and checks the render/compile round trip. A reference pipeline
+// that stops validating (a schema drift, a renamed property, a broken
+// scenario) fails the build before any test renders a pixel.
+//
+// Usage:
+//
+//	go run ./cmd/planlint [-width N] [-height N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/plan"
+	"chatvis/internal/pvsim"
+)
+
+func main() {
+	width := flag.Int("width", 480, "prompt/script resolution width")
+	height := flag.Int("height", 270, "prompt/script resolution height")
+	verbose := flag.Bool("v", false, "print every validated pipeline")
+	flag.Parse()
+
+	schema := pvsim.PlanSchema()
+	failed := 0
+	check := func(name string, ok bool, detail string) {
+		if ok {
+			if *verbose {
+				fmt.Printf("ok   %s\n", name)
+			}
+			return
+		}
+		failed++
+		fmt.Printf("FAIL %s\n%s", name, detail)
+	}
+
+	for _, scn := range eval.Scenarios() {
+		script := scn.GroundTruthScript(*width, *height)
+
+		// 1. The ground truth compiles with zero diagnostics of any
+		// severity — reference pipelines must be beyond reproach.
+		compiled, err := plan.Compile(script, schema)
+		if err != nil {
+			check("compile "+scn.ID, false, fmt.Sprintf("  %v\n", err))
+			continue
+		}
+		check("compile "+scn.ID, len(compiled.Diags) == 0,
+			plan.FormatDiagnostics(compiled.Diags))
+
+		// 2. The normalized plan round-trips through script rendering.
+		p1 := plan.Normalize(compiled.Plan, schema)
+		rendered, err := plan.Compile(p1.Script(), schema)
+		if err != nil {
+			check("roundtrip "+scn.ID, false, fmt.Sprintf("  rendered script does not parse: %v\n", err))
+			continue
+		}
+		check("roundtrip "+scn.ID, p1.Equal(plan.Normalize(rendered.Plan, schema)),
+			"  render/compile fixpoint violated\n")
+
+		// 3. The writer's intended plan agrees with its emitted script.
+		spec := llm.ParseIntent(scn.UserPrompt(*width, *height))
+		intended := plan.Normalize(llm.WritePlan(spec), schema)
+		emitted, err := plan.Compile(
+			llm.WriteScript(spec, llm.Profile{Name: "clean"}, llm.FullGrounding()), schema)
+		if err != nil {
+			check("intent "+scn.ID, false, fmt.Sprintf("  writer script does not parse: %v\n", err))
+			continue
+		}
+		check("intent "+scn.ID, intended.Equal(plan.Normalize(emitted.Plan, schema)),
+			"  WritePlan and WriteScript disagree\n")
+
+		// 4. Plan-native scenarios: the authored IR itself validates.
+		if ir := scn.PlanIR(*width, *height); ir != nil {
+			diags := plan.Validate(ir, schema)
+			check("ir "+scn.ID, !plan.HasErrors(diags), plan.FormatDiagnostics(diags))
+		}
+	}
+
+	if failed > 0 {
+		fmt.Printf("planlint: %d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("planlint: %d example pipelines validate cleanly\n", len(eval.Scenarios()))
+}

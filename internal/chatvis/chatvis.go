@@ -26,6 +26,7 @@ import (
 
 	"chatvis/internal/errext"
 	"chatvis/internal/llm"
+	"chatvis/internal/plan"
 	"chatvis/internal/pvpython"
 )
 
@@ -37,6 +38,9 @@ type Iteration struct {
 	Output string `json:"output,omitempty"`
 	// Errors are the extracted error reports (empty on success).
 	Errors []errext.ErrorReport `json:"errors,omitempty"`
+	// PlanHash is the normalized plan hash of the executed script
+	// (empty when it did not parse).
+	PlanHash string `json:"plan_hash,omitempty"`
 }
 
 // Artifact is everything one assistant run produces. The JSON tags fix
@@ -52,9 +56,21 @@ type Artifact struct {
 	Screenshots []string `json:"screenshots,omitempty"`
 	// Success reports whether the final script executed without error.
 	Success bool `json:"success"`
+	// Plan is the normalized compiled plan of the final script (nil when
+	// it does not parse): the typed DAG the session produced, which
+	// chatvisd serves alongside the script text.
+	Plan *plan.Plan `json:"plan,omitempty"`
 	// Trace records every stage of the session (LLM calls and script
 	// executions) with durations, usage and cache provenance.
 	Trace Trace `json:"trace"`
+}
+
+// PlanHash returns the final plan's canonical hash ("" without a plan).
+func (a *Artifact) PlanHash() string {
+	if a.Plan == nil {
+		return ""
+	}
+	return a.Plan.Hash()
 }
 
 // NumIterations returns how many executions the loop needed.
@@ -116,15 +132,58 @@ func (a *Assistant) complete(ctx context.Context, trace *Trace, stage string, re
 	return resp.Text, nil
 }
 
-// exec performs one traced script execution.
+// exec performs one traced script execution. The trace records the
+// normalized plan hash of what ran, so per-stage provenance survives in
+// the artifact.
 func (a *Assistant) exec(ctx context.Context, trace *Trace, round int, script string) *pvpython.Result {
 	start := time.Now()
 	res := a.runner.ExecContext(ctx, script)
 	trace.add(StageTrace{
 		Stage:    fmt.Sprintf("%s-%d", StageExec, round),
 		Duration: time.Since(start),
+		PlanHash: res.PlanHash(),
 	})
 	return res
+}
+
+// planRepair is the pre-execution validation loop: compile the candidate
+// script to the plan IR, and when schema validation finds errors, hand
+// the structured diagnostics to the model for repair — before paying for
+// an engine run. Bounded to two rounds; a model that cannot make
+// progress (or a script that does not even parse) falls through to the
+// ordinary execute-and-repair loop.
+func (a *Assistant) planRepair(ctx context.Context, trace *Trace, script string) (string, error) {
+	for round := 1; round <= 2; round++ {
+		start := time.Now()
+		compiled, err := a.runner.CompilePlan(script)
+		if err != nil {
+			// Unparsable: the execution loop's SyntaxError path owns it.
+			return script, nil
+		}
+		diags := plan.Errors(compiled.Diags)
+		trace.add(StageTrace{
+			Stage:    fmt.Sprintf("%s-%d", StageValidate, round),
+			Duration: time.Since(start),
+			PlanHash: compiled.Plan.Hash(),
+		})
+		if len(diags) == 0 {
+			return script, nil
+		}
+		resp, err := a.complete(ctx, trace,
+			fmt.Sprintf("%s-%d", StagePlanRepair, round), llm.Request{
+				System: repairSystem,
+				User:   llm.BuildPlanRepairUser(script, diags),
+			})
+		if err != nil {
+			return "", fmt.Errorf("chatvis: plan repair: %w", err)
+		}
+		revised := CleanScript(resp)
+		if strings.TrimSpace(revised) == strings.TrimSpace(script) {
+			return script, nil
+		}
+		script = revised
+	}
+	return script, nil
 }
 
 // Run executes the full ChatVis flow for one user request. The context
@@ -163,6 +222,15 @@ func (a *Assistant) Run(ctx context.Context, userPrompt string) (*Artifact, erro
 	}
 	script := CleanScript(resp)
 
+	// Stage 2.5 (plan-aware mode): validate the compiled plan and repair
+	// diagnostics before the first engine run.
+	if a.opt.planValidate {
+		script, err = a.planRepair(ctx, &art.Trace, script)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Stage 3: execute, extract errors, repair.
 	for iter := 0; iter < a.opt.maxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -171,11 +239,13 @@ func (a *Assistant) Run(ctx context.Context, userPrompt string) (*Artifact, erro
 		res := a.exec(ctx, &art.Trace, iter+1, script)
 		reports := errext.Extract(res.Output)
 		art.Iterations = append(art.Iterations, Iteration{
-			Script: script,
-			Output: res.Output,
-			Errors: reports,
+			Script:   script,
+			Output:   res.Output,
+			Errors:   reports,
+			PlanHash: res.PlanHash(),
 		})
 		art.FinalScript = script
+		art.Plan = res.Plan
 		if res.OK() && len(reports) == 0 {
 			art.Success = true
 			art.Screenshots = res.Screenshots
@@ -298,10 +368,11 @@ func Unassisted(ctx context.Context, model llm.Client, runner *pvpython.Runner, 
 	script := resp.Text
 	execStart := time.Now()
 	res := runner.ExecContext(ctx, script)
-	art.Trace.add(StageTrace{Stage: StageExec + "-1", Duration: time.Since(execStart)})
+	art.Trace.add(StageTrace{Stage: StageExec + "-1", Duration: time.Since(execStart), PlanHash: res.PlanHash()})
 	reports := errext.Extract(res.Output)
-	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports}}
+	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports, PlanHash: res.PlanHash()}}
 	art.FinalScript = script
+	art.Plan = res.Plan
 	art.Success = res.OK() && len(reports) == 0
 	art.Screenshots = res.Screenshots
 	return art, nil

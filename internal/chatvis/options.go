@@ -14,6 +14,12 @@ type options struct {
 	// apiReference, when non-empty, is appended to the generation prompt
 	// as documentation-based grounding.
 	apiReference string
+	// planValidate compiles each candidate script to the plan IR and
+	// feeds validation diagnostics to the model *before* the first
+	// engine run. Off by default: the paper's loop is purely
+	// execute-and-repair, and the paper-reproduction tests pin that
+	// behaviour; the chatvisd serving path turns it on.
+	planValidate bool
 }
 
 func defaultOptions() options {
@@ -57,4 +63,13 @@ func WithRewrite(enabled bool) Option {
 // pvsim's Engine.APIReference().Format().
 func WithAPIReference(ref string) Option {
 	return func(o *options) { o.apiReference = ref }
+}
+
+// WithPlanValidation toggles pre-execution plan validation: candidate
+// scripts are compiled to the plan IR and schema-validated, and error
+// diagnostics are repaired by the model before any engine time is spent.
+// A competent model then fixes every hallucinated property in one round
+// instead of discovering them traceback by traceback.
+func WithPlanValidation(enabled bool) Option {
+	return func(o *options) { o.planValidate = enabled }
 }

@@ -1,0 +1,97 @@
+package chatvis
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"chatvis/internal/llm"
+)
+
+// TestPlanValidationRepairsBeforeExecution: with plan validation on, the
+// detail slips the paper's loop discovers traceback-by-traceback are
+// fixed from static diagnostics, so the first engine run already
+// succeeds — the pre-execution repair signal replaces whole exec+repair
+// rounds.
+func TestPlanValidationRepairsBeforeExecution(t *testing.T) {
+	prompt := testPrompts()["streamlines"]
+
+	// Baseline: the paper-faithful loop needs the engine to discover the
+	// NumberOfSides slip.
+	base := newAssistant(t, "gpt-4")
+	baseArt, err := base.Run(context.Background(), prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !baseArt.Success {
+		t.Fatal("baseline run failed")
+	}
+	if baseArt.NumIterations() < 2 {
+		t.Fatalf("baseline should need the correction loop, got %d iterations", baseArt.NumIterations())
+	}
+
+	// Plan-aware: same model, same prompt, diagnostics repaired first.
+	model, _ := llm.NewModel("gpt-4")
+	a, err := NewAssistant(model, testRunner(t),
+		WithMaxIterations(5), WithPlanValidation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := a.Run(context.Background(), prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Success {
+		last := art.Iterations[len(art.Iterations)-1]
+		t.Fatalf("plan-aware run failed:\n%s\n%s", last.Script, last.Output)
+	}
+	if art.NumIterations() != 1 {
+		t.Errorf("plan-aware run used %d engine iterations, want 1 (baseline %d)",
+			art.NumIterations(), baseArt.NumIterations())
+	}
+	sawValidate, sawPlanRepair := false, false
+	for _, s := range art.Trace.Stages {
+		if strings.HasPrefix(s.Stage, StageValidate+"-") {
+			sawValidate = true
+		}
+		if strings.HasPrefix(s.Stage, StagePlanRepair+"-") {
+			sawPlanRepair = true
+		}
+	}
+	if !sawValidate || !sawPlanRepair {
+		t.Errorf("trace missing validate/plan-repair stages: %+v", art.Trace.Stages)
+	}
+}
+
+// TestArtifactCarriesPlan: every session records the normalized plan and
+// per-iteration plan hashes.
+func TestArtifactCarriesPlan(t *testing.T) {
+	a := newAssistant(t, "gpt-4")
+	art, err := a.Run(context.Background(), testPrompts()["isosurface"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Plan == nil {
+		t.Fatal("artifact has no plan")
+	}
+	if art.PlanHash() == "" {
+		t.Error("artifact plan hash empty")
+	}
+	if art.Plan.FindClass("Contour") < 0 {
+		t.Error("plan missing the Contour stage")
+	}
+	for i, it := range art.Iterations {
+		if it.PlanHash == "" {
+			t.Errorf("iteration %d has no plan hash", i)
+		}
+	}
+	execHashes := 0
+	for _, s := range art.Trace.Stages {
+		if strings.HasPrefix(s.Stage, StageExec+"-") && s.PlanHash != "" {
+			execHashes++
+		}
+	}
+	if execHashes != art.NumIterations() {
+		t.Errorf("exec stages with plan hashes = %d, iterations = %d", execHashes, art.NumIterations())
+	}
+}

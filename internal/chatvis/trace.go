@@ -15,6 +15,11 @@ const (
 	StageGenerate = "generate"
 	StageRepair   = "repair"
 	StageExec     = "exec"
+	// StageValidate is a pre-execution plan compilation + schema check.
+	StageValidate = "validate"
+	// StagePlanRepair is a model call repairing plan diagnostics before
+	// the first engine run.
+	StagePlanRepair = "plan-repair"
 )
 
 // StageTrace is one timed step of an assistant session: an LLM call
@@ -33,6 +38,11 @@ type StageTrace struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// Attempts counts retries the stage's LLM call consumed (0 for exec).
 	Attempts int `json:"attempts,omitempty"`
+	// PlanHash is the normalized plan hash of the script an exec stage
+	// ran (empty when the script did not compile to a plan) — the
+	// per-stage provenance that lets traces show which iterations
+	// actually changed the pipeline's meaning.
+	PlanHash string `json:"plan_hash,omitempty"`
 }
 
 // Trace is the per-stage record of one assistant session, in execution

@@ -21,7 +21,7 @@ func testConfig(t *testing.T) Config {
 
 func TestScenariosComplete(t *testing.T) {
 	scns := Scenarios()
-	if len(scns) != 10 {
+	if len(scns) != 12 {
 		t.Fatalf("scenarios = %d", len(scns))
 	}
 	ids := map[string]bool{}
@@ -43,7 +43,8 @@ func TestScenariosComplete(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"iso", "slice", "volume", "delaunay", "stream",
-		"clip", "threshold", "glyph", "sliceclip", "isovalues"} {
+		"clip", "threshold", "glyph", "sliceclip", "isovalues",
+		"glyphslice", "threshcontour"} {
 		if !ids[want] {
 			t.Errorf("missing scenario %q", want)
 		}
@@ -70,7 +71,8 @@ func TestScenariosComplete(t *testing.T) {
 // three extended scenarios: each must execute cleanly and reproduce its
 // ground-truth image, like the paper five.
 func TestExtendedScenariosRunChatVis(t *testing.T) {
-	for _, id := range []string{"clip", "threshold", "glyph", "sliceclip", "isovalues"} {
+	for _, id := range []string{"clip", "threshold", "glyph", "sliceclip", "isovalues",
+		"glyphslice", "threshcontour"} {
 		t.Run(id, func(t *testing.T) {
 			c := testConfig(t)
 			scn, ok := ScenarioByID(id)

@@ -7,12 +7,15 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/imgcmp"
 	"chatvis/internal/llm"
+	"chatvis/internal/plan"
 	"chatvis/internal/pvpython"
+	"chatvis/internal/pvsim"
 	"chatvis/internal/render"
 	"chatvis/internal/scriptcmp"
 )
@@ -72,6 +75,10 @@ type CellResult struct {
 	// reference script — the paper's proposed code-level evaluation that
 	// works "even without visual output" (§V future work).
 	ScriptScore scriptcmp.Score
+	// PlanScore is the plan-graph similarity of the final script's
+	// compiled plan against the reference plan: the same idea lifted onto
+	// the typed IR, insensitive to variable naming and statement order.
+	PlanScore plan.Score
 	// FirstError summarizes the first extracted error, if any.
 	FirstError string
 	// Duration is the session's summed stage wall-clock time, from the
@@ -145,6 +152,39 @@ func (cell *CellResult) fillFromArtifact(c Config, scn Scenario, gt image.Image,
 	if score, err := scriptcmp.Compare(art.FinalScript, scn.GroundTruthScript(c.Width, c.Height)); err == nil {
 		cell.ScriptScore = score
 	}
+	if art.Plan != nil {
+		if ref := scn.referencePlan(c.Width, c.Height); ref != nil {
+			cell.PlanScore = plan.Similarity(art.Plan, ref)
+		}
+	}
+}
+
+// refPlanCache shares reference plans across grid cells (like the
+// ground-truth image cache, but process-wide: plans are tiny, immutable
+// and purely derived from scenario + resolution).
+var refPlanCache sync.Map // "id@WxH" -> *plan.Plan
+
+// referencePlan returns the scenario's normalized reference plan: the
+// native IR when the scenario is plan-native, the compiled ground-truth
+// script otherwise.
+func (s Scenario) referencePlan(w, h int) *plan.Plan {
+	key := fmt.Sprintf("%s@%dx%d", s.ID, w, h)
+	if cached, ok := refPlanCache.Load(key); ok {
+		return cached.(*plan.Plan)
+	}
+	schema := pvsim.PlanSchema()
+	var ref *plan.Plan
+	if p := s.PlanIR(w, h); p != nil {
+		ref = plan.Normalize(p, schema)
+	} else {
+		compiled, err := plan.Compile(s.GroundTruthScript(w, h), schema)
+		if err != nil {
+			return nil
+		}
+		ref = plan.Normalize(compiled.Plan, schema)
+	}
+	refPlanCache.Store(key, ref)
+	return ref
 }
 
 // runCell evaluates one (model, scenario) grid cell: ChatVisModel runs
@@ -413,6 +453,23 @@ func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult) erro
 			fmt.Fprintf(&b, "| %s |", task)
 			for _, m := range t2.Models {
 				fmt.Fprintf(&b, " %.2f |", t2.Cells[task][m].ScriptScore.Overall)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n## Plan-graph accuracy (typed pipeline-DAG similarity to reference)\n\n")
+		b.WriteString("| Task |")
+		for _, m := range t2.Models {
+			fmt.Fprintf(&b, " %s |", m)
+		}
+		b.WriteString("\n|---|")
+		for range t2.Models {
+			b.WriteString("---|")
+		}
+		b.WriteString("\n")
+		for _, task := range t2.Tasks {
+			fmt.Fprintf(&b, "| %s |", task)
+			for _, m := range t2.Models {
+				fmt.Fprintf(&b, " %.2f |", t2.Cells[task][m].PlanScore.Overall)
 			}
 			b.WriteString("\n")
 		}

@@ -9,15 +9,19 @@ import (
 	"path/filepath"
 
 	"chatvis/internal/datagen"
+	"chatvis/internal/plan"
 	"chatvis/internal/vtkio"
 )
 
 // Scenario is one evaluation task: the paper's five plus the extended
 // set ("clip", "threshold", "glyph", "sliceclip", "isovalues") built on
-// the same datasets and filters.
+// the same datasets and filters, and two plan-native scenarios
+// ("glyphslice", "threshcontour") whose ground truth is expressed
+// directly in the plan IR.
 type Scenario struct {
 	// ID is the short machine name ("iso", "slice", "volume", "delaunay",
-	// "stream", "clip", "threshold", "glyph", "sliceclip", "isovalues").
+	// "stream", "clip", "threshold", "glyph", "sliceclip", "isovalues",
+	// "glyphslice", "threshcontour").
 	ID string
 	// Row is the paper's Table II row label.
 	Row string
@@ -28,8 +32,20 @@ type Scenario struct {
 	// prompt renders the user prompt for a given resolution.
 	prompt func(w, h int) string
 	// groundTruth renders the manually-constructed script (standing in
-	// for the paper's ParaView GUI session) for a given resolution.
+	// for the paper's ParaView GUI session) for a given resolution. For
+	// plan-native scenarios it is rendered from planIR.
 	groundTruth func(w, h int) string
+	// planIR, when set, is the scenario's native plan-IR ground truth.
+	planIR func(w, h int) *plan.Plan
+}
+
+// PlanIR returns the scenario's native IR ground truth (nil for
+// scenarios whose ground truth is a hand-written script).
+func (s Scenario) PlanIR(w, h int) *plan.Plan {
+	if s.planIR == nil {
+		return nil
+	}
+	return s.planIR(w, h)
 }
 
 // UserPrompt returns the natural-language request at the given
@@ -48,9 +64,10 @@ func PaperScenarios() []Scenario {
 // Scenarios returns every registered scenario: the paper's five first
 // (in Table II order), then the extended set served by chatvisd's
 // GET /v1/scenarios ("clip", "threshold", "glyph", "sliceclip",
-// "isovalues").
+// "isovalues"), then the plan-native pair ("glyphslice",
+// "threshcontour") whose ground truth lives in the plan IR.
 func Scenarios() []Scenario {
-	return []Scenario{
+	scns := []Scenario{
 		{
 			ID: "iso", Row: "Isosurfacing", Figure: "Fig. 2",
 			Screenshot: "ml-iso-screenshot.png",
@@ -394,6 +411,110 @@ SaveScreenshot('ml-multi-iso-screenshot.png', renderView1,
     OverrideColorPalette='WhiteBackground')
 `, w, h, w, h)
 			},
+		},
+		{
+			ID: "glyphslice", Row: "Glyphs on a slice", Figure: "extended",
+			Screenshot: "disk-slice-glyph-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'disk.ex2'. Slice the volume in a plane parallel to the x-y plane at z=1. Add arrow glyphs oriented along the V data array to the slice. Color the result by the Temp data array. Rotate the view to an isometric direction. Save a screenshot of the result in the filename 'disk-slice-glyph-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			planIR: func(w, h int) *plan.Plan {
+				p := plan.New()
+				reader := p.Add(sourceStage("reader", "ExodusIIReader",
+					props{"FileName": plan.StrV("disk.ex2")}))
+				slice := p.Add(filterStage("slice1", "Slice", reader, props{
+					"SliceType": plan.HelperV("Plane").
+						WithObj("Origin", plan.NumsV(0, 0, 1)).
+						WithObj("Normal", plan.NumsV(0, 0, 1)),
+				}))
+				glyph := p.Add(filterStage("glyph", "Glyph", slice, props{
+					"GlyphType":        plan.StrV("Arrow"),
+					"OrientationArray": plan.AssocV("POINTS", "V"),
+					"ScaleArray":       plan.AssocV("POINTS", "V"),
+					"ScaleFactor":      plan.NumV(0.2),
+				}))
+				view := p.Add(viewStage(w, h, "ApplyIsometricView", "ResetCamera"))
+				p.Add(colorDisplay(p, slice, view, "Temp"))
+				p.Add(colorDisplay(p, glyph, view, "Temp"))
+				p.Add(screenshotStage(view, "disk-slice-glyph-screenshot.png", w, h))
+				return p
+			},
+		},
+		{
+			ID: "threshcontour", Row: "Contour of thresholded data", Figure: "extended",
+			Screenshot: "disk-thresh-contour-screenshot.png",
+			prompt: func(w, h int) string {
+				return fmt.Sprintf(`Please generate a ParaView Python script for the following operations. Read in the file named 'disk.ex2'. Threshold the data by the Temp array between 400 and 800. Take a contour of the variable Temp at the value 600 through the thresholded data. Color the result by the Temp data array. View the result in the +X direction. Save a screenshot of the result in the filename 'disk-thresh-contour-screenshot.png'. The rendered view and saved screenshot should be %d x %d pixels.`, w, h)
+			},
+			planIR: func(w, h int) *plan.Plan {
+				p := plan.New()
+				reader := p.Add(sourceStage("reader", "ExodusIIReader",
+					props{"FileName": plan.StrV("disk.ex2")}))
+				thr := p.Add(filterStage("threshold1", "Threshold", reader, props{
+					"Scalars":        plan.AssocV("POINTS", "Temp"),
+					"LowerThreshold": plan.NumV(400),
+					"UpperThreshold": plan.NumV(800),
+				}))
+				contour := p.Add(filterStage("contour1", "Contour", thr, props{
+					"ContourBy":   plan.AssocV("POINTS", "Temp"),
+					"Isosurfaces": plan.NumsV(600),
+				}))
+				view := p.Add(viewStage(w, h, "ResetActiveCameraToPositiveX", "ResetCamera"))
+				p.Add(colorDisplay(p, contour, view, "Temp"))
+				p.Add(screenshotStage(view, "disk-thresh-contour-screenshot.png", w, h))
+				return p
+			},
+		},
+	}
+	// Plan-native scenarios render their ground-truth script from the IR.
+	for i := range scns {
+		if scns[i].planIR != nil && scns[i].groundTruth == nil {
+			ir := scns[i].planIR
+			scns[i].groundTruth = func(w, h int) string { return ir(w, h).Script() }
+		}
+	}
+	return scns
+}
+
+// Plan-IR stage builders for scenario definitions.
+
+type props map[string]plan.Value
+
+func sourceStage(id, class string, pp props) *plan.Stage {
+	return &plan.Stage{Kind: plan.StageSource, ID: id, Class: class, Props: pp}
+}
+
+func filterStage(id, class string, input int, pp props) *plan.Stage {
+	return &plan.Stage{Kind: plan.StageFilter, ID: id, Class: class, Inputs: []int{input}, Props: pp}
+}
+
+func viewStage(w, h int, camera ...string) *plan.Stage {
+	return &plan.Stage{
+		Kind: plan.StageView, ID: "renderView1", Class: plan.ViewClass,
+		Props:  props{"ViewSize": plan.NumsV(float64(w), float64(h))},
+		Camera: camera,
+	}
+}
+
+func colorDisplay(p *plan.Plan, src, view int, array string) *plan.Stage {
+	return &plan.Stage{
+		Kind: plan.StageDisplay, ID: p.Stages[src].ID + "Display",
+		Class: plan.DisplayClass, Inputs: []int{src, view},
+		Props: props{
+			plan.PropColorArray: plan.AssocV("POINTS", array),
+			plan.PropRescaleTF:  plan.BoolV(true),
+		},
+	}
+}
+
+func screenshotStage(view int, file string, w, h int) *plan.Stage {
+	return &plan.Stage{
+		Kind: plan.StageScreenshot, ID: "screenshot1", Class: plan.ScreenshotClass,
+		Inputs: []int{view},
+		Props: props{
+			plan.PropFilename:        plan.StrV(file),
+			plan.PropImageResolution: plan.NumsV(float64(w), float64(h)),
+			plan.PropOverridePalette: plan.StrV("WhiteBackground"),
 		},
 	}
 }

@@ -107,20 +107,21 @@ type TaskSpec struct {
 const numPat = `(-?\d+(?:\.\d+)?)`
 
 var (
-	fileRe     = regexp.MustCompile(`(?i)file(?:\s+named)?\s+['"]?([\w\-.]+?\.(?:vtk|ex2|exo|e))['"]?`)
-	shotRe     = regexp.MustCompile(`(?i)(?:filename|file name)\s+['"]?([\w\-.]+?\.png)['"]?`)
-	resRe      = regexp.MustCompile(`(?i)(\d{3,5})\s*[xX×]\s*(\d{3,5})\s*pixels?`)
-	isoRe      = regexp.MustCompile(`(?i)isosurface(?:s)?\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:value\s+)?` + numPat)
-	isoMultiRe = regexp.MustCompile(`(?i)isosurfaces\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:the\s+)?values\s+(` + numPat + `(?:(?:\s*,\s*|\s+and\s+)` + numPat + `)*)`)
-	numsRe     = regexp.MustCompile(numPat)
-	valueRe    = regexp.MustCompile(`(?i)at\s+(?:the\s+)?value\s+` + numPat)
-	sliceRe    = regexp.MustCompile(`(?i)plane\s+parallel\s+to\s+the\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
-	clipRe     = regexp.MustCompile(`(?i)clip\s+the\s+data\s+with\s+an?\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
-	keepRe     = regexp.MustCompile(`(?i)keeping\s+the\s+([+-])([xyz])\s+half`)
-	streamRe   = regexp.MustCompile(`(?i)streamlines?\s+of\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
-	threshRe   = regexp.MustCompile(`(?i)threshold\s+(?:the\s+)?[\w\s]*?(?:by|on)\s+(?:the\s+)?['"]?(\w+)['"]?[\w\s]*?between\s+` + numPat + `\s+and\s+` + numPat)
-	colorRe    = regexp.MustCompile(`(?i)color\s+(?:the\s+)?[\w\s,]*?by\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
-	solidRe    = regexp.MustCompile(`(?i)color\s+the\s+\w+\s+(red|green|blue|white|black|yellow|orange|purple)`)
+	fileRe      = regexp.MustCompile(`(?i)file(?:\s+named)?\s+['"]?([\w\-.]+?\.(?:vtk|ex2|exo|e))['"]?`)
+	shotRe      = regexp.MustCompile(`(?i)(?:filename|file name)\s+['"]?([\w\-.]+?\.png)['"]?`)
+	resRe       = regexp.MustCompile(`(?i)(\d{3,5})\s*[xX×]\s*(\d{3,5})\s*pixels?`)
+	isoRe       = regexp.MustCompile(`(?i)isosurface(?:s)?\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:value\s+)?` + numPat)
+	isoMultiRe  = regexp.MustCompile(`(?i)isosurfaces\s+of\s+(?:the\s+)?(?:variable\s+)?['"]?(\w+)['"]?\s+at\s+(?:the\s+)?values\s+(` + numPat + `(?:(?:\s*,\s*|\s+and\s+)` + numPat + `)*)`)
+	numsRe      = regexp.MustCompile(numPat)
+	valueRe     = regexp.MustCompile(`(?i)at\s+(?:the\s+)?value\s+` + numPat)
+	sliceRe     = regexp.MustCompile(`(?i)plane\s+parallel\s+to\s+the\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
+	clipRe      = regexp.MustCompile(`(?i)clip\s+the\s+data\s+with\s+an?\s+([xyz])[\s-]*([xyz])\s+plane\s+at\s+([xyz])\s*=\s*` + numPat)
+	keepRe      = regexp.MustCompile(`(?i)keeping\s+the\s+([+-])([xyz])\s+half`)
+	streamRe    = regexp.MustCompile(`(?i)streamlines?\s+of\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
+	threshRe    = regexp.MustCompile(`(?i)threshold\s+(?:the\s+)?[\w\s]*?(?:by|on)\s+(?:the\s+)?['"]?(\w+)['"]?[\w\s]*?between\s+` + numPat + `\s+and\s+` + numPat)
+	contourOfRe = regexp.MustCompile(`(?i)contour\s+of\s+(?:the\s+)?variable\s+['"]?(\w+)['"]?`)
+	colorRe     = regexp.MustCompile(`(?i)color\s+(?:the\s+)?[\w\s,]*?by\s+(?:the\s+)?['"]?(\w+)['"]?\s+(?:data\s+)?array`)
+	solidRe     = regexp.MustCompile(`(?i)color\s+the\s+\w+\s+(red|green|blue|white|black|yellow|orange|purple)`)
 )
 
 // ParseIntent extracts a TaskSpec from natural-language text (a raw user
@@ -188,6 +189,9 @@ func ParseIntent(text string) TaskSpec {
 		if m := isoRe.FindStringSubmatch(text); m != nil {
 			op.Array = m[1]
 			op.Value, _ = strconv.ParseFloat(m[2], 64)
+		} else if m := contourOfRe.FindStringSubmatch(text); m != nil {
+			// "contour of the variable Temp at the value 600".
+			op.Array = m[1]
 		}
 		spec.Ops = append(spec.Ops, op)
 	}
@@ -245,6 +249,11 @@ func ParseIntent(text string) TaskSpec {
 	if strings.Contains(lower, "clipped") && spec.HasOp(OpClip) && spec.HasOp(OpSlice) {
 		spec.Ops = clipBeforeSlice(spec.Ops)
 	}
+	// Likewise "contour ... through the thresholded data": the threshold
+	// feeds the contour even though the contour parsed first.
+	if strings.Contains(lower, "thresholded") && spec.HasOp(OpThreshold) && spec.HasOp(OpIsosurface) {
+		spec.Ops = reorderOps(spec.Ops, OpThreshold, OpIsosurface)
+	}
 
 	if m := colorRe.FindStringSubmatch(text); m != nil {
 		spec.ColorArray = m[1]
@@ -276,27 +285,32 @@ func ParseIntent(text string) TaskSpec {
 
 // clipBeforeSlice reorders ops so the (first) clip precedes the (first)
 // slice, preserving the relative order of everything else.
-func clipBeforeSlice(ops []Op) []Op {
-	clipAt, sliceAt := -1, -1
+func clipBeforeSlice(ops []Op) []Op { return reorderOps(ops, OpClip, OpSlice) }
+
+// reorderOps moves the first op of kind `before` ahead of the first op
+// of kind `after`, preserving the relative order of everything else —
+// the dataflow-composition fixups the prompt wording implies.
+func reorderOps(ops []Op, before, after OpKind) []Op {
+	beforeAt, afterAt := -1, -1
 	for i, op := range ops {
-		if op.Kind == OpClip && clipAt < 0 {
-			clipAt = i
+		if op.Kind == before && beforeAt < 0 {
+			beforeAt = i
 		}
-		if op.Kind == OpSlice && sliceAt < 0 {
-			sliceAt = i
+		if op.Kind == after && afterAt < 0 {
+			afterAt = i
 		}
 	}
-	if clipAt < 0 || sliceAt < 0 || clipAt < sliceAt {
+	if beforeAt < 0 || afterAt < 0 || beforeAt < afterAt {
 		return ops
 	}
-	clip := ops[clipAt]
+	moved := ops[beforeAt]
 	out := make([]Op, 0, len(ops))
 	for i, op := range ops {
-		if i == clipAt {
+		if i == beforeAt {
 			continue
 		}
-		if i == sliceAt {
-			out = append(out, clip)
+		if i == afterAt {
+			out = append(out, moved)
 		}
 		out = append(out, op)
 	}

@@ -2,11 +2,14 @@ package llm
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"chatvis/internal/errext"
+	"chatvis/internal/plan"
 )
 
 // Request is one chat completion request: a system prompt (instructions
@@ -74,6 +77,13 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 	user := req.User
 	var text string
 	switch {
+	case strings.Contains(user, planDiagOpen):
+		// Pre-execution repair: structured plan diagnostics instead of a
+		// traceback — the validation-first signal of the plan IR.
+		script := between(user, scriptOpen, scriptClose)
+		var diags []plan.Diagnostic
+		_ = json.Unmarshal([]byte(between(user, planDiagOpen, planDiagClose)), &diags)
+		text = RepairPlan(strings.TrimSpace(script)+"\n", diags, m.P.RepairSkill)
 	case strings.Contains(user, scriptOpen) || strings.Contains(sys+user, repairMarker):
 		script := between(user, scriptOpen, scriptClose)
 		errText := between(user, errorsOpen, errorsClose)
@@ -154,4 +164,20 @@ var simProfiles = map[string]Profile{
 // paper's Table II columns.
 func PaperModels() []string {
 	return []string{"gpt-4", "gpt-3.5-turbo", "llama3-8b", "codellama-7b", "codegemma"}
+}
+
+// SimProfiles returns the built-in simulated model profiles, sorted by
+// name. Test sweeps (e.g. the scenario × profile plan round-trip suite)
+// iterate the full competence space through this.
+func SimProfiles() []Profile {
+	names := make([]string, 0, len(simProfiles))
+	for name := range simProfiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Profile, 0, len(names))
+	for _, name := range names {
+		out = append(out, simProfiles[name])
+	}
+	return out
 }

@@ -1,0 +1,319 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"chatvis/internal/plan"
+)
+
+// The plan-IR side of the language-model layer: the writer's *intended*
+// plan (what a defect-free generation means), and repair driven by
+// structured pre-execution diagnostics instead of runtime tracebacks.
+
+// colorVecs maps named colors to RGB triples (the numeric counterpart of
+// the writer's colorRGB literals).
+var colorVecs = map[string][3]float64{
+	"red": {1, 0, 0}, "green": {0, 1, 0}, "blue": {0, 0, 1},
+	"white": {1, 1, 1}, "black": {0, 0, 0}, "yellow": {1, 1, 0},
+	"orange": {1, 0.5, 0}, "purple": {0.5, 0, 0.5},
+}
+
+func axisNormalVals(axis string) plan.Value {
+	switch axis {
+	case "y":
+		return plan.NumsV(0, 1, 0)
+	case "z":
+		return plan.NumsV(0, 0, 1)
+	default:
+		return plan.NumsV(1, 0, 0)
+	}
+}
+
+func axisOriginVals(axis string, off float64) plan.Value {
+	switch axis {
+	case "y":
+		return plan.NumsV(0, off, 0)
+	case "z":
+		return plan.NumsV(0, 0, off)
+	default:
+		return plan.NumsV(off, 0, 0)
+	}
+}
+
+func planePropVals(axis string, off float64) plan.Value {
+	return plan.HelperV("Plane").
+		WithObj("Origin", axisOriginVals(axis, off)).
+		WithObj("Normal", axisNormalVals(axis))
+}
+
+// WritePlan builds the intended pipeline plan for a task spec: the plan
+// a defect-free, fully grounded generation means. WriteScript emits the
+// script text (possibly degraded by the profile); WritePlan emits the
+// same pipeline as IR. For a clean profile with full grounding,
+// normalize(compile(WriteScript(spec))) == normalize(WritePlan(spec)) —
+// the round-trip invariant the eval suite pins per scenario.
+//
+// The returned plan is un-normalized; callers normalize with the engine
+// schema before hashing or comparing.
+func WritePlan(spec TaskSpec) *plan.Plan {
+	w, h := spec.Width, spec.Height
+	if w == 0 {
+		w, h = 1920, 1080
+	}
+	shot := spec.Screenshot
+	if shot == "" {
+		shot = "screenshot.png"
+	}
+
+	p := plan.New()
+	current := -1
+	if spec.InputFile != "" {
+		st := &plan.Stage{Kind: plan.StageSource, ID: "reader"}
+		if strings.HasSuffix(strings.ToLower(spec.InputFile), ".vtk") {
+			st.Class = "LegacyVTKReader"
+			st.SetProp("FileNames", plan.ListV(plan.StrV(spec.InputFile)), 0)
+		} else {
+			st.Class = "ExodusIIReader"
+			st.SetProp("FileName", plan.StrV(spec.InputFile), 0)
+		}
+		current = p.Add(st)
+	}
+
+	addFilter := func(id, class string, input int) *plan.Stage {
+		st := &plan.Stage{Kind: plan.StageFilter, ID: id, Class: class}
+		if input >= 0 {
+			st.Inputs = []int{input}
+		}
+		current = p.Add(st)
+		return st
+	}
+
+	showIdx := -1         // the stage Show targets (default: pipeline head)
+	extraShows := []int{} // additional shown stages (glyphs)
+
+	for _, op := range spec.Ops {
+		switch op.Kind {
+		case OpIsosurface:
+			st := addFilter("contour1", "Contour", current)
+			values := op.Values
+			if len(values) == 0 {
+				values = []float64{op.Value}
+			}
+			st.SetProp("ContourBy", plan.AssocV("POINTS", orDefault(op.Array, "var0")), 0)
+			st.SetProp("Isosurfaces", plan.NumsV(values...), 0)
+		case OpSlice:
+			st := addFilter("slice1", "Slice", current)
+			st.SetProp("SliceType", planePropVals(op.Axis, op.Offset), 0)
+		case OpContourLines:
+			st := addFilter("contour1", "Contour", current)
+			st.SetProp("Isosurfaces", plan.NumsV(op.Value), 0)
+		case OpThreshold:
+			st := addFilter("threshold1", "Threshold", current)
+			st.SetProp("Scalars", plan.AssocV("POINTS", orDefault(op.Array, "Temp")), 0)
+			st.SetProp("LowerThreshold", plan.NumV(op.Offset), 0)
+			st.SetProp("UpperThreshold", plan.NumV(op.Value), 0)
+		case OpDelaunay:
+			addFilter("delaunay1", "Delaunay3D", current)
+		case OpClip:
+			st := addFilter("clip1", "Clip", current)
+			st.SetProp("ClipType", planePropVals(op.Axis, op.Offset), 0)
+			st.SetProp("Invert", plan.IntV(int64(boolToInt(op.KeepNegative))), 0)
+		case OpStreamlines:
+			addFilter("streamTracer", "StreamTracer", current)
+		case OpTube:
+			st := addFilter("tube", "Tube", current)
+			st.SetProp("Radius", plan.NumV(0.075), 0)
+			// The writer shows the tube but keeps chaining (glyphs) off
+			// the stream tracer.
+			showIdx = len(p.Stages) - 1
+			if len(st.Inputs) > 0 {
+				current = st.Inputs[0]
+			}
+		case OpGlyph:
+			st := addFilter("glyph", "Glyph", current)
+			st.SetProp("GlyphType", plan.StrV(op.GlyphType), 0)
+			st.SetProp("OrientationArray", plan.AssocV("POINTS", "V"), 0)
+			st.SetProp("ScaleArray", plan.AssocV("POINTS", "V"), 0)
+			st.SetProp("ScaleFactor", plan.NumV(0.2), 0)
+			extraShows = append(extraShows, len(p.Stages)-1)
+			if len(st.Inputs) > 0 {
+				current = st.Inputs[0]
+			}
+		}
+	}
+	if showIdx < 0 {
+		showIdx = current
+	}
+
+	// View with camera orientation.
+	view := &plan.Stage{Kind: plan.StageView, ID: "renderView1", Class: plan.ViewClass}
+	view.SetProp("ViewSize", plan.NumsV(float64(w), float64(h)), 0)
+	switch spec.ViewDirection {
+	case "isometric":
+		view.Camera = append(view.Camera, "ApplyIsometricView")
+	case "+X":
+		view.Camera = append(view.Camera, "ResetActiveCameraToPositiveX")
+	case "-X":
+		view.Camera = append(view.Camera, "ResetActiveCameraToNegativeX")
+	case "+Y":
+		view.Camera = append(view.Camera, "ResetActiveCameraToPositiveY")
+	case "-Y":
+		view.Camera = append(view.Camera, "ResetActiveCameraToNegativeY")
+	case "+Z":
+		view.Camera = append(view.Camera, "ResetActiveCameraToPositiveZ")
+	case "-Z":
+		view.Camera = append(view.Camera, "ResetActiveCameraToNegativeZ")
+	}
+	view.Camera = append(view.Camera, "ResetCamera")
+	viewIdx := p.Add(view)
+
+	// Displays.
+	addDisplay := func(src int) *plan.Stage {
+		st := &plan.Stage{
+			Kind:   plan.StageDisplay,
+			ID:     p.Stages[src].ID + "Display",
+			Class:  plan.DisplayClass,
+			Inputs: []int{src, viewIdx},
+		}
+		p.Add(st)
+		return st
+	}
+	if showIdx < 0 {
+		// A spec with no reader and no ops yields an empty plan.
+		return p
+	}
+	main := addDisplay(showIdx)
+	var extras []*plan.Stage
+	for _, idx := range extraShows {
+		extras = append(extras, addDisplay(idx))
+	}
+
+	if spec.HasOp(OpVolumeRender) {
+		main.SetProp(plan.PropRepresentation, plan.StrV("Volume"), 0)
+		main.SetProp(plan.PropColorArray, plan.AssocV("POINTS", orDefault(spec.ColorArray, "var0")), 0)
+		main.SetProp(plan.PropRescaleTF, plan.BoolV(true), 0)
+	}
+	if spec.Wireframe {
+		main.SetProp(plan.PropRepresentation, plan.StrV("Wireframe"), 0)
+	}
+	if spec.SolidColor != "" {
+		main.SetProp(plan.PropColorArray, plan.ListV(plan.StrV("POINTS"), plan.NoneV()), 0)
+		if rgb, ok := colorVecs[spec.SolidColor]; ok {
+			main.SetProp("DiffuseColor", plan.NumsV(rgb[0], rgb[1], rgb[2]), 0)
+		}
+		main.SetProp("LineWidth", plan.NumV(2.0), 0)
+	}
+	if spec.ColorArray != "" && !spec.HasOp(OpVolumeRender) {
+		for _, d := range append([]*plan.Stage{main}, extras...) {
+			d.SetProp(plan.PropColorArray, plan.AssocV("POINTS", spec.ColorArray), 0)
+			d.SetProp(plan.PropRescaleTF, plan.BoolV(true), 0)
+		}
+	}
+
+	// Screenshot.
+	ss := &plan.Stage{
+		Kind:   plan.StageScreenshot,
+		ID:     "screenshot1",
+		Class:  plan.ScreenshotClass,
+		Inputs: []int{viewIdx},
+	}
+	ss.SetProp(plan.PropFilename, plan.StrV(shot), 0)
+	ss.SetProp(plan.PropImageResolution, plan.NumsV(float64(w), float64(h)), 0)
+	ss.SetProp(plan.PropOverridePalette, plan.StrV("WhiteBackground"), 0)
+	p.Add(ss)
+	return p
+}
+
+// Plan-diagnostic repair prompt markers, mirroring the traceback-based
+// repair framing.
+const (
+	planDiagOpen  = "--- PLAN DIAGNOSTICS ---"
+	planDiagClose = "--- END PLAN DIAGNOSTICS ---"
+)
+
+// BuildPlanRepairUser formats the pre-execution correction prompt: the
+// candidate script plus the structured validation diagnostics, JSON-
+// encoded so a model (simulated or real) gets machine-readable findings
+// instead of a traceback to parse.
+func BuildPlanRepairUser(script string, diags []plan.Diagnostic) string {
+	blob, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		blob = []byte("[]")
+	}
+	return fmt.Sprintf("The following ParaView Python script failed static validation against the ParaView API before execution. Fix every reported problem and regenerate the full script.\n%s\n%s\n%s\n%s\n%s\n%s\n",
+		scriptOpen, script, scriptClose, planDiagOpen, string(blob), planDiagClose)
+}
+
+// RepairPlan revises a script given structured plan diagnostics, at the
+// given skill level: 0 returns the script unchanged, 1 deletes the
+// offending statements, 2 applies targeted fixes (falling back to
+// statement deletion). It is the pre-execution sibling of Repair: same
+// knowledge table, but driven by validation instead of tracebacks, so a
+// competent model fixes *every* hallucinated property in one round
+// before any engine time is spent.
+func RepairPlan(script string, diags []plan.Diagnostic, skill int) string {
+	if skill <= 0 || len(diags) == 0 {
+		return script
+	}
+	lines := strings.Split(script, "\n")
+	// Diagnostics carry line numbers from the original script, so every
+	// line-anchored deletion must be resolved against pristine lines:
+	// they are collected first and applied bottom-up, and only then do
+	// the content-anchored fixes (renames, needle-based deletions —
+	// line-independent by construction) run.
+	var lineDeletes []int
+	var contentFixes []func([]string) []string
+	for _, d := range diags {
+		if d.Severity != plan.SevError {
+			continue
+		}
+		key := [2]string{d.Class, d.Property}
+		needle := "." + d.Property
+		switch {
+		case skill >= 2 && d.Class == "Threshold" && d.Property == "ThresholdRange":
+			contentFixes = append(contentFixes, rewriteThresholdRange)
+		case skill >= 2 && attrFixes[key] != "":
+			prop, fix := d.Property, attrFixes[key]
+			contentFixes = append(contentFixes, func(ls []string) []string {
+				return renameAttr(ls, prop, fix)
+			})
+		case skill >= 2 && attrDeletes[key]:
+			contentFixes = append(contentFixes, func(ls []string) []string {
+				return deleteStatementsContaining(ls, needle)
+			})
+		case skill >= 2 && d.Property == "UseSeparateColorMap":
+			contentFixes = append(contentFixes, retargetColorBy)
+		case skill >= 2 && d.Kind == plan.DiagViewByName:
+			contentFixes = append(contentFixes, createNamedView)
+		case d.Property != "" && anyLineContains(lines, needle):
+			contentFixes = append(contentFixes, func(ls []string) []string {
+				return deleteStatementsContaining(ls, needle)
+			})
+		case d.Line >= 1:
+			// Also reached for marker properties (ViewName, ColorBy's
+			// ColorArrayName) that never appear as ".Prop" script text.
+			lineDeletes = append(lineDeletes, d.Line)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lineDeletes)))
+	for _, n := range lineDeletes {
+		lines = deleteStatementAt(lines, n)
+	}
+	for _, fix := range contentFixes {
+		lines = fix(lines)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// anyLineContains reports whether the needle occurs on any line.
+func anyLineContains(lines []string, needle string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, needle) {
+			return true
+		}
+	}
+	return false
+}

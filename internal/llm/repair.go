@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"chatvis/internal/errext"
+	"chatvis/internal/pypy"
 )
 
 // attrErrRe parses our engine's AttributeError messages:
@@ -51,9 +52,11 @@ func Repair(script string, reports []errext.ErrorReport, skill int) string {
 		case "NameError":
 			lines = repairName(lines, r, skill)
 		default:
-			// Unknown failure: drop the offending line if located.
+			// Unknown failure: drop the offending *statement* if located.
+			// The report line may be the continuation of a multi-line
+			// call; deleting just that line would leave dangling syntax.
 			if r.Line >= 1 && r.Line <= len(lines) && skill >= 1 {
-				lines = deleteLine(lines, r.Line)
+				lines = deleteStatementAt(lines, r.Line)
 			}
 		}
 	}
@@ -68,11 +71,121 @@ func deleteLine(lines []string, n int) []string {
 	return append(out, lines[n:]...)
 }
 
+// statementSpanOf maps a 1-based line to the [start, end] line range of
+// the statement containing it, via the Python AST when the script
+// parses, and a bracket-depth scan otherwise.
+func statementSpanOf(lines []string, n int) (int, int) {
+	if n < 1 || n > len(lines) {
+		return n, n
+	}
+	if mod, err := pypy.Parse("script.py", strings.Join(lines, "\n")); err == nil {
+		if s, e, ok := pypy.StatementSpan(mod, n); ok {
+			return s, e
+		}
+	}
+	// Fallback for unparsable scripts: depth[i] = open brackets after
+	// line i+1; a line is a continuation when the depth before it is
+	// positive.
+	depth := make([]int, len(lines)+1)
+	for i, l := range lines {
+		depth[i+1] = depth[i] + bracketDepth(l)
+	}
+	start, end := n, n
+	for start > 1 && depth[start-1] > 0 {
+		start--
+	}
+	for end < len(lines) && depth[end] > 0 {
+		end++
+	}
+	return start, end
+}
+
+// deleteStatementAt removes the complete statement containing line n.
+func deleteStatementAt(lines []string, n int) []string {
+	if n < 1 || n > len(lines) {
+		return lines
+	}
+	start, end := statementSpanOf(lines, n)
+	out := append([]string{}, lines[:start-1]...)
+	return append(out, lines[end:]...)
+}
+
+// deleteStatementsContaining removes every statement that has the needle
+// on any of its lines.
+func deleteStatementsContaining(lines []string, needle string) []string {
+	drop := make([]bool, len(lines)+1)
+	found := false
+	for i, l := range lines {
+		if strings.Contains(l, needle) {
+			start, end := statementSpanOf(lines, i+1)
+			for j := start; j <= end; j++ {
+				drop[j] = true
+			}
+			found = true
+		}
+	}
+	if !found {
+		return lines
+	}
+	out := lines[:0:0]
+	for i, l := range lines {
+		if !drop[i+1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// renameAttr rewrites ".old" attribute references to ".new" everywhere.
+func renameAttr(lines []string, old, fix string) []string {
+	for i, l := range lines {
+		if strings.Contains(l, "."+old) {
+			lines[i] = strings.ReplaceAll(l, "."+old, "."+fix)
+		}
+	}
+	return lines
+}
+
+// rewriteThresholdRange translates the deprecated pre-5.10 range
+// property into the modern Lower/UpperThreshold pair.
+func rewriteThresholdRange(lines []string) []string {
+	re := regexp.MustCompile(`^(\s*)(\w+)\.ThresholdRange\s*=\s*\[([^,\]]+),\s*([^\]]+)\]`)
+	var out []string
+	for _, l := range lines {
+		if mm := re.FindStringSubmatch(l); mm != nil {
+			out = append(out,
+				fmt.Sprintf("%s%s.LowerThreshold = %s", mm[1], mm[2], strings.TrimSpace(mm[3])),
+				fmt.Sprintf("%s%s.UpperThreshold = %s", mm[1], mm[2], strings.TrimSpace(mm[4])))
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// createNamedView fixes Show(..., 'RenderView1')-style references: a
+// view is created first and the name string replaced by the variable.
+func createNamedView(lines []string) []string {
+	var out []string
+	created := false
+	for _, l := range lines {
+		if strings.Contains(l, "'RenderView1'") && strings.Contains(l, "Show(") {
+			if !created {
+				out = append(out, "renderView1 = GetActiveViewOrCreate('RenderView')")
+				created = true
+			}
+			l = strings.ReplaceAll(l, "'RenderView1'", "renderView1")
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
 func repairAttribute(lines []string, r errext.ErrorReport, skill int) []string {
 	m := attrErrRe.FindStringSubmatch(r.Message)
 	if m == nil {
 		if r.Line >= 1 {
-			return deleteLine(lines, r.Line)
+			return deleteStatementAt(lines, r.Line)
 		}
 		return lines
 	}
@@ -82,30 +195,14 @@ func repairAttribute(lines []string, r errext.ErrorReport, skill int) []string {
 		if class == "Threshold" && attr == "ThresholdRange" {
 			// The pre-5.10 range property split into two scalars; rewrite
 			// `x.ThresholdRange = [lo, hi]` into the modern pair.
-			re := regexp.MustCompile(`^(\s*)(\w+)\.ThresholdRange\s*=\s*\[([^,\]]+),\s*([^\]]+)\]`)
-			var out []string
-			for _, l := range lines {
-				if mm := re.FindStringSubmatch(l); mm != nil {
-					out = append(out,
-						fmt.Sprintf("%s%s.LowerThreshold = %s", mm[1], mm[2], strings.TrimSpace(mm[3])),
-						fmt.Sprintf("%s%s.UpperThreshold = %s", mm[1], mm[2], strings.TrimSpace(mm[4])))
-					continue
-				}
-				out = append(out, l)
-			}
-			return out
+			return rewriteThresholdRange(lines)
 		}
 		if fix, ok := attrFixes[key]; ok {
 			// Rename the attribute wherever it appears.
-			for i, l := range lines {
-				if strings.Contains(l, "."+attr) {
-					lines[i] = strings.ReplaceAll(l, "."+attr, "."+fix)
-				}
-			}
-			return lines
+			return renameAttr(lines, attr, fix)
 		}
 		if attrDeletes[key] {
-			return deleteLinesContaining(lines, "."+attr)
+			return deleteStatementsContaining(lines, "."+attr)
 		}
 		if attr == "UseSeparateColorMap" {
 			// ColorBy was called on a pipeline proxy instead of its
@@ -114,19 +211,8 @@ func repairAttribute(lines []string, r errext.ErrorReport, skill int) []string {
 		}
 	}
 	// Skill 1 (or unknown attribute at skill 2): delete the offending
-	// assignment(s).
-	return deleteLinesContaining(lines, "."+attr)
-}
-
-func deleteLinesContaining(lines []string, needle string) []string {
-	out := lines[:0:0]
-	for _, l := range lines {
-		if strings.Contains(l, needle) {
-			continue
-		}
-		out = append(out, l)
-	}
-	return out
+	// assignment(s), whole statements at a time.
+	return deleteStatementsContaining(lines, "."+attr)
 }
 
 var colorByCallRe = regexp.MustCompile(`ColorBy\((\w+)\s*,`)
@@ -258,22 +344,10 @@ func repairType(lines []string, r errext.ErrorReport, skill int) []string {
 		strings.Contains(r.Message, "view proxy") {
 		// A view was referenced by name string before creation: create a
 		// view first and pass the variable.
-		var out []string
-		created := false
-		for _, l := range lines {
-			if strings.Contains(l, "'RenderView1'") && strings.Contains(l, "Show(") {
-				if !created {
-					out = append(out, "renderView1 = GetActiveViewOrCreate('RenderView')")
-					created = true
-				}
-				l = strings.ReplaceAll(l, "'RenderView1'", "renderView1")
-			}
-			out = append(out, l)
-		}
-		return out
+		return createNamedView(lines)
 	}
 	if r.Line >= 1 && skill >= 1 {
-		return deleteLine(lines, r.Line)
+		return deleteStatementAt(lines, r.Line)
 	}
 	return lines
 }
@@ -297,7 +371,7 @@ func repairName(lines []string, r errext.ErrorReport, skill int) []string {
 		}
 	}
 	if r.Line >= 1 && skill >= 1 {
-		return deleteLine(lines, r.Line)
+		return deleteStatementAt(lines, r.Line)
 	}
 	return lines
 }

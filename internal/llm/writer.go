@@ -489,13 +489,30 @@ func RenderStepPrompt(spec TaskSpec) string {
 		fmt.Fprintf(&b, "- Read the file named %s given the path.\n", spec.InputFile)
 	}
 	seenClip := false
+	seenThreshold := false
 	for _, op := range spec.Ops {
 		switch op.Kind {
 		case OpIsosurface:
-			if len(op.Values) > 1 {
-				fmt.Fprintf(&b, "- Generate isosurfaces of the variable %s at the values %s.\n",
-					orDefault(op.Array, "var0"), joinFloats(op.Values, " and "))
-			} else {
+			switch {
+			case len(op.Values) > 1:
+				// Multi-value contours keep their value list even after a
+				// threshold; the "thresholded data" suffix preserves the
+				// composition order through the re-parse (isoMultiRe
+				// tolerates the trailing clause).
+				suffix := ""
+				if seenThreshold {
+					suffix = " through the thresholded data"
+				}
+				fmt.Fprintf(&b, "- Generate isosurfaces of the variable %s at the values %s%s.\n",
+					orDefault(op.Array, "var0"), joinFloats(op.Values, " and "), suffix)
+			case seenThreshold:
+				// Phrase the contour over "the thresholded data" so
+				// re-parsing the rendered prompt preserves the
+				// composition order (the thresholdBeforeContour reorder
+				// keys on that wording).
+				fmt.Fprintf(&b, "- Take a contour of the variable %s at the value %g through the thresholded data.\n",
+					orDefault(op.Array, "var0"), op.Value)
+			default:
 				fmt.Fprintf(&b, "- Generate an isosurface of the variable %s at value %g.\n",
 					orDefault(op.Array, "var0"), op.Value)
 			}
@@ -515,6 +532,7 @@ func RenderStepPrompt(spec TaskSpec) string {
 		case OpThreshold:
 			fmt.Fprintf(&b, "- Threshold the data by the %s array between %g and %g.\n",
 				orDefault(op.Array, "Temp"), op.Offset, op.Value)
+			seenThreshold = true
 		case OpVolumeRender:
 			b.WriteString("- Generate a volume rendering using the default transfer function.\n")
 		case OpDelaunay:

@@ -1,0 +1,682 @@
+package plan
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"chatvis/internal/pypy"
+)
+
+// Compiled is the result of compiling script text to the IR.
+type Compiled struct {
+	// Plan is the extracted pipeline DAG, in construction order (not yet
+	// normalized).
+	Plan *Plan
+	// Diags are the structured pre-execution findings: compile-shaped
+	// ones (unknown functions/methods, ColorBy on a pipeline proxy) plus
+	// the full schema validation of the extracted plan.
+	Diags []Diagnostic
+	// VarClass maps every script variable the compiler resolved to the
+	// proxy class it holds — the authoritative replacement for
+	// name-pattern guessing in scriptcmp.
+	VarClass map[string]string
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (c *Compiled) HasErrors() bool { return HasErrors(c.Diags) }
+
+// Compile statically compiles ParaView Python script text into a plan.
+// It returns an error only when the script does not parse; semantic
+// problems (hallucinated properties, view-by-name, type mismatches)
+// become Diagnostics, and the offending constructs are still recorded in
+// the plan so that rendering a compiled plan back to a script reproduces
+// them — plans round-trip even for defective scripts.
+func Compile(script string, s *Schema) (*Compiled, error) {
+	mod, err := pypy.Parse("script.py", script)
+	if err != nil {
+		return nil, err
+	}
+	return CompileModule(mod, s), nil
+}
+
+// CompileModule compiles an already-parsed module — for callers (like
+// scriptcmp) that walk the same AST themselves and should not pay for a
+// second parse.
+func CompileModule(mod *pypy.Module, s *Schema) *Compiled {
+	if s == nil {
+		// Schema-less compilation: parse-only extraction, every member
+		// check reports unknown (callers use pvsim.PlanSchema normally).
+		s = &Schema{Classes: map[string]*Class{}}
+	}
+	c := &compiler{
+		schema:     s,
+		plan:       New(),
+		vars:       map[string]int{},
+		varClass:   map[string]string{},
+		active:     -1,
+		activeView: -1,
+	}
+	c.stmts(mod.Body)
+	diags := append(c.diags, Validate(c.plan, s)...)
+	return &Compiled{Plan: c.plan, Diags: diags, VarClass: c.varClass}
+}
+
+type compiler struct {
+	schema   *Schema
+	plan     *Plan
+	vars     map[string]int    // variable -> stage index
+	varClass map[string]string // variable -> proxy class (incl. validate-only vars)
+	diags    []Diagnostic
+
+	active     int // last pipeline stage (implicit filter input)
+	activeView int // last view stage
+}
+
+func (c *compiler) diag(d Diagnostic) { c.diags = append(c.diags, d) }
+
+func (c *compiler) stmts(body []pypy.Stmt) {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *pypy.Assign:
+			if call, ok := s.Value.(*pypy.Call); ok {
+				c.call(call, targetNames(s.Targets), s.Line())
+				continue
+			}
+			for _, tgt := range s.Targets {
+				if attr, ok := tgt.(*pypy.Attribute); ok {
+					c.setAttr(attr, s.Value, s.Line())
+				}
+			}
+		case *pypy.ExprStmt:
+			if call, ok := s.X.(*pypy.Call); ok {
+				c.call(call, nil, s.Line())
+			}
+		case *pypy.If:
+			c.stmts(s.Body)
+			c.stmts(s.Else)
+		case *pypy.For:
+			c.stmts(s.Body)
+		case *pypy.While:
+			c.stmts(s.Body)
+		}
+	}
+}
+
+func targetNames(ts []pypy.Expr) []string {
+	var out []string
+	for _, t := range ts {
+		if n, ok := t.(*pypy.Name); ok {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// bind associates assignment targets with a stage.
+func (c *compiler) bind(targets []string, idx int) {
+	for _, t := range targets {
+		c.vars[t] = idx
+		c.varClass[t] = c.plan.Stages[idx].Class
+	}
+}
+
+// bindClass records a validate-only variable (transfer functions,
+// cameras): no stage, but member accesses are still checked.
+func (c *compiler) bindClass(targets []string, class string) {
+	for _, t := range targets {
+		delete(c.vars, t)
+		c.varClass[t] = class
+	}
+}
+
+// exprValue lowers a literal expression to a Value. Non-literal
+// expressions (names, arithmetic) report ok=false.
+func exprValue(e pypy.Expr) (Value, bool) {
+	switch v := e.(type) {
+	case *pypy.NumLit:
+		if v.IsInt {
+			return IntV(v.Int), true
+		}
+		return NumV(v.Float), true
+	case *pypy.StrLit:
+		return StrV(v.Value), true
+	case *pypy.BoolLit:
+		return BoolV(v.Value), true
+	case *pypy.NoneLit:
+		return NoneV(), true
+	case *pypy.ListLit:
+		return seqValue(v.Elts)
+	case *pypy.TupleLit:
+		return seqValue(v.Elts)
+	case *pypy.UnaryOp:
+		if inner, ok := exprValue(v.X); ok && inner.Kind == KindNum {
+			switch v.Op {
+			case "-":
+				inner.Num = -inner.Num
+				return inner, true
+			case "+":
+				return inner, true
+			}
+		}
+	}
+	return Value{}, false
+}
+
+func seqValue(elts []pypy.Expr) (Value, bool) {
+	items := make([]Value, len(elts))
+	for i, e := range elts {
+		v, ok := exprValue(e)
+		if !ok {
+			return Value{}, false
+		}
+		items[i] = v
+	}
+	return Value{Kind: KindList, List: items}, true
+}
+
+// moduleCameraOps are the module-level camera functions that act on the
+// active view.
+var moduleCameraOps = map[string]bool{
+	"ResetCamera":                      true,
+	"ResetActiveCameraToPositiveX":     true,
+	"ResetActiveCameraToNegativeX":     true,
+	"ResetActiveCameraToPositiveY":     true,
+	"ResetActiveCameraToNegativeY":     true,
+	"ResetActiveCameraToPositiveZ":     true,
+	"ResetActiveCameraToNegativeZ":     true,
+	"ResetActiveCameraToIsometricView": true,
+}
+
+// viewCameraOps are the view methods recorded as camera operations.
+var viewCameraOps = map[string]bool{
+	"ResetCamera":                  true,
+	"ApplyIsometricView":           true,
+	"ResetActiveCameraToPositiveX": true,
+	"ResetActiveCameraToNegativeX": true,
+	"ResetActiveCameraToPositiveY": true,
+	"ResetActiveCameraToNegativeY": true,
+	"ResetActiveCameraToPositiveZ": true,
+	"ResetActiveCameraToNegativeZ": true,
+}
+
+// pyBuiltins are interpreter builtins calls to which are never
+// diagnosed.
+var pyBuiltins = map[string]bool{
+	"print": true, "len": true, "range": true, "str": true, "int": true,
+	"float": true, "abs": true, "min": true, "max": true, "sum": true,
+	"sorted": true, "list": true, "tuple": true, "dict": true, "bool": true,
+	"enumerate": true, "round": true, "zip": true,
+}
+
+func (c *compiler) call(call *pypy.Call, targets []string, line int) {
+	switch f := call.Func.(type) {
+	case *pypy.Name:
+		c.nameCall(f.ID, call, targets, line)
+	case *pypy.Attribute:
+		c.methodCall(f, call, targets, line)
+	}
+}
+
+func (c *compiler) nameCall(name string, call *pypy.Call, targets []string, line int) {
+	if cls := c.schema.Class(name); cls != nil && (cls.Kind == "source" || cls.Kind == "filter") {
+		c.construct(name, cls, call, targets, line)
+		return
+	}
+	switch {
+	case name == "OpenDataFile":
+		c.openDataFile(call, targets, line)
+	case name == "GetActiveViewOrCreate" || name == "GetActiveView":
+		idx := c.activeView
+		if idx < 0 {
+			idx = c.newView(line)
+		}
+		c.bind(targets, idx)
+	case name == "CreateView" || name == "CreateRenderView":
+		c.bind(targets, c.newView(line))
+	case name == "SetActiveView":
+		if len(call.Args) > 0 {
+			if n, ok := call.Args[0].(*pypy.Name); ok {
+				if idx, ok := c.vars[n.ID]; ok && c.plan.Stages[idx].Kind == StageView {
+					c.activeView = idx
+				}
+			}
+		}
+	case name == "SetActiveSource":
+		if len(call.Args) > 0 {
+			if n, ok := call.Args[0].(*pypy.Name); ok {
+				if idx, ok := c.vars[n.ID]; ok && c.plan.Stages[idx].IsPipeline() {
+					c.active = idx
+				}
+			}
+		}
+	case name == "Show":
+		c.show(call, targets, line)
+	case name == "Hide":
+		// Static approximation: hiding is rare in generated scripts and
+		// does not change the DAG; ignore.
+	case name == "ColorBy":
+		c.colorBy(call, line)
+	case name == "SaveScreenshot":
+		c.screenshot(call, line)
+	case name == "GetColorTransferFunction":
+		c.bindClass(targets, "PVLookupTable")
+	case name == "GetOpacityTransferFunction":
+		c.bindClass(targets, "PiecewiseFunction")
+	case name == "GetDisplayProperties":
+		c.bindClass(targets, DisplayClass)
+	case moduleCameraOps[name]:
+		// Module-level camera op on the (optionally explicit) view.
+		idx := -1
+		if len(call.Args) > 0 {
+			if n, ok := call.Args[0].(*pypy.Name); ok {
+				if i, ok := c.vars[n.ID]; ok && c.plan.Stages[i].Kind == StageView {
+					idx = i
+				}
+			}
+		}
+		if idx < 0 {
+			idx = c.ensureView(line)
+		}
+		op := name
+		if name == "ResetActiveCameraToIsometricView" {
+			op = "ApplyIsometricView"
+		}
+		st := c.plan.Stages[idx]
+		st.Camera = append(st.Camera, op)
+	case name == "Render", name == "Interact", name == "Delete",
+		name == "UpdateScalarBars", name == "HideScalarBarIfNotNeeded",
+		name == "GetParaViewVersion", name == "GetLayout", name == "CreateLayout",
+		name == "GetActiveSource", name == "_DisableFirstRenderCameraReset":
+		// Known module functions with no plan effect.
+	default:
+		if c.schema.Functions != nil && c.schema.Functions[name] {
+			return
+		}
+		if pyBuiltins[name] {
+			return
+		}
+		c.diag(Diagnostic{
+			Kind: DiagUnknownFunction, Severity: SevWarning, Line: line,
+			Message: fmt.Sprintf("call to unknown function '%s'", name),
+		})
+	}
+}
+
+// construct compiles a pipeline constructor call into a stage.
+func (c *compiler) construct(class string, cls *Class, call *pypy.Call, targets []string, line int) {
+	kind := StageFilter
+	if cls.Kind == "source" {
+		kind = StageSource
+	}
+	st := &Stage{Kind: kind, Class: class, Line: line}
+	if len(targets) > 0 {
+		st.ID = targets[0]
+	} else {
+		st.ID = fmt.Sprintf("%s%d", strings.ToLower(class), len(c.plan.Stages)+1)
+	}
+
+	input := -1
+	for i, kw := range call.KwNames {
+		val := call.KwValues[i]
+		switch kw {
+		case "registrationName":
+			continue
+		case "Input":
+			if n, ok := val.(*pypy.Name); ok {
+				if up, ok := c.vars[n.ID]; ok && c.plan.Stages[up].IsPipeline() {
+					input = up
+					continue
+				}
+			}
+			c.diag(Diagnostic{
+				Kind: DiagBadInput, Severity: SevWarning, Stage: st.ID,
+				Class: class, Line: line,
+				Message: fmt.Sprintf("%s Input is not a known pipeline proxy", class),
+			})
+			continue
+		}
+		if helperClass, isHelper := helperDefaults[class][kw]; isHelper {
+			if sl, ok := val.(*pypy.StrLit); ok {
+				_ = helperClass
+				st.SetProp(kw, HelperV(sl.Value), line)
+				continue
+			}
+		}
+		if v, ok := exprValue(val); ok {
+			st.SetProp(kw, v, line)
+		}
+	}
+	// Positional input (Contour(reader)).
+	if input < 0 && len(call.Args) > 0 {
+		if n, ok := call.Args[0].(*pypy.Name); ok {
+			if up, ok := c.vars[n.ID]; ok && c.plan.Stages[up].IsPipeline() {
+				input = up
+			}
+		}
+	}
+	// paraview.simple uses the active source as the implicit input.
+	if input < 0 && kind == StageFilter && c.active >= 0 {
+		input = c.active
+	}
+	if input >= 0 {
+		st.Inputs = []int{input}
+	}
+	// The engine attaches helper proxies implicitly at construction.
+	for prop, helperClass := range helperDefaults[class] {
+		if _, ok := st.Props[prop]; !ok {
+			st.SetProp(prop, HelperV(helperClass), 0)
+		}
+	}
+
+	idx := c.plan.Add(st)
+	c.active = idx
+	c.bind(targets, idx)
+}
+
+// openDataFile compiles OpenDataFile by resolving the reader class from
+// the file extension, exactly as the engine does.
+func (c *compiler) openDataFile(call *pypy.Call, targets []string, line int) {
+	if len(call.Args) == 0 {
+		return
+	}
+	sl, ok := call.Args[0].(*pypy.StrLit)
+	if !ok {
+		return
+	}
+	name := sl.Value
+	var st *Stage
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".vtk":
+		st = &Stage{Kind: StageSource, Class: "LegacyVTKReader", Line: line}
+		st.SetProp("FileNames", ListV(StrV(name)), line)
+	case ".ex2", ".e", ".exo":
+		st = &Stage{Kind: StageSource, Class: "ExodusIIReader", Line: line}
+		st.SetProp("FileName", StrV(name), line)
+	default:
+		c.diag(Diagnostic{
+			Kind: DiagBadInput, Severity: SevError, Line: line,
+			Message: fmt.Sprintf("OpenDataFile: unsupported file type '%s'", name),
+		})
+		return
+	}
+	if len(targets) > 0 {
+		st.ID = targets[0]
+	} else {
+		st.ID = "reader"
+	}
+	idx := c.plan.Add(st)
+	c.active = idx
+	c.bind(targets, idx)
+}
+
+func (c *compiler) newView(line int) int {
+	st := &Stage{Kind: StageView, Class: ViewClass, Line: line}
+	st.ID = fmt.Sprintf("renderView%d", c.countKind(StageView)+1)
+	idx := c.plan.Add(st)
+	c.activeView = idx
+	return idx
+}
+
+func (c *compiler) countKind(kind string) int {
+	n := 0
+	for _, st := range c.plan.Stages {
+		if st.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *compiler) ensureView(line int) int {
+	if c.activeView >= 0 {
+		return c.activeView
+	}
+	return c.newView(line)
+}
+
+// show compiles Show(src[, view[, rep]]) into a display stage.
+func (c *compiler) show(call *pypy.Call, targets []string, line int) {
+	src := c.active
+	if len(call.Args) > 0 {
+		src = -1
+		if n, ok := call.Args[0].(*pypy.Name); ok {
+			if idx, ok := c.vars[n.ID]; ok {
+				if c.plan.Stages[idx].IsPipeline() {
+					src = idx
+				} else {
+					c.diag(Diagnostic{
+						Kind: DiagTypeMismatch, Severity: SevError, Line: line,
+						Class:   c.plan.Stages[idx].Class,
+						Message: fmt.Sprintf("Show() argument 1 must be a pipeline proxy, not '%s'", c.plan.Stages[idx].Class),
+					})
+				}
+			}
+		}
+	}
+	if src < 0 {
+		return
+	}
+	st := &Stage{Kind: StageDisplay, Class: DisplayClass, Line: line}
+	st.ID = c.plan.Stages[src].ID + "Display"
+	st.Inputs = []int{src}
+	viewResolved := false
+	if len(call.Args) > 1 {
+		switch a := call.Args[1].(type) {
+		case *pypy.Name:
+			if idx, ok := c.vars[a.ID]; ok && c.plan.Stages[idx].Kind == StageView {
+				st.Inputs = append(st.Inputs, idx)
+				viewResolved = true
+			}
+		case *pypy.StrLit:
+			st.SetProp(PropViewName, StrV(a.Value), line)
+			viewResolved = true // resolved to a (broken) reference
+		}
+	}
+	if !viewResolved {
+		st.Inputs = append(st.Inputs, c.ensureView(line))
+	}
+	if len(call.Args) > 2 {
+		if sl, ok := call.Args[2].(*pypy.StrLit); ok {
+			st.SetProp(PropRepresentation, StrV(sl.Value), line)
+		}
+	}
+	idx := c.plan.Add(st)
+	c.bind(targets, idx)
+}
+
+// colorBy compiles ColorBy(display, value). Calling it on a pipeline
+// proxy — the unassisted-GPT-4 slice-contour failure — is diagnosed with
+// the exact attribute the engine's duck-typed check would raise on.
+func (c *compiler) colorBy(call *pypy.Call, line int) {
+	if len(call.Args) == 0 {
+		return
+	}
+	n, ok := call.Args[0].(*pypy.Name)
+	if !ok {
+		return
+	}
+	idx, bound := c.vars[n.ID]
+	if !bound {
+		return
+	}
+	st := c.plan.Stages[idx]
+	if st.Kind != StageDisplay {
+		c.diag(Diagnostic{
+			Kind: DiagUnknownProperty, Severity: SevError, Stage: st.ID,
+			Class: st.Class, Property: "UseSeparateColorMap", Line: line,
+			Message: fmt.Sprintf("ColorBy() argument 1 is the %s pipeline proxy, not its representation: '%s' object has no attribute 'UseSeparateColorMap'", st.Class, st.Class),
+		})
+		return
+	}
+	var val Value
+	if len(call.Args) > 1 {
+		if v, ok := exprValue(call.Args[1]); ok {
+			val = v
+		}
+	}
+	switch val.Kind {
+	case KindNone:
+		st.SetProp(PropColorArray, ListV(StrV("POINTS"), NoneV()), line)
+	case KindStr:
+		st.SetProp(PropColorArray, AssocV("POINTS", val.Str), line)
+	case KindList:
+		st.SetProp(PropColorArray, val, line)
+	}
+}
+
+// screenshot compiles SaveScreenshot into a screenshot stage.
+func (c *compiler) screenshot(call *pypy.Call, line int) {
+	st := &Stage{Kind: StageScreenshot, Class: ScreenshotClass, Line: line}
+	st.ID = fmt.Sprintf("screenshot%d", c.countKind(StageScreenshot)+1)
+	if len(call.Args) > 0 {
+		if sl, ok := call.Args[0].(*pypy.StrLit); ok {
+			st.SetProp(PropFilename, StrV(sl.Value), line)
+		}
+	}
+	viewResolved := false
+	if len(call.Args) > 1 {
+		switch a := call.Args[1].(type) {
+		case *pypy.Name:
+			if idx, ok := c.vars[a.ID]; ok && c.plan.Stages[idx].Kind == StageView {
+				st.Inputs = []int{idx}
+				viewResolved = true
+			}
+		case *pypy.StrLit:
+			st.SetProp(PropViewName, StrV(a.Value), line)
+			viewResolved = true
+		}
+	}
+	if !viewResolved {
+		st.Inputs = []int{c.ensureView(line)}
+	}
+	for i, kw := range call.KwNames {
+		if v, ok := exprValue(call.KwValues[i]); ok {
+			st.SetProp(kw, v, line)
+		}
+	}
+	c.plan.Add(st)
+}
+
+// methodCall compiles obj.Method(...) calls.
+func (c *compiler) methodCall(f *pypy.Attribute, call *pypy.Call, targets []string, line int) {
+	base, ok := f.Value.(*pypy.Name)
+	if !ok {
+		// Chained attribute receivers (paraview.simple._X()) are module
+		// plumbing; ignore.
+		return
+	}
+	if idx, bound := c.vars[base.ID]; bound {
+		c.stageMethod(c.plan.Stages[idx], f.Attr, call, targets, line)
+		return
+	}
+	if clsName, known := c.varClass[base.ID]; known {
+		if cls := c.schema.Class(clsName); cls != nil && !cls.HasMember(f.Attr) {
+			c.diag(Diagnostic{
+				Kind: DiagUnknownMethod, Severity: SevError,
+				Class: clsName, Property: f.Attr, Line: line,
+				Message: fmt.Sprintf("'%s' object has no attribute '%s'", clsName, f.Attr),
+			})
+		}
+	}
+	// Unknown receivers (imported modules, loop variables) are ignored.
+}
+
+func (c *compiler) stageMethod(st *Stage, name string, call *pypy.Call, targets []string, line int) {
+	cls := c.schema.Class(st.Class)
+	switch st.Kind {
+	case StageView:
+		if viewCameraOps[name] {
+			st.Camera = append(st.Camera, name)
+			return
+		}
+		if name == "GetActiveCamera" {
+			c.bindClass(targets, "Camera")
+			return
+		}
+	case StageDisplay:
+		switch name {
+		case "SetRepresentationType":
+			if len(call.Args) > 0 {
+				if sl, ok := call.Args[0].(*pypy.StrLit); ok {
+					st.SetProp(PropRepresentation, StrV(sl.Value), line)
+				}
+			}
+			return
+		case PropRescaleTF:
+			st.SetProp(PropRescaleTF, BoolV(true), line)
+			return
+		}
+	}
+	if cls != nil && !cls.HasMember(name) {
+		c.diag(Diagnostic{
+			Kind: DiagUnknownMethod, Severity: SevError, Stage: st.ID,
+			Class: st.Class, Property: name, Line: line,
+			Message: fmt.Sprintf("'%s' object has no attribute '%s'", st.Class, name),
+		})
+	}
+}
+
+// setAttr compiles obj.Attr = value and obj.Helper.Attr = value.
+func (c *compiler) setAttr(attr *pypy.Attribute, valueExpr pypy.Expr, line int) {
+	// Unwind the attribute chain down to the base name.
+	var chain []string
+	cur := pypy.Expr(attr)
+	for {
+		at, ok := cur.(*pypy.Attribute)
+		if !ok {
+			break
+		}
+		chain = append([]string{at.Attr}, chain...)
+		cur = at.Value
+	}
+	base, ok := cur.(*pypy.Name)
+	if !ok || len(chain) == 0 {
+		return
+	}
+	idx, bound := c.vars[base.ID]
+	if !bound {
+		if clsName, known := c.varClass[base.ID]; known {
+			// Validate-only variable: member check without plan capture.
+			if cls := c.schema.Class(clsName); cls != nil && !cls.HasMember(chain[0]) {
+				c.diag(Diagnostic{
+					Kind: DiagUnknownProperty, Severity: SevError,
+					Class: clsName, Property: chain[0], Line: line,
+					Message: fmt.Sprintf("'%s' object has no attribute '%s'", clsName, chain[0]),
+				})
+			}
+		}
+		return
+	}
+	st := c.plan.Stages[idx]
+	val, isLit := exprValue(valueExpr)
+
+	switch len(chain) {
+	case 1:
+		if !isLit {
+			return
+		}
+		st.SetProp(chain[0], val, line)
+	case 2:
+		hv, ok := st.Props[chain[0]]
+		if !ok || hv.Kind != KindHelper {
+			// Assigning through a non-helper property: record the member
+			// check via validation by attaching a synthetic helper only
+			// when the class declares a helper there.
+			if helperClass, isHelper := helperDefaults[st.Class][chain[0]]; isHelper {
+				hv = HelperV(helperClass)
+			} else {
+				return
+			}
+		}
+		if !isLit {
+			return
+		}
+		hv = hv.WithObj(chain[1], val)
+		st.SetProp(chain[0], hv, 0)
+		if st.PropLines == nil {
+			st.PropLines = map[string]int{}
+		}
+		st.PropLines[chain[0]+"."+chain[1]] = line
+	}
+}

@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// stageKey renders the canonical, order-independent content encoding of
+// one stage (excluding its inputs): kind, class, sorted properties and
+// the camera-operation sequence. IDs are deliberately excluded so
+// renamed-but-equal stages hash identically.
+func (st *Stage) stageKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%s;c=%s;", st.Kind, st.Class)
+	names := make([]string, 0, len(st.Props))
+	for name := range st.Props {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteString(name + "=")
+		st.Props[name].writeKey(&b)
+		b.WriteString(";")
+	}
+	if len(st.Camera) > 0 {
+		b.WriteString("cam=" + strings.Join(st.Camera, ",") + ";")
+	}
+	return b.String()
+}
+
+// StageHashes returns the canonical subtree hash of every stage: a
+// sha256 over the stage's own content plus the subtree hashes of its
+// inputs, in input order. Two stages with equal subtree hashes denote
+// the same computation — the invariant incremental execution and the
+// PR-3 dataset-cache keys both rely on.
+func (p *Plan) StageHashes() []string {
+	hashes := make([]string, len(p.Stages))
+	var rec func(i int) string
+	rec = func(i int) string {
+		if hashes[i] != "" {
+			return hashes[i]
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "%s|in:", p.Stages[i].stageKey())
+		for _, in := range p.Stages[i].Inputs {
+			if in >= 0 && in < len(p.Stages) {
+				fmt.Fprintf(h, "{%s}", rec(in))
+			}
+		}
+		hashes[i] = hex.EncodeToString(h.Sum(nil))
+		return hashes[i]
+	}
+	for i := range p.Stages {
+		rec(i)
+	}
+	return hashes
+}
+
+// Hash returns the canonical content hash of the whole plan. It is
+// computed over the multiset of stage subtree hashes, so any two plans
+// that normalize identically share a hash regardless of stage order.
+func (p *Plan) Hash() string {
+	hashes := p.StageHashes()
+	sorted := append([]string(nil), hashes...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	fmt.Fprintf(h, "plan-v%d;", p.Version)
+	for _, s := range sorted {
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ChangedStages compares two plans by subtree hash and returns the IDs
+// of the stages in next that have no hash-equal counterpart in prev —
+// the set an incremental executor must recompute after a repair
+// iteration.
+func ChangedStages(prev, next *Plan) []string {
+	seen := map[string]int{}
+	if prev != nil {
+		for _, h := range prev.StageHashes() {
+			seen[h]++
+		}
+	}
+	var changed []string
+	hashes := next.StageHashes()
+	for i, st := range next.Stages {
+		if seen[hashes[i]] > 0 {
+			seen[hashes[i]]--
+			continue
+		}
+		changed = append(changed, st.ID)
+	}
+	return changed
+}

@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Score is the plan-graph similarity result: how closely one pipeline
+// DAG matches another, scored over typed structure instead of script
+// text — the evaluation the paper's §V proposes, lifted from heuristic
+// fact strings onto the IR.
+type Score struct {
+	// StageF1 compares the multiset of stage classes.
+	StageF1 float64
+	// EdgeF1 compares dataflow and attachment edges.
+	EdgeF1 float64
+	// PropF1 compares typed property assignments (and camera operations).
+	PropF1 float64
+	// Overall is the weighted combination used for ranking.
+	Overall float64
+}
+
+// String renders the score compactly.
+func (s Score) String() string {
+	return fmt.Sprintf("stage=%.2f edge=%.2f prop=%.2f overall=%.2f",
+		s.StageF1, s.EdgeF1, s.PropF1, s.Overall)
+}
+
+// Similarity scores got against want. Compare normalized plans: the
+// score then reflects semantic differences only, not construction order
+// or variable naming.
+func Similarity(got, want *Plan) Score {
+	var s Score
+	s.StageF1 = multisetF1(stageClasses(got), stageClasses(want))
+	s.EdgeF1 = multisetF1(edges(got), edges(want))
+	s.PropF1 = multisetF1(propFacts(got), propFacts(want))
+	s.Overall = 0.4*s.StageF1 + 0.25*s.EdgeF1 + 0.35*s.PropF1
+	return s
+}
+
+func stageClasses(p *Plan) []string {
+	out := make([]string, 0, len(p.Stages))
+	for _, st := range p.Stages {
+		out = append(out, st.Class)
+	}
+	return out
+}
+
+// edges lists dataflow edges plus display/screenshot attachments.
+func edges(p *Plan) []string {
+	var out []string
+	for _, st := range p.Stages {
+		for _, in := range st.Inputs {
+			up := p.Stage(in)
+			if up == nil {
+				continue
+			}
+			out = append(out, up.Class+"->"+st.Class)
+		}
+	}
+	return out
+}
+
+// propFacts renders every property (and camera op) as "Class.Prop=key".
+func propFacts(p *Plan) []string {
+	var out []string
+	for _, st := range p.Stages {
+		for name, v := range st.Props {
+			if v.Kind == KindHelper {
+				for oname, ov := range v.Obj {
+					var b strings.Builder
+					ov.writeKey(&b)
+					out = append(out, st.Class+"."+name+"."+oname+"="+b.String())
+				}
+				continue
+			}
+			var b strings.Builder
+			v.writeKey(&b)
+			out = append(out, st.Class+"."+name+"="+b.String())
+		}
+		for _, op := range st.Camera {
+			out = append(out, st.Class+"."+op+"()")
+		}
+	}
+	return out
+}
+
+// multisetF1 computes the F1 overlap of two string multisets.
+func multisetF1(got, want []string) float64 {
+	if len(got) == 0 && len(want) == 0 {
+		return 1
+	}
+	if len(got) == 0 || len(want) == 0 {
+		return 0
+	}
+	count := map[string]int{}
+	for _, w := range want {
+		count[w]++
+	}
+	match := 0
+	for _, g := range got {
+		if count[g] > 0 {
+			count[g]--
+			match++
+		}
+	}
+	precision := float64(match) / float64(len(got))
+	recall := float64(match) / float64(len(want))
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,314 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ValueKind enumerates the typed property value shapes the IR admits.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindNone ValueKind = iota
+	KindStr
+	KindNum
+	KindBool
+	KindList
+	KindHelper
+)
+
+// Value is one typed property value of a pipeline stage. It is a closed
+// union: strings, numbers, booleans, None, lists, and helper objects
+// (the nested Plane / Point Cloud / TransformHelper property bags
+// ParaView attaches to SliceType-style properties).
+type Value struct {
+	Kind ValueKind
+	Str  string
+	// Num holds numeric values; IsInt records whether the literal was
+	// written without a fractional part. Equal ignores IsInt and
+	// canonicalization recomputes it, so 1 and 1.0 are the same value.
+	Num   float64
+	IsInt bool
+	Bool  bool
+	List  []Value
+	// Helper values carry a class name and their own property bag.
+	Class string
+	Obj   map[string]Value
+}
+
+// Constructors.
+
+// NoneV is the None value.
+func NoneV() Value { return Value{Kind: KindNone} }
+
+// StrV builds a string value.
+func StrV(s string) Value { return Value{Kind: KindStr, Str: s} }
+
+// NumV builds a float value.
+func NumV(f float64) Value { return Value{Kind: KindNum, Num: f} }
+
+// IntV builds an integral numeric value.
+func IntV(n int64) Value { return Value{Kind: KindNum, Num: float64(n), IsInt: true} }
+
+// BoolV builds a boolean value.
+func BoolV(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// ListV builds a list value.
+func ListV(items ...Value) Value { return Value{Kind: KindList, List: items} }
+
+// NumsV builds a numeric list.
+func NumsV(vals ...float64) Value {
+	items := make([]Value, len(vals))
+	for i, v := range vals {
+		items[i] = NumV(v)
+	}
+	return Value{Kind: KindList, List: items}
+}
+
+// AssocV builds ParaView's ('ASSOCIATION', 'array') pair.
+func AssocV(assoc, array string) Value { return ListV(StrV(assoc), StrV(array)) }
+
+// HelperV builds a helper object value of the given class.
+func HelperV(class string) Value {
+	return Value{Kind: KindHelper, Class: class, Obj: map[string]Value{}}
+}
+
+// WithObj sets one helper property and returns the value (builder style).
+func (v Value) WithObj(name string, pv Value) Value {
+	if v.Obj == nil {
+		v.Obj = map[string]Value{}
+	}
+	v.Obj[name] = pv
+	return v
+}
+
+// Equal reports semantic equality: numbers compare numerically (1 == 1.0),
+// lists element-wise, helpers by class and property bag.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNone:
+		return true
+	case KindStr:
+		return v.Str == w.Str
+	case KindNum:
+		return v.Num == w.Num
+	case KindBool:
+		return v.Bool == w.Bool
+	case KindList:
+		if len(v.List) != len(w.List) {
+			return false
+		}
+		for i := range v.List {
+			if !v.List[i].Equal(w.List[i]) {
+				return false
+			}
+		}
+		return true
+	case KindHelper:
+		if v.Class != w.Class || len(v.Obj) != len(w.Obj) {
+			return false
+		}
+		for k, pv := range v.Obj {
+			wv, ok := w.Obj[k]
+			if !ok || !pv.Equal(wv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// canonical returns a copy with IsInt recomputed everywhere, so a value
+// parsed from "1.0" and one parsed from "1" serialize identically.
+func (v Value) canonical() Value {
+	switch v.Kind {
+	case KindNum:
+		v.IsInt = v.Num == math.Trunc(v.Num) && math.Abs(v.Num) < 1e15
+	case KindList:
+		items := make([]Value, len(v.List))
+		for i, it := range v.List {
+			items[i] = it.canonical()
+		}
+		v.List = items
+	case KindHelper:
+		obj := make(map[string]Value, len(v.Obj))
+		for k, pv := range v.Obj {
+			obj[k] = pv.canonical()
+		}
+		v.Obj = obj
+	}
+	return v
+}
+
+// writeKey appends a stable content encoding used for subtree hashing.
+func (v Value) writeKey(b *strings.Builder) {
+	switch v.Kind {
+	case KindNone:
+		b.WriteString("N")
+	case KindStr:
+		fmt.Fprintf(b, "s%q", v.Str)
+	case KindNum:
+		if v.Num == math.Trunc(v.Num) && math.Abs(v.Num) < 1e15 {
+			fmt.Fprintf(b, "i%d", int64(v.Num))
+		} else {
+			fmt.Fprintf(b, "f%x", math.Float64bits(v.Num))
+		}
+	case KindBool:
+		fmt.Fprintf(b, "b%v", v.Bool)
+	case KindList:
+		b.WriteString("[")
+		for _, it := range v.List {
+			it.writeKey(b)
+			b.WriteString(",")
+		}
+		b.WriteString("]")
+	case KindHelper:
+		fmt.Fprintf(b, "H%s{", v.Class)
+		names := make([]string, 0, len(v.Obj))
+		for k := range v.Obj {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			b.WriteString(k + "=")
+			v.Obj[k].writeKey(b)
+			b.WriteString(";")
+		}
+		b.WriteString("}")
+	}
+}
+
+// PyLit renders the value as a Python literal for script emission.
+// Helper values have no literal form; they render as their class name
+// (the constructor-kwarg spelling).
+func (v Value) PyLit() string {
+	switch v.Kind {
+	case KindNone:
+		return "None"
+	case KindStr:
+		return "'" + strings.ReplaceAll(v.Str, "'", "\\'") + "'"
+	case KindNum:
+		if v.IsInt && v.Num == math.Trunc(v.Num) {
+			return fmt.Sprintf("%d", int64(v.Num))
+		}
+		return fmt.Sprintf("%g", v.Num)
+	case KindBool:
+		if v.Bool {
+			return "True"
+		}
+		return "False"
+	case KindList:
+		parts := make([]string, len(v.List))
+		for i, it := range v.List {
+			parts[i] = it.PyLit()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case KindHelper:
+		return "'" + v.Class + "'"
+	}
+	return "None"
+}
+
+// MarshalJSON encodes the value as native JSON: null, string, number,
+// bool, array, or — for helpers — {"$class": ..., "props": {...}}.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.Kind {
+	case KindNone:
+		return []byte("null"), nil
+	case KindStr:
+		return json.Marshal(v.Str)
+	case KindNum:
+		if v.IsInt && v.Num == math.Trunc(v.Num) && math.Abs(v.Num) < 1e15 {
+			return json.Marshal(int64(v.Num))
+		}
+		return json.Marshal(v.Num)
+	case KindBool:
+		return json.Marshal(v.Bool)
+	case KindList:
+		if v.List == nil {
+			return []byte("[]"), nil
+		}
+		return json.Marshal(v.List)
+	case KindHelper:
+		obj := struct {
+			Class string           `json:"$class"`
+			Props map[string]Value `json:"props,omitempty"`
+		}{Class: v.Class}
+		if len(v.Obj) > 0 {
+			obj.Props = v.Obj
+		}
+		return json.Marshal(obj)
+	}
+	return nil, fmt.Errorf("plan: unknown value kind %d", v.Kind)
+}
+
+// UnmarshalJSON decodes the native JSON encoding produced by MarshalJSON.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw interface{}
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	val, err := valueFromAny(raw)
+	if err != nil {
+		return err
+	}
+	*v = val
+	return nil
+}
+
+func valueFromAny(raw interface{}) (Value, error) {
+	switch t := raw.(type) {
+	case nil:
+		return NoneV(), nil
+	case string:
+		return StrV(t), nil
+	case bool:
+		return BoolV(t), nil
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return Value{}, err
+		}
+		v := NumV(f)
+		v.IsInt = !strings.ContainsAny(t.String(), ".eE")
+		return v, nil
+	case []interface{}:
+		items := make([]Value, len(t))
+		for i, it := range t {
+			iv, err := valueFromAny(it)
+			if err != nil {
+				return Value{}, err
+			}
+			items[i] = iv
+		}
+		return Value{Kind: KindList, List: items}, nil
+	case map[string]interface{}:
+		class, _ := t["$class"].(string)
+		if class == "" {
+			return Value{}, fmt.Errorf("plan: object value without $class")
+		}
+		h := HelperV(class)
+		if props, ok := t["props"].(map[string]interface{}); ok {
+			for k, pv := range props {
+				iv, err := valueFromAny(pv)
+				if err != nil {
+					return Value{}, err
+				}
+				h.Obj[k] = iv
+			}
+		}
+		return h, nil
+	}
+	return Value{}, fmt.Errorf("plan: unsupported JSON value %T", raw)
+}

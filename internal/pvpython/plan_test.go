@@ -1,0 +1,95 @@
+package pvpython
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"chatvis/internal/datagen"
+	"chatvis/internal/plan"
+	"chatvis/internal/vtkio"
+)
+
+func planTestRunner(t *testing.T) *Runner {
+	t.Helper()
+	dataDir := t.TempDir()
+	if err := vtkio.SaveLegacyVTK(filepath.Join(dataDir, "ml-100.vtk"),
+		datagen.MarschnerLobb(16), "ml"); err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{DataDir: dataDir, OutDir: t.TempDir()}
+}
+
+const planRunnerScript = `from paraview.simple import *
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+contour1 = Contour(registrationName='C1', Input=reader)
+contour1.Isosurfaces = [0.5]
+renderView1 = GetActiveViewOrCreate('RenderView')
+renderView1.ViewSize = [120, 80]
+d = Show(contour1, renderView1)
+renderView1.ResetCamera()
+SaveScreenshot('shot.png', renderView1, ImageResolution=[120, 80])
+`
+
+// TestExecAttachesCompiledPlan: every execution carries the normalized
+// plan of what ran, plus its diagnostics.
+func TestExecAttachesCompiledPlan(t *testing.T) {
+	r := planTestRunner(t)
+	res := r.Exec(planRunnerScript)
+	if !res.OK() {
+		t.Fatalf("script failed:\n%s", res.Output)
+	}
+	if res.Plan == nil {
+		t.Fatal("result has no plan")
+	}
+	if res.PlanHash() == "" {
+		t.Error("plan hash empty")
+	}
+	if res.Plan.FindClass("Contour") < 0 {
+		t.Error("plan missing Contour stage")
+	}
+	// Unparsable scripts simply carry no plan.
+	bad := r.Exec("x = (1 +\n")
+	if bad.OK() || bad.Plan != nil || bad.PlanHash() != "" {
+		t.Errorf("unparsable script: ok=%v plan=%v", bad.OK(), bad.Plan)
+	}
+	// Scripts with hallucinated properties carry the diagnostics.
+	halluc := r.Exec(planRunnerScript + "contour1.ContourMethod = 'fast'\n")
+	if halluc.OK() {
+		t.Error("hallucinated property should fail execution")
+	}
+	if !plan.HasErrors(halluc.PlanDiags) {
+		t.Errorf("expected plan diagnostics, got %v", halluc.PlanDiags)
+	}
+}
+
+// TestRunnerExecPlanParity: executing the compiled plan through the
+// runner produces the same screenshot as interpreting the script.
+func TestRunnerExecPlanParity(t *testing.T) {
+	r := planTestRunner(t)
+	scriptRes := r.Exec(planRunnerScript)
+	if !scriptRes.OK() || len(scriptRes.Screenshots) != 1 {
+		t.Fatalf("script run: ok=%v shots=%d", scriptRes.OK(), len(scriptRes.Screenshots))
+	}
+	compiled, err := r.CompilePlan(planRunnerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planRes := r.ExecPlan(context.Background(), compiled.Plan)
+	if !planRes.OK() {
+		t.Fatalf("plan run failed: %v", planRes.Err)
+	}
+	if len(planRes.Screenshots) != 1 {
+		t.Fatalf("plan run wrote %d screenshots", len(planRes.Screenshots))
+	}
+	a := scriptRes.Engine.Rendered[scriptRes.Screenshots[0]]
+	b := planRes.Engine.Rendered[planRes.Screenshots[0]]
+	if a.Bounds() != b.Bounds() {
+		t.Fatalf("bounds differ: %v vs %v", a.Bounds(), b.Bounds())
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("images differ at byte %d", i)
+		}
+	}
+}

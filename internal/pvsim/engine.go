@@ -66,6 +66,12 @@ type Engine struct {
 	firstRenderResetDisabled bool
 	renderedOnce             map[*Proxy]bool
 
+	// planProxies memoizes the proxies ExecPlan builds, keyed by the
+	// stage's canonical subtree hash plus reader-file identity, so a
+	// repair iteration re-executing an edited plan rebuilds (and
+	// recomputes) only the stages whose key changed.
+	planProxies map[string]*Proxy
+
 	schemas map[string]*classSchema
 }
 

@@ -1,0 +1,160 @@
+package pvsim
+
+import (
+	"strings"
+	"sync"
+
+	"chatvis/internal/plan"
+	"chatvis/internal/pypy"
+)
+
+// The plan IR validates against a schema derived from this engine's own
+// classSchema registry — the same declarations that execute scripts —
+// so static validation can never drift from runtime behaviour.
+
+var (
+	planSchemaOnce sync.Once
+	planSchemaVal  *plan.Schema
+)
+
+// propTypeOverrides refines property types that cannot be inferred from
+// an empty-list default.
+var propTypeOverrides = map[string]plan.PropType{
+	"Contour.Isosurfaces":      plan.TypeNumList,
+	"PVLookupTable.RGBPoints":  plan.TypeNumList,
+	"PiecewiseFunction.Points": plan.TypeNumList,
+}
+
+// PlanSchema returns the plan-IR schema of the simulated paraview.simple
+// surface: every proxy class with typed properties (types inferred from
+// the engine defaults), its methods, and the module-level function set.
+// The schema is immutable and cached process-wide.
+func PlanSchema() *plan.Schema {
+	planSchemaOnce.Do(func() {
+		planSchemaVal = NewEngine("", "").buildPlanSchema()
+	})
+	return planSchemaVal
+}
+
+func (e *Engine) buildPlanSchema() *plan.Schema {
+	s := &plan.Schema{
+		Classes:   map[string]*plan.Class{},
+		Functions: map[string]bool{},
+	}
+	for name, cs := range e.schemas {
+		pc := &plan.Class{
+			Name:    name,
+			Kind:    kindName(cs.kind),
+			Props:   map[string]plan.Prop{},
+			Methods: map[string]bool{},
+		}
+		for pname, spec := range cs.props {
+			var def *plan.Value
+			if spec.Default != nil {
+				if v, ok := pyToPlanValue(spec.Default()); ok {
+					def = &v
+				}
+			}
+			ptype := plan.InferType(def)
+			if o, ok := propTypeOverrides[name+"."+pname]; ok {
+				ptype = o
+			}
+			pc.Props[pname] = plan.Prop{Type: ptype, Default: def}
+		}
+		for mname := range cs.methods {
+			pc.Methods[mname] = true
+		}
+		s.Classes[name] = pc
+	}
+	mod := e.BuildSimpleModule()
+	for name, v := range mod.Attrs {
+		if _, ok := v.(*pypy.NativeFunc); ok && !strings.HasPrefix(name, "_") {
+			s.Functions[name] = true
+		}
+	}
+	return s
+}
+
+// pyToPlanValue converts an interpreter value to a plan value.
+func pyToPlanValue(v pypy.Value) (plan.Value, bool) {
+	switch t := v.(type) {
+	case nil, pypy.NoneValue:
+		return plan.NoneV(), true
+	case pypy.Str:
+		return plan.StrV(string(t)), true
+	case pypy.Int:
+		return plan.IntV(int64(t)), true
+	case pypy.Float:
+		return plan.NumV(float64(t)), true
+	case pypy.Bool:
+		return plan.BoolV(bool(t)), true
+	case *pypy.List:
+		return pySeqToPlan(t.Items)
+	case *pypy.Tuple:
+		return pySeqToPlan(t.Items)
+	case *Proxy:
+		h := plan.HelperV(t.Class.name)
+		for name, pv := range t.Props {
+			if cv, ok := pyToPlanValue(pv); ok {
+				h.Obj[name] = cv
+			}
+		}
+		return h, true
+	}
+	return plan.Value{}, false
+}
+
+func pySeqToPlan(items []pypy.Value) (plan.Value, bool) {
+	vals := make([]plan.Value, len(items))
+	for i, it := range items {
+		cv, ok := pyToPlanValue(it)
+		if !ok {
+			return plan.Value{}, false
+		}
+		vals[i] = cv
+	}
+	return plan.ListV(vals...), true
+}
+
+// planToPyValue converts a plan value to an interpreter value; helper
+// values become freshly constructed helper proxies.
+func (e *Engine) planToPyValue(v plan.Value) (pypy.Value, error) {
+	switch v.Kind {
+	case plan.KindNone:
+		return pypy.None, nil
+	case plan.KindStr:
+		return pypy.Str(v.Str), nil
+	case plan.KindNum:
+		if v.IsInt {
+			return pypy.Int(int64(v.Num)), nil
+		}
+		return pypy.Float(v.Num), nil
+	case plan.KindBool:
+		return pypy.Bool(v.Bool), nil
+	case plan.KindList:
+		items := make([]pypy.Value, len(v.List))
+		for i, it := range v.List {
+			pv, err := e.planToPyValue(it)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = pv
+		}
+		return &pypy.List{Items: items}, nil
+	case plan.KindHelper:
+		hs := e.schema(v.Class)
+		if hs == nil {
+			return nil, raiseRT("unknown helper class '%s'", v.Class)
+		}
+		hp := e.newProxy(hs)
+		for name, pv := range v.Obj {
+			cv, err := e.planToPyValue(pv)
+			if err != nil {
+				return nil, err
+			}
+			hp.Props[name] = cv
+		}
+		return hp, nil
+	}
+	return nil, raiseRT("unsupported plan value kind %d", v.Kind)
+}

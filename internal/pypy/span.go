@@ -1,0 +1,127 @@
+package pypy
+
+// Statement source spans. Error reports locate a failing *line*, but a
+// line may be the continuation of a multi-line call — deleting it alone
+// leaves dangling syntax. StatementSpan maps a line back to the whole
+// statement that contains it, so statement-aware repair can remove (or
+// rewrite) complete statements.
+
+// StatementSpan returns the [start, end] 1-based line range of the
+// innermost statement containing the given line. ok is false when no
+// statement covers the line (blank lines, comments, out of range).
+func StatementSpan(mod *Module, line int) (start, end int, ok bool) {
+	return spanIn(mod.Body, line)
+}
+
+func spanIn(body []Stmt, line int) (int, int, bool) {
+	for _, st := range body {
+		s, e := st.Line(), maxNodeLine(st)
+		if line < s || line > e {
+			continue
+		}
+		// Prefer a narrower nested statement when the hit is inside a
+		// compound statement's body.
+		switch t := st.(type) {
+		case *If:
+			if s2, e2, ok := spanIn(t.Body, line); ok {
+				return s2, e2, true
+			}
+			if s2, e2, ok := spanIn(t.Else, line); ok {
+				return s2, e2, true
+			}
+		case *For:
+			if s2, e2, ok := spanIn(t.Body, line); ok {
+				return s2, e2, true
+			}
+		case *While:
+			if s2, e2, ok := spanIn(t.Body, line); ok {
+				return s2, e2, true
+			}
+		case *FuncDef:
+			if s2, e2, ok := spanIn(t.Body, line); ok {
+				return s2, e2, true
+			}
+		}
+		return s, e, true
+	}
+	return 0, 0, false
+}
+
+// maxNodeLine computes the largest source line spanned by a node,
+// descending into every child expression — the statement's true end
+// line even when calls wrap across lines.
+func maxNodeLine(n Node) int {
+	if n == nil {
+		return 0
+	}
+	max := n.Line()
+	bump := func(children ...Node) {
+		for _, c := range children {
+			if c == nil {
+				continue
+			}
+			if l := maxNodeLine(c); l > max {
+				max = l
+			}
+		}
+	}
+	bumpExprs := func(es []Expr) {
+		for _, e := range es {
+			bump(e)
+		}
+	}
+	bumpStmts := func(ss []Stmt) {
+		for _, s := range ss {
+			bump(s)
+		}
+	}
+	switch t := n.(type) {
+	case *ExprStmt:
+		bump(t.X)
+	case *Assign:
+		bumpExprs(t.Targets)
+		bump(t.Value)
+	case *AugAssign:
+		bump(t.Target, t.Value)
+	case *If:
+		bump(t.Cond)
+		bumpStmts(t.Body)
+		bumpStmts(t.Else)
+	case *For:
+		bump(t.Target, t.Iter)
+		bumpStmts(t.Body)
+	case *While:
+		bump(t.Cond)
+		bumpStmts(t.Body)
+	case *FuncDef:
+		bumpExprs(t.Defaults)
+		bumpStmts(t.Body)
+	case *Return:
+		bump(t.Value)
+	case *ListLit:
+		bumpExprs(t.Elts)
+	case *TupleLit:
+		bumpExprs(t.Elts)
+	case *DictLit:
+		bumpExprs(t.Keys)
+		bumpExprs(t.Values)
+	case *Attribute:
+		bump(t.Value)
+	case *Subscript:
+		bump(t.Value, t.Index)
+	case *Call:
+		bump(t.Func)
+		bumpExprs(t.Args)
+		bumpExprs(t.KwValues)
+	case *BinOp:
+		bump(t.L, t.R)
+	case *UnaryOp:
+		bump(t.X)
+	case *Compare:
+		bump(t.First)
+		bumpExprs(t.Rest)
+	case *BoolOp:
+		bumpExprs(t.Values)
+	}
+	return max
+}

@@ -1,0 +1,84 @@
+package scriptcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGuessClassFalsePositives: names merely *containing* "view" or
+// "display" must not be classified — the old substring match turned
+// `preview` into a RenderView and `inside_out_display1` into a Display,
+// polluting fact sets with phantom property assignments.
+func TestGuessClassFalsePositives(t *testing.T) {
+	for _, name := range []string{
+		"preview", "overview", "inside_out_display1", "displayed_count",
+		"viewport_helper", "my_preview2",
+	} {
+		if got := guessClass(name); got != "" {
+			t.Errorf("guessClass(%q) = %q, want \"\"", name, got)
+		}
+	}
+	for name, want := range map[string]string{
+		"renderView1":  "RenderView",
+		"renderview2":  "RenderView",
+		"view":         "RenderView",
+		"View3":        "RenderView",
+		"display1":     "Display",
+		"tubeDisplay":  "Display",
+		"clip1Display": "Display",
+	} {
+		if got := guessClass(name); got != want {
+			t.Errorf("guessClass(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestExtractIgnoresMisleadingNames: a script using look-alike variable
+// names yields no phantom RenderView/Display facts.
+func TestExtractIgnoresMisleadingNames(t *testing.T) {
+	src := `from paraview.simple import *
+preview = 5
+preview.Opacity = 0.5
+inside_out_display1 = make_thing()
+inside_out_display1.Foo = [1, 2]
+`
+	f, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(f.Props, "\n")
+	if strings.Contains(joined, "RenderView") || strings.Contains(joined, "Display") {
+		t.Errorf("phantom class facts from misleading names:\n%s", joined)
+	}
+}
+
+// TestExtractPrefersPlanClasses: variables bound through real dataflow
+// resolve via the compiled plan, even in arg-kind rendering of calls the
+// walk alone cannot type.
+func TestExtractPrefersPlanClasses(t *testing.T) {
+	src := `from paraview.simple import *
+reader = OpenDataFile('ml-100.vtk')
+contour1 = Contour(reader)
+contour1.Isosurfaces = [0.5]
+renderView1 = GetActiveViewOrCreate('RenderView')
+d = Show(contour1, renderView1)
+`
+	f, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The positional Input edge is resolved through the plan DAG.
+	found := false
+	for _, e := range f.Pipeline {
+		if e == "LegacyVTKReader->Contour" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("positional-input pipeline edge missing: %v", f.Pipeline)
+	}
+	calls := strings.Join(f.Calls, "\n")
+	if !strings.Contains(calls, "Show(Contour)") {
+		t.Errorf("Show target class unresolved:\n%s", calls)
+	}
+}

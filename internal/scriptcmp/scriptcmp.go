@@ -16,9 +16,12 @@ package scriptcmp
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
 	"strings"
 
+	"chatvis/internal/plan"
+	"chatvis/internal/pvsim"
 	"chatvis/internal/pypy"
 )
 
@@ -42,25 +45,62 @@ type Facts struct {
 
 // Extract parses a script and collects its facts. A syntactically
 // invalid script returns an error (it scores zero against anything).
+//
+// Fact extraction is based on the compiled plan where possible: the
+// plan compiler's variable→class resolution is authoritative (it tracks
+// constructors, Show results and view creation through real dataflow),
+// and pipeline edges come from the plan DAG — which also catches
+// positional Input arguments the old keyword-only scan missed. The AST
+// walk below still provides the ordered fact stream.
 func Extract(script string) (*Facts, error) {
 	mod, err := pypy.Parse("script.py", script)
 	if err != nil {
 		return nil, fmt.Errorf("scriptcmp: %w", err)
 	}
 	x := &extractor{
-		facts:    &Facts{},
-		varClass: map[string]string{},
+		facts:     &Facts{},
+		varClass:  map[string]string{},
+		planClass: map[string]string{},
+	}
+	compiled := plan.CompileModule(mod, pvsim.PlanSchema())
+	for v, cls := range compiled.VarClass {
+		x.planClass[v] = factClass(cls)
 	}
 	for _, st := range mod.Body {
 		x.stmt(st)
 	}
+	x.facts.Pipeline = compiled.Plan.PipelineEdges()
 	return x.facts, nil
+}
+
+// factClass maps engine class names to the fact vocabulary.
+func factClass(cls string) string {
+	if cls == plan.DisplayClass {
+		return "Display"
+	}
+	return cls
 }
 
 type extractor struct {
 	facts *Facts
-	// varClass maps script variables to the proxy class they hold.
+	// varClass maps script variables to the proxy class they hold, as
+	// tracked by the AST walk in statement order.
 	varClass map[string]string
+	// planClass is the plan compiler's authoritative resolution, used
+	// when the walk has no binding of its own.
+	planClass map[string]string
+}
+
+// classOf resolves a variable to its class: walk-tracked first, then
+// plan-derived, then (strict) name-pattern guessing.
+func (x *extractor) classOf(varName string) string {
+	if cls, ok := x.varClass[varName]; ok {
+		return cls
+	}
+	if cls, ok := x.planClass[varName]; ok {
+		return cls
+	}
+	return guessClass(varName)
 }
 
 // constructorNames are the pipeline object constructors we track.
@@ -155,24 +195,31 @@ func (x *extractor) attrPath(a *pypy.Attribute) string {
 	if !ok {
 		return ""
 	}
-	cls, ok := x.varClass[base.ID]
-	if !ok {
-		cls = guessClass(base.ID)
-	}
+	cls := x.classOf(base.ID)
 	if cls == "" {
 		return ""
 	}
 	return cls + "." + strings.Join(parts, ".")
 }
 
-// guessClass recognizes conventional variable names when the constructor
-// was not seen (e.g. scripts using GetActiveViewOrCreate results).
+// Strict conventional-name patterns, used only when neither the AST walk
+// nor the compiled plan resolved the variable. A name must *be* a
+// view/display name — "renderView1", "view", "display2", "tubeDisplay" —
+// not merely contain the substring: "preview" and "inside_out_display1"
+// hold arbitrary values and must not be classified.
+var (
+	guessViewRe    = regexp.MustCompile(`^(?:render)?[Vv]iew\d*$`)
+	guessDisplayRe = regexp.MustCompile(`^(?:[A-Za-z][A-Za-z0-9]*Display\d*|display\d*|representation\d*)$`)
+)
+
+// guessClass recognizes conventional variable names when the binding was
+// not seen (e.g. fragments referencing GetActiveViewOrCreate results
+// from elided code).
 func guessClass(varName string) string {
-	lower := strings.ToLower(varName)
 	switch {
-	case strings.Contains(lower, "renderview") || strings.Contains(lower, "view"):
+	case guessViewRe.MatchString(varName):
 		return "RenderView"
-	case strings.Contains(lower, "display") || strings.Contains(lower, "representation"):
+	case guessDisplayRe.MatchString(varName):
 		return "Display"
 	}
 	return ""
@@ -187,10 +234,7 @@ func (x *extractor) call(c *pypy.Call, assignedTo []string) {
 	case *pypy.Attribute:
 		// Method call obj.Method(...).
 		if base, ok := f.Value.(*pypy.Name); ok {
-			recvClass = x.varClass[base.ID]
-			if recvClass == "" {
-				recvClass = guessClass(base.ID)
-			}
+			recvClass = x.classOf(base.ID)
 		} else if attr, ok := f.Value.(*pypy.Attribute); ok {
 			recvClass = x.attrPath(attr)
 		}
@@ -206,16 +250,12 @@ func (x *extractor) call(c *pypy.Call, assignedTo []string) {
 		for _, v := range assignedTo {
 			x.varClass[v] = name
 		}
+		// Pipeline edges come from the compiled plan DAG (Extract), which
+		// also resolves positional Input arguments; only property facts
+		// are collected here.
 		for i, kw := range c.KwNames {
 			switch kw {
-			case "registrationName":
-				continue
-			case "Input":
-				if in, ok := c.KwValues[i].(*pypy.Name); ok {
-					if upCls, ok := x.varClass[in.ID]; ok {
-						x.facts.Pipeline = append(x.facts.Pipeline, upCls+"->"+name)
-					}
-				}
+			case "registrationName", "Input":
 				continue
 			}
 			x.addProp(name + "." + kw + "=" + renderValue(c.KwValues[i]))
@@ -232,7 +272,7 @@ func (x *extractor) call(c *pypy.Call, assignedTo []string) {
 		shown := ""
 		if len(c.Args) > 0 {
 			if n, ok := c.Args[0].(*pypy.Name); ok {
-				shown = x.varClass[n.ID]
+				shown = x.classOf(n.ID)
 			}
 		}
 		x.addCall("Show(" + shown + ")")
@@ -260,11 +300,8 @@ func (x *extractor) call(c *pypy.Call, assignedTo []string) {
 // literals by value.
 func renderArgKind(e pypy.Expr, x *extractor) string {
 	if n, ok := e.(*pypy.Name); ok {
-		if cls, ok := x.varClass[n.ID]; ok {
+		if cls := x.classOf(n.ID); cls != "" {
 			return cls
-		}
-		if g := guessClass(n.ID); g != "" {
-			return g
 		}
 		return "?"
 	}

@@ -21,12 +21,16 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"chatvis/internal/chatvis"
+	"chatvis/internal/llm"
+	"chatvis/internal/plan"
+	"chatvis/internal/pvsim"
 )
 
 // JobRequest is one script-generation request, the POST /v1/jobs body.
@@ -74,14 +78,45 @@ func (r JobRequest) Validate() error {
 	return nil
 }
 
-// keyVersion tags the hash layout; bump it whenever a field is added so
-// old stored results cannot be served for a key with different meaning.
-const keyVersion = "chatvis-job-v1"
+// keyVersion tags the hash layout; bump it whenever a field is added or
+// its derivation changes so old stored results cannot be served for a
+// key with different meaning. v2: the prompt field coalesces on the
+// normalized intended-plan hash instead of raw prompt text.
+const keyVersion = "chatvis-job-v2"
+
+// promptKeyField derives the coalescing identity of a prompt: the
+// canonical hash of the intended plan parsed from it, so two textually
+// different requests that mean the same pipeline — reworded steps,
+// reordered sentences, different whitespace — share one execution. The
+// derivation is safe because the whole pipeline is deterministic in the
+// parsed spec: identical specs produce identical artifacts for a given
+// model and options. The canonical spec encoding is appended alongside
+// the plan hash because the intended plan deliberately abstracts a few
+// spec details the ungrounded writers still react to (e.g. the
+// streamline vector array, which grounded generation leaves to engine
+// auto-detection) — two specs must never coalesce unless *every* field
+// agrees. Prompts the intent parser extracts no operations from fall
+// back to their raw text.
+func promptKeyField(prompt string) string {
+	spec := llm.ParseIntent(prompt)
+	if len(spec.Ops) == 0 {
+		return "prompt:" + prompt
+	}
+	p := plan.Normalize(llm.WritePlan(spec), pvsim.PlanSchema())
+	if len(p.Stages) == 0 {
+		return "prompt:" + prompt
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return "prompt:" + prompt
+	}
+	return "plan:" + p.Hash() + "|spec:" + string(specJSON)
+}
 
 // Key returns the request's content address: a SHA-256 over every
 // pipeline input, with each field length-framed so that no two distinct
-// (prompt, model, options, resolution) tuples can collide by field
-// concatenation. Identical requests — and only identical requests —
+// (plan, model, options, resolution) tuples can collide by field
+// concatenation. Requests with the same *meaning* — and only those —
 // share a key, which is what the queue coalesces on and the store
 // indexes by.
 func Key(r JobRequest) string {
@@ -94,7 +129,7 @@ func Key(r JobRequest) string {
 		h.Write([]byte(s))
 	}
 	writeField(keyVersion)
-	writeField(r.Prompt)
+	writeField(promptKeyField(r.Prompt))
 	writeField(r.Model)
 	writeField(fmt.Sprintf("%dx%d", r.Width, r.Height))
 	writeField(fmt.Sprintf("iter=%d fewshot=%d rewrite=%t unassisted=%t",
@@ -293,6 +328,13 @@ type Result struct {
 	ScreenshotHashes []string `json:"screenshot_hashes,omitempty"`
 	// ArtifactHash addresses the full serialized chatvis.Artifact.
 	ArtifactHash string `json:"artifact_hash"`
+	// PlanHash is the canonical hash of the final script's normalized
+	// plan ("" when the script did not compile to one).
+	PlanHash string `json:"plan_hash,omitempty"`
+	// Plan is the normalized plan JSON itself, inlined so
+	// GET /v1/jobs/{id} serves the typed pipeline DAG alongside the
+	// artifact hashes.
+	Plan json.RawMessage `json:"plan,omitempty"`
 	// Trace is the per-stage session record (durations, usage, cache
 	// provenance), inlined for GET /v1/jobs/{id}.
 	Trace chatvis.Trace `json:"trace"`

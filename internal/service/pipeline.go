@@ -96,10 +96,14 @@ func NewChatVisPipeline(cfg PipelineConfig) PipelineFunc {
 		if req.Unassisted {
 			return chatvis.Unassisted(ctx, model, runner, req.Prompt)
 		}
+		// Serving is plan-aware: candidate scripts are schema-validated
+		// and repaired from structured diagnostics before the first
+		// engine run, saving exec+repair rounds under load.
 		assistant, err := chatvis.NewAssistant(model, runner,
 			chatvis.WithMaxIterations(req.MaxIterations),
 			chatvis.WithFewShot(req.FewShot),
-			chatvis.WithRewrite(!req.NoRewrite))
+			chatvis.WithRewrite(!req.NoRewrite),
+			chatvis.WithPlanValidation(true))
 		if err != nil {
 			return nil, err
 		}

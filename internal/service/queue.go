@@ -370,8 +370,14 @@ func (q *Queue) storeArtifact(job *Job, art *chatvis.Artifact) (*Result, error) 
 		ScriptHash:       scriptHash,
 		ScreenshotHashes: shots,
 		ArtifactHash:     artHash,
+		PlanHash:         art.PlanHash(),
 		Trace:            art.Trace,
 		CreatedAt:        time.Now(),
+	}
+	if art.Plan != nil {
+		if blob, err := art.Plan.Encode(); err == nil {
+			res.Plan = blob
+		}
 	}
 	if err := q.store.PutResult(res); err != nil {
 		return nil, err

@@ -581,8 +581,8 @@ func TestHTTPScenariosHealthMetrics(t *testing.T) {
 	if code := getJSON(t, srv.URL+"/v1/scenarios?width=640&height=360", &scns); code != http.StatusOK {
 		t.Fatalf("GET scenarios = %d", code)
 	}
-	if len(scns.Scenarios) != 10 {
-		t.Fatalf("scenarios = %d, want 10", len(scns.Scenarios))
+	if len(scns.Scenarios) != 12 {
+		t.Fatalf("scenarios = %d, want 12", len(scns.Scenarios))
 	}
 	byID := map[string]scenarioView{}
 	for _, s := range scns.Scenarios {
