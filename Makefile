@@ -45,9 +45,10 @@ serve:
 
 # CI smoke: start the daemon wiring on a real listener, submit a job
 # against the stub LLM profile, poll it to completion, fetch artifacts
-# by hash, and drain the queue.
+# by hash, drive a two-turn session (create → edit → assert only the
+# changed stage re-executed), and drain the queue.
 smoke:
-	$(GO) test -run 'TestDaemonSmoke|TestDaemonConcurrentIdenticalSubmissions' -count=1 ./cmd/chatvisd
+	$(GO) test -run 'TestDaemonSmoke|TestDaemonConcurrentIdenticalSubmissions|TestDaemonSessionTwoTurns' -count=1 ./cmd/chatvisd
 
 # All paper-reproduction benchmarks (tables, figures, ablations).
 bench:

@@ -398,6 +398,46 @@ func BenchmarkSubstrate_ClipPolyData(b *testing.B) {
 	benchkernels.Substrate["Substrate_ClipPolyData"](b)
 }
 
+func BenchmarkSubstrate_SessionEditTurn(b *testing.B) {
+	benchkernels.Substrate["Substrate_SessionEditTurn"](b)
+}
+
+// --- Conversational-session benchmark ---------------------------------------
+
+// BenchmarkSessionIncremental quantifies what the session API buys: the
+// cost of a follow-up edit turn on a warm session (PlanDelta + plan
+// validation + incremental ExecPlan of ONE changed stage) vs paying for
+// a cold one-shot run of the equivalent request (prompt rewrite, script
+// generation, full pipeline execution). The speedup is the amortized
+// win every conversational refinement gets.
+func BenchmarkSessionIncremental(b *testing.B) {
+	b.Run("edit-turn-incremental", func(b *testing.B) {
+		benchkernels.Substrate["Substrate_SessionEditTurn"](b)
+	})
+	b.Run("cold-full-run", func(b *testing.B) {
+		runner := benchkernels.SessionBenchRunner(b)
+		model, err := llm.NewModel("oracle")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			assistant, err := chatvis.NewAssistant(model, runner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prompt := benchkernels.SessionEditBenchPrompt(fmt.Sprintf("0.%d", 1+(i%2)))
+			art, err := assistant.Run(context.Background(), prompt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !art.Success {
+				b.Fatal("cold run failed")
+			}
+		}
+	})
+}
+
 // --- Serving-layer benchmark -------------------------------------------------
 
 // BenchmarkServiceThroughput measures the chatvisd serving path through

@@ -1,16 +1,28 @@
-// Command chatvis runs the iterative assistant on a natural-language
-// visualization request, producing a ParaView Python script and a
-// screenshot. Ctrl-C cancels the session cleanly mid-loop.
+// Command chatvis runs the conversational assistant on natural-language
+// visualization requests, producing ParaView Python scripts and
+// screenshots. Ctrl-C cancels the session cleanly mid-loop.
 //
-// Usage:
+// One-shot:
 //
 //	chatvis -prompt "Read in the file named ml-100.vtk. ..." \
 //	        -data ./data -out ./out -model gpt-4 -max-iter 5
 //
-// Generate the input datasets first with `datagen -dir ./data`.
+// Interactive (multi-turn REPL; every later line edits the pipeline the
+// first request built, re-executing only the stages it changes):
+//
+//	chatvis -interactive -data ./data -out ./out
+//	chatvis> Read in the file named ml-100.vtk. Generate an isosurface ...
+//	chatvis> Raise the isovalue to 0.7.
+//	chatvis> Color the result by the var0 data array.
+//
+// -interactive composes with every other flag; -prompt then seeds the
+// first turn. Both modes (and -unassisted) drive the same session API
+// chatvisd serves. Generate the input datasets first with
+// `datagen -dir ./data`.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -27,22 +39,23 @@ import (
 
 func main() {
 	var (
-		prompt    = flag.String("prompt", "", "natural-language visualization request (required)")
-		dataDir   = flag.String("data", "data", "directory containing input datasets")
-		outDir    = flag.String("out", "out", "directory for screenshots and artifacts")
-		modelName = flag.String("model", "gpt-4", "LLM to use: "+strings.Join(llm.ModelNames(), ", "))
-		maxIter   = flag.Int("max-iter", 5, "maximum error-correction iterations")
-		fewShot   = flag.Int("few-shot", 0, "number of example snippets (0 = all, negative = none)")
-		noRewrite = flag.Bool("no-rewrite", false, "skip the prompt-generation stage")
-		unassist  = flag.Bool("unassisted", false, "run the bare model without the assistant (comparison mode)")
-		retries   = flag.Int("retries", 1, "LLM call attempts (middleware retry budget)")
-		noCache   = flag.Bool("no-cache", false, "disable the LLM response cache")
-		trace     = flag.Bool("trace", false, "print the per-stage session trace")
-		verbose   = flag.Bool("v", false, "print per-iteration transcripts")
+		prompt      = flag.String("prompt", "", "natural-language visualization request (required unless -interactive)")
+		dataDir     = flag.String("data", "data", "directory containing input datasets")
+		outDir      = flag.String("out", "out", "directory for screenshots and artifacts")
+		modelName   = flag.String("model", "gpt-4", "LLM to use: "+strings.Join(llm.ModelNames(), ", "))
+		maxIter     = flag.Int("max-iter", 5, "maximum error-correction iterations")
+		fewShot     = flag.Int("few-shot", 0, "number of example snippets (0 = all, negative = none)")
+		noRewrite   = flag.Bool("no-rewrite", false, "skip the prompt-generation stage")
+		unassist    = flag.Bool("unassisted", false, "run the bare model without the assistant (comparison mode)")
+		retries     = flag.Int("retries", 1, "LLM call attempts (middleware retry budget)")
+		noCache     = flag.Bool("no-cache", false, "disable the LLM response cache")
+		trace       = flag.Bool("trace", false, "print the per-stage session trace")
+		verbose     = flag.Bool("v", false, "print per-iteration transcripts")
+		interactive = flag.Bool("interactive", false, "multi-turn REPL: later lines edit the current pipeline")
 	)
 	flag.Parse()
-	if *prompt == "" {
-		fmt.Fprintln(os.Stderr, "chatvis: -prompt is required")
+	if *prompt == "" && !*interactive {
+		fmt.Fprintln(os.Stderr, "chatvis: -prompt is required (or use -interactive)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,25 +83,89 @@ func main() {
 	model := llm.Chain(base, mws...)
 	runner := &pvpython.Runner{DataDir: *dataDir, OutDir: *outDir}
 
-	var art *chatvis.Artifact
-	if *unassist {
-		art, err = chatvis.Unassisted(ctx, model, runner, *prompt)
-	} else {
-		var assistant *chatvis.Assistant
-		assistant, err = chatvis.NewAssistant(model, runner,
-			chatvis.WithMaxIterations(*maxIter),
-			chatvis.WithFewShot(*fewShot),
-			chatvis.WithRewrite(!*noRewrite))
-		if err == nil {
-			art, err = assistant.Run(ctx, *prompt)
-		}
-	}
+	// Both the one-shot and interactive paths drive the session API —
+	// the same surface chatvisd serves. One-shot runs skip the engine
+	// seeding (no later turn to make incremental).
+	sess, err := chatvis.NewSession(model, runner,
+		chatvis.WithMaxIterations(*maxIter),
+		chatvis.WithFewShot(*fewShot),
+		chatvis.WithRewrite(!*noRewrite),
+		chatvis.WithUnassisted(*unassist),
+		chatvis.WithIncremental(*interactive))
 	if err != nil {
 		fatal(err)
 	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
 
-	if *verbose {
-		fmt.Printf("=== generated prompt ===\n%s\n", art.GeneratedPrompt)
+	runTurn := func(text string) (*chatvis.Turn, error) {
+		turn, err := sess.Turn(ctx, text)
+		if err != nil {
+			return nil, err
+		}
+		return turn, reportTurn(turn, *outDir, *verbose, *trace, &metrics)
+	}
+
+	if !*interactive {
+		turn, err := runTurn(*prompt)
+		if err != nil {
+			fatal(err)
+		}
+		if !turn.Artifact.Success {
+			os.Exit(1)
+		}
+		return
+	}
+
+	// REPL mode: each line is one turn. A -prompt flag seeds turn 1.
+	if *prompt != "" {
+		if _, err := runTurn(*prompt); err != nil {
+			fatal(err)
+		}
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		fmt.Print("chatvis> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch line {
+		case "":
+			continue
+		case "exit", "quit":
+			return
+		case "plan":
+			if p := sess.CurrentPlan(); p != nil {
+				fmt.Print(p.Script())
+			} else {
+				fmt.Println("(no plan yet — start with a full request)")
+			}
+			continue
+		}
+		if _, err := runTurn(line); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "chatvis:", err)
+		}
+	}
+}
+
+// reportTurn prints a turn's outcome and writes the final script. A
+// failed script write is returned (one-shot mode must exit non-zero for
+// it; the REPL reports and continues).
+func reportTurn(turn *chatvis.Turn, outDir string, verbose, trace bool, metrics *llm.Metrics) error {
+	art := turn.Artifact
+	if verbose {
+		if art.GeneratedPrompt != art.UserPrompt {
+			fmt.Printf("=== generated prompt ===\n%s\n", art.GeneratedPrompt)
+		}
 		for i, it := range art.Iterations {
 			fmt.Printf("=== iteration %d script ===\n%s\n", i+1, it.Script)
 			if it.Output != "" {
@@ -96,38 +173,44 @@ func main() {
 			}
 		}
 	}
-	if *trace {
+	if trace {
 		fmt.Printf("=== session trace ===\n%s", art.Trace.Format())
 		s := metrics.Snapshot()
 		fmt.Printf("client metrics: %d calls, %d errors, %d cache hits, %v total latency\n",
 			s.Calls, s.Errors, s.CacheHits, s.TotalLatency)
 	}
 
-	scriptPath := filepath.Join(*outDir, "generated_script.py")
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
-	}
+	scriptPath := filepath.Join(outDir, "generated_script.py")
 	if err := os.WriteFile(scriptPath, []byte(art.FinalScript), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
 
 	if art.Success {
-		fmt.Printf("success after %d iteration(s) in %v (%d tokens)\n",
-			art.NumIterations(), art.Trace.TotalDuration().Round(1e6),
+		fmt.Printf("turn %d: success after %d iteration(s) in %v (%d tokens)\n",
+			turn.Index, art.NumIterations(), art.Trace.TotalDuration().Round(1e6),
 			art.Trace.TotalUsage().TotalTokens())
-		fmt.Printf("script: %s\n", scriptPath)
-		for _, s := range art.Screenshots {
-			fmt.Printf("screenshot: %s\n", s)
+		if turn.ParentPlanHash != "" {
+			fmt.Printf("  delta: %s (%d stage(s) changed, %d re-executed)\n",
+				turn.DeltaSummary, len(turn.ChangedStages), turn.ExecutionsDelta)
 		}
-		return
+		fmt.Printf("  script: %s\n", scriptPath)
+		for _, s := range art.Screenshots {
+			fmt.Printf("  screenshot: %s\n", s)
+		}
+		return nil
 	}
-	fmt.Printf("failed after %d iteration(s); last errors:\n", art.NumIterations())
-	last := art.Iterations[len(art.Iterations)-1]
-	for _, e := range last.Errors {
-		fmt.Printf("  %s: %s\n", e.Kind, e.Message)
+	fmt.Printf("turn %d: failed after %d iteration(s)", turn.Index, art.NumIterations())
+	if len(art.Iterations) > 0 {
+		last := art.Iterations[len(art.Iterations)-1]
+		fmt.Println("; last errors:")
+		for _, e := range last.Errors {
+			fmt.Printf("  %s: %s\n", e.Kind, e.Message)
+		}
+	} else {
+		fmt.Println()
 	}
-	fmt.Printf("script: %s\n", scriptPath)
-	os.Exit(1)
+	fmt.Printf("  script: %s\n", scriptPath)
+	return nil
 }
 
 func fatal(err error) {

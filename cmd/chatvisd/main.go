@@ -14,10 +14,13 @@
 // pipeline DAG); -dataset-cache-mb bounds the process-wide content-hash
 // dataset cache shared across jobs. All three surface in /metrics.
 //
-// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/artifacts/{hash},
-// GET /v1/scenarios, GET /healthz, GET /metrics. See the README for curl
-// examples. SIGINT/SIGTERM drain in-flight jobs before exiting; a second
-// signal exits immediately.
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, POST /v1/sessions,
+// POST /v1/sessions/{id}/turns, GET /v1/sessions/{id},
+// GET /v1/sessions/{id}/events (SSE), GET /v1/artifacts/{hash},
+// GET /v1/scenarios, GET /healthz, GET /metrics. See the README and
+// docs/sessions.md for curl examples. Sessions are persisted in the
+// artifact store and survive restarts. SIGINT/SIGTERM drain in-flight
+// jobs and turns before exiting; a second signal exits immediately.
 package main
 
 import (
@@ -58,9 +61,10 @@ type daemonConfig struct {
 	datasetCacheMB int
 }
 
-// buildDaemon wires store → pipeline → queue → server, shared by main
-// and the smoke test.
-func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metrics, error) {
+// buildDaemon wires store → pipeline/sessions → queue → server, shared
+// by main and the smoke test. Persisted sessions are restored from the
+// store so conversations survive restarts.
+func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *service.Sessions, *llm.Metrics, error) {
 	if cfg.storeDir == "" {
 		cfg.storeDir = filepath.Join(cfg.outDir, "store")
 	}
@@ -71,14 +75,14 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metric
 	}
 	store, err := service.NewStore(cfg.storeDir)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	metrics := &llm.Metrics{}
 	size := eval.DataSmall
 	if cfg.full {
 		size = eval.DataFull
 	}
-	pipeline := service.NewChatVisPipeline(service.PipelineConfig{
+	pipeCfg := service.PipelineConfig{
 		DataDir:      cfg.dataDir,
 		OutDir:       filepath.Join(cfg.outDir, "jobs"),
 		DataSize:     size,
@@ -86,7 +90,10 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metric
 		Metrics:      metrics,
 		DisableCache: cfg.noCache,
 		DatasetCache: dsCache,
-	})
+	}
+	// One backend for both surfaces: jobs and session turns share the
+	// per-model LLM response caches.
+	pipeline, factory := service.NewServingBackend(pipeCfg)
 	queue, err := service.NewQueue(service.QueueOptions{
 		Workers:  cfg.workers,
 		Capacity: cfg.queueCap,
@@ -94,10 +101,14 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *llm.Metric
 		Store:    store,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	server := service.NewServer(queue, store, metrics).WithDatasetCache(dsCache)
-	return queue, server, metrics, nil
+	sessions := service.NewSessions(store, factory)
+	sessions.Restore()
+	server := service.NewServer(queue, store, metrics).
+		WithDatasetCache(dsCache).
+		WithSessions(sessions)
+	return queue, server, sessions, metrics, nil
 }
 
 func main() {
@@ -129,7 +140,7 @@ func main() {
 		stop()
 	}()
 
-	queue, server, _, err := buildDaemon(daemonConfig{
+	queue, server, sessions, _, err := buildDaemon(daemonConfig{
 		dataDir:        *dataDir,
 		outDir:         *outDir,
 		storeDir:       *storeDir,
@@ -165,8 +176,16 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("chatvisd: http shutdown: %v", err)
 	}
+	drainErr := false
 	if err := queue.Shutdown(shutdownCtx); err != nil {
 		log.Printf("chatvisd: queue drain incomplete: %v", err)
+		drainErr = true
+	}
+	if err := sessions.Shutdown(shutdownCtx); err != nil {
+		log.Printf("chatvisd: session drain incomplete: %v", err)
+		drainErr = true
+	}
+	if drainErr {
 		os.Exit(1)
 	}
 	fmt.Println("chatvisd: drained cleanly")

@@ -20,7 +20,7 @@ import (
 // against the stub "oracle" LLM profile, polls it to completion, fetches
 // the script and screenshot artifacts by hash, and drains the queue.
 func TestDaemonSmoke(t *testing.T) {
-	queue, server, _, err := buildDaemon(daemonConfig{
+	queue, server, _, _, err := buildDaemon(daemonConfig{
 		dataDir: t.TempDir(),
 		outDir:  t.TempDir(),
 		workers: 2,
@@ -189,7 +189,7 @@ func TestDaemonSmoke(t *testing.T) {
 // criterion end-to-end: N identical concurrent POSTs against the stub
 // profile yield exactly one pipeline execution.
 func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
-	queue, server, _, err := buildDaemon(daemonConfig{
+	queue, server, _, _, err := buildDaemon(daemonConfig{
 		dataDir: t.TempDir(),
 		outDir:  t.TempDir(),
 		workers: 4,
@@ -277,12 +277,152 @@ func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
 	}
 }
 
+// TestDaemonSessionTwoTurns is the session smoke step (`make smoke`): it
+// drives a two-turn conversation against a live daemon — create a
+// session, build an isosurface, then edit one value — and asserts the
+// second turn re-executed only the changed stage (and its downstream
+// subtree), which is the whole point of the session API.
+func TestDaemonSessionTwoTurns(t *testing.T) {
+	queue, server, sessions, _, err := buildDaemon(daemonConfig{
+		dataDir: t.TempDir(),
+		outDir:  t.TempDir(),
+		workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Create a session bound to the stub profile.
+	code, body := post("/v1/sessions", `{"model":"oracle","width":320,"height":180}`)
+	var created service.SessionView
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusCreated || created.ID == "" {
+		t.Fatalf("POST /v1/sessions = %d %s", code, body)
+	}
+
+	pollTurn := func(turnID string) service.TurnView {
+		t.Helper()
+		var tv service.TurnView
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("turn %s stuck in %s", turnID, tv.Status)
+			}
+			resp, err := http.Get(srv.URL + "/v1/sessions/" + created.ID + "/turns/" + turnID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&tv)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tv.Status.Terminal() {
+				return tv
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Turn 1: build.
+	turnBody, _ := json.Marshal(service.TurnRequest{
+		Prompt: "Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.5. Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 320 x 180 pixels.",
+	})
+	code, body = post("/v1/sessions/"+created.ID+"/turns", string(turnBody))
+	var t1 struct {
+		service.TurnView
+		Submission string `json:"submission"`
+	}
+	if err := json.Unmarshal(body, &t1); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusAccepted {
+		t.Fatalf("POST turn 1 = %d %s", code, body)
+	}
+	v1 := pollTurn(t1.ID)
+	if v1.Status != service.StatusSucceeded || !v1.Success {
+		t.Fatalf("turn 1 = %s (%s)", v1.Status, v1.Error)
+	}
+
+	// Turn 2: edit exactly one stage.
+	turnBody, _ = json.Marshal(service.TurnRequest{Prompt: "Raise the isovalue to 0.7."})
+	code, body = post("/v1/sessions/"+created.ID+"/turns", string(turnBody))
+	var t2 struct {
+		service.TurnView
+		Submission string `json:"submission"`
+	}
+	if err := json.Unmarshal(body, &t2); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusAccepted {
+		t.Fatalf("POST turn 2 = %d %s", code, body)
+	}
+	v2 := pollTurn(t2.ID)
+	if v2.Status != service.StatusSucceeded || !v2.Success {
+		t.Fatalf("turn 2 = %s (%s)", v2.Status, v2.Error)
+	}
+	if v2.ParentPlanHash != v1.PlanHash {
+		t.Errorf("turn 2 parent plan = %s, want %s", v2.ParentPlanHash, v1.PlanHash)
+	}
+	// THE assertion: only the edited stage (its downstream subtree holds
+	// no other pipeline stage) re-executed.
+	if v2.ExecutionsDelta != 1 {
+		t.Errorf("turn 2 executions delta = %d, want 1 (incremental re-exec)", v2.ExecutionsDelta)
+	}
+	if len(v2.ChangedStages) == 0 {
+		t.Error("turn 2 lists no changed stages")
+	}
+	if len(v2.ScreenshotHashes) == 0 {
+		t.Error("turn 2 stored no screenshot")
+	}
+
+	// Session metrics visible on /metrics.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"chatvis_sessions_active 1",
+		"chatvis_session_turns_total 2",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sessions.Shutdown(ctx); err != nil {
+		t.Fatalf("session drain: %v", err)
+	}
+	if err := queue.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
 // TestDaemonComputeFlagsAndDatasetCache covers the -compute-workers /
 // -dataset-cache-mb plumbing: the worker count lands in the par pool and
 // /metrics, and two different jobs over the same input dataset share the
 // content-hash dataset cache (the second job's reader is a cache hit).
 func TestDaemonComputeFlagsAndDatasetCache(t *testing.T) {
-	queue, server, _, err := buildDaemon(daemonConfig{
+	queue, server, _, _, err := buildDaemon(daemonConfig{
 		dataDir:        t.TempDir(),
 		outDir:         t.TempDir(),
 		workers:        2,

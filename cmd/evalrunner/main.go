@@ -39,6 +39,7 @@ func main() {
 		task    = flag.String("task", "", "run a single scenario: iso, slice, volume, delaunay, stream, clip, threshold, glyph")
 		table2  = flag.Bool("table2", false, "run only the Table II grid")
 		table1  = flag.Bool("table1", false, "run only the Table I script pair")
+		multi   = flag.Bool("multiturn", false, "run only the multi-turn conversation track")
 		workers = flag.Int("workers", 2*runtime.NumCPU(), "grid worker pool size")
 		serial  = flag.Bool("serial", false, "paper-style serial sweep (no worker pool, no shared ground truth)")
 		stats   = flag.Bool("stats", true, "print per-cell session traces (duration, LLM calls, tokens)")
@@ -115,6 +116,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(t1.Format())
+	case *multi:
+		mt, err := cfg.RunMultiTurn(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(mt.Format())
 	case *table2:
 		t2, err := runGrid()
 		if err != nil {
@@ -149,8 +156,14 @@ func main() {
 			figs = append(figs, fig)
 			fmt.Printf("  ChatVis vs GT: %s (match=%v)\n", fig.ChatVis, fig.ChatVisMatches)
 		}
+		fmt.Println("running multi-turn conversations...")
+		mt, err := cfg.RunMultiTurn(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(mt.Format())
 		report := filepath.Join(*outDir, "report.md")
-		if err := eval.WriteReport(report, t2, t1, figs); err != nil {
+		if err := eval.WriteReport(report, t2, t1, figs, mt); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("report written to %s\n", report)

@@ -1,0 +1,79 @@
+// Multi-turn: hold a conversation with ChatVis. The first turn builds a
+// pipeline from a full request; every later turn is an *edit* — the
+// model proposes a new plan from (current plan + utterance) and the
+// session's persistent engine re-executes only the stages the edit
+// changed.
+//
+//	go run ./examples/multi_turn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
+)
+
+func main() {
+	ctx := context.Background()
+	dataDir := "example_out/data"
+	outDir := "example_out/multi_turn"
+	if err := eval.EnsureData(dataDir, eval.DataSmall); err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := llm.NewModel("gpt-4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := chatvis.NewSession(model,
+		&pvpython.Runner{DataDir: dataDir, OutDir: outDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	turns := []string{
+		// Turn 1: a complete request — the classic ChatVis flow.
+		`Please generate a ParaView Python script for the following operations. ` +
+			`Read in the file named ml-100.vtk. Generate an isosurface of the ` +
+			`variable var0 at value 0.5. Save a screenshot of the result in the ` +
+			`filename ml-iso.png. The rendered view and saved screenshot should ` +
+			`be 640 x 360 pixels.`,
+		// Later turns: conversational refinements of the same pipeline.
+		`Raise the isovalue to 0.7.`,
+		`Color the result by the var0 data array.`,
+		`Clip the data with a y-z plane at x=0, keeping the -x half of the data.`,
+		`Remove the clip.`,
+	}
+
+	for _, prompt := range turns {
+		turn, err := sess.Turn(ctx, prompt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		art := turn.Artifact
+		fmt.Printf("turn %d: %q\n", turn.Index, prompt)
+		if !art.Success {
+			fmt.Println("  failed:", art.Iterations[len(art.Iterations)-1].Output)
+			continue
+		}
+		if turn.ParentPlanHash == "" {
+			fmt.Printf("  built the pipeline (%d stages) in %d iteration(s)\n",
+				len(art.Plan.Stages), art.NumIterations())
+		} else {
+			fmt.Printf("  delta: %s\n", turn.DeltaSummary)
+			fmt.Printf("  %d stage(s) changed, %d pipeline stage(s) re-executed\n",
+				len(turn.ChangedStages), turn.ExecutionsDelta)
+		}
+		for _, s := range art.Screenshots {
+			fmt.Println("  screenshot:", s)
+		}
+	}
+
+	fmt.Println("\nfinal pipeline:")
+	fmt.Print(sess.CurrentPlan().Script())
+}

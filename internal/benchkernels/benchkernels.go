@@ -6,12 +6,19 @@
 package benchkernels
 
 import (
+	"context"
+	"fmt"
+	"path/filepath"
 	"testing"
 
+	"chatvis/internal/chatvis"
 	"chatvis/internal/datagen"
 	"chatvis/internal/filters"
+	"chatvis/internal/llm"
+	"chatvis/internal/pvpython"
 	"chatvis/internal/render"
 	"chatvis/internal/vmath"
+	"chatvis/internal/vtkio"
 )
 
 // Order fixes the reporting order of the shared kernels.
@@ -21,6 +28,7 @@ var Order = []string{
 	"Substrate_SurfaceRender",
 	"Substrate_VolumeRayCast",
 	"Substrate_ClipPolyData",
+	"Substrate_SessionEditTurn",
 }
 
 // Substrate maps kernel name to benchmark body. Bodies do their setup
@@ -84,4 +92,70 @@ var Substrate = map[string]func(b *testing.B){
 			filters.ClipPolyData(surf, plane)
 		}
 	},
+	// Substrate_SessionEditTurn measures one conversational edit turn on
+	// a warm session: PlanDelta + validation + incremental ExecPlan. The
+	// pipeline is reader → contour (the expensive stage, on a 48³
+	// volume) → clip; the edit alternates the clip plane, so every turn
+	// genuinely recomputes one stage (never a no-op) while the session
+	// engine answers the isosurfacing upstream of it from its memo —
+	// the steady-state cost of "the user nudges a parameter".
+	"Substrate_SessionEditTurn": func(b *testing.B) {
+		sess := NewWarmSession(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			turn, err := sess.Turn(context.Background(),
+				fmt.Sprintf("Move the clip to x=0.%d.", 1+(i%2)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !turn.Artifact.Success {
+				b.Fatalf("edit turn failed: %s", turn.Artifact.Iterations[0].Output)
+			}
+		}
+	},
+}
+
+// SessionEditBenchPrompt renders the request the session benchmarks
+// build from (oracle model: the measured cost is the machinery, not the
+// model). The clip offset is the knob the edit turns nudge.
+func SessionEditBenchPrompt(clipX string) string {
+	return fmt.Sprintf("Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.5. Clip the data with a y-z plane at x=%s, keeping the -x half of the data and removing the +x half. Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 160 x 90 pixels.", clipX)
+}
+
+// SessionFirstPrompt is the turn-1 request of the session benchmarks.
+var SessionFirstPrompt = SessionEditBenchPrompt("0")
+
+// SessionBenchRunner writes the benchmark volume (48³, so the contour
+// stage genuinely costs something) and returns a runner over it, shared
+// by the session kernel and the root session benchmarks.
+func SessionBenchRunner(b *testing.B) *pvpython.Runner {
+	b.Helper()
+	dataDir := b.TempDir()
+	if err := vtkio.SaveLegacyVTK(filepath.Join(dataDir, "ml-100.vtk"),
+		datagen.MarschnerLobb(48), "ml"); err != nil {
+		b.Fatal(err)
+	}
+	return &pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()}
+}
+
+// NewWarmSession builds a session and runs its first turn so the
+// engine memo is primed; callers then measure edit turns.
+func NewWarmSession(b *testing.B) *chatvis.Session {
+	b.Helper()
+	model, err := llm.NewModel("oracle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := chatvis.NewSession(model, SessionBenchRunner(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	turn, err := sess.Turn(context.Background(), SessionFirstPrompt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !turn.Artifact.Success {
+		b.Fatalf("first turn failed:\n%s", turn.Artifact.Iterations[len(turn.Artifact.Iterations)-1].Output)
+	}
+	return sess
 }

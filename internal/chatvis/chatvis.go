@@ -22,7 +22,6 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"time"
 
 	"chatvis/internal/errext"
 	"chatvis/internal/llm"
@@ -60,6 +59,15 @@ type Artifact struct {
 	// it does not parse): the typed DAG the session produced, which
 	// chatvisd serves alongside the script text.
 	Plan *plan.Plan `json:"plan,omitempty"`
+	// TurnIndex is the 1-based conversational turn that produced this
+	// artifact (1 for one-shot runs).
+	TurnIndex int `json:"turn_index,omitempty"`
+	// ParentPlanHash is the canonical hash of the session plan this turn
+	// edited ("" for first turns).
+	ParentPlanHash string `json:"parent_plan_hash,omitempty"`
+	// DeltaSummary describes how this turn's plan differs from its
+	// parent ("added Slice; changed contour1").
+	DeltaSummary string `json:"delta_summary,omitempty"`
 	// Trace records every stage of the session (LLM calls and script
 	// executions) with durations, usage and cache provenance.
 	Trace Trace `json:"trace"`
@@ -121,170 +129,21 @@ The previously generated script failed to execute. Use the error messages
 extracted from the PvPython output to fix the code and return the full
 corrected script.`
 
-// complete performs one traced LLM call.
-func (a *Assistant) complete(ctx context.Context, trace *Trace, stage string, req llm.Request) (string, error) {
-	start := time.Now()
-	resp, err := a.model.Complete(ctx, req)
-	if err != nil {
-		return "", err
-	}
-	trace.addLLM(stage, resp, time.Since(start))
-	return resp.Text, nil
-}
-
-// exec performs one traced script execution. The trace records the
-// normalized plan hash of what ran, so per-stage provenance survives in
-// the artifact.
-func (a *Assistant) exec(ctx context.Context, trace *Trace, round int, script string) *pvpython.Result {
-	start := time.Now()
-	res := a.runner.ExecContext(ctx, script)
-	trace.add(StageTrace{
-		Stage:    fmt.Sprintf("%s-%d", StageExec, round),
-		Duration: time.Since(start),
-		PlanHash: res.PlanHash(),
-	})
-	return res
-}
-
-// planRepair is the pre-execution validation loop: compile the candidate
-// script to the plan IR, and when schema validation finds errors, hand
-// the structured diagnostics to the model for repair — before paying for
-// an engine run. Bounded to two rounds; a model that cannot make
-// progress (or a script that does not even parse) falls through to the
-// ordinary execute-and-repair loop.
-func (a *Assistant) planRepair(ctx context.Context, trace *Trace, script string) (string, error) {
-	for round := 1; round <= 2; round++ {
-		start := time.Now()
-		compiled, err := a.runner.CompilePlan(script)
-		if err != nil {
-			// Unparsable: the execution loop's SyntaxError path owns it.
-			return script, nil
-		}
-		diags := plan.Errors(compiled.Diags)
-		trace.add(StageTrace{
-			Stage:    fmt.Sprintf("%s-%d", StageValidate, round),
-			Duration: time.Since(start),
-			PlanHash: compiled.Plan.Hash(),
-		})
-		if len(diags) == 0 {
-			return script, nil
-		}
-		resp, err := a.complete(ctx, trace,
-			fmt.Sprintf("%s-%d", StagePlanRepair, round), llm.Request{
-				System: repairSystem,
-				User:   llm.BuildPlanRepairUser(script, diags),
-			})
-		if err != nil {
-			return "", fmt.Errorf("chatvis: plan repair: %w", err)
-		}
-		revised := CleanScript(resp)
-		if strings.TrimSpace(revised) == strings.TrimSpace(script) {
-			return script, nil
-		}
-		script = revised
-	}
-	return script, nil
-}
-
 // Run executes the full ChatVis flow for one user request. The context
 // cancels the session between stages and inside the model's calls.
+//
+// Run is a compatibility wrapper over the conversational session API: it
+// creates a fresh single-turn Session and returns the first turn's
+// artifact. Multi-turn callers use NewSession/Session.Turn directly.
 func (a *Assistant) Run(ctx context.Context, userPrompt string) (*Artifact, error) {
-	art := &Artifact{UserPrompt: userPrompt}
-
-	// Stage 1: prompt generation.
-	genPrompt := userPrompt
-	if a.opt.rewritePrompt {
-		resp, err := a.complete(ctx, &art.Trace, StageRewrite, llm.Request{
-			System: rewriteSystem + "\n\n" + ExamplePromptPair,
-			User:   userPrompt,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("chatvis: prompt generation: %w", err)
-		}
-		genPrompt = resp
-	}
-	art.GeneratedPrompt = genPrompt
-
-	// Stage 2: script generation with few-shot examples and/or API docs.
-	genSys := "You are an expert in ParaView Python scripting.\nGenerate a complete, runnable ParaView Python script for the user's request."
-	if block := a.exampleBlock(); block != "" {
-		genSys = fmt.Sprintf(generateSystem, block)
-	}
-	if a.opt.apiReference != "" {
-		genSys += "\n\nComplete API documentation:\n" + a.opt.apiReference
-	}
-	resp, err := a.complete(ctx, &art.Trace, StageGenerate, llm.Request{
-		System: genSys,
-		User:   genPrompt,
-	})
+	opt := a.opt
+	opt.noWarm = true // one-shot: no later turn to make incremental
+	s := &Session{model: a.model, runner: a.runner, opt: opt}
+	turn, err := s.Turn(ctx, userPrompt)
 	if err != nil {
-		return nil, fmt.Errorf("chatvis: script generation: %w", err)
+		return nil, err
 	}
-	script := CleanScript(resp)
-
-	// Stage 2.5 (plan-aware mode): validate the compiled plan and repair
-	// diagnostics before the first engine run.
-	if a.opt.planValidate {
-		script, err = a.planRepair(ctx, &art.Trace, script)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Stage 3: execute, extract errors, repair.
-	for iter := 0; iter < a.opt.maxIterations; iter++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("chatvis: correction loop: %w", err)
-		}
-		res := a.exec(ctx, &art.Trace, iter+1, script)
-		reports := errext.Extract(res.Output)
-		art.Iterations = append(art.Iterations, Iteration{
-			Script:   script,
-			Output:   res.Output,
-			Errors:   reports,
-			PlanHash: res.PlanHash(),
-		})
-		art.FinalScript = script
-		art.Plan = res.Plan
-		if res.OK() && len(reports) == 0 {
-			art.Success = true
-			art.Screenshots = res.Screenshots
-			return art, nil
-		}
-		resp, err := a.complete(ctx, &art.Trace,
-			fmt.Sprintf("%s-%d", StageRepair, iter+1), llm.Request{
-				System: repairSystem,
-				User:   llm.BuildRepairUser(script, errext.Summarize(reports)),
-			})
-		if err != nil {
-			return nil, fmt.Errorf("chatvis: script repair: %w", err)
-		}
-		revised := CleanScript(resp)
-		if strings.TrimSpace(revised) == strings.TrimSpace(script) {
-			// The model cannot make progress; stop early.
-			break
-		}
-		script = revised
-	}
-	return art, nil
-}
-
-// exampleBlock renders the (possibly truncated) example library. An empty
-// string means "no examples" (fewShot < 0).
-func (a *Assistant) exampleBlock() string {
-	if a.opt.fewShot < 0 {
-		return ""
-	}
-	examples := DefaultExamples()
-	if a.opt.fewShot > 0 && a.opt.fewShot < len(examples) {
-		examples = examples[:a.opt.fewShot]
-	}
-	var b strings.Builder
-	for _, ex := range examples {
-		b.WriteString(ex.Code)
-		b.WriteString("\n\n")
-	}
-	return b.String()
+	return turn.Artifact, nil
 }
 
 // CleanScript strips chat artifacts (markdown fences, leading prose) from
@@ -352,28 +211,17 @@ func ensureTrailingNewline(s string) string {
 // rewriting, no examples and no correction loop — the paper's comparison
 // condition for GPT-4 and the other LLMs. The artifact's trace records
 // the single generate and exec stages.
+//
+// Like Assistant.Run, it is a compatibility wrapper over the session
+// API: a single-turn session in unassisted mode.
 func Unassisted(ctx context.Context, model llm.Client, runner *pvpython.Runner, userPrompt string) (*Artifact, error) {
-	art := &Artifact{UserPrompt: userPrompt, GeneratedPrompt: userPrompt}
-	start := time.Now()
-	resp, err := model.Complete(ctx, llm.Request{
-		System: "Generate a ParaView Python script for the user's request.",
-		User:   userPrompt,
-	})
+	opt := defaultOptions()
+	opt.unassisted = true
+	opt.noWarm = true
+	s := &Session{model: model, runner: runner, opt: opt}
+	turn, err := s.Turn(ctx, userPrompt)
 	if err != nil {
 		return nil, err
 	}
-	art.Trace.addLLM(StageGenerate, resp, time.Since(start))
-	// No assistant post-processing: the raw response runs as-is, which is
-	// how markdown fences become syntax errors.
-	script := resp.Text
-	execStart := time.Now()
-	res := runner.ExecContext(ctx, script)
-	art.Trace.add(StageTrace{Stage: StageExec + "-1", Duration: time.Since(execStart), PlanHash: res.PlanHash()})
-	reports := errext.Extract(res.Output)
-	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports, PlanHash: res.PlanHash()}}
-	art.FinalScript = script
-	art.Plan = res.Plan
-	art.Success = res.OK() && len(reports) == 0
-	art.Screenshots = res.Screenshots
-	return art, nil
+	return turn.Artifact, nil
 }

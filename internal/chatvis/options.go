@@ -20,6 +20,17 @@ type options struct {
 	// execute-and-repair, and the paper-reproduction tests pin that
 	// behaviour; the chatvisd serving path turns it on.
 	planValidate bool
+	// unassisted runs first turns as the bare model: no prompt rewrite,
+	// no examples, no cleaning, no correction loop — the paper's
+	// comparison condition, expressed as a session mode.
+	unassisted bool
+	// noWarm skips materializing a first turn's plan on the session
+	// engine. The single-turn compatibility wrappers (Assistant.Run,
+	// Unassisted) set it — there is no later turn to make incremental.
+	noWarm bool
+	// observer receives session events (turn lifecycle, trace stages) as
+	// they happen; nil disables emission.
+	observer func(Event)
 }
 
 func defaultOptions() options {
@@ -72,4 +83,27 @@ func WithAPIReference(ref string) Option {
 // instead of discovering them traceback by traceback.
 func WithPlanValidation(enabled bool) Option {
 	return func(o *options) { o.planValidate = enabled }
+}
+
+// WithUnassisted runs first turns as the bare model — no prompt rewrite,
+// no examples, no cleaning, no correction loop (the paper's comparison
+// condition). Later turns still use the plan-edit path.
+func WithUnassisted(enabled bool) Option {
+	return func(o *options) { o.unassisted = enabled }
+}
+
+// WithIncremental controls whether the session keeps a persistent engine
+// warm with each successful plan, so a later turn that edits one stage
+// re-executes only that stage's downstream subtree. Enabled by default
+// for NewSession; disable it for one-shot use where the extra plan
+// materialization after the first turn buys nothing.
+func WithIncremental(enabled bool) Option {
+	return func(o *options) { o.noWarm = !enabled }
+}
+
+// WithObserver registers a callback receiving session events (turn
+// lifecycle and per-stage progress) as they happen — the hook chatvisd
+// streams over SSE.
+func WithObserver(fn func(Event)) Option {
+	return func(o *options) { o.observer = fn }
 }

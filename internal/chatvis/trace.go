@@ -20,6 +20,17 @@ const (
 	// StagePlanRepair is a model call repairing plan diagnostics before
 	// the first engine run.
 	StagePlanRepair = "plan-repair"
+	// StageEdit is a conversational turn's PlanDelta call: the model
+	// proposes the target plan from the current plan plus the utterance.
+	StageEdit = "edit"
+	// StageEditValidate is the schema check of a proposed target plan.
+	StageEditValidate = "edit-validate"
+	// StageEditRepair is a model call fixing a proposed plan's validation
+	// diagnostics before execution.
+	StageEditRepair = "edit-repair"
+	// StageSeedExec is the session-engine materialization of a first
+	// turn's plan, which primes incremental re-execution for later turns.
+	StageSeedExec = "seed-exec"
 )
 
 // StageTrace is one timed step of an assistant session: an LLM call
@@ -49,9 +60,19 @@ type StageTrace struct {
 // order.
 type Trace struct {
 	Stages []StageTrace `json:"stages"`
+
+	// OnAdd, when set, observes every stage as it is recorded — the hook
+	// conversational sessions use to stream live progress events (SSE)
+	// while a turn runs. Never serialized.
+	OnAdd func(StageTrace) `json:"-"`
 }
 
-func (t *Trace) add(s StageTrace) { t.Stages = append(t.Stages, s) }
+func (t *Trace) add(s StageTrace) {
+	t.Stages = append(t.Stages, s)
+	if t.OnAdd != nil {
+		t.OnAdd(s)
+	}
+}
 
 // addLLM records a completed LLM stage from its response.
 func (t *Trace) addLLM(stage string, resp llm.Response, elapsed time.Duration) {

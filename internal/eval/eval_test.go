@@ -268,8 +268,12 @@ func TestWriteReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mt, err := c.RunMultiTurn(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	path := filepath.Join(t.TempDir(), "report.md")
-	if err := WriteReport(path, t2, t1, []*FigureResult{fig}); err != nil {
+	if err := WriteReport(path, t2, t1, []*FigureResult{fig}, mt); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -277,7 +281,8 @@ func TestWriteReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(data)
-	for _, want := range []string{"Table II", "Table I", "Fig. 2", "ChatVis"} {
+	for _, want := range []string{"Table II", "Table I", "Fig. 2", "ChatVis",
+		"Multi-turn conversations", "turn 2 plan-sim"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("report missing %q", want)
 		}

@@ -407,9 +407,10 @@ func (c Config) RunFigure(ctx context.Context, scn Scenario) (*FigureResult, err
 	return fr, nil
 }
 
-// WriteReport renders a Table II grid and per-figure metrics into a
-// markdown file.
-func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult) error {
+// WriteReport renders a Table II grid, per-figure metrics and the
+// multi-turn conversational track into a markdown file. Any section may
+// be nil.
+func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult, mt *MultiTurnTable) error {
 	var b strings.Builder
 	b.WriteString("# ChatVis reproduction — measured results\n\n")
 	b.WriteString("## Table II: LLM comparison (Error = syntax/runtime error, SS = correct screenshot)\n\n```\n")
@@ -472,6 +473,36 @@ func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult) erro
 				fmt.Fprintf(&b, " %.2f |", t2.Cells[task][m].PlanScore.Overall)
 			}
 			b.WriteString("\n")
+		}
+	}
+	if mt != nil && len(mt.Results) > 0 {
+		b.WriteString("\n## Multi-turn conversations (per-turn plan similarity; re-exec = stages recomputed per edit turn)\n\n")
+		b.WriteString("| Conversation |")
+		for i := 1; i <= mt.MaxTurns; i++ {
+			fmt.Fprintf(&b, " turn %d plan-sim |", i)
+		}
+		b.WriteString(" turn 2+ re-exec | screenshots |\n|---|")
+		for i := 0; i < mt.MaxTurns; i++ {
+			b.WriteString("---|")
+		}
+		b.WriteString("---|---|\n")
+		for _, r := range mt.Results {
+			fmt.Fprintf(&b, "| %s |", r.Title)
+			for i := 0; i < mt.MaxTurns; i++ {
+				if i < len(r.Turns) {
+					fmt.Fprintf(&b, " %.2f |", r.Turns[i].PlanScore.Overall)
+				} else {
+					b.WriteString(" - |")
+				}
+			}
+			var deltas, shots []string
+			for _, tr := range r.Turns[1:] {
+				deltas = append(deltas, fmt.Sprintf("%d", tr.ExecutionsDelta))
+			}
+			for _, tr := range r.Turns {
+				shots = append(shots, fmt.Sprintf("%v", tr.Screenshot))
+			}
+			fmt.Fprintf(&b, " %s | %s |\n", strings.Join(deltas, ","), strings.Join(shots, ","))
 		}
 	}
 	if dir := filepath.Dir(path); dir != "." {

@@ -262,25 +262,33 @@ func ParseIntent(text string) TaskSpec {
 		spec.SolidColor = strings.ToLower(m[1])
 	}
 	spec.Wireframe = strings.Contains(lower, "wireframe")
+	spec.ViewDirection = parseViewDirection(text)
+	return spec
+}
 
+// parseViewDirection extracts a camera orientation request ("isometric",
+// "+X", ... or "" when none). Shared by the one-shot intent parser and
+// the edit-intent grammar.
+func parseViewDirection(text string) string {
+	lower := strings.ToLower(text)
 	switch {
 	case strings.Contains(lower, "isometric"):
-		spec.ViewDirection = "isometric"
+		return "isometric"
 	case regexp.MustCompile(`(?i)[+]x\s+direction`).MatchString(text),
 		strings.Contains(lower, "look at the +x"):
-		spec.ViewDirection = "+X"
+		return "+X"
 	case strings.Contains(lower, "-x direction"):
-		spec.ViewDirection = "-X"
+		return "-X"
 	case strings.Contains(lower, "+y direction"):
-		spec.ViewDirection = "+Y"
+		return "+Y"
 	case strings.Contains(lower, "-y direction"):
-		spec.ViewDirection = "-Y"
+		return "-Y"
 	case strings.Contains(lower, "+z direction"):
-		spec.ViewDirection = "+Z"
+		return "+Z"
 	case strings.Contains(lower, "-z direction"):
-		spec.ViewDirection = "-Z"
+		return "-Z"
 	}
-	return spec
+	return ""
 }
 
 // clipBeforeSlice reorders ops so the (first) clip precedes the (first)

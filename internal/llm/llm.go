@@ -77,6 +77,23 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 	user := req.User
 	var text string
 	switch {
+	case strings.Contains(user, planEditOpen):
+		// Conversational plan editing: the current plan as JSON plus
+		// either a follow-up utterance (PlanDelta) or validation
+		// diagnostics (pre-execution plan repair). The response is the
+		// full target plan as JSON.
+		cur, err := ParsePlanText(between(user, planEditOpen, planEditClose))
+		switch {
+		case err != nil:
+			text = "{}"
+		case strings.Contains(user, planDiagOpen):
+			var diags []plan.Diagnostic
+			_ = json.Unmarshal([]byte(between(user, planDiagOpen, planDiagClose)), &diags)
+			text = encodePlanText(RepairPlanDoc(cur, diags, m.P.RepairSkill))
+		default:
+			utter := between(user, editReqOpen, editReqClose)
+			text = encodePlanText(ApplyEdits(cur, ParseEditIntent(utter)))
+		}
 	case strings.Contains(user, planDiagOpen):
 		// Pre-execution repair: structured plan diagnostics instead of a
 		// traceback — the validation-first signal of the plan IR.
@@ -102,6 +119,15 @@ func (m *SimModel) Complete(ctx context.Context, req Request) (Response, error) 
 		text = WriteScript(spec, m.P, g)
 	}
 	return NewResponse(m.P.Name, req, text, start), nil
+}
+
+// encodePlanText renders a plan as the JSON payload of a model response.
+func encodePlanText(p *plan.Plan) string {
+	blob, err := p.Encode()
+	if err != nil {
+		return "{}"
+	}
+	return string(blob)
 }
 
 func between(s, open, close string) string {

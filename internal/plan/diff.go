@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffSummary renders a short human-readable description of how next
+// differs from prev — the per-turn delta provenance a conversational
+// session records alongside the machine-checkable ChangedStages list.
+//
+// Stages are matched by subtree hash (the same notion of identity the
+// incremental executor uses); class-count deltas split the unmatched
+// stages into added/removed vs modified.
+func DiffSummary(prev, next *Plan) string {
+	if next == nil {
+		return ""
+	}
+	if prev == nil {
+		return fmt.Sprintf("built %d stage(s)", len(next.Stages))
+	}
+	fwd := ChangedStages(prev, next)  // changed-or-added, IDs in next
+	back := ChangedStages(next, prev) // changed-or-removed, IDs in prev
+	if len(fwd) == 0 && len(back) == 0 {
+		return "no changes"
+	}
+
+	classCount := func(p *Plan) map[string]int {
+		m := map[string]int{}
+		for _, st := range p.Stages {
+			m[st.Class]++
+		}
+		return m
+	}
+	prevCount, nextCount := classCount(prev), classCount(next)
+	classOf := func(p *Plan, id string) string {
+		for _, st := range p.Stages {
+			if st.ID == id {
+				return st.Class
+			}
+		}
+		return ""
+	}
+
+	// A class with more instances in next than prev contributes that many
+	// "added" slots; unmatched next-side stages beyond the quota are
+	// modifications of existing ones. Symmetrically for removals.
+	addQuota, removeQuota := map[string]int{}, map[string]int{}
+	for cls, n := range nextCount {
+		if extra := n - prevCount[cls]; extra > 0 {
+			addQuota[cls] = extra
+		}
+	}
+	for cls, n := range prevCount {
+		if extra := n - nextCount[cls]; extra > 0 {
+			removeQuota[cls] = extra
+		}
+	}
+
+	var added, changed, removed []string
+	for _, id := range fwd {
+		cls := classOf(next, id)
+		if addQuota[cls] > 0 {
+			addQuota[cls]--
+			added = append(added, cls)
+			continue
+		}
+		changed = append(changed, id)
+	}
+	for _, id := range back {
+		cls := classOf(prev, id)
+		if removeQuota[cls] > 0 {
+			removeQuota[cls]--
+			removed = append(removed, cls)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	var parts []string
+	if len(added) > 0 {
+		parts = append(parts, "added "+strings.Join(added, ", "))
+	}
+	if len(changed) > 0 {
+		parts = append(parts, "changed "+strings.Join(changed, ", "))
+	}
+	if len(removed) > 0 {
+		parts = append(parts, "removed "+strings.Join(removed, ", "))
+	}
+	if len(parts) == 0 {
+		return "no changes"
+	}
+	return strings.Join(parts, "; ")
+}

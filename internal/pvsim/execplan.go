@@ -173,6 +173,20 @@ func (e *Engine) buildPlanProxy(st *plan.Stage, proxies []*Proxy) (*Proxy, error
 	}
 	prox := e.newProxy(schema)
 	prox.RegName = st.ID
+	// Implicit helper defaults, exactly as the paraview.simple
+	// constructors attach them: a normalized plan folds a default-valued
+	// SliceType/ClipType away entirely, and execution must still see the
+	// default Plane helper the script path would have.
+	switch st.Class {
+	case "Slice":
+		prox.Props["SliceType"] = e.newProxy(e.schema("Plane"))
+	case "Clip":
+		prox.Props["ClipType"] = e.newProxy(e.schema("Plane"))
+	case "StreamTracer":
+		prox.Props["SeedType"] = e.newProxy(e.schema("Point Cloud"))
+	case "Transform":
+		prox.Props["Transform"] = e.newProxy(e.schema("TransformHelper"))
+	}
 	for name, v := range st.Props {
 		pv, err := e.planToPyValue(v)
 		if err != nil {

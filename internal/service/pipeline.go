@@ -11,6 +11,7 @@ import (
 	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
+	"chatvis/internal/plan"
 	"chatvis/internal/pvpython"
 )
 
@@ -38,53 +39,77 @@ type PipelineConfig struct {
 	DatasetCache *data.Cache
 }
 
+// clientProvider lazily builds and caches the per-model middleware
+// stacks (metrics → retry → cache) and prepares the input datasets once.
+// One provider is shared by the one-shot job pipeline and the session
+// factory so both surfaces hit the same response caches.
+type clientProvider struct {
+	cfg PipelineConfig
+
+	dataOnce sync.Once
+	dataErr  error
+
+	mu      sync.Mutex
+	clients map[string]llm.Client
+}
+
+func newClientProvider(cfg PipelineConfig) *clientProvider {
+	if cfg.Retries < 1 {
+		cfg.Retries = 1
+	}
+	return &clientProvider{cfg: cfg, clients: map[string]llm.Client{}}
+}
+
+func (p *clientProvider) ensureData() error {
+	p.dataOnce.Do(func() {
+		p.dataErr = eval.EnsureData(p.cfg.DataDir, p.cfg.DataSize)
+	})
+	if p.dataErr != nil {
+		return fmt.Errorf("service: preparing datasets: %w", p.dataErr)
+	}
+	return nil
+}
+
+func (p *clientProvider) client(model string) (llm.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[model]; ok {
+		return c, nil
+	}
+	base, err := llm.NewModel(model)
+	if err != nil {
+		return nil, err
+	}
+	mws := []llm.Middleware{}
+	if p.cfg.Metrics != nil {
+		mws = append(mws, llm.WithMetrics(p.cfg.Metrics))
+	}
+	mws = append(mws, llm.WithRetry(p.cfg.Retries, 50*time.Millisecond))
+	if !p.cfg.DisableCache {
+		mws = append(mws, llm.WithCache())
+	}
+	c := llm.Chain(base, mws...)
+	p.clients[model] = c
+	return c, nil
+}
+
 // NewChatVisPipeline builds the production PipelineFunc: per-model
 // client stacks (metrics → retry → cache, shared across jobs so
 // repeated stages hit the response cache underneath job-level
 // coalescing), datasets generated on first use, and one isolated
 // output directory per job.
 func NewChatVisPipeline(cfg PipelineConfig) PipelineFunc {
-	if cfg.Retries < 1 {
-		cfg.Retries = 1
-	}
-	var (
-		dataOnce sync.Once
-		dataErr  error
+	prov := newClientProvider(cfg)
+	return newPipelineFromProvider(prov)
+}
 
-		mu      sync.Mutex
-		clients = map[string]llm.Client{}
-	)
-	clientFor := func(model string) (llm.Client, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if c, ok := clients[model]; ok {
-			return c, nil
-		}
-		base, err := llm.NewModel(model)
-		if err != nil {
+func newPipelineFromProvider(prov *clientProvider) PipelineFunc {
+	cfg := prov.cfg
+	return func(ctx context.Context, req JobRequest, jobID string) (*chatvis.Artifact, error) {
+		if err := prov.ensureData(); err != nil {
 			return nil, err
 		}
-		mws := []llm.Middleware{}
-		if cfg.Metrics != nil {
-			mws = append(mws, llm.WithMetrics(cfg.Metrics))
-		}
-		mws = append(mws, llm.WithRetry(cfg.Retries, 50*time.Millisecond))
-		if !cfg.DisableCache {
-			mws = append(mws, llm.WithCache())
-		}
-		c := llm.Chain(base, mws...)
-		clients[model] = c
-		return c, nil
-	}
-
-	return func(ctx context.Context, req JobRequest, jobID string) (*chatvis.Artifact, error) {
-		dataOnce.Do(func() {
-			dataErr = eval.EnsureData(cfg.DataDir, cfg.DataSize)
-		})
-		if dataErr != nil {
-			return nil, fmt.Errorf("service: preparing datasets: %w", dataErr)
-		}
-		model, err := clientFor(req.Model)
+		model, err := prov.client(req.Model)
 		if err != nil {
 			return nil, err
 		}
@@ -108,5 +133,63 @@ func NewChatVisPipeline(cfg PipelineConfig) PipelineFunc {
 			return nil, err
 		}
 		return assistant.Run(ctx, req.Prompt)
+	}
+}
+
+// SessionFactory builds the conversational session behind one
+// /v1/sessions resource: its own model stack, an isolated output
+// directory, an optional seed plan (restart rehydration) and an observer
+// for SSE streaming.
+type SessionFactory func(req SessionRequest, sessionID string, seed *plan.Plan, observer func(chatvis.Event)) (*chatvis.Session, error)
+
+// NewServingBackend builds both serving surfaces — the one-shot job
+// pipeline and the session factory — over ONE shared client provider,
+// so a prompt already answered on either path hits the same per-model
+// LLM response caches on the other. This is what chatvisd wires.
+func NewServingBackend(cfg PipelineConfig) (PipelineFunc, SessionFactory) {
+	prov := newClientProvider(cfg)
+	return newPipelineFromProvider(prov), newSessionFactoryFromProvider(prov)
+}
+
+// NewSessionFactory builds a standalone session factory over the same
+// pipeline configuration (and the same middleware semantics) the job
+// path uses. Prefer NewServingBackend when both surfaces serve
+// together.
+func NewSessionFactory(cfg PipelineConfig) SessionFactory {
+	return newSessionFactoryFromProvider(newClientProvider(cfg))
+}
+
+func newSessionFactoryFromProvider(prov *clientProvider) SessionFactory {
+	cfg := prov.cfg
+	return func(req SessionRequest, sessionID string, seed *plan.Plan, observer func(chatvis.Event)) (*chatvis.Session, error) {
+		if err := prov.ensureData(); err != nil {
+			return nil, err
+		}
+		req = req.withDefaults()
+		model, err := prov.client(req.Model)
+		if err != nil {
+			return nil, err
+		}
+		runner := &pvpython.Runner{
+			DataDir: cfg.DataDir,
+			OutDir:  filepath.Join(cfg.OutDir, "sessions", sessionID),
+			Cache:   cfg.DatasetCache,
+		}
+		opts := []chatvis.Option{
+			chatvis.WithMaxIterations(req.MaxIterations),
+			chatvis.WithFewShot(req.FewShot),
+			chatvis.WithRewrite(!req.NoRewrite),
+			chatvis.WithPlanValidation(true),
+		}
+		if req.Unassisted {
+			opts = append(opts, chatvis.WithUnassisted(true))
+		}
+		if observer != nil {
+			opts = append(opts, chatvis.WithObserver(observer))
+		}
+		if seed != nil {
+			return chatvis.NewSessionFrom(model, runner, seed, opts...)
+		}
+		return chatvis.NewSession(model, runner, opts...)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,14 +20,19 @@ import (
 //
 // Endpoints:
 //
-//	POST   /v1/jobs             submit a request (async; coalesced/cached)
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status, result hashes and trace
-//	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /v1/artifacts/{hash} raw stored object (script / png / artifact)
-//	GET    /v1/scenarios        registered evaluation scenarios
-//	GET    /healthz             liveness + queue depth
-//	GET    /metrics             Prometheus-style counters and histograms
+//	POST   /v1/jobs                   submit a one-shot request (async)
+//	GET    /v1/jobs                   list jobs
+//	GET    /v1/jobs/{id}              job status, result hashes and trace
+//	DELETE /v1/jobs/{id}              cancel a job
+//	POST   /v1/sessions               create a conversational session
+//	GET    /v1/sessions               list sessions
+//	GET    /v1/sessions/{id}          session state, plan and turn views
+//	POST   /v1/sessions/{id}/turns    submit a turn (async; coalesced)
+//	GET    /v1/sessions/{id}/events   live stage/turn events as SSE
+//	GET    /v1/artifacts/{hash}       raw stored object (script / png / artifact)
+//	GET    /v1/scenarios              registered evaluation scenarios
+//	GET    /healthz                   liveness + queue depth
+//	GET    /metrics                   Prometheus-style counters and histograms
 type Server struct {
 	queue *Queue
 	store *Store
@@ -36,7 +42,10 @@ type Server struct {
 	// datasetCache is the shared compute-substrate cache surfaced at
 	// /metrics; may be nil.
 	datasetCache *data.Cache
-	started      time.Time
+	// sessions serves the conversational endpoints; may be nil (the
+	// endpoints then answer 503).
+	sessions *Sessions
+	started  time.Time
 }
 
 // NewServer builds a server over its subsystems.
@@ -51,6 +60,13 @@ func (s *Server) WithDatasetCache(c *data.Cache) *Server {
 	return s
 }
 
+// WithSessions attaches the conversational-session registry, enabling
+// the /v1/sessions endpoints; returns the server for chaining.
+func (s *Server) WithSessions(m *Sessions) *Server {
+	s.sessions = m
+	return s
+}
+
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -58,6 +74,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/turns", s.handleSubmitTurn)
+	mux.HandleFunc("GET /v1/sessions/{id}/turns/{turn}", s.handleGetTurn)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifact)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -158,6 +180,175 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
 }
 
+// requireSessions guards the conversational endpoints.
+func (s *Server) requireSessions(w http.ResponseWriter) *Sessions {
+	if s.sessions == nil {
+		writeError(w, http.StatusServiceUnavailable, "sessions are not enabled on this daemon")
+		return nil
+	}
+	return s.sessions
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	m := s.requireSessions(w)
+	if m == nil {
+		return
+	}
+	var req SessionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if model := req.withDefaults().Model; model != "" {
+		if _, err := llm.NewModel(model); err != nil {
+			writeError(w, http.StatusBadRequest, "unknown model %q (have %s)",
+				model, strings.Join(llm.ModelNames(), ", "))
+			return
+		}
+	}
+	sess, err := m.Create(req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.View())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	m := s.requireSessions(w)
+	if m == nil {
+		return
+	}
+	sessions := m.List()
+	views := make([]SessionView, 0, len(sessions))
+	for _, sess := range sessions {
+		v := sess.View()
+		v.Plan = nil // keep the listing light; GET /v1/sessions/{id} inlines it
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": views})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	m := s.requireSessions(w)
+	if m == nil {
+		return
+	}
+	sess, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.View())
+}
+
+// submitTurnResponse is the POST /v1/sessions/{id}/turns body.
+type submitTurnResponse struct {
+	TurnView
+	Submission Submission `json:"submission"`
+}
+
+func (s *Server) handleSubmitTurn(w http.ResponseWriter, r *http.Request) {
+	m := s.requireSessions(w)
+	if m == nil {
+		return
+	}
+	sess, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var req TurnRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	view, outcome, err := sess.SubmitTurn(req)
+	switch {
+	case errors.Is(err, ErrQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if outcome == SubmissionCoalesced && view.Status.Terminal() {
+		code = http.StatusOK // already complete: idempotent replay
+	}
+	writeJSON(w, code, submitTurnResponse{TurnView: view, Submission: outcome})
+}
+
+func (s *Server) handleGetTurn(w http.ResponseWriter, r *http.Request) {
+	m := s.requireSessions(w)
+	if m == nil {
+		return
+	}
+	sess, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	view, ok := sess.TurnView(r.PathValue("turn"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown turn %q", r.PathValue("turn"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSessionEvents streams session events (turn lifecycle, per-stage
+// progress, stored results) as server-sent events until the client
+// disconnects.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	m := s.requireSessions(w)
+	if m == nil {
+		return
+	}
+	sess, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := sess.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An initial snapshot event so late subscribers know where the
+	// session stands.
+	if blob, err := json.Marshal(map[string]any{
+		"type": "snapshot", "session": sess.ID, "plan_hash": sess.View().PlanHash,
+	}); err == nil {
+		fmt.Fprintf(w, "data: %s\n\n", blob)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	content, info, err := s.store.Get(hash)
@@ -250,6 +441,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("chatvis_store_objects", "Objects in the content-addressed store.", st.Objects)
 	emit("chatvis_store_bytes", "Bytes stored across all objects.", st.Bytes)
 	emit("chatvis_store_results", "Job results indexed by key.", st.Results)
+
+	// Conversational sessions.
+	if s.sessions != nil {
+		ss := s.sessions.Snapshot()
+		emit("chatvis_sessions_active", "Hydrated conversational sessions (live engine in this process).", ss.Active)
+		emit("chatvis_sessions_tracked", "Sessions known to the daemon, hydrated or restored cold.", ss.Tracked)
+		emit("chatvis_session_turns_total", "Conversational turns executed.", ss.Turns)
+		emit("chatvis_sse_subscribers", "Connected session event streams.", ss.SSESubscribers)
+	}
 
 	// Parallel compute substrate.
 	emit("chatvis_compute_workers", "Worker-pool size of the parallel compute substrate.", par.Workers())

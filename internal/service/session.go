@@ -1,0 +1,642 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/llm"
+	"chatvis/internal/plan"
+)
+
+// The session-native serving surface: stateful conversational sessions
+// over the chatvis.Session API, with turn coalescing keyed by
+// (parent plan hash, intended-delta hash), SSE event streaming, and
+// persistence in the artifact store so sessions survive restarts.
+//
+//	POST /v1/sessions               create a session
+//	POST /v1/sessions/{id}/turns    submit a turn (async; coalesced)
+//	GET  /v1/sessions               list sessions
+//	GET  /v1/sessions/{id}          session state incl. turn views
+//	GET  /v1/sessions/{id}/events   live stage/turn events as SSE
+
+// SessionRequest configures a conversational session, the POST
+// /v1/sessions body. The same knobs as a JobRequest, minus the prompt —
+// prompts arrive per turn.
+type SessionRequest struct {
+	// Model names the LLM backend (default "gpt-4").
+	Model string `json:"model,omitempty"`
+	// Width, Height of the rendered view (default 480x270); informative —
+	// turn prompts carry their own resolution text.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+	// MaxIterations bounds each turn's correction loop (default 5).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// FewShot truncates the example library (0 = full, negative = none).
+	FewShot int `json:"few_shot,omitempty"`
+	// NoRewrite skips the prompt-generation stage.
+	NoRewrite bool `json:"no_rewrite,omitempty"`
+	// Unassisted runs first turns as the bare model.
+	Unassisted bool `json:"unassisted,omitempty"`
+}
+
+func (r SessionRequest) withDefaults() SessionRequest {
+	if r.Model == "" {
+		r.Model = "gpt-4"
+	}
+	if r.Width <= 0 || r.Height <= 0 {
+		r.Width, r.Height = 480, 270
+	}
+	if r.MaxIterations <= 0 {
+		r.MaxIterations = 5
+	}
+	return r
+}
+
+// TurnRequest is the POST /v1/sessions/{id}/turns body.
+type TurnRequest struct {
+	// Prompt is the turn utterance (required): a full request on the
+	// first turn, a follow-up edit afterwards.
+	Prompt string `json:"prompt"`
+}
+
+// Validate rejects empty turns.
+func (r TurnRequest) Validate() error {
+	if strings.TrimSpace(r.Prompt) == "" {
+		return fmt.Errorf("service: turn prompt is required")
+	}
+	return nil
+}
+
+// turnKeyVersion tags the turn-coalescing hash layout.
+const turnKeyVersion = "chatvis-turn-v1"
+
+// TurnKey derives a turn's coalescing identity: the parent plan hash
+// plus the intended-delta hash. Two submissions coalesce only when they
+// edit the same session state with the same meaning — a reworded but
+// identical edit shares the key; the same words against a different
+// parent plan do not. First turns (no parent plan) reuse the job-level
+// intended-plan derivation; utterances the edit grammar cannot read fall
+// back to their raw text.
+func TurnKey(parentPlanHash, utterance string) string {
+	h := sha256.New()
+	writeField := func(s string) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeField(turnKeyVersion)
+	writeField(parentPlanHash)
+	if parentPlanHash == "" {
+		writeField(promptKeyField(utterance))
+	} else if intent := llm.ParseEditIntent(utterance); !intent.Empty() {
+		writeField("intent:" + intent.Key())
+	} else {
+		writeField("utterance:" + utterance)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TurnView is the JSON projection of one session turn.
+type TurnView struct {
+	ID     string    `json:"id"`
+	Index  int       `json:"index"`
+	Key    string    `json:"key"`
+	Prompt string    `json:"prompt"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+	// Coalesced counts submissions beyond the first that mapped onto
+	// this turn.
+	Coalesced int `json:"coalesced,omitempty"`
+	// Success mirrors the turn artifact's Success (a turn can complete
+	// — status succeeded — with a failing script).
+	Success bool `json:"success,omitempty"`
+	// ParentPlanHash / PlanHash / DeltaSummary / ChangedStages are the
+	// turn's provenance; ExecutionsDelta counts the pipeline stages the
+	// session engine actually recomputed (the incremental observable).
+	ParentPlanHash  string   `json:"parent_plan_hash,omitempty"`
+	PlanHash        string   `json:"plan_hash,omitempty"`
+	DeltaSummary    string   `json:"delta_summary,omitempty"`
+	ChangedStages   []string `json:"changed_stages,omitempty"`
+	ExecutionsDelta int64    `json:"executions_delta"`
+	Incremental     bool     `json:"incremental,omitempty"`
+	// Artifact hashes into the content-addressed store.
+	ScriptHash       string   `json:"script_hash,omitempty"`
+	ScreenshotHashes []string `json:"screenshot_hashes,omitempty"`
+	ArtifactHash     string   `json:"artifact_hash,omitempty"`
+	Iterations       int      `json:"iterations,omitempty"`
+
+	Submitted time.Time  `json:"submitted_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+}
+
+// turnRec pairs a TurnView with its completion signal.
+type turnRec struct {
+	view TurnView
+	done chan struct{}
+}
+
+// SessionRecord is the durable form of a session: what the store
+// persists after every turn and what Restore rehydrates from.
+type SessionRecord struct {
+	ID       string          `json:"id"`
+	Request  SessionRequest  `json:"request"`
+	PlanHash string          `json:"plan_hash,omitempty"`
+	Plan     json.RawMessage `json:"plan,omitempty"`
+	Turns    []TurnView      `json:"turns"`
+	Created  time.Time       `json:"created_at"`
+	Updated  time.Time       `json:"updated_at"`
+}
+
+// SessionView is the GET /v1/sessions/{id} body.
+type SessionView struct {
+	ID       string          `json:"id"`
+	Request  SessionRequest  `json:"request"`
+	PlanHash string          `json:"plan_hash,omitempty"`
+	Plan     json.RawMessage `json:"plan,omitempty"`
+	Turns    []TurnView      `json:"turns"`
+	Created  time.Time       `json:"created_at"`
+}
+
+// SvcSession is one tracked conversational session. Turn execution is
+// serialized per session (edits are ordered by nature); submissions of
+// the same (parent plan, intended delta) coalesce onto one turn.
+type SvcSession struct {
+	ID      string
+	Req     SessionRequest
+	Created time.Time
+
+	m *Sessions
+
+	mu       sync.Mutex
+	sess     *chatvis.Session // lazily hydrated
+	seedPlan json.RawMessage  // restored plan awaiting hydration
+	planHash string
+	planJSON json.RawMessage
+	turns    []*turnRec
+	byKey    map[string]*turnRec
+	seq      int
+	subs     map[chan []byte]struct{}
+
+	execMu sync.Mutex // serializes turn execution
+}
+
+// Sessions is the conversational-session registry and executor.
+type Sessions struct {
+	store   *Store
+	factory SessionFactory
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*SvcSession
+	order    []string
+	seq      int64
+
+	turnsTotal atomic.Int64
+	sseSubs    atomic.Int64
+}
+
+// NewSessions builds the registry over a store and a session factory.
+func NewSessions(store *Store, factory SessionFactory) *Sessions {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Sessions{
+		store:    store,
+		factory:  factory,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		sessions: map[string]*SvcSession{},
+	}
+}
+
+// Restore rehydrates persisted sessions from the store (called once at
+// daemon start). Sessions come back cold: the chatvis session (and its
+// engine) is rebuilt lazily on the next turn, seeded with the persisted
+// plan.
+func (m *Sessions) Restore() int {
+	if m.store == nil {
+		return 0
+	}
+	records := m.store.ListSessionRecords()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	restored := 0
+	for _, r := range records {
+		if _, exists := m.sessions[r.ID]; exists {
+			continue
+		}
+		s := &SvcSession{
+			ID: r.ID, Req: r.Request, Created: r.Created, m: m,
+			seedPlan: r.Plan, planHash: r.PlanHash, planJSON: r.Plan,
+			byKey: map[string]*turnRec{},
+			subs:  map[chan []byte]struct{}{},
+		}
+		for _, tv := range r.Turns {
+			tr := &turnRec{view: tv, done: make(chan struct{})}
+			close(tr.done)
+			s.turns = append(s.turns, tr)
+			s.byKey[tv.Key] = tr
+			if tv.Index > s.seq {
+				s.seq = tv.Index
+			}
+		}
+		m.sessions[r.ID] = s
+		m.order = append(m.order, r.ID)
+		// Keep new IDs past every restored one ("s-<n>").
+		var n int64
+		if _, err := fmt.Sscanf(r.ID, "s-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+		restored++
+	}
+	return restored
+}
+
+// Create registers a new session.
+func (m *Sessions) Create(req SessionRequest) (*SvcSession, error) {
+	req = req.withDefaults()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrQueueClosed
+	}
+	m.seq++
+	s := &SvcSession{
+		ID:      fmt.Sprintf("s-%d", m.seq),
+		Req:     req,
+		Created: time.Now(),
+		m:       m,
+		byKey:   map[string]*turnRec{},
+		subs:    map[chan []byte]struct{}{},
+	}
+	m.sessions[s.ID] = s
+	m.order = append(m.order, s.ID)
+	if m.store != nil {
+		_ = m.store.PutSessionRecord(s.recordLocked())
+	}
+	return s, nil
+}
+
+// Get returns a session by id.
+func (m *Sessions) Get(id string) (*SvcSession, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns every tracked session in creation order.
+func (m *Sessions) List() []*SvcSession {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*SvcSession, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.sessions[id])
+	}
+	return out
+}
+
+// SessionsSnapshot is the /metrics projection.
+type SessionsSnapshot struct {
+	// Active counts hydrated sessions (live conversational state and a
+	// warm engine in this process).
+	Active int64
+	// Tracked counts every session the daemon knows about, hydrated or
+	// restored-cold.
+	Tracked int64
+	// Turns counts turn executions since daemon start.
+	Turns int64
+	// SSESubscribers counts currently connected event streams.
+	SSESubscribers int64
+}
+
+// Snapshot returns the current session metrics.
+func (m *Sessions) Snapshot() SessionsSnapshot {
+	m.mu.Lock()
+	active := int64(0)
+	tracked := int64(len(m.sessions))
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		if s.sess != nil {
+			active++
+		}
+		s.mu.Unlock()
+	}
+	m.mu.Unlock()
+	return SessionsSnapshot{
+		Active:         active,
+		Tracked:        tracked,
+		Turns:          m.turnsTotal.Load(),
+		SSESubscribers: m.sseSubs.Load(),
+	}
+}
+
+// Shutdown stops accepting turns and waits for in-flight ones; when ctx
+// expires first, running turns are canceled through the base context.
+func (m *Sessions) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// SubmitTurn registers a turn: identical in-meaning submissions against
+// the same parent plan coalesce onto the existing turn; otherwise the
+// turn queues behind the session's in-flight work.
+func (s *SvcSession) SubmitTurn(req TurnRequest) (TurnView, Submission, error) {
+	if err := req.Validate(); err != nil {
+		return TurnView{}, "", err
+	}
+	// The closed check, turn registration and wg.Add must be one atomic
+	// step under m.mu (lock order m.mu → s.mu, matching Snapshot):
+	// otherwise a turn accepted between Shutdown's closed=true and its
+	// wg.Wait would be silently killed by daemon exit.
+	s.m.mu.Lock()
+	if s.m.closed {
+		s.m.mu.Unlock()
+		return TurnView{}, "", ErrQueueClosed
+	}
+
+	s.mu.Lock()
+	key := TurnKey(s.planHash, req.Prompt)
+	if tr, ok := s.byKey[key]; ok {
+		tr.view.Coalesced++
+		view := tr.view
+		s.mu.Unlock()
+		s.m.mu.Unlock()
+		return view, SubmissionCoalesced, nil
+	}
+	s.seq++
+	tr := &turnRec{
+		view: TurnView{
+			ID:     fmt.Sprintf("turn-%d", s.seq),
+			Index:  s.seq,
+			Key:    key,
+			Prompt: req.Prompt,
+			Status: StatusQueued, Submitted: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	s.turns = append(s.turns, tr)
+	s.byKey[key] = tr
+	view := tr.view
+	s.m.wg.Add(1)
+	s.mu.Unlock()
+	s.m.mu.Unlock()
+
+	go s.run(tr)
+	return view, SubmissionNew, nil
+}
+
+// TurnDone returns the completion channel of a turn by id.
+func (s *SvcSession) TurnDone(turnID string) (<-chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range s.turns {
+		if tr.view.ID == turnID {
+			return tr.done, true
+		}
+	}
+	return nil, false
+}
+
+// hydrate lazily builds the chatvis session (seeded from the persisted
+// plan after a restart). Callers hold s.mu.
+func (s *SvcSession) hydrateLocked() error {
+	if s.sess != nil {
+		return nil
+	}
+	var seed *plan.Plan
+	if len(s.seedPlan) > 0 {
+		if p, err := plan.Decode(s.seedPlan); err == nil {
+			seed = p
+		}
+	}
+	sess, err := s.m.factory(s.Req, s.ID, seed, s.broadcastEvent)
+	if err != nil {
+		return err
+	}
+	s.sess = sess
+	return nil
+}
+
+// run executes one turn. Turns of a session serialize on execMu; the
+// daemon-wide WaitGroup covers drain.
+func (s *SvcSession) run(tr *turnRec) {
+	defer s.m.wg.Done()
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+
+	s.mu.Lock()
+	if err := s.hydrateLocked(); err != nil {
+		s.finishLocked(tr, StatusFailed, err.Error())
+		s.mu.Unlock()
+		return
+	}
+	sess := s.sess
+	tr.view.Status = StatusRunning
+	now := time.Now()
+	tr.view.Started = &now
+	s.mu.Unlock()
+
+	turn, err := sess.Turn(s.m.baseCtx, tr.view.Prompt)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		status := StatusFailed
+		if s.m.baseCtx.Err() != nil {
+			status = StatusCanceled
+		}
+		s.finishLocked(tr, status, err.Error())
+		return
+	}
+	art := turn.Artifact
+	tr.view.Success = art.Success
+	tr.view.ParentPlanHash = turn.ParentPlanHash
+	tr.view.PlanHash = art.PlanHash()
+	tr.view.DeltaSummary = turn.DeltaSummary
+	tr.view.ChangedStages = turn.ChangedStages
+	tr.view.ExecutionsDelta = turn.ExecutionsDelta
+	tr.view.Incremental = turn.Incremental
+	tr.view.Iterations = art.NumIterations()
+	if s.m.store != nil {
+		if err := s.storeTurnLocked(tr, art); err != nil {
+			s.finishLocked(tr, StatusFailed, err.Error())
+			return
+		}
+	}
+	s.planHash = sess.PlanHash()
+	if p := sess.CurrentPlan(); p != nil {
+		if blob, err := p.Encode(); err == nil {
+			s.planJSON = blob
+		}
+	}
+	s.finishLocked(tr, StatusSucceeded, "")
+}
+
+// storeTurnLocked persists the turn's artifacts into the object store.
+// Callers hold s.mu.
+func (s *SvcSession) storeTurnLocked(tr *turnRec, art *chatvis.Artifact) error {
+	store := s.m.store
+	scriptHash, err := store.Put([]byte(art.FinalScript), "text/x-python")
+	if err != nil {
+		return err
+	}
+	tr.view.ScriptHash = scriptHash
+	for _, path := range art.Screenshots {
+		png, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("service: reading screenshot %s: %w", path, err)
+		}
+		h, err := store.Put(png, "image/png")
+		if err != nil {
+			return err
+		}
+		tr.view.ScreenshotHashes = append(tr.view.ScreenshotHashes, h)
+	}
+	encoded, err := chatvis.EncodeArtifact(art)
+	if err != nil {
+		return err
+	}
+	artHash, err := store.Put(encoded, "application/json")
+	if err != nil {
+		return err
+	}
+	tr.view.ArtifactHash = artHash
+	return nil
+}
+
+// finishLocked moves a turn to a terminal state, persists the session
+// record and emits the stored event. Callers hold s.mu.
+func (s *SvcSession) finishLocked(tr *turnRec, status JobStatus, errMsg string) {
+	tr.view.Status = status
+	tr.view.Error = errMsg
+	now := time.Now()
+	tr.view.Finished = &now
+	close(tr.done)
+	s.m.turnsTotal.Add(1)
+	if s.m.store != nil {
+		_ = s.m.store.PutSessionRecord(s.recordLocked())
+	}
+	s.broadcastLocked(map[string]any{
+		"type": "turn-stored", "turn": tr.view.Index, "status": status,
+		"plan_hash": tr.view.PlanHash, "artifact_hash": tr.view.ArtifactHash,
+		"executions_delta": tr.view.ExecutionsDelta,
+	})
+}
+
+// recordLocked renders the durable session record. Callers hold s.mu.
+func (s *SvcSession) recordLocked() *SessionRecord {
+	r := &SessionRecord{
+		ID: s.ID, Request: s.Req,
+		PlanHash: s.planHash, Plan: s.planJSON,
+		Created: s.Created, Updated: time.Now(),
+	}
+	for _, tr := range s.turns {
+		r.Turns = append(r.Turns, tr.view)
+	}
+	return r
+}
+
+// View renders the session (turns included) for the HTTP API.
+func (s *SvcSession) View() SessionView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := SessionView{
+		ID: s.ID, Request: s.Req,
+		PlanHash: s.planHash, Plan: s.planJSON,
+		Created: s.Created,
+	}
+	for _, tr := range s.turns {
+		v.Turns = append(v.Turns, tr.view)
+	}
+	return v
+}
+
+// TurnView returns one turn's view by id.
+func (s *SvcSession) TurnView(turnID string) (TurnView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tr := range s.turns {
+		if tr.view.ID == turnID {
+			return tr.view, true
+		}
+	}
+	return TurnView{}, false
+}
+
+// Subscribe opens an SSE event channel; the returned cancel function
+// unsubscribes. Slow consumers drop events rather than stalling turns.
+func (s *SvcSession) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	s.m.sseSubs.Add(1)
+	return ch, func() {
+		s.mu.Lock()
+		if _, ok := s.subs[ch]; ok {
+			delete(s.subs, ch)
+			close(ch)
+		}
+		s.mu.Unlock()
+		s.m.sseSubs.Add(-1)
+	}
+}
+
+// broadcastEvent forwards chatvis session events to subscribers.
+func (s *SvcSession) broadcastEvent(ev chatvis.Event) {
+	s.broadcast(ev)
+}
+
+func (s *SvcSession) broadcast(payload any) {
+	s.mu.Lock()
+	s.broadcastLocked(payload)
+	s.mu.Unlock()
+}
+
+// broadcastLocked fans a JSON event out to every subscriber. Callers
+// hold s.mu.
+func (s *SvcSession) broadcastLocked(payload any) {
+	if len(s.subs) == 0 {
+		return
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	frame := []byte("data: " + string(blob) + "\n\n")
+	for ch := range s.subs {
+		select {
+		case ch <- frame:
+		default: // slow consumer: drop
+		}
+	}
+}

@@ -37,10 +37,12 @@ type ObjectInfo struct {
 	ContentType string `json:"content_type"`
 }
 
-// objectsSubdir and resultsSubdir are the on-disk layout roots.
+// objectsSubdir, resultsSubdir and sessionsSubdir are the on-disk layout
+// roots.
 const (
-	objectsSubdir = "objects"
-	resultsSubdir = "results"
+	objectsSubdir  = "objects"
+	resultsSubdir  = "results"
+	sessionsSubdir = "sessions"
 )
 
 // NewStore opens (creating if needed) a store rooted at dir and loads
@@ -51,7 +53,7 @@ func NewStore(dir string) (*Store, error) {
 		objects: map[string]ObjectInfo{},
 		results: map[string]*Result{},
 	}
-	for _, sub := range []string{objectsSubdir, resultsSubdir} {
+	for _, sub := range []string{objectsSubdir, resultsSubdir, sessionsSubdir} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("service: creating store: %w", err)
 		}
@@ -227,21 +229,7 @@ func (s *Store) PutResult(r *Result) error {
 		return fmt.Errorf("service: encoding result: %w", err)
 	}
 	path := filepath.Join(s.dir, resultsSubdir, r.Key+".json")
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("service: storing result: %w", err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: storing result: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: storing result: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicWriteFile(path, b); err != nil {
 		return fmt.Errorf("service: storing result: %w", err)
 	}
 	s.mu.Lock()
@@ -256,6 +244,79 @@ func (s *Store) GetResult(key string) (*Result, bool) {
 	defer s.mu.RUnlock()
 	r, ok := s.results[key]
 	return r, ok
+}
+
+// atomicWriteFile writes bytes via a temp file + rename so concurrent
+// readers never observe a torn document.
+func atomicWriteFile(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// PutSessionRecord persists a conversational session's durable state
+// (request, turn summaries, current plan) so sessions survive daemon
+// restarts. The record is small; artifacts stay in the object store.
+func (s *Store) PutSessionRecord(r *SessionRecord) error {
+	if r == nil || r.ID == "" {
+		return fmt.Errorf("service: session record must carry an id")
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding session record: %w", err)
+	}
+	path := filepath.Join(s.dir, sessionsSubdir, r.ID+".json")
+	if err := atomicWriteFile(path, b); err != nil {
+		return fmt.Errorf("service: storing session record: %w", err)
+	}
+	return nil
+}
+
+// GetSessionRecord loads one persisted session by id.
+func (s *Store) GetSessionRecord(id string) (*SessionRecord, bool) {
+	b, err := os.ReadFile(filepath.Join(s.dir, sessionsSubdir, id+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var r SessionRecord
+	if json.Unmarshal(b, &r) != nil || r.ID == "" {
+		return nil, false
+	}
+	return &r, true
+}
+
+// ListSessionRecords loads every persisted session (restart recovery).
+// Torn or unreadable records are skipped, like torn results.
+func (s *Store) ListSessionRecords() []*SessionRecord {
+	entries, err := os.ReadDir(filepath.Join(s.dir, sessionsSubdir))
+	if err != nil {
+		return nil
+	}
+	var out []*SessionRecord
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		if r, ok := s.GetSessionRecord(strings.TrimSuffix(e.Name(), ".json")); ok {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Stats is a point-in-time store size summary for /metrics.
