@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve build serve smoke plan-validate
+.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve build serve smoke smoke-cluster plan-validate
 
-ci: fmt vet plan-validate test-race smoke
+ci: fmt vet plan-validate test-race smoke smoke-cluster
 
 # Compile + schema-validate every example pipeline (scenario ground
 # truths, plan-native IRs, writer/intent agreement) — fails fast on any
@@ -49,6 +49,13 @@ serve:
 # changed stage re-executed), and drain the queue.
 smoke:
 	$(GO) test -run 'TestDaemonSmoke|TestDaemonConcurrentIdenticalSubmissions|TestDaemonSessionTwoTurns' -count=1 ./cmd/chatvisd
+
+# Cluster smoke: boot three full daemons on loopback sharing one store,
+# post the identical prompt to all three at once, and require exactly
+# one pipeline execution fleet-wide; then drive a session turn through a
+# non-owner node to prove shard-ring forwarding.
+smoke-cluster:
+	$(GO) test -run TestClusterSmoke3Nodes -count=1 ./cmd/chatvisd
 
 # All paper-reproduction benchmarks (tables, figures, ablations).
 bench:

@@ -21,6 +21,19 @@
 // docs/sessions.md for curl examples. Sessions are persisted in the
 // artifact store and survive restarts. SIGINT/SIGTERM drain in-flight
 // jobs and turns before exiting; a second signal exits immediately.
+//
+// Cluster mode shards one logical service across several daemons:
+//
+//	chatvisd -addr :8081 -node-id n1 \
+//	         -peers n1=127.0.0.1:8081,n2=127.0.0.1:8082,n3=127.0.0.1:8083 \
+//	         -store /shared/store -wal-dir /local/n1/wal \
+//	         -tenant-rps 5 -tenant-inflight 8
+//
+// Sessions route to their shard-ring owner by session ID, jobs by
+// content key (identical prompts coalesce to one execution
+// fleet-wide), and every accepted job or turn is written to a durable
+// per-node WAL before it is acknowledged, so a crashed node replays
+// exactly its unfinished work on restart. See docs/cluster.md.
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"chatvis/internal/cluster"
 	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
@@ -59,14 +73,58 @@ type daemonConfig struct {
 	// datasetCacheMB bounds the shared in-memory dataset cache; 0
 	// disables it.
 	datasetCacheMB int
+
+	// nodeID and peers enable cluster mode: peers is the static fleet
+	// membership ("id=host:port,..."), nodeID names this node in it.
+	nodeID string
+	peers  string
+	// walDir holds the durable job/turn log (default <out>/wal; "none"
+	// disables durability).
+	walDir string
+	// tenantRPS/tenantBurst/tenantInflight are the front-door tenant
+	// quotas; zero values disable them.
+	tenantRPS      float64
+	tenantBurst    int
+	tenantInflight int
+}
+
+// daemon is one wired chatvisd instance: every subsystem main (and the
+// smoke tests) needs a handle on.
+type daemon struct {
+	queue    *service.Queue
+	server   *service.Server
+	sessions *service.Sessions
+	metrics  *llm.Metrics
+	cluster  *cluster.Cluster // nil outside cluster mode
+	wal      *cluster.WAL     // nil when durability is disabled
+	// replayedJobs/replayedTurns count the WAL re-submissions performed
+	// at boot.
+	replayedJobs  int
+	replayedTurns int
+}
+
+// close releases background resources (probe loop, WAL segment); the
+// queue and sessions are drained separately so callers control the
+// budget.
+func (d *daemon) close() {
+	if d.cluster != nil {
+		d.cluster.Stop()
+	}
+	if d.wal != nil {
+		_ = d.wal.Close()
+	}
 }
 
 // buildDaemon wires store → pipeline/sessions → queue → server, shared
-// by main and the smoke test. Persisted sessions are restored from the
-// store so conversations survive restarts.
-func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *service.Sessions, *llm.Metrics, error) {
+// by main and the smoke tests. Persisted sessions are restored from the
+// store, and the WAL's unfinished jobs and turns are re-submitted, so
+// neither a drain nor a crash loses accepted work.
+func buildDaemon(cfg daemonConfig) (*daemon, error) {
 	if cfg.storeDir == "" {
 		cfg.storeDir = filepath.Join(cfg.outDir, "store")
+	}
+	if cfg.walDir == "" {
+		cfg.walDir = filepath.Join(cfg.outDir, "wal")
 	}
 	par.SetWorkers(cfg.computeWorkers)
 	var dsCache *data.Cache
@@ -75,8 +133,28 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *service.Se
 	}
 	store, err := service.NewStore(cfg.storeDir)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
+
+	var cl *cluster.Cluster
+	if cfg.peers != "" {
+		peers, err := cluster.ParsePeers(cfg.peers)
+		if err != nil {
+			return nil, err
+		}
+		cl, err = cluster.New(cluster.Config{NodeID: cfg.nodeID, Peers: peers})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var wal *cluster.WAL
+	if cfg.walDir != "none" {
+		wal, err = cluster.OpenWAL(cfg.walDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	metrics := &llm.Metrics{}
 	size := eval.DataSmall
 	if cfg.full {
@@ -94,21 +172,58 @@ func buildDaemon(cfg daemonConfig) (*service.Queue, *service.Server, *service.Se
 	// One backend for both surfaces: jobs and session turns share the
 	// per-model LLM response caches.
 	pipeline, factory := service.NewServingBackend(pipeCfg)
-	queue, err := service.NewQueue(service.QueueOptions{
+	qopts := service.QueueOptions{
 		Workers:  cfg.workers,
 		Capacity: cfg.queueCap,
 		Pipeline: pipeline,
 		Store:    store,
-	})
+		WAL:      wal,
+	}
+	if cl != nil {
+		// Namespaced job IDs route status polls home; the remote lookup
+		// collapses identical requests fleet-wide before executing.
+		qopts.JobIDPrefix = "job-" + cl.Self().ID
+		qopts.RemoteLookup = service.ClusterLookup(cl)
+	}
+	queue, err := service.NewQueue(qopts)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
 	sessions := service.NewSessions(store, factory)
+	if wal != nil {
+		sessions.WithWAL(wal)
+	}
+	if cl != nil {
+		sessions.WithOwnership(func(id string) bool {
+			owner, ok := cl.Owner(id)
+			return ok && cl.IsSelf(owner)
+		})
+	}
+	d := &daemon{
+		queue: queue, sessions: sessions, metrics: metrics,
+		cluster: cl, wal: wal,
+	}
 	sessions.Restore()
+	d.replayedJobs = queue.ReplayWAL()
+	d.replayedTurns = sessions.ReplayWAL()
 	server := service.NewServer(queue, store, metrics).
 		WithDatasetCache(dsCache).
 		WithSessions(sessions)
-	return queue, server, sessions, metrics, nil
+	if wal != nil {
+		server.WithWAL(wal)
+	}
+	if cl != nil {
+		server.WithCluster(cl)
+	}
+	if cfg.tenantRPS > 0 || cfg.tenantInflight > 0 {
+		server.WithQuotas(cluster.NewQuotas(cluster.QuotaConfig{
+			RPS:         cfg.tenantRPS,
+			Burst:       cfg.tenantBurst,
+			MaxInflight: cfg.tenantInflight,
+		}))
+	}
+	d.server = server
+	return d, nil
 }
 
 func main() {
@@ -128,6 +243,19 @@ func main() {
 			"worker-pool size for filters/rasterizer/pipeline execution (0 = GOMAXPROCS)")
 		datasetCacheMB = flag.Int("dataset-cache-mb", 256,
 			"in-memory dataset cache shared across jobs, in MiB (0 disables)")
+
+		nodeID = flag.String("node-id", "", "this node's name in the -peers list (cluster mode)")
+		peers  = flag.String("peers", "",
+			"static fleet membership as id=host:port,... (enables cluster mode; all nodes must share -store)")
+		walDir = flag.String("wal-dir", "",
+			"write-ahead log directory for accepted jobs/turns (default <out>/wal; \"none\" disables)")
+
+		tenantRPS = flag.Float64("tenant-rps", 0,
+			"per-tenant sustained submissions/sec at the front door (0 disables quotas)")
+		tenantBurst = flag.Int("tenant-burst", 0,
+			"per-tenant burst allowance (default ceil(tenant-rps))")
+		tenantInflight = flag.Int("tenant-inflight", 0,
+			"per-tenant cap on concurrently executing submissions (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -140,7 +268,7 @@ func main() {
 		stop()
 	}()
 
-	queue, server, sessions, _, err := buildDaemon(daemonConfig{
+	d, err := buildDaemon(daemonConfig{
 		dataDir:        *dataDir,
 		outDir:         *outDir,
 		storeDir:       *storeDir,
@@ -151,12 +279,26 @@ func main() {
 		noCache:        *noCache,
 		computeWorkers: *computeWorkers,
 		datasetCacheMB: *datasetCacheMB,
+		nodeID:         *nodeID,
+		peers:          *peers,
+		walDir:         *walDir,
+		tenantRPS:      *tenantRPS,
+		tenantBurst:    *tenantBurst,
+		tenantInflight: *tenantInflight,
 	})
 	if err != nil {
 		log.Fatalf("chatvisd: %v", err)
 	}
+	defer d.close()
+	if d.replayedJobs+d.replayedTurns > 0 {
+		log.Printf("chatvisd: wal replay re-submitted %d jobs, %d turns", d.replayedJobs, d.replayedTurns)
+	}
+	if d.cluster != nil {
+		d.cluster.Start()
+		log.Printf("chatvisd: cluster mode, node %s of %d peers", d.cluster.Self().ID, len(d.cluster.Peers()))
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: d.server.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("chatvisd: listening on %s (%d job workers, %d compute workers, %d MiB dataset cache, models: %v)",
@@ -177,14 +319,17 @@ func main() {
 		log.Printf("chatvisd: http shutdown: %v", err)
 	}
 	drainErr := false
-	if err := queue.Shutdown(shutdownCtx); err != nil {
+	if err := d.queue.Shutdown(shutdownCtx); err != nil {
 		log.Printf("chatvisd: queue drain incomplete: %v", err)
 		drainErr = true
 	}
-	if err := sessions.Shutdown(shutdownCtx); err != nil {
+	if err := d.sessions.Shutdown(shutdownCtx); err != nil {
 		log.Printf("chatvisd: session drain incomplete: %v", err)
 		drainErr = true
 	}
+	// Close the WAL last: the drains above flushed every terminal
+	// transition, so a clean exit replays nothing on the next boot.
+	d.close()
 	if drainErr {
 		os.Exit(1)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -20,7 +21,7 @@ import (
 // against the stub "oracle" LLM profile, polls it to completion, fetches
 // the script and screenshot artifacts by hash, and drains the queue.
 func TestDaemonSmoke(t *testing.T) {
-	queue, server, _, _, err := buildDaemon(daemonConfig{
+	d, err := buildDaemon(daemonConfig{
 		dataDir: t.TempDir(),
 		outDir:  t.TempDir(),
 		workers: 2,
@@ -28,6 +29,8 @@ func TestDaemonSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.close()
+	queue, server := d.queue, d.server
 	srv := httptest.NewServer(server.Handler())
 	defer srv.Close()
 
@@ -189,7 +192,7 @@ func TestDaemonSmoke(t *testing.T) {
 // criterion end-to-end: N identical concurrent POSTs against the stub
 // profile yield exactly one pipeline execution.
 func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
-	queue, server, _, _, err := buildDaemon(daemonConfig{
+	d, err := buildDaemon(daemonConfig{
 		dataDir: t.TempDir(),
 		outDir:  t.TempDir(),
 		workers: 4,
@@ -197,6 +200,8 @@ func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.close()
+	queue, server := d.queue, d.server
 	srv := httptest.NewServer(server.Handler())
 	defer srv.Close()
 
@@ -283,7 +288,7 @@ func TestDaemonConcurrentIdenticalSubmissions(t *testing.T) {
 // second turn re-executed only the changed stage (and its downstream
 // subtree), which is the whole point of the session API.
 func TestDaemonSessionTwoTurns(t *testing.T) {
-	queue, server, sessions, _, err := buildDaemon(daemonConfig{
+	d, err := buildDaemon(daemonConfig{
 		dataDir: t.TempDir(),
 		outDir:  t.TempDir(),
 		workers: 2,
@@ -291,6 +296,8 @@ func TestDaemonSessionTwoTurns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.close()
+	queue, server, sessions := d.queue, d.server, d.sessions
 	srv := httptest.NewServer(server.Handler())
 	defer srv.Close()
 
@@ -422,7 +429,7 @@ func TestDaemonSessionTwoTurns(t *testing.T) {
 // /metrics, and two different jobs over the same input dataset share the
 // content-hash dataset cache (the second job's reader is a cache hit).
 func TestDaemonComputeFlagsAndDatasetCache(t *testing.T) {
-	queue, server, _, _, err := buildDaemon(daemonConfig{
+	d, err := buildDaemon(daemonConfig{
 		dataDir:        t.TempDir(),
 		outDir:         t.TempDir(),
 		workers:        2,
@@ -432,6 +439,8 @@ func TestDaemonComputeFlagsAndDatasetCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer d.close()
+	queue, server := d.queue, d.server
 	defer par.SetWorkers(0)
 	if got := par.Workers(); got != 3 {
 		t.Fatalf("par.Workers() = %d, want 3 (from -compute-workers)", got)
@@ -514,5 +523,207 @@ func TestDaemonComputeFlagsAndDatasetCache(t *testing.T) {
 	defer cancel()
 	if err := queue.Shutdown(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestClusterSmoke3Nodes is the CI cluster smoke step
+// (`make smoke-cluster`): it boots three full daemons on loopback
+// sharing one artifact store, posts the identical prompt to all three
+// at once, and asserts the fleet executed the pipeline exactly once.
+// It then creates a session (which lands on its ring owner) and drives
+// a turn through a NON-owner node to prove session forwarding.
+func TestClusterSmoke3Nodes(t *testing.T) {
+	const n = 3
+	listeners := make([]*httptest.Server, n)
+	peerSpec := make([]string, n)
+	for i := range listeners {
+		listeners[i] = httptest.NewUnstartedServer(http.NotFoundHandler())
+		peerSpec[i] = fmt.Sprintf("n%d=%s", i+1, listeners[i].Listener.Addr().String())
+	}
+	peers := strings.Join(peerSpec, ",")
+
+	sharedStore := t.TempDir()
+	daemons := make([]*daemon, n)
+	for i := range daemons {
+		d, err := buildDaemon(daemonConfig{
+			dataDir:  t.TempDir(),
+			outDir:   t.TempDir(),
+			storeDir: sharedStore,
+			workers:  2,
+			nodeID:   fmt.Sprintf("n%d", i+1),
+			peers:    peers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemons[i] = d
+		listeners[i].Config.Handler = d.server.Handler()
+		listeners[i].Start()
+		d.cluster.Start()
+	}
+	t.Cleanup(func() {
+		for i, d := range daemons {
+			listeners[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = d.sessions.Shutdown(ctx)
+			_ = d.queue.Shutdown(ctx)
+			cancel()
+			d.close()
+		}
+	})
+
+	// The same prompt hits every node simultaneously. The ring routes
+	// all three to one owner, which coalesces them onto one execution.
+	prompt := "Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.5. Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 320 x 180 pixels."
+	body, _ := json.Marshal(service.JobRequest{
+		Prompt: prompt, Model: "oracle", Width: 320, Height: 180,
+	})
+	type submitResult struct {
+		id   string
+		code int
+		err  error
+	}
+	results := make(chan submitResult, n)
+	for i := range listeners {
+		go func(url string) {
+			resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- submitResult{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var sub struct {
+				ID string `json:"id"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&sub)
+			results <- submitResult{id: sub.ID, code: resp.StatusCode, err: err}
+		}(listeners[i].URL)
+	}
+	ids := make([]string, 0, n)
+	for range listeners {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.code != http.StatusAccepted && r.code != http.StatusOK {
+			t.Fatalf("submit = %d", r.code)
+		}
+		ids = append(ids, r.id)
+	}
+
+	// Every node can resolve every job ID (namespaced IDs route home).
+	for _, id := range ids {
+		for _, l := range listeners {
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				resp, err := http.Get(l.URL + "/v1/jobs/" + id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var view struct {
+					Status service.JobStatus `json:"status"`
+					Error  string            `json:"error"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if view.Status.Terminal() {
+					if view.Status != service.StatusSucceeded {
+						t.Fatalf("job %s: %s (%s)", id, view.Status, view.Error)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job %s stuck", id)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
+
+	// THE fleet-wide assertion: one execution across all three nodes.
+	var executed int64
+	for _, d := range daemons {
+		executed += d.queue.Snapshot().Executed
+	}
+	if executed != 1 {
+		t.Errorf("fleet executed %d times for one prompt, want exactly 1", executed)
+	}
+
+	// Session forwarding: the creating node mints an ID it owns, so a
+	// turn posted anywhere else must relay to the creator.
+	resp, err := http.Post(listeners[0].URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"model":"oracle","width":320,"height":180}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created service.SessionView
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("POST /v1/sessions = %d", resp.StatusCode)
+	}
+	owner, ok := daemons[0].cluster.Owner(created.ID)
+	if !ok || !daemons[0].cluster.IsSelf(owner) {
+		t.Fatalf("creating node does not own session %s (owner %v)", created.ID, owner)
+	}
+
+	turnBody, _ := json.Marshal(service.TurnRequest{Prompt: prompt})
+	resp, err = http.Post(listeners[1].URL+"/v1/sessions/"+created.ID+"/turns",
+		"application/json", bytes.NewReader(turnBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var turn service.TurnView
+	if err := json.NewDecoder(resp.Body).Decode(&turn); err != nil {
+		t.Fatal(err)
+	}
+	forwardedBy := resp.Header.Get(service.ForwardedHeader)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST turn via non-owner = %d", resp.StatusCode)
+	}
+	if forwardedBy != "n1" {
+		t.Errorf("turn response forwarded-by = %q, want n1", forwardedBy)
+	}
+
+	// The turn completes, observable from the third node.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(listeners[2].URL + "/v1/sessions/" + created.ID + "/turns/" + turn.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tv service.TurnView
+		err = json.NewDecoder(resp.Body).Decode(&tv)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv.Status.Terminal() {
+			if tv.Status != service.StatusSucceeded || !tv.Success {
+				t.Fatalf("forwarded turn = %s (%s)", tv.Status, tv.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("forwarded turn never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Cluster health is visible on every node's /metrics.
+	resp, err = http.Get(listeners[2].URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metricsBody), "chatvis_cluster_peers_healthy 3") {
+		t.Errorf("metrics missing healthy peer count:\n%s", metricsBody)
 	}
 }

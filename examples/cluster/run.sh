@@ -1,0 +1,52 @@
+#!/bin/sh
+# Launch a 3-node chatvisd fleet on loopback: one shared artifact
+# store, a private WAL per node, every node given the same -peers list.
+# Ctrl-C drains all three gracefully (their WALs flush, so a restart
+# replays nothing). See docs/cluster.md.
+#
+# Usage:  examples/cluster/run.sh [root-dir]
+#
+# Then, from another shell — the same prompt through different nodes
+# executes once fleet-wide:
+#
+#   BODY=$(curl -s 'localhost:8081/v1/scenarios?width=320&height=180' |
+#     sed 's/.*"id":"iso","prompt":"\([^"]*\)".*/{"prompt":"\1","model":"oracle","width":320,"height":180}/')
+#   curl -s localhost:8081/v1/jobs -d "$BODY"   # owner executes
+#   curl -s localhost:8082/v1/jobs -d "$BODY"   # relays / coalesces
+#   curl -s -H 'Accept: application/json' localhost:8083/healthz
+#   curl -s localhost:8081/metrics | grep chatvis_cluster
+
+set -eu
+
+root=${1:-$(mktemp -d /tmp/chatvis-cluster.XXXXXX)}
+peers="n1=127.0.0.1:8081,n2=127.0.0.1:8082,n3=127.0.0.1:8083"
+echo "fleet root: $root  (shared store: $root/store)"
+
+cd "$(dirname "$0")/../.."
+go build -o "$root/chatvisd" ./cmd/chatvisd
+
+pids=""
+for i in 1 2 3; do
+	mkdir -p "$root/n$i"
+	"$root/chatvisd" \
+		-addr "127.0.0.1:808$i" \
+		-node-id "n$i" \
+		-peers "$peers" \
+		-data "$root/data" \
+		-out "$root/n$i/out" \
+		-store "$root/store" \
+		-wal-dir "$root/n$i/wal" \
+		-workers 2 \
+		>"$root/n$i/log" 2>&1 &
+	pids="$pids $!"
+	echo "n$i: http://127.0.0.1:808$i  (log: $root/n$i/log)"
+done
+
+# shellcheck disable=SC2064 # expand $pids now, not at signal time
+trap "kill $pids 2>/dev/null; wait $pids 2>/dev/null; echo; echo 'fleet drained'" INT TERM
+
+echo "tailing all three logs — Ctrl-C drains the fleet"
+tail -f "$root"/n1/log "$root"/n2/log "$root"/n3/log &
+tailpid=$!
+wait $pids || true
+kill $tailpid 2>/dev/null || true

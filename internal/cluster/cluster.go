@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Peer is one fleet member: a stable node ID plus the host:port its
+// HTTP API listens on.
+type Peer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// PeerHealth is a Peer plus its current liveness, the /healthz and
+// /metrics projection.
+type PeerHealth struct {
+	Peer
+	Healthy bool `json:"healthy"`
+	Self    bool `json:"self,omitempty"`
+}
+
+// Config wires a Cluster.
+type Config struct {
+	// NodeID names this node; it must appear in Peers.
+	NodeID string
+	// Peers is the static fleet membership, this node included.
+	Peers []Peer
+	// VirtualNodes per peer on the ring (default DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval between health sweeps (default 5s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one peer probe (default 2s).
+	ProbeTimeout time.Duration
+	// HTTPClient performs probes (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// Cluster is the node-local view of the fleet: the shard ring, the
+// peer table and probe-driven liveness. Routing decisions (Owner,
+// Owners) skip peers currently marked down, so keys fail over to the
+// next node in their preference order until the probe loop sees the
+// peer healthy again.
+type Cluster struct {
+	self   Peer
+	peers  []Peer
+	byID   map[string]Peer
+	ring   *Ring
+	client *http.Client
+
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+
+	mu    sync.Mutex
+	alive map[string]bool
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// ParsePeers reads a "-peers" flag value: comma-separated id=host:port
+// entries, e.g. "n1=127.0.0.1:8081,n2=127.0.0.1:8082".
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=host:port)", entry)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// New builds the node-local cluster view. Every peer starts optimistic
+// (alive) so a fleet can boot in any order; the probe loop corrects
+// the picture within one interval.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: node id is required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 5 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	c := &Cluster{
+		client:        cfg.HTTPClient,
+		probeInterval: cfg.ProbeInterval,
+		probeTimeout:  cfg.ProbeTimeout,
+		byID:          map[string]Peer{},
+		alive:         map[string]bool{},
+		stopped:       make(chan struct{}),
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p.ID == "" || p.Addr == "" {
+			return nil, fmt.Errorf("cluster: peer needs id and addr: %+v", p)
+		}
+		if _, dup := c.byID[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		c.byID[p.ID] = p
+		c.alive[p.ID] = true
+		ids = append(ids, p.ID)
+	}
+	self, ok := c.byID[cfg.NodeID]
+	if !ok {
+		return nil, fmt.Errorf("cluster: node id %q is not in the peer list", cfg.NodeID)
+	}
+	c.self = self
+	c.peers = append([]Peer(nil), cfg.Peers...)
+	sort.Slice(c.peers, func(i, j int) bool { return c.peers[i].ID < c.peers[j].ID })
+	c.ring = NewRing(ids, cfg.VirtualNodes)
+	return c, nil
+}
+
+// Self returns this node's peer entry.
+func (c *Cluster) Self() Peer { return c.self }
+
+// Client returns the HTTP client probes use, shared with forwarding
+// paths so they see the same transport configuration.
+func (c *Cluster) Client() *http.Client { return c.client }
+
+// IsSelf reports whether the peer is this node.
+func (c *Cluster) IsSelf(p Peer) bool { return p.ID == c.self.ID }
+
+// Peers returns the full membership, sorted by ID.
+func (c *Cluster) Peers() []Peer {
+	out := make([]Peer, len(c.peers))
+	copy(out, c.peers)
+	return out
+}
+
+// Peer looks a member up by ID.
+func (c *Cluster) Peer(id string) (Peer, bool) {
+	p, ok := c.byID[id]
+	return p, ok
+}
+
+// Alive reports whether the node is currently considered healthy. This
+// node itself is always alive from its own point of view.
+func (c *Cluster) Alive(id string) bool {
+	if id == c.self.ID {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive[id]
+}
+
+// MarkAlive records a liveness observation. Forwarding paths call it
+// with false on connection errors so routing fails over immediately
+// instead of waiting for the next probe sweep; the probe loop calls it
+// with true once the peer answers again.
+func (c *Cluster) MarkAlive(id string, ok bool) {
+	if id == c.self.ID {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, known := c.byID[id]; known {
+		c.alive[id] = ok
+	}
+}
+
+// Owner returns the healthy owner of a key (session ID, job key,
+// plan-hash coalescing key). ok is false only when every member is
+// down, which cannot happen from a live node's view (self is always
+// alive).
+func (c *Cluster) Owner(key string) (Peer, bool) {
+	id, ok := c.ring.Owner(key, c.Alive)
+	if !ok {
+		return Peer{}, false
+	}
+	return c.byID[id], true
+}
+
+// Owners returns up to n peers in the key's failover preference order,
+// dead or alive — callers that want liveness filtering use Owner.
+func (c *Cluster) Owners(key string, n int) []Peer {
+	ids := c.ring.Owners(key, n)
+	out := make([]Peer, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.byID[id])
+	}
+	return out
+}
+
+// Health returns the per-peer liveness table, self first.
+func (c *Cluster) Health() []PeerHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PeerHealth, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, PeerHealth{
+			Peer:    p,
+			Healthy: p.ID == c.self.ID || c.alive[p.ID],
+			Self:    p.ID == c.self.ID,
+		})
+	}
+	return out
+}
+
+// HealthyCount returns how many members (self included) are alive.
+func (c *Cluster) HealthyCount() int {
+	n := 0
+	for _, h := range c.Health() {
+		if h.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// ProbeOnce sweeps every peer's /healthz synchronously and updates the
+// liveness table. The probe loop calls it on a ticker; tests and the
+// smoke target call it directly for a deterministic picture.
+func (c *Cluster) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range c.peers {
+		if p.ID == c.self.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			c.MarkAlive(p.ID, c.probe(ctx, p))
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe asks one peer whether it is alive.
+func (c *Cluster) probe(ctx context.Context, p Peer) bool {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.Addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Start launches the background probe loop; Stop ends it.
+func (c *Cluster) Start() {
+	go func() {
+		ticker := time.NewTicker(c.probeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stopped:
+				return
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), c.probeInterval)
+				c.ProbeOnce(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop (idempotent).
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stopped) })
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testPeers(addrs ...string) []Peer {
+	peers := make([]Peer, len(addrs))
+	for i, a := range addrs {
+		peers[i] = Peer{ID: fmt.Sprintf("n%d", i+1), Addr: a}
+	}
+	return peers
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n1=127.0.0.1:8081, n2=127.0.0.1:8082")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "n1" || peers[1].Addr != "127.0.0.1:8082" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	for _, bad := range []string{"", "oops", "n1=", "=addr", "n1=a,n1=b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) should fail", bad)
+		}
+	}
+}
+
+func TestClusterOwnerFailsOverWhenMarkedDown(t *testing.T) {
+	c, err := New(Config{NodeID: "n1", Peers: testPeers("a:1", "b:2", "c:3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key the fleet does NOT route to us, then kill its owner:
+	// the key must fail over to its second preference, deterministically.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("probe-%d", i)
+		if owner, _ := c.Owner(key); owner.ID != "n1" {
+			break
+		}
+	}
+	owner, ok := c.Owner(key)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	prefs := c.Owners(key, 3)
+	c.MarkAlive(owner.ID, false)
+	next, ok := c.Owner(key)
+	if !ok || next.ID == owner.ID {
+		t.Fatalf("dead owner still routed: %+v", next)
+	}
+	if next.ID != prefs[1].ID {
+		t.Errorf("failover owner = %s, want preference order %v", next.ID, prefs)
+	}
+	c.MarkAlive(owner.ID, true)
+	back, _ := c.Owner(key)
+	if back.ID != owner.ID {
+		t.Errorf("revived owner not restored: %s, want %s", back.ID, owner.ID)
+	}
+	// Self is always alive, even if someone marks it down.
+	c.MarkAlive("n1", false)
+	if !c.Alive("n1") {
+		t.Error("self must always be alive")
+	}
+}
+
+func TestClusterProbeSweep(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	c, err := New(Config{
+		NodeID: "self",
+		Peers: []Peer{
+			{ID: "self", Addr: "127.0.0.1:0"},
+			{ID: "peer", Addr: peer.Listener.Addr().String()},
+		},
+		ProbeTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background())
+	if !c.Alive("peer") {
+		t.Fatal("healthy peer probed down")
+	}
+	healthy.Store(false)
+	c.ProbeOnce(context.Background())
+	if c.Alive("peer") {
+		t.Fatal("unhealthy peer probed up")
+	}
+	if got := c.HealthyCount(); got != 1 {
+		t.Errorf("healthy count = %d, want 1 (just self)", got)
+	}
+	healthy.Store(true)
+	c.ProbeOnce(context.Background())
+	if !c.Alive("peer") {
+		t.Fatal("recovered peer not probed back up")
+	}
+	if got := c.HealthyCount(); got != 2 {
+		t.Errorf("healthy count = %d, want 2", got)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{NodeID: "nope", Peers: testPeers("a:1")}); err == nil {
+		t.Error("node id outside the peer list must fail")
+	}
+	if _, err := New(Config{NodeID: "", Peers: testPeers("a:1")}); err == nil {
+		t.Error("empty node id must fail")
+	}
+	if _, err := New(Config{NodeID: "n1", Peers: []Peer{{ID: "n1", Addr: "a"}, {ID: "n1", Addr: "b"}}}); err == nil {
+		t.Error("duplicate peer ids must fail")
+	}
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndDistinct(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r1 := NewRing(nodes, 64)
+	r2 := NewRing([]string{"n3", "n1", "n2", "n2"}, 64) // order/dupes must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		a, ok := r1.Owner(key, nil)
+		if !ok {
+			t.Fatalf("no owner for %s", key)
+		}
+		b, _ := r2.Owner(key, nil)
+		if a != b {
+			t.Fatalf("owner of %s differs across construction orders: %s vs %s", key, a, b)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := NewRing(nodes, 64)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("key-%d", i), nil)
+		counts[owner]++
+	}
+	for _, n := range nodes {
+		if counts[n] < keys/10 {
+			t.Errorf("node %s owns only %d/%d keys — ring is badly unbalanced: %v",
+				n, counts[n], keys, counts)
+		}
+	}
+}
+
+// TestRingConsistencyOnFailure is the consistent-hashing property: when
+// a node dies, only its keys move; keys owned by surviving nodes keep
+// their owner.
+func TestRingConsistencyOnFailure(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 64)
+	allAlive := func(string) bool { return true }
+	n2Dead := func(n string) bool { return n != "n2" }
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, _ := r.Owner(key, allAlive)
+		after, ok := r.Owner(key, n2Dead)
+		if !ok || after == "n2" {
+			t.Fatalf("key %s routed to dead node", key)
+		}
+		if before == "n2" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Errorf("key %s owned by surviving %s moved to %s", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingOwnersPreferenceOrder(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 32)
+	owners := r.Owners("some-key", 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners returned %d nodes, want 3", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %s in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	// The failover owner must be what Owner returns when the primary dies.
+	primary := owners[0]
+	failover, _ := r.Owner("some-key", func(n string) bool { return n != primary })
+	if failover != owners[1] {
+		t.Errorf("failover owner %s, want Owners()[1] = %s", failover, owners[1])
+	}
+}
+
+func TestRingEmptyAndAllDead(t *testing.T) {
+	if _, ok := NewRing(nil, 8).Owner("k", nil); ok {
+		t.Error("empty ring must have no owner")
+	}
+	r := NewRing([]string{"n1"}, 8)
+	if _, ok := r.Owner("k", func(string) bool { return false }); ok {
+		t.Error("all-dead ring must have no owner")
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"chatvis/internal/chatvis"
+	"chatvis/internal/cluster"
 )
 
 // PipelineFunc runs one ChatVis pipeline for a request and returns the
@@ -35,6 +37,21 @@ type QueueOptions struct {
 	// GET /v1/jobs/{id}; their results remain addressable through the
 	// store by resubmitting the request.
 	RetainJobs int
+	// WAL, when set, makes accepted work durable: every new submission
+	// is appended (and fsynced) before it is enqueued, lifecycle
+	// transitions follow, and ReplayWAL re-submits whatever a crash
+	// left unfinished.
+	WAL *cluster.WAL
+	// RemoteLookup, when set, is consulted just before a job executes:
+	// in cluster mode it asks the shard-ring owner of the job key for an
+	// in-flight or stored result, collapsing identical requests
+	// fleet-wide instead of per process. A hit finishes the job without
+	// running the pipeline.
+	RemoteLookup func(ctx context.Context, key string) (*Result, bool)
+	// JobIDPrefix namespaces job IDs (default "job"); cluster mode uses
+	// "job-<nodeID>" so any node can route a GET /v1/jobs/{id} back to
+	// the node that owns the record.
+	JobIDPrefix string
 }
 
 // ErrQueueFull is returned by Submit when the backlog is at capacity.
@@ -92,6 +109,12 @@ type queueMetrics struct {
 	canceled  atomic.Int64
 	running   atomic.Int64
 
+	// remoteHits counts jobs answered by a ring peer (fleet-wide
+	// coalescing) instead of a local execution.
+	remoteHits atomic.Int64
+	// replayed counts jobs re-submitted from the WAL at startup.
+	replayed atomic.Int64
+
 	latencyNanos atomic.Int64
 	latencyCount atomic.Int64
 	buckets      [numLatencyBuckets + 1]atomic.Int64
@@ -114,6 +137,11 @@ type QueueSnapshot struct {
 	Canceled  int64
 	Running   int64
 	Depth     int64
+	// RemoteHits counts jobs satisfied by a ring peer's in-flight or
+	// stored result (cluster mode); Replayed counts WAL re-submissions
+	// at startup.
+	RemoteHits int64
+	Replayed   int64
 	// LatencyTotal / LatencyCount summarize executed-job durations.
 	LatencyTotal time.Duration
 	LatencyCount int64
@@ -140,6 +168,9 @@ func NewQueue(opts QueueOptions) (*Queue, error) {
 	}
 	if opts.RetainJobs < 1 {
 		opts.RetainJobs = 4096
+	}
+	if opts.JobIDPrefix == "" {
+		opts.JobIDPrefix = "job"
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
@@ -203,23 +234,43 @@ func (q *Queue) Submit(req JobRequest) (*Job, Submission, error) {
 	}
 
 	job := q.newJobLocked(key, req)
+	// Durability before enqueue: once the WAL has the accepted record a
+	// crash cannot lose the work, so only now may the client see an ack.
+	if w := q.opts.WAL; w != nil {
+		if err := w.Accepted(cluster.KindJob, "", job.ID, key, req); err != nil {
+			q.unregisterLocked(job)
+			return nil, "", fmt.Errorf("service: logging accepted job: %w", err)
+		}
+	}
 	select {
 	case q.work <- job:
 	default:
-		// Backlog full: unregister the stillborn job.
-		delete(q.jobs, job.ID)
-		delete(q.byKey, key)
-		q.order = q.order[:len(q.order)-1]
+		// Backlog full: unregister the stillborn job and retire its WAL
+		// record so it never replays.
+		q.unregisterLocked(job)
+		if w := q.opts.WAL; w != nil {
+			_ = w.Failed(cluster.KindJob, "", job.ID, ErrQueueFull.Error())
+		}
 		return nil, "", ErrQueueFull
 	}
 	return job, SubmissionNew, nil
+}
+
+// unregisterLocked removes a just-created job that never entered the
+// queue. Callers hold q.mu.
+func (q *Queue) unregisterLocked(job *Job) {
+	delete(q.jobs, job.ID)
+	if q.byKey[job.Key] == job {
+		delete(q.byKey, job.Key)
+	}
+	q.order = q.order[:len(q.order)-1]
 }
 
 // newJobLocked allocates and registers a job. Callers hold q.mu.
 func (q *Queue) newJobLocked(key string, req JobRequest) *Job {
 	q.seq++
 	job := &Job{
-		ID:          fmt.Sprintf("job-%d", q.seq),
+		ID:          fmt.Sprintf("%s-%d", q.opts.JobIDPrefix, q.seq),
 		Key:         key,
 		Req:         req,
 		status:      StatusQueued,
@@ -291,6 +342,7 @@ func (q *Queue) run(job *Job) {
 	if job.status.Terminal() { // canceled while queued
 		job.mu.Unlock()
 		q.m.canceled.Add(1)
+		q.walTerminal(job.ID, StatusCanceled, false)
 		return
 	}
 	ctx, cancel := context.WithCancel(q.baseCtx)
@@ -300,6 +352,26 @@ func (q *Queue) run(job *Job) {
 	job.mu.Unlock()
 	defer cancel()
 
+	// Fleet-wide coalescing: before spending a pipeline execution, ask
+	// the ring owner of this key whether an identical request is already
+	// in flight or stored anywhere in the cluster.
+	if rl := q.opts.RemoteLookup; rl != nil {
+		if res, ok := rl(ctx, job.Key); ok && res != nil {
+			_ = q.store.PutResult(res)
+			job.mu.Lock()
+			job.result = res
+			job.finishTerminalLocked(StatusSucceeded, "")
+			job.mu.Unlock()
+			q.m.remoteHits.Add(1)
+			q.m.succeeded.Add(1)
+			q.walTerminal(job.ID, StatusSucceeded, false)
+			return
+		}
+	}
+
+	if w := q.opts.WAL; w != nil {
+		_ = w.Started(cluster.KindJob, "", job.ID)
+	}
 	q.m.running.Add(1)
 	q.m.executed.Add(1)
 	start := time.Now()
@@ -313,11 +385,16 @@ func (q *Queue) run(job *Job) {
 			job.finishTerminalLocked(StatusCanceled, err.Error())
 			job.mu.Unlock()
 			q.m.canceled.Add(1)
+			// A shutdown cancellation keeps the WAL entry pending so the
+			// accepted work replays after restart; a client withdrawing
+			// retires it.
+			q.walTerminal(job.ID, StatusCanceled, q.baseCtx.Err() != nil)
 			return
 		}
 		job.finishTerminalLocked(StatusFailed, err.Error())
 		job.mu.Unlock()
 		q.m.failed.Add(1)
+		q.walTerminal(job.ID, StatusFailed, false)
 		return
 	}
 
@@ -327,12 +404,77 @@ func (q *Queue) run(job *Job) {
 		job.finishTerminalLocked(StatusFailed, err.Error())
 		job.mu.Unlock()
 		q.m.failed.Add(1)
+		q.walTerminal(job.ID, StatusFailed, false)
 		return
 	}
 	job.result = res
 	job.finishTerminalLocked(StatusSucceeded, "")
 	job.mu.Unlock()
 	q.m.succeeded.Add(1)
+	q.walTerminal(job.ID, StatusSucceeded, false)
+}
+
+// walTerminal retires a job's WAL entry. shutdownCancel keeps the entry
+// pending instead: work canceled by a daemon shutdown was accepted but
+// never delivered, and MUST replay when the node comes back.
+func (q *Queue) walTerminal(jobID string, status JobStatus, shutdownCancel bool) {
+	w := q.opts.WAL
+	if w == nil || shutdownCancel {
+		return
+	}
+	switch status {
+	case StatusSucceeded:
+		_ = w.Completed(cluster.KindJob, "", jobID)
+	case StatusFailed:
+		_ = w.Failed(cluster.KindJob, "", jobID, "pipeline failed")
+	case StatusCanceled:
+		_ = w.Failed(cluster.KindJob, "", jobID, "canceled by client")
+	}
+}
+
+// ReplayWAL re-submits the unfinished work a crash left in the WAL:
+// every recovered job record becomes a fresh submission (new job ID,
+// same request), and the recovered record is retired as superseded.
+// Completed entries were already dropped by the WAL replay, so nothing
+// is executed twice; if the process dies between the re-submission and
+// the retirement, the next replay's duplicate coalesces by key. Returns
+// how many jobs were re-queued.
+func (q *Queue) ReplayWAL() int {
+	w := q.opts.WAL
+	if w == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range w.Recovered() {
+		if rec.Kind != cluster.KindJob {
+			continue
+		}
+		var req JobRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil || req.Validate() != nil {
+			_ = w.Failed(rec.Kind, rec.Session, rec.ID, "unreplayable record")
+			continue
+		}
+		job, _, err := q.Submit(req)
+		if err != nil {
+			continue // queue full/closed: leave the record for next boot
+		}
+		_ = w.Superseded(rec, job.ID)
+		n++
+	}
+	q.m.replayed.Add(int64(n))
+	return n
+}
+
+// InFlight returns the live (queued or running) job for a key, if any —
+// what a ring peer interrogates for cross-node coalescing.
+func (q *Queue) InFlight(key string) (*Job, bool) {
+	q.mu.Lock()
+	job := q.byKey[key]
+	q.mu.Unlock()
+	if job == nil || job.Status().Terminal() {
+		return nil, false
+	}
+	return job, true
 }
 
 // storeArtifact persists a finished session into the content-addressed
@@ -414,6 +556,8 @@ func (q *Queue) Snapshot() QueueSnapshot {
 		Canceled:     q.m.canceled.Load(),
 		Running:      q.m.running.Load(),
 		Depth:        int64(len(q.work)),
+		RemoteHits:   q.m.remoteHits.Load(),
+		Replayed:     q.m.replayed.Load(),
 		LatencyTotal: time.Duration(q.m.latencyNanos.Load()),
 		LatencyCount: q.m.latencyCount.Load(),
 	}
@@ -445,12 +589,23 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		// A drained node delivered everything it accepted: flush the WAL
+		// so the completed transitions are durable and a restart replays
+		// nothing that was already delivered.
+		if w := q.opts.WAL; w != nil {
+			_ = w.Sync()
+		}
 		return nil
 	case <-ctx.Done():
 		// Force: cancel every in-flight pipeline, then wait for workers
-		// to unwind (pipelines honour their contexts).
+		// to unwind (pipelines honour their contexts). Their WAL entries
+		// deliberately stay pending — the accepted work replays on the
+		// next boot.
 		q.baseCancel()
 		<-drained
+		if w := q.opts.WAL; w != nil {
+			_ = w.Sync()
+		}
 		return ctx.Err()
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,8 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"chatvis/internal/cluster"
 	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
@@ -45,6 +48,13 @@ type Server struct {
 	// sessions serves the conversational endpoints; may be nil (the
 	// endpoints then answer 503).
 	sessions *Sessions
+	// cluster, quotas and wal are the fleet-mode attachments; all may be
+	// nil (single-node daemon).
+	cluster *cluster.Cluster
+	quotas  *cluster.Quotas
+	wal     *cluster.WAL
+	// forwards counts requests relayed to their ring owner.
+	forwards atomic.Int64
 	started  time.Time
 }
 
@@ -81,6 +91,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/turns/{turn}", s.handleGetTurn)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/cluster/result/{key}", s.handleClusterResult)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -113,8 +124,15 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The body is read raw (not streamed into the decoder) so a cluster
+	// relay can replay the exact bytes to the ring owner.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
 	var req JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
@@ -133,17 +151,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	release, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	// Jobs shard by content key: identical prompts submitted anywhere in
+	// the fleet meet at one owner and coalesce to a single execution. A
+	// failed relay falls back to local execution — the remote-coalescing
+	// hook still dedupes against the owner before running.
+	if peer, fwd := s.ownerPeer(r, Key(req)); fwd {
+		if s.proxy(w, r, peer, body) {
+			release()
+			return
+		}
+	}
 	job, outcome, err := s.queue.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		release()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, ErrQueueClosed):
+		release()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
+		release()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if outcome == SubmissionNew {
+		// The tenant's inflight slot is held until the job finishes, so
+		// MaxInflight bounds concurrent executions, not concurrent POSTs.
+		go func() {
+			<-job.Done()
+			release()
+		}()
+	} else {
+		release()
 	}
 	code := http.StatusAccepted
 	if outcome == SubmissionStoreHit {
@@ -164,6 +209,10 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
+		// Job IDs carry the accepting node's name; route the poll home.
+		if peer, fwd := s.jobPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, nil) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -173,6 +222,9 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
+		if peer, fwd := s.jobPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, nil) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -236,7 +288,12 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	sess, ok := m.Get(r.PathValue("id"))
+	// Sessions live on their ring owner; a failed relay falls through to
+	// a cold restore from the shared store (the failover path).
+	if peer, fwd := s.ownerPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, nil) {
+		return
+	}
+	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
@@ -255,26 +312,50 @@ func (s *Server) handleSubmitTurn(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	sess, ok := m.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
 	var req TurnRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
+	release, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	if peer, fwd := s.ownerPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, body) {
+		release()
+		return
+	}
+	sess, ok := m.GetOrRestore(r.PathValue("id"))
+	if !ok {
+		release()
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
 	view, outcome, err := sess.SubmitTurn(req)
 	switch {
 	case errors.Is(err, ErrQueueClosed):
+		release()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
+		release()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if done, found := sess.TurnDone(view.ID); outcome == SubmissionNew && found {
+		go func() {
+			<-done
+			release()
+		}()
+	} else {
+		release()
 	}
 	code := http.StatusAccepted
 	if outcome == SubmissionCoalesced && view.Status.Terminal() {
@@ -288,7 +369,10 @@ func (s *Server) handleGetTurn(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	sess, ok := m.Get(r.PathValue("id"))
+	if peer, fwd := s.ownerPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, nil) {
+		return
+	}
+	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
@@ -309,7 +393,14 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
-	sess, ok := m.Get(r.PathValue("id"))
+	// SSE streams redirect rather than proxy: the client holds its
+	// long-lived connection straight to the session's owner.
+	if peer, fwd := s.ownerPeer(r, r.PathValue("id")); fwd {
+		s.forwards.Add(1)
+		http.Redirect(w, r, "http://"+peer.Addr+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return
+	}
+	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
@@ -399,12 +490,27 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.queue.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
 		"queue_depth":    snap.Depth,
 		"running":        snap.Running,
-	})
+	}
+	// The cluster view hides behind Accept negotiation so existing
+	// probes (and peer liveness checks) keep the small legacy body.
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		if s.cluster != nil {
+			body["node"] = s.cluster.Self().ID
+			body["ring"] = s.cluster.Health()
+		}
+		if s.wal != nil {
+			body["wal_backlog"] = s.wal.Backlog()
+		}
+		if s.sessions != nil {
+			body["sessions_tracked"] = s.sessions.Snapshot().Tracked
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -449,6 +555,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("chatvis_sessions_tracked", "Sessions known to the daemon, hydrated or restored cold.", ss.Tracked)
 		emit("chatvis_session_turns_total", "Conversational turns executed.", ss.Turns)
 		emit("chatvis_sse_subscribers", "Connected session event streams.", ss.SSESubscribers)
+	}
+
+	// Cluster mode.
+	if s.cluster != nil {
+		emit("chatvis_cluster_peers_healthy", "Fleet members currently alive (self included).", s.cluster.HealthyCount())
+		emit("chatvis_cluster_forwards_total", "Requests relayed to their shard-ring owner.", s.forwards.Load())
+		emit("chatvis_cluster_remote_coalesce_hits_total", "Executions avoided via a peer's stored or in-flight result.", q.RemoteHits)
+	}
+	if s.wal != nil {
+		replayed := q.Replayed
+		if s.sessions != nil {
+			replayed += s.sessions.Snapshot().Replayed
+		}
+		emit("chatvis_wal_replayed_total", "Jobs and turns re-submitted from the WAL after a restart.", replayed)
+		emit("chatvis_wal_backlog", "WAL entries accepted but not yet finished.", s.wal.Backlog())
+	}
+	if s.quotas.Enabled() {
+		emit("chatvis_tenant_throttled_total", "Requests rejected by tenant quotas (429).", s.quotas.Throttled())
 	}
 
 	// Parallel compute substrate.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"chatvis/internal/chatvis"
+	"chatvis/internal/cluster"
 	"chatvis/internal/llm"
 	"chatvis/internal/plan"
 )
@@ -201,6 +202,13 @@ type Sessions struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// wal, when set, makes accepted turns durable (crash replay), like
+	// the job queue's WAL.
+	wal *cluster.WAL
+	// ownsID, when set, steers new session IDs onto ones this node owns
+	// on the shard ring, so follow-up turns route straight back here.
+	ownsID func(string) bool
+
 	mu       sync.Mutex
 	closed   bool
 	sessions map[string]*SvcSession
@@ -209,6 +217,20 @@ type Sessions struct {
 
 	turnsTotal atomic.Int64
 	sseSubs    atomic.Int64
+	replayed   atomic.Int64
+}
+
+// WithWAL attaches the durable turn log; returns m for chaining.
+func (m *Sessions) WithWAL(w *cluster.WAL) *Sessions {
+	m.wal = w
+	return m
+}
+
+// WithOwnership sets the shard-ring ownership predicate used when
+// minting session IDs; returns m for chaining.
+func (m *Sessions) WithOwnership(owns func(id string) bool) *Sessions {
+	m.ownsID = owns
+	return m
 }
 
 // NewSessions builds the registry over a store and a session factory.
@@ -236,34 +258,80 @@ func (m *Sessions) Restore() int {
 	defer m.mu.Unlock()
 	restored := 0
 	for _, r := range records {
-		if _, exists := m.sessions[r.ID]; exists {
-			continue
+		if m.restoreRecordLocked(r) {
+			restored++
 		}
-		s := &SvcSession{
-			ID: r.ID, Req: r.Request, Created: r.Created, m: m,
-			seedPlan: r.Plan, planHash: r.PlanHash, planJSON: r.Plan,
-			byKey: map[string]*turnRec{},
-			subs:  map[chan []byte]struct{}{},
-		}
-		for _, tv := range r.Turns {
-			tr := &turnRec{view: tv, done: make(chan struct{})}
-			close(tr.done)
-			s.turns = append(s.turns, tr)
-			s.byKey[tv.Key] = tr
-			if tv.Index > s.seq {
-				s.seq = tv.Index
-			}
-		}
-		m.sessions[r.ID] = s
-		m.order = append(m.order, r.ID)
-		// Keep new IDs past every restored one ("s-<n>").
-		var n int64
-		if _, err := fmt.Sscanf(r.ID, "s-%d", &n); err == nil && n > m.seq {
-			m.seq = n
-		}
-		restored++
 	}
 	return restored
+}
+
+// restoreRecordLocked rehydrates one persisted session (cold). Callers
+// hold m.mu; reports whether the record was new.
+func (m *Sessions) restoreRecordLocked(r *SessionRecord) bool {
+	if _, exists := m.sessions[r.ID]; exists {
+		return false
+	}
+	s := &SvcSession{
+		ID: r.ID, Req: r.Request, Created: r.Created, m: m,
+		seedPlan: r.Plan, planHash: r.PlanHash, planJSON: r.Plan,
+		byKey: map[string]*turnRec{},
+		subs:  map[chan []byte]struct{}{},
+	}
+	for _, tv := range r.Turns {
+		live := tv.Status == StatusQueued || tv.Status == StatusRunning
+		if live {
+			// The turn died with the process that owned it. Mark it
+			// canceled and keep it OUT of the coalescing index, so a WAL
+			// replay of the same prompt starts a fresh execution instead
+			// of coalescing onto this dead record.
+			tv.Status = StatusCanceled
+			tv.Error = "interrupted by restart"
+			if tv.Finished == nil {
+				now := time.Now()
+				tv.Finished = &now
+			}
+		}
+		tr := &turnRec{view: tv, done: make(chan struct{})}
+		close(tr.done)
+		s.turns = append(s.turns, tr)
+		if !live {
+			s.byKey[tv.Key] = tr
+		}
+		if tv.Index > s.seq {
+			s.seq = tv.Index
+		}
+	}
+	m.sessions[r.ID] = s
+	m.order = append(m.order, r.ID)
+	// Keep new IDs past every restored one ("s-<n>" or "s-<n>-<salt>").
+	var n int64
+	if _, err := fmt.Sscanf(r.ID, "s-%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+	return true
+}
+
+// GetOrRestore returns a session by id, rehydrating it from the store
+// when it is not in memory. This is the rebalance path: when a node
+// dies, the shard ring routes its sessions to the next owner, which
+// picks the conversation up cold from the shared artifact store — the
+// persisted plan seeds a fresh engine on the next turn.
+func (m *Sessions) GetOrRestore(id string) (*SvcSession, bool) {
+	if s, ok := m.Get(id); ok {
+		return s, true
+	}
+	if m.store == nil {
+		return nil, false
+	}
+	r, ok := m.store.GetSessionRecord(id)
+	if !ok {
+		return nil, false
+	}
+	m.mu.Lock()
+	m.restoreRecordLocked(r)
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	return s, ok
 }
 
 // Create registers a new session.
@@ -275,8 +343,22 @@ func (m *Sessions) Create(req SessionRequest) (*SvcSession, error) {
 		return nil, ErrQueueClosed
 	}
 	m.seq++
+	id := fmt.Sprintf("s-%d", m.seq)
+	if m.ownsID != nil && !m.ownsID(id) {
+		// Rejection-sample salted candidates until the shard ring routes
+		// the ID back to this node, so follow-up turns land here without
+		// a forwarding hop. With N nodes each try succeeds with
+		// probability ~1/N; the cap is unreachable in practice.
+		for salt := 1; salt <= 4096; salt++ {
+			cand := fmt.Sprintf("s-%d-%d", m.seq, salt)
+			if m.ownsID(cand) {
+				id = cand
+				break
+			}
+		}
+	}
 	s := &SvcSession{
-		ID:      fmt.Sprintf("s-%d", m.seq),
+		ID:      id,
 		Req:     req,
 		Created: time.Now(),
 		m:       m,
@@ -322,6 +404,8 @@ type SessionsSnapshot struct {
 	Turns int64
 	// SSESubscribers counts currently connected event streams.
 	SSESubscribers int64
+	// Replayed counts turns re-submitted from the WAL at daemon start.
+	Replayed int64
 }
 
 // Snapshot returns the current session metrics.
@@ -342,6 +426,7 @@ func (m *Sessions) Snapshot() SessionsSnapshot {
 		Tracked:        tracked,
 		Turns:          m.turnsTotal.Load(),
 		SSESubscribers: m.sseSubs.Load(),
+		Replayed:       m.replayed.Load(),
 	}
 }
 
@@ -358,12 +443,54 @@ func (m *Sessions) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if m.wal != nil {
+			_ = m.wal.Sync() // drained: every terminal transition is on disk
+		}
 		return nil
 	case <-ctx.Done():
 		m.cancel()
 		<-done
+		if m.wal != nil {
+			_ = m.wal.Sync()
+		}
 		return ctx.Err()
 	}
+}
+
+// ReplayWAL re-submits the session turns a crash left unfinished. Call
+// after Restore: each recovered turn record is routed back through its
+// session (rehydrated from the store if needed) and retired as
+// superseded once the fresh submission is durably accepted. Records
+// whose session no longer exists are failed terminally so they stop
+// replaying.
+func (m *Sessions) ReplayWAL() int {
+	if m.wal == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range m.wal.Recovered() {
+		if rec.Kind != cluster.KindTurn {
+			continue
+		}
+		var req TurnRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil || req.Validate() != nil {
+			_ = m.wal.Failed(cluster.KindTurn, rec.Session, rec.ID, "unreadable wal request")
+			continue
+		}
+		s, ok := m.GetOrRestore(rec.Session)
+		if !ok {
+			_ = m.wal.Failed(cluster.KindTurn, rec.Session, rec.ID, "session record lost")
+			continue
+		}
+		view, _, err := s.SubmitTurn(req)
+		if err != nil {
+			continue // closed registry or WAL failure: leave pending
+		}
+		_ = m.wal.Superseded(rec, view.ID)
+		n++
+	}
+	m.replayed.Add(int64(n))
+	return n
 }
 
 // SubmitTurn registers a turn: identical in-meaning submissions against
@@ -405,6 +532,18 @@ func (s *SvcSession) SubmitTurn(req TurnRequest) (TurnView, Submission, error) {
 	}
 	s.turns = append(s.turns, tr)
 	s.byKey[key] = tr
+	if w := s.m.wal; w != nil {
+		// Durable before acknowledged, like the job queue: the accepted
+		// record must hit disk before the client hears "queued".
+		if err := w.Accepted(cluster.KindTurn, s.ID, tr.view.ID, key, req); err != nil {
+			s.turns = s.turns[:len(s.turns)-1]
+			delete(s.byKey, key)
+			s.seq--
+			s.mu.Unlock()
+			s.m.mu.Unlock()
+			return TurnView{}, "", err
+		}
+	}
 	view := tr.view
 	s.m.wg.Add(1)
 	s.mu.Unlock()
@@ -465,6 +604,9 @@ func (s *SvcSession) run(tr *turnRec) {
 	tr.view.Started = &now
 	s.mu.Unlock()
 
+	if w := s.m.wal; w != nil {
+		_ = w.Started(cluster.KindTurn, s.ID, tr.view.ID)
+	}
 	turn, err := sess.Turn(s.m.baseCtx, tr.view.Prompt)
 
 	s.mu.Lock()
@@ -542,6 +684,17 @@ func (s *SvcSession) finishLocked(tr *turnRec, status JobStatus, errMsg string) 
 	tr.view.Finished = &now
 	close(tr.done)
 	s.m.turnsTotal.Add(1)
+	if w := s.m.wal; w != nil {
+		switch status {
+		case StatusCanceled:
+			// Shutdown cancellation: the result was never delivered, so
+			// the WAL entry stays pending and replays on the next boot.
+		case StatusFailed:
+			_ = w.Failed(cluster.KindTurn, s.ID, tr.view.ID, errMsg)
+		default:
+			_ = w.Completed(cluster.KindTurn, s.ID, tr.view.ID)
+		}
+	}
 	if s.m.store != nil {
 		_ = s.m.store.PutSessionRecord(s.recordLocked())
 	}

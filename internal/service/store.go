@@ -195,11 +195,17 @@ func (s *Store) Put(content []byte, contentType string) (string, error) {
 	return hash, nil
 }
 
-// Get returns the content and metadata for a hash.
+// Get returns the content and metadata for a hash. An index miss falls
+// back to the filesystem: in cluster mode several nodes share one store
+// directory, and objects written by a peer after this node loaded its
+// index are still addressable.
 func (s *Store) Get(hash string) ([]byte, ObjectInfo, error) {
 	s.mu.RLock()
 	info, ok := s.objects[hash]
 	s.mu.RUnlock()
+	if !ok {
+		info, ok = s.indexFromDisk(hash)
+	}
 	if !ok {
 		return nil, ObjectInfo{}, fmt.Errorf("service: unknown object %s", hash)
 	}
@@ -213,9 +219,36 @@ func (s *Store) Get(hash string) ([]byte, ObjectInfo, error) {
 // Has reports whether the hash is stored.
 func (s *Store) Has(hash string) bool {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	_, ok := s.objects[hash]
+	s.mu.RUnlock()
+	if !ok {
+		_, ok = s.indexFromDisk(hash)
+	}
 	return ok
+}
+
+// indexFromDisk looks a hash up on the filesystem (any known type tag)
+// and adds it to the index on a hit. This is the shared-store path: a
+// peer node may have written the object after our index loaded.
+func (s *Store) indexFromDisk(hash string) (ObjectInfo, bool) {
+	if !validHash(hash) {
+		return ObjectInfo{}, false
+	}
+	for ct := range typeTags {
+		fi, err := os.Stat(s.objectPath(hash, ct))
+		if err != nil {
+			continue
+		}
+		info := ObjectInfo{Hash: hash, Size: fi.Size(), ContentType: ct}
+		s.mu.Lock()
+		if _, dup := s.objects[hash]; !dup {
+			s.objects[hash] = info
+			s.bytes += fi.Size()
+		}
+		s.mu.Unlock()
+		return info, true
+	}
+	return ObjectInfo{}, false
 }
 
 // PutResult indexes a finished pipeline's result under its job key and
@@ -238,12 +271,31 @@ func (s *Store) PutResult(r *Result) error {
 	return nil
 }
 
-// GetResult returns the stored result for a job key, if any.
+// GetResult returns the stored result for a job key, if any. Like Get,
+// an index miss re-checks the filesystem so nodes sharing one store
+// directory see each other's results (fleet-wide store hits).
 func (s *Store) GetResult(key string) (*Result, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	r, ok := s.results[key]
-	return r, ok
+	s.mu.RUnlock()
+	if ok {
+		return r, true
+	}
+	if !validHash(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, resultsSubdir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if json.Unmarshal(b, &res) != nil || res.Key != key {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.results[key] = &res
+	s.mu.Unlock()
+	return &res, true
 }
 
 // atomicWriteFile writes bytes via a temp file + rename so concurrent
