@@ -6,9 +6,15 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve build serve smoke smoke-cluster plan-validate
+.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve build serve smoke smoke-cluster plan-validate lint-metrics
 
-ci: fmt vet plan-validate test-race smoke smoke-cluster
+ci: fmt vet plan-validate lint-metrics test-race smoke smoke-cluster
+
+# Metrics contract gate: scrape a fully-attached in-memory daemon and
+# fail on any chatvis_* name that is not snake_case, lacks HELP/TYPE
+# metadata, or is registered more than once.
+lint-metrics:
+	$(GO) run ./cmd/metriclint
 
 # Compile + schema-validate every example pipeline (scenario ground
 # truths, plan-native IRs, writer/intent agreement) — fails fast on any
@@ -53,9 +59,11 @@ smoke:
 # Cluster smoke: boot three full daemons on loopback sharing one store,
 # post the identical prompt to all three at once, and require exactly
 # one pipeline execution fleet-wide; then drive a session turn through a
-# non-owner node to prove shard-ring forwarding.
+# non-owner node to prove shard-ring forwarding. The trace propagation
+# step submits through a non-owner and requires ONE stitched trace
+# (queue wait, LLM tokens, plan stages, forward hop) across both nodes.
 smoke-cluster:
-	$(GO) test -run TestClusterSmoke3Nodes -count=1 ./cmd/chatvisd
+	$(GO) test -race -run 'TestClusterSmoke3Nodes|TestClusterTracePropagation' -count=1 ./cmd/chatvisd
 
 # All paper-reproduction benchmarks (tables, figures, ablations).
 bench:

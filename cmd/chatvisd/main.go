@@ -17,10 +17,18 @@
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, POST /v1/sessions,
 // POST /v1/sessions/{id}/turns, GET /v1/sessions/{id},
 // GET /v1/sessions/{id}/events (SSE), GET /v1/artifacts/{hash},
-// GET /v1/scenarios, GET /healthz, GET /metrics. See the README and
-// docs/sessions.md for curl examples. Sessions are persisted in the
-// artifact store and survive restarts. SIGINT/SIGTERM drain in-flight
-// jobs and turns before exiting; a second signal exits immediately.
+// GET /v1/scenarios, GET /v1/traces, GET /v1/traces/{id},
+// GET /healthz, GET /metrics. See the README and docs/sessions.md for
+// curl examples. Sessions are persisted in the artifact store and
+// survive restarts. SIGINT/SIGTERM drain in-flight jobs and turns
+// before exiting; a second signal exits immediately.
+//
+// Observability (docs/observability.md): every request is traced end
+// to end (across cluster hops) and retained behind /v1/traces;
+// -log-level and -log-format select the structured slog output;
+// -pprof-addr serves net/http/pprof on a separate listener; -version
+// prints the build identity that /metrics exports as
+// chatvis_build_info.
 //
 // Cluster mode shards one logical service across several daemons:
 //
@@ -40,8 +48,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,9 +62,14 @@ import (
 	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
+	"chatvis/internal/obs"
 	"chatvis/internal/par"
 	"chatvis/internal/service"
 )
+
+// version is stamped by the build ("-ldflags -X main.version=v1.2.3");
+// the default falls back to module build info in obs.ReadBuildInfo.
+var version = ""
 
 // daemonConfig collects the daemon's tunables.
 type daemonConfig struct {
@@ -86,6 +100,12 @@ type daemonConfig struct {
 	tenantRPS      float64
 	tenantBurst    int
 	tenantInflight int
+
+	// logger is the daemon's root structured logger (nil → slog.Default).
+	logger *slog.Logger
+	// traceCapacity bounds the in-process ring of retained traces; 0
+	// takes the obs default.
+	traceCapacity int
 }
 
 // daemon is one wired chatvisd instance: every subsystem main (and the
@@ -95,6 +115,7 @@ type daemon struct {
 	server   *service.Server
 	sessions *service.Sessions
 	metrics  *llm.Metrics
+	tracer   *obs.Tracer
 	cluster  *cluster.Cluster // nil outside cluster mode
 	wal      *cluster.WAL     // nil when durability is disabled
 	// replayedJobs/replayedTurns count the WAL re-submissions performed
@@ -199,16 +220,29 @@ func buildDaemon(cfg daemonConfig) (*daemon, error) {
 			return ok && cl.IsSelf(owner)
 		})
 	}
+	node := cfg.nodeID
+	if node == "" {
+		node = "chatvisd"
+	}
+	tracer := obs.NewTracer(node, cfg.traceCapacity)
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+
 	d := &daemon{
 		queue: queue, sessions: sessions, metrics: metrics,
-		cluster: cl, wal: wal,
+		tracer: tracer, cluster: cl, wal: wal,
 	}
 	sessions.Restore()
 	d.replayedJobs = queue.ReplayWAL()
 	d.replayedTurns = sessions.ReplayWAL()
 	server := service.NewServer(queue, store, metrics).
 		WithDatasetCache(dsCache).
-		WithSessions(sessions)
+		WithSessions(sessions).
+		WithTracer(tracer).
+		WithLogger(logger).
+		WithBuildVersion(version)
 	if wal != nil {
 		server.WithWAL(wal)
 	}
@@ -256,8 +290,36 @@ func main() {
 			"per-tenant burst allowance (default ceil(tenant-rps))")
 		tenantInflight = flag.Int("tenant-inflight", 0,
 			"per-tenant cap on concurrently executing submissions (0 = unlimited)")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr = flag.String("pprof-addr", "",
+			"listen address for the net/http/pprof profiling endpoints (empty disables)")
+		traceCap = flag.Int("trace-capacity", 0,
+			"finished traces retained in memory for GET /v1/traces (0 = default)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		bi := obs.ReadBuildInfo(version)
+		fmt.Printf("chatvisd %s %s\n", bi.Version, bi.GoVersion)
+		return
+	}
+
+	logger := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	slog.SetDefault(logger)
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on DefaultServeMux; serving that mux on
+		// a separate listener keeps profiling off the public API port.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, http.DefaultServeMux); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -285,46 +347,54 @@ func main() {
 		tenantRPS:      *tenantRPS,
 		tenantBurst:    *tenantBurst,
 		tenantInflight: *tenantInflight,
+		logger:         logger,
+		traceCapacity:  *traceCap,
 	})
 	if err != nil {
-		log.Fatalf("chatvisd: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	defer d.close()
 	if d.replayedJobs+d.replayedTurns > 0 {
-		log.Printf("chatvisd: wal replay re-submitted %d jobs, %d turns", d.replayedJobs, d.replayedTurns)
+		logger.Info("wal replay re-submitted accepted work",
+			"jobs", d.replayedJobs, "turns", d.replayedTurns)
 	}
 	if d.cluster != nil {
 		d.cluster.Start()
-		log.Printf("chatvisd: cluster mode, node %s of %d peers", d.cluster.Self().ID, len(d.cluster.Peers()))
+		logger.Info("cluster mode",
+			"node", d.cluster.Self().ID, "peers", len(d.cluster.Peers()))
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: d.server.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("chatvisd: listening on %s (%d job workers, %d compute workers, %d MiB dataset cache, models: %v)",
-			*addr, *workers, par.Workers(), *datasetCacheMB, llm.ModelNames())
+		logger.Info("listening",
+			"addr", *addr, "job_workers", *workers, "compute_workers", par.Workers(),
+			"dataset_cache_mb", *datasetCacheMB, "models", fmt.Sprint(llm.ModelNames()),
+			"version", obs.ReadBuildInfo(version).Version)
 		errCh <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("chatvisd: %v", err)
+		logger.Error("http server", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("chatvisd: shutting down, draining in-flight jobs (budget %v)", *drainFor)
+	logger.Info("shutting down, draining in-flight jobs", "budget", *drainFor)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("chatvisd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	drainErr := false
 	if err := d.queue.Shutdown(shutdownCtx); err != nil {
-		log.Printf("chatvisd: queue drain incomplete: %v", err)
+		logger.Warn("queue drain incomplete", "err", err)
 		drainErr = true
 	}
 	if err := d.sessions.Shutdown(shutdownCtx); err != nil {
-		log.Printf("chatvisd: session drain incomplete: %v", err)
+		logger.Warn("session drain incomplete", "err", err)
 		drainErr = true
 	}
 	// Close the WAL last: the drains above flushed every terminal

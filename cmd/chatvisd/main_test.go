@@ -727,3 +727,192 @@ func TestClusterSmoke3Nodes(t *testing.T) {
 		t.Errorf("metrics missing healthy peer count:\n%s", metricsBody)
 	}
 }
+
+// TestClusterTracePropagation is the cross-node tracing smoke
+// (`make smoke-cluster`): it boots three daemons, submits one job to a
+// node that does NOT own its content key (forcing a forward hop on a
+// cold store), and asserts the fleet produced ONE trace — retrievable
+// from the third node, which recorded none of it — containing the
+// queue wait, an LLM call with token counts, at least one executed
+// plan stage, and the cross-node forward, with spans recorded by both
+// the entry and owner nodes.
+func TestClusterTracePropagation(t *testing.T) {
+	const n = 3
+	listeners := make([]*httptest.Server, n)
+	peerSpec := make([]string, n)
+	for i := range listeners {
+		listeners[i] = httptest.NewUnstartedServer(http.NotFoundHandler())
+		peerSpec[i] = fmt.Sprintf("n%d=%s", i+1, listeners[i].Listener.Addr().String())
+	}
+	peers := strings.Join(peerSpec, ",")
+
+	sharedStore := t.TempDir()
+	daemons := make([]*daemon, n)
+	for i := range daemons {
+		d, err := buildDaemon(daemonConfig{
+			dataDir:  t.TempDir(),
+			outDir:   t.TempDir(),
+			storeDir: sharedStore,
+			workers:  2,
+			nodeID:   fmt.Sprintf("n%d", i+1),
+			peers:    peers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemons[i] = d
+		listeners[i].Config.Handler = d.server.Handler()
+		listeners[i].Start()
+		d.cluster.Start()
+	}
+	t.Cleanup(func() {
+		for i, d := range daemons {
+			listeners[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = d.sessions.Shutdown(ctx)
+			_ = d.queue.Shutdown(ctx)
+			cancel()
+			d.close()
+		}
+	})
+
+	req := service.JobRequest{
+		Prompt: "Please generate a ParaView Python script for the following operations. Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 at value 0.3100. Save a screenshot of the result in the filename iso.png. The rendered view and saved screenshot should be 320 x 180 pixels.",
+		Model:  "oracle", Width: 320, Height: 180,
+	}
+	// Enter through a node that does NOT own the job's content key, so
+	// acceptance crosses the fleet; read the trace back from the third
+	// node, which recorded no span at all.
+	ownerPeer, ok := daemons[0].cluster.Owner(service.Key(req))
+	if !ok {
+		t.Fatal("no ring owner for job key")
+	}
+	entry, third := -1, -1
+	for i, d := range daemons {
+		switch d.cluster.Self().ID {
+		case ownerPeer.ID:
+		default:
+			if entry < 0 {
+				entry = i
+			} else {
+				third = i
+			}
+		}
+	}
+	if entry < 0 || third < 0 {
+		t.Fatalf("could not pick entry/third nodes around owner %s", ownerPeer.ID)
+	}
+
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(listeners[entry].URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := resp.Header.Get("X-ChatVis-Trace")
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID == "" {
+		t.Fatal("submit response missing X-ChatVis-Trace header")
+	}
+
+	// The job completes; its result carries the submit's trace ID.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(listeners[entry].URL + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view service.View
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status.Terminal() {
+			if view.Status != service.StatusSucceeded {
+				t.Fatalf("job %s = %s (%s)", sub.ID, view.Status, view.Error)
+			}
+			if view.TraceID != traceID {
+				t.Errorf("job result trace_id = %q, want %q", view.TraceID, traceID)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck", sub.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// One trace, fetched from the node that saw none of the request:
+	// the fan-out merge stitches the entry node's forward hop and the
+	// owner's execution into a single span list. Late spans (the
+	// executor ends its span just after the status flips) get a few
+	// retries.
+	wanted := []string{"queue.wait", "job.execute", "cluster.forward"}
+	var trace struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name  string            `json:"name"`
+			Node  string            `json:"node"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(listeners[third].URL + "/v1/traces/" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace.Spans = nil
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&trace)
+		resp.Body.Close()
+		names := map[string]bool{}
+		llmTokens, planStage := false, false
+		if code == http.StatusOK && err == nil {
+			for _, sp := range trace.Spans {
+				names[sp.Name] = true
+				if strings.HasPrefix(sp.Name, "llm.") {
+					if _, ok := sp.Attrs["prompt_tokens"]; ok {
+						llmTokens = true
+					}
+				}
+				if strings.HasPrefix(sp.Name, "stage.") {
+					planStage = true
+				}
+			}
+		}
+		complete := llmTokens && planStage
+		for _, w := range wanted {
+			complete = complete && names[w]
+		}
+		if complete {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s incomplete from node %s: status=%d err=%v spans=%v llmTokens=%v planStage=%v",
+				traceID, daemons[third].cluster.Self().ID, code, err, names, llmTokens, planStage)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if trace.TraceID != traceID {
+		t.Errorf("merged trace id = %q, want %q", trace.TraceID, traceID)
+	}
+
+	// Both sides of the forward hop recorded spans under the one ID.
+	nodes := map[string]bool{}
+	for _, sp := range trace.Spans {
+		nodes[sp.Node] = true
+	}
+	entryID := daemons[entry].cluster.Self().ID
+	if !nodes[entryID] || !nodes[ownerPeer.ID] {
+		t.Errorf("trace spans span nodes %v, want both %s (entry) and %s (owner)",
+			nodes, entryID, ownerPeer.ID)
+	}
+}

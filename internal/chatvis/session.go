@@ -9,6 +9,7 @@ import (
 
 	"chatvis/internal/errext"
 	"chatvis/internal/llm"
+	"chatvis/internal/obs"
 	"chatvis/internal/plan"
 	"chatvis/internal/pvpython"
 	"chatvis/internal/pvsim"
@@ -86,6 +87,9 @@ type Event struct {
 	DeltaSummary string `json:"delta_summary,omitempty"`
 	Success      bool   `json:"success,omitempty"`
 	Error        string `json:"error,omitempty"`
+	// TraceID names the distributed trace of the turn that emitted the
+	// event ("" when the turn ran untraced).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // NewSession builds a conversational session over a model and a runner.
@@ -180,9 +184,15 @@ func (s *Session) Turn(ctx context.Context, prompt string) (*Turn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	idx := len(s.turns) + 1
-	s.observe(Event{Turn: idx, Type: EventTurnStarted})
+
+	ctx, span := obs.Start(ctx, "chatvis.turn")
+	span.SetAttr("turn", idx)
+	defer span.End()
+	tid := obs.TraceID(ctx)
+	s.observe(Event{Turn: idx, Type: EventTurnStarted, TraceID: tid})
 
 	fresh := s.curr == nil || llm.ParseIntent(prompt).InputFile != ""
+	span.SetAttr("kind", map[bool]string{true: "first", false: "edit"}[fresh])
 	var (
 		turn *Turn
 		err  error
@@ -193,26 +203,41 @@ func (s *Session) Turn(ctx context.Context, prompt string) (*Turn, error) {
 		turn, err = s.editTurn(ctx, idx, prompt)
 	}
 	if err != nil {
-		s.observe(Event{Turn: idx, Type: EventTurnFinished, Error: err.Error()})
+		span.SetError(err)
+		s.observe(Event{Turn: idx, Type: EventTurnFinished, Error: err.Error(), TraceID: tid})
 		return nil, err
 	}
+	// Stamp the trace on the per-stage record so the stored artifact can
+	// be joined back to its distributed trace.
+	turn.Artifact.Trace.TraceID = tid
 	s.turns = append(s.turns, turn)
 	s.observe(Event{
 		Turn: idx, Type: EventTurnFinished,
 		PlanHash:     turn.Artifact.PlanHash(),
 		DeltaSummary: turn.DeltaSummary,
 		Success:      turn.Artifact.Success,
+		TraceID:      tid,
 	})
 	return turn, nil
 }
 
-// complete performs one traced LLM call.
+// complete performs one traced LLM call: the single point every stage's
+// model call funnels through, so each gets a span carrying model, token
+// counts and cache/retry provenance from the middleware chain.
 func (s *Session) complete(ctx context.Context, trace *Trace, stage string, req llm.Request) (string, error) {
+	_, span := obs.Start(ctx, "llm."+stage)
+	defer span.End()
 	start := time.Now()
 	resp, err := s.model.Complete(ctx, req)
 	if err != nil {
+		span.SetError(err)
 		return "", err
 	}
+	span.SetAttr("model", resp.Model)
+	span.SetAttr("prompt_tokens", resp.Usage.PromptTokens)
+	span.SetAttr("completion_tokens", resp.Usage.CompletionTokens)
+	span.SetAttr("cache_hit", resp.CacheHit)
+	span.SetAttr("attempts", resp.Attempts)
 	trace.addLLM(stage, resp, time.Since(start))
 	return resp.Text, nil
 }
@@ -221,8 +246,14 @@ func (s *Session) complete(ctx context.Context, trace *Trace, stage string, req 
 // normalized plan hash of what ran, so per-stage provenance survives in
 // the artifact.
 func (s *Session) exec(ctx context.Context, trace *Trace, round int, script string) *pvpython.Result {
+	ctx, span := obs.Start(ctx, "script.exec")
+	span.SetAttr("round", round)
+	defer span.End()
 	start := time.Now()
 	res := s.runner.ExecContext(ctx, script)
+	if !res.OK() {
+		span.Fail("script execution failed")
+	}
 	trace.add(StageTrace{
 		Stage:    fmt.Sprintf("%s-%d", StageExec, round),
 		Duration: time.Since(start),
@@ -239,13 +270,19 @@ func (s *Session) exec(ctx context.Context, trace *Trace, round int, script stri
 // ordinary execute-and-repair loop.
 func (s *Session) planRepair(ctx context.Context, trace *Trace, script string) (string, error) {
 	for round := 1; round <= 2; round++ {
+		_, vspan := obs.Start(ctx, "plan.validate")
+		vspan.SetAttr("round", round)
 		start := time.Now()
 		compiled, err := s.runner.CompilePlan(script)
 		if err != nil {
 			// Unparsable: the execution loop's SyntaxError path owns it.
+			vspan.Fail("script does not compile to a plan")
+			vspan.End()
 			return script, nil
 		}
 		diags := plan.Errors(compiled.Diags)
+		vspan.SetAttr("diagnostics", len(diags))
+		vspan.End()
 		trace.add(StageTrace{
 			Stage:    fmt.Sprintf("%s-%d", StageValidate, round),
 			Duration: time.Since(start),
@@ -329,10 +366,13 @@ func (s *Session) firstTurn(ctx context.Context, idx int, prompt string) (*Turn,
 // recorded but do not fail the turn — the classic script execution
 // already succeeded; the next edit turn will simply pay a cold start.
 func (s *Session) seedEngine(ctx context.Context, turn *Turn, art *Artifact) {
+	ctx, span := obs.Start(ctx, "engine.seed-exec")
+	defer span.End()
 	eng := s.engine()
 	before := eng.Executions()
 	start := time.Now()
 	_, err := eng.ExecPlan(ctx, art.Plan)
+	span.SetError(err)
 	art.Trace.add(StageTrace{
 		Stage:    StageSeedExec,
 		Duration: time.Since(start),
@@ -347,7 +387,7 @@ func (s *Session) seedEngine(ctx context.Context, turn *Turn, art *Artifact) {
 // execute / extract-errors / repair loop.
 func (s *Session) runAssisted(ctx context.Context, idx int, userPrompt string) (*Artifact, error) {
 	art := &Artifact{UserPrompt: userPrompt}
-	art.Trace.OnAdd = s.stageObserver(idx)
+	art.Trace.OnAdd = s.stageObserver(ctx, idx)
 
 	// Stage 1: prompt generation.
 	genPrompt := userPrompt
@@ -431,21 +471,35 @@ func (s *Session) runAssisted(ctx context.Context, idx int, userPrompt string) (
 // one execution, no post-processing.
 func (s *Session) runUnassisted(ctx context.Context, idx int, userPrompt string) (*Artifact, error) {
 	art := &Artifact{UserPrompt: userPrompt, GeneratedPrompt: userPrompt}
-	art.Trace.OnAdd = s.stageObserver(idx)
+	art.Trace.OnAdd = s.stageObserver(ctx, idx)
+	_, llmSpan := obs.Start(ctx, "llm."+StageGenerate)
 	start := time.Now()
 	resp, err := s.model.Complete(ctx, llm.Request{
 		System: "Generate a ParaView Python script for the user's request.",
 		User:   userPrompt,
 	})
 	if err != nil {
+		llmSpan.SetError(err)
+		llmSpan.End()
 		return nil, err
 	}
+	llmSpan.SetAttr("model", resp.Model)
+	llmSpan.SetAttr("prompt_tokens", resp.Usage.PromptTokens)
+	llmSpan.SetAttr("completion_tokens", resp.Usage.CompletionTokens)
+	llmSpan.SetAttr("cache_hit", resp.CacheHit)
+	llmSpan.SetAttr("attempts", resp.Attempts)
+	llmSpan.End()
 	art.Trace.addLLM(StageGenerate, resp, time.Since(start))
 	// No assistant post-processing: the raw response runs as-is, which is
 	// how markdown fences become syntax errors.
 	script := resp.Text
+	execCtx, execSpan := obs.Start(ctx, "script.exec")
 	execStart := time.Now()
-	res := s.runner.ExecContext(ctx, script)
+	res := s.runner.ExecContext(execCtx, script)
+	if !res.OK() {
+		execSpan.Fail("script execution failed")
+	}
+	execSpan.End()
 	art.Trace.add(StageTrace{Stage: StageExec + "-1", Duration: time.Since(execStart), PlanHash: res.PlanHash()})
 	reports := errext.Extract(res.Output)
 	art.Iterations = []Iteration{{Script: script, Output: res.Output, Errors: reports, PlanHash: res.PlanHash()}}
@@ -456,13 +510,16 @@ func (s *Session) runUnassisted(ctx context.Context, idx int, userPrompt string)
 	return art, nil
 }
 
-// stageObserver forwards trace stages to the session observer as events.
-func (s *Session) stageObserver(idx int) func(StageTrace) {
+// stageObserver forwards trace stages to the session observer as events,
+// tagged with the turn's trace ID so streamed stage events can be joined
+// to the distributed trace.
+func (s *Session) stageObserver(ctx context.Context, idx int) func(StageTrace) {
 	if s.opt.observer == nil {
 		return nil
 	}
+	tid := obs.TraceID(ctx)
 	return func(st StageTrace) {
-		s.opt.observer(Event{Turn: idx, Type: EventStage, Stage: st.Stage, PlanHash: st.PlanHash})
+		s.opt.observer(Event{Turn: idx, Type: EventStage, Stage: st.Stage, PlanHash: st.PlanHash, TraceID: tid})
 	}
 }
 
@@ -478,7 +535,7 @@ func (s *Session) editTurn(ctx context.Context, idx int, prompt string) (*Turn, 
 		TurnIndex:       idx,
 		ParentPlanHash:  parent.Hash(),
 	}
-	art.Trace.OnAdd = s.stageObserver(idx)
+	art.Trace.OnAdd = s.stageObserver(ctx, idx)
 	turn := &Turn{Index: idx, Prompt: prompt, ParentPlanHash: parent.Hash(), Artifact: art}
 
 	// Stage E1: the model proposes the target plan.
@@ -501,8 +558,12 @@ func (s *Session) editTurn(ctx context.Context, idx int, prompt string) (*Turn, 
 	// Stage E2: validate the proposal, with bounded model repair.
 	schema := pvsim.PlanSchema()
 	for round := 1; round <= 2; round++ {
+		_, vspan := obs.Start(ctx, "plan.validate")
+		vspan.SetAttr("round", round)
 		start := time.Now()
 		diags := plan.Errors(plan.Validate(proposed, schema))
+		vspan.SetAttr("diagnostics", len(diags))
+		vspan.End()
 		art.Trace.add(StageTrace{
 			Stage:    fmt.Sprintf("%s-%d", StageEditValidate, round),
 			Duration: time.Since(start),
@@ -536,8 +597,11 @@ func (s *Session) editTurn(ctx context.Context, idx int, prompt string) (*Turn, 
 	// changed-stage count.
 	eng := s.engine()
 	before := eng.Executions()
+	execCtx, execSpan := obs.Start(ctx, "engine.exec-plan")
 	start := time.Now()
-	shots, execErr := eng.ExecPlan(ctx, next)
+	shots, execErr := eng.ExecPlan(execCtx, next)
+	execSpan.SetError(execErr)
+	execSpan.End()
 	art.Trace.add(StageTrace{
 		Stage:    StageExec + "-1",
 		Duration: time.Since(start),

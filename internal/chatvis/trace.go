@@ -61,6 +61,10 @@ type StageTrace struct {
 type Trace struct {
 	Stages []StageTrace `json:"stages"`
 
+	// TraceID names the distributed trace the turn ran under ("" when it
+	// ran untraced), joining the stored artifact to GET /v1/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// OnAdd, when set, observes every stage as it is recorded — the hook
 	// conversational sessions use to stream live progress events (SSE)
 	// while a turn runs. Never serialized.

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter records the status code while delegating to the real
+// ResponseWriter. It forwards Flush so SSE handlers behind the
+// middleware keep streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it streams; the SSE
+// session-events handler requires this.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps an HTTP handler with the observability front door:
+// it extracts an incoming traceparent (so cluster-forwarded requests
+// join the originating trace), starts a server span, stamps
+// X-ChatVis-Trace on the response, and emits one structured access-log
+// line per request. A nil tracer passes requests through untouched.
+func Middleware(t *Tracer, next http.Handler) http.Handler {
+	if t == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := WithTracer(r.Context(), t)
+		if sc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = WithSpanContext(ctx, sc)
+		}
+		ctx, span := Start(ctx, "http "+r.Method+" "+r.URL.Path)
+		span.SetAttr("http.method", r.Method)
+		span.SetAttr("http.path", r.URL.Path)
+
+		// Stamp the trace on the response up front so even handlers
+		// that write errors (or stream forever) carry it.
+		w.Header().Set(TraceHeader, span.Context().TraceID)
+		sw := &statusWriter{ResponseWriter: w}
+
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		span.SetAttr("http.status", strconv.Itoa(status))
+		if status >= 500 {
+			span.Fail("http %d", status)
+		}
+		span.End()
+
+		Log(ctx).Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"tenant", TenantFrom(ctx),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

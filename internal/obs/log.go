@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// sLogger wraps the slog logger carried on a context so Graft can
+// identify it without colliding with other context values.
+type sLogger struct{ l *slog.Logger }
+
+// WithLogger attaches a structured logger to the context; Log below
+// this point enriches it with trace/span/tenant fields.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey, &sLogger{l: l})
+}
+
+// Log returns the context's logger (slog.Default when none is set)
+// annotated with the context's trace_id, span_id, tenant, and the
+// tracer's node — the fields that let a log line be joined to its
+// trace.
+func Log(ctx context.Context) *slog.Logger {
+	l := slog.Default()
+	if sl, ok := ctx.Value(loggerKey).(*sLogger); ok && sl != nil {
+		l = sl.l
+	}
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		l = l.With("trace_id", sc.TraceID, "span_id", sc.SpanID)
+	}
+	if t := TracerFrom(ctx); t != nil && t.node != "" {
+		l = l.With("node", t.node)
+	}
+	if tn := TenantFrom(ctx); tn != "" {
+		l = l.With("tenant", tn)
+	}
+	return l
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level, defaulting
+// to Info on unknown input.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds the daemon's root logger from the -log-level and
+// -log-format flags: format "json" selects slog JSON output, anything
+// else the text handler. w defaults to stderr.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: ParseLevel(level)}
+	var h slog.Handler
+	if strings.EqualFold(strings.TrimSpace(format), "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	// defaultCapacity bounds how many finished traces the tracer keeps.
+	defaultCapacity = 512
+	// maxSpansPerTrace caps one trace's span count so a runaway loop
+	// (a pathological repair cycle, a huge plan) cannot eat the heap.
+	maxSpansPerTrace = 512
+	// errorRetainBonus is the score bonus an errored trace gets during
+	// eviction, making errors effectively always outlive fast successes.
+	errorRetainBonus = time.Hour
+)
+
+// TraceData is one assembled trace: what GET /v1/traces/{id} serves.
+type TraceData struct {
+	TraceID string    `json:"trace_id"`
+	Node    string    `json:"node,omitempty"`
+	Start   time.Time `json:"start"`
+	// Duration spans the earliest span start to the latest span end.
+	Duration time.Duration `json:"duration_ns"`
+	Errored  bool          `json:"errored,omitempty"`
+	// Root names the first span recorded, usually the HTTP entry.
+	Root  string     `json:"root,omitempty"`
+	Spans []SpanData `json:"spans"`
+}
+
+// TraceSummary is the list-endpoint projection of a trace.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Node     string        `json:"node,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Errored  bool          `json:"errored,omitempty"`
+	Root     string        `json:"root,omitempty"`
+	Spans    int           `json:"spans"`
+}
+
+// traceRecord accumulates the spans of one trace while any are open
+// and after the trace has retired into the retention ring.
+type traceRecord struct {
+	id      string
+	spans   []SpanData
+	open    int // spans started but not yet ended
+	dropped int // spans discarded past maxSpansPerTrace
+	start   time.Time
+	end     time.Time
+	errored bool
+	// retired is true once the record entered the finished ring; a
+	// late span (async work outliving the HTTP root) reopens it.
+	retired bool
+}
+
+func (r *traceRecord) duration() time.Duration {
+	if r.end.IsZero() || r.start.IsZero() {
+		return 0
+	}
+	return r.end.Sub(r.start)
+}
+
+// retainScore orders finished traces for eviction: keep slow ones,
+// and keep errored ones almost unconditionally.
+func (r *traceRecord) retainScore() time.Duration {
+	s := r.duration()
+	if r.errored {
+		s += errorRetainBonus
+	}
+	return s
+}
+
+// Tracer records spans into per-trace buckets and retains a bounded
+// set of finished traces, preferring slow and errored ones. All
+// methods are safe for concurrent use.
+type Tracer struct {
+	node string
+
+	mu sync.Mutex
+	// active holds every trace with at least one open span plus all
+	// retired traces still retained.
+	active map[string]*traceRecord
+	// finished lists retired trace IDs in retirement order (oldest
+	// first); eviction scans its oldest quarter.
+	finished []string
+	capacity int
+}
+
+// NewTracer creates a tracer for one fleet node. capacity bounds the
+// retained finished traces (<=0 selects the default).
+func NewTracer(node string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	return &Tracer{
+		node:     node,
+		active:   make(map[string]*traceRecord),
+		capacity: capacity,
+	}
+}
+
+// Node returns the node ID stamped on this tracer's spans.
+func (t *Tracer) Node() string { return t.node }
+
+func (t *Tracer) spanStarted(traceID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.active[traceID]
+	if r == nil {
+		r = &traceRecord{id: traceID}
+		t.active[traceID] = r
+	}
+	if r.retired {
+		// Async work (queued job execution) started a span after the
+		// HTTP root ended: pull the trace back out of the finished ring
+		// so it re-retires with the late spans included.
+		r.retired = false
+		t.removeFinishedLocked(traceID)
+	}
+	r.open++
+}
+
+func (t *Tracer) spanEnded(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.active[d.TraceID]
+	if r == nil {
+		return
+	}
+	if len(r.spans) < maxSpansPerTrace {
+		r.spans = append(r.spans, d)
+	} else {
+		r.dropped++
+	}
+	if r.start.IsZero() || d.Start.Before(r.start) {
+		r.start = d.Start
+	}
+	if end := d.Start.Add(d.Duration); end.After(r.end) {
+		r.end = end
+	}
+	if d.Err != "" {
+		r.errored = true
+	}
+	if r.open > 0 {
+		r.open--
+	}
+	if r.open == 0 {
+		t.retireLocked(r)
+	}
+}
+
+func (t *Tracer) retireLocked(r *traceRecord) {
+	r.retired = true
+	t.finished = append(t.finished, r.id)
+	if len(t.finished) <= t.capacity {
+		return
+	}
+	// Over capacity: evict the least interesting trace among the oldest
+	// half of the ring (at least 4 deep), so slow/errored traces survive
+	// churn from fast healthy traffic while recent traces are never
+	// evicted out from under a client that just got handed their ID.
+	window := len(t.finished) / 2
+	if window < 4 {
+		window = 4
+	}
+	if window > len(t.finished) {
+		window = len(t.finished)
+	}
+	victim := -1
+	var victimScore time.Duration
+	for i := 0; i < window; i++ {
+		rec := t.active[t.finished[i]]
+		if rec == nil {
+			victim = i
+			break
+		}
+		if s := rec.retainScore(); victim == -1 || s < victimScore {
+			victim, victimScore = i, s
+		}
+	}
+	id := t.finished[victim]
+	t.finished = append(t.finished[:victim], t.finished[victim+1:]...)
+	delete(t.active, id)
+}
+
+func (t *Tracer) removeFinishedLocked(traceID string) {
+	for i, id := range t.finished {
+		if id == traceID {
+			t.finished = append(t.finished[:i], t.finished[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the assembled trace (spans in start order) or false.
+// In-flight traces are returned with the spans finished so far.
+func (t *Tracer) Get(traceID string) (TraceData, bool) {
+	t.mu.Lock()
+	r := t.active[traceID]
+	if r == nil {
+		t.mu.Unlock()
+		return TraceData{}, false
+	}
+	td := t.assembleLocked(r)
+	t.mu.Unlock()
+	return td, true
+}
+
+func (t *Tracer) assembleLocked(r *traceRecord) TraceData {
+	spans := make([]SpanData, len(r.spans))
+	copy(spans, r.spans)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	td := TraceData{
+		TraceID:  r.id,
+		Node:     t.node,
+		Start:    r.start,
+		Duration: r.duration(),
+		Errored:  r.errored,
+		Spans:    spans,
+	}
+	if len(spans) > 0 {
+		td.Root = spans[0].Name
+	}
+	return td
+}
+
+// List returns summaries of retained finished traces, newest first,
+// filtered to duration >= minDur and (when errorsOnly) errored traces.
+// limit <= 0 means no limit.
+func (t *Tracer) List(minDur time.Duration, errorsOnly bool, limit int) []TraceSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(t.finished))
+	for i := len(t.finished) - 1; i >= 0; i-- {
+		r := t.active[t.finished[i]]
+		if r == nil {
+			continue
+		}
+		if r.duration() < minDur || (errorsOnly && !r.errored) {
+			continue
+		}
+		ts := TraceSummary{
+			TraceID:  r.id,
+			Node:     t.node,
+			Start:    r.start,
+			Duration: r.duration(),
+			Errored:  r.errored,
+			Spans:    len(r.spans),
+		}
+		if len(r.spans) > 0 {
+			ts.Root = r.spans[0].Name
+		}
+		out = append(out, ts)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len reports how many finished traces are currently retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.finished)
+}

@@ -12,6 +12,7 @@ import (
 	"chatvis/internal/data"
 	"chatvis/internal/datagen"
 	"chatvis/internal/filters"
+	"chatvis/internal/obs"
 	"chatvis/internal/par"
 	"chatvis/internal/pypy"
 	"chatvis/internal/render"
@@ -570,9 +571,19 @@ func (e *Engine) Dataset(p *Proxy) (data.Dataset, error) {
 	return ds, nil
 }
 
+// computeCounted is the single point every actually-executed pipeline
+// stage funnels through (cache hits never reach it), so each execution
+// gets a span named for its proxy class.
 func (e *Engine) computeCounted(p *Proxy) (data.Dataset, error) {
 	e.executions.Add(1)
-	return e.compute(p)
+	_, span := obs.Start(e.execCtx(), "stage."+p.Class.name)
+	defer span.End()
+	if p.RegName != "" {
+		span.SetAttr("proxy", p.RegName)
+	}
+	ds, err := e.compute(p)
+	span.SetError(err)
+	return ds, err
 }
 
 // requireDataset walks the dirty pipeline DAG feeding the given

@@ -6,6 +6,7 @@ import (
 
 	"chatvis/internal/data"
 	"chatvis/internal/filters"
+	"chatvis/internal/obs"
 	"chatvis/internal/pypy"
 	"chatvis/internal/render"
 	"chatvis/internal/vmath"
@@ -215,7 +216,12 @@ func pick(cond bool, a, b float64) float64 {
 // in parallel (requireDataset); the serial actor-assembly loop below
 // then finds every dataset already computed.
 func (e *Engine) RenderViewImage(view *Proxy, w, h int, overridePalette string) (*image.RGBA, error) {
+	_, span := obs.Start(e.execCtx(), "render.view")
+	defer span.End()
+	span.SetAttr("width", w)
+	span.SetAttr("height", h)
 	if err := e.requireDataset(e.visibleSources(view)); err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	r := render.NewRenderer()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"chatvis/internal/cluster"
+	"chatvis/internal/obs"
 )
 
 // Cluster mode for the HTTP surface: any node accepts any request and
@@ -116,20 +117,37 @@ func (s *Server) jobPeer(r *http.Request, jobID string) (cluster.Peer, bool) {
 // is marked down (so routing fails over immediately) and the caller
 // falls back to handling the request locally.
 func (s *Server) proxy(w http.ResponseWriter, r *http.Request, peer cluster.Peer, body []byte) bool {
+	ctx, span := obs.Start(r.Context(), "cluster.forward")
+	span.SetAttr("peer", peer.ID)
+	span.SetAttr("path", r.URL.Path)
+	defer span.End()
 	url := "http://" + peer.Addr + r.URL.RequestURI()
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, bytes.NewReader(body))
 	if err != nil {
+		span.SetError(err)
 		return false
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(ForwardedHeader, s.cluster.Self().ID)
+	// Propagate the trace across the hop: the peer's middleware parses
+	// this and parents its server span under our forward span, so one
+	// trace ID spans both nodes.
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	resp, err := s.cluster.Client().Do(req)
 	if err != nil {
+		span.SetError(err)
 		s.cluster.MarkAlive(peer.ID, false)
 		return false
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if http.CanonicalHeaderKey(k) == obs.TraceHeader {
+			// Our middleware already stamped the trace header; copying the
+			// peer's (identical) value would duplicate it.
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -165,7 +183,7 @@ func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) (release fu
 			secs++
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, r, http.StatusTooManyRequests,
 			"tenant %q over quota, retry in %ds", tenant, secs)
 		return nil, false
 	}
@@ -205,7 +223,7 @@ func (s *Server) handleClusterResult(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 		}
 	}
-	writeError(w, http.StatusNotFound, "no result for key %q", key)
+	writeError(w, r, http.StatusNotFound, "no result for key %q", key)
 }
 
 // remoteLookupWait is how long a worker waits on the owner's in-flight
@@ -243,14 +261,24 @@ func ClusterLookup(c *cluster.Cluster) func(ctx context.Context, key string) (*R
 func askPeer(ctx context.Context, c *cluster.Cluster, owner cluster.Peer, key string) (res *Result, retry bool) {
 	ctx, cancel := context.WithTimeout(ctx, remoteLookupWait+5*time.Second)
 	defer cancel()
+	ctx, span := obs.Start(ctx, "cluster.remote-lookup")
+	span.SetAttr("peer", owner.ID)
+	defer span.End()
 	url := fmt.Sprintf("http://%s/v1/cluster/result/%s?wait_ms=%d",
 		owner.Addr, key, remoteLookupWait.Milliseconds())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
+		span.SetError(err)
 		return nil, false
+	}
+	// Carry the trace to the owner so its long-poll handling records
+	// into the same trace as our worker.
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
 	}
 	resp, err := c.Client().Do(req)
 	if err != nil {
+		span.SetError(err)
 		c.MarkAlive(owner.ID, false)
 		return nil, ctx.Err() == nil
 	}

@@ -18,6 +18,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -29,6 +30,7 @@ import (
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/llm"
+	"chatvis/internal/obs"
 	"chatvis/internal/plan"
 	"chatvis/internal/pvsim"
 )
@@ -164,6 +166,16 @@ type Job struct {
 	Key string
 	// Req is the normalized request.
 	Req JobRequest
+	// TraceID names the distributed trace the submission joined ("" when
+	// the submitter was untraced, e.g. WAL replay).
+	TraceID string
+
+	// traceCtx carries the submitter's observability state (tracer +
+	// span identity) with no cancellation, so worker spans land in the
+	// originating request's trace after the HTTP handler returns.
+	traceCtx context.Context
+	// waitSpan times queue wait: started at enqueue, ended at pickup.
+	waitSpan *obs.Span
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -272,6 +284,7 @@ type View struct {
 	Key       string     `json:"key"`
 	Status    JobStatus  `json:"status"`
 	Model     string     `json:"model"`
+	TraceID   string     `json:"trace_id,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	Coalesced int        `json:"coalesced,omitempty"`
 	FromStore bool       `json:"from_store,omitempty"`
@@ -292,6 +305,7 @@ func (j *Job) Snapshot() View {
 		Key:       j.Key,
 		Status:    j.status,
 		Model:     j.Req.Model,
+		TraceID:   j.TraceID,
 		Error:     j.errMsg,
 		Coalesced: j.coalesced,
 		FromStore: j.fromStore,
@@ -335,6 +349,9 @@ type Result struct {
 	// GET /v1/jobs/{id} serves the typed pipeline DAG alongside the
 	// artifact hashes.
 	Plan json.RawMessage `json:"plan,omitempty"`
+	// TraceID names the distributed trace of the execution that produced
+	// this result, retrievable via GET /v1/traces/{id} while retained.
+	TraceID string `json:"trace_id,omitempty"`
 	// Trace is the per-stage session record (durations, usage, cache
 	// provenance), inlined for GET /v1/jobs/{id}.
 	Trace chatvis.Trace `json:"trace"`

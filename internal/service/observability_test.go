@@ -1,0 +1,91 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chatvis/internal/llm"
+	"chatvis/internal/obs"
+)
+
+// TestMetricsOpenMetricsExemplars covers the trace/metrics join: a
+// tracer-attached server runs one job, and the OpenMetrics negotiation
+// of /metrics links a chatvis_job_duration_seconds bucket to that job's
+// trace ID via an exemplar — while the plain Prometheus scrape stays
+// exemplar-free (the ` # {...}` syntax is invalid there).
+func TestMetricsOpenMetricsExemplars(t *testing.T) {
+	q := newTestQueue(t, &stubPipeline{}, 2)
+	server := NewServer(q, q.store, &llm.Metrics{}).
+		WithTracer(obs.NewTracer("t1", 0)).
+		WithBuildVersion("v-test")
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	sub, code := postJob(t, srv.URL, JobRequest{Prompt: "exemplar probe"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	view := pollJob(t, srv.URL, sub.ID)
+	if view.Status != StatusSucceeded {
+		t.Fatalf("job = %s (%s)", view.Status, view.Error)
+	}
+	if view.TraceID == "" {
+		t.Fatal("job view has no trace_id")
+	}
+
+	scrape := func(accept string) (string, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	plain, plainCT := scrape("")
+	if !strings.HasPrefix(plainCT, "text/plain") {
+		t.Errorf("plain content type = %q", plainCT)
+	}
+	if strings.Contains(plain, `# {trace_id=`) {
+		t.Error("plain-text scrape contains exemplar syntax")
+	}
+	if strings.Contains(plain, "# EOF") {
+		t.Error("plain-text scrape contains the OpenMetrics EOF marker")
+	}
+	if !strings.Contains(plain, "chatvis_traces_retained") {
+		t.Error("tracer-attached scrape missing chatvis_traces_retained")
+	}
+	if !strings.Contains(plain, `chatvis_build_info{version="v-test"`) {
+		t.Error("scrape missing versioned chatvis_build_info")
+	}
+
+	om, omCT := scrape("application/openmetrics-text")
+	if !strings.HasPrefix(omCT, "application/openmetrics-text") {
+		t.Errorf("openmetrics content type = %q", omCT)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(om), "# EOF") {
+		t.Error("openmetrics scrape does not end with # EOF")
+	}
+	// The finished job's trace is the latest histogram observation, so
+	// its ID must appear as a bucket exemplar.
+	want := `# {trace_id="` + view.TraceID + `"}`
+	found := false
+	for _, line := range strings.Split(om, "\n") {
+		if strings.HasPrefix(line, "chatvis_job_duration_seconds_bucket") && strings.Contains(line, want) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no duration bucket carries exemplar %s:\n%s", want, om)
+	}
+}

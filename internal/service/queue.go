@@ -11,6 +11,7 @@ import (
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/cluster"
+	"chatvis/internal/obs"
 )
 
 // PipelineFunc runs one ChatVis pipeline for a request and returns the
@@ -118,6 +119,20 @@ type queueMetrics struct {
 	latencyNanos atomic.Int64
 	latencyCount atomic.Int64
 	buckets      [numLatencyBuckets + 1]atomic.Int64
+
+	// exemplars keeps the most recent traced observation per histogram
+	// bucket, linking chatvis_job_duration_seconds to a trace ID in the
+	// OpenMetrics exposition.
+	exMu      sync.Mutex
+	exemplars [numLatencyBuckets + 1]Exemplar
+}
+
+// Exemplar links one histogram bucket to the trace of a recent
+// observation that landed in it.
+type Exemplar struct {
+	TraceID string
+	// Value is the observed duration in seconds.
+	Value float64
 }
 
 // latencyBuckets are the job-duration histogram upper bounds (seconds);
@@ -150,6 +165,9 @@ type QueueSnapshot struct {
 	// cumulative; the final slot is the +Inf overflow. The /metrics
 	// handler re-accumulates these into Prometheus cumulative buckets.
 	BucketCounts []int64
+	// BucketExemplars[i] is the latest traced observation in bucket i
+	// (zero TraceID when the bucket has seen no traced job).
+	BucketExemplars []Exemplar
 }
 
 // NewQueue builds a queue and starts its workers.
@@ -189,9 +207,18 @@ func NewQueue(opts QueueOptions) (*Queue, error) {
 	return q, nil
 }
 
-// Submit registers a request: it either coalesces onto an identical
-// in-flight job, answers from the store, or enqueues a new execution.
+// Submit registers a request with no caller context (WAL replay,
+// tests); traced submissions go through SubmitCtx.
 func (q *Queue) Submit(req JobRequest) (*Job, Submission, error) {
+	return q.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx registers a request: it either coalesces onto an identical
+// in-flight job, answers from the store, or enqueues a new execution.
+// The context's observability state (trace identity) is captured on the
+// job so worker spans land in the submitting request's trace; its
+// cancellation is NOT inherited — an accepted job outlives the request.
+func (q *Queue) SubmitCtx(ctx context.Context, req JobRequest) (*Job, Submission, error) {
 	if err := req.Validate(); err != nil {
 		return nil, "", err
 	}
@@ -224,6 +251,7 @@ func (q *Queue) Submit(req JobRequest) (*Job, Submission, error) {
 	// without touching the queue (or an LLM).
 	if res, ok := q.store.GetResult(key); ok {
 		job := q.newJobLocked(key, req)
+		job.TraceID = obs.TraceID(ctx)
 		job.mu.Lock()
 		job.fromStore = true
 		job.result = res
@@ -234,10 +262,23 @@ func (q *Queue) Submit(req JobRequest) (*Job, Submission, error) {
 	}
 
 	job := q.newJobLocked(key, req)
+	// Capture the submitter's trace (without its cancellation) and start
+	// the queue-wait span: it ends when a worker picks the job up.
+	job.traceCtx = obs.Detach(ctx)
+	job.TraceID = obs.TraceID(ctx)
+	_, job.waitSpan = obs.Start(job.traceCtx, "queue.wait")
+	job.waitSpan.SetAttr("job_id", job.ID)
 	// Durability before enqueue: once the WAL has the accepted record a
 	// crash cannot lose the work, so only now may the client see an ack.
 	if w := q.opts.WAL; w != nil {
-		if err := w.Accepted(cluster.KindJob, "", job.ID, key, req); err != nil {
+		_, wsp := obs.Start(ctx, "wal.append")
+		wsp.SetAttr("kind", "job")
+		err := w.Accepted(cluster.KindJob, "", job.ID, key, req)
+		wsp.SetError(err)
+		wsp.End()
+		if err != nil {
+			job.waitSpan.Fail("never enqueued: wal append failed")
+			job.waitSpan.End()
 			q.unregisterLocked(job)
 			return nil, "", fmt.Errorf("service: logging accepted job: %w", err)
 		}
@@ -247,6 +288,8 @@ func (q *Queue) Submit(req JobRequest) (*Job, Submission, error) {
 	default:
 		// Backlog full: unregister the stillborn job and retire its WAL
 		// record so it never replays.
+		job.waitSpan.Fail("queue full")
+		job.waitSpan.End()
 		q.unregisterLocked(job)
 		if w := q.opts.WAL; w != nil {
 			_ = w.Failed(cluster.KindJob, "", job.ID, ErrQueueFull.Error())
@@ -338,6 +381,7 @@ func (q *Queue) worker() {
 
 // run executes one job through the pipeline and stores its artifacts.
 func (q *Queue) run(job *Job) {
+	job.waitSpan.End() // queue wait is over, whatever happens next
 	job.mu.Lock()
 	if job.status.Terminal() { // canceled while queued
 		job.mu.Unlock()
@@ -346,11 +390,21 @@ func (q *Queue) run(job *Job) {
 		return
 	}
 	ctx, cancel := context.WithCancel(q.baseCtx)
+	if job.traceCtx != nil {
+		// Worker lifecycle context, submitter's trace: spans below land
+		// in the originating request's trace.
+		ctx = obs.Graft(ctx, job.traceCtx)
+	}
 	job.cancelFn = cancel
 	job.status = StatusRunning
 	job.startedAt = time.Now()
 	job.mu.Unlock()
 	defer cancel()
+
+	ctx, execSpan := obs.Start(ctx, "job.execute")
+	execSpan.SetAttr("job_id", job.ID)
+	execSpan.SetAttr("model", job.Req.Model)
+	defer execSpan.End()
 
 	// Fleet-wide coalescing: before spending a pipeline execution, ask
 	// the ring owner of this key whether an identical request is already
@@ -362,6 +416,7 @@ func (q *Queue) run(job *Job) {
 			job.result = res
 			job.finishTerminalLocked(StatusSucceeded, "")
 			job.mu.Unlock()
+			execSpan.SetAttr("outcome", "remote-hit")
 			q.m.remoteHits.Add(1)
 			q.m.succeeded.Add(1)
 			q.walTerminal(job.ID, StatusSucceeded, false)
@@ -376,10 +431,11 @@ func (q *Queue) run(job *Job) {
 	q.m.executed.Add(1)
 	start := time.Now()
 	art, err := q.opts.Pipeline(ctx, job.Req, job.ID)
-	q.recordLatency(time.Since(start))
+	q.recordLatency(time.Since(start), obs.TraceID(ctx))
 	q.m.running.Add(-1)
 
 	if err != nil {
+		execSpan.SetError(err)
 		job.mu.Lock()
 		if ctx.Err() != nil {
 			job.finishTerminalLocked(StatusCanceled, err.Error())
@@ -398,9 +454,13 @@ func (q *Queue) run(job *Job) {
 		return
 	}
 
+	_, storeSpan := obs.Start(ctx, "store.write")
 	res, err := q.storeArtifact(job, art)
+	storeSpan.SetError(err)
+	storeSpan.End()
 	job.mu.Lock()
 	if err != nil {
+		execSpan.SetError(err)
 		job.finishTerminalLocked(StatusFailed, err.Error())
 		job.mu.Unlock()
 		q.m.failed.Add(1)
@@ -506,6 +566,7 @@ func (q *Queue) storeArtifact(job *Job, art *chatvis.Artifact) (*Result, error) 
 	}
 	res := &Result{
 		Key:              job.Key,
+		TraceID:          job.TraceID,
 		Model:            job.Req.Model,
 		Success:          art.Success,
 		Iterations:       art.NumIterations(),
@@ -527,18 +588,25 @@ func (q *Queue) storeArtifact(job *Job, art *chatvis.Artifact) (*Result, error) 
 	return res, nil
 }
 
-// recordLatency updates the duration histogram.
-func (q *Queue) recordLatency(d time.Duration) {
+// recordLatency updates the duration histogram and, when the job was
+// traced, stamps the bucket's exemplar with its trace ID.
+func (q *Queue) recordLatency(d time.Duration, traceID string) {
 	q.m.latencyNanos.Add(int64(d))
 	q.m.latencyCount.Add(1)
 	secs := d.Seconds()
+	slot := len(latencyBuckets)
 	for i, ub := range latencyBuckets {
 		if secs <= ub {
-			q.m.buckets[i].Add(1)
-			return
+			slot = i
+			break
 		}
 	}
-	q.m.buckets[len(latencyBuckets)].Add(1)
+	q.m.buckets[slot].Add(1)
+	if traceID != "" {
+		q.m.exMu.Lock()
+		q.m.exemplars[slot] = Exemplar{TraceID: traceID, Value: secs}
+		q.m.exMu.Unlock()
+	}
 }
 
 // Depth is the current backlog (queued, not yet picked up).
@@ -565,6 +633,10 @@ func (q *Queue) Snapshot() QueueSnapshot {
 	for i := range q.m.buckets {
 		s.BucketCounts[i] = q.m.buckets[i].Load()
 	}
+	s.BucketExemplars = make([]Exemplar, len(q.m.exemplars))
+	q.m.exMu.Lock()
+	copy(s.BucketExemplars, q.m.exemplars[:])
+	q.m.exMu.Unlock()
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"chatvis/internal/data"
 	"chatvis/internal/eval"
 	"chatvis/internal/llm"
+	"chatvis/internal/obs"
 	"chatvis/internal/par"
 )
 
@@ -53,6 +55,14 @@ type Server struct {
 	cluster *cluster.Cluster
 	quotas  *cluster.Quotas
 	wal     *cluster.WAL
+	// tracer records distributed traces and serves /v1/traces; may be
+	// nil (requests then run untraced).
+	tracer *obs.Tracer
+	// logger receives structured access/lifecycle logs; may be nil
+	// (slog.Default is used).
+	logger *slog.Logger
+	// buildVersion labels chatvis_build_info ("" omits the gauge).
+	buildVersion string
 	// forwards counts requests relayed to their ring owner.
 	forwards atomic.Int64
 	started  time.Time
@@ -77,6 +87,28 @@ func (s *Server) WithSessions(m *Sessions) *Server {
 	return s
 }
 
+// WithTracer attaches the node's tracer: Handler gains the tracing
+// middleware and the /v1/traces endpoints; returns the server for
+// chaining.
+func (s *Server) WithTracer(t *obs.Tracer) *Server {
+	s.tracer = t
+	return s
+}
+
+// WithLogger attaches the daemon's structured logger; returns the
+// server for chaining.
+func (s *Server) WithLogger(l *slog.Logger) *Server {
+	s.logger = l
+	return s
+}
+
+// WithBuildVersion sets the version label of chatvis_build_info;
+// returns the server for chaining.
+func (s *Server) WithBuildVersion(v string) *Server {
+	s.buildVersion = v
+	return s
+}
+
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -92,15 +124,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifact)
 	mux.HandleFunc("GET /v1/cluster/result/{key}", s.handleClusterResult)
+	mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+
+	// The observability front door: enrich the context (logger, tenant),
+	// then the tracing middleware starts the server span and stamps the
+	// trace header. Without a tracer, requests pass straight through.
+	var h http.Handler = obs.Middleware(s.tracer, mux)
+	if s.logger != nil || s.tracer != nil {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx := r.Context()
+			if s.logger != nil {
+				ctx = obs.WithLogger(ctx, s.logger)
+			}
+			if t := strings.TrimSpace(r.Header.Get(TenantHeader)); t != "" {
+				ctx = obs.WithTenant(ctx, t)
+			}
+			inner.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	return h
 }
 
-// apiError is the JSON error body.
+// apiError is the JSON error body. TraceID names the request's
+// distributed trace so a client can quote it when reporting a failure
+// (it also rides the X-ChatVis-Trace response header).
 type apiError struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -111,8 +166,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{
+		Error:   fmt.Sprintf(format, args...),
+		TraceID: obs.TraceID(r.Context()),
+	})
 }
 
 // submitResponse is the POST /v1/jobs body: the job view plus how the
@@ -128,25 +186,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// relay can replay the exact bytes to the ring owner.
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
 	var req JobRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Reject unknown models before queueing so the client hears about a
 	// typo now, not from a failed job later.
 	if model := req.withDefaults().Model; model != "" {
 		if _, err := llm.NewModel(model); err != nil {
-			writeError(w, http.StatusBadRequest, "unknown model %q (have %s)",
+			writeError(w, r, http.StatusBadRequest, "unknown model %q (have %s)",
 				model, strings.Join(llm.ModelNames(), ", "))
 			return
 		}
@@ -165,19 +223,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, outcome, err := s.queue.Submit(req)
+	job, outcome, err := s.queue.SubmitCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		release()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, ErrQueueClosed):
 		release()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
 		release()
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if outcome == SubmissionNew {
@@ -213,7 +271,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		if peer, fwd := s.jobPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, nil) {
 			return
 		}
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Snapshot())
@@ -225,7 +283,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		if peer, fwd := s.jobPeer(r, r.PathValue("id")); fwd && s.proxy(w, r, peer, nil) {
 			return
 		}
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	job.Cancel()
@@ -233,16 +291,16 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // requireSessions guards the conversational endpoints.
-func (s *Server) requireSessions(w http.ResponseWriter) *Sessions {
+func (s *Server) requireSessions(w http.ResponseWriter, r *http.Request) *Sessions {
 	if s.sessions == nil {
-		writeError(w, http.StatusServiceUnavailable, "sessions are not enabled on this daemon")
+		writeError(w, r, http.StatusServiceUnavailable, "sessions are not enabled on this daemon")
 		return nil
 	}
 	return s.sessions
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	m := s.requireSessions(w)
+	m := s.requireSessions(w, r)
 	if m == nil {
 		return
 	}
@@ -250,26 +308,26 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil && err != io.EOF {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
 	if model := req.withDefaults().Model; model != "" {
 		if _, err := llm.NewModel(model); err != nil {
-			writeError(w, http.StatusBadRequest, "unknown model %q (have %s)",
+			writeError(w, r, http.StatusBadRequest, "unknown model %q (have %s)",
 				model, strings.Join(llm.ModelNames(), ", "))
 			return
 		}
 	}
 	sess, err := m.Create(req)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, sess.View())
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
-	m := s.requireSessions(w)
+	m := s.requireSessions(w, r)
 	if m == nil {
 		return
 	}
@@ -284,7 +342,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	m := s.requireSessions(w)
+	m := s.requireSessions(w, r)
 	if m == nil {
 		return
 	}
@@ -295,7 +353,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.View())
@@ -308,20 +366,20 @@ type submitTurnResponse struct {
 }
 
 func (s *Server) handleSubmitTurn(w http.ResponseWriter, r *http.Request) {
-	m := s.requireSessions(w)
+	m := s.requireSessions(w, r)
 	if m == nil {
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
 	var req TurnRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
 	release, ok := s.admitTenant(w, r)
@@ -335,18 +393,18 @@ func (s *Server) handleSubmitTurn(w http.ResponseWriter, r *http.Request) {
 	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
 		release()
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
-	view, outcome, err := sess.SubmitTurn(req)
+	view, outcome, err := sess.SubmitTurnCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueClosed):
 		release()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
 		release()
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if done, found := sess.TurnDone(view.ID); outcome == SubmissionNew && found {
@@ -365,7 +423,7 @@ func (s *Server) handleSubmitTurn(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetTurn(w http.ResponseWriter, r *http.Request) {
-	m := s.requireSessions(w)
+	m := s.requireSessions(w, r)
 	if m == nil {
 		return
 	}
@@ -374,12 +432,12 @@ func (s *Server) handleGetTurn(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
 	view, ok := sess.TurnView(r.PathValue("turn"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown turn %q", r.PathValue("turn"))
+		writeError(w, r, http.StatusNotFound, "unknown turn %q", r.PathValue("turn"))
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -389,7 +447,7 @@ func (s *Server) handleGetTurn(w http.ResponseWriter, r *http.Request) {
 // progress, stored results) as server-sent events until the client
 // disconnects.
 func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
-	m := s.requireSessions(w)
+	m := s.requireSessions(w, r)
 	if m == nil {
 		return
 	}
@@ -402,12 +460,12 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, ok := m.GetOrRestore(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		writeError(w, r, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
 	ch, cancel := sess.Subscribe()
@@ -444,7 +502,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	content, info, err := s.store.Get(hash)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "unknown artifact %q", hash)
+		writeError(w, r, http.StatusNotFound, "unknown artifact %q", hash)
 		return
 	}
 	w.Header().Set("Content-Type", info.ContentType)
@@ -530,16 +588,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("chatvis_queue_depth", "Jobs queued and not yet picked up.", q.Depth)
 	emit("chatvis_jobs_running", "Pipelines executing right now.", q.Running)
 
-	// Job duration histogram (Prometheus cumulative buckets).
+	// Job duration histogram (Prometheus cumulative buckets). Under the
+	// OpenMetrics exposition each bucket carries an exemplar linking it
+	// to the trace ID of a recent observation that landed in it.
+	openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+	exemplar := func(i int) string {
+		if !openMetrics || len(q.BucketExemplars) <= i || q.BucketExemplars[i].TraceID == "" {
+			return ""
+		}
+		ex := q.BucketExemplars[i]
+		return fmt.Sprintf(" # {trace_id=\"%s\"} %g", ex.TraceID, ex.Value)
+	}
 	fmt.Fprintf(&b, "# HELP chatvis_job_duration_seconds Pipeline execution latency.\n")
 	fmt.Fprintf(&b, "# TYPE chatvis_job_duration_seconds histogram\n")
 	var cum int64
 	for i, ub := range latencyBuckets {
 		cum += q.BucketCounts[i]
-		fmt.Fprintf(&b, "chatvis_job_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+		fmt.Fprintf(&b, "chatvis_job_duration_seconds_bucket{le=\"%g\"} %d%s\n", ub, cum, exemplar(i))
 	}
 	cum += q.BucketCounts[len(latencyBuckets)]
-	fmt.Fprintf(&b, "chatvis_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "chatvis_job_duration_seconds_bucket{le=\"+Inf\"} %d%s\n", cum, exemplar(len(latencyBuckets)))
 	fmt.Fprintf(&b, "chatvis_job_duration_seconds_sum %g\n", q.LatencyTotal.Seconds())
 	fmt.Fprintf(&b, "chatvis_job_duration_seconds_count %d\n", q.LatencyCount)
 
@@ -596,7 +664,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("chatvis_llm_completion_tokens_total", "Completion tokens produced.", m.CompletionTokens)
 		emit("chatvis_llm_latency_seconds_total", "Cumulative LLM call latency.", m.TotalLatency.Seconds())
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	// Tracing subsystem.
+	if s.tracer != nil {
+		emit("chatvis_traces_retained", "Finished traces held in the retention ring.", s.tracer.Len())
+	}
+
+	// Go runtime.
+	rs := obs.ReadRuntimeStats()
+	emit("chatvis_go_goroutines", "Live goroutines.", rs.Goroutines)
+	emit("chatvis_go_heap_alloc_bytes", "Heap bytes allocated and in use.", rs.HeapAllocBytes)
+	emit("chatvis_go_heap_sys_bytes", "Heap bytes obtained from the OS.", rs.HeapSysBytes)
+	emit("chatvis_go_heap_objects", "Live heap objects.", rs.HeapObjects)
+	emit("chatvis_go_gc_cycles_total", "Completed GC cycles.", rs.GCCycles)
+	emit("chatvis_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(rs.GCPauseNsTotal)/1e9)
+	emit("chatvis_go_next_gc_bytes", "Heap size that triggers the next GC cycle.", rs.NextGCBytes)
+
+	// Build identity, all facts in labels (value is always 1).
+	bi := obs.ReadBuildInfo(s.buildVersion)
+	node := ""
+	if s.cluster != nil {
+		node = s.cluster.Self().ID
+	} else if s.tracer != nil {
+		node = s.tracer.Node()
+	}
+	fmt.Fprintf(&b, "# HELP chatvis_build_info Build and runtime identity of this daemon.\n")
+	fmt.Fprintf(&b, "# TYPE chatvis_build_info gauge\n")
+	fmt.Fprintf(&b, "chatvis_build_info{version=%q,go_version=%q,node_id=%q} 1\n",
+		bi.Version, bi.GoVersion, node)
+
+	if openMetrics {
+		fmt.Fprintf(&b, "# EOF\n")
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	}
 	_, _ = w.Write([]byte(b.String()))
 }
 

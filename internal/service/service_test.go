@@ -621,9 +621,32 @@ func TestHTTPScenariosHealthMetrics(t *testing.T) {
 		"chatvis_job_duration_seconds_bucket{le=\"+Inf\"}",
 		"chatvis_store_objects",
 		"chatvis_llm_calls_total",
+		// Runtime and identity series ride every scrape.
+		"chatvis_go_goroutines",
+		"chatvis_go_heap_alloc_bytes",
+		"chatvis_go_gc_cycles_total",
+		"chatvis_build_info{",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// Scrape-format contract: each family declares HELP and TYPE exactly
+	// once, and the Prometheus text format carries no exemplar syntax
+	// (that is OpenMetrics-only; see TestMetricsOpenMetricsExemplars).
+	seen := map[string]int{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			seen[strings.Join(strings.Fields(line)[:3], " ")]++
+		}
+		if strings.Contains(line, "} # {") || strings.Contains(line, " # {") {
+			t.Errorf("plain-text scrape leaked exemplar syntax: %s", line)
+		}
+	}
+	for decl, n := range seen {
+		if n > 1 {
+			t.Errorf("%s declared %d times, want 1", decl, n)
 		}
 	}
 }

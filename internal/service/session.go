@@ -16,6 +16,7 @@ import (
 	"chatvis/internal/chatvis"
 	"chatvis/internal/cluster"
 	"chatvis/internal/llm"
+	"chatvis/internal/obs"
 	"chatvis/internal/plan"
 )
 
@@ -116,6 +117,9 @@ type TurnView struct {
 	Prompt string    `json:"prompt"`
 	Status JobStatus `json:"status"`
 	Error  string    `json:"error,omitempty"`
+	// TraceID names the distributed trace of the submission that started
+	// this turn ("" when the submitter was untraced).
+	TraceID string `json:"trace_id,omitempty"`
 	// Coalesced counts submissions beyond the first that mapped onto
 	// this turn.
 	Coalesced int `json:"coalesced,omitempty"`
@@ -146,6 +150,10 @@ type TurnView struct {
 type turnRec struct {
 	view TurnView
 	done chan struct{}
+	// traceCtx carries the submitter's observability state (no
+	// cancellation); waitSpan times submit→pickup.
+	traceCtx context.Context
+	waitSpan *obs.Span
 }
 
 // SessionRecord is the durable form of a session: what the store
@@ -493,10 +501,18 @@ func (m *Sessions) ReplayWAL() int {
 	return n
 }
 
-// SubmitTurn registers a turn: identical in-meaning submissions against
-// the same parent plan coalesce onto the existing turn; otherwise the
-// turn queues behind the session's in-flight work.
+// SubmitTurn registers a turn with no caller context (WAL replay,
+// tests); traced submissions go through SubmitTurnCtx.
 func (s *SvcSession) SubmitTurn(req TurnRequest) (TurnView, Submission, error) {
+	return s.SubmitTurnCtx(context.Background(), req)
+}
+
+// SubmitTurnCtx registers a turn: identical in-meaning submissions
+// against the same parent plan coalesce onto the existing turn;
+// otherwise the turn queues behind the session's in-flight work. The
+// context's trace identity is captured on the turn (its cancellation is
+// not — an accepted turn outlives the request).
+func (s *SvcSession) SubmitTurnCtx(ctx context.Context, req TurnRequest) (TurnView, Submission, error) {
 	if err := req.Validate(); err != nil {
 		return TurnView{}, "", err
 	}
@@ -522,20 +538,32 @@ func (s *SvcSession) SubmitTurn(req TurnRequest) (TurnView, Submission, error) {
 	s.seq++
 	tr := &turnRec{
 		view: TurnView{
-			ID:     fmt.Sprintf("turn-%d", s.seq),
-			Index:  s.seq,
-			Key:    key,
-			Prompt: req.Prompt,
-			Status: StatusQueued, Submitted: time.Now(),
+			ID:      fmt.Sprintf("turn-%d", s.seq),
+			Index:   s.seq,
+			Key:     key,
+			Prompt:  req.Prompt,
+			TraceID: obs.TraceID(ctx),
+			Status:  StatusQueued, Submitted: time.Now(),
 		},
-		done: make(chan struct{}),
+		done:     make(chan struct{}),
+		traceCtx: obs.Detach(ctx),
 	}
+	_, tr.waitSpan = obs.Start(tr.traceCtx, "turn.wait")
+	tr.waitSpan.SetAttr("session", s.ID)
+	tr.waitSpan.SetAttr("turn", tr.view.ID)
 	s.turns = append(s.turns, tr)
 	s.byKey[key] = tr
 	if w := s.m.wal; w != nil {
 		// Durable before acknowledged, like the job queue: the accepted
 		// record must hit disk before the client hears "queued".
-		if err := w.Accepted(cluster.KindTurn, s.ID, tr.view.ID, key, req); err != nil {
+		_, wsp := obs.Start(ctx, "wal.append")
+		wsp.SetAttr("kind", "turn")
+		err := w.Accepted(cluster.KindTurn, s.ID, tr.view.ID, key, req)
+		wsp.SetError(err)
+		wsp.End()
+		if err != nil {
+			tr.waitSpan.Fail("never started: wal append failed")
+			tr.waitSpan.End()
 			s.turns = s.turns[:len(s.turns)-1]
 			delete(s.byKey, key)
 			s.seq--
@@ -591,6 +619,7 @@ func (s *SvcSession) run(tr *turnRec) {
 	defer s.m.wg.Done()
 	s.execMu.Lock()
 	defer s.execMu.Unlock()
+	tr.waitSpan.End() // per-session serialization wait is over
 
 	s.mu.Lock()
 	if err := s.hydrateLocked(); err != nil {
@@ -604,10 +633,23 @@ func (s *SvcSession) run(tr *turnRec) {
 	tr.view.Started = &now
 	s.mu.Unlock()
 
+	// Session lifecycle context, submitter's trace: the chatvis session's
+	// LLM/exec spans land in the trace of the request that submitted the
+	// turn, even though it returned 202 long ago.
+	ctx := s.m.baseCtx
+	if tr.traceCtx != nil {
+		ctx = obs.Graft(ctx, tr.traceCtx)
+	}
+	ctx, execSpan := obs.Start(ctx, "turn.execute")
+	execSpan.SetAttr("session", s.ID)
+	execSpan.SetAttr("turn", tr.view.ID)
+
 	if w := s.m.wal; w != nil {
 		_ = w.Started(cluster.KindTurn, s.ID, tr.view.ID)
 	}
-	turn, err := sess.Turn(s.m.baseCtx, tr.view.Prompt)
+	turn, err := sess.Turn(ctx, tr.view.Prompt)
+	execSpan.SetError(err)
+	execSpan.End()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -702,6 +744,7 @@ func (s *SvcSession) finishLocked(tr *turnRec, status JobStatus, errMsg string) 
 		"type": "turn-stored", "turn": tr.view.Index, "status": status,
 		"plan_hash": tr.view.PlanHash, "artifact_hash": tr.view.ArtifactHash,
 		"executions_delta": tr.view.ExecutionsDelta,
+		"trace_id":         tr.view.TraceID,
 	})
 }
 

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"chatvis/internal/obs"
+)
+
+// Trace API:
+//
+//	GET /v1/traces           list retained traces (?min_ms, ?errors, ?limit)
+//	GET /v1/traces/{id}      one trace's span tree as JSON
+//
+// A trace that crossed nodes is recorded piecewise — each node retains
+// the spans it produced. GET /v1/traces/{id} on any node therefore
+// fans out to the fleet (guarded by the forwarded marker so peers
+// answer only locally) and merges the pieces into one span list, which
+// is how a single trace ID shows queue wait on the entry node and the
+// pipeline execution on the owner.
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, r, http.StatusServiceUnavailable, "tracing is not enabled on this daemon")
+		return
+	}
+	var minDur time.Duration
+	if ms, err := strconv.Atoi(r.URL.Query().Get("min_ms")); err == nil && ms > 0 {
+		minDur = time.Duration(ms) * time.Millisecond
+	}
+	errorsOnly := r.URL.Query().Get("errors") == "true"
+	limit := 100
+	if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n > 0 {
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":   s.tracer.Node(),
+		"traces": s.tracer.List(minDur, errorsOnly, limit),
+	})
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, r, http.StatusServiceUnavailable, "tracing is not enabled on this daemon")
+		return
+	}
+	id := r.PathValue("id")
+	local, found := s.tracer.Get(id)
+	if !forwarded(r) {
+		// Collect the trace's remote pieces from every live peer; a
+		// cross-node request recorded spans wherever it executed.
+		for _, remote := range s.collectPeerTraces(r, id) {
+			local = mergeTraces(local, remote)
+			found = true
+		}
+	}
+	if !found {
+		writeError(w, r, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, local)
+}
+
+// collectPeerTraces asks each live peer for its piece of the trace.
+// The forwarded marker stops peers from fanning out again.
+func (s *Server) collectPeerTraces(r *http.Request, id string) []obs.TraceData {
+	if s.cluster == nil {
+		return nil
+	}
+	var out []obs.TraceData
+	for _, peer := range s.cluster.Peers() {
+		if s.cluster.IsSelf(peer) || !s.cluster.Alive(peer.ID) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			"http://"+peer.Addr+"/v1/traces/"+id, nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(ForwardedHeader, s.cluster.Self().ID)
+		resp, err := s.cluster.Client().Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			var td obs.TraceData
+			if json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&td) == nil && td.TraceID == id {
+				out = append(out, td)
+			}
+		}
+		resp.Body.Close()
+	}
+	return out
+}
+
+// mergeTraces folds a peer's piece of a trace into the local one:
+// union of spans (deduplicated by span ID), overall start/duration
+// re-derived from the merged set.
+func mergeTraces(a, b obs.TraceData) obs.TraceData {
+	if a.TraceID == "" {
+		return b
+	}
+	seen := make(map[string]bool, len(a.Spans))
+	for _, sp := range a.Spans {
+		seen[sp.SpanID] = true
+	}
+	for _, sp := range b.Spans {
+		if !seen[sp.SpanID] {
+			a.Spans = append(a.Spans, sp)
+		}
+	}
+	sort.SliceStable(a.Spans, func(i, j int) bool { return a.Spans[i].Start.Before(a.Spans[j].Start) })
+	a.Errored = a.Errored || b.Errored
+	if len(a.Spans) > 0 {
+		a.Start = a.Spans[0].Start
+		a.Root = a.Spans[0].Name
+		end := a.Start
+		for _, sp := range a.Spans {
+			if e := sp.Start.Add(sp.Duration); e.After(end) {
+				end = e
+			}
+		}
+		a.Duration = end.Sub(a.Start)
+	}
+	return a
+}
