@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve build serve smoke smoke-cluster plan-validate lint-metrics
+.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve bench-smoke build serve smoke smoke-cluster plan-validate lint-metrics
 
-ci: fmt vet plan-validate lint-metrics test-race smoke smoke-cluster
+ci: fmt vet plan-validate lint-metrics test-race bench-smoke smoke smoke-cluster
 
 # Metrics contract gate: scrape a fully-attached in-memory daemon and
 # fail on any chatvis_* name that is not snake_case, lacks HELP/TYPE
@@ -70,18 +70,27 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Machine-readable perf trajectory of the compute substrate: runs the
-# BenchmarkSubstrate_* kernels serial vs parallel and rewrites
-# BENCH_substrate.json (ns/op, allocs, GOMAXPROCS, speedup) so future
-# PRs can diff hot-path performance.
+# BenchmarkSubstrate_* kernels at worker counts {1,4,8} and rewrites
+# BENCH_substrate.json (ns/op, allocs/op, B/op, GOMAXPROCS, speedup)
+# so future PRs can diff hot-path performance.
 bench-core:
 	$(GO) run ./cmd/benchcore -out BENCH_substrate.json
 
 # Perf regression gate: re-run the substrate kernels and fail when any
-# (kernel, worker-count) pair is >25% slower ns/op than the committed
-# BENCH_substrate.json baseline. Run on a quiet machine comparable to
-# the one that recorded the baseline.
+# (kernel, worker-count) pair regresses >25% in ns/op, allocs/op, B/op
+# or parallel speedup vs the committed BENCH_substrate.json baseline.
+# Refuses baselines recorded on a different core count (timings would
+# compare machines, not code) unless -allow-cpu-mismatch downgrades
+# that to allocation-only gating. Run on a quiet machine.
 bench-diff:
 	$(GO) run ./cmd/benchcore -diff BENCH_substrate.json
+
+# Fast allocation smoke gate (part of `make ci`): run each compute
+# kernel once warm and fail if Substrate_Isosurface64 allocates past
+# its ceiling — catches any return of per-cell allocation without the
+# runtime of the full benchmark suite.
+bench-smoke:
+	$(GO) test -run TestBenchSmokeAllocs -count=1 -v .
 
 # Just the serial-vs-concurrent grid sweep comparison.
 bench-grid:

@@ -1,0 +1,37 @@
+package chatvis_bench
+
+import (
+	"testing"
+
+	"chatvis/internal/benchkernels"
+)
+
+// isosurfaceAllocCeiling is the bench-smoke gate on the flagship
+// kernel: a warm Substrate_Isosurface64 op on the arena-pooled SoA
+// substrate runs in a few dozen allocations (output buffers only); the
+// pre-overhaul figure was ~503k. The ceiling leaves two orders of
+// magnitude of headroom over steady state while still catching any
+// return of per-cell allocation.
+const isosurfaceAllocCeiling = 50_000
+
+// TestBenchSmokeAllocs runs each compute kernel once (after a warm-up
+// op) and reports its allocation profile, failing if Isosurface64
+// climbs back over the ceiling — the cheap `make bench-smoke` gate
+// that runs in CI without the iteration counts of the full bench
+// suite.
+func TestBenchSmokeAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not a -short test")
+	}
+	if benchkernels.RaceEnabled {
+		t.Skip("allocation ceilings are meaningless under -race shadow allocation")
+	}
+	for _, name := range benchkernels.ComputeOrder {
+		allocs, bytes := benchkernels.MeasureOnce(t, name)
+		t.Logf("%-26s %8d allocs/op %12d B/op (warm)", name, allocs, bytes)
+		if name == "Substrate_Isosurface64" && allocs > isosurfaceAllocCeiling {
+			t.Errorf("%s allocated %d times in one warm op; ceiling is %d — the SoA/arena path regressed",
+				name, allocs, isosurfaceAllocCeiling)
+		}
+	}
+}

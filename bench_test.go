@@ -351,7 +351,7 @@ func BenchmarkSubstrate_MarschnerLobbGen(b *testing.B) {
 // `go test -bench BenchmarkSubstrate_` always agree on the workload.
 
 func BenchmarkSubstrate_Isosurface64(b *testing.B) {
-	benchkernels.Substrate["Substrate_Isosurface64"](b)
+	benchkernels.Bench(b, "Substrate_Isosurface64")
 }
 
 func BenchmarkSubstrate_Delaunay500(b *testing.B) {
@@ -365,15 +365,15 @@ func BenchmarkSubstrate_Delaunay500(b *testing.B) {
 }
 
 func BenchmarkSubstrate_StreamTracer(b *testing.B) {
-	benchkernels.Substrate["Substrate_StreamTracer"](b)
+	benchkernels.Bench(b, "Substrate_StreamTracer")
 }
 
 func BenchmarkSubstrate_SurfaceRender(b *testing.B) {
-	benchkernels.Substrate["Substrate_SurfaceRender"](b)
+	benchkernels.Bench(b, "Substrate_SurfaceRender")
 }
 
 func BenchmarkSubstrate_VolumeRayCast(b *testing.B) {
-	benchkernels.Substrate["Substrate_VolumeRayCast"](b)
+	benchkernels.Bench(b, "Substrate_VolumeRayCast")
 }
 
 func BenchmarkSubstrate_PvPythonExec(b *testing.B) {
@@ -395,11 +395,11 @@ func BenchmarkSubstrate_PvPythonExec(b *testing.B) {
 }
 
 func BenchmarkSubstrate_ClipPolyData(b *testing.B) {
-	benchkernels.Substrate["Substrate_ClipPolyData"](b)
+	benchkernels.Bench(b, "Substrate_ClipPolyData")
 }
 
 func BenchmarkSubstrate_SessionEditTurn(b *testing.B) {
-	benchkernels.Substrate["Substrate_SessionEditTurn"](b)
+	benchkernels.Bench(b, "Substrate_SessionEditTurn")
 }
 
 // --- Conversational-session benchmark ---------------------------------------
@@ -412,7 +412,7 @@ func BenchmarkSubstrate_SessionEditTurn(b *testing.B) {
 // win every conversational refinement gets.
 func BenchmarkSessionIncremental(b *testing.B) {
 	b.Run("edit-turn-incremental", func(b *testing.B) {
-		benchkernels.Substrate["Substrate_SessionEditTurn"](b)
+		benchkernels.Bench(b, "Substrate_SessionEditTurn")
 	})
 	b.Run("cold-full-run", func(b *testing.B) {
 		runner := benchkernels.SessionBenchRunner(b)

@@ -2,32 +2,82 @@ package main
 
 import "fmt"
 
+// Absolute slack under which allocation deltas are noise, not
+// regressions: a kernel that goes from 20 to 27 allocs/op tripped the
+// 25% ratio but moved by a rounding error, while 500k → 700k is a real
+// leak of the SoA discipline. Ratios only gate once the absolute move
+// also clears these floors.
+const (
+	allocsSlack = 64        // allocs/op
+	bytesSlack  = 64 * 1024 // B/op
+)
+
 // compareBench diffs a fresh benchmark run against a committed baseline
-// and reports every kernel whose ns/op regressed beyond the tolerance
-// (e.g. 0.25 = 25% slower). Kernels are matched by (name, workers);
+// and reports every kernel whose ns/op, allocs/op, B/op or parallel
+// speedup regressed beyond the tolerance (e.g. 0.25 = 25% worse).
+// timingComparable is false when the baseline was recorded on a
+// different num_cpu/gomaxprocs: allocation metrics are machine-
+// independent and stay gated, but ns/op and speedup comparisons are
+// skipped as meaningless. Kernels are matched by (name, workers);
 // entries present on only one side are skipped — adding a kernel must
 // not fail the gate, and a retired kernel cannot regress. matched
 // counts the pairs actually compared: the caller must treat zero as a
 // gate failure, or a kernel rename would turn the diff green forever.
-func compareBench(baseline, current benchFile, tolerance float64) (regressions []string, matched int) {
-	base := map[string]int64{}
+func compareBench(baseline, current benchFile, tolerance float64, timingComparable bool) (regressions []string, matched int) {
+	// Speedup only gates against baselines recorded on a multicore
+	// machine: on one core a recorded "speedup" is cache warm-up and
+	// scheduler noise, not parallelism, so holding re-runs to it would
+	// fail PRs on artifacts.
+	multicoreBaseline := baseline.NumCPU > 1 && baseline.GOMAXPROCS > 1
+	base := map[string]benchResult{}
 	for _, b := range baseline.Benchmarks {
-		base[fmt.Sprintf("%s@%d", b.Name, b.Workers)] = b.NsPerOp
+		base[fmt.Sprintf("%s@%d", b.Name, b.Workers)] = b
 	}
 	for _, c := range current.Benchmarks {
 		key := fmt.Sprintf("%s@%d", c.Name, c.Workers)
 		old, ok := base[key]
-		if !ok || old <= 0 || c.NsPerOp <= 0 {
+		if !ok || old.NsPerOp <= 0 || c.NsPerOp <= 0 {
 			fmt.Printf("skipping %s: no comparable baseline entry\n", key)
 			continue
 		}
 		matched++
-		ratio := float64(c.NsPerOp) / float64(old)
-		if ratio > 1+tolerance {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s (workers=%d): %d -> %d ns/op (%.0f%% slower, tolerance %.0f%%)",
-				c.Name, c.Workers, old, c.NsPerOp, (ratio-1)*100, tolerance*100))
+		flag := func(format string, args ...any) {
+			regressions = append(regressions, fmt.Sprintf("%s (workers=%d): ", c.Name, c.Workers)+
+				fmt.Sprintf(format, args...))
+		}
+		if timingComparable {
+			if ratio := float64(c.NsPerOp) / float64(old.NsPerOp); ratio > 1+tolerance {
+				flag("%d -> %d ns/op (%.0f%% slower, tolerance %.0f%%)",
+					old.NsPerOp, c.NsPerOp, (ratio-1)*100, tolerance*100)
+			}
+			// Parallel speedup only gates where the baseline shows the
+			// machine actually speeding up (>1x): sub-serial baselines
+			// would invert the gate's meaning.
+			if multicoreBaseline && old.SpeedupVsSerial > 1 && c.SpeedupVsSerial > 0 &&
+				c.SpeedupVsSerial < old.SpeedupVsSerial*(1-tolerance) {
+				flag("parallel speedup %.2fx -> %.2fx vs serial (tolerance %.0f%%)",
+					old.SpeedupVsSerial, c.SpeedupVsSerial, tolerance*100)
+			}
+		}
+		if old.AllocsPerOp >= 0 && c.AllocsPerOp-old.AllocsPerOp > allocsSlack {
+			if ratio := float64(c.AllocsPerOp) / float64(max64(old.AllocsPerOp, 1)); ratio > 1+tolerance {
+				flag("%d -> %d allocs/op (%.0f%% more, tolerance %.0f%%)",
+					old.AllocsPerOp, c.AllocsPerOp, (ratio-1)*100, tolerance*100)
+			}
+		}
+		if old.BytesPerOp >= 0 && c.BytesPerOp-old.BytesPerOp > bytesSlack {
+			if ratio := float64(c.BytesPerOp) / float64(max64(old.BytesPerOp, 1)); ratio > 1+tolerance {
+				flag("%d -> %d B/op (%.0f%% more, tolerance %.0f%%)",
+					old.BytesPerOp, c.BytesPerOp, (ratio-1)*100, tolerance*100)
+			}
 		}
 	}
 	return regressions, matched
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

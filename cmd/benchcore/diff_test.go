@@ -7,7 +7,7 @@ import (
 
 func bf(entries ...benchResult) benchFile { return benchFile{Benchmarks: entries} }
 
-func TestCompareBench(t *testing.T) {
+func TestCompareBenchNsPerOp(t *testing.T) {
 	baseline := bf(
 		benchResult{Name: "Contour", Workers: 1, NsPerOp: 1000},
 		benchResult{Name: "Contour", Workers: 4, NsPerOp: 400},
@@ -18,7 +18,7 @@ func TestCompareBench(t *testing.T) {
 		benchResult{Name: "Contour", Workers: 4, NsPerOp: 600},   // +50%: regression
 		benchResult{Name: "NewKernel", Workers: 1, NsPerOp: 999}, // no baseline: skipped
 	)
-	got, matched := compareBench(baseline, current, 0.25)
+	got, matched := compareBench(baseline, current, 0.25, true)
 	if len(got) != 1 || matched != 2 {
 		t.Fatalf("regressions = %v matched = %d", got, matched)
 	}
@@ -26,22 +26,129 @@ func TestCompareBench(t *testing.T) {
 		t.Errorf("unexpected report: %s", got[0])
 	}
 	// Improvements and equal timings never flag.
-	if got, _ := compareBench(baseline, baseline, 0.25); len(got) != 0 {
+	if got, _ := compareBench(baseline, baseline, 0.25, true); len(got) != 0 {
 		t.Errorf("identical runs flagged: %v", got)
 	}
 	faster := bf(benchResult{Name: "Contour", Workers: 1, NsPerOp: 500})
-	if got, _ := compareBench(baseline, faster, 0.25); len(got) != 0 {
+	if got, _ := compareBench(baseline, faster, 0.25, true); len(got) != 0 {
 		t.Errorf("speedup flagged: %v", got)
 	}
 	// Zero/corrupt timings are skipped rather than dividing by zero.
 	zero := bf(benchResult{Name: "Contour", Workers: 1, NsPerOp: 0})
-	if got, _ := compareBench(zero, current, 0.25); len(got) != 0 {
+	if got, _ := compareBench(zero, current, 0.25, true); len(got) != 0 {
 		t.Errorf("zero baseline flagged: %v", got)
 	}
 	// A disjoint baseline compares nothing — the caller must fail the
 	// gate on matched == 0 instead of passing vacuously.
 	renamed := bf(benchResult{Name: "ContourV2", Workers: 1, NsPerOp: 1})
-	if _, matched := compareBench(baseline, renamed, 0.25); matched != 0 {
+	if _, matched := compareBench(baseline, renamed, 0.25, true); matched != 0 {
 		t.Errorf("disjoint kernels reported %d matches", matched)
+	}
+}
+
+func TestCompareBenchAllocs(t *testing.T) {
+	baseline := bf(benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 1 << 20})
+	// 10x more allocations: a clear leak of the arena discipline.
+	leak := bf(benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000, AllocsPerOp: 10_000, BytesPerOp: 1 << 20})
+	got, _ := compareBench(baseline, leak, 0.25, true)
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Fatalf("alloc leak not flagged: %v", got)
+	}
+	// +50% bytes/op beyond the slack floor.
+	bloat := bf(benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 3 << 19})
+	got, _ = compareBench(baseline, bloat, 0.25, true)
+	if len(got) != 1 || !strings.Contains(got[0], "B/op") {
+		t.Fatalf("byte bloat not flagged: %v", got)
+	}
+	// Tiny absolute moves never flag even at huge ratios: 20 -> 60
+	// allocs is inside the noise floor.
+	tiny := bf(benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000, AllocsPerOp: 20, BytesPerOp: 4096})
+	tinyWorse := bf(benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000, AllocsPerOp: 60, BytesPerOp: 40960})
+	if got, _ := compareBench(tiny, tinyWorse, 0.25, true); len(got) != 0 {
+		t.Errorf("sub-slack deltas flagged: %v", got)
+	}
+}
+
+func TestCompareBenchSpeedup(t *testing.T) {
+	baseline := bf(
+		benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000},
+		benchResult{Name: "Iso", Workers: 8, NsPerOp: 250, SpeedupVsSerial: 4.0},
+	)
+	baseline.NumCPU, baseline.GOMAXPROCS = 8, 8
+	// Parallel path collapsed to barely-above-serial: speedup gate fires
+	// even though the 8-worker entry also regressed in ns/op.
+	collapsed := bf(
+		benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000},
+		benchResult{Name: "Iso", Workers: 8, NsPerOp: 900, SpeedupVsSerial: 1.1},
+	)
+	got, _ := compareBench(baseline, collapsed, 0.25, true)
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "parallel speedup") {
+		t.Fatalf("speedup collapse not flagged: %v", got)
+	}
+	// A multicore baseline that never sped up (<= 1x) has nothing to
+	// hold re-runs to.
+	flat := bf(
+		benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000},
+		benchResult{Name: "Iso", Workers: 8, NsPerOp: 1000, SpeedupVsSerial: 1.0},
+	)
+	flat.NumCPU, flat.GOMAXPROCS = 8, 8
+	got, _ = compareBench(flat, collapsed, 0.25, true)
+	if strings.Contains(strings.Join(got, "\n"), "parallel speedup") {
+		t.Errorf("flat baseline gated speedup: %v", got)
+	}
+	// A single-core baseline never arms the speedup gate at all: any
+	// recorded >1x there is cache warm-up noise, not parallelism.
+	oneCore := bf(
+		benchResult{Name: "Iso", Workers: 1, NsPerOp: 1000},
+		benchResult{Name: "Iso", Workers: 8, NsPerOp: 250, SpeedupVsSerial: 4.0},
+	)
+	oneCore.NumCPU, oneCore.GOMAXPROCS = 1, 1
+	got, _ = compareBench(oneCore, collapsed, 0.25, true)
+	if strings.Contains(strings.Join(got, "\n"), "parallel speedup") {
+		t.Errorf("single-core baseline armed the speedup gate: %v", got)
+	}
+}
+
+func TestCompareBenchCPUMismatchSkipsTiming(t *testing.T) {
+	baseline := bf(
+		benchResult{Name: "Iso", Workers: 8, NsPerOp: 100, SpeedupVsSerial: 6.0, AllocsPerOp: 100, BytesPerOp: 1 << 20},
+	)
+	// On a different machine everything timing-shaped looks catastrophic
+	// but only the genuine allocation regression may gate.
+	current := bf(
+		benchResult{Name: "Iso", Workers: 8, NsPerOp: 100_000, SpeedupVsSerial: 1.0, AllocsPerOp: 50_000, BytesPerOp: 1 << 20},
+	)
+	got, matched := compareBench(baseline, current, 0.25, false)
+	if matched != 1 {
+		t.Fatalf("matched = %d", matched)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Fatalf("want exactly the alloc regression, got %v", got)
+	}
+}
+
+func TestParseWorkerCounts(t *testing.T) {
+	got, err := parseWorkerCounts("8,4,1,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseWorkerCounts("4,zero"); err == nil {
+		t.Error("bad count accepted")
+	}
+	if _, err := parseWorkerCounts("0"); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if got, _ := parseWorkerCounts(""); len(got) != 1 || got[0] != 1 {
+		t.Errorf("empty spec = %v, want [1]", got)
 	}
 }

@@ -1,14 +1,16 @@
 // Package benchkernels holds the substrate micro-benchmark kernels —
 // the single definition shared by the root BenchmarkSubstrate_* suite
-// (bench_test.go) and cmd/benchcore, so the BENCH_substrate.json perf
-// trajectory always measures exactly the workload `go test -bench
-// BenchmarkSubstrate_` runs. Tune a kernel here and both stay in sync.
+// (bench_test.go), the bench-smoke allocation gate and cmd/benchcore,
+// so the BENCH_substrate.json perf trajectory always measures exactly
+// the workload `go test -bench BenchmarkSubstrate_` runs. Tune a
+// kernel here and all three stay in sync.
 package benchkernels
 
 import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"chatvis/internal/chatvis"
@@ -31,66 +33,115 @@ var Order = []string{
 	"Substrate_SessionEditTurn",
 }
 
-// Substrate maps kernel name to benchmark body. Bodies do their setup
-// before b.ResetTimer so only the kernel under test is measured.
-var Substrate = map[string]func(b *testing.B){
-	"Substrate_Isosurface64": func(b *testing.B) {
-		vol := datagen.MarschnerLobb(64)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := filters.Contour(vol, "var0", 0.5); err != nil {
-				b.Fatal(err)
+// ComputeOrder is Order restricted to the five pure compute kernels —
+// the ones bench-smoke measures (the session kernel drags in temp dirs
+// and the whole session engine, which is not an allocation story).
+var ComputeOrder = Order[:5]
+
+// Kernel is one substrate micro-benchmark: Setup builds the input
+// state (outside any timing) and returns the op to measure.
+type Kernel struct {
+	Setup func(tb testing.TB) func()
+}
+
+// Bench runs a kernel as a standard Go benchmark body: setup, reset
+// the timer, then b.N ops.
+func Bench(b *testing.B, name string) {
+	k, ok := Substrate[name]
+	if !ok {
+		b.Fatalf("unknown substrate kernel %q", name)
+	}
+	op := k.Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}
+
+// MeasureOnce runs a kernel's setup, one warm-up op (so arenas and
+// free lists reach steady state — the regime the benchmarks report),
+// then measures a single op with runtime.MemStats. It is the cheap
+// path for smoke-testing allocation ceilings without the iteration
+// count of testing.Benchmark.
+func MeasureOnce(tb testing.TB, name string) (allocs, bytes uint64) {
+	k, ok := Substrate[name]
+	if !ok {
+		tb.Fatalf("unknown substrate kernel %q", name)
+	}
+	op := k.Setup(tb)
+	op() // warm-up: populate arenas, grow scratch to workload size
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	op()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// Substrate maps kernel name to its definition.
+var Substrate = map[string]Kernel{
+	"Substrate_Isosurface64": {
+		Setup: func(tb testing.TB) func() {
+			vol := datagen.MarschnerLobb(64)
+			return func() {
+				if _, err := filters.Contour(vol, "var0", 0.5); err != nil {
+					tb.Fatal(err)
+				}
 			}
-		}
+		},
 	},
-	"Substrate_StreamTracer": func(b *testing.B) {
-		disk := datagen.DiskFlow(8, 32, 8)
-		sampler, err := filters.NewGridSampler(disk, "V")
-		if err != nil {
-			b.Fatal(err)
-		}
-		seeds := filters.DefaultPointCloudSeeds(disk.Bounds(), 50)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			filters.StreamTracer(sampler, seeds, filters.StreamTracerOptions{})
-		}
+	"Substrate_StreamTracer": {
+		Setup: func(tb testing.TB) func() {
+			disk := datagen.DiskFlow(8, 32, 8)
+			sampler, err := filters.NewGridSampler(disk, "V")
+			if err != nil {
+				tb.Fatal(err)
+			}
+			seeds := filters.DefaultPointCloudSeeds(disk.Bounds(), 50)
+			return func() {
+				filters.StreamTracer(sampler, seeds, filters.StreamTracerOptions{})
+			}
+		},
 	},
-	"Substrate_SurfaceRender": func(b *testing.B) {
-		vol := datagen.MarschnerLobb(48)
-		surf, err := filters.Contour(vol, "var0", 0.5)
-		if err != nil {
-			b.Fatal(err)
-		}
-		filters.ComputePointNormals(surf)
-		r := render.NewRenderer()
-		r.AddActor(render.NewActor(surf))
-		r.ResetCamera()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			r.Render(640, 360)
-		}
+	"Substrate_SurfaceRender": {
+		Setup: func(tb testing.TB) func() {
+			vol := datagen.MarschnerLobb(48)
+			surf, err := filters.Contour(vol, "var0", 0.5)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			filters.ComputePointNormals(surf)
+			r := render.NewRenderer()
+			r.AddActor(render.NewActor(surf))
+			r.ResetCamera()
+			return func() {
+				r.Render(640, 360)
+			}
+		},
 	},
-	"Substrate_VolumeRayCast": func(b *testing.B) {
-		vol := datagen.MarschnerLobb(48)
-		r := render.NewRenderer()
-		r.AddVolume(render.NewVolumeActor(vol, "var0"))
-		r.ResetCamera()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			r.Render(320, 180)
-		}
+	"Substrate_VolumeRayCast": {
+		Setup: func(tb testing.TB) func() {
+			vol := datagen.MarschnerLobb(48)
+			r := render.NewRenderer()
+			r.AddVolume(render.NewVolumeActor(vol, "var0"))
+			r.ResetCamera()
+			return func() {
+				r.Render(320, 180)
+			}
+		},
 	},
-	"Substrate_ClipPolyData": func(b *testing.B) {
-		vol := datagen.MarschnerLobb(48)
-		surf, err := filters.Contour(vol, "var0", 0.5)
-		if err != nil {
-			b.Fatal(err)
-		}
-		plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			filters.ClipPolyData(surf, plane)
-		}
+	"Substrate_ClipPolyData": {
+		Setup: func(tb testing.TB) func() {
+			vol := datagen.MarschnerLobb(48)
+			surf, err := filters.Contour(vol, "var0", 0.5)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
+			return func() {
+				filters.ClipPolyData(surf, plane)
+			}
+		},
 	},
 	// Substrate_SessionEditTurn measures one conversational edit turn on
 	// a warm session: PlanDelta + validation + incremental ExecPlan. The
@@ -99,19 +150,22 @@ var Substrate = map[string]func(b *testing.B){
 	// genuinely recomputes one stage (never a no-op) while the session
 	// engine answers the isosurfacing upstream of it from its memo —
 	// the steady-state cost of "the user nudges a parameter".
-	"Substrate_SessionEditTurn": func(b *testing.B) {
-		sess := NewWarmSession(b)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			turn, err := sess.Turn(context.Background(),
-				fmt.Sprintf("Move the clip to x=0.%d.", 1+(i%2)))
-			if err != nil {
-				b.Fatal(err)
+	"Substrate_SessionEditTurn": {
+		Setup: func(tb testing.TB) func() {
+			sess := NewWarmSession(tb)
+			i := 0
+			return func() {
+				turn, err := sess.Turn(context.Background(),
+					fmt.Sprintf("Move the clip to x=0.%d.", 1+(i%2)))
+				i++
+				if err != nil {
+					tb.Fatal(err)
+				}
+				if !turn.Artifact.Success {
+					tb.Fatalf("edit turn failed: %s", turn.Artifact.Iterations[0].Output)
+				}
 			}
-			if !turn.Artifact.Success {
-				b.Fatalf("edit turn failed: %s", turn.Artifact.Iterations[0].Output)
-			}
-		}
+		},
 	},
 }
 
@@ -128,34 +182,34 @@ var SessionFirstPrompt = SessionEditBenchPrompt("0")
 // SessionBenchRunner writes the benchmark volume (48³, so the contour
 // stage genuinely costs something) and returns a runner over it, shared
 // by the session kernel and the root session benchmarks.
-func SessionBenchRunner(b *testing.B) *pvpython.Runner {
-	b.Helper()
-	dataDir := b.TempDir()
+func SessionBenchRunner(tb testing.TB) *pvpython.Runner {
+	tb.Helper()
+	dataDir := tb.TempDir()
 	if err := vtkio.SaveLegacyVTK(filepath.Join(dataDir, "ml-100.vtk"),
 		datagen.MarschnerLobb(48), "ml"); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	return &pvpython.Runner{DataDir: dataDir, OutDir: b.TempDir()}
+	return &pvpython.Runner{DataDir: dataDir, OutDir: tb.TempDir()}
 }
 
 // NewWarmSession builds a session and runs its first turn so the
 // engine memo is primed; callers then measure edit turns.
-func NewWarmSession(b *testing.B) *chatvis.Session {
-	b.Helper()
+func NewWarmSession(tb testing.TB) *chatvis.Session {
+	tb.Helper()
 	model, err := llm.NewModel("oracle")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	sess, err := chatvis.NewSession(model, SessionBenchRunner(b))
+	sess, err := chatvis.NewSession(model, SessionBenchRunner(tb))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	turn, err := sess.Turn(context.Background(), SessionFirstPrompt)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if !turn.Artifact.Success {
-		b.Fatalf("first turn failed:\n%s", turn.Artifact.Iterations[len(turn.Artifact.Iterations)-1].Output)
+		tb.Fatalf("first turn failed:\n%s", turn.Artifact.Iterations[len(turn.Artifact.Iterations)-1].Output)
 	}
 	return sess
 }

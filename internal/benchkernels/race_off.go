@@ -1,0 +1,8 @@
+//go:build !race
+
+package benchkernels
+
+// RaceEnabled reports whether the binary was built with -race; the
+// allocation smoke gate skips itself then, since the race runtime's
+// shadow allocations would make the ceilings meaningless.
+const RaceEnabled = false

@@ -260,6 +260,8 @@ type UnstructuredGrid struct {
 	Cells  []Cell
 	Points *FieldSet
 	CellD  *FieldSet
+
+	conn intSlab // backs NewCell id slices (see slab.go)
 }
 
 // NewUnstructuredGrid returns an empty grid.
@@ -314,6 +316,8 @@ type PolyData struct {
 	Polys  [][]int // each entry: a polygon (>=3 point ids)
 	Points *FieldSet
 	CellD  *FieldSet
+
+	conn intSlab // backs AddTriangle/AddVert/New* id slices (see slab.go)
 }
 
 // NewPolyData returns empty polygonal data.
@@ -351,8 +355,13 @@ func (p *PolyData) AddPoint(pt vmath.Vec3) int {
 	return len(p.Pts) - 1
 }
 
-// AddTriangle appends a triangle polygon.
-func (p *PolyData) AddTriangle(a, b, c int) { p.Polys = append(p.Polys, []int{a, b, c}) }
+// AddTriangle appends a triangle polygon. The id slice is carved from
+// the shared connectivity slab rather than individually allocated.
+func (p *PolyData) AddTriangle(a, b, c int) {
+	t := p.conn.take(3)
+	t[0], t[1], t[2] = a, b, c
+	p.Polys = append(p.Polys, t)
+}
 
 // AddPoly appends a polygon with the given point ids.
 func (p *PolyData) AddPoly(ids ...int) { p.Polys = append(p.Polys, ids) }
@@ -361,7 +370,11 @@ func (p *PolyData) AddPoly(ids ...int) { p.Polys = append(p.Polys, ids) }
 func (p *PolyData) AddLine(ids ...int) { p.Lines = append(p.Lines, ids) }
 
 // AddVert appends a vertex cell.
-func (p *PolyData) AddVert(id int) { p.Verts = append(p.Verts, []int{id}) }
+func (p *PolyData) AddVert(id int) {
+	v := p.conn.take(1)
+	v[0] = id
+	p.Verts = append(p.Verts, v)
+}
 
 // NumCells returns the total number of cells of all kinds.
 func (p *PolyData) NumCells() int { return len(p.Verts) + len(p.Lines) + len(p.Polys) }
@@ -401,8 +414,17 @@ func (p *PolyData) Clone() *PolyData {
 
 func cloneConn(conn [][]int) [][]int {
 	out := make([][]int, len(conn))
+	total := 0
+	for _, c := range conn {
+		total += len(c)
+	}
+	// One flat backing array for every cloned cell instead of one
+	// allocation per cell.
+	flat := make([]int, 0, total)
 	for i, c := range conn {
-		out[i] = append([]int(nil), c...)
+		off := len(flat)
+		flat = append(flat, c...)
+		out[i] = flat[off:len(flat):len(flat)]
 	}
 	return out
 }

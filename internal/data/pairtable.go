@@ -1,0 +1,131 @@
+package data
+
+// PairTable is an open-addressing hash table from a packed point-id
+// pair to a dense int32 id. It replaces the map[[2]int]int used by the
+// canonical-edge merges in the contour and clip filters: no per-entry
+// allocation, and Reset is O(1) via a generation stamp, so one table
+// can be arena-pooled across sweeps without churning the allocator.
+//
+// Keys are built with PackPair, which canonicalizes the pair order, so
+// (i,j) and (j,i) address the same slot — the canonical-edge property
+// the deterministic merges rely on.
+type PairTable struct {
+	keys []uint64
+	vals []int32
+	gens []uint32 // slot is live iff gens[i] == gen
+	gen  uint32
+	n    int // live entries
+}
+
+// NewPairTable returns an empty table. Storage is allocated lazily on
+// first insert and retained across Resets.
+func NewPairTable() *PairTable { return &PairTable{gen: 1} }
+
+// PackPair canonicalizes (i, j) into a single uint64 key: the smaller
+// id in the high half. Point ids must fit in 32 bits (far beyond any
+// dataset this engine renders).
+func PackPair(i, j int) uint64 {
+	if j < i {
+		i, j = j, i
+	}
+	return uint64(uint32(i))<<32 | uint64(uint32(j))
+}
+
+// UnpackPair inverts PackPair, returning (lo, hi).
+func UnpackPair(key uint64) (lo, hi int) {
+	return int(key >> 32), int(uint32(key))
+}
+
+// Len returns the number of live entries.
+func (t *PairTable) Len() int { return t.n }
+
+// Reset empties the table in O(1) by bumping the generation stamp,
+// keeping the slot arrays for reuse.
+func (t *PairTable) Reset() {
+	t.n = 0
+	t.gen++
+	if t.gen == 0 { // generation counter wrapped: clear stamps once
+		for i := range t.gens {
+			t.gens[i] = 0
+		}
+		t.gen = 1
+	}
+}
+
+// mix is a 64-bit finalizer (splitmix64-style) spreading packed pair
+// bits across the table's power-of-two slot space.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// GetOrPut returns the id stored for key, inserting id if absent.
+// added reports whether the insert happened (i.e. key was new).
+func (t *PairTable) GetOrPut(key uint64, id int32) (got int32, added bool) {
+	if len(t.keys) == 0 || t.n >= (len(t.keys)*3)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := mix(key) & mask; ; i = (i + 1) & mask {
+		if t.gens[i] != t.gen {
+			t.keys[i] = key
+			t.vals[i] = id
+			t.gens[i] = t.gen
+			t.n++
+			return id, true
+		}
+		if t.keys[i] == key {
+			return t.vals[i], false
+		}
+	}
+}
+
+// Get returns the id stored for key, if present.
+func (t *PairTable) Get(key uint64) (int32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := mix(key) & mask; ; i = (i + 1) & mask {
+		if t.gens[i] != t.gen {
+			return 0, false
+		}
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+	}
+}
+
+// grow doubles the slot arrays (min 1024) and rehashes live entries.
+func (t *PairTable) grow() {
+	newCap := 1024
+	if len(t.keys) > 0 {
+		newCap = len(t.keys) * 2
+	}
+	oldKeys, oldVals, oldGens, oldGen := t.keys, t.vals, t.gens, t.gen
+	t.keys = make([]uint64, newCap)
+	t.vals = make([]int32, newCap)
+	t.gens = make([]uint32, newCap)
+	t.gen = 1
+	t.n = 0
+	mask := uint64(newCap - 1)
+	for i, g := range oldGens {
+		if g != oldGen {
+			continue
+		}
+		k, v := oldKeys[i], oldVals[i]
+		for j := mix(k) & mask; ; j = (j + 1) & mask {
+			if t.gens[j] != t.gen {
+				t.keys[j] = k
+				t.vals[j] = v
+				t.gens[j] = t.gen
+				t.n++
+				break
+			}
+		}
+	}
+}

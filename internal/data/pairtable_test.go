@@ -1,0 +1,87 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackPairCanonical(t *testing.T) {
+	if PackPair(3, 7) != PackPair(7, 3) {
+		t.Fatal("PackPair must canonicalize order")
+	}
+	lo, hi := UnpackPair(PackPair(7, 3))
+	if lo != 3 || hi != 7 {
+		t.Fatalf("UnpackPair = (%d,%d), want (3,7)", lo, hi)
+	}
+	if PackPair(5, 5) != PackPair(5, 5) {
+		t.Fatal("self-pair must be stable")
+	}
+}
+
+// TestPairTableAgainstMap drives the table with random insert/lookup
+// traffic, including duplicate keys and resets, mirrored against a Go
+// map as the reference.
+func TestPairTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := NewPairTable()
+	for round := 0; round < 3; round++ {
+		ref := map[uint64]int32{}
+		next := int32(0)
+		for op := 0; op < 20000; op++ {
+			i, j := rng.Intn(3000), rng.Intn(3000)
+			key := PackPair(i, j)
+			want, seen := ref[key]
+			got, added := tbl.GetOrPut(key, next)
+			if seen {
+				if added || got != want {
+					t.Fatalf("round %d: GetOrPut(%d,%d) = (%d,%v), want (%d,false)", round, i, j, got, added, want)
+				}
+			} else {
+				if !added || got != next {
+					t.Fatalf("round %d: GetOrPut(%d,%d) = (%d,%v), want (%d,true)", round, i, j, got, added, next)
+				}
+				ref[key] = next
+				next++
+			}
+			if v, ok := tbl.Get(key); !ok || v != ref[key] {
+				t.Fatalf("round %d: Get(%d,%d) = (%d,%v), want (%d,true)", round, i, j, v, ok, ref[key])
+			}
+		}
+		if tbl.Len() != len(ref) {
+			t.Fatalf("round %d: Len = %d, want %d", round, tbl.Len(), len(ref))
+		}
+		tbl.Reset()
+		if tbl.Len() != 0 {
+			t.Fatal("Len after Reset != 0")
+		}
+		if _, ok := tbl.Get(PackPair(1, 2)); ok {
+			t.Fatal("Reset table still returns entries")
+		}
+	}
+}
+
+// TestPairTableGenerationWrap forces the uint32 generation counter to
+// wrap and checks stale stamps cannot resurrect old entries.
+func TestPairTableGenerationWrap(t *testing.T) {
+	tbl := NewPairTable()
+	tbl.GetOrPut(PackPair(1, 2), 7)
+	tbl.gen = ^uint32(0) // next Reset wraps
+	tbl.Reset()
+	if _, ok := tbl.Get(PackPair(1, 2)); ok {
+		t.Fatal("entry survived generation wrap")
+	}
+	if got, added := tbl.GetOrPut(PackPair(1, 2), 9); !added || got != 9 {
+		t.Fatalf("post-wrap insert = (%d,%v), want (9,true)", got, added)
+	}
+}
+
+func BenchmarkPairTableInsert(b *testing.B) {
+	tbl := NewPairTable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Reset()
+		for k := 0; k < 1024; k++ {
+			tbl.GetOrPut(PackPair(k, k+1), int32(k))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package data
+
+// Connectivity slab: the Add*/New* cell constructors on PolyData and
+// UnstructuredGrid carve their per-cell index slices out of shared
+// append-only blocks instead of allocating one tiny []int per cell.
+// BENCH_substrate.json showed the per-triangle allocation in
+// PolyData.AddTriangle dominating the marching-tet and clip kernels
+// (~78% of all objects in Substrate_Isosurface64), so the slab turns
+// millions of 3-int allocations into a handful of block allocations.
+//
+// The outer [][]int connectivity fields keep their exact shape and
+// semantics — readers (vtkio) and merges (pvsim) that assign or append
+// whole outer slices are unaffected. Each carved slice is full-slice-
+// expression capped, so appending to a returned cell slice can never
+// bleed into a neighboring cell.
+
+// slabBlock is the minimum block size (in ints) carved by an intSlab.
+// Big enough to amortize allocation, small enough that sparse outputs
+// don't hold pathological slack.
+const slabBlock = 4096
+
+// intSlab is a bump allocator over []int blocks. The zero value is
+// ready to use.
+type intSlab struct {
+	block []int // current block; len = used, cap = block size
+}
+
+// take returns a zeroed slice of n ints carved from the slab. The
+// result has cap == n so appends never overlap the next cell.
+func (s *intSlab) take(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if cap(s.block)-len(s.block) < n {
+		c := slabBlock
+		if n > c {
+			c = n
+		}
+		s.block = make([]int, 0, c)
+	}
+	off := len(s.block)
+	s.block = s.block[:off+n]
+	return s.block[off : off+n : off+n]
+}
+
+// reserve sizes the next block to hold at least n more ints, so a
+// merge that knows its exact output size pays one allocation.
+func (s *intSlab) reserve(n int) {
+	if cap(s.block)-len(s.block) < n {
+		s.block = make([]int, 0, n)
+	}
+}
+
+// ReserveConn pre-sizes PolyData's connectivity slab for at least n
+// more cell indices (e.g. 3×triangles for a triangle-only merge).
+func (p *PolyData) ReserveConn(n int) { p.conn.reserve(n) }
+
+// NewPoly appends an n-gon backed by the connectivity slab and returns
+// its id slice for the caller to fill.
+func (p *PolyData) NewPoly(n int) []int {
+	ids := p.conn.take(n)
+	p.Polys = append(p.Polys, ids)
+	return ids
+}
+
+// NewLine appends an n-point polyline backed by the connectivity slab
+// and returns its id slice for the caller to fill.
+func (p *PolyData) NewLine(n int) []int {
+	ids := p.conn.take(n)
+	p.Lines = append(p.Lines, ids)
+	return ids
+}
+
+// ReserveConn pre-sizes the grid's connectivity slab for at least n
+// more cell indices.
+func (u *UnstructuredGrid) ReserveConn(n int) { u.conn.reserve(n) }
+
+// NewCell appends a cell of type t with n slab-backed point ids and
+// returns the id slice for the caller to fill.
+func (u *UnstructuredGrid) NewCell(t CellType, n int) []int {
+	ids := u.conn.take(n)
+	u.Cells = append(u.Cells, Cell{Type: t, IDs: ids})
+	return ids
+}

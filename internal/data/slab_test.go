@@ -1,0 +1,88 @@
+package data
+
+import (
+	"testing"
+
+	"chatvis/internal/vmath"
+)
+
+// TestSlabCellsDoNotOverlap pins the slab-carving invariant: cells
+// returned by AddTriangle/NewPoly/NewLine/NewCell are independent —
+// writing or appending to one never corrupts a neighbor.
+func TestSlabCellsDoNotOverlap(t *testing.T) {
+	p := NewPolyData()
+	for i := 0; i < 3000; i++ { // cross several block boundaries
+		p.AddTriangle(i, i+1, i+2)
+	}
+	for i, tri := range p.Polys {
+		if tri[0] != i || tri[1] != i+1 || tri[2] != i+2 {
+			t.Fatalf("triangle %d corrupted: %v", i, tri)
+		}
+		if cap(tri) != 3 {
+			t.Fatalf("triangle %d cap = %d, want 3 (full-slice capped)", i, cap(tri))
+		}
+	}
+
+	a := p.NewPoly(4)
+	b := p.NewPoly(4)
+	copy(a, []int{1, 2, 3, 4})
+	copy(b, []int{5, 6, 7, 8})
+	_ = append(a, 99) // must reallocate, not clobber b
+	if b[0] != 5 {
+		t.Fatalf("append to one poly clobbered the next: %v", b)
+	}
+
+	l := p.NewLine(2)
+	l[0], l[1] = 7, 9
+	if got := p.Lines[len(p.Lines)-1]; got[0] != 7 || got[1] != 9 {
+		t.Fatalf("NewLine slice not registered: %v", got)
+	}
+
+	p.AddVert(42)
+	if got := p.Verts[len(p.Verts)-1]; len(got) != 1 || got[0] != 42 {
+		t.Fatalf("AddVert = %v, want [42]", got)
+	}
+
+	u := NewUnstructuredGrid()
+	c0 := u.NewCell(CellTetra, 4)
+	c1 := u.NewCell(CellTriangle, 3)
+	copy(c0, []int{1, 2, 3, 4})
+	copy(c1, []int{9, 8, 7})
+	if u.Cells[0].IDs[3] != 4 || u.Cells[1].IDs[0] != 9 {
+		t.Fatalf("NewCell slices overlap: %v %v", u.Cells[0], u.Cells[1])
+	}
+}
+
+// TestSlabReserveSingleBlock checks that an exact-size reservation is
+// honored without a mid-merge block switch losing data.
+func TestSlabReserveSingleBlock(t *testing.T) {
+	p := NewPolyData()
+	const n = 10000
+	p.ReserveConn(3 * n)
+	for i := 0; i < n; i++ {
+		p.AddTriangle(i, i, i)
+	}
+	for i, tri := range p.Polys {
+		if tri[0] != i {
+			t.Fatalf("triangle %d corrupted after reserve: %v", i, tri)
+		}
+	}
+}
+
+// TestCloneIndependence: mutating a clone's connectivity or points must
+// not affect the original (the flat-backing clone still deep-copies).
+func TestCloneIndependence(t *testing.T) {
+	p := NewPolyData()
+	p.AddPoint(vmath.V(0, 0, 0))
+	p.AddPoint(vmath.V(1, 0, 0))
+	p.AddPoint(vmath.V(0, 1, 0))
+	p.AddTriangle(0, 1, 2)
+	p.AddLine(0, 1)
+	c := p.Clone()
+	c.Polys[0][0] = 99
+	c.Lines[0][1] = 99
+	c.Pts[0] = vmath.V(9, 9, 9)
+	if p.Polys[0][0] != 0 || p.Lines[0][1] != 1 || p.Pts[0].X != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+}

@@ -10,103 +10,152 @@ import (
 	"chatvis/internal/vmath"
 )
 
-// clipPointSet accumulates clip output points identified by canonical
-// keys: a kept source point i is {i,i}; a cut edge (i,j) is {min,max}.
-// Values are always computed from the canonical edge orientation, so
-// chunk-local sets merge into exactly the numbering a serial sweep
-// produces.
-type clipPointSet struct {
+// clipSet accumulates clip output points identified by canonical packed
+// keys: a kept source point i is PackPair(i,i); a cut edge (i,j) is
+// PackPair(min,max). Values are always computed from the canonical edge
+// orientation, so chunk-local sets merge into exactly the numbering a
+// serial sweep produces.
+//
+// Everything is struct-of-arrays over flat slabs (points, packed keys,
+// interleaved attribute data, int32 cell connectivity) and the whole set
+// is arena-pooled: checked out per chunk (and once for the global merge
+// set), recycled when the filter returns.
+type clipSet struct {
 	srcPts    []vmath.Vec3
 	srcFields []*data.Field
 	plane     vmath.Plane
 
-	pts    []vmath.Vec3
-	keys   [][2]int
-	fields []*data.Field // output data, parallel to srcFields
-	index  map[[2]int]int
+	pts   []vmath.Vec3
+	keys  []uint64
+	fdata [][]float64 // interleaved output data, parallel to srcFields
+	index *data.PairTable
+
+	// Chunk cell output. conn/lens hold variable-length polygons
+	// (PolyData path); cells holds tetrahedra, 4 ids per cell
+	// (UnstructuredGrid path).
+	conn  []int32
+	lens  []int32
+	cells []int32
+
+	remapBuf []int32 // absorb scratch (used on the global set only)
 }
 
-func newClipPointSet(srcPts []vmath.Vec3, fs *data.FieldSet, plane vmath.Plane) *clipPointSet {
-	cp := &clipPointSet{srcPts: srcPts, plane: plane, index: make(map[[2]int]int)}
-	for i := 0; i < fs.Len(); i++ {
-		f := fs.At(i)
-		cp.srcFields = append(cp.srcFields, f)
-		cp.fields = append(cp.fields, data.NewField(f.Name, f.NumComponents, 0))
+// Reset implements par.Resetter: empty every slab, keep every capacity.
+func (cp *clipSet) Reset() {
+	cp.srcPts = nil
+	cp.srcFields = cp.srcFields[:0]
+	cp.pts = cp.pts[:0]
+	cp.keys = cp.keys[:0]
+	for i := range cp.fdata {
+		cp.fdata[i] = cp.fdata[i][:0]
 	}
-	return cp
+	cp.fdata = cp.fdata[:0]
+	cp.index.Reset()
+	cp.conn = cp.conn[:0]
+	cp.lens = cp.lens[:0]
+	cp.cells = cp.cells[:0]
+	cp.remapBuf = cp.remapBuf[:0]
 }
+
+func (cp *clipSet) bind(srcPts []vmath.Vec3, fs *data.FieldSet, plane vmath.Plane) {
+	cp.srcPts = srcPts
+	cp.plane = plane
+	n := fs.Len()
+	for i := 0; i < n; i++ {
+		cp.srcFields = append(cp.srcFields, fs.At(i))
+	}
+	if cap(cp.fdata) < n {
+		cp.fdata = append(cp.fdata[:cap(cp.fdata)], make([][]float64, n-cap(cp.fdata))...)
+	}
+	cp.fdata = cp.fdata[:n]
+	for i := range cp.fdata {
+		cp.fdata[i] = cp.fdata[i][:0]
+	}
+}
+
+var clipArena = par.NewArena(func() *clipSet {
+	return &clipSet{index: data.NewPairTable()}
+})
 
 // keep returns the output id of source point i, copying it on first use.
-func (cp *clipPointSet) keep(i int) int {
-	key := [2]int{i, i}
-	if id, ok := cp.index[key]; ok {
+func (cp *clipSet) keep(i int) int32 {
+	key := data.PackPair(i, i)
+	id, added := cp.index.GetOrPut(key, int32(len(cp.pts)))
+	if !added {
 		return id
 	}
-	id := len(cp.pts)
 	cp.pts = append(cp.pts, cp.srcPts[i])
-	for fi, f := range cp.srcFields {
-		nf := cp.fields[fi]
-		for c := 0; c < f.NumComponents; c++ {
-			nf.Data = append(nf.Data, f.Value(i, c))
-		}
-	}
-	cp.index[key] = id
 	cp.keys = append(cp.keys, key)
+	for fi, f := range cp.srcFields {
+		d := cp.fdata[fi]
+		for c := 0; c < f.NumComponents; c++ {
+			d = append(d, f.Value(i, c))
+		}
+		cp.fdata[fi] = d
+	}
 	return id
 }
 
 // cut returns the output id of the plane crossing on edge (i,j),
 // interpolating it on first use.
-func (cp *clipPointSet) cut(i, j int) int {
-	key := [2]int{i, j}
-	if j < i {
-		key = [2]int{j, i}
-	}
-	if id, ok := cp.index[key]; ok {
+func (cp *clipSet) cut(i, j int) int32 {
+	key := data.PackPair(i, j)
+	id, added := cp.index.GetOrPut(key, int32(len(cp.pts)))
+	if !added {
 		return id
 	}
-	di := cp.plane.Eval(cp.srcPts[key[0]])
-	dj := cp.plane.Eval(cp.srcPts[key[1]])
+	lo, hi := data.UnpackPair(key)
+	di := cp.plane.Eval(cp.srcPts[lo])
+	dj := cp.plane.Eval(cp.srcPts[hi])
 	t := 0.5
 	if di != dj {
 		t = di / (di - dj)
 	}
-	id := len(cp.pts)
-	cp.pts = append(cp.pts, cp.srcPts[key[0]].Lerp(cp.srcPts[key[1]], t))
-	for fi, f := range cp.srcFields {
-		nf := cp.fields[fi]
-		for c := 0; c < f.NumComponents; c++ {
-			v0, v1 := f.Value(key[0], c), f.Value(key[1], c)
-			nf.Data = append(nf.Data, v0+t*(v1-v0))
-		}
-	}
-	cp.index[key] = id
+	cp.pts = append(cp.pts, cp.srcPts[lo].Lerp(cp.srcPts[hi], t))
 	cp.keys = append(cp.keys, key)
+	for fi, f := range cp.srcFields {
+		d := cp.fdata[fi]
+		for c := 0; c < f.NumComponents; c++ {
+			v0, v1 := f.Value(lo, c), f.Value(hi, c)
+			d = append(d, v0+t*(v1-v0))
+		}
+		cp.fdata[fi] = d
+	}
 	return id
 }
 
 // absorb merges a chunk-local point set into cp (in the chunk's creation
-// order) and returns the local→global id remap. First use wins, exactly
-// as in a serial sweep.
-func (cp *clipPointSet) absorb(ch *clipPointSet) []int {
-	remap := make([]int, len(ch.pts))
+// order) and returns the local→global id remap, valid until the next
+// absorb. First use wins, exactly as in a serial sweep.
+func (cp *clipSet) absorb(ch *clipSet) []int32 {
+	if cap(cp.remapBuf) < len(ch.pts) {
+		cp.remapBuf = make([]int32, len(ch.pts))
+	}
+	remap := cp.remapBuf[:len(ch.pts)]
 	for li, key := range ch.keys {
-		if gid, ok := cp.index[key]; ok {
-			remap[li] = gid
-			continue
+		gid, added := cp.index.GetOrPut(key, int32(len(cp.pts)))
+		if added {
+			cp.pts = append(cp.pts, ch.pts[li])
+			cp.keys = append(cp.keys, key)
+			for fi := range cp.fdata {
+				nc := cp.srcFields[fi].NumComponents
+				cp.fdata[fi] = append(cp.fdata[fi], ch.fdata[fi][li*nc:(li+1)*nc]...)
+			}
 		}
-		gid := len(cp.pts)
-		cp.pts = append(cp.pts, ch.pts[li])
-		for fi, gf := range cp.fields {
-			cf := ch.fields[fi]
-			nc := cf.NumComponents
-			gf.Data = append(gf.Data, cf.Data[li*nc:(li+1)*nc]...)
-		}
-		cp.index[key] = gid
-		cp.keys = append(cp.keys, key)
 		remap[li] = gid
 	}
 	return remap
+}
+
+// copyOutPoints materializes the set's points and interpolated fields as
+// exact-size arrays on a fresh output (never views of arena memory).
+func (cp *clipSet) copyOutPoints(setPts *[]vmath.Vec3, fs *data.FieldSet) {
+	*setPts = append(make([]vmath.Vec3, 0, len(cp.pts)), cp.pts...)
+	for fi, f := range cp.srcFields {
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		nf.Data = append(make([]float64, 0, len(cp.fdata[fi])), cp.fdata[fi]...)
+		fs.Add(nf)
+	}
 }
 
 // planeDistances evaluates the plane at every point, in parallel.
@@ -139,62 +188,77 @@ func ClipPolyDataContext(ctx context.Context, pd *data.PolyData, plane vmath.Pla
 	if err != nil {
 		return nil, err
 	}
-	tris := make([][3]int, 0, pd.NumTriangles())
-	pd.EachTriangle(func(a, b, c int) { tris = append(tris, [3]int{a, b, c}) })
 
 	// Triangles: Sutherland–Hodgman against a single plane yields a
-	// triangle or quad. Chunks clip disjoint triangle ranges into local
-	// point sets, merged below in sweep order.
-	type clipChunk struct {
-		set   *clipPointSet
-		polys [][]int
-	}
-	chunks, err := par.MapChunks(ctx, len(tris), func(start, end int) clipChunk {
-		set := newClipPointSet(pd.Pts, pd.Points, plane)
-		var polys [][]int
-		for _, tri := range tris[start:end] {
-			var poly []int
-			for e := 0; e < 3; e++ {
-				i, j := tri[e], tri[(e+1)%3]
-				if dist[i] >= 0 {
-					poly = append(poly, set.keep(i))
-					if dist[j] < 0 {
-						poly = append(poly, set.cut(i, j))
+	// triangle or quad. Chunks cover disjoint polygon ranges (fan
+	// triangulated in place — the sweep order matches EachTriangle), each
+	// clipping into an arena-pooled local point set, merged below in
+	// sweep order.
+	chunks, release, err := par.SweepChunks(ctx, len(pd.Polys), clipArena, func(set *clipSet, start, end int) {
+		set.bind(pd.Pts, pd.Points, plane)
+		var poly [4]int32 // one plane cuts a triangle into at most a quad
+		for _, pg := range pd.Polys[start:end] {
+			for ti := 2; ti < len(pg); ti++ {
+				tri := [3]int{pg[0], pg[ti-1], pg[ti]}
+				np := 0
+				for e := 0; e < 3; e++ {
+					i, j := tri[e], tri[(e+1)%3]
+					if dist[i] >= 0 {
+						poly[np] = set.keep(i)
+						np++
+						if dist[j] < 0 {
+							poly[np] = set.cut(i, j)
+							np++
+						}
+					} else if dist[j] >= 0 {
+						poly[np] = set.cut(i, j)
+						np++
 					}
-				} else if dist[j] >= 0 {
-					poly = append(poly, set.cut(i, j))
+				}
+				if np >= 3 {
+					set.lens = append(set.lens, int32(np))
+					set.conn = append(set.conn, poly[:np]...)
 				}
 			}
-			if len(poly) >= 3 {
-				polys = append(polys, poly)
-			}
 		}
-		return clipChunk{set: set, polys: polys}
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 
-	global := newClipPointSet(pd.Pts, pd.Points, plane)
+	global := clipArena.Get()
+	defer clipArena.Put(global)
+	global.bind(pd.Pts, pd.Points, plane)
+
 	out := data.NewPolyData()
+	totPolys, totConn := 0, 0
 	for _, ch := range chunks {
-		remap := global.absorb(ch.set)
-		for _, poly := range ch.polys {
-			ids := make([]int, len(poly))
-			for i, id := range poly {
-				ids[i] = remap[id]
+		totPolys += len(ch.lens)
+		totConn += len(ch.conn)
+	}
+	out.Polys = make([][]int, 0, totPolys)
+	out.ReserveConn(totConn)
+	for _, ch := range chunks {
+		remap := global.absorb(ch)
+		off := 0
+		for _, n := range ch.lens {
+			ids := out.NewPoly(int(n))
+			for k := range ids {
+				ids[k] = int(remap[ch.conn[off+k]])
 			}
-			out.AddPoly(ids...)
+			off += int(n)
 		}
 	}
 
 	// Polylines: break at crossings (serial — line work is negligible and
 	// shares the global point set with the triangle phase).
+	var run []int
 	for _, line := range pd.Lines {
-		var run []int
+		run = run[:0]
 		flush := func() {
 			if len(run) >= 2 {
-				out.AddLine(append([]int(nil), run...)...)
+				copy(out.NewLine(len(run)), run)
 			}
 			run = run[:0]
 		}
@@ -202,11 +266,11 @@ func ClipPolyDataContext(ctx context.Context, pd *data.PolyData, plane vmath.Pla
 			id := line[i]
 			if dist[id] >= 0 {
 				if i > 0 && dist[line[i-1]] < 0 {
-					run = append(run, global.cut(line[i-1], id))
+					run = append(run, int(global.cut(line[i-1], id)))
 				}
-				run = append(run, global.keep(id))
+				run = append(run, int(global.keep(id)))
 			} else if i > 0 && dist[line[i-1]] >= 0 {
-				run = append(run, global.cut(line[i-1], id))
+				run = append(run, int(global.cut(line[i-1], id)))
 				flush()
 			}
 		}
@@ -215,13 +279,10 @@ func ClipPolyDataContext(ctx context.Context, pd *data.PolyData, plane vmath.Pla
 	// Vertices: keep those on the positive side.
 	for _, v := range pd.Verts {
 		if len(v) == 1 && dist[v[0]] >= 0 {
-			out.AddVert(global.keep(v[0]))
+			out.AddVert(int(global.keep(v[0])))
 		}
 	}
-	out.Pts = global.pts
-	for _, f := range global.fields {
-		out.Points.Add(f)
-	}
+	global.copyOutPoints(&out.Pts, out.Points)
 	return out, nil
 }
 
@@ -244,25 +305,22 @@ func ClipUnstructuredContext(ctx context.Context, ug *data.UnstructuredGrid, pla
 	if err != nil {
 		return nil, err
 	}
-	type clipChunk struct {
-		set   *clipPointSet
-		cells [][4]int
-	}
-	chunks, err := par.MapChunks(ctx, len(tets), func(start, end int) clipChunk {
-		set := newClipPointSet(ug.Pts, ug.Points, plane)
-		var cells [][4]int
-		addTet := func(a, b, c, d int) { cells = append(cells, [4]int{a, b, c, d}) }
+	chunks, release, err := par.SweepChunks(ctx, len(tets), clipArena, func(set *clipSet, start, end int) {
+		set.bind(ug.Pts, ug.Points, plane)
+		addTet := func(a, b, c, d int32) { set.cells = append(set.cells, a, b, c, d) }
 		for _, t := range tets[start:end] {
-			var in []int   // source ids on keep side
-			var outv []int // source ids on discard side
+			var in, outv [4]int // source ids on keep / discard side
+			nIn, nOut := 0, 0
 			for _, id := range t {
 				if dist[id] >= 0 {
-					in = append(in, id)
+					in[nIn] = id
+					nIn++
 				} else {
-					outv = append(outv, id)
+					outv[nOut] = id
+					nOut++
 				}
 			}
-			switch len(in) {
+			switch nIn {
 			case 0:
 				// fully discarded
 			case 4:
@@ -296,24 +354,34 @@ func ClipUnstructuredContext(ctx context.Context, ug *data.UnstructuredGrid, pla
 				addTet(a1, c00, c10, c11)
 			}
 		}
-		return clipChunk{set: set, cells: cells}
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 
-	global := newClipPointSet(ug.Pts, ug.Points, plane)
+	global := clipArena.Get()
+	defer clipArena.Put(global)
+	global.bind(ug.Pts, ug.Points, plane)
+
 	out := data.NewUnstructuredGrid()
+	totCells := 0
 	for _, ch := range chunks {
-		remap := global.absorb(ch.set)
-		for _, c := range ch.cells {
-			out.AddCell(data.CellTetra, remap[c[0]], remap[c[1]], remap[c[2]], remap[c[3]])
+		totCells += len(ch.cells) / 4
+	}
+	out.Cells = make([]data.Cell, 0, totCells)
+	out.ReserveConn(totCells * 4)
+	for _, ch := range chunks {
+		remap := global.absorb(ch)
+		for c := 0; c+3 < len(ch.cells); c += 4 {
+			ids := out.NewCell(data.CellTetra, 4)
+			ids[0] = int(remap[ch.cells[c]])
+			ids[1] = int(remap[ch.cells[c+1]])
+			ids[2] = int(remap[ch.cells[c+2]])
+			ids[3] = int(remap[ch.cells[c+3]])
 		}
 	}
-	out.Pts = global.pts
-	for _, f := range global.fields {
-		out.Points.Add(f)
-	}
+	global.copyOutPoints(&out.Pts, out.Points)
 	return out, nil
 }
 

@@ -10,72 +10,99 @@ import (
 )
 
 // surfaceBuilder accumulates an interpolated triangle mesh during marching
-// tetrahedra. Vertices created on the same source edge are shared, so the
-// output is watertight and point data interpolates once per edge. Each
-// vertex remembers its canonical edge key so chunk-local builders can be
-// merged into the exact point numbering a serial sweep would produce.
+// tetrahedra, in struct-of-arrays form: flat vertex/key/attribute/triangle
+// slabs instead of a PolyData with one allocation per cell. Vertices
+// created on the same source edge are shared (open-addressing PairTable
+// keyed by the canonical edge), so the output is watertight and point data
+// interpolates once per edge. Each vertex remembers its canonical edge key
+// so chunk-local builders can be merged into the exact point numbering a
+// serial sweep would produce.
+//
+// Builders are arena-pooled: one is checked out per chunk of a sweep and
+// recycled after the merge, so steady-state sweeps allocate only the final
+// exact-size output.
 type surfaceBuilder struct {
 	src       data.Dataset
 	srcFields []*data.Field
-	out       *data.PolyData
-	outFields []*data.Field
-	edgeVerts map[[2]int]int
-	keys      [][2]int // canonical edge key of each output vertex, in creation order
+
+	pts   []vmath.Vec3 // interpolated vertices, creation order
+	keys  []uint64     // canonical edge key of each vertex (PackPair)
+	fdata [][]float64  // interpolated attributes, parallel to srcFields
+	tris  []int32      // triangle connectivity, 3 builder-local ids per tri
+	edges *data.PairTable
 }
 
-func newSurfaceBuilder(src data.Dataset) *surfaceBuilder {
-	b := &surfaceBuilder{
-		src:       src,
-		out:       data.NewPolyData(),
-		edgeVerts: make(map[[2]int]int),
+// Reset implements par.Resetter: empty every slab, keep every capacity.
+func (b *surfaceBuilder) Reset() {
+	b.src = nil
+	b.srcFields = b.srcFields[:0]
+	b.pts = b.pts[:0]
+	b.keys = b.keys[:0]
+	b.tris = b.tris[:0]
+	for i := range b.fdata {
+		b.fdata[i] = b.fdata[i][:0]
 	}
+	b.fdata = b.fdata[:0]
+	b.edges.Reset()
+}
+
+// bind points a clean builder at a source dataset, recycling the
+// per-field attribute slabs from previous sweeps.
+func (b *surfaceBuilder) bind(src data.Dataset) {
+	b.src = src
 	pd := src.PointData()
-	for i := 0; i < pd.Len(); i++ {
-		f := pd.At(i)
-		nf := data.NewField(f.Name, f.NumComponents, 0)
-		b.srcFields = append(b.srcFields, f)
-		b.outFields = append(b.outFields, nf)
-		b.out.Points.Add(nf)
+	n := pd.Len()
+	for i := 0; i < n; i++ {
+		b.srcFields = append(b.srcFields, pd.At(i))
 	}
-	return b
+	if cap(b.fdata) < n {
+		b.fdata = append(b.fdata[:cap(b.fdata)], make([][]float64, n-cap(b.fdata))...)
+	}
+	b.fdata = b.fdata[:n]
+	for i := range b.fdata {
+		b.fdata[i] = b.fdata[i][:0]
+	}
 }
 
-// edgeVertex returns the output vertex on edge (i,j), creating and
+var surfaceArena = par.NewArena(func() *surfaceBuilder {
+	return &surfaceBuilder{edges: data.NewPairTable()}
+})
+
+// edgeVertex returns the builder-local vertex on edge (i,j), creating and
 // interpolating it on first use. The crossing parameter is computed from
 // the canonical (low-id first) edge orientation, so the stored position
 // and attributes are bit-identical no matter which tetrahedron — or which
 // parallel chunk — touches the edge first.
-func (b *surfaceBuilder) edgeVertex(i, j int, level func(int) float64, iso float64) int {
-	key := [2]int{i, j}
-	if j < i {
-		key = [2]int{j, i}
-	}
-	if id, ok := b.edgeVerts[key]; ok {
+func (b *surfaceBuilder) edgeVertex(i, j int, level func(int) float64, iso float64) int32 {
+	key := data.PackPair(i, j)
+	id, added := b.edges.GetOrPut(key, int32(len(b.pts)))
+	if !added {
 		return id
 	}
-	v0, v1 := level(key[0]), level(key[1])
+	lo, hi := data.UnpackPair(key)
+	v0, v1 := level(lo), level(hi)
 	t := 0.5
 	if v0 != v1 {
 		t = (iso - v0) / (v1 - v0)
 	}
-	p := b.src.Point(key[0]).Lerp(b.src.Point(key[1]), t)
-	id := b.out.AddPoint(p)
-	for fi, f := range b.srcFields {
-		nf := b.outFields[fi]
-		for c := 0; c < f.NumComponents; c++ {
-			f0 := f.Value(key[0], c)
-			f1 := f.Value(key[1], c)
-			nf.Data = append(nf.Data, f0+t*(f1-f0))
-		}
-	}
-	b.edgeVerts[key] = id
+	b.pts = append(b.pts, b.src.Point(lo).Lerp(b.src.Point(hi), t))
 	b.keys = append(b.keys, key)
+	for fi, f := range b.srcFields {
+		d := b.fdata[fi]
+		for c := 0; c < f.NumComponents; c++ {
+			f0 := f.Value(lo, c)
+			f1 := f.Value(hi, c)
+			d = append(d, f0+t*(f1-f0))
+		}
+		b.fdata[fi] = d
+	}
 	return id
 }
 
 // marchTet emits the isosurface triangles of one tetrahedron. level holds
 // the per-point contouring scalar (field value for isosurfaces, signed
-// plane distance for slices); iso is the threshold.
+// plane distance for slices); iso is the threshold. All scratch lives in
+// fixed-size locals — the per-tet path allocates nothing.
 func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64) {
 	var inside [4]bool
 	var nIn int
@@ -90,19 +117,19 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 	if nIn == 0 || nIn == 4 {
 		return
 	}
-	ev := func(i, j int) int {
+	ev := func(i, j int) int32 {
 		return b.edgeVertex(t[i], t[j], level, iso)
 	}
 	// Orient triangles so the normal points from the >=iso side toward the
 	// <iso side (outward from the enclosed high-value region).
-	addTri := func(a, bb, c int, refInside int) {
-		pa, pb, pc := b.out.Pts[a], b.out.Pts[bb], b.out.Pts[c]
+	addTri := func(a, bb, c int32, refInside int) {
+		pa, pb, pc := b.pts[a], b.pts[bb], b.pts[c]
 		n := pb.Sub(pa).Cross(pc.Sub(pa))
 		toInside := b.src.Point(t[refInside]).Sub(pa)
 		if n.Dot(toInside) > 0 {
-			b.out.AddTriangle(a, c, bb)
+			b.tris = append(b.tris, a, c, bb)
 		} else {
-			b.out.AddTriangle(a, bb, c)
+			b.tris = append(b.tris, a, bb, c)
 		}
 	}
 	switch nIn {
@@ -116,10 +143,12 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 				break
 			}
 		}
-		others := make([]int, 0, 3)
+		var others [3]int
+		no := 0
 		for i := 0; i < 4; i++ {
 			if i != iso1 {
-				others = append(others, i)
+				others[no] = i
+				no++
 			}
 		}
 		a := ev(iso1, others[0])
@@ -132,12 +161,15 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 		addTri(a, bb, c, ref)
 	case 2:
 		// Two in, two out: quad split into two triangles.
-		var in2, out2 []int
+		var in2, out2 [2]int
+		ni, no := 0, 0
 		for i := 0; i < 4; i++ {
 			if inside[i] {
-				in2 = append(in2, i)
+				in2[ni] = i
+				ni++
 			} else {
-				out2 = append(out2, i)
+				out2[no] = i
+				no++
 			}
 		}
 		q0 := ev(in2[0], out2[0])
@@ -149,67 +181,123 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 	}
 }
 
+// surfaceMerge is the pooled scratch of mergeSurfaceChunks: the global
+// canonical-edge table plus the per-chunk remap buffer.
+type surfaceMerge struct {
+	edges *data.PairTable
+	ids   []int32
+}
+
+func (m *surfaceMerge) Reset() {
+	m.edges.Reset()
+	m.ids = m.ids[:0]
+}
+
+func (m *surfaceMerge) remap(n int) []int32 {
+	if cap(m.ids) < n {
+		m.ids = make([]int32, n)
+	}
+	m.ids = m.ids[:n]
+	return m.ids
+}
+
+var surfaceMergeArena = par.NewArena(func() *surfaceMerge {
+	return &surfaceMerge{edges: data.NewPairTable()}
+})
+
+// emptySurface returns an empty PolyData carrying the source's point-data
+// field headers — the shape every marching sweep output shares.
+func emptySurface(src data.Dataset) (*data.PolyData, []*data.Field) {
+	out := data.NewPolyData()
+	pd := src.PointData()
+	fields := make([]*data.Field, pd.Len())
+	for i := range fields {
+		f := pd.At(i)
+		nf := data.NewField(f.Name, f.NumComponents, 0)
+		fields[i] = nf
+		out.Points.Add(nf)
+	}
+	return out, fields
+}
+
 // mergeSurfaceChunks concatenates chunk-local marching results in chunk
 // order, deduplicating edge vertices across chunk boundaries by their
 // canonical keys. Because chunks cover the tetrahedron sweep in order and
 // each vertex keeps the value computed from its canonical edge
 // orientation, the merged point numbering, positions, attributes and
 // triangle list are byte-identical to a serial sweep — for ANY chunking.
+//
+// The merge always materializes a fresh exact-capacity PolyData (never a
+// view of arena memory), so the chunk builders can be recycled as soon as
+// it returns.
 func mergeSurfaceChunks(src data.Dataset, chunks []*surfaceBuilder) *data.PolyData {
+	out, outFields := emptySurface(src)
+	totV, totT := 0, 0
+	for _, b := range chunks {
+		totV += len(b.pts)
+		totT += len(b.tris) / 3
+	}
+	out.Pts = make([]vmath.Vec3, 0, totV)
+	out.Polys = make([][]int, 0, totT)
+	out.ReserveConn(3 * totT)
+	for _, nf := range outFields {
+		nf.Data = make([]float64, 0, totV*nf.NumComponents)
+	}
 	if len(chunks) == 1 {
-		return chunks[0].out
+		// Single chunk: a pure copy — no cross-chunk dedup needed.
+		b := chunks[0]
+		out.Pts = append(out.Pts, b.pts...)
+		for fi, nf := range outFields {
+			nf.Data = append(nf.Data, b.fdata[fi]...)
+		}
+		for t := 0; t+2 < len(b.tris); t += 3 {
+			out.AddTriangle(int(b.tris[t]), int(b.tris[t+1]), int(b.tris[t+2]))
+		}
+		return out
 	}
-	global := newSurfaceBuilder(src)
-	out := global.out
-	nTris := 0
+	ms := surfaceMergeArena.Get()
+	defer surfaceMergeArena.Put(ms)
 	for _, b := range chunks {
-		nTris += len(b.out.Polys)
-	}
-	out.Polys = make([][]int, 0, nTris)
-	for _, b := range chunks {
-		remap := make([]int, len(b.out.Pts))
+		remap := ms.remap(len(b.pts))
 		for li, key := range b.keys {
-			if gid, ok := global.edgeVerts[key]; ok {
-				remap[li] = gid
-				continue
+			gid, added := ms.edges.GetOrPut(key, int32(len(out.Pts)))
+			if added {
+				out.Pts = append(out.Pts, b.pts[li])
+				for fi, nf := range outFields {
+					nc := nf.NumComponents
+					nf.Data = append(nf.Data, b.fdata[fi][li*nc:(li+1)*nc]...)
+				}
 			}
-			gid := out.AddPoint(b.out.Pts[li])
-			for fi, nf := range global.outFields {
-				bf := b.outFields[fi]
-				nc := bf.NumComponents
-				nf.Data = append(nf.Data, bf.Data[li*nc:(li+1)*nc]...)
-			}
-			global.edgeVerts[key] = gid
 			remap[li] = gid
 		}
-		for _, tri := range b.out.Polys {
-			out.AddTriangle(remap[tri[0]], remap[tri[1]], remap[tri[2]])
+		for t := 0; t+2 < len(b.tris); t += 3 {
+			out.AddTriangle(int(remap[b.tris[t]]), int(remap[b.tris[t+1]]), int(remap[b.tris[t+2]]))
 		}
 	}
 	return out
 }
 
 // marchSurface runs the marching-tetrahedra sweep over the dataset in
-// parallel chunks and merges the results deterministically.
+// parallel chunks — each chunk filling an arena-pooled builder — and
+// merges the results deterministically.
 func marchSurface(ctx context.Context, ds data.Dataset, level func(int) float64, iso float64) (*data.PolyData, error) {
 	var chunks []*surfaceBuilder
+	var release func()
 	var err error
 	switch d := ds.(type) {
 	case *data.ImageData:
 		nCubes := imageCubeCount(d)
-		chunks, err = par.MapChunks(ctx, nCubes, func(start, end int) *surfaceBuilder {
-			b := newSurfaceBuilder(ds)
+		chunks, release, err = par.SweepChunks(ctx, nCubes, surfaceArena, func(b *surfaceBuilder, start, end int) {
+			b.bind(ds)
 			imageTetsRange(d, start, end, func(t [4]int) { b.marchTet(t, level, iso) })
-			return b
 		})
 	case *data.UnstructuredGrid:
 		tets := GridTets(d)
-		chunks, err = par.MapChunks(ctx, len(tets), func(start, end int) *surfaceBuilder {
-			b := newSurfaceBuilder(ds)
+		chunks, release, err = par.SweepChunks(ctx, len(tets), surfaceArena, func(b *surfaceBuilder, start, end int) {
+			b.bind(ds)
 			for _, t := range tets[start:end] {
 				b.marchTet(t, level, iso)
 			}
-			return b
 		})
 	default:
 		return nil, fmt.Errorf("filters: marching tetrahedra: unsupported dataset type %s", ds.TypeName())
@@ -217,8 +305,10 @@ func marchSurface(ctx context.Context, ds data.Dataset, level func(int) float64,
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if len(chunks) == 0 {
-		return newSurfaceBuilder(ds).out, nil
+		out, _ := emptySurface(ds)
+		return out, nil
 	}
 	return mergeSurfaceChunks(ds, chunks), nil
 }
@@ -278,26 +368,26 @@ func ContourLines(pd *data.PolyData, fieldName string, value float64) (*data.Pol
 		outFields = append(outFields, nf)
 		out.Points.Add(nf)
 	}
-	edgeVerts := make(map[[2]int]int)
+	edgeVerts := data.NewPairTable()
 	edgeVertex := func(i, j int, t float64) int {
-		key := [2]int{i, j}
+		key := data.PackPair(i, j)
 		if j < i {
-			key = [2]int{j, i}
-			t = 1 - t
+			t = 1 - t // parameter follows the canonical orientation
 		}
-		if id, ok := edgeVerts[key]; ok {
-			return id
+		id, added := edgeVerts.GetOrPut(key, int32(len(out.Pts)))
+		if !added {
+			return int(id)
 		}
-		id := out.AddPoint(pd.Pts[key[0]].Lerp(pd.Pts[key[1]], t))
+		lo, hi := data.UnpackPair(key)
+		out.AddPoint(pd.Pts[lo].Lerp(pd.Pts[hi], t))
 		for fi, sf := range srcFields {
 			nf := outFields[fi]
 			for c := 0; c < sf.NumComponents; c++ {
-				v0, v1 := sf.Value(key[0], c), sf.Value(key[1], c)
+				v0, v1 := sf.Value(lo, c), sf.Value(hi, c)
 				nf.Data = append(nf.Data, v0+t*(v1-v0))
 			}
 		}
-		edgeVerts[key] = id
-		return id
+		return int(id)
 	}
 	pd.EachTriangle(func(a, b, c int) {
 		ids := [3]int{a, b, c}

@@ -106,7 +106,16 @@ func GlyphContext(ctx context.Context, pd *data.PolyData, opt GlyphOptions) (*da
 	numGlyphs := (pd.NumPoints() + opt.Stride - 1) / opt.Stride
 	protoPts, protoPolys := len(proto.Pts), len(proto.Polys)
 
-	// Every glyph owns a fixed slot in the output arrays.
+	// Every glyph owns a fixed slot in the output arrays, including a
+	// disjoint range of one flat connectivity slab — workers fill their
+	// ranges without touching a shared allocator.
+	protoOff := make([]int, protoPolys)
+	protoConnLen := 0
+	for pi, poly := range proto.Polys {
+		protoOff[pi] = protoConnLen
+		protoConnLen += len(poly)
+	}
+	conn := make([]int, numGlyphs*protoConnLen)
 	out.Pts = make([]vmath.Vec3, numGlyphs*protoPts)
 	out.Polys = make([][]int, numGlyphs*protoPolys)
 	for fi, f := range srcFields {
@@ -134,7 +143,8 @@ func GlyphContext(ctx context.Context, pd *data.PolyData, opt GlyphOptions) (*da
 				}
 			}
 			for pi, poly := range proto.Polys {
-				ids := make([]int, len(poly))
+				off := g*protoConnLen + protoOff[pi]
+				ids := conn[off : off+len(poly) : off+len(poly)]
 				for j, id := range poly {
 					ids[j] = base + id
 				}

@@ -151,6 +151,69 @@ func TestStreamTracerParallelEquivalence(t *testing.T) {
 	})
 }
 
+// TestArenaReuseEquivalence pins the arena hygiene contract: the
+// pooled builders a sweep checks out are recycled into the next sweep,
+// so a second consecutive run of the same filter — which by
+// construction reuses the scratch the first run dirtied — must be
+// byte-identical to the first. Any missed Reset field, stale PairTable
+// generation or output aliasing arena memory shows up as a diff here
+// (and as a race under -race, since sweeps overlap chunk goroutines).
+func TestArenaReuseEquivalence(t *testing.T) {
+	withWorkers(t, 4)
+	vol := datagen.MarschnerLobb(24)
+	surf, err := Contour(vol, "var0", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := vmath.NewPlane(vmath.V(0.05, 0, 0), vmath.V(-1, 0, 0.3))
+	disk := datagen.DiskFlow(5, 16, 5)
+	sampler, err := NewGridSampler(disk, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := DefaultPointCloudSeeds(disk.Bounds(), 40)
+
+	builds := map[string]func() *data.PolyData{
+		"contour": func() *data.PolyData {
+			out, err := Contour(vol, "var0", 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		},
+		"clip": func() *data.PolyData {
+			return ClipPolyData(surf, plane)
+		},
+		"stream": func() *data.PolyData {
+			return StreamTracer(sampler, seeds, StreamTracerOptions{})
+		},
+	}
+	for name, build := range builds {
+		first := build()
+		// Snapshot before the second sweep: output aliasing arena
+		// scratch would be rewritten with identical bytes by an
+		// identical second run, so equality of first vs second alone
+		// cannot catch it — divergence from the snapshot can.
+		snapPts := append([]vmath.Vec3(nil), first.Pts...)
+		var snapConn []int
+		for _, poly := range first.Polys {
+			snapConn = append(snapConn, poly...)
+		}
+		second := build()
+		comparePolyData(t, name+"-arena-reuse", 4, first, second)
+		if !reflect.DeepEqual(first.Pts, snapPts) {
+			t.Fatalf("%s: second sweep mutated the first sweep's points — output aliases arena scratch", name)
+		}
+		var gotConn []int
+		for _, poly := range first.Polys {
+			gotConn = append(gotConn, poly...)
+		}
+		if !reflect.DeepEqual(gotConn, snapConn) {
+			t.Fatalf("%s: second sweep mutated the first sweep's connectivity — output aliases arena scratch", name)
+		}
+	}
+}
+
 // TestContourCancellation pins the context contract: a canceled sweep
 // returns an error instead of partial geometry.
 func TestContourCancellation(t *testing.T) {

@@ -281,35 +281,67 @@ func (o StreamTracerOptions) withDefaults() StreamTracerOptions {
 	return o
 }
 
-// streamSeg is the output of integrating one seed: its points, per-field
-// attribute data, integration times and polyline connectivity in
-// seed-local ids. Segments concatenate in seed order, reproducing the
-// serial output exactly.
-type streamSeg struct {
+// streamChunk accumulates the output of a contiguous run of seeds in
+// struct-of-arrays form: flat point/attribute/time slabs plus polyline
+// connectivity (conn/lens) in chunk-local ids. Chunks concatenate in
+// chunk order — and seeds trace in order within a chunk — reproducing
+// the serial output exactly. Chunks are arena-pooled, so the per-seed
+// scratch (RK4 id buffers, the sampler field map) is reused across
+// seeds and across sweeps.
+type streamChunk struct {
 	pts    []vmath.Vec3
 	fields [][]float64 // indexed like FieldInfo
 	times  []float64
-	lines  [][]int
+	conn   []int32 // polyline connectivity, chunk-local ids
+	lens   []int32 // points per polyline
+
+	fwd, bwd []int32 // per-seed direction scratch
+	scratch  map[string][]float64
 }
 
-// traceSeed integrates one seed in both (or one) direction(s) with the
-// same stepping logic as the serial tracer, into a seed-local segment.
-// Each call owns its scratch buffer, so seeds integrate concurrently
-// against the (read-only) sampler.
-func traceSeed(s VectorSampler, seed vmath.Vec3, opt StreamTracerOptions, infos []FieldInfo, h, maxLen float64) *streamSeg {
-	seg := &streamSeg{fields: make([][]float64, len(infos))}
-	scratch := make(map[string][]float64, len(infos))
+// Reset implements par.Resetter.
+func (c *streamChunk) Reset() {
+	c.pts = c.pts[:0]
+	for i := range c.fields {
+		c.fields[i] = c.fields[i][:0]
+	}
+	c.fields = c.fields[:0]
+	c.times = c.times[:0]
+	c.conn = c.conn[:0]
+	c.lens = c.lens[:0]
+	c.fwd = c.fwd[:0]
+	c.bwd = c.bwd[:0]
+}
 
-	appendPoint := func(p vmath.Vec3, tm float64) (int, bool) {
-		if !s.Fields(p, scratch) {
+func (c *streamChunk) bind(nFields int) {
+	if cap(c.fields) < nFields {
+		c.fields = append(c.fields[:cap(c.fields)], make([][]float64, nFields-cap(c.fields))...)
+	}
+	c.fields = c.fields[:nFields]
+	for i := range c.fields {
+		c.fields[i] = c.fields[i][:0]
+	}
+	if c.scratch == nil {
+		c.scratch = make(map[string][]float64, nFields)
+	}
+}
+
+var streamArena = par.NewArena(func() *streamChunk { return &streamChunk{} })
+
+// traceSeed integrates one seed in both (or one) direction(s) with the
+// same stepping logic as the serial tracer, appending into the chunk's
+// slabs. The sampler is read-only, so chunks integrate concurrently.
+func (c *streamChunk) traceSeed(s VectorSampler, seed vmath.Vec3, opt StreamTracerOptions, infos []FieldInfo, h, maxLen float64) {
+	appendPoint := func(p vmath.Vec3, tm float64) (int32, bool) {
+		if !s.Fields(p, c.scratch) {
 			return 0, false
 		}
-		id := len(seg.pts)
-		seg.pts = append(seg.pts, p)
+		id := int32(len(c.pts))
+		c.pts = append(c.pts, p)
 		for i, info := range infos {
-			seg.fields[i] = append(seg.fields[i], scratch[info.Name]...)
+			c.fields[i] = append(c.fields[i], c.scratch[info.Name]...)
 		}
-		seg.times = append(seg.times, tm)
+		c.times = append(c.times, tm)
 		return id, true
 	}
 
@@ -339,14 +371,14 @@ func traceSeed(s VectorSampler, seed vmath.Vec3, opt StreamTracerOptions, infos 
 		return p.Add(d.Norm().Mul(dir * h)), true
 	}
 
-	trace := func(dir float64) []int {
-		var ids []int
+	trace := func(dir float64, ids []int32) []int32 {
+		ids = ids[:0]
 		p := seed
 		tm := 0.0
 		length := 0.0
 		id, ok := appendPoint(p, 0)
 		if !ok {
-			return nil
+			return ids
 		}
 		ids = append(ids, id)
 		for step := 0; step < opt.MaxSteps; step++ {
@@ -377,26 +409,25 @@ func traceSeed(s VectorSampler, seed vmath.Vec3, opt StreamTracerOptions, infos 
 		return ids
 	}
 
-	fwd := trace(+1)
+	c.fwd = trace(+1, c.fwd)
 	if opt.Both {
-		bwd := trace(-1)
+		c.bwd = trace(-1, c.bwd)
 		// Join: reverse(backward) + forward (dropping duplicate seed).
-		if len(bwd) > 1 {
-			joined := make([]int, 0, len(bwd)+len(fwd))
-			for i := len(bwd) - 1; i >= 1; i-- {
-				joined = append(joined, bwd[i])
+		if len(c.bwd) > 1 {
+			if n := len(c.bwd) - 1 + len(c.fwd); n >= 2 {
+				c.lens = append(c.lens, int32(n))
+				for i := len(c.bwd) - 1; i >= 1; i-- {
+					c.conn = append(c.conn, c.bwd[i])
+				}
+				c.conn = append(c.conn, c.fwd...)
 			}
-			joined = append(joined, fwd...)
-			if len(joined) >= 2 {
-				seg.lines = append(seg.lines, joined)
-			}
-			return seg
+			return
 		}
 	}
-	if len(fwd) >= 2 {
-		seg.lines = append(seg.lines, fwd)
+	if len(c.fwd) >= 2 {
+		c.lens = append(c.lens, int32(len(c.fwd)))
+		c.conn = append(c.conn, c.fwd...)
 	}
-	return seg
 }
 
 // StreamTracer integrates streamlines from the given seed points through
@@ -427,25 +458,43 @@ func StreamTracerContext(ctx context.Context, s VectorSampler, seeds []vmath.Vec
 	h := s.Bounds().Diagonal() * opt.StepFraction
 	maxLen := s.Bounds().Diagonal() * opt.MaxLength
 
-	segs, err := par.MapN(ctx, len(seeds), func(i int) *streamSeg {
-		return traceSeed(s, seeds[i], opt, infos, h, maxLen)
+	chunks, release, err := par.SweepChunks(ctx, len(seeds), streamArena, func(c *streamChunk, start, end int) {
+		c.bind(len(infos))
+		for i := start; i < end; i++ {
+			c.traceSeed(s, seeds[i], opt, infos, h, maxLen)
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, seg := range segs {
+	defer release()
+	totP, totLines, totConn := 0, 0, 0
+	for _, ch := range chunks {
+		totP += len(ch.pts)
+		totLines += len(ch.lens)
+		totConn += len(ch.conn)
+	}
+	out.Pts = make([]vmath.Vec3, 0, totP)
+	for i, info := range infos {
+		outFields[i].Data = make([]float64, 0, totP*info.Components)
+	}
+	timeField.Data = make([]float64, 0, totP)
+	out.Lines = make([][]int, 0, totLines)
+	out.ReserveConn(totConn)
+	for _, ch := range chunks {
 		base := len(out.Pts)
-		out.Pts = append(out.Pts, seg.pts...)
+		out.Pts = append(out.Pts, ch.pts...)
 		for i := range infos {
-			outFields[i].Data = append(outFields[i].Data, seg.fields[i]...)
+			outFields[i].Data = append(outFields[i].Data, ch.fields[i]...)
 		}
-		timeField.Data = append(timeField.Data, seg.times...)
-		for _, line := range seg.lines {
-			ids := make([]int, len(line))
-			for j, id := range line {
-				ids[j] = base + id
+		timeField.Data = append(timeField.Data, ch.times...)
+		off := 0
+		for _, n := range ch.lens {
+			ids := out.NewLine(int(n))
+			for k := range ids {
+				ids[k] = base + int(ch.conn[off+k])
 			}
-			out.AddLine(ids...)
+			off += int(n)
 		}
 	}
 	return out, nil

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// Resetter is the contract for arena-pooled scratch: Reset must return
+// the value to a clean state while retaining its allocated capacity.
+// Every hot-path builder in filters and render implements it.
+type Resetter interface{ Reset() }
+
+// Arena is a typed free list of reusable scratch values. Get hands out
+// a clean (Reset) value — recycled when one is available, freshly
+// constructed otherwise — and Put returns it for reuse. The steady
+// state of a sweep-per-request workload is therefore zero builder
+// allocations: each request checks builders out, fills them, and
+// returns them.
+//
+// Values must not be used after Put. The arena itself is safe for
+// concurrent Get/Put (chunks of one sweep and concurrent sweeps share
+// it), but an individual value belongs to exactly one goroutine
+// between Get and Put.
+type Arena[S Resetter] struct {
+	mu    sync.Mutex
+	free  []S
+	newFn func() S
+}
+
+// arenaMaxFree bounds how many idle values an arena retains, so a
+// one-off burst (a wide sweep on a big machine) doesn't pin its peak
+// scratch forever.
+const arenaMaxFree = 64
+
+// NewArena returns an arena constructing values with newFn.
+func NewArena[S Resetter](newFn func() S) *Arena[S] {
+	return &Arena[S]{newFn: newFn}
+}
+
+// Get returns a clean scratch value, reusing a pooled one when
+// possible. The value has been Reset before return.
+func (a *Arena[S]) Get() S {
+	a.mu.Lock()
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		var zero S
+		a.free[n-1] = zero
+		a.free = a.free[:n-1]
+		a.mu.Unlock()
+		s.Reset()
+		return s
+	}
+	a.mu.Unlock()
+	s := a.newFn()
+	s.Reset()
+	return s
+}
+
+// Put recycles a value for a future Get. The caller must not touch it
+// afterwards.
+func (a *Arena[S]) Put(s S) {
+	a.mu.Lock()
+	if len(a.free) < arenaMaxFree {
+		a.free = append(a.free, s)
+	}
+	a.mu.Unlock()
+}
+
+// SweepChunks runs one parallel sweep over [0, n): the range is split
+// into NumChunks(n) contiguous chunks, each chunk checks a scratch
+// value out of the arena, fn fills it for its range, and the filled
+// builders are returned in chunk order (the deterministic-merge
+// contract). The caller merges them and then calls release() to return
+// every builder to the arena — after which the slice contents must not
+// be used. On error (cancellation) the builders are already released
+// and the returned slice is nil.
+func SweepChunks[S Resetter](ctx context.Context, n int, a *Arena[S], fn func(s S, start, end int)) (chunks []S, release func(), err error) {
+	nc := NumChunks(n)
+	out := make([]S, nc)
+	// filled marks chunks whose builder was actually checked out — a
+	// canceled sweep leaves holes, and a zero S must never reach Put
+	// (note any(S(nil)) != nil for pointer types, so a nil check can't
+	// distinguish them).
+	filled := make([]bool, nc)
+	err = runChunks(ctx, nc, func(c int) {
+		s := a.Get()
+		start, end := chunkRange(c, nc, n)
+		fn(s, start, end)
+		out[c] = s
+		filled[c] = true
+	})
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			var zero S
+			for i := range out {
+				if filled[i] {
+					a.Put(out[i])
+					out[i] = zero
+					filled[i] = false
+				}
+			}
+		})
+	}
+	if err != nil {
+		// A canceled sweep may have filled only some chunks; recycle
+		// whatever ran.
+		release()
+		return nil, func() {}, err
+	}
+	return out, release, nil
+}

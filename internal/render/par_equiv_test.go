@@ -92,6 +92,34 @@ func TestRenderFBParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestRenderFBArenaReuse pins the frame-scratch hygiene contract: the
+// pooled frameScratch/cmdChunk builders the first frame dirtied are
+// recycled into later frames, so re-rendering the identical scene must
+// reproduce the framebuffer byte-for-byte — and the first frame's
+// planes, snapshotted between renders, must never be touched by a
+// later frame (the framebuffer may not alias pooled scratch). Run
+// under -race this also sweeps the chunked geometry phase for data
+// races on the reused builders.
+func TestRenderFBArenaReuse(t *testing.T) {
+	r := testScene(t)
+	par.SetWorkers(4)
+	defer par.SetWorkers(0)
+	first := r.RenderFB(200, 130)
+	snapColor := append([]Color(nil), first.Color...)
+	snapDepth := append([]float64(nil), first.Depth...)
+	second := r.RenderFB(200, 130)
+	if !reflect.DeepEqual(first.Color, second.Color) || !reflect.DeepEqual(first.Depth, second.Depth) {
+		t.Fatal("re-render with recycled frame scratch differs from the first frame")
+	}
+	third := r.RenderFB(200, 130)
+	if !reflect.DeepEqual(second.Color, third.Color) || !reflect.DeepEqual(second.Depth, third.Depth) {
+		t.Fatal("third render with recycled frame scratch differs")
+	}
+	if !reflect.DeepEqual(first.Color, snapColor) || !reflect.DeepEqual(first.Depth, snapDepth) {
+		t.Fatal("later frames mutated the first framebuffer — output aliases pooled scratch")
+	}
+}
+
 // TestEmptySceneCameraGuard is the regression test for the empty-scene
 // NaN camera: resetting with no visible actors (none at all, an invisible
 // one, or a visible actor holding an empty mesh) must leave the camera

@@ -198,6 +198,56 @@ func (r *Renderer) RenderFB(w, h int) *Framebuffer {
 	return fb
 }
 
+// frameScratch is the arena-pooled geometry-phase scratch of one frame:
+// camera-space positions and base colors (resized per actor), the
+// accumulated raster command list, and the wireframe seen-edge table.
+// Pooling it makes the steady-state geometry phase allocation-free.
+type frameScratch struct {
+	cam   []vmath.Vec3
+	base  []Color
+	cmds  []rasterCmd
+	edges *data.PairTable
+}
+
+// Reset implements par.Resetter.
+func (s *frameScratch) Reset() {
+	s.cam = s.cam[:0]
+	s.base = s.base[:0]
+	s.cmds = s.cmds[:0]
+	s.edges.Reset()
+}
+
+// camBuf returns the camera-space position buffer sized for n points.
+func (s *frameScratch) camBuf(n int) []vmath.Vec3 {
+	if cap(s.cam) < n {
+		s.cam = make([]vmath.Vec3, n)
+	}
+	s.cam = s.cam[:n]
+	return s.cam
+}
+
+// baseBuf returns the base color buffer sized for n points.
+func (s *frameScratch) baseBuf(n int) []Color {
+	if cap(s.base) < n {
+		s.base = make([]Color, n)
+	}
+	s.base = s.base[:n]
+	return s.base
+}
+
+var frameArena = par.NewArena(func() *frameScratch {
+	return &frameScratch{edges: data.NewPairTable()}
+})
+
+// cmdChunk is the pooled per-chunk command buffer of the parallel
+// triangle emission phase.
+type cmdChunk struct{ cmds []rasterCmd }
+
+// Reset implements par.Resetter.
+func (c *cmdChunk) Reset() { c.cmds = c.cmds[:0] }
+
+var cmdArena = par.NewArena(func() *cmdChunk { return &cmdChunk{} })
+
 // RenderFBContext is RenderFB with cancellation: geometry and raster
 // phases run on the par worker pool and abort early (returning the
 // partial framebuffer and ctx's error) when the context is canceled.
@@ -218,17 +268,18 @@ func (r *Renderer) RenderFBContext(ctx context.Context, w, h int) (*Framebuffer,
 	proj := r.Camera.ProjMatrix(float64(w)/float64(h), near, far)
 
 	// Geometry phase: every visible actor is transformed, shaded and
-	// near-clipped into raster commands, in actor order.
-	var cmds []rasterCmd
+	// near-clipped into raster commands, in actor order, accumulated in
+	// the frame's pooled scratch.
+	fs := frameArena.Get()
+	defer frameArena.Put(fs)
 	for _, a := range r.Actors {
 		if a.Visible && a.Mesh != nil {
-			actorCmds, err := r.emitActor(ctx, fb, a, view, proj, near)
-			if err != nil {
+			if err := r.emitActor(ctx, fb, a, view, proj, near, fs); err != nil {
 				return fb, err
 			}
-			cmds = append(cmds, actorCmds...)
 		}
 	}
+	cmds := fs.cmds
 
 	// Raster phase: replay the command list over disjoint row bands.
 	err := par.For(ctx, h, func(y0, y1 int) {
@@ -343,13 +394,13 @@ func (pl *pipeline) project(cam vmath.Vec3, c Color) (vert, bool) {
 
 // emitActor runs the geometry phase for one actor: camera-space
 // transform and vertex shading parallel over points, triangle clipping
-// parallel over triangle chunks, command list assembled in deterministic
-// (mesh) order.
-func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, view, proj vmath.Mat4, near float64) ([]rasterCmd, error) {
+// parallel over polygon chunks, command list appended to fs.cmds in
+// deterministic (mesh) order. All per-actor buffers come from fs.
+func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, view, proj vmath.Mat4, near float64, fs *frameScratch) error {
 	mesh := a.Mesh
 	n := mesh.NumPoints()
 	if n == 0 {
-		return nil, nil
+		return nil
 	}
 	pl := &pipeline{
 		fb: fb, view: view, proj: proj, near: near,
@@ -357,16 +408,16 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 		viewDir: r.Camera.Direction(),
 	}
 	// Camera-space positions.
-	cam := make([]vmath.Vec3, n)
+	cam := fs.camBuf(n)
 	if err := par.For(ctx, n, func(start, end int) {
 		for i := start; i < end; i++ {
 			cam[i] = view.MulPoint(mesh.Pts[i])
 		}
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	// Base (unshaded) per-vertex colors.
-	base := make([]Color, n)
+	base := fs.baseBuf(n)
 	var colorField *data.Field
 	if a.ColorField != "" && a.LUT != nil {
 		colorField = mesh.Points.Get(a.ColorField)
@@ -384,7 +435,7 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 			}
 		}
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	normals := mesh.Points.Get("Normals")
 
@@ -404,31 +455,29 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 	drawEdges := a.Rep == RepWireframe || a.Rep == RepSurfaceWithEdges
 	drawAsPoints := a.Rep == RepPoints
 
-	var cmds []rasterCmd
 	if drawTriangles {
-		tris := make([][3]int, 0, mesh.NumTriangles())
-		mesh.EachTriangle(func(ia, ib, ic int) {
-			tris = append(tris, [3]int{ia, ib, ic})
-		})
-		chunks, err := par.MapChunks(ctx, len(tris), func(start, end int) []rasterCmd {
-			var out []rasterCmd
-			for _, tri := range tris[start:end] {
-				ia, ib, ic := tri[0], tri[1], tri[2]
-				flat := mesh.Pts[ib].Sub(mesh.Pts[ia]).Cross(mesh.Pts[ic].Sub(mesh.Pts[ia]))
-				var cs [3]Color
-				for k, idx := range tri {
-					cs[k] = shade(idx, flat)
+		// Chunks cover disjoint polygon ranges, fan-triangulated in
+		// place (the emission order matches EachTriangle), each filling
+		// an arena-pooled command buffer concatenated in chunk order.
+		chunks, release, err := par.SweepChunks(ctx, len(mesh.Polys), cmdArena, func(cc *cmdChunk, start, end int) {
+			out := cc.cmds
+			for _, poly := range mesh.Polys[start:end] {
+				for ti := 2; ti < len(poly); ti++ {
+					ia, ib, ic := poly[0], poly[ti-1], poly[ti]
+					flat := mesh.Pts[ib].Sub(mesh.Pts[ia]).Cross(mesh.Pts[ic].Sub(mesh.Pts[ia]))
+					cs := [3]Color{shade(ia, flat), shade(ib, flat), shade(ic, flat)}
+					out = clipTriangleCmds(pl, [3]vmath.Vec3{cam[ia], cam[ib], cam[ic]}, cs, a.Opacity, out)
 				}
-				out = clipTriangleCmds(pl, [3]vmath.Vec3{cam[ia], cam[ib], cam[ic]}, cs, a.Opacity, out)
 			}
-			return out
+			cc.cmds = out
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, ch := range chunks {
-			cmds = append(cmds, ch...)
+			fs.cmds = append(fs.cmds, ch.cmds...)
 		}
+		release()
 	}
 	if drawEdges {
 		edgeColor := func(i int, flat vmath.Vec3) Color {
@@ -437,28 +486,24 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 			}
 			return shade(i, flat)
 		}
-		seen := make(map[[2]int]bool)
+		seen := fs.edges
+		seen.Reset() // per-actor edge dedup
 		for _, poly := range mesh.Polys {
 			for i := range poly {
 				p0, p1 := poly[i], poly[(i+1)%len(poly)]
-				key := [2]int{p0, p1}
-				if p1 < p0 {
-					key = [2]int{p1, p0}
-				}
-				if seen[key] {
+				if _, added := seen.GetOrPut(data.PackPair(p0, p1), 0); !added {
 					continue
 				}
-				seen[key] = true
 				flat := vmath.Vec3{}
-				cmds = clipLineCmds(pl, cam[p0], cam[p1],
-					edgeColor(p0, flat), edgeColor(p1, flat), a.LineWidth, cmds)
+				fs.cmds = clipLineCmds(pl, cam[p0], cam[p1],
+					edgeColor(p0, flat), edgeColor(p1, flat), a.LineWidth, fs.cmds)
 			}
 		}
 	}
 	if drawAsPoints {
 		for i := 0; i < n; i++ {
 			if v, ok := pl.project(cam[i], base[i]); ok {
-				cmds = append(cmds, pointCmd(v, a.PointSize))
+				fs.cmds = append(fs.cmds, pointCmd(v, a.PointSize))
 			}
 		}
 	}
@@ -466,18 +511,18 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 	// (they have no surface to show).
 	for _, line := range mesh.Lines {
 		for i := 0; i+1 < len(line); i++ {
-			cmds = clipLineCmds(pl, cam[line[i]], cam[line[i+1]],
-				base[line[i]], base[line[i+1]], a.LineWidth, cmds)
+			fs.cmds = clipLineCmds(pl, cam[line[i]], cam[line[i+1]],
+				base[line[i]], base[line[i+1]], a.LineWidth, fs.cmds)
 		}
 	}
 	for _, vc := range mesh.Verts {
 		if len(vc) == 1 {
 			if v, ok := pl.project(cam[vc[0]], base[vc[0]]); ok {
-				cmds = append(cmds, pointCmd(v, a.PointSize))
+				fs.cmds = append(fs.cmds, pointCmd(v, a.PointSize))
 			}
 		}
 	}
-	return cmds, nil
+	return nil
 }
 
 // clipTriangleCmds clips a camera-space triangle against the near plane
@@ -498,13 +543,15 @@ func clipTriangleCmds(pl *pipeline, p [3]vmath.Vec3, c [3]Color, opacity float64
 		}
 		return cmds
 	}
-	// Sutherland–Hodgman against the near plane.
+	// Sutherland–Hodgman against the near plane. One plane cuts a
+	// triangle into at most a quad, so fixed-size scratch suffices.
 	type cv struct {
 		p vmath.Vec3
 		c Color
 	}
-	in := []cv{{p[0], c[0]}, {p[1], c[1]}, {p[2], c[2]}}
-	var out []cv
+	in := [3]cv{{p[0], c[0]}, {p[1], c[1]}, {p[2], c[2]}}
+	var out [4]cv
+	no := 0
 	for i := range in {
 		cur, nxt := in[i], in[(i+1)%len(in)]
 		ci, ni := inside(cur.p), inside(nxt.p)
@@ -513,26 +560,29 @@ func clipTriangleCmds(pl *pipeline, p [3]vmath.Vec3, c [3]Color, opacity float64
 			return cv{cur.p.Lerp(nxt.p, t), cur.c.Lerp(nxt.c, t)}
 		}
 		if ci {
-			out = append(out, cur)
+			out[no] = cur
+			no++
 			if !ni {
-				out = append(out, lerp())
+				out[no] = lerp()
+				no++
 			}
 		} else if ni {
-			out = append(out, lerp())
+			out[no] = lerp()
+			no++
 		}
 	}
-	if len(out) < 3 {
+	if no < 3 {
 		return cmds
 	}
-	verts := make([]vert, len(out))
-	for i, o := range out {
-		v, ok := pl.project(o.p, o.c)
+	var verts [4]vert
+	for i := 0; i < no; i++ {
+		v, ok := pl.project(out[i].p, out[i].c)
 		if !ok {
 			return cmds
 		}
 		verts[i] = v
 	}
-	for i := 2; i < len(verts); i++ {
+	for i := 2; i < no; i++ {
 		cmds = append(cmds, triCmd(verts[0], verts[i-1], verts[i], opacity))
 	}
 	return cmds
