@@ -14,6 +14,12 @@ import (
 // return of per-cell allocation.
 const isosurfaceAllocCeiling = 50_000
 
+// sparseContourAllocCeiling gates the sparse-field contour the same
+// way: a mostly-empty sweep must not allocate per-chunk — empty chunk
+// builders recycle through the arena's worker-affine slots just like
+// full ones do.
+const sparseContourAllocCeiling = 50_000
+
 // TestBenchSmokeAllocs runs each compute kernel once (after a warm-up
 // op) and reports its allocation profile, failing if Isosurface64
 // climbs back over the ceiling — the cheap `make bench-smoke` gate
@@ -32,6 +38,10 @@ func TestBenchSmokeAllocs(t *testing.T) {
 		if name == "Substrate_Isosurface64" && allocs > isosurfaceAllocCeiling {
 			t.Errorf("%s allocated %d times in one warm op; ceiling is %d — the SoA/arena path regressed",
 				name, allocs, isosurfaceAllocCeiling)
+		}
+		if name == "Substrate_SparseContour64" && allocs > sparseContourAllocCeiling {
+			t.Errorf("%s allocated %d times in one warm op; ceiling is %d — the sparse-sweep arena path regressed",
+				name, allocs, sparseContourAllocCeiling)
 		}
 	}
 }

@@ -398,6 +398,14 @@ func BenchmarkSubstrate_ClipPolyData(b *testing.B) {
 	benchkernels.Bench(b, "Substrate_ClipPolyData")
 }
 
+func BenchmarkSubstrate_SparseContour64(b *testing.B) {
+	benchkernels.Bench(b, "Substrate_SparseContour64")
+}
+
+func BenchmarkSubstrate_SkewedClip(b *testing.B) {
+	benchkernels.Bench(b, "Substrate_SkewedClip")
+}
+
 func BenchmarkSubstrate_SessionEditTurn(b *testing.B) {
 	benchkernels.Bench(b, "Substrate_SessionEditTurn")
 }

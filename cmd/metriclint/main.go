@@ -27,6 +27,19 @@ import (
 
 var nameRE = regexp.MustCompile(`^chatvis_[a-z][a-z0-9_]*$`)
 
+// requiredFamilies are metric families every scrape must expose; a
+// refactor that silently drops one of these fails the lint. The
+// chatvis_par_* group is the sweep-scheduler telemetry of the parallel
+// compute substrate.
+var requiredFamilies = []string{
+	"chatvis_compute_workers",
+	"chatvis_par_parallelism",
+	"chatvis_par_sweeps_total",
+	"chatvis_par_chunks_total",
+	"chatvis_par_busy_seconds_total",
+	"chatvis_par_imbalance_avg",
+}
+
 func main() {
 	body, err := scrape()
 	if err != nil {
@@ -191,6 +204,11 @@ func lint(body string) []string {
 	for identity, n := range sampleCount {
 		if n > 1 {
 			problems = append(problems, fmt.Sprintf("series %q registered %d times (want 1)", identity, n))
+		}
+	}
+	for _, name := range requiredFamilies {
+		if !sampleNames[name] {
+			problems = append(problems, fmt.Sprintf("required metric %q missing from scrape", name))
 		}
 	}
 	if len(sampleNames) == 0 {

@@ -24,19 +24,25 @@ import (
 )
 
 // Order fixes the reporting order of the shared kernels.
+// SparseContour64 and SkewedClip are the deliberately imbalanced pair:
+// their work is concentrated in a sliver of the sweep's index space, so
+// they expose the static-vs-adaptive scheduler gap that the uniform
+// kernels cannot (benchcore's A/B column reads them directly).
 var Order = []string{
 	"Substrate_Isosurface64",
 	"Substrate_StreamTracer",
 	"Substrate_SurfaceRender",
 	"Substrate_VolumeRayCast",
 	"Substrate_ClipPolyData",
+	"Substrate_SparseContour64",
+	"Substrate_SkewedClip",
 	"Substrate_SessionEditTurn",
 }
 
-// ComputeOrder is Order restricted to the five pure compute kernels —
-// the ones bench-smoke measures (the session kernel drags in temp dirs
-// and the whole session engine, which is not an allocation story).
-var ComputeOrder = Order[:5]
+// ComputeOrder is Order restricted to the pure compute kernels — the
+// ones bench-smoke measures (the session kernel drags in temp dirs and
+// the whole session engine, which is not an allocation story).
+var ComputeOrder = Order[:7]
 
 // Kernel is one substrate micro-benchmark: Setup builds the input
 // state (outside any timing) and returns the op to measure.
@@ -138,6 +144,38 @@ var Substrate = map[string]Kernel{
 				tb.Fatal(err)
 			}
 			plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(-1, 0, 0))
+			return func() {
+				filters.ClipPolyData(surf, plane)
+			}
+		},
+	},
+	// Substrate_SparseContour64 marches a volume whose only isosurface
+	// crossings sit in the tail of the cell sweep (a corner blob): ~90%
+	// of chunks are empty classification passes and the last stretch
+	// does all the vertex interpolation — the straggler shape static
+	// chunking loses to.
+	"Substrate_SparseContour64": {
+		Setup: func(tb testing.TB) func() {
+			vol := datagen.SparseBlob(64)
+			return func() {
+				if _, err := filters.Contour(vol, "var0", 0.5); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		},
+	},
+	// Substrate_SkewedClip clips a surface with a plane that discards
+	// everything except a thin z-tail: polygons that survive (and pay
+	// for Sutherland–Hodgman + point interpolation) are concentrated at
+	// the end of the polygon sweep, exercising the clip cost hints.
+	"Substrate_SkewedClip": {
+		Setup: func(tb testing.TB) func() {
+			vol := datagen.MarschnerLobb(48)
+			surf, err := filters.Contour(vol, "var0", 0.5)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			plane := vmath.NewPlane(vmath.V(0, 0, 0.6), vmath.V(0, 0, 1))
 			return func() {
 				filters.ClipPolyData(surf, plane)
 			}

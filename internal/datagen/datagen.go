@@ -57,6 +57,39 @@ func MarschnerLobb(n int) *data.ImageData {
 	return im
 }
 
+// SparseBlob builds an n³ volume whose "var0" field is a single compact
+// Gaussian blob tucked into the (+,+,+) corner: isosurface crossings at
+// mid-range levels are confined to the tail of the k-major point order,
+// so roughly 90% of the cell sweep is empty while the last stretch does
+// all the marching work. It is the adversarial load-balance case for
+// fixed-granularity chunking (the last chunk owns everything) and the
+// scheduler A/B kernel in benchkernels.
+func SparseBlob(n int) *data.ImageData {
+	if n < 2 {
+		n = 2
+	}
+	spacing := 2.0 / float64(n-1)
+	im := data.NewImageData(n, n, n, vmath.V(-1, -1, -1), vmath.V(spacing, spacing, spacing))
+	f := data.NewField("var0", 1, im.NumPoints())
+	const sigma = 0.18
+	idx := 0
+	for k := 0; k < n; k++ {
+		z := -1 + float64(k)*spacing
+		for j := 0; j < n; j++ {
+			y := -1 + float64(j)*spacing
+			for i := 0; i < n; i++ {
+				x := -1 + float64(i)*spacing
+				dx, dy, dz := x-0.7, y-0.7, z-0.7
+				r2 := dx*dx + dy*dy + dz*dz
+				f.SetScalar(idx, math.Exp(-r2/(2*sigma*sigma)))
+				idx++
+			}
+		}
+	}
+	im.Points.Add(f)
+	return im
+}
+
 // CanPoints builds a "crushed can" point cloud: points sampled on a
 // cylindrical shell with sinusoidal crush dents, a rim, and a lid, plus a
 // nodal displacement magnitude field "DISPL". Cells are vertex cells so the

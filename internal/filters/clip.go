@@ -189,12 +189,33 @@ func ClipPolyDataContext(ctx context.Context, pd *data.PolyData, plane vmath.Pla
 		return nil, err
 	}
 
+	global := clipArena.Get()
+	defer clipArena.Put(global)
+	global.bind(pd.Pts, pd.Points, plane)
+
 	// Triangles: Sutherland–Hodgman against a single plane yields a
 	// triangle or quad. Chunks cover disjoint polygon ranges (fan
 	// triangulated in place — the sweep order matches EachTriangle), each
-	// clipping into an arena-pooled local point set, merged below in
-	// sweep order.
-	chunks, release, err := par.SweepChunks(ctx, len(pd.Polys), clipArena, func(set *clipSet, start, end int) {
+	// clipping into an arena-pooled local point set; a pipelined ordered
+	// merge absorbs completed chunks into the global set in sweep order
+	// while later chunks still run. The cost hint must stay O(1) per
+	// polygon — sweepRanges evaluates it twice, and walking every vertex
+	// here would triple the classification work of discarded polygons —
+	// so it samples one vertex: a polygon whose first vertex survives
+	// almost certainly pays Sutherland–Hodgman + interpolation, a fully
+	// discarded one costs a classification check. Approximate is fine
+	// (hints shape chunks, never output); what matters is that a clip
+	// discarding one whole region spreads the surviving region across
+	// many small chunks instead of loading it onto one static chunk.
+	cost := func(pi int) float64 {
+		pg := pd.Polys[pi]
+		c := float64(len(pg))
+		if len(pg) > 0 && dist[pg[0]] >= 0 {
+			c *= 5
+		}
+		return c
+	}
+	err = par.OrderedSweep(ctx, len(pd.Polys), clipArena, cost, func(set *clipSet, start, end int) {
 		set.bind(pd.Pts, pd.Points, plane)
 		var poly [4]int32 // one plane cuts a triangle into at most a quad
 		for _, pg := range pd.Polys[start:end] {
@@ -221,34 +242,27 @@ func ClipPolyDataContext(ctx context.Context, pd *data.PolyData, plane vmath.Pla
 				}
 			}
 		}
+	}, func(ch *clipSet) {
+		remap := global.absorb(ch)
+		for _, id := range ch.conn {
+			global.conn = append(global.conn, remap[id])
+		}
+		global.lens = append(global.lens, ch.lens...)
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-
-	global := clipArena.Get()
-	defer clipArena.Put(global)
-	global.bind(pd.Pts, pd.Points, plane)
 
 	out := data.NewPolyData()
-	totPolys, totConn := 0, 0
-	for _, ch := range chunks {
-		totPolys += len(ch.lens)
-		totConn += len(ch.conn)
-	}
-	out.Polys = make([][]int, 0, totPolys)
-	out.ReserveConn(totConn)
-	for _, ch := range chunks {
-		remap := global.absorb(ch)
-		off := 0
-		for _, n := range ch.lens {
-			ids := out.NewPoly(int(n))
-			for k := range ids {
-				ids[k] = int(remap[ch.conn[off+k]])
-			}
-			off += int(n)
+	out.Polys = make([][]int, 0, len(global.lens))
+	out.ReserveConn(len(global.conn))
+	off := 0
+	for _, n := range global.lens {
+		ids := out.NewPoly(int(n))
+		for k := range ids {
+			ids[k] = int(global.conn[off+k])
 		}
+		off += int(n)
 	}
 
 	// Polylines: break at crossings (serial — line work is negligible and
@@ -305,7 +319,30 @@ func ClipUnstructuredContext(ctx context.Context, ug *data.UnstructuredGrid, pla
 	if err != nil {
 		return nil, err
 	}
-	chunks, release, err := par.SweepChunks(ctx, len(tets), clipArena, func(set *clipSet, start, end int) {
+	global := clipArena.Get()
+	defer clipArena.Put(global)
+	global.bind(ug.Pts, ug.Points, plane)
+
+	// Cost hint: a discarded tet is a classification check, a kept tet
+	// copies four points, a straddling tet interpolates cut points and
+	// emits up to three sub-tets — weight accordingly so a clip plane
+	// that concentrates survivors in one region still balances.
+	cost := func(ti int) float64 {
+		nIn := 0
+		for _, id := range tets[ti] {
+			if dist[id] >= 0 {
+				nIn++
+			}
+		}
+		switch nIn {
+		case 0:
+			return 1
+		case 4:
+			return 5
+		}
+		return 8
+	}
+	err = par.OrderedSweep(ctx, len(tets), clipArena, cost, func(set *clipSet, start, end int) {
 		set.bind(ug.Pts, ug.Points, plane)
 		addTet := func(a, b, c, d int32) { set.cells = append(set.cells, a, b, c, d) }
 		for _, t := range tets[start:end] {
@@ -354,32 +391,25 @@ func ClipUnstructuredContext(ctx context.Context, ug *data.UnstructuredGrid, pla
 				addTet(a1, c00, c10, c11)
 			}
 		}
+	}, func(ch *clipSet) {
+		remap := global.absorb(ch)
+		for _, id := range ch.cells {
+			global.cells = append(global.cells, remap[id])
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-
-	global := clipArena.Get()
-	defer clipArena.Put(global)
-	global.bind(ug.Pts, ug.Points, plane)
 
 	out := data.NewUnstructuredGrid()
-	totCells := 0
-	for _, ch := range chunks {
-		totCells += len(ch.cells) / 4
-	}
-	out.Cells = make([]data.Cell, 0, totCells)
-	out.ReserveConn(totCells * 4)
-	for _, ch := range chunks {
-		remap := global.absorb(ch)
-		for c := 0; c+3 < len(ch.cells); c += 4 {
-			ids := out.NewCell(data.CellTetra, 4)
-			ids[0] = int(remap[ch.cells[c]])
-			ids[1] = int(remap[ch.cells[c+1]])
-			ids[2] = int(remap[ch.cells[c+2]])
-			ids[3] = int(remap[ch.cells[c+3]])
-		}
+	out.Cells = make([]data.Cell, 0, len(global.cells)/4)
+	out.ReserveConn(len(global.cells))
+	for c := 0; c+3 < len(global.cells); c += 4 {
+		ids := out.NewCell(data.CellTetra, 4)
+		ids[0] = int(global.cells[c])
+		ids[1] = int(global.cells[c+1])
+		ids[2] = int(global.cells[c+2])
+		ids[3] = int(global.cells[c+3])
 	}
 	global.copyOutPoints(&out.Pts, out.Points)
 	return out, nil

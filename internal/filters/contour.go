@@ -30,6 +30,7 @@ type surfaceBuilder struct {
 	fdata [][]float64  // interpolated attributes, parallel to srcFields
 	tris  []int32      // triangle connectivity, 3 builder-local ids per tri
 	edges *data.PairTable
+	remap []int32 // absorb scratch: chunk-local id -> accumulator id
 }
 
 // Reset implements par.Resetter: empty every slab, keep every capacity.
@@ -44,6 +45,7 @@ func (b *surfaceBuilder) Reset() {
 	}
 	b.fdata = b.fdata[:0]
 	b.edges.Reset()
+	b.remap = b.remap[:0]
 }
 
 // bind points a clean builder at a source dataset, recycling the
@@ -181,30 +183,6 @@ func (b *surfaceBuilder) marchTet(t [4]int, level func(int) float64, iso float64
 	}
 }
 
-// surfaceMerge is the pooled scratch of mergeSurfaceChunks: the global
-// canonical-edge table plus the per-chunk remap buffer.
-type surfaceMerge struct {
-	edges *data.PairTable
-	ids   []int32
-}
-
-func (m *surfaceMerge) Reset() {
-	m.edges.Reset()
-	m.ids = m.ids[:0]
-}
-
-func (m *surfaceMerge) remap(n int) []int32 {
-	if cap(m.ids) < n {
-		m.ids = make([]int32, n)
-	}
-	m.ids = m.ids[:n]
-	return m.ids
-}
-
-var surfaceMergeArena = par.NewArena(func() *surfaceMerge {
-	return &surfaceMerge{edges: data.NewPairTable()}
-})
-
 // emptySurface returns an empty PolyData carrying the source's point-data
 // field headers — the shape every marching sweep output shares.
 func emptySurface(src data.Dataset) (*data.PolyData, []*data.Field) {
@@ -220,97 +198,84 @@ func emptySurface(src data.Dataset) (*data.PolyData, []*data.Field) {
 	return out, fields
 }
 
-// mergeSurfaceChunks concatenates chunk-local marching results in chunk
-// order, deduplicating edge vertices across chunk boundaries by their
-// canonical keys. Because chunks cover the tetrahedron sweep in order and
-// each vertex keeps the value computed from its canonical edge
-// orientation, the merged point numbering, positions, attributes and
-// triangle list are byte-identical to a serial sweep — for ANY chunking.
-//
-// The merge always materializes a fresh exact-capacity PolyData (never a
-// view of arena memory), so the chunk builders can be recycled as soon as
-// it returns.
-func mergeSurfaceChunks(src data.Dataset, chunks []*surfaceBuilder) *data.PolyData {
-	out, outFields := emptySurface(src)
-	totV, totT := 0, 0
-	for _, b := range chunks {
-		totV += len(b.pts)
-		totT += len(b.tris) / 3
+// absorb merges one chunk builder into the accumulator g, deduplicating
+// edge vertices across chunk boundaries by their canonical keys. Chunk
+// builders must be absorbed in chunk index order; because chunks cover
+// the tetrahedron sweep in order and each vertex keeps the value
+// computed from its canonical edge orientation, the accumulated point
+// numbering, positions, attributes and triangle list are byte-identical
+// to a serial sweep — for ANY chunking.
+func (g *surfaceBuilder) absorb(b *surfaceBuilder) {
+	if cap(g.remap) < len(b.pts) {
+		g.remap = make([]int32, len(b.pts))
 	}
-	out.Pts = make([]vmath.Vec3, 0, totV)
-	out.Polys = make([][]int, 0, totT)
-	out.ReserveConn(3 * totT)
-	for _, nf := range outFields {
-		nf.Data = make([]float64, 0, totV*nf.NumComponents)
-	}
-	if len(chunks) == 1 {
-		// Single chunk: a pure copy — no cross-chunk dedup needed.
-		b := chunks[0]
-		out.Pts = append(out.Pts, b.pts...)
-		for fi, nf := range outFields {
-			nf.Data = append(nf.Data, b.fdata[fi]...)
-		}
-		for t := 0; t+2 < len(b.tris); t += 3 {
-			out.AddTriangle(int(b.tris[t]), int(b.tris[t+1]), int(b.tris[t+2]))
-		}
-		return out
-	}
-	ms := surfaceMergeArena.Get()
-	defer surfaceMergeArena.Put(ms)
-	for _, b := range chunks {
-		remap := ms.remap(len(b.pts))
-		for li, key := range b.keys {
-			gid, added := ms.edges.GetOrPut(key, int32(len(out.Pts)))
-			if added {
-				out.Pts = append(out.Pts, b.pts[li])
-				for fi, nf := range outFields {
-					nc := nf.NumComponents
-					nf.Data = append(nf.Data, b.fdata[fi][li*nc:(li+1)*nc]...)
-				}
+	remap := g.remap[:len(b.pts)]
+	for li, key := range b.keys {
+		gid, added := g.edges.GetOrPut(key, int32(len(g.pts)))
+		if added {
+			g.pts = append(g.pts, b.pts[li])
+			for fi, f := range g.srcFields {
+				nc := f.NumComponents
+				g.fdata[fi] = append(g.fdata[fi], b.fdata[fi][li*nc:(li+1)*nc]...)
 			}
-			remap[li] = gid
 		}
-		for t := 0; t+2 < len(b.tris); t += 3 {
-			out.AddTriangle(int(remap[b.tris[t]]), int(remap[b.tris[t+1]]), int(remap[b.tris[t+2]]))
-		}
+		remap[li] = gid
+	}
+	for t := 0; t+2 < len(b.tris); t += 3 {
+		g.tris = append(g.tris, remap[b.tris[t]], remap[b.tris[t+1]], remap[b.tris[t+2]])
+	}
+}
+
+// materialize copies the accumulated mesh into a fresh exact-capacity
+// PolyData (never a view of arena memory), so the accumulator can be
+// recycled as soon as it returns.
+func (g *surfaceBuilder) materialize(src data.Dataset) *data.PolyData {
+	out, outFields := emptySurface(src)
+	out.Pts = append(make([]vmath.Vec3, 0, len(g.pts)), g.pts...)
+	for fi, nf := range outFields {
+		nf.Data = append(make([]float64, 0, len(g.fdata[fi])), g.fdata[fi]...)
+	}
+	out.Polys = make([][]int, 0, len(g.tris)/3)
+	out.ReserveConn(len(g.tris))
+	for t := 0; t+2 < len(g.tris); t += 3 {
+		out.AddTriangle(int(g.tris[t]), int(g.tris[t+1]), int(g.tris[t+2]))
 	}
 	return out
 }
 
-// marchSurface runs the marching-tetrahedra sweep over the dataset in
-// parallel chunks — each chunk filling an arena-pooled builder — and
-// merges the results deterministically.
+// marchSurface runs the marching-tetrahedra sweep over the dataset as a
+// pipelined ordered sweep: chunks fill arena-pooled builders in
+// parallel while a single consumer absorbs them into an accumulator in
+// chunk index order as they complete — the merge overlaps the sweep
+// instead of waiting for a barrier, with identical output.
 func marchSurface(ctx context.Context, ds data.Dataset, level func(int) float64, iso float64) (*data.PolyData, error) {
-	var chunks []*surfaceBuilder
-	var release func()
+	gb := surfaceArena.Get()
+	defer surfaceArena.Put(gb)
+	gb.bind(ds)
+	consume := func(b *surfaceBuilder) { gb.absorb(b) }
 	var err error
 	switch d := ds.(type) {
 	case *data.ImageData:
 		nCubes := imageCubeCount(d)
-		chunks, release, err = par.SweepChunks(ctx, nCubes, surfaceArena, func(b *surfaceBuilder, start, end int) {
+		err = par.OrderedSweep(ctx, nCubes, surfaceArena, nil, func(b *surfaceBuilder, start, end int) {
 			b.bind(ds)
 			imageTetsRange(d, start, end, func(t [4]int) { b.marchTet(t, level, iso) })
-		})
+		}, consume)
 	case *data.UnstructuredGrid:
 		tets := GridTets(d)
-		chunks, release, err = par.SweepChunks(ctx, len(tets), surfaceArena, func(b *surfaceBuilder, start, end int) {
+		err = par.OrderedSweep(ctx, len(tets), surfaceArena, nil, func(b *surfaceBuilder, start, end int) {
 			b.bind(ds)
 			for _, t := range tets[start:end] {
 				b.marchTet(t, level, iso)
 			}
-		})
+		}, consume)
 	default:
 		return nil, fmt.Errorf("filters: marching tetrahedra: unsupported dataset type %s", ds.TypeName())
 	}
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-	if len(chunks) == 0 {
-		out, _ := emptySurface(ds)
-		return out, nil
-	}
-	return mergeSurfaceChunks(ds, chunks), nil
+	return gb.materialize(ds), nil
 }
 
 // Contour extracts the isosurface of the named scalar field at the given

@@ -2,7 +2,9 @@ package filters
 
 import (
 	"context"
+	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"chatvis/internal/data"
@@ -19,18 +21,40 @@ func withWorkers(t *testing.T, n int) {
 	t.Cleanup(func() { par.SetWorkers(0) })
 }
 
-// equivalentWorkerCounts runs build under worker counts {1, 4, 8} and
-// asserts the outputs are byte-identical to the single-worker run —
-// the determinism contract of the chunked merge.
+// withSchedulingMatrix raises GOMAXPROCS (so multi-worker runs truly
+// interleave even on a one-core runner) and restores the worker count,
+// schedule and GOMAXPROCS when the test ends.
+func withSchedulingMatrix(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() {
+		runtime.GOMAXPROCS(prev)
+		par.SetWorkers(0)
+		par.SetSchedule(par.SchedAdaptive)
+	})
+}
+
+// equivalentWorkerCounts runs build under the full scheduling matrix —
+// workers {1, 4, 8} × {adaptive, static} chunking — and asserts every
+// output is byte-identical to the single-worker adaptive run: the
+// determinism contract of the index-ordered merge, now extended over
+// the pipelined OrderedSweep consumers.
 func equivalentWorkerCounts(t *testing.T, name string, build func() *data.PolyData) {
 	t.Helper()
+	withSchedulingMatrix(t)
 	par.SetWorkers(1)
-	defer par.SetWorkers(0)
+	par.SetSchedule(par.SchedAdaptive)
 	ref := build()
-	for _, w := range []int{4, 8} {
-		par.SetWorkers(w)
-		got := build()
-		comparePolyData(t, name, w, ref, got)
+	for _, sched := range []par.Sched{par.SchedAdaptive, par.SchedStatic} {
+		for _, w := range []int{1, 4, 8} {
+			if sched == par.SchedAdaptive && w == 1 {
+				continue // the reference run
+			}
+			par.SetSchedule(sched)
+			par.SetWorkers(w)
+			got := build()
+			comparePolyData(t, fmt.Sprintf("%s/%s", name, sched), w, ref, got)
+		}
 	}
 }
 
@@ -76,6 +100,17 @@ func TestContourParallelEquivalence(t *testing.T) {
 		}
 		return out
 	})
+	// The sparse corner blob concentrates every crossing in the sweep
+	// tail — the shape the guided schedule rebalances — and must still
+	// merge identically.
+	sparse := datagen.SparseBlob(24)
+	equivalentWorkerCounts(t, "contour-sparse", func() *data.PolyData {
+		out, err := Contour(sparse, "var0", 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
 }
 
 func TestSliceParallelEquivalence(t *testing.T) {
@@ -100,32 +135,45 @@ func TestClipPolyDataParallelEquivalence(t *testing.T) {
 	equivalentWorkerCounts(t, "clip-poly", func() *data.PolyData {
 		return ClipPolyData(surf, plane)
 	})
+	// Skewed clip: survivors cluster at the tail of the polygon sweep,
+	// so the cost-hinted chunking actually fires — output must not care.
+	skew := vmath.NewPlane(vmath.V(0, 0, 0.6), vmath.V(0, 0, 1))
+	equivalentWorkerCounts(t, "clip-skewed", func() *data.PolyData {
+		return ClipPolyData(surf, skew)
+	})
 }
 
 func TestClipUnstructuredParallelEquivalence(t *testing.T) {
 	disk := datagen.DiskFlow(5, 16, 5)
 	plane := vmath.NewPlane(vmath.V(0, 0, 0), vmath.V(1, 0, 0))
+	withSchedulingMatrix(t)
 	par.SetWorkers(1)
-	defer par.SetWorkers(0)
+	par.SetSchedule(par.SchedAdaptive)
 	ref, err := ClipUnstructured(disk, plane)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, w := range []int{4, 8} {
-		par.SetWorkers(w)
-		got, err := ClipUnstructured(disk, plane)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(ref.Pts, got.Pts) {
-			t.Fatalf("workers=%d: points differ", w)
-		}
-		if !reflect.DeepEqual(ref.Cells, got.Cells) {
-			t.Fatalf("workers=%d: cells differ", w)
-		}
-		for i := 0; i < ref.Points.Len(); i++ {
-			if !reflect.DeepEqual(ref.Points.At(i).Data, got.Points.At(i).Data) {
-				t.Fatalf("workers=%d: field %q differs", w, ref.Points.At(i).Name)
+	for _, sched := range []par.Sched{par.SchedAdaptive, par.SchedStatic} {
+		for _, w := range []int{1, 4, 8} {
+			if sched == par.SchedAdaptive && w == 1 {
+				continue
+			}
+			par.SetSchedule(sched)
+			par.SetWorkers(w)
+			got, err := ClipUnstructured(disk, plane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.Pts, got.Pts) {
+				t.Fatalf("sched=%s workers=%d: points differ", sched, w)
+			}
+			if !reflect.DeepEqual(ref.Cells, got.Cells) {
+				t.Fatalf("sched=%s workers=%d: cells differ", sched, w)
+			}
+			for i := 0; i < ref.Points.Len(); i++ {
+				if !reflect.DeepEqual(ref.Points.At(i).Data, got.Points.At(i).Data) {
+					t.Fatalf("sched=%s workers=%d: field %q differs", sched, w, ref.Points.At(i).Name)
+				}
 			}
 		}
 	}

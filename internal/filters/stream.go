@@ -458,44 +458,48 @@ func StreamTracerContext(ctx context.Context, s VectorSampler, seeds []vmath.Vec
 	h := s.Bounds().Diagonal() * opt.StepFraction
 	maxLen := s.Bounds().Diagonal() * opt.MaxLength
 
-	chunks, release, err := par.SweepChunks(ctx, len(seeds), streamArena, func(c *streamChunk, start, end int) {
+	// Pipelined ordered merge: seeds integrate in chunks while the
+	// conveyor concatenates completed chunks into an arena-pooled
+	// accumulator in seed order — points are offset by the accumulator's
+	// running base as each chunk lands, exactly as the old barrier merge
+	// did in chunk order.
+	gs := streamArena.Get()
+	defer streamArena.Put(gs)
+	gs.bind(len(infos))
+	err := par.OrderedSweep(ctx, len(seeds), streamArena, nil, func(c *streamChunk, start, end int) {
 		c.bind(len(infos))
 		for i := start; i < end; i++ {
 			c.traceSeed(s, seeds[i], opt, infos, h, maxLen)
 		}
+	}, func(ch *streamChunk) {
+		base := int32(len(gs.pts))
+		gs.pts = append(gs.pts, ch.pts...)
+		for i := range infos {
+			gs.fields[i] = append(gs.fields[i], ch.fields[i]...)
+		}
+		gs.times = append(gs.times, ch.times...)
+		for _, id := range ch.conn {
+			gs.conn = append(gs.conn, base+id)
+		}
+		gs.lens = append(gs.lens, ch.lens...)
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-	totP, totLines, totConn := 0, 0, 0
-	for _, ch := range chunks {
-		totP += len(ch.pts)
-		totLines += len(ch.lens)
-		totConn += len(ch.conn)
+	out.Pts = append(make([]vmath.Vec3, 0, len(gs.pts)), gs.pts...)
+	for i := range infos {
+		outFields[i].Data = append(make([]float64, 0, len(gs.fields[i])), gs.fields[i]...)
 	}
-	out.Pts = make([]vmath.Vec3, 0, totP)
-	for i, info := range infos {
-		outFields[i].Data = make([]float64, 0, totP*info.Components)
-	}
-	timeField.Data = make([]float64, 0, totP)
-	out.Lines = make([][]int, 0, totLines)
-	out.ReserveConn(totConn)
-	for _, ch := range chunks {
-		base := len(out.Pts)
-		out.Pts = append(out.Pts, ch.pts...)
-		for i := range infos {
-			outFields[i].Data = append(outFields[i].Data, ch.fields[i]...)
+	timeField.Data = append(make([]float64, 0, len(gs.times)), gs.times...)
+	out.Lines = make([][]int, 0, len(gs.lens))
+	out.ReserveConn(len(gs.conn))
+	off := 0
+	for _, n := range gs.lens {
+		ids := out.NewLine(int(n))
+		for k := range ids {
+			ids[k] = int(gs.conn[off+k])
 		}
-		timeField.Data = append(timeField.Data, ch.times...)
-		off := 0
-		for _, n := range ch.lens {
-			ids := out.NewLine(int(n))
-			for k := range ids {
-				ids[k] = base + int(ch.conn[off+k])
-			}
-			off += int(n)
-		}
+		off += int(n)
 	}
 	return out, nil
 }

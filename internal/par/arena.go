@@ -17,6 +17,12 @@ type Resetter interface{ Reset() }
 // allocations: each request checks builders out, fills them, and
 // returns them.
 //
+// In front of the shared free list sit worker-affine slots
+// (GetSlot/PutSlot): each sweep worker prefers a single-value slot
+// keyed by its worker ID, so the builder a worker just filled comes
+// back to the same worker on the next chunk — warm caches, no
+// cross-worker bouncing through the shared list.
+//
 // Values must not be used after Put. The arena itself is safe for
 // concurrent Get/Put (chunks of one sweep and concurrent sweeps share
 // it), but an individual value belongs to exactly one goroutine
@@ -25,12 +31,26 @@ type Arena[S Resetter] struct {
 	mu    sync.Mutex
 	free  []S
 	newFn func() S
+	slots [arenaSlots]arenaSlot[S]
+}
+
+// arenaSlot is a one-value worker-affine cache in front of the shared
+// free list. Its own mutex keeps slot traffic off the arena lock.
+type arenaSlot[S Resetter] struct {
+	mu     sync.Mutex
+	val    S
+	filled bool
 }
 
 // arenaMaxFree bounds how many idle values an arena retains, so a
 // one-off burst (a wide sweep on a big machine) doesn't pin its peak
 // scratch forever.
 const arenaMaxFree = 64
+
+// arenaSlots is the number of worker-affine slots per arena; worker IDs
+// map onto slots modulo this, so wider sweeps than arenaSlots degrade
+// to sharing slots, never to breaking.
+const arenaSlots = 16
 
 // NewArena returns an arena constructing values with newFn.
 func NewArena[S Resetter](newFn func() S) *Arena[S] {
@@ -66,27 +86,72 @@ func (a *Arena[S]) Put(s S) {
 	a.mu.Unlock()
 }
 
-// SweepChunks runs one parallel sweep over [0, n): the range is split
-// into NumChunks(n) contiguous chunks, each chunk checks a scratch
-// value out of the arena, fn fills it for its range, and the filled
+// GetSlot returns a clean scratch value, preferring worker w's affine
+// slot over the shared free list. w < 0 bypasses the slots (shared
+// path). The value has been Reset before return.
+func (a *Arena[S]) GetSlot(w int) S {
+	if w < 0 {
+		return a.Get()
+	}
+	slot := &a.slots[w%arenaSlots]
+	slot.mu.Lock()
+	if slot.filled {
+		s := slot.val
+		var zero S
+		slot.val = zero
+		slot.filled = false
+		slot.mu.Unlock()
+		s.Reset()
+		return s
+	}
+	slot.mu.Unlock()
+	return a.Get()
+}
+
+// PutSlot recycles a value into worker w's affine slot, overflowing to
+// the shared free list when the slot is occupied. w < 0 bypasses the
+// slots. The caller must not touch the value afterwards.
+func (a *Arena[S]) PutSlot(w int, s S) {
+	if w < 0 {
+		a.Put(s)
+		return
+	}
+	slot := &a.slots[w%arenaSlots]
+	slot.mu.Lock()
+	if !slot.filled {
+		slot.val = s
+		slot.filled = true
+		slot.mu.Unlock()
+		return
+	}
+	slot.mu.Unlock()
+	a.Put(s)
+}
+
+// SweepChunks runs one parallel sweep over [0, n): the range is chunked
+// under the current schedule, each chunk checks a scratch value out of
+// the arena (worker-affine), fn fills it for its range, and the filled
 // builders are returned in chunk order (the deterministic-merge
 // contract). The caller merges them and then calls release() to return
 // every builder to the arena — after which the slice contents must not
 // be used. On error (cancellation) the builders are already released
-// and the returned slice is nil.
+// and the returned slice is nil. Prefer OrderedSweep where the merge
+// can be expressed as a streaming consumer; SweepChunks remains for
+// merges that need every chunk at once.
 func SweepChunks[S Resetter](ctx context.Context, n int, a *Arena[S], fn func(s S, start, end int)) (chunks []S, release func(), err error) {
-	nc := NumChunks(n)
-	out := make([]S, nc)
+	spans := sweepRanges(n, nil)
+	out := make([]S, len(spans))
+	owners := make([]int16, len(spans))
 	// filled marks chunks whose builder was actually checked out — a
 	// canceled sweep leaves holes, and a zero S must never reach Put
 	// (note any(S(nil)) != nil for pointer types, so a nil check can't
 	// distinguish them).
-	filled := make([]bool, nc)
-	err = runChunks(ctx, nc, func(c int) {
-		s := a.Get()
-		start, end := chunkRange(c, nc, n)
-		fn(s, start, end)
+	filled := make([]bool, len(spans))
+	err = runRanges(ctx, n, spans, func(w, c int, r Range) {
+		s := a.GetSlot(w)
+		fn(s, r.Start, r.End)
 		out[c] = s
+		owners[c] = int16(w)
 		filled[c] = true
 	})
 	var once sync.Once
@@ -95,7 +160,7 @@ func SweepChunks[S Resetter](ctx context.Context, n int, a *Arena[S], fn func(s 
 			var zero S
 			for i := range out {
 				if filled[i] {
-					a.Put(out[i])
+					a.PutSlot(int(owners[i]), out[i])
 					out[i] = zero
 					filled[i] = false
 				}

@@ -4,17 +4,25 @@
 //
 // Determinism contract: every helper in this package assigns work by
 // index and collects results by index, so the *values* produced are
-// independent of the worker count and of scheduling order. Callers that
-// merge chunk results in index order therefore produce byte-identical
-// output for any worker count — the property the serial/parallel
-// equivalence tests in filters and render pin down.
+// independent of the worker count, the chunking schedule (see Sched)
+// and scheduling order. Callers that merge chunk results in index order
+// therefore produce byte-identical output for any worker count and
+// either schedule — the property the serial/parallel equivalence tests
+// in filters and render pin down. OrderedSweep extends the same
+// contract to pipelined merges: the consumer still sees builders in
+// index order even though chunks complete out of order.
 //
 // Concurrency model: each call runs chunks on the calling goroutine plus
-// up to Workers()-1 helper goroutines drawn from a process-wide token
-// pool. Helpers are acquired opportunistically (never blocking), so
-// nested parallel sections — a parallel filter inside a parallel render
-// inside a chatvisd job — cannot deadlock and total compute goroutines
-// stay bounded near the configured worker count.
+// up to Parallelism()-1 helper goroutines drawn from a process-wide
+// token pool. Workers() (the configured count) shapes the chunk
+// schedule; Parallelism() clamps actual goroutine fan-out to
+// runtime.GOMAXPROCS(0), so asking for 8 workers on a 1-core box keeps
+// 8-worker chunk boundaries (and thus 8-worker-identical output) while
+// running on one goroutine instead of oversubscribing. Helpers are
+// acquired opportunistically (never blocking), so nested parallel
+// sections — a parallel filter inside a parallel render inside a
+// chatvisd job — cannot deadlock and total compute goroutines stay
+// bounded near the machine's parallelism.
 package par
 
 import (
@@ -22,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // defaultWorkers holds the configured worker count; 0 means "follow
@@ -30,20 +39,34 @@ var defaultWorkers atomic.Int64
 
 // helperTokens bounds the number of helper goroutines alive across all
 // concurrent par calls in the process. It is sized lazily from the
-// worker count.
+// machine parallelism.
 var (
 	tokenMu      sync.Mutex
 	helperTokens chan struct{}
 	tokenCap     int
 )
 
-// Workers returns the effective worker count: the value set with
-// SetWorkers, or runtime.GOMAXPROCS(0) when unset.
+// Workers returns the configured worker count: the value set with
+// SetWorkers, or runtime.GOMAXPROCS(0) when unset. This count shapes
+// chunk boundaries (determinism is keyed on it); the goroutine fan-out
+// is separately clamped by Parallelism.
 func Workers() int {
 	if n := int(defaultWorkers.Load()); n > 0 {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Parallelism returns how many goroutines a sweep may actually run on:
+// Workers() clamped to runtime.GOMAXPROCS(0). Requesting more workers
+// than the machine has cores changes chunk shaping but never
+// oversubscribes the scheduler.
+func Parallelism() int {
+	w := Workers()
+	if p := runtime.GOMAXPROCS(0); w > p {
+		return p
+	}
+	return w
 }
 
 // SetWorkers fixes the process-wide worker count (the chatvisd
@@ -63,12 +86,12 @@ func acquireHelpers(want int) (int, func()) {
 		return 0, func() {}
 	}
 	tokenMu.Lock()
-	need := Workers() - 1
+	need := Parallelism() - 1
 	if need < 0 {
 		need = 0
 	}
 	if helperTokens == nil || tokenCap < need {
-		// Grow the pool to the current worker count. Outstanding tokens
+		// Grow the pool to the current parallelism. Outstanding tokens
 		// from the old channel release into the old channel (captured by
 		// their release closures), so growth never corrupts accounting.
 		if need < 1 {
@@ -103,27 +126,32 @@ func releaseFn(tokens chan struct{}, n int) func() {
 	}
 }
 
-// runChunks executes process(chunk) for chunk in [0, chunks) across the
-// caller plus opportunistically-acquired helpers. It returns ctx.Err()
-// if the context was canceled before every chunk ran; chunks already
-// started always finish (callers rely on partial results never being
-// observed — the error return is the only signal).
-func runChunks(ctx context.Context, chunks int, process func(chunk int)) error {
-	if chunks <= 0 {
+// runRanges executes process(worker, chunk, spans[chunk]) for every
+// chunk across the caller (worker 0) plus opportunistically-acquired
+// helpers (workers 1..n), dispatching chunks through an atomic counter
+// so idle workers backfill stragglers. Worker IDs let callers keep
+// worker-affine state (Arena slots). items is the sweep's index-space
+// size, reported in telemetry. It returns ctx.Err() if the context was
+// canceled before every chunk was claimed; chunks already started
+// always finish (callers rely on partial results never being observed —
+// the error return is the only signal).
+func runRanges(ctx context.Context, items int, spans []Range, process func(worker, chunk int, r Range)) error {
+	nc := len(spans)
+	if nc == 0 {
 		return nil // an empty sweep is trivially complete
 	}
-	if chunks == 1 || Workers() <= 1 {
-		for c := 0; c < chunks; c++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			process(c)
-		}
-		return nil
+	nHelpers := 0
+	release := func() {}
+	if want := min(nc-1, Parallelism()-1); want > 0 {
+		nHelpers, release = acquireHelpers(want)
 	}
+	defer release()
+
+	clocks := make([]workerClock, nHelpers+1)
 	var next atomic.Int64
 	canceled := ctx.Done()
-	loop := func() {
+	loop := func(w int) {
+		wc := &clocks[w]
 		for {
 			if canceled != nil {
 				select {
@@ -133,25 +161,33 @@ func runChunks(ctx context.Context, chunks int, process func(chunk int)) error {
 				}
 			}
 			c := int(next.Add(1)) - 1
-			if c >= chunks {
+			if c >= nc {
 				return
 			}
-			process(c)
+			t0 := time.Now()
+			process(w, c, spans[c])
+			d := time.Since(t0).Nanoseconds()
+			wc.busy += d
+			wc.chunks++
+			if d > wc.maxChunk {
+				wc.maxChunk = d
+			}
 		}
 	}
-	nHelpers, release := acquireHelpers(min(chunks-1, Workers()-1))
-	defer release()
 	var wg sync.WaitGroup
-	for i := 0; i < nHelpers; i++ {
+	for i := 1; i <= nHelpers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			loop()
-		}()
+			loop(w)
+		}(i)
 	}
-	loop()
+	loop(0)
 	wg.Wait()
-	if int(next.Load()) < chunks {
+
+	recordSweep(ctx, items, clocks)
+
+	if int(next.Load()) < nc {
 		// Cancellation stopped the sweep before every chunk was claimed.
 		if err := ctx.Err(); err != nil {
 			return err
@@ -163,9 +199,11 @@ func runChunks(ctx context.Context, chunks int, process func(chunk int)) error {
 	return nil
 }
 
-// NumChunks picks a chunk count for n items: enough to balance load
-// across workers (4 chunks per worker) without degenerating into
-// per-item scheduling.
+// NumChunks picks the static-schedule chunk count for n items: enough
+// to balance load across workers (4 chunks per worker) without
+// degenerating into per-item scheduling. The adaptive schedule
+// supersedes this for sweeps (see sweepRanges); it remains the
+// SchedStatic granularity.
 func NumChunks(n int) int {
 	if n <= 0 {
 		return 0
@@ -192,28 +230,25 @@ func chunkRange(c, chunks, n int) (start, end int) {
 	return start, end
 }
 
-// For runs fn over every contiguous sub-range of [0, n) in parallel.
-// fn(start, end) must only touch state owned by its range (or its own
-// locals); ranges are disjoint and cover [0, n) exactly once. Returns
-// ctx.Err() if canceled early.
+// For runs fn over every contiguous sub-range of [0, n) in parallel,
+// chunked under the current schedule. fn(start, end) must only touch
+// state owned by its range (or its own locals); ranges are disjoint and
+// cover [0, n) exactly once. Returns ctx.Err() if canceled early.
 func For(ctx context.Context, n int, fn func(start, end int)) error {
-	chunks := NumChunks(n)
-	return runChunks(ctx, chunks, func(c int) {
-		s, e := chunkRange(c, chunks, n)
-		fn(s, e)
+	return runRanges(ctx, n, sweepRanges(n, nil), func(_, _ int, r Range) {
+		fn(r.Start, r.End)
 	})
 }
 
-// MapChunks splits [0, n) into contiguous chunks, computes
-// fn(start, end) for each, and returns the results in chunk order
-// (deterministic regardless of worker count or scheduling). A nil error
-// guarantees every chunk ran.
+// MapChunks splits [0, n) into contiguous chunks under the current
+// schedule, computes fn(start, end) for each, and returns the results
+// in chunk order (deterministic regardless of worker count or
+// scheduling). A nil error guarantees every chunk ran.
 func MapChunks[T any](ctx context.Context, n int, fn func(start, end int) T) ([]T, error) {
-	chunks := NumChunks(n)
-	out := make([]T, chunks)
-	err := runChunks(ctx, chunks, func(c int) {
-		s, e := chunkRange(c, chunks, n)
-		out[c] = fn(s, e)
+	spans := sweepRanges(n, nil)
+	out := make([]T, len(spans))
+	err := runRanges(ctx, n, spans, func(_, c int, r Range) {
+		out[c] = fn(r.Start, r.End)
 	})
 	if err != nil {
 		return nil, err

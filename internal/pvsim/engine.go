@@ -573,15 +573,28 @@ func (e *Engine) Dataset(p *Proxy) (data.Dataset, error) {
 
 // computeCounted is the single point every actually-executed pipeline
 // stage funnels through (cache hits never reach it), so each execution
-// gets a span named for its proxy class.
+// gets a span named for its proxy class. A sweep observer rides the
+// span's context: every par sweep the stage runs reports into it, and
+// the aggregate (chunk counts, busy time, worst imbalance) lands as
+// span attributes — the scheduler's behavior is visible per stage in
+// the trace.
 func (e *Engine) computeCounted(p *Proxy) (data.Dataset, error) {
 	e.executions.Add(1)
-	_, span := obs.Start(e.execCtx(), "stage."+p.Class.name)
+	ctx, span := obs.Start(e.execCtx(), "stage."+p.Class.name)
 	defer span.End()
 	if p.RegName != "" {
 		span.SetAttr("proxy", p.RegName)
 	}
-	ds, err := e.compute(p)
+	var agg par.SweepAgg
+	ctx = par.WithSweepObserver(ctx, agg.Observe)
+	ds, err := e.compute(ctx, p)
+	if sum := agg.Summary(); sum.Sweeps > 0 {
+		span.SetAttr("par_sweeps", sum.Sweeps)
+		span.SetAttr("par_chunks", sum.Chunks)
+		span.SetAttr("par_busy_ms", sum.Busy.Milliseconds())
+		span.SetAttr("par_chunk_max_ms", sum.MaxChunk.Milliseconds())
+		span.SetAttr("par_imbalance", sum.MaxImbalance)
+	}
 	span.SetError(err)
 	return ds, err
 }
@@ -621,7 +634,7 @@ func (e *Engine) inputDataset(p *Proxy) (data.Dataset, error) {
 	return e.Dataset(p.Input)
 }
 
-func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
+func (e *Engine) compute(ctx context.Context, p *Proxy) (data.Dataset, error) {
 	switch p.Class.name {
 	case "LegacyVTKReader":
 		file := readerFileName(p)
@@ -669,7 +682,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 				// Contouring a surface (e.g. a slice) yields iso-lines.
 				part, err = filters.ContourLines(pdIn, array, v)
 			} else {
-				part, err = filters.ContourContext(e.execCtx(), in, array, v)
+				part, err = filters.ContourContext(ctx, in, array, v)
 			}
 			if err != nil {
 				return nil, raiseRT("Contour: %v", err)
@@ -690,7 +703,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := filters.SliceContext(e.execCtx(), in, plane)
+		out, err := filters.SliceContext(ctx, in, plane)
 		if err != nil {
 			return nil, raiseRT("Slice: %v", err)
 		}
@@ -712,20 +725,20 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		}
 		switch t := in.(type) {
 		case *data.PolyData:
-			out, err := filters.ClipPolyDataContext(e.execCtx(), t, plane)
+			out, err := filters.ClipPolyDataContext(ctx, t, plane)
 			if err != nil {
 				return nil, err
 			}
 			return out, nil
 		case *data.UnstructuredGrid:
-			out, err := filters.ClipUnstructuredContext(e.execCtx(), t, plane)
+			out, err := filters.ClipUnstructuredContext(ctx, t, plane)
 			if err != nil {
 				return nil, raiseRT("Clip: %v", err)
 			}
 			return out, nil
 		case *data.ImageData:
 			ug := imageToUGrid(t)
-			out, err := filters.ClipUnstructuredContext(e.execCtx(), ug, plane)
+			out, err := filters.ClipUnstructuredContext(ctx, ug, plane)
 			if err != nil {
 				return nil, raiseRT("Clip: %v", err)
 			}
@@ -783,7 +796,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		if ml := propFloat(p, "MaximumStreamlineLength", 0); ml > 0 {
 			opt.MaxLength = ml / in.Bounds().Diagonal()
 		}
-		return filters.StreamTracerContext(e.execCtx(), sampler, seeds, opt)
+		return filters.StreamTracerContext(ctx, sampler, seeds, opt)
 
 	case "Tube":
 		in, err := e.inputDataset(p)
@@ -821,7 +834,7 @@ func (e *Engine) compute(p *Proxy) (data.Dataset, error) {
 		if orient == "No orientation array" {
 			orient = ""
 		}
-		return filters.GlyphContext(e.execCtx(), pd, filters.GlyphOptions{
+		return filters.GlyphContext(ctx, pd, filters.GlyphOptions{
 			Type:             gt,
 			OrientationArray: orient,
 			ScaleFactor:      propFloat(p, "ScaleFactor", 0),

@@ -7,6 +7,7 @@ import (
 	"chatvis/internal/data"
 	"chatvis/internal/filters"
 	"chatvis/internal/obs"
+	"chatvis/internal/par"
 	"chatvis/internal/pypy"
 	"chatvis/internal/render"
 	"chatvis/internal/vmath"
@@ -216,10 +217,14 @@ func pick(cond bool, a, b float64) float64 {
 // in parallel (requireDataset); the serial actor-assembly loop below
 // then finds every dataset already computed.
 func (e *Engine) RenderViewImage(view *Proxy, w, h int, overridePalette string) (*image.RGBA, error) {
-	_, span := obs.Start(e.execCtx(), "render.view")
+	ctx, span := obs.Start(e.execCtx(), "render.view")
 	defer span.End()
 	span.SetAttr("width", w)
 	span.SetAttr("height", h)
+	// Sweep observer: the renderer's geometry/raster/volume sweeps
+	// report into agg, and the aggregate lands as span attributes.
+	var agg par.SweepAgg
+	ctx = par.WithSweepObserver(ctx, agg.Observe)
 	if err := e.requireDataset(e.visibleSources(view)); err != nil {
 		span.SetError(err)
 		return nil, err
@@ -307,8 +312,16 @@ func (e *Engine) RenderViewImage(view *Proxy, w, h int, overridePalette string) 
 	if h <= 0 {
 		h = 539
 	}
-	fb, err := r.RenderFBContext(e.execCtx(), w, h)
+	fb, err := r.RenderFBContext(ctx, w, h)
+	if sum := agg.Summary(); sum.Sweeps > 0 {
+		span.SetAttr("par_sweeps", sum.Sweeps)
+		span.SetAttr("par_chunks", sum.Chunks)
+		span.SetAttr("par_busy_ms", sum.Busy.Milliseconds())
+		span.SetAttr("par_chunk_max_ms", sum.MaxChunk.Milliseconds())
+		span.SetAttr("par_imbalance", sum.MaxImbalance)
+	}
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	return fb.Image(), nil

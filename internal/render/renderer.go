@@ -458,8 +458,10 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 	if drawTriangles {
 		// Chunks cover disjoint polygon ranges, fan-triangulated in
 		// place (the emission order matches EachTriangle), each filling
-		// an arena-pooled command buffer concatenated in chunk order.
-		chunks, release, err := par.SweepChunks(ctx, len(mesh.Polys), cmdArena, func(cc *cmdChunk, start, end int) {
+		// an arena-pooled command buffer; the ordered conveyor
+		// concatenates completed buffers into the frame command list in
+		// chunk order while later chunks still emit.
+		err := par.OrderedSweep(ctx, len(mesh.Polys), cmdArena, nil, func(cc *cmdChunk, start, end int) {
 			out := cc.cmds
 			for _, poly := range mesh.Polys[start:end] {
 				for ti := 2; ti < len(poly); ti++ {
@@ -470,14 +472,12 @@ func (r *Renderer) emitActor(ctx context.Context, fb *Framebuffer, a *Actor, vie
 				}
 			}
 			cc.cmds = out
+		}, func(cc *cmdChunk) {
+			fs.cmds = append(fs.cmds, cc.cmds...)
 		})
 		if err != nil {
 			return err
 		}
-		for _, ch := range chunks {
-			fs.cmds = append(fs.cmds, ch.cmds...)
-		}
-		release()
 	}
 	if drawEdges {
 		edgeColor := func(i int, flat vmath.Vec3) Color {

@@ -644,7 +644,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Parallel compute substrate.
-	emit("chatvis_compute_workers", "Worker-pool size of the parallel compute substrate.", par.Workers())
+	emit("chatvis_compute_workers", "Configured worker count of the parallel compute substrate.", par.Workers())
+	emit("chatvis_par_parallelism", "Effective sweep goroutine fan-out (workers clamped to GOMAXPROCS).", par.Parallelism())
+	ps := par.Snapshot()
+	emit("chatvis_par_sweeps_total", "Parallel sweeps executed by the compute substrate.", ps.Sweeps)
+	emit("chatvis_par_chunks_total", "Chunks dispatched across all sweeps.", ps.Chunks)
+	emit("chatvis_par_busy_seconds_total", "Chunk execution time summed over all sweep workers.", ps.Busy.Seconds())
+	emit("chatvis_par_imbalance_avg", "Mean per-sweep imbalance ratio (max/mean worker busy time) over multi-worker sweeps; 1.0 is balanced.", ps.AvgImbalance)
 	if s.datasetCache != nil {
 		cs := s.datasetCache.Stats()
 		emit("chatvis_dataset_cache_entries", "Datasets held in the shared content-hash cache.", cs.Entries)

@@ -621,6 +621,13 @@ func TestHTTPScenariosHealthMetrics(t *testing.T) {
 		"chatvis_job_duration_seconds_bucket{le=\"+Inf\"}",
 		"chatvis_store_objects",
 		"chatvis_llm_calls_total",
+		// Sweep-scheduler telemetry of the parallel compute substrate.
+		"chatvis_compute_workers",
+		"chatvis_par_parallelism",
+		"chatvis_par_sweeps_total",
+		"chatvis_par_chunks_total",
+		"chatvis_par_busy_seconds_total",
+		"chatvis_par_imbalance_avg",
 		// Runtime and identity series ride every scrape.
 		"chatvis_go_goroutines",
 		"chatvis_go_heap_alloc_bytes",
