@@ -6,15 +6,22 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve bench-smoke build serve smoke smoke-cluster plan-validate lint-metrics
+.PHONY: ci fmt vet test test-race test-race-service bench bench-core bench-diff bench-grid bench-serve bench-smoke build serve smoke smoke-cluster plan-validate lint-metrics calibrate-smoke
 
-ci: fmt vet plan-validate lint-metrics test-race bench-smoke smoke smoke-cluster
+ci: fmt vet plan-validate lint-metrics calibrate-smoke test-race bench-smoke smoke smoke-cluster
 
 # Metrics contract gate: scrape a fully-attached in-memory daemon and
 # fail on any chatvis_* name that is not snake_case, lacks HELP/TYPE
 # metadata, or is registered more than once.
 lint-metrics:
 	$(GO) run ./cmd/metriclint
+
+# Routing calibration gate: probe the sim registry twice over a fixed
+# 2-scenario slice into a scratch directory and fail unless the
+# measurements are deterministic and the compiled routes price
+# edit-intent below cold writes (docs/routing.md). Writes no profiles.
+calibrate-smoke:
+	$(GO) run ./cmd/calibrate -smoke -q 		-data $${TMPDIR:-/tmp}/chatvis-calibrate-smoke/data 		-out $${TMPDIR:-/tmp}/chatvis-calibrate-smoke/out
 
 # Compile + schema-validate every example pipeline (scenario ground
 # truths, plan-native IRs, writer/intent agreement) — fails fast on any

@@ -1,0 +1,156 @@
+// Command calibrate probes the model registry and writes the measured
+// profile store that drives routing (chatvisd -route, evalrunner
+// -route). Each model is probed per task kind — cold writes, edit-intent
+// rewrites, plan deltas, plan-document repair — over a task-keyed slice
+// of the evaluation grid; records append to a versioned JSON store, so
+// re-calibration preserves history and routing always reads the latest
+// record per (model, task).
+//
+// Usage:
+//
+//	calibrate -data ./data -out ./out -profiles profiles.json
+//	calibrate -models gpt-4,codegemma -scenarios iso,slice
+//	calibrate -smoke        # deterministic 2-scenario CI gate, writes nothing
+//
+// -smoke calibrates twice over the iso and slice scenarios and exits
+// non-zero unless the two runs measure identically AND the resulting
+// routes serve edit-intent from a measurably cheaper profile than cold
+// writes — the invariant the routing subsystem exists to deliver.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/route"
+)
+
+func main() {
+	var (
+		dataDir  = flag.String("data", "data", "dataset directory (populated on demand)")
+		outDir   = flag.String("out", "out", "working directory for probe screenshots")
+		profiles = flag.String("profiles", "profiles.json", "profile store to append to (versioned JSON)")
+		models   = flag.String("models", "", "comma-separated models to probe (default: the paper's serving candidates)")
+		scns     = flag.String("scenarios", "", "comma-separated probe scenario IDs (default: every registered scenario)")
+		width    = flag.Int("width", 480, "render width")
+		height   = flag.Int("height", 270, "render height")
+		smoke    = flag.Bool("smoke", false, "run the deterministic CI smoke gate instead of writing profiles")
+		quiet    = flag.Bool("q", false, "suppress per-probe progress")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := route.CalibrateConfig{
+		Eval: eval.Config{
+			DataDir: *dataDir,
+			OutDir:  *outDir,
+			Width:   *width,
+			Height:  *height,
+		},
+		Models:    splitList(*models),
+		Scenarios: splitList(*scns),
+	}
+	if !*quiet {
+		cfg.Log = func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	if *smoke {
+		if err := runSmoke(ctx, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("calibrate smoke: ok")
+		return
+	}
+
+	store, err := route.OpenProfileStore(*profiles)
+	if err != nil {
+		fatal(err)
+	}
+	records, err := route.Calibrate(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := store.Append(records); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("appended %d records to %s (%d total)\n\n", len(records), store.Path(), store.Len())
+	router := route.NewRouter(store.Latest(), nil)
+	fmt.Println(route.Report(router, store.Path()).Format())
+}
+
+// runSmoke is the CI gate: two calibrations over a fixed 2-scenario
+// slice must agree exactly, and the compiled routes must price
+// edit-intent below cold writes.
+func runSmoke(ctx context.Context, cfg route.CalibrateConfig) error {
+	cfg.Scenarios = []string{"iso", "slice"}
+	a, err := route.Calibrate(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	b, err := route.Calibrate(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("smoke: record counts differ across runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Model != b[i].Model || a[i].Task != b[i].Task ||
+			a[i].Score != b[i].Score || a[i].ProbeHash != b[i].ProbeHash {
+			return fmt.Errorf("smoke: calibration not deterministic at %s/%s: score %v vs %v, hash %s vs %s",
+				a[i].Model, a[i].Task, a[i].Score, b[i].Score, a[i].ProbeHash, b[i].ProbeHash)
+		}
+	}
+	for i := range a {
+		a[i].Seq = i + 1
+	}
+	router := route.NewRouter(route.NewProfileSet(a), nil)
+	var editCost, writeCost float64
+	var editModel, writeModel string
+	for _, v := range router.Routes() {
+		switch v.Task {
+		case llm.TaskEditIntent:
+			editCost, editModel = v.Ladder[0].CostWeight, v.Ladder[0].Model
+		case llm.TaskWrite:
+			writeCost, writeModel = v.Ladder[0].CostWeight, v.Ladder[0].Model
+		}
+	}
+	if editModel == "" || writeModel == "" {
+		return fmt.Errorf("smoke: missing route (edit-intent=%q write=%q)", editModel, writeModel)
+	}
+	if editCost >= writeCost {
+		return fmt.Errorf("smoke: edit-intent routes to %s (cost %.2f), not cheaper than write's %s (%.2f)",
+			editModel, editCost, writeModel, writeCost)
+	}
+	fmt.Printf("smoke: %d records deterministic; edit-intent→%s (%.2f) < write→%s (%.2f)\n",
+		len(a), editModel, editCost, writeModel, writeCost)
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

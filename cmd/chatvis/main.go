@@ -15,8 +15,10 @@
 //	chatvis> Raise the isovalue to 0.7.
 //	chatvis> Color the result by the var0 data array.
 //
-// -interactive composes with every other flag; -prompt then seeds the
-// first turn. Both modes (and -unassisted) drive the same session API
+// -route serves each assisted stage from the cheapest calibrated model
+// clearing its task's bar (docs/routing.md); routed turns report which
+// models served them. -interactive composes with every other flag;
+// -prompt then seeds the first turn. Both modes (and -unassisted) drive the same session API
 // chatvisd serves. Generate the input datasets first with
 // `datagen -dir ./data`.
 package main
@@ -35,6 +37,7 @@ import (
 	"chatvis/internal/chatvis"
 	"chatvis/internal/llm"
 	"chatvis/internal/pvpython"
+	"chatvis/internal/route"
 )
 
 func main() {
@@ -52,6 +55,8 @@ func main() {
 		trace       = flag.Bool("trace", false, "print the per-stage session trace")
 		verbose     = flag.Bool("v", false, "print per-iteration transcripts")
 		interactive = flag.Bool("interactive", false, "multi-turn REPL: later lines edit the current pipeline")
+		routed      = flag.Bool("route", false, "route assisted calls through measured model profiles (-model stays the fallback)")
+		profiles    = flag.String("profiles", "profiles.json", "calibrated profile store (see cmd/calibrate)")
 	)
 	flag.Parse()
 	if *prompt == "" && !*interactive {
@@ -81,6 +86,29 @@ func main() {
 		mws = append(mws, llm.WithCache())
 	}
 	model := llm.Chain(base, mws...)
+	if *routed {
+		if *unassist {
+			fatal(fmt.Errorf("-route measures the assistant's task mix; it does not compose with -unassisted"))
+		}
+		store, err := route.OpenProfileStore(*profiles)
+		if err != nil {
+			fatal(err)
+		}
+		if store.Len() == 0 {
+			fatal(fmt.Errorf("profile store %s is empty; run cmd/calibrate first", *profiles))
+		}
+		router := route.NewRouter(store.Latest(), nil)
+		// Routed picks resolve through the same middleware stack so cache
+		// and metrics behave identically either way.
+		model = router.Client(*modelName, func(name string) (llm.Client, error) {
+			picked, err := llm.NewModel(name)
+			if err != nil {
+				return nil, err
+			}
+			return llm.Chain(picked, mws...), nil
+		})
+		fmt.Printf("routing via %s (%d live profiles)\n", *profiles, store.Latest().Len())
+	}
 	runner := &pvpython.Runner{DataDir: *dataDir, OutDir: *outDir}
 
 	// Both the one-shot and interactive paths drive the session API —
@@ -189,6 +217,11 @@ func reportTurn(turn *chatvis.Turn, outDir string, verbose, trace bool, metrics 
 		fmt.Printf("turn %d: success after %d iteration(s) in %v (%d tokens)\n",
 			turn.Index, art.NumIterations(), art.Trace.TotalDuration().Round(1e6),
 			art.Trace.TotalUsage().TotalTokens())
+		// Only routed turns split across models; with routing off this
+		// line never prints, keeping the default output byte-stable.
+		if models := art.Trace.Models(); len(models) > 1 {
+			fmt.Printf("  models: %s\n", strings.Join(models, ", "))
+		}
 		if turn.ParentPlanHash != "" {
 			fmt.Printf("  delta: %s (%d stage(s) changed, %d re-executed)\n",
 				turn.DeltaSummary, len(turn.ChangedStages), turn.ExecutionsDelta)

@@ -17,8 +17,8 @@
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, POST /v1/sessions,
 // POST /v1/sessions/{id}/turns, GET /v1/sessions/{id},
 // GET /v1/sessions/{id}/events (SSE), GET /v1/artifacts/{hash},
-// GET /v1/scenarios, GET /v1/traces, GET /v1/traces/{id},
-// GET /healthz, GET /metrics. See the README and docs/sessions.md for
+// GET /v1/scenarios, GET /v1/models, GET /v1/traces,
+// GET /v1/traces/{id}, GET /healthz, GET /metrics. See the README and docs/sessions.md for
 // curl examples. Sessions are persisted in the artifact store and
 // survive restarts. SIGINT/SIGTERM drain in-flight jobs and turns
 // before exiting; a second signal exits immediately.
@@ -29,6 +29,16 @@
 // -pprof-addr serves net/http/pprof on a separate listener; -version
 // prints the build identity that /metrics exports as
 // chatvis_build_info.
+//
+// Measured model routing (docs/routing.md) serves each assisted LLM
+// call from the cheapest profiled model clearing its task's quality
+// bar, escalating on repeated validation failure:
+//
+//	chatvisd -route -profiles-path profiles.json [-calibrate-on-start]
+//
+// Profiles come from cmd/calibrate (or -calibrate-on-start probes the
+// registry at boot); GET /v1/models and the chatvis_route_* metric
+// families expose the live route state.
 //
 // Cluster mode shards one logical service across several daemons:
 //
@@ -64,6 +74,7 @@ import (
 	"chatvis/internal/llm"
 	"chatvis/internal/obs"
 	"chatvis/internal/par"
+	"chatvis/internal/route"
 	"chatvis/internal/service"
 )
 
@@ -100,6 +111,13 @@ type daemonConfig struct {
 	tenantRPS      float64
 	tenantBurst    int
 	tenantInflight int
+
+	// routeOn enables measured model routing of assisted traffic;
+	// profilesPath names the calibration store; calibrateOnStart probes
+	// the registry at boot when the store is empty.
+	routeOn          bool
+	profilesPath     string
+	calibrateOnStart bool
 
 	// logger is the daemon's root structured logger (nil → slog.Default).
 	logger *slog.Logger
@@ -191,6 +209,13 @@ func buildDaemon(cfg daemonConfig) (*daemon, error) {
 	if cfg.full {
 		size = eval.DataFull
 	}
+	var router *route.Router
+	if cfg.routeOn {
+		router, err = buildRouter(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	pipeCfg := service.PipelineConfig{
 		DataDir:      cfg.dataDir,
 		OutDir:       filepath.Join(cfg.outDir, "jobs"),
@@ -199,6 +224,7 @@ func buildDaemon(cfg daemonConfig) (*daemon, error) {
 		Metrics:      metrics,
 		DisableCache: cfg.noCache,
 		DatasetCache: dsCache,
+		Router:       router,
 	}
 	// One backend for both surfaces: jobs and session turns share the
 	// per-model LLM response caches.
@@ -253,6 +279,9 @@ func buildDaemon(cfg daemonConfig) (*daemon, error) {
 		WithTracer(tracer).
 		WithLogger(logger).
 		WithBuildVersion(version)
+	if router != nil {
+		server.WithRouter(router, cfg.profilesPath)
+	}
 	if wal != nil {
 		server.WithWAL(wal)
 	}
@@ -268,6 +297,45 @@ func buildDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 	d.server = server
 	return d, nil
+}
+
+// buildRouter compiles the routing ladders from the profile store,
+// probing the registry first when -calibrate-on-start finds the store
+// empty. Routing with an empty store and no calibration mandate is a
+// configuration error: silently serving everything from the fallback
+// would look like routing while measuring nothing.
+func buildRouter(cfg daemonConfig) (*route.Router, error) {
+	store, err := route.OpenProfileStore(cfg.profilesPath)
+	if err != nil {
+		return nil, err
+	}
+	if store.Len() == 0 {
+		if !cfg.calibrateOnStart {
+			return nil, fmt.Errorf("routing enabled but profile store %s is empty; run cmd/calibrate or pass -calibrate-on-start", cfg.profilesPath)
+		}
+		size := eval.DataSmall
+		if cfg.full {
+			size = eval.DataFull
+		}
+		records, err := route.Calibrate(context.Background(), route.CalibrateConfig{
+			Eval: eval.Config{
+				DataDir:  cfg.dataDir,
+				OutDir:   filepath.Join(cfg.outDir, "calibration"),
+				DataSize: size,
+			},
+			Log: func(format string, args ...interface{}) {
+				slog.Info("calibrate: " + fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("calibrate-on-start: %w", err)
+		}
+		if err := store.Append(records); err != nil {
+			return nil, err
+		}
+		slog.Info("calibrated model profiles", "records", len(records), "path", store.Path())
+	}
+	return route.NewRouter(store.Latest(), nil), nil
 }
 
 func main() {
@@ -300,6 +368,13 @@ func main() {
 			"per-tenant burst allowance (default ceil(tenant-rps))")
 		tenantInflight = flag.Int("tenant-inflight", 0,
 			"per-tenant cap on concurrently executing submissions (0 = unlimited)")
+
+		routeOn = flag.Bool("route", false,
+			"route assisted LLM calls to the cheapest profiled model clearing each task's bar")
+		profilesPath = flag.String("profiles-path", "profiles.json",
+			"model profile store written by cmd/calibrate (versioned JSON)")
+		calibrateOnStart = flag.Bool("calibrate-on-start", false,
+			"probe the model registry at boot when -route finds an empty profile store")
 
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
@@ -341,24 +416,27 @@ func main() {
 	}()
 
 	d, err := buildDaemon(daemonConfig{
-		dataDir:        *dataDir,
-		outDir:         *outDir,
-		storeDir:       *storeDir,
-		workers:        *workers,
-		queueCap:       *queueCap,
-		retries:        *retries,
-		full:           *full,
-		noCache:        *noCache,
-		computeWorkers: *computeWorkers,
-		datasetCacheMB: *datasetCacheMB,
-		nodeID:         *nodeID,
-		peers:          *peers,
-		walDir:         *walDir,
-		tenantRPS:      *tenantRPS,
-		tenantBurst:    *tenantBurst,
-		tenantInflight: *tenantInflight,
-		logger:         logger,
-		traceCapacity:  *traceCap,
+		dataDir:          *dataDir,
+		outDir:           *outDir,
+		storeDir:         *storeDir,
+		workers:          *workers,
+		queueCap:         *queueCap,
+		retries:          *retries,
+		full:             *full,
+		noCache:          *noCache,
+		computeWorkers:   *computeWorkers,
+		datasetCacheMB:   *datasetCacheMB,
+		nodeID:           *nodeID,
+		peers:            *peers,
+		walDir:           *walDir,
+		tenantRPS:        *tenantRPS,
+		tenantBurst:      *tenantBurst,
+		tenantInflight:   *tenantInflight,
+		routeOn:          *routeOn,
+		profilesPath:     *profilesPath,
+		calibrateOnStart: *calibrateOnStart,
+		logger:           logger,
+		traceCapacity:    *traceCap,
 	})
 	if err != nil {
 		logger.Error("startup failed", "err", err)

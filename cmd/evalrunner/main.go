@@ -27,6 +27,8 @@ import (
 
 	"chatvis/internal/eval"
 	"chatvis/internal/imgcmp"
+	"chatvis/internal/llm"
+	"chatvis/internal/route"
 )
 
 func main() {
@@ -43,6 +45,8 @@ func main() {
 		workers = flag.Int("workers", 2*runtime.NumCPU(), "grid worker pool size")
 		serial  = flag.Bool("serial", false, "paper-style serial sweep (no worker pool, no shared ground truth)")
 		stats   = flag.Bool("stats", true, "print per-cell session traces (duration, LLM calls, tokens)")
+		routed  = flag.Bool("route", false, "route assisted-pipeline calls through measured model profiles")
+		prof    = flag.String("profiles", "profiles.json", "calibrated profile store (see cmd/calibrate)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -66,6 +70,21 @@ func main() {
 	}
 	if *full {
 		cfg.DataSize = eval.DataFull
+	}
+	var router *route.Router
+	if *routed {
+		store, err := route.OpenProfileStore(*prof)
+		if err != nil {
+			fatal(err)
+		}
+		if store.Len() == 0 {
+			fatal(fmt.Errorf("profile store %s is empty; run cmd/calibrate first", *prof))
+		}
+		router = route.NewRouter(store.Latest(), nil)
+		cfg.PipelineClient = func(defaultModel string) (llm.Client, error) {
+			return router.Client(defaultModel, llm.NewModel), nil
+		}
+		fmt.Printf("routing assisted calls via %s (%d live profiles)\n", *prof, store.Latest().Len())
 	}
 	runGrid := func() (*eval.Table2, error) {
 		start := time.Now()
@@ -162,8 +181,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(mt.Format())
+		var routing *eval.RoutingTable
+		if router != nil {
+			routing = route.Report(router, *prof)
+			fmt.Printf("routing decisions:\n%s\n", routing.Format())
+		}
 		report := filepath.Join(*outDir, "report.md")
-		if err := eval.WriteReport(report, t2, t1, figs, mt); err != nil {
+		if err := eval.WriteReport(report, t2, t1, figs, mt, routing); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("report written to %s\n", report)

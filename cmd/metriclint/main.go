@@ -22,6 +22,7 @@ import (
 	"chatvis/internal/data"
 	"chatvis/internal/llm"
 	"chatvis/internal/obs"
+	"chatvis/internal/route"
 	"chatvis/internal/service"
 )
 
@@ -32,6 +33,12 @@ var nameRE = regexp.MustCompile(`^chatvis_[a-z][a-z0-9_]*$`)
 // chatvis_par_* group is the sweep-scheduler telemetry of the parallel
 // compute substrate.
 var requiredFamilies = []string{
+	// Measured model routing (docs/routing.md).
+	"chatvis_route_decisions_total",
+	"chatvis_route_escalations_total",
+	"chatvis_route_fallbacks_total",
+	"chatvis_route_profiles",
+	"chatvis_route_task_decisions_total",
 	"chatvis_compute_workers",
 	"chatvis_par_parallelism",
 	"chatvis_par_sweeps_total",
@@ -98,15 +105,24 @@ func scrape() (string, error) {
 	}
 	sessions := service.NewSessions(store, factory)
 
+	// A synthetic two-rung profile set stands in for a calibrated store:
+	// the lint checks exposition shape, not measurement.
+	router := route.NewRouter(route.NewProfileSet([]route.ModelProfile{
+		{Model: "codegemma", Task: llm.TaskEditIntent, Score: 1.0, CostWeight: 0.04, Seq: 1},
+		{Model: "gpt-4", Task: llm.TaskEditIntent, Score: 1.0, CostWeight: 1.0, Seq: 2},
+		{Model: "gpt-4", Task: llm.TaskWrite, Score: 0.9, CostWeight: 1.0, Seq: 3},
+	}), nil)
+
 	server := service.NewServer(queue, store, metrics).
-		WithDatasetCache(data.NewCache(1 << 20)).
+		WithDatasetCache(data.NewCache(1<<20)).
 		WithSessions(sessions).
 		WithWAL(wal).
 		WithCluster(cl).
 		WithQuotas(cluster.NewQuotas(cluster.QuotaConfig{RPS: 1, MaxInflight: 1})).
 		WithTracer(obs.NewTracer("n1", 0)).
 		WithLogger(obs.NewLogger(io.Discard, "error", "text")).
-		WithBuildVersion("metriclint")
+		WithBuildVersion("metriclint").
+		WithRouter(router, "profiles.json")
 
 	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
 	req.Header.Set("Accept", "application/openmetrics-text")

@@ -123,6 +123,17 @@ Example code snippets for various operations:
 
 %s`
 
+// RewriteRequest returns the exact request the prompt-generation stage
+// sends for a user prompt. The route calibrator replays it as the
+// edit-intent probe, so probes measure the stage's real prompt shape.
+func RewriteRequest(userPrompt string) llm.Request {
+	return llm.Request{
+		System: rewriteSystem + "\n\n" + ExamplePromptPair,
+		User:   userPrompt,
+		Task:   llm.TaskEditIntent,
+	}
+}
+
 // repairSystem frames the correction request (stage 3).
 const repairSystem = `You are an expert in ParaView Python scripting.
 The previously generated script failed to execute. Use the error messages

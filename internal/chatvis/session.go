@@ -238,7 +238,13 @@ func (s *Session) complete(ctx context.Context, trace *Trace, stage string, req 
 	span.SetAttr("completion_tokens", resp.Usage.CompletionTokens)
 	span.SetAttr("cache_hit", resp.CacheHit)
 	span.SetAttr("attempts", resp.Attempts)
-	trace.addLLM(stage, resp, time.Since(start))
+	if req.Task != "" {
+		span.SetAttr("task", string(req.Task))
+	}
+	if req.Escalation > 0 {
+		span.SetAttr("escalation", req.Escalation)
+	}
+	trace.addLLM(stage, req, resp, time.Since(start))
 	return resp.Text, nil
 }
 
@@ -295,6 +301,11 @@ func (s *Session) planRepair(ctx context.Context, trace *Trace, script string) (
 			fmt.Sprintf("%s-%d", StagePlanRepair, round), llm.Request{
 				System: repairSystem,
 				User:   llm.BuildPlanRepairUser(script, diags),
+				// Regenerating the script from plan diagnostics is
+				// writer-class work; round 2 means round 1's repair
+				// left diagnostics standing, so escalate.
+				Task:       llm.TaskWrite,
+				Escalation: round - 1,
 			})
 		if err != nil {
 			return "", fmt.Errorf("chatvis: plan repair: %w", err)
@@ -392,10 +403,7 @@ func (s *Session) runAssisted(ctx context.Context, idx int, userPrompt string) (
 	// Stage 1: prompt generation.
 	genPrompt := userPrompt
 	if s.opt.rewritePrompt {
-		resp, err := s.complete(ctx, &art.Trace, StageRewrite, llm.Request{
-			System: rewriteSystem + "\n\n" + ExamplePromptPair,
-			User:   userPrompt,
-		})
+		resp, err := s.complete(ctx, &art.Trace, StageRewrite, RewriteRequest(userPrompt))
 		if err != nil {
 			return nil, fmt.Errorf("chatvis: prompt generation: %w", err)
 		}
@@ -414,6 +422,7 @@ func (s *Session) runAssisted(ctx context.Context, idx int, userPrompt string) (
 	resp, err := s.complete(ctx, &art.Trace, StageGenerate, llm.Request{
 		System: genSys,
 		User:   genPrompt,
+		Task:   llm.TaskWrite,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chatvis: script generation: %w", err)
@@ -453,6 +462,12 @@ func (s *Session) runAssisted(ctx context.Context, idx int, userPrompt string) (
 			fmt.Sprintf("%s-%d", StageRepair, iter+1), llm.Request{
 				System: repairSystem,
 				User:   llm.BuildRepairUser(script, errext.Summarize(reports)),
+				// Traceback repair regenerates the whole script —
+				// writer-class work. iter counts previous failed repair
+				// rounds: the first repair runs on the primary model,
+				// later rounds climb the router's strength ladder.
+				Task:       llm.TaskWrite,
+				Escalation: iter,
 			})
 		if err != nil {
 			return nil, fmt.Errorf("chatvis: script repair: %w", err)
@@ -474,10 +489,12 @@ func (s *Session) runUnassisted(ctx context.Context, idx int, userPrompt string)
 	art.Trace.OnAdd = s.stageObserver(ctx, idx)
 	_, llmSpan := obs.Start(ctx, "llm."+StageGenerate)
 	start := time.Now()
-	resp, err := s.model.Complete(ctx, llm.Request{
+	req := llm.Request{
 		System: "Generate a ParaView Python script for the user's request.",
 		User:   userPrompt,
-	})
+		Task:   llm.TaskWrite,
+	}
+	resp, err := s.model.Complete(ctx, req)
 	if err != nil {
 		llmSpan.SetError(err)
 		llmSpan.End()
@@ -489,7 +506,7 @@ func (s *Session) runUnassisted(ctx context.Context, idx int, userPrompt string)
 	llmSpan.SetAttr("cache_hit", resp.CacheHit)
 	llmSpan.SetAttr("attempts", resp.Attempts)
 	llmSpan.End()
-	art.Trace.addLLM(StageGenerate, resp, time.Since(start))
+	art.Trace.addLLM(StageGenerate, req, resp, time.Since(start))
 	// No assistant post-processing: the raw response runs as-is, which is
 	// how markdown fences become syntax errors.
 	script := resp.Text
@@ -542,6 +559,7 @@ func (s *Session) editTurn(ctx context.Context, idx int, prompt string) (*Turn, 
 	resp, err := s.complete(ctx, &art.Trace, StageEdit, llm.Request{
 		System: llm.EditSystem,
 		User:   llm.BuildPlanEditUser(parent, prompt),
+		Task:   llm.TaskPlanDelta,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chatvis: plan edit: %w", err)
@@ -576,6 +594,10 @@ func (s *Session) editTurn(ctx context.Context, idx int, prompt string) (*Turn, 
 			fmt.Sprintf("%s-%d", StageEditRepair, round), llm.Request{
 				System: llm.EditSystem,
 				User:   llm.BuildPlanDeltaRepairUser(proposed, diags),
+				// Structured plan-document repair: round 2 means the
+				// first repair attempt left diagnostics, so escalate.
+				Task:       llm.TaskPlanRepair,
+				Escalation: round - 1,
 			})
 		if err != nil {
 			return nil, fmt.Errorf("chatvis: plan-edit repair: %w", err)

@@ -40,7 +40,16 @@ type StageTrace struct {
 	// Stage names the step ("rewrite", "generate", "repair-1", "exec-1").
 	Stage string `json:"stage"`
 	// Model is the client that served an LLM stage (empty for exec).
+	// Under routing this is the model the router actually picked, which
+	// may differ per stage — the routed-model provenance of the turn.
 	Model string `json:"model,omitempty"`
+	// Task is the request's task kind for an LLM stage ("write",
+	// "plan-repair", "edit-intent", "plan-delta"; empty for exec).
+	Task string `json:"task,omitempty"`
+	// Escalation is the request's escalation level (0 = primary model;
+	// N>0 = the Nth rung of the router's strength ladder after repeated
+	// validation/repair failures).
+	Escalation int `json:"escalation,omitempty"`
 	// Duration is the stage's wall-clock time (nanoseconds in JSON).
 	Duration time.Duration `json:"duration_ns"`
 	// Usage is the LLM usage (zero for exec stages).
@@ -78,16 +87,35 @@ func (t *Trace) add(s StageTrace) {
 	}
 }
 
-// addLLM records a completed LLM stage from its response.
-func (t *Trace) addLLM(stage string, resp llm.Response, elapsed time.Duration) {
+// addLLM records a completed LLM stage from its request and response:
+// the request carries task/escalation provenance, the response carries
+// the serving model and usage.
+func (t *Trace) addLLM(stage string, req llm.Request, resp llm.Response, elapsed time.Duration) {
 	t.add(StageTrace{
-		Stage:    stage,
-		Model:    resp.Model,
-		Duration: elapsed,
-		Usage:    resp.Usage,
-		CacheHit: resp.CacheHit,
-		Attempts: resp.Attempts,
+		Stage:      stage,
+		Model:      resp.Model,
+		Task:       string(req.Task),
+		Escalation: req.Escalation,
+		Duration:   elapsed,
+		Usage:      resp.Usage,
+		CacheHit:   resp.CacheHit,
+		Attempts:   resp.Attempts,
 	})
+}
+
+// Models returns the distinct serving models of the trace's LLM stages,
+// in first-use order. More than one entry means the stages were routed
+// to different models (per-task routing or escalation).
+func (t *Trace) Models() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range t.Stages {
+		if s.Model != "" && !seen[s.Model] {
+			seen[s.Model] = true
+			out = append(out, s.Model)
+		}
+	}
+	return out
 }
 
 // TotalDuration sums all stage durations.
@@ -134,6 +162,12 @@ func (t *Trace) Format() string {
 				notes += " "
 			}
 			notes += fmt.Sprintf("attempts=%d", s.Attempts)
+		}
+		if s.Escalation > 0 {
+			if notes != "" {
+				notes += " "
+			}
+			notes += fmt.Sprintf("esc=%d", s.Escalation)
 		}
 		fmt.Fprintf(&b, "%-12s %-14s %12s %8d %8d %s\n",
 			s.Stage, s.Model, s.Duration.Round(time.Microsecond),

@@ -273,7 +273,11 @@ func TestWriteReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "report.md")
-	if err := WriteReport(path, t2, t1, []*FigureResult{fig}, mt); err != nil {
+	routing := &RoutingTable{Rows: []RoutingRow{{
+		Task: "edit-intent", Model: "codegemma", Score: 1.0, Bar: 0.90,
+		CostWeight: 0.04, Decisions: 3, Ladder: []string{"codegemma", "gpt-4"},
+	}}}
+	if err := WriteReport(path, t2, t1, []*FigureResult{fig}, mt, routing); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -282,7 +286,8 @@ func TestWriteReport(t *testing.T) {
 	}
 	text := string(data)
 	for _, want := range []string{"Table II", "Table I", "Fig. 2", "ChatVis",
-		"Multi-turn conversations", "turn 2 plan-sim"} {
+		"Multi-turn conversations", "turn 2 plan-sim",
+		"Model routing", "codegemma | 1.00 | 0.90"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("report missing %q", want)
 		}

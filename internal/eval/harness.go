@@ -42,6 +42,31 @@ type Config struct {
 	FewShot int
 	// NoRewrite disables the prompt-generation stage (ablation).
 	NoRewrite bool
+	// NewClient overrides how cells obtain the client for a named model
+	// (default llm.NewModel) — middleware or stub injection.
+	NewClient func(model string) (llm.Client, error)
+	// PipelineClient overrides the client of the *assisted* cells (the
+	// ChatVis column and the multi-turn track), where the model is the
+	// system's choice rather than the experiment's variable — this is
+	// where a routing client plugs in. The argument is the pipeline's
+	// default base model ("gpt-4"). Default: NewClient.
+	PipelineClient func(defaultModel string) (llm.Client, error)
+}
+
+// clientFor resolves a named model through the NewClient hook.
+func (c Config) clientFor(model string) (llm.Client, error) {
+	if c.NewClient != nil {
+		return c.NewClient(model)
+	}
+	return llm.NewModel(model)
+}
+
+// pipelineClient resolves the assisted pipeline's client.
+func (c Config) pipelineClient(defaultModel string) (llm.Client, error) {
+	if c.PipelineClient != nil {
+		return c.PipelineClient(defaultModel)
+	}
+	return c.clientFor(defaultModel)
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +113,10 @@ type CellResult struct {
 	Usage llm.Usage
 	// LLMCalls counts model invocations the session consumed.
 	LLMCalls int
+	// Models are the distinct serving models of the session's stages in
+	// first-use order. One entry when a single model served everything;
+	// several when a router split the stages by task.
+	Models []string
 }
 
 // groundTruth runs the reference script for a scenario and returns the
@@ -140,6 +169,7 @@ func (cell *CellResult) fillFromArtifact(c Config, scn Scenario, gt image.Image,
 	cell.Duration = art.Trace.TotalDuration()
 	cell.Usage = art.Trace.TotalUsage()
 	cell.LLMCalls = art.Trace.LLMCalls()
+	cell.Models = art.Trace.Models()
 	if len(art.Screenshots) > 0 {
 		cell.Screenshot, cell.Metrics = judge(gt, art.Screenshots, nil)
 	}
@@ -196,33 +226,57 @@ func (c Config) runCell(ctx context.Context, scn Scenario, modelName string, gts
 		return CellResult{}, nil, err
 	}
 	cell := CellResult{Model: modelName, Task: scn.Row}
-	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir}
-	var art *chatvis.Artifact
+	var model llm.Client
 	if modelName == ChatVisModel {
-		model, err := llm.NewModel("gpt-4")
-		if err != nil {
-			return CellResult{}, nil, err
-		}
-		assistant, err := chatvis.NewAssistant(model, runner,
-			chatvis.WithMaxIterations(c.MaxIterations),
-			chatvis.WithFewShot(c.FewShot),
-			chatvis.WithRewrite(!c.NoRewrite))
-		if err != nil {
-			return CellResult{}, nil, err
-		}
-		art, err = assistant.Run(ctx, scn.UserPrompt(c.Width, c.Height))
-		if err != nil {
-			return CellResult{}, nil, err
-		}
+		model, err = c.pipelineClient("gpt-4")
 	} else {
-		model, err := llm.NewModel(modelName)
-		if err != nil {
-			return CellResult{}, nil, err
-		}
-		art, err = chatvis.Unassisted(ctx, model, runner, scn.UserPrompt(c.Width, c.Height))
-		if err != nil {
-			return CellResult{}, nil, err
-		}
+		model, err = c.clientFor(modelName)
+	}
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	art, err := c.runScenario(ctx, scn, model, modelName == ChatVisModel, outDir)
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	cell.fillFromArtifact(c, scn, gt, art)
+	return cell, art, nil
+}
+
+// runScenario executes one scenario against an explicit client.
+func (c Config) runScenario(ctx context.Context, scn Scenario, model llm.Client, assisted bool, outDir string) (*chatvis.Artifact, error) {
+	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir}
+	if !assisted {
+		return chatvis.Unassisted(ctx, model, runner, scn.UserPrompt(c.Width, c.Height))
+	}
+	assistant, err := chatvis.NewAssistant(model, runner,
+		chatvis.WithMaxIterations(c.MaxIterations),
+		chatvis.WithFewShot(c.FewShot),
+		chatvis.WithRewrite(!c.NoRewrite))
+	if err != nil {
+		return nil, err
+	}
+	return assistant.Run(ctx, scn.UserPrompt(c.Width, c.Height))
+}
+
+// RunScenario evaluates one scenario with an explicit client — the
+// probe entry point of the route calibrator (assisted exercises the
+// full loop, unassisted the bare model). Datasets are prepared on
+// demand; the scenario's ground truth renders into OutDir.
+func (c Config) RunScenario(ctx context.Context, scn Scenario, model llm.Client, assisted bool) (CellResult, *chatvis.Artifact, error) {
+	c = c.withDefaults()
+	if err := EnsureData(c.DataDir, c.DataSize); err != nil {
+		return CellResult{}, nil, err
+	}
+	gt, err := c.groundTruth(scn)
+	if err != nil {
+		return CellResult{}, nil, err
+	}
+	cell := CellResult{Model: model.Name(), Task: scn.Row}
+	art, err := c.runScenario(ctx, scn, model, assisted,
+		filepath.Join(c.OutDir, "probe", model.Name(), scn.ID))
+	if err != nil {
+		return CellResult{}, nil, err
 	}
 	cell.fillFromArtifact(c, scn, gt, art)
 	return cell, art, nil
@@ -307,9 +361,15 @@ func (t *Table2) FormatStats() string {
 	for _, task := range t.Tasks {
 		for _, m := range t.Models {
 			cell := t.Cells[task][m]
-			fmt.Fprintf(&b, "%-26s %-14s %12s %6d %8d %6d\n",
+			fmt.Fprintf(&b, "%-26s %-14s %12s %6d %8d %6d",
 				task, m, cell.Duration.Round(time.Microsecond),
 				cell.LLMCalls, cell.Usage.TotalTokens(), cell.Iterations)
+			// Annotate only routed cells (several serving models), so the
+			// output is byte-identical to earlier builds when routing is off.
+			if len(cell.Models) > 1 {
+				fmt.Fprintf(&b, "  models=%s", strings.Join(cell.Models, ","))
+			}
+			b.WriteString("\n")
 		}
 	}
 	return b.String()
@@ -407,10 +467,10 @@ func (c Config) RunFigure(ctx context.Context, scn Scenario) (*FigureResult, err
 	return fr, nil
 }
 
-// WriteReport renders a Table II grid, per-figure metrics and the
-// multi-turn conversational track into a markdown file. Any section may
-// be nil.
-func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult, mt *MultiTurnTable) error {
+// WriteReport renders a Table II grid, per-figure metrics, the
+// multi-turn conversational track and the routing table into a
+// markdown file. Any section may be nil.
+func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult, mt *MultiTurnTable, routing *RoutingTable) error {
 	var b strings.Builder
 	b.WriteString("# ChatVis reproduction — measured results\n\n")
 	b.WriteString("## Table II: LLM comparison (Error = syntax/runtime error, SS = correct screenshot)\n\n```\n")
@@ -504,6 +564,10 @@ func WriteReport(path string, t2 *Table2, t1 *Table1, figs []*FigureResult, mt *
 			}
 			fmt.Fprintf(&b, " %s | %s |\n", strings.Join(deltas, ","), strings.Join(shots, ","))
 		}
+	}
+	if routing != nil && len(routing.Rows) > 0 {
+		b.WriteString("\n## Model routing (per-task primary, measured score vs. bar, escalations)\n\n")
+		b.WriteString(routing.Format())
 	}
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -10,7 +10,6 @@ import (
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/imgcmp"
-	"chatvis/internal/llm"
 	"chatvis/internal/plan"
 	"chatvis/internal/pvpython"
 	"chatvis/internal/pvsim"
@@ -214,7 +213,7 @@ func (c Config) RunMultiTurn(ctx context.Context) (*MultiTurnTable, error) {
 func (c Config) runMultiTurnScenario(ctx context.Context, mts MultiTurnScenario) (MultiTurnResult, error) {
 	outDir := filepath.Join(c.OutDir, "multiturn", mts.ID)
 	runner := &pvpython.Runner{DataDir: c.DataDir, OutDir: outDir}
-	model, err := llm.NewModel("gpt-4")
+	model, err := c.pipelineClient("gpt-4")
 	if err != nil {
 		return MultiTurnResult{}, err
 	}

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RoutingRow is one task's routing outcome during an eval run: which
+// model the router chose as the task's primary, the measured score it
+// cleared the bar with, and how often the run escalated above it.
+//
+// The types are pure data so the harness stays decoupled from the
+// route package (which itself drives the harness during calibration);
+// runners fill them from route.Router.Routes().
+type RoutingRow struct {
+	Task string
+	// Model is the primary (rung 0) serving model.
+	Model string
+	// Score is the model's measured probe score, Bar the task's minimum.
+	Score float64
+	Bar   float64
+	// CostWeight is the primary's relative per-call cost.
+	CostWeight float64
+	// Decisions counts completions the router profile-routed for this
+	// task; Escalations counts how many were served above rung 0.
+	Decisions   int64
+	Escalations int64
+	// Ladder lists the escalation order (primary first).
+	Ladder []string
+}
+
+// RoutingTable is the routing section of an eval report.
+type RoutingTable struct {
+	// ProfilesPath is the calibration store the router was built from.
+	ProfilesPath string
+	Rows         []RoutingRow
+}
+
+// Format renders the routing table as markdown.
+func (t *RoutingTable) Format() string {
+	var b strings.Builder
+	if t.ProfilesPath != "" {
+		fmt.Fprintf(&b, "Profiles: `%s`\n\n", t.ProfilesPath)
+	}
+	b.WriteString("| Task | Model | Score | Bar | Cost | Decisions | Escalations | Ladder |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %.2f | %.2f | %d | %d | %s |\n",
+			r.Task, r.Model, r.Score, r.Bar, r.CostWeight,
+			r.Decisions, r.Escalations, strings.Join(r.Ladder, " → "))
+	}
+	return b.String()
+}

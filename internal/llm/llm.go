@@ -17,6 +17,18 @@ import (
 type Request struct {
 	System string
 	User   string
+
+	// Task classifies what the call asks the model to do (see TaskKind).
+	// A routing client selects the serving model by task; untagged
+	// requests fall through to the configured model. Simulated backends
+	// ignore it — they dispatch on prompt markers, like a real model
+	// reads its prompt.
+	Task TaskKind
+	// Escalation is the caller's failure count for this logical step: 0
+	// for a first attempt, incremented each time a validation/repair
+	// round has to re-ask. A routing client walks one rung up its
+	// strength ladder per escalation, bounded by the task's budget.
+	Escalation int
 }
 
 // Client is the LLM interface the assistant talks to — shaped like a

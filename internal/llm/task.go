@@ -1,0 +1,38 @@
+package llm
+
+// TaskKind classifies what a completion request asks the model to do.
+// The pipeline stages in internal/chatvis tag every Request with one of
+// these; the route.Router selects a model per kind from measured
+// profiles instead of sending everything to the configured model.
+//
+// The kinds partition the call sites by the *capability* they need, not
+// by stage name:
+//
+//   - TaskWrite: full-script synthesis and script-level repair — the
+//     generate stage plus the traceback and plan-diagnostic repair
+//     rounds that regenerate the whole script. One capability, measured
+//     end-to-end by the write probe (the assisted loop includes its own
+//     repairs).
+//   - TaskPlanRepair: structured repair of a plan document from schema
+//     diagnostics (the conversational edit path's validation repair).
+//   - TaskEditIntent: natural-language intent extraction — the prompt
+//     rewrite stage.
+//   - TaskPlanDelta: proposing a target plan from (current plan,
+//     follow-up utterance) — the conversational edit proposal.
+//   - TaskProbe: calibration traffic. Probes measure models directly,
+//     so a router never redirects them.
+type TaskKind string
+
+const (
+	TaskWrite      TaskKind = "write"
+	TaskPlanRepair TaskKind = "plan-repair"
+	TaskEditIntent TaskKind = "edit-intent"
+	TaskPlanDelta  TaskKind = "plan-delta"
+	TaskProbe      TaskKind = "probe"
+)
+
+// TaskKinds lists the routable task kinds (TaskProbe excluded — probe
+// traffic is never routed) in stable order.
+func TaskKinds() []TaskKind {
+	return []TaskKind{TaskWrite, TaskPlanRepair, TaskEditIntent, TaskPlanDelta}
+}

@@ -1,0 +1,214 @@
+package route
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chatvis/internal/chatvis"
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+	"chatvis/internal/plan"
+	"chatvis/internal/pvpython"
+	"chatvis/internal/pvsim"
+)
+
+// The forced-failure escalation scenario: a cheap model that proposes a
+// broken plan edit and cannot repair it, and a strong model that can.
+// With escalation the router climbs to the strong model on the second
+// repair round and the turn recovers; with the escalation budget at
+// zero the cheap model alone leaves the plan broken.
+
+const (
+	planOpen  = "--- CURRENT PLAN ---"
+	planClose = "--- END CURRENT PLAN ---"
+	diagOpen  = "--- PLAN DIAGNOSTICS ---"
+	diagClose = "--- END PLAN DIAGNOSTICS ---"
+)
+
+func section(s, open, close string) (string, bool) {
+	i := strings.Index(s, open)
+	if i < 0 {
+		return "", false
+	}
+	s = s[i+len(open):]
+	j := strings.Index(s, close)
+	if j < 0 {
+		return "", false
+	}
+	return s[:j], true
+}
+
+func encodePlan(t *testing.T, p *plan.Plan) string {
+	t.Helper()
+	blob, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// cheapRepairClient proposes plan edits with a bogus property injected
+// and "repairs" by returning the broken plan unchanged — the repeated
+// validation failure that triggers escalation.
+func cheapRepairClient(t *testing.T, delegate llm.Client) *llm.ClientFunc {
+	return &llm.ClientFunc{ModelName: "cheap-repair", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		blob, ok := section(req.User, planOpen, planClose)
+		if !ok {
+			return delegate.Complete(ctx, req)
+		}
+		cur, err := plan.Decode([]byte(blob))
+		if err != nil {
+			return llm.Response{}, fmt.Errorf("cheap fake: %w", err)
+		}
+		if _, hasDiags := section(req.User, diagOpen, diagClose); hasDiags {
+			// Failed repair: hand the broken plan straight back.
+			return llm.Response{Model: "cheap-repair", Text: encodePlan(t, cur)}, nil
+		}
+		broken := cur.Clone()
+		st := broken.Stages[0]
+		if st.Props == nil {
+			st.Props = map[string]plan.Value{}
+		}
+		st.Props["BogusEscalationProp"] = plan.NumV(1)
+		return llm.Response{Model: "cheap-repair", Text: encodePlan(t, broken)}, nil
+	}}
+}
+
+// strongRepairClient repairs plan diagnostics properly (skill 2).
+func strongRepairClient(t *testing.T, delegate llm.Client) *llm.ClientFunc {
+	return &llm.ClientFunc{ModelName: "strong-repair", Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+		blob, ok := section(req.User, planOpen, planClose)
+		diagBlob, hasDiags := section(req.User, diagOpen, diagClose)
+		if !ok || !hasDiags {
+			return delegate.Complete(ctx, req)
+		}
+		cur, err := plan.Decode([]byte(blob))
+		if err != nil {
+			return llm.Response{}, fmt.Errorf("strong fake: %w", err)
+		}
+		var diags []plan.Diagnostic
+		if err := json.Unmarshal([]byte(diagBlob), &diags); err != nil {
+			return llm.Response{}, fmt.Errorf("strong fake diags: %w", err)
+		}
+		return llm.Response{Model: "strong-repair", Text: encodePlan(t, llm.RepairPlanDoc(cur, diags, 2))}, nil
+	}}
+}
+
+// escalationSession builds a two-turn session routed over the fake
+// repair models and returns the second (edit) turn plus the router.
+func escalationSession(t *testing.T, maxEscalations int) (*chatvis.Turn, *Router) {
+	t.Helper()
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	if err := eval.EnsureData(dataDir, 0); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := llm.NewModel("oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := cheapRepairClient(t, oracle)
+	strong := strongRepairClient(t, oracle)
+
+	records := []ModelProfile{
+		{Model: "cheap-repair", Task: llm.TaskPlanDelta, Score: 1.0, CostWeight: 0.05, Seq: 1},
+		{Model: "cheap-repair", Task: llm.TaskPlanRepair, Score: 1.0, CostWeight: 0.05, Seq: 2},
+		{Model: "strong-repair", Task: llm.TaskPlanRepair, Score: 1.0, CostWeight: 1.0, Seq: 3},
+	}
+	specs := DefaultSpecs()
+	spec := specs[llm.TaskPlanRepair]
+	spec.MaxEscalations = maxEscalations
+	specs[llm.TaskPlanRepair] = spec
+	router := NewRouter(NewProfileSet(records), specs)
+	routed := router.Client("oracle", func(name string) (llm.Client, error) {
+		switch name {
+		case "cheap-repair":
+			return cheap, nil
+		case "strong-repair":
+			return strong, nil
+		}
+		return llm.NewModel(name)
+	})
+
+	runner := &pvpython.Runner{DataDir: dataDir, OutDir: filepath.Join(dir, "out")}
+	sess, err := chatvis.NewSession(routed, runner, chatvis.WithPlanValidation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, _ := eval.ScenarioByID("iso")
+	if _, err := sess.Turn(context.Background(), scn.UserPrompt(480, 270)); err != nil {
+		t.Fatal(err)
+	}
+	turn, err := sess.Turn(context.Background(), "Rotate the view to an isometric direction.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return turn, router
+}
+
+func TestEscalationRecoversFailedRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	turn, router := escalationSession(t, 2)
+	art := turn.Artifact
+
+	// Both repair attempts are in the trace: the cheap model's failed
+	// round, then the escalated strong round.
+	var repairModels []string
+	var escalations []int
+	for _, s := range art.Trace.Stages {
+		if strings.HasPrefix(s.Stage, chatvis.StageEditRepair) {
+			repairModels = append(repairModels, s.Model)
+			escalations = append(escalations, s.Escalation)
+		}
+	}
+	if len(repairModels) != 2 || repairModels[0] != "cheap-repair" || repairModels[1] != "strong-repair" {
+		t.Fatalf("repair stages served by %v, want [cheap-repair strong-repair]\ntrace:\n%s",
+			repairModels, art.Trace.Format())
+	}
+	if escalations[0] != 0 || escalations[1] != 1 {
+		t.Errorf("escalation provenance = %v, want [0 1]", escalations)
+	}
+	// The escalated repair recovered the turn.
+	if !art.Success {
+		t.Errorf("turn failed despite escalation:\n%s", art.Trace.Format())
+	}
+	if art.Plan == nil || len(plan.Errors(plan.Validate(art.Plan, pvsim.PlanSchema()))) > 0 {
+		t.Errorf("final plan still invalid after escalation")
+	}
+	if got := art.Trace.Models(); len(got) < 2 {
+		t.Errorf("Trace.Models() = %v, want both serving models recorded", got)
+	}
+	if s := router.Snapshot(); s.Escalations != 1 {
+		t.Errorf("router counted %d escalations, want 1", s.Escalations)
+	}
+}
+
+func TestCheapModelAloneFailsWithoutEscalation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	turn, router := escalationSession(t, 0)
+	art := turn.Artifact
+	// Every repair round stayed on the cheap model, so the broken
+	// property survives to the final plan.
+	for _, s := range art.Trace.Stages {
+		if strings.HasPrefix(s.Stage, chatvis.StageEditRepair) && s.Model != "cheap-repair" {
+			t.Fatalf("repair escalated to %q with a zero budget", s.Model)
+		}
+	}
+	if art.Plan == nil {
+		t.Fatal("turn produced no plan")
+	}
+	if len(plan.Errors(plan.Validate(art.Plan, pvsim.PlanSchema()))) == 0 {
+		t.Errorf("cheap model alone repaired the plan — the forced failure no longer forces")
+	}
+	if s := router.Snapshot(); s.Escalations != 0 {
+		t.Errorf("router counted %d escalations with a zero budget", s.Escalations)
+	}
+}

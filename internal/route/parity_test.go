@@ -1,0 +1,92 @@
+package route
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"chatvis/internal/eval"
+	"chatvis/internal/llm"
+)
+
+// TestRoutedGridParity is the acceptance gate end-to-end: calibrate
+// the sim registry, route the assisted pipeline through the measured
+// profiles, run the full eval grid, and check that (a) edit-intent
+// traffic served from a measurably cheaper profile than writes and
+// (b) the ChatVis column's quality metrics match the no-routing
+// baseline exactly.
+func TestRoutedGridParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	base := eval.Config{
+		DataDir: filepath.Join(dir, "data"),
+		OutDir:  filepath.Join(dir, "out-baseline"),
+	}
+	calCfg := CalibrateConfig{Eval: eval.Config{
+		DataDir: filepath.Join(dir, "data"),
+		OutDir:  filepath.Join(dir, "out-probe"),
+	}, Scenarios: []string{"iso", "slice"}}
+	records, err := Calibrate(context.Background(), calCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		records[i].Seq = i + 1
+	}
+	router := NewRouter(NewProfileSet(records), nil)
+
+	baseline, err := base.RunGrid(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routedCfg := base
+	routedCfg.OutDir = filepath.Join(dir, "out-routed")
+	routedCfg.PipelineClient = func(defaultModel string) (llm.Client, error) {
+		return router.Client(defaultModel, llm.NewModel), nil
+	}
+	routed, err := routedCfg.RunGrid(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quality parity on the assisted column, cell by cell.
+	for _, task := range baseline.Tasks {
+		b := baseline.Cells[task][eval.ChatVisModel]
+		r := routed.Cells[task][eval.ChatVisModel]
+		if b.ErrorFree != r.ErrorFree || b.Screenshot != r.Screenshot {
+			t.Errorf("%s: routed outcome (err-free=%v ss=%v) differs from baseline (err-free=%v ss=%v)",
+				task, r.ErrorFree, r.Screenshot, b.ErrorFree, b.Screenshot)
+		}
+		if b.PlanScore.Overall != r.PlanScore.Overall {
+			t.Errorf("%s: routed PlanScore %.3f != baseline %.3f",
+				task, r.PlanScore.Overall, b.PlanScore.Overall)
+		}
+		if len(r.Models) < 2 {
+			t.Errorf("%s: routed cell served by %v, expected a split across models", task, r.Models)
+		}
+	}
+
+	// The router actually split the traffic: rewrites on a cheaper
+	// profile than writes.
+	snap := router.Snapshot()
+	if snap.TaskModel[llm.TaskEditIntent]["codegemma"] == 0 {
+		t.Errorf("edit-intent decisions = %v, want codegemma serving rewrites", snap.TaskModel[llm.TaskEditIntent])
+	}
+	if snap.TaskModel[llm.TaskWrite]["gpt-4"] == 0 {
+		t.Errorf("write decisions = %v, want gpt-4 serving writes", snap.TaskModel[llm.TaskWrite])
+	}
+	var editCost, writeCost float64
+	for _, v := range router.Routes() {
+		switch v.Task {
+		case llm.TaskEditIntent:
+			editCost = v.Ladder[0].CostWeight
+		case llm.TaskWrite:
+			writeCost = v.Ladder[0].CostWeight
+		}
+	}
+	if editCost >= writeCost {
+		t.Errorf("edit-intent cost %.2f not measurably cheaper than write cost %.2f", editCost, writeCost)
+	}
+}

@@ -1,0 +1,237 @@
+// Package route is the measured model-routing layer between the llm
+// client middleware and the model registry. A probe calibrator runs
+// every registered model through a task-keyed slice of the eval grid
+// and records append-only ModelProfile records (measured score, probe
+// latency, cost weight, probe corpus hash); a Router then serves each
+// tagged llm.Request from the cheapest model whose measured score
+// clears the task's bar, climbing a strength ladder on bounded
+// escalation when validation or repair fails. Profiles are measured,
+// never self-reported: a model's place in the ladder comes from what it
+// did on the probe corpus, not from a static trait table.
+package route
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"chatvis/internal/llm"
+)
+
+// StoreVersion tags the profiles JSON layout. Loading a file written by
+// a newer layout fails instead of misreading it.
+const StoreVersion = 1
+
+// ModelProfile is one append-only calibration record: how a model
+// measured on one task's probe corpus at one calibration time.
+type ModelProfile struct {
+	// Model names the registered backend.
+	Model string `json:"model"`
+	// Task is the task kind the probes exercised.
+	Task llm.TaskKind `json:"task"`
+	// Score is the measured probe score in [0,1].
+	Score float64 `json:"score"`
+	// AvgLatencyNS is the mean wall-clock latency of the task's probe
+	// calls against this model.
+	AvgLatencyNS int64 `json:"avg_latency_ns"`
+	// CostWeight is the model's relative per-call cost (1.0 = the
+	// reference strong model).
+	CostWeight float64 `json:"cost_weight"`
+	// Probes counts the probe observations behind Score.
+	Probes int `json:"probes"`
+	// ProbeHash fingerprints the probe corpus (scenario IDs, prompts,
+	// resolution), so two records are comparable only when it matches.
+	ProbeHash string `json:"probe_hash"`
+	// CalibratedAt is the record's wall-clock timestamp.
+	CalibratedAt time.Time `json:"calibrated_at"`
+	// Seq is the record's position in the append-only log (1-based);
+	// the highest Seq per (model, task) is the live profile.
+	Seq int `json:"seq"`
+}
+
+// profileDoc is the versioned on-disk layout.
+type profileDoc struct {
+	Version int            `json:"version"`
+	Records []ModelProfile `json:"records"`
+}
+
+// ProfileStore persists ModelProfile records as versioned JSON. The log
+// is append-only: Append never rewrites or drops prior records, so the
+// file is the full calibration history and Latest() is a view of its
+// tail.
+type ProfileStore struct {
+	path string
+
+	mu      sync.Mutex
+	records []ModelProfile
+}
+
+// OpenProfileStore opens (or prepares to create) the store at path.
+func OpenProfileStore(path string) (*ProfileStore, error) {
+	s := &ProfileStore{path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("route: reading profiles: %w", err)
+	}
+	var doc profileDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("route: parsing profiles %s: %w", path, err)
+	}
+	if doc.Version > StoreVersion {
+		return nil, fmt.Errorf("route: profiles %s are version %d, this build reads <= %d",
+			path, doc.Version, StoreVersion)
+	}
+	s.records = doc.Records
+	return s, nil
+}
+
+// Path returns the store's file path.
+func (s *ProfileStore) Path() string { return s.path }
+
+// Len returns the number of records in the log.
+func (s *ProfileStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Records returns a copy of the full append-only log in order.
+func (s *ProfileStore) Records() []ModelProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ModelProfile(nil), s.records...)
+}
+
+// Append adds calibration records to the log and persists it. Sequence
+// numbers are assigned here; the input order is preserved.
+func (s *ProfileStore) Append(records []ModelProfile) error {
+	if len(records) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := 0
+	for _, r := range s.records {
+		if r.Seq > seq {
+			seq = r.Seq
+		}
+	}
+	for _, r := range records {
+		seq++
+		r.Seq = seq
+		s.records = append(s.records, r)
+	}
+	return s.flushLocked()
+}
+
+// flushLocked writes the log atomically (temp file + rename) so a crash
+// mid-write never truncates the calibration history.
+func (s *ProfileStore) flushLocked() error {
+	doc := profileDoc{Version: StoreVersion, Records: s.records}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(s.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// Latest folds the log into a ProfileSet: the highest-Seq record per
+// (model, task).
+func (s *ProfileStore) Latest() *ProfileSet {
+	return NewProfileSet(s.Records())
+}
+
+// ProfileSet is an immutable routing view over calibration records: the
+// live (latest) profile per (model, task). Routers read it without
+// locking.
+type ProfileSet struct {
+	byTask map[llm.TaskKind][]ModelProfile
+	count  int
+}
+
+// NewProfileSet builds the view, keeping the last record per
+// (model, task) in log order (ties on Seq resolve to the later entry).
+func NewProfileSet(records []ModelProfile) *ProfileSet {
+	type key struct {
+		model string
+		task  llm.TaskKind
+	}
+	latest := map[key]ModelProfile{}
+	for _, r := range records {
+		k := key{r.Model, r.Task}
+		if cur, ok := latest[k]; !ok || r.Seq >= cur.Seq {
+			latest[k] = r
+		}
+	}
+	set := &ProfileSet{byTask: map[llm.TaskKind][]ModelProfile{}}
+	for k, r := range latest {
+		set.byTask[k.task] = append(set.byTask[k.task], r)
+		set.count++
+	}
+	for task := range set.byTask {
+		ps := set.byTask[task]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].CostWeight != ps[j].CostWeight {
+				return ps[i].CostWeight < ps[j].CostWeight
+			}
+			return ps[i].Model < ps[j].Model
+		})
+	}
+	return set
+}
+
+// Task returns the live profiles for one task kind, cheapest first.
+func (s *ProfileSet) Task(k llm.TaskKind) []ModelProfile {
+	return append([]ModelProfile(nil), s.byTask[k]...)
+}
+
+// Tasks lists the task kinds with at least one live profile, sorted.
+func (s *ProfileSet) Tasks() []llm.TaskKind {
+	out := make([]llm.TaskKind, 0, len(s.byTask))
+	for k := range s.byTask {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len counts the live (model, task) profiles.
+func (s *ProfileSet) Len() int { return s.count }
+
+// DefaultCostWeights is the static relative per-call cost table used
+// when calibrating the built-in simulated registry (1.0 = gpt-4).
+// Scores are measured; costs are priced.
+var DefaultCostWeights = map[string]float64{
+	"gpt-4":         1.0,
+	"gpt-3.5-turbo": 0.10,
+	"llama3-8b":     0.06,
+	"codellama-7b":  0.05,
+	"codegemma":     0.04,
+	"oracle":        2.0,
+}
+
+// CostWeight prices a model, defaulting unknown backends to the
+// reference cost so routing never treats an unpriced model as free.
+func CostWeight(model string) float64 {
+	if w, ok := DefaultCostWeights[model]; ok {
+		return w
+	}
+	return 1.0
+}

@@ -1,0 +1,156 @@
+package route
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"chatvis/internal/llm"
+)
+
+func testRecord(model string, task llm.TaskKind, score, cost float64) ModelProfile {
+	return ModelProfile{
+		Model:        model,
+		Task:         task,
+		Score:        score,
+		AvgLatencyNS: 1000,
+		CostWeight:   cost,
+		Probes:       2,
+		ProbeHash:    "abcd1234abcd1234",
+		CalibratedAt: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestProfileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles", "profiles.json")
+	s, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []ModelProfile{
+		testRecord("gpt-4", llm.TaskWrite, 0.97, 1.0),
+		testRecord("codegemma", llm.TaskEditIntent, 1.0, 0.04),
+	}
+	if err := s.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reopened.Records()
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("sequence numbers %d,%d, want 1,2", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Model != "gpt-4" || got[0].Score != 0.97 {
+		t.Errorf("first record corrupted: %+v", got[0])
+	}
+}
+
+func TestProfileStoreAppendOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	s, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]ModelProfile{testRecord("gpt-4", llm.TaskWrite, 0.90, 1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	// A recalibration appends; it never rewrites history.
+	if err := s.Append([]ModelProfile{testRecord("gpt-4", llm.TaskWrite, 0.95, 1.0)}); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Records()
+	if len(recs) != 2 {
+		t.Fatalf("append-only log has %d records, want 2", len(recs))
+	}
+	if recs[0].Score != 0.90 || recs[1].Score != 0.95 {
+		t.Errorf("history rewritten: %+v", recs)
+	}
+	if recs[1].Seq != 2 {
+		t.Errorf("seq not monotone: %+v", recs[1])
+	}
+	// The live view is the tail.
+	live := s.Latest().Task(llm.TaskWrite)
+	if len(live) != 1 || live[0].Score != 0.95 {
+		t.Errorf("Latest() = %+v, want the seq-2 record", live)
+	}
+}
+
+func TestProfileStoreGoldenJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	s, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]ModelProfile{testRecord("codegemma", llm.TaskEditIntent, 1, 0.04)}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "version": 1,
+  "records": [
+    {
+      "model": "codegemma",
+      "task": "edit-intent",
+      "score": 1,
+      "avg_latency_ns": 1000,
+      "cost_weight": 0.04,
+      "probes": 2,
+      "probe_hash": "abcd1234abcd1234",
+      "calibrated_at": "2026-08-08T12:00:00Z",
+      "seq": 1
+    }
+  ]
+}
+`
+	if string(data) != want {
+		t.Errorf("profile JSON drifted from the versioned wire format:\ngot:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+func TestProfileStoreRejectsNewerVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	doc := `{"version": 99, "records": []}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenProfileStore(path); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("expected version rejection, got %v", err)
+	}
+}
+
+func TestProfileSetLatestPerModelTask(t *testing.T) {
+	recs := []ModelProfile{
+		testRecord("gpt-4", llm.TaskWrite, 0.80, 1.0),
+		testRecord("codegemma", llm.TaskWrite, 0.20, 0.04),
+		testRecord("gpt-4", llm.TaskWrite, 0.95, 1.0),
+	}
+	for i := range recs {
+		recs[i].Seq = i + 1
+	}
+	set := NewProfileSet(recs)
+	if set.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2 live profiles", set.Len())
+	}
+	ps := set.Task(llm.TaskWrite)
+	// Cheapest first.
+	if ps[0].Model != "codegemma" || ps[1].Model != "gpt-4" {
+		t.Fatalf("task order = %v", []string{ps[0].Model, ps[1].Model})
+	}
+	if ps[1].Score != 0.95 {
+		t.Errorf("live gpt-4 score = %v, want the latest record (0.95)", ps[1].Score)
+	}
+	if got, want := set.Tasks(), []llm.TaskKind{llm.TaskWrite}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tasks() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,28 @@
+package route
+
+import "chatvis/internal/eval"
+
+// Report converts a router's live state into the eval report's routing
+// table (pure-data types, so the harness does not depend on this
+// package).
+func Report(r *Router, profilesPath string) *eval.RoutingTable {
+	t := &eval.RoutingTable{ProfilesPath: profilesPath}
+	for _, v := range r.Routes() {
+		ladder := make([]string, 0, len(v.Ladder))
+		for _, p := range v.Ladder {
+			ladder = append(ladder, p.Model)
+		}
+		primary := v.Ladder[0]
+		t.Rows = append(t.Rows, eval.RoutingRow{
+			Task:        string(v.Task),
+			Model:       primary.Model,
+			Score:       primary.Score,
+			Bar:         v.Bar,
+			CostWeight:  primary.CostWeight,
+			Decisions:   v.Decisions,
+			Escalations: v.Escalations,
+			Ladder:      ladder,
+		})
+	}
+	return t
+}

@@ -1,0 +1,340 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"chatvis/internal/llm"
+	"chatvis/internal/obs"
+)
+
+// TaskSpec is one task kind's routing contract: the measured score a
+// model must clear to serve the task, and how many rungs of the
+// strength ladder escalation may climb when validation/repair fails.
+type TaskSpec struct {
+	Task llm.TaskKind `json:"task"`
+	// Bar is the minimum measured score (0..1) a model needs to be the
+	// task's primary. When no profiled model clears it, the strongest
+	// profiled model serves the task.
+	Bar float64 `json:"bar"`
+	// MaxEscalations bounds how far above the primary an escalating
+	// request may route.
+	MaxEscalations int `json:"max_escalations"`
+}
+
+// DefaultSpecs returns the per-task routing bars. Write tolerates a
+// lower bar than the structured tasks: its probe is a cold write whose
+// score blends success (0.4), plan similarity (0.3) and image match
+// (0.3), and no model writes image-perfect scripts cold (the paper's
+// Fig. 2 shows GPT-4's gray background and zoom drift) — 0.60 demands
+// a clean execution that lands most of the reference plan. The
+// plan-document tasks are near mechanical, so anything measurably
+// lossy on them should not serve.
+func DefaultSpecs() map[llm.TaskKind]TaskSpec {
+	return map[llm.TaskKind]TaskSpec{
+		llm.TaskWrite:      {Task: llm.TaskWrite, Bar: 0.60, MaxEscalations: 2},
+		llm.TaskPlanRepair: {Task: llm.TaskPlanRepair, Bar: 0.90, MaxEscalations: 2},
+		llm.TaskEditIntent: {Task: llm.TaskEditIntent, Bar: 0.90, MaxEscalations: 1},
+		llm.TaskPlanDelta:  {Task: llm.TaskPlanDelta, Bar: 0.90, MaxEscalations: 1},
+	}
+}
+
+// Decision is one routing outcome.
+type Decision struct {
+	Task  llm.TaskKind `json:"task"`
+	Model string       `json:"model"`
+	// Score and Bar record why the model was eligible.
+	Score float64 `json:"score"`
+	Bar   float64 `json:"bar"`
+	// CostWeight is the chosen model's relative cost.
+	CostWeight float64 `json:"cost_weight"`
+	// Escalation is the ladder rung served (0 = primary), after
+	// clamping to the task's budget and the ladder length.
+	Escalation int `json:"escalation"`
+	// Fallback marks a request the router could not profile-route
+	// (untagged, probe traffic, or no profiles for the task); it went
+	// to the caller's configured model.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+// Stats is a router counter snapshot.
+type Stats struct {
+	// Decisions counts profile-routed completions.
+	Decisions int64
+	// Escalations counts decisions served above rung 0.
+	Escalations int64
+	// Fallbacks counts completions sent to the configured model because
+	// no profile applied.
+	Fallbacks int64
+	// TaskModel counts decisions per task per serving model (fallbacks
+	// excluded).
+	TaskModel map[llm.TaskKind]map[string]int64
+}
+
+// Router holds the compiled routing state: per task, a strength ladder
+// of measured profiles whose rung 0 is the cheapest model clearing the
+// task's bar. The ladder is immutable after construction; concurrent
+// Complete calls share it lock-free and serialize only on the counters.
+type Router struct {
+	specs   map[llm.TaskKind]TaskSpec
+	ladders map[llm.TaskKind][]ModelProfile
+
+	mu          sync.Mutex
+	decisions   int64
+	escalations int64
+	fallbacks   int64
+	taskModel   map[llm.TaskKind]map[string]int64
+}
+
+// NewRouter compiles a profile set into a router. specs may be nil
+// (DefaultSpecs). Tasks without profiles simply fall back.
+func NewRouter(set *ProfileSet, specs map[llm.TaskKind]TaskSpec) *Router {
+	if specs == nil {
+		specs = DefaultSpecs()
+	}
+	r := &Router{
+		specs:     specs,
+		ladders:   map[llm.TaskKind][]ModelProfile{},
+		taskModel: map[llm.TaskKind]map[string]int64{},
+	}
+	if set == nil {
+		return r
+	}
+	for task, spec := range specs {
+		profiles := set.Task(task)
+		if len(profiles) == 0 {
+			continue
+		}
+		r.ladders[task] = buildLadder(profiles, spec.Bar)
+	}
+	return r
+}
+
+// buildLadder orders a task's profiles into escalation rungs: rung 0 is
+// the cheapest profile clearing the bar (or the strongest profile when
+// none clears), and later rungs are the strictly stronger profiles in
+// ascending strength. Strength is (score, then cost): among equal
+// scores the pricier model is the escalation target, the measured
+// stand-in for robustness headroom.
+func buildLadder(profiles []ModelProfile, bar float64) []ModelProfile {
+	byStrength := append([]ModelProfile(nil), profiles...)
+	sort.Slice(byStrength, func(i, j int) bool {
+		a, b := byStrength[i], byStrength[j]
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		if a.CostWeight != b.CostWeight {
+			return a.CostWeight < b.CostWeight
+		}
+		return a.Model < b.Model
+	})
+	primary := -1
+	// profiles arrive cheapest-first, so the first clearing entry is the
+	// cheapest eligible model.
+	var cheapest ModelProfile
+	found := false
+	for _, p := range profiles {
+		if p.Score >= bar {
+			cheapest = p
+			found = true
+			break
+		}
+	}
+	if !found {
+		// Nothing clears the bar: serve the strongest profile, with no
+		// rungs above it.
+		return byStrength[len(byStrength)-1:]
+	}
+	for i, p := range byStrength {
+		if p.Model == cheapest.Model {
+			primary = i
+			break
+		}
+	}
+	return byStrength[primary:]
+}
+
+// Decide routes one (task, escalation) pair. ok is false when the
+// request must fall back to the caller's configured model.
+func (r *Router) Decide(task llm.TaskKind, escalation int) (Decision, bool) {
+	spec, known := r.specs[task]
+	ladder := r.ladders[task]
+	if task == "" || task == llm.TaskProbe || !known || len(ladder) == 0 {
+		return Decision{Task: task, Fallback: true}, false
+	}
+	rung := escalation
+	if rung > spec.MaxEscalations {
+		rung = spec.MaxEscalations
+	}
+	if rung > len(ladder)-1 {
+		rung = len(ladder) - 1
+	}
+	if rung < 0 {
+		rung = 0
+	}
+	p := ladder[rung]
+	return Decision{
+		Task:       task,
+		Model:      p.Model,
+		Score:      p.Score,
+		Bar:        spec.Bar,
+		CostWeight: p.CostWeight,
+		Escalation: rung,
+	}, true
+}
+
+func (r *Router) record(d Decision, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !ok {
+		r.fallbacks++
+		return
+	}
+	r.decisions++
+	if d.Escalation > 0 {
+		r.escalations++
+	}
+	m := r.taskModel[d.Task]
+	if m == nil {
+		m = map[string]int64{}
+		r.taskModel[d.Task] = m
+	}
+	m[d.Model]++
+}
+
+// Snapshot returns the router's counters.
+func (r *Router) Snapshot() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Decisions:   r.decisions,
+		Escalations: r.escalations,
+		Fallbacks:   r.fallbacks,
+		TaskModel:   map[llm.TaskKind]map[string]int64{},
+	}
+	for task, m := range r.taskModel {
+		c := map[string]int64{}
+		for model, n := range m {
+			c[model] = n
+		}
+		s.TaskModel[task] = c
+	}
+	return s
+}
+
+// RouteView is one task's live routing state, for /v1/models and the
+// eval report.
+type RouteView struct {
+	Task llm.TaskKind `json:"task"`
+	Bar  float64      `json:"bar"`
+	// MaxEscalations is the task's escalation budget.
+	MaxEscalations int `json:"max_escalations"`
+	// Ladder is the escalation order; Ladder[0] is the primary.
+	Ladder []ModelProfile `json:"ladder"`
+	// Decisions/Escalations are the task's served counts so far.
+	Decisions   int64 `json:"decisions"`
+	Escalations int64 `json:"escalations"`
+}
+
+// Routes returns the per-task routing state in stable task order.
+func (r *Router) Routes() []RouteView {
+	snap := r.Snapshot()
+	tasks := make([]llm.TaskKind, 0, len(r.ladders))
+	for task := range r.ladders {
+		tasks = append(tasks, task)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	out := make([]RouteView, 0, len(tasks))
+	for _, task := range tasks {
+		spec := r.specs[task]
+		var decided, escalated int64
+		for _, n := range snap.TaskModel[task] {
+			decided += n
+		}
+		for _, d := range r.escalationsFor(task) {
+			escalated += d
+		}
+		out = append(out, RouteView{
+			Task:           task,
+			Bar:            spec.Bar,
+			MaxEscalations: spec.MaxEscalations,
+			Ladder:         append([]ModelProfile(nil), r.ladders[task]...),
+			Decisions:      decided,
+			Escalations:    escalated,
+		})
+	}
+	return out
+}
+
+// escalationsFor counts decisions served above rung 0 for one task:
+// every count on a non-primary ladder model.
+func (r *Router) escalationsFor(task llm.TaskKind) map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ladder := r.ladders[task]
+	if len(ladder) == 0 {
+		return nil
+	}
+	out := map[string]int64{}
+	for model, n := range r.taskModel[task] {
+		if model != ladder[0].Model {
+			out[model] = n
+		}
+	}
+	return out
+}
+
+// Client binds the router to a caller's model resolution: requests with
+// a routable task go to the profiled pick, everything else (and any
+// resolution failure of the pick) goes to the configured fallback
+// model. All clients bound to one Router share its counters, so serving
+// surfaces aggregate naturally.
+func (r *Router) Client(fallback string, resolve func(string) (llm.Client, error)) llm.Client {
+	return &routedClient{router: r, fallback: fallback, resolve: resolve}
+}
+
+type routedClient struct {
+	router   *Router
+	fallback string
+	resolve  func(string) (llm.Client, error)
+}
+
+// Name implements llm.Client; the routed stack keeps the configured
+// model's identity (per-stage serving models are reported by the
+// response and the trace).
+func (c *routedClient) Name() string { return c.fallback }
+
+// Complete implements llm.Client: decide, record, and serve — with a
+// span carrying the decision provenance.
+func (c *routedClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	d, ok := c.router.Decide(req.Task, req.Escalation)
+	model := c.fallback
+	if ok {
+		model = d.Model
+	}
+	_, span := obs.Start(ctx, "route.decide")
+	span.SetAttr("task", string(req.Task))
+	span.SetAttr("routed_model", model)
+	span.SetAttr("fallback", !ok)
+	if ok {
+		span.SetAttr("escalation", d.Escalation)
+		span.SetAttr("score", d.Score)
+		span.SetAttr("bar", d.Bar)
+	}
+	span.End()
+
+	client, err := c.resolve(model)
+	if err != nil && model != c.fallback {
+		// A profiled model the resolver cannot build must not fail the
+		// request: serve the configured model instead.
+		ok = false
+		client, err = c.resolve(c.fallback)
+	}
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("route: resolving %q: %w", model, err)
+	}
+	c.router.record(d, ok)
+	return client.Complete(ctx, req)
+}

@@ -1,0 +1,176 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"chatvis/internal/llm"
+)
+
+// testSet builds a profile set for one task from (model, score, cost)
+// triples.
+func testSet(task llm.TaskKind, rows ...[3]interface{}) *ProfileSet {
+	var recs []ModelProfile
+	for i, r := range rows {
+		recs = append(recs, ModelProfile{
+			Model:      r[0].(string),
+			Task:       task,
+			Score:      r[1].(float64),
+			CostWeight: r[2].(float64),
+			Seq:        i + 1,
+		})
+	}
+	return NewProfileSet(recs)
+}
+
+func TestDecidePicksCheapestClearingBar(t *testing.T) {
+	set := testSet(llm.TaskWrite,
+		[3]interface{}{"cheap", 0.30, 0.05},
+		[3]interface{}{"mid", 0.80, 0.10},
+		[3]interface{}{"strong", 0.95, 1.0},
+	)
+	r := NewRouter(set, nil) // write bar 0.60
+	d, ok := r.Decide(llm.TaskWrite, 0)
+	if !ok || d.Model != "mid" {
+		t.Fatalf("Decide = %+v ok=%v, want mid (cheapest clearing 0.60)", d, ok)
+	}
+	if d.Score != 0.80 || d.Bar != 0.60 || d.CostWeight != 0.10 {
+		t.Errorf("decision provenance wrong: %+v", d)
+	}
+}
+
+func TestDecideEscalatesAndClamps(t *testing.T) {
+	set := testSet(llm.TaskWrite,
+		[3]interface{}{"mid", 0.80, 0.10},
+		[3]interface{}{"strong", 0.95, 1.0},
+	)
+	r := NewRouter(set, nil) // write: MaxEscalations 2
+	if d, _ := r.Decide(llm.TaskWrite, 1); d.Model != "strong" || d.Escalation != 1 {
+		t.Errorf("escalation 1 = %+v, want strong", d)
+	}
+	// Beyond the ladder (and the budget) clamps to the top rung.
+	if d, _ := r.Decide(llm.TaskWrite, 7); d.Model != "strong" || d.Escalation != 1 {
+		t.Errorf("escalation 7 = %+v, want clamped to strong", d)
+	}
+}
+
+func TestDecideNoModelClearsBar(t *testing.T) {
+	set := testSet(llm.TaskWrite,
+		[3]interface{}{"weak-a", 0.30, 0.05},
+		[3]interface{}{"weak-b", 0.50, 0.10},
+	)
+	r := NewRouter(set, nil)
+	d, ok := r.Decide(llm.TaskWrite, 0)
+	if !ok || d.Model != "weak-b" {
+		t.Fatalf("Decide = %+v, want the strongest profile when nothing clears", d)
+	}
+}
+
+func TestDecideFallbacks(t *testing.T) {
+	r := NewRouter(testSet(llm.TaskWrite, [3]interface{}{"m", 0.9, 1.0}), nil)
+	for _, task := range []llm.TaskKind{"", llm.TaskProbe, llm.TaskPlanDelta, "nonsense"} {
+		if d, ok := r.Decide(task, 0); ok || !d.Fallback {
+			t.Errorf("Decide(%q) = %+v ok=%v, want fallback", task, d, ok)
+		}
+	}
+}
+
+func TestRoutedClientServesAndCounts(t *testing.T) {
+	set := testSet(llm.TaskEditIntent, [3]interface{}{"cheap", 0.95, 0.04})
+	r := NewRouter(set, nil)
+	served := map[string]int{}
+	var mu sync.Mutex
+	resolve := func(name string) (llm.Client, error) {
+		return &llm.ClientFunc{ModelName: name, Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+			mu.Lock()
+			served[name]++
+			mu.Unlock()
+			return llm.Response{Model: name, Text: "ok"}, nil
+		}}, nil
+	}
+	client := r.Client("strong", resolve)
+	if client.Name() != "strong" {
+		t.Errorf("routed client keeps the configured identity, got %q", client.Name())
+	}
+	// Routable task goes to the profile pick; untagged traffic falls back.
+	if _, err := client.Complete(context.Background(), llm.Request{Task: llm.TaskEditIntent}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete(context.Background(), llm.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if served["cheap"] != 1 || served["strong"] != 1 {
+		t.Errorf("served = %v, want one cheap (routed) and one strong (fallback)", served)
+	}
+	s := r.Snapshot()
+	if s.Decisions != 1 || s.Fallbacks != 1 {
+		t.Errorf("stats = %+v, want 1 decision + 1 fallback", s)
+	}
+	if s.TaskModel[llm.TaskEditIntent]["cheap"] != 1 {
+		t.Errorf("per-task counts = %v", s.TaskModel)
+	}
+}
+
+func TestRoutedClientResolveFailureFallsBack(t *testing.T) {
+	set := testSet(llm.TaskWrite, [3]interface{}{"ghost", 0.99, 0.01})
+	r := NewRouter(set, nil)
+	resolve := func(name string) (llm.Client, error) {
+		if name == "ghost" {
+			return nil, fmt.Errorf("not registered")
+		}
+		return &llm.ClientFunc{ModelName: name, Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+			return llm.Response{Model: name}, nil
+		}}, nil
+	}
+	resp, err := r.Client("real", resolve).Complete(context.Background(), llm.Request{Task: llm.TaskWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "real" {
+		t.Errorf("served by %q, want fallback model", resp.Model)
+	}
+	if s := r.Snapshot(); s.Fallbacks != 1 || s.Decisions != 0 {
+		t.Errorf("stats = %+v, want the failed resolution counted as fallback", s)
+	}
+}
+
+// TestRouterConcurrent hammers one router from many goroutines; run
+// under -race it proves the ladder reads are safe and the counters
+// consistent.
+func TestRouterConcurrent(t *testing.T) {
+	set := testSet(llm.TaskWrite,
+		[3]interface{}{"cheap", 0.80, 0.05},
+		[3]interface{}{"strong", 0.95, 1.0},
+	)
+	r := NewRouter(set, nil)
+	resolve := func(name string) (llm.Client, error) {
+		return &llm.ClientFunc{ModelName: name, Fn: func(ctx context.Context, req llm.Request) (llm.Response, error) {
+			return llm.Response{Model: name}, nil
+		}}, nil
+	}
+	client := r.Client("strong", resolve)
+	const workers, calls = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				req := llm.Request{Task: llm.TaskWrite, Escalation: (w + i) % 2}
+				if _, err := client.Complete(context.Background(), req); err != nil {
+					t.Error(err)
+					return
+				}
+				if (w+i)%10 == 0 {
+					r.Routes() // concurrent readers of the live view
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := r.Snapshot(); s.Decisions != workers*calls {
+		t.Errorf("decisions = %d, want %d", s.Decisions, workers*calls)
+	}
+}

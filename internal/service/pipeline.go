@@ -13,6 +13,7 @@ import (
 	"chatvis/internal/llm"
 	"chatvis/internal/plan"
 	"chatvis/internal/pvpython"
+	"chatvis/internal/route"
 )
 
 // PipelineConfig wires the real ChatVis pipeline for the daemon.
@@ -37,6 +38,11 @@ type PipelineConfig struct {
 	// in-memory dataset, and repair iterations only recompute the
 	// pipeline stages whose content hash actually changed.
 	DatasetCache *data.Cache
+	// Router, when set, routes each assisted LLM call to the cheapest
+	// profiled model clearing its task's bar (the request's configured
+	// model stays the fallback for untagged or unprofiled traffic).
+	// Unassisted jobs are never routed: there the model IS the request.
+	Router *route.Router
 }
 
 // clientProvider lazily builds and caches the per-model middleware
@@ -51,6 +57,7 @@ type clientProvider struct {
 
 	mu      sync.Mutex
 	clients map[string]llm.Client
+	routed  map[string]llm.Client
 }
 
 func newClientProvider(cfg PipelineConfig) *clientProvider {
@@ -70,7 +77,9 @@ func (p *clientProvider) ensureData() error {
 	return nil
 }
 
-func (p *clientProvider) client(model string) (llm.Client, error) {
+// stack returns the cached middleware stack (metrics → retry → cache)
+// for one backend model, unrouted.
+func (p *clientProvider) stack(model string) (llm.Client, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if c, ok := p.clients[model]; ok {
@@ -93,6 +102,36 @@ func (p *clientProvider) client(model string) (llm.Client, error) {
 	return c, nil
 }
 
+// client returns the serving client for a configured model: the plain
+// middleware stack, wrapped by the router when routing is on. Routed
+// calls resolve their picked model through the same per-model stacks,
+// so routed traffic shares the response caches and metrics with
+// everything else.
+func (p *clientProvider) client(model string) (llm.Client, error) {
+	if p.cfg.Router == nil {
+		return p.stack(model)
+	}
+	p.mu.Lock()
+	if c, ok := p.routed[model]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	// Validate the fallback model eagerly so a bad configured name still
+	// fails at job intake, not mid-session.
+	if _, err := p.stack(model); err != nil {
+		return nil, err
+	}
+	c := p.cfg.Router.Client(model, p.stack)
+	p.mu.Lock()
+	if p.routed == nil {
+		p.routed = map[string]llm.Client{}
+	}
+	p.routed[model] = c
+	p.mu.Unlock()
+	return c, nil
+}
+
 // NewChatVisPipeline builds the production PipelineFunc: per-model
 // client stacks (metrics → retry → cache, shared across jobs so
 // repeated stages hit the response cache underneath job-level
@@ -109,17 +148,23 @@ func newPipelineFromProvider(prov *clientProvider) PipelineFunc {
 		if err := prov.ensureData(); err != nil {
 			return nil, err
 		}
-		model, err := prov.client(req.Model)
-		if err != nil {
-			return nil, err
-		}
 		runner := &pvpython.Runner{
 			DataDir: cfg.DataDir,
 			OutDir:  filepath.Join(cfg.OutDir, jobID),
 			Cache:   cfg.DatasetCache,
 		}
 		if req.Unassisted {
+			// Unassisted jobs measure the named model itself — never
+			// routed.
+			model, err := prov.stack(req.Model)
+			if err != nil {
+				return nil, err
+			}
 			return chatvis.Unassisted(ctx, model, runner, req.Prompt)
+		}
+		model, err := prov.client(req.Model)
+		if err != nil {
+			return nil, err
 		}
 		// Serving is plan-aware: candidate scripts are schema-validated
 		// and repaired from structured diagnostics before the first
@@ -166,7 +211,14 @@ func newSessionFactoryFromProvider(prov *clientProvider) SessionFactory {
 			return nil, err
 		}
 		req = req.withDefaults()
-		model, err := prov.client(req.Model)
+		var model llm.Client
+		var err error
+		if req.Unassisted {
+			// The unassisted condition names its model explicitly; keep it.
+			model, err = prov.stack(req.Model)
+		} else {
+			model, err = prov.client(req.Model)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -19,6 +19,7 @@ import (
 	"chatvis/internal/llm"
 	"chatvis/internal/obs"
 	"chatvis/internal/par"
+	"chatvis/internal/route"
 )
 
 // Server is the chatvisd HTTP API over a Queue and Store.
@@ -36,6 +37,7 @@ import (
 //	GET    /v1/sessions/{id}/events   live stage/turn events as SSE
 //	GET    /v1/artifacts/{hash}       raw stored object (script / png / artifact)
 //	GET    /v1/scenarios              registered evaluation scenarios
+//	GET    /v1/models                 registered models, live profiles, route state
 //	GET    /healthz                   liveness + queue depth
 //	GET    /metrics                   Prometheus-style counters and histograms
 type Server struct {
@@ -58,6 +60,11 @@ type Server struct {
 	// tracer records distributed traces and serves /v1/traces; may be
 	// nil (requests then run untraced).
 	tracer *obs.Tracer
+	// router is the measured model router; may be nil (every call then
+	// serves from its configured model). profilesPath names the
+	// calibration store behind it, for /v1/models provenance.
+	router       *route.Router
+	profilesPath string
 	// logger receives structured access/lifecycle logs; may be nil
 	// (slog.Default is used).
 	logger *slog.Logger
@@ -95,6 +102,16 @@ func (s *Server) WithTracer(t *obs.Tracer) *Server {
 	return s
 }
 
+// WithRouter attaches the measured model router (and the path of the
+// profile store it was compiled from): /v1/models gains the live route
+// state and /metrics the chatvis_route_* families; returns the server
+// for chaining.
+func (s *Server) WithRouter(r *route.Router, profilesPath string) *Server {
+	s.router = r
+	s.profilesPath = profilesPath
+	return s
+}
+
 // WithLogger attaches the daemon's structured logger; returns the
 // server for chaining.
 func (s *Server) WithLogger(l *slog.Logger) *Server {
@@ -127,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces", s.handleListTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
@@ -546,6 +564,29 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": views})
 }
 
+// handleModels reports the registered model names and, when routing is
+// on, the live per-task route state: measured ladders, bars, and served
+// counts. With no router attached the endpoint still answers, with
+// routing marked disabled, so clients can probe capability cheaply.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"models":  llm.ModelNames(),
+		"routing": map[string]any{"enabled": false},
+	}
+	if s.router != nil {
+		snap := s.router.Snapshot()
+		body["routing"] = map[string]any{
+			"enabled":       true,
+			"profiles_path": s.profilesPath,
+			"decisions":     snap.Decisions,
+			"escalations":   snap.Escalations,
+			"fallbacks":     snap.Fallbacks,
+			"tasks":         s.router.Routes(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.queue.Snapshot()
 	body := map[string]any{
@@ -669,6 +710,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("chatvis_llm_prompt_tokens_total", "Prompt tokens consumed.", m.PromptTokens)
 		emit("chatvis_llm_completion_tokens_total", "Completion tokens produced.", m.CompletionTokens)
 		emit("chatvis_llm_latency_seconds_total", "Cumulative LLM call latency.", m.TotalLatency.Seconds())
+	}
+
+	// Model routing. The labeled per-task family lists every (task,
+	// serving model) pair on the compiled ladders, zero-valued until
+	// served, so the exposition is deterministic from the first scrape.
+	if s.router != nil {
+		rs := s.router.Snapshot()
+		emit("chatvis_route_decisions_total", "LLM completions routed by measured profile.", rs.Decisions)
+		emit("chatvis_route_escalations_total", "Routed completions served above the primary rung.", rs.Escalations)
+		emit("chatvis_route_fallbacks_total", "Completions sent to the configured model (untagged or unprofiled).", rs.Fallbacks)
+		routes := s.router.Routes()
+		var ladderEntries int
+		for _, v := range routes {
+			ladderEntries += len(v.Ladder)
+		}
+		emit("chatvis_route_profiles", "Measured model profiles compiled into routing ladders.", ladderEntries)
+		fmt.Fprintf(&b, "# HELP chatvis_route_task_decisions_total Routed completions per task per serving model.\n")
+		fmt.Fprintf(&b, "# TYPE chatvis_route_task_decisions_total counter\n")
+		for _, v := range routes {
+			for _, p := range v.Ladder {
+				fmt.Fprintf(&b, "chatvis_route_task_decisions_total{task=%q,model=%q} %d\n",
+					string(v.Task), p.Model, rs.TaskModel[v.Task][p.Model])
+			}
+		}
 	}
 
 	// Tracing subsystem.

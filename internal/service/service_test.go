@@ -16,6 +16,7 @@ import (
 
 	"chatvis/internal/chatvis"
 	"chatvis/internal/llm"
+	"chatvis/internal/route"
 )
 
 // --- key construction --------------------------------------------------------
@@ -817,5 +818,88 @@ func TestQueueEvictsOldTerminalJobs(t *testing.T) {
 	// Evicted keys still serve from the store.
 	if _, out, err := q.Submit(JobRequest{Prompt: "evict-0"}); err != nil || out != SubmissionStoreHit {
 		t.Errorf("evicted key resubmit: %s %v", out, err)
+	}
+}
+
+// --- model routing over HTTP -------------------------------------------------
+
+// TestRoutedServerModelsAndMetrics attaches a router built from a
+// synthetic profile set and checks both serving surfaces: /v1/models
+// reports the live route state, and /metrics exposes the
+// chatvis_route_* families — including zero-valued labeled series for
+// every ladder pair, so dashboards see the full shape before traffic.
+func TestRoutedServerModelsAndMetrics(t *testing.T) {
+	q := newTestQueue(t, &stubPipeline{}, 2)
+	router := route.NewRouter(route.NewProfileSet([]route.ModelProfile{
+		{Model: "codegemma", Task: llm.TaskEditIntent, Score: 1.0, CostWeight: 0.04, Seq: 1},
+		{Model: "gpt-4", Task: llm.TaskWrite, Score: 0.9, CostWeight: 1.0, Seq: 2},
+	}), nil)
+	srv := httptest.NewServer(NewServer(q, q.store, &llm.Metrics{}).
+		WithRouter(router, "profiles.json").Handler())
+	t.Cleanup(srv.Close)
+
+	var models struct {
+		Models  []string `json:"models"`
+		Routing struct {
+			Enabled      bool              `json:"enabled"`
+			ProfilesPath string            `json:"profiles_path"`
+			Tasks        []route.RouteView `json:"tasks"`
+		} `json:"routing"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/models", &models); code != http.StatusOK {
+		t.Fatalf("GET /v1/models = %d", code)
+	}
+	if len(models.Models) == 0 {
+		t.Error("no registered models reported")
+	}
+	if !models.Routing.Enabled || models.Routing.ProfilesPath != "profiles.json" {
+		t.Errorf("routing block = %+v", models.Routing)
+	}
+	if len(models.Routing.Tasks) != 2 {
+		t.Fatalf("route views = %d, want 2", len(models.Routing.Tasks))
+	}
+	if v := models.Routing.Tasks[0]; v.Task != llm.TaskEditIntent || v.Ladder[0].Model != "codegemma" {
+		t.Errorf("first route view = %+v", v)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"chatvis_route_decisions_total 0",
+		"chatvis_route_escalations_total 0",
+		"chatvis_route_fallbacks_total 0",
+		"chatvis_route_profiles 2",
+		`chatvis_route_task_decisions_total{task="edit-intent",model="codegemma"} 0`,
+		`chatvis_route_task_decisions_total{task="write",model="gpt-4"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// A router-less server still answers /v1/models and omits the
+	// route families from its scrape.
+	bare := httptest.NewServer(NewServer(q, q.store, &llm.Metrics{}).Handler())
+	t.Cleanup(bare.Close)
+	var off struct {
+		Routing struct {
+			Enabled bool `json:"enabled"`
+		} `json:"routing"`
+	}
+	if code := getJSON(t, bare.URL+"/v1/models", &off); code != http.StatusOK || off.Routing.Enabled {
+		t.Fatalf("bare /v1/models = %d routing=%v, want 200 with routing off", code, off.Routing.Enabled)
+	}
+	bresp, err := http.Get(bare.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	bbody, _ := io.ReadAll(bresp.Body)
+	if strings.Contains(string(bbody), "chatvis_route_") {
+		t.Error("route families leaked into a router-less scrape")
 	}
 }
